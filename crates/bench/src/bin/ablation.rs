@@ -1,0 +1,57 @@
+//! Regenerates the sliced-symbolic-registers ablation of Section V-A.
+//!
+//! The paper argues two symbolic registers suffice for RV32I (no
+//! instruction has more than two source registers) and reports that a
+//! *fully* symbolic register file blows the verification up from hours to
+//! "more than 30 days". This binary sweeps the symbolic window width and
+//! measures the cost of detecting the same injected error, plus the cost
+//! of a fixed slice of the clean exploration, so the blow-up curve is
+//! directly visible.
+//!
+//! Run with: `cargo run --release -p symcosim-bench --bin ablation`
+
+use std::time::Instant;
+
+use symcosim_core::{SessionConfig, VerifySession};
+use symcosim_microrv32::InjectedError;
+
+fn main() {
+    let windows = [0usize, 1, 2, 4, 8, 16, 31];
+
+    println!("sliced symbolic registers ablation — detecting E4 (SUB stuck-at-0 MSB)\n");
+    println!(
+        "{:<18} {:>7} {:>8} {:>12} {:>10}",
+        "symbolic window", "found", "paths", "instructions", "time [s]"
+    );
+    println!("{}", "-".repeat(60));
+
+    for window in windows {
+        let mut config = SessionConfig::rv32i_only();
+        config.inject = Some(InjectedError::E4SubStuckAt0Msb);
+        config.symbolic_regs = window;
+        let start = Instant::now();
+        let report = VerifySession::new(config)
+            .expect("valid configuration")
+            .run();
+        println!(
+            "{:<18} {:>7} {:>8} {:>12} {:>10}",
+            format!("x1..x{window}"),
+            if report.first_mismatch().is_some() {
+                "yes"
+            } else {
+                "no"
+            },
+            report.total_paths(),
+            report.instructions_executed,
+            symcosim_bench::fmt_secs(start.elapsed()),
+        );
+    }
+
+    println!(
+        "\nNote: window 0 leaves all registers at zero — value-dependent faults in\n\
+         two-source instructions (like E4's MSB fault, which needs operands whose\n\
+         difference has bit 31 set) can only be reached through loaded memory\n\
+         values, and windows larger than 2 only add state-space without adding\n\
+         coverage for RV32I, mirroring the paper's argument."
+    );
+}

@@ -1,0 +1,51 @@
+//! Benchmark harnesses and table-regeneration binaries.
+//!
+//! Binaries (each regenerates one artefact of the paper's evaluation):
+//!
+//! * `table1` — the catalogue of MicroRV32/VP errors and mismatches
+//!   (Table I),
+//! * `table2` — the injected-error performance evaluation, instruction
+//!   limits 1 and 2 (Table II),
+//! * `longrun` — the exemplary unrestricted exploration of Section V-A
+//!   (paths, partial paths, generated test vectors),
+//! * `ablation` — the sliced-symbolic-registers ablation behind the
+//!   "a non-optimised symbolic execution requires more than 30 days"
+//!   claim.
+//!
+//! Criterion benches live in `benches/` and cover the engine and
+//! co-simulation building blocks plus the fuzzing comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Formats a `std::time::Duration` the way the tables print it (seconds).
+pub fn fmt_secs(duration: std::time::Duration) -> String {
+    format!("{:.2}", duration.as_secs_f64())
+}
+
+/// Median of a slice (the tables report medians like the paper does).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(values: &mut [u64]) -> u64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3, 1, 2]), 2);
+        assert_eq!(median(&mut [4, 1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn seconds_format() {
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.50");
+    }
+}

@@ -1,0 +1,190 @@
+//! The `symcosim` command-line driver.
+//!
+//! ```text
+//! symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
+//! symcosim-cli inject <E0..E9> [--limit N] [--fuzz | --hybrid]
+//! symcosim-cli fuzz [--runs N] [--coverage] [--inject Ek]
+//! symcosim asm  (assembles stdin to hex words)
+//! ```
+
+use std::error::Error;
+use std::io::Read;
+
+use symcosim_core::fuzz::{self, FuzzConfig};
+use symcosim_core::{InstrConstraint, SessionConfig, VerifySession};
+use symcosim_microrv32::InjectedError;
+
+const USAGE: &str = "\
+symcosim — symbolic co-simulation for RISC-V processor verification
+
+USAGE:
+    symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
+        Verify the shipped MicroRV32 against the shipped VP ISS and print
+        the classified findings. --full allows CSR instructions (default);
+        pass --rv32i-only to block them. --window sets the number of
+        symbolic registers (default 2).
+
+    symcosim-cli inject <E0..E9> [--limit N] [--fuzz] [--hybrid]
+        Seed one of the paper's Table II faults into the core and hunt it
+        symbolically (default), by fuzzing (--fuzz), or hybrid (--hybrid).
+
+    symcosim-cli fuzz [--runs N] [--coverage] [--inject Ek]
+        Run the concrete fuzzing baseline against corrected models.
+
+    symcosim-cli asm
+        Assemble RV32I+Zicsr text from stdin, print one hex word per line.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    match args.first().map(String::as_str) {
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("inject") => cmd_inject(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("asm") => cmd_asm(),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}").into()),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, Box<dyn Error>> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        let value = args
+            .get(pos + 1)
+            .ok_or_else(|| format!("{flag} expects a value"))?;
+        return Ok(Some(value.parse()?));
+    }
+    Ok(None)
+}
+
+fn parse_error(token: &str) -> Result<InjectedError, Box<dyn Error>> {
+    InjectedError::ALL
+        .into_iter()
+        .find(|e| e.id().eq_ignore_ascii_case(token))
+        .ok_or_else(|| format!("unknown error id {token:?} (expected E0..E9)").into())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let mut config = SessionConfig::table1();
+    if args.iter().any(|a| a == "--rv32i-only") {
+        config.constraint = InstrConstraint::BlockSystem;
+    }
+    if let Some(limit) = flag_value(args, "--limit")? {
+        config.instr_limit = limit as u32;
+        config.cycle_limit = 64 * limit;
+    }
+    if let Some(paths) = flag_value(args, "--paths")? {
+        config.max_paths = paths as usize;
+    }
+    if let Some(window) = flag_value(args, "--window")? {
+        config.symbolic_regs = window as usize;
+    }
+    let report = VerifySession::new(config)?.run();
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_inject(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let id = args.first().ok_or("inject expects an error id (E0..E9)")?;
+    let error = parse_error(id)?;
+    println!("injected fault: {error}");
+
+    if args.iter().any(|a| a == "--fuzz") {
+        let mut config = FuzzConfig::rv32i_only();
+        config.inject = Some(error);
+        let outcome = fuzz::run_coverage_guided(&config);
+        report_fuzz(&outcome);
+        return Ok(());
+    }
+
+    let mut session = SessionConfig::rv32i_only();
+    session.inject = Some(error);
+    if let Some(limit) = flag_value(args, "--limit")? {
+        session.instr_limit = limit as u32;
+        session.cycle_limit = 64 * limit;
+    }
+
+    if args.iter().any(|a| a == "--hybrid") {
+        let mut fuzz_config = FuzzConfig::rv32i_only();
+        fuzz_config.inject = Some(error);
+        let outcome = fuzz::run_hybrid(&fuzz_config, session, 50_000);
+        match outcome.found_by {
+            Some(phase) => println!("found by the {phase:?} phase"),
+            None => println!("not found"),
+        }
+        report_fuzz(&outcome.fuzz);
+        if let Some(report) = outcome.report {
+            print!("{report}");
+        }
+        return Ok(());
+    }
+
+    let report = VerifySession::new(session)?.run();
+    print!("{report}");
+    match report.first_mismatch() {
+        Some(finding) => {
+            if let Some(witness) = &finding.witness {
+                println!("reproducer: {witness}");
+            }
+        }
+        None => println!("fault not found within the configured budget"),
+    }
+    Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let mut config = FuzzConfig::rv32i_only();
+    if let Some(runs) = flag_value(args, "--runs")? {
+        config.max_runs = runs;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--inject") {
+        let id = args.get(pos + 1).ok_or("--inject expects an error id")?;
+        config.inject = Some(parse_error(id)?);
+    }
+    let outcome = if args.iter().any(|a| a == "--coverage") {
+        fuzz::run_coverage_guided(&config)
+    } else {
+        fuzz::run(&config)
+    };
+    report_fuzz(&outcome);
+    Ok(())
+}
+
+fn report_fuzz(outcome: &fuzz::FuzzOutcome) {
+    match &outcome.mismatch {
+        Some(mismatch) => println!(
+            "mismatch after {} runs ({} instructions, {:.2?}): {mismatch}",
+            outcome.runs, outcome.instructions, outcome.duration
+        ),
+        None => println!(
+            "no mismatch in {} runs ({} instructions, {:.2?})",
+            outcome.runs, outcome.instructions, outcome.duration
+        ),
+    }
+}
+
+fn cmd_asm() -> Result<(), Box<dyn Error>> {
+    let mut source = String::new();
+    std::io::stdin().read_to_string(&mut source)?;
+    let words = symcosim_isa::asm::assemble(&source)?;
+    for word in words {
+        println!("{word:08x}");
+    }
+    Ok(())
+}

@@ -1,0 +1,363 @@
+//! Random co-simulation baseline (the fuzzing comparator).
+//!
+//! The paper positions symbolic execution against the authors' earlier
+//! coverage-guided fuzzing flow (the paper's reference \[10\]): both drive the same
+//! ISS-vs-RTL co-simulation, but the fuzzer feeds *random concrete*
+//! instruction words and register seeds instead of symbolic ones. This
+//! module provides that baseline over the identical [`CoSim`] harness, so
+//! the benchmark comparing time-to-detection is apples to apples.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symcosim_iss::IssConfig;
+use symcosim_microrv32::{CoreConfig, InjectedError};
+use symcosim_symex::ConcreteDomain;
+
+use crate::cosim::CoSim;
+use crate::voter::{ConcreteJudge, Mismatch};
+use crate::SymbolicInstrMemory;
+
+/// Configuration of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// DUT behaviour switches.
+    pub core_config: CoreConfig,
+    /// Reference-model behaviour switches.
+    pub iss_config: IssConfig,
+    /// Optional seeded fault.
+    pub inject: Option<InjectedError>,
+    /// Instructions per run.
+    pub instr_limit: u32,
+    /// Clock-cycle backstop per run.
+    pub cycle_limit: u64,
+    /// Registers `x1..=x<n>` seeded with random values each run.
+    pub random_regs: usize,
+    /// Data memory size in words (power of two).
+    pub dmem_words: usize,
+    /// Reject SYSTEM-opcode instructions (RV32I-only generation).
+    pub block_system: bool,
+    /// RNG seed (campaigns are deterministic).
+    pub seed: u64,
+    /// Give up after this many runs.
+    pub max_runs: u64,
+}
+
+impl FuzzConfig {
+    /// RV32I-only fuzzing against corrected models — the concrete twin of
+    /// [`SessionConfig::rv32i_only`](crate::SessionConfig::rv32i_only).
+    pub fn rv32i_only() -> FuzzConfig {
+        FuzzConfig {
+            core_config: CoreConfig::fixed(),
+            iss_config: IssConfig::fixed(),
+            inject: None,
+            instr_limit: 1,
+            cycle_limit: 64,
+            random_regs: 2,
+            dmem_words: 16,
+            block_system: true,
+            seed: 0x0dd_b1a5,
+            max_runs: 2_000_000,
+        }
+    }
+}
+
+/// Result of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// The first mismatch found, if any.
+    pub mismatch: Option<Mismatch>,
+    /// Co-simulation runs performed.
+    pub runs: u64,
+    /// Instructions executed across both models.
+    pub instructions: u64,
+    /// Wall-clock time spent.
+    pub duration: Duration,
+}
+
+impl FuzzOutcome {
+    /// Whether the campaign found a mismatch.
+    pub fn found(&self) -> bool {
+        self.mismatch.is_some()
+    }
+}
+
+/// Executes one concrete co-simulation with explicit inputs.
+fn run_inputs(
+    config: &FuzzConfig,
+    words: &[u32],
+    regs: &[u32],
+    memory: &[u32],
+) -> crate::CosimResult {
+    let mut dom = ConcreteDomain::new();
+    let words: Vec<u32> = words.to_vec();
+    let imem = SymbolicInstrMemory::with_generator(move |_dom, index| {
+        words.get(index as usize).copied().unwrap_or(0x13) // NOP fallback
+    });
+    let mut cosim = CoSim::new(
+        &mut dom,
+        config.core_config.clone(),
+        config.iss_config.clone(),
+        config.inject,
+        imem,
+        0,
+        config.dmem_words,
+        config.instr_limit,
+        config.cycle_limit,
+    );
+    for (i, value) in regs.iter().enumerate() {
+        cosim.core.set_register(i + 1, *value);
+        cosim.iss.set_register(i + 1, *value);
+    }
+    for (i, value) in memory.iter().enumerate() {
+        cosim.core_dmem.set_word(i, *value);
+        cosim.iss_dmem.set_word(i, *value);
+    }
+    cosim.run(&mut dom, &mut ConcreteJudge)
+}
+
+/// Samples one instruction word respecting the generation constraint.
+fn random_word(rng: &mut StdRng, block_system: bool) -> u32 {
+    loop {
+        let word: u32 = rng.gen();
+        if !block_system || word & 0x7f != symcosim_isa::opcodes::SYSTEM {
+            return word;
+        }
+    }
+}
+
+/// Runs a purely random fuzzing campaign until a mismatch or the run
+/// budget is hit.
+///
+/// # Panics
+///
+/// Panics if `config.dmem_words` is not a power of two or
+/// `config.random_regs` exceeds 31.
+pub fn run(config: &FuzzConfig) -> FuzzOutcome {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut instructions = 0u64;
+
+    for run_index in 0..config.max_runs {
+        let words: Vec<u32> = (0..config.instr_limit)
+            .map(|_| random_word(&mut rng, config.block_system))
+            .collect();
+        let regs: Vec<u32> = (0..config.random_regs).map(|_| rng.gen()).collect();
+        let memory: Vec<u32> = (0..config.dmem_words).map(|_| rng.gen()).collect();
+        let result = run_inputs(config, &words, &regs, &memory);
+        instructions += result.instructions;
+        if result.mismatch.is_some() {
+            return FuzzOutcome {
+                mismatch: result.mismatch,
+                runs: run_index + 1,
+                instructions,
+                duration: start.elapsed(),
+            };
+        }
+    }
+
+    FuzzOutcome {
+        mismatch: None,
+        runs: config.max_runs,
+        instructions,
+        duration: start.elapsed(),
+    }
+}
+
+/// The decode-identity of an instruction word: opcode, `funct3` and
+/// `funct7` (the bits that select behaviour, ignoring operands).
+fn decode_class(word: u32) -> u32 {
+    word & 0xfe00_707f
+}
+
+/// Runs a coverage-guided fuzzing campaign (the flavour of the paper's
+/// prior-work comparator): inputs that reach a new decode class join a
+/// corpus and are mutated preferentially, biasing generation towards
+/// instruction variety instead of uniform randomness.
+///
+/// # Panics
+///
+/// Panics if `config.dmem_words` is not a power of two or
+/// `config.random_regs` exceeds 31.
+pub fn run_coverage_guided(config: &FuzzConfig) -> FuzzOutcome {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut instructions = 0u64;
+    let mut corpus: Vec<Vec<u32>> = Vec::new();
+    let mut seen_classes = std::collections::HashSet::new();
+
+    for run_index in 0..config.max_runs {
+        // 50/50: mutate a corpus entry or generate fresh.
+        let words: Vec<u32> = if !corpus.is_empty() && rng.gen_bool(0.5) {
+            let parent = &corpus[rng.gen_range(0..corpus.len())];
+            parent
+                .iter()
+                .map(|&w| {
+                    let mut word = w;
+                    for _ in 0..rng.gen_range(1..=3) {
+                        word ^= 1 << rng.gen_range(0..32);
+                    }
+                    if config.block_system && word & 0x7f == symcosim_isa::opcodes::SYSTEM {
+                        word ^= 0x40; // knock it out of the SYSTEM opcode
+                    }
+                    word
+                })
+                .collect()
+        } else {
+            (0..config.instr_limit)
+                .map(|_| random_word(&mut rng, config.block_system))
+                .collect()
+        };
+        let regs: Vec<u32> = (0..config.random_regs).map(|_| rng.gen()).collect();
+        let memory: Vec<u32> = (0..config.dmem_words).map(|_| rng.gen()).collect();
+        let result = run_inputs(config, &words, &regs, &memory);
+        instructions += result.instructions;
+        if result.mismatch.is_some() {
+            return FuzzOutcome {
+                mismatch: result.mismatch,
+                runs: run_index + 1,
+                instructions,
+                duration: start.elapsed(),
+            };
+        }
+        // Coverage feedback: new decode classes earn a corpus slot.
+        if words.iter().any(|&w| seen_classes.insert(decode_class(w))) {
+            corpus.push(words);
+            if corpus.len() > 256 {
+                corpus.remove(0);
+            }
+        }
+    }
+
+    FuzzOutcome {
+        mismatch: None,
+        runs: config.max_runs,
+        instructions,
+        duration: start.elapsed(),
+    }
+}
+
+/// Which phase of a [`run_hybrid`] campaign found the mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridPhase {
+    /// The fuzzing prepass found it.
+    Fuzzing,
+    /// The symbolic exploration found it.
+    Symbolic,
+}
+
+/// Outcome of a hybrid campaign.
+#[derive(Debug)]
+pub struct HybridOutcome {
+    /// The fuzzing prepass result.
+    pub fuzz: FuzzOutcome,
+    /// The symbolic report, if the prepass came up empty.
+    pub report: Option<crate::VerifyReport>,
+    /// Which phase found a mismatch, if any.
+    pub found_by: Option<HybridPhase>,
+}
+
+/// The paper's future-work *hybrid* flow: a cheap coverage-guided fuzzing
+/// prepass catches shallow bugs in milliseconds; if it comes up empty
+/// within `fuzz_budget` runs, the complete symbolic exploration takes
+/// over for the corner cases.
+pub fn run_hybrid(
+    fuzz_config: &FuzzConfig,
+    session_config: crate::SessionConfig,
+    fuzz_budget: u64,
+) -> HybridOutcome {
+    let mut prepass = fuzz_config.clone();
+    prepass.max_runs = fuzz_budget;
+    let fuzz = run_coverage_guided(&prepass);
+    if fuzz.found() {
+        return HybridOutcome {
+            fuzz,
+            report: None,
+            found_by: Some(HybridPhase::Fuzzing),
+        };
+    }
+    let session = crate::VerifySession::new(session_config).expect("valid session config");
+    let report = session.run();
+    let found_by = report.first_mismatch().map(|_| HybridPhase::Symbolic);
+    HybridOutcome {
+        fuzz,
+        report: Some(report),
+        found_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symcosim_microrv32::InjectedError;
+
+    #[test]
+    fn finds_a_gross_injected_error_quickly() {
+        let mut config = FuzzConfig::rv32i_only();
+        // E3 corrupts every odd ADDI result: random fuzzing hits it fast.
+        config.inject = Some(InjectedError::E3AddiStuckAt0Lsb);
+        config.max_runs = 200_000;
+        let outcome = run(&config);
+        assert!(outcome.found(), "fuzzer should find E3 within the budget");
+        assert!(outcome.runs > 0);
+        assert!(outcome.instructions > 0);
+    }
+
+    #[test]
+    fn clean_configuration_finds_nothing() {
+        let mut config = FuzzConfig::rv32i_only();
+        config.max_runs = 500;
+        let outcome = run(&config);
+        assert!(
+            !outcome.found(),
+            "corrected models must agree: {:?}",
+            outcome.mismatch
+        );
+        assert_eq!(outcome.runs, 500);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let mut config = FuzzConfig::rv32i_only();
+        config.inject = Some(InjectedError::E6BneBehavesLikeBeq);
+        config.max_runs = 500_000;
+        let a = run(&config);
+        let b = run(&config);
+        assert_eq!(a.found(), b.found());
+        assert_eq!(a.runs, b.runs);
+    }
+
+    #[test]
+    fn coverage_guided_finds_decode_corner_case() {
+        let mut config = FuzzConfig::rv32i_only();
+        config.inject = Some(InjectedError::E3AddiStuckAt0Lsb);
+        config.max_runs = 500_000;
+        let outcome = run_coverage_guided(&config);
+        assert!(outcome.found(), "coverage-guided fuzzing should find E3");
+    }
+
+    #[test]
+    fn hybrid_falls_back_to_symbolic_for_hard_bugs() {
+        // E0 needs a reserved encoding: the fuzzing prepass (tiny budget)
+        // misses it, the symbolic phase finds it.
+        let mut fuzz_config = FuzzConfig::rv32i_only();
+        fuzz_config.inject = Some(InjectedError::E0SlliDecodeDontCare);
+        let mut session_config = crate::SessionConfig::rv32i_only();
+        session_config.inject = Some(InjectedError::E0SlliDecodeDontCare);
+        let outcome = run_hybrid(&fuzz_config, session_config, 2_000);
+        assert_eq!(outcome.found_by, Some(HybridPhase::Symbolic));
+        assert!(!outcome.fuzz.found());
+    }
+
+    #[test]
+    fn hybrid_prefers_the_cheap_phase_for_shallow_bugs() {
+        let mut fuzz_config = FuzzConfig::rv32i_only();
+        fuzz_config.inject = Some(InjectedError::E3AddiStuckAt0Lsb);
+        let mut session_config = crate::SessionConfig::rv32i_only();
+        session_config.inject = Some(InjectedError::E3AddiStuckAt0Lsb);
+        let outcome = run_hybrid(&fuzz_config, session_config, 500_000);
+        assert_eq!(outcome.found_by, Some(HybridPhase::Fuzzing));
+        assert!(outcome.report.is_none(), "symbolic phase skipped");
+    }
+}

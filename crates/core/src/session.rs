@@ -1,0 +1,379 @@
+//! The top-level verification session.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use symcosim_isa::opcodes;
+use symcosim_iss::IssConfig;
+use symcosim_microrv32::{CoreConfig, InjectedError};
+use symcosim_symex::{Domain, Engine, EngineConfig, SearchStrategy, SymExec, TestVector};
+
+use crate::cosim::{CoSim, StopReason};
+use crate::report::{classify, Finding, VerifyReport};
+use crate::voter::{Mismatch, SymbolicJudge};
+use crate::SymbolicInstrMemory;
+
+/// Constraint on generated instructions (the `klee_assume` hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstrConstraint {
+    /// Fully symbolic 32-bit words.
+    #[default]
+    None,
+    /// Block the SYSTEM major opcode (CSR instructions, `ECALL`, `WFI`, …)
+    /// — the paper's Table II configuration that filters the known CSR
+    /// findings and restricts generation to RV32I.
+    BlockSystem,
+    /// Restrict generation to one major opcode (targeted exploration).
+    OnlyOpcode(u32),
+    /// Restrict generation to Zicsr instructions addressing the CSRs the
+    /// VP implements *beyond* MicroRV32 (`mscratch`, `mcounteren`, the HPM
+    /// ranges, the unprivileged counters, and the machine counters).
+    /// Used with an instruction limit of 2 to surface the write-then-read
+    /// mismatches of Table I without exploring the full squared space.
+    ExtendedCsrOnly,
+}
+
+/// Configuration of a [`VerifySession`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// DUT behaviour switches.
+    pub core_config: CoreConfig,
+    /// Reference-model behaviour switches.
+    pub iss_config: IssConfig,
+    /// Optional seeded fault (Table II).
+    pub inject: Option<InjectedError>,
+    /// Instructions per path (the paper uses 1 and 2).
+    pub instr_limit: u32,
+    /// Core clock cycles per path (execution controller backstop).
+    pub cycle_limit: u64,
+    /// Width of the sliced symbolic register window (the paper argues 2
+    /// suffices for RV32I: no instruction has more than two source
+    /// registers).
+    pub symbolic_regs: usize,
+    /// Data memory size in 32-bit words (power of two).
+    pub dmem_words: usize,
+    /// Instruction generation constraint.
+    pub constraint: InstrConstraint,
+    /// Maximum number of explored paths.
+    pub max_paths: usize,
+    /// Frontier discipline.
+    pub strategy: SearchStrategy,
+    /// Emit a test vector per path (KLEE's test-case generation).
+    pub emit_test_vectors: bool,
+    /// Stop the exploration at the first mismatch (Table II mode) instead
+    /// of cataloguing all findings (Table I mode).
+    pub stop_at_first_mismatch: bool,
+}
+
+impl SessionConfig {
+    /// Table I mode: shipped MicroRV32 vs. shipped VP, full RV32I+Zicsr
+    /// instruction space, catalogue every finding.
+    pub fn table1() -> SessionConfig {
+        SessionConfig {
+            core_config: CoreConfig::microrv32_v1(),
+            iss_config: IssConfig::vp_v1(),
+            inject: None,
+            instr_limit: 1,
+            cycle_limit: 64,
+            symbolic_regs: 2,
+            dmem_words: 16,
+            constraint: InstrConstraint::None,
+            max_paths: 100_000,
+            strategy: SearchStrategy::Dfs,
+            emit_test_vectors: true,
+            stop_at_first_mismatch: false,
+        }
+    }
+
+    /// Table II mode: corrected models (known findings filtered), RV32I
+    /// only, stop at the first mismatch — the configuration used to time
+    /// the detection of injected errors.
+    pub fn rv32i_only() -> SessionConfig {
+        SessionConfig {
+            core_config: CoreConfig::fixed(),
+            iss_config: IssConfig::fixed(),
+            inject: None,
+            instr_limit: 1,
+            cycle_limit: 64,
+            symbolic_regs: 2,
+            dmem_words: 16,
+            constraint: InstrConstraint::BlockSystem,
+            max_paths: 100_000,
+            strategy: SearchStrategy::Dfs,
+            emit_test_vectors: true,
+            stop_at_first_mismatch: true,
+        }
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig::table1()
+    }
+}
+
+/// Error constructing a session from an invalid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionError {
+    message: String,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for SessionError {}
+
+/// Per-path outcome collected by the session.
+#[derive(Debug, Clone)]
+struct PathRun {
+    mismatch: Option<Mismatch>,
+    stop: StopReason,
+    instructions: u64,
+    cycles: u64,
+    instr_word: Option<u32>,
+    witness: Option<TestVector>,
+}
+
+/// The end-to-end symbolic verification flow.
+///
+/// Owns a symbolic [`Engine`] and explores the co-simulation over the
+/// symbolic instruction/register space; see the
+/// [crate documentation](crate) for an example.
+#[derive(Debug)]
+pub struct VerifySession {
+    config: SessionConfig,
+}
+
+impl VerifySession {
+    /// Validates the configuration and creates a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] if the data memory size is not a power of
+    /// two, the symbolic register window exceeds 31, or the limits are
+    /// zero.
+    pub fn new(config: SessionConfig) -> Result<VerifySession, SessionError> {
+        if !config.dmem_words.is_power_of_two() {
+            return Err(SessionError {
+                message: format!(
+                    "dmem_words must be a power of two, got {}",
+                    config.dmem_words
+                ),
+            });
+        }
+        if config.symbolic_regs > 31 {
+            return Err(SessionError {
+                message: format!(
+                    "symbolic_regs must be at most 31, got {}",
+                    config.symbolic_regs
+                ),
+            });
+        }
+        if config.instr_limit == 0 || config.cycle_limit == 0 || config.max_paths == 0 {
+            return Err(SessionError {
+                message: "instr_limit, cycle_limit and max_paths must be positive".to_string(),
+            });
+        }
+        Ok(VerifySession { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Runs the symbolic exploration and aggregates the report.
+    pub fn run(self) -> VerifyReport {
+        let start = Instant::now();
+        let config = self.config;
+        let engine_config = EngineConfig {
+            strategy: config.strategy,
+            max_paths: config.max_paths,
+            max_decisions_per_path: 10_000,
+            emit_test_vectors: config.emit_test_vectors,
+            seed: 0x5eed_cafe,
+        };
+        let mut engine = Engine::new(engine_config);
+        let closure_config = config.clone();
+        let stop_early = config.stop_at_first_mismatch;
+        let outcome = engine.explore_until(
+            move |exec| run_one_path(exec, &closure_config),
+            move |path| stop_early && path.value.mismatch.is_some(),
+        );
+
+        let mut findings: Vec<Finding> = Vec::new();
+        let mut paths_complete = 0usize;
+        let mut paths_partial = 0usize;
+        let mut instructions = 0u64;
+        let mut cycles = 0u64;
+        let mut test_vectors = 0usize;
+
+        for path in &outcome.paths {
+            let run = &path.value;
+            instructions += run.instructions;
+            cycles += run.cycles;
+            if path.test_vector.is_some() || run.witness.is_some() {
+                test_vectors += 1;
+            }
+            match run.stop {
+                StopReason::InstrLimit => paths_complete += 1,
+                _ => paths_partial += 1,
+            }
+            if let Some(mismatch) = &run.mismatch {
+                let mut finding = classify(run.instr_word, mismatch);
+                finding.witness = run.witness.clone();
+                let key = finding.dedup_key();
+                if !findings.iter().any(|f| f.dedup_key() == key) {
+                    findings.push(finding);
+                }
+            }
+        }
+
+        VerifyReport {
+            findings,
+            paths_complete,
+            paths_partial,
+            instructions_executed: instructions,
+            cycles,
+            test_vectors,
+            duration: start.elapsed(),
+            truncated: outcome.frontier_exhausted,
+        }
+    }
+}
+
+/// Runs one co-simulation path inside the engine.
+fn run_one_path(exec: &mut SymExec<'_>, config: &SessionConfig) -> PathRun {
+    let imem = build_imem(config.constraint);
+    let mut cosim = CoSim::new(
+        exec,
+        config.core_config.clone(),
+        config.iss_config.clone(),
+        config.inject,
+        imem,
+        config.symbolic_regs,
+        config.dmem_words,
+        config.instr_limit,
+        config.cycle_limit,
+    );
+    let result = cosim.run(exec, &mut SymbolicJudge);
+    let (witness, instr_word) = if result.mismatch.is_some() {
+        let witness = exec.witness_vector(&[]);
+        let instr_word = cosim
+            .last_instruction()
+            .and_then(|term| exec.concrete_witness(term, &[]))
+            .map(|v| v as u32);
+        (witness, instr_word)
+    } else {
+        (None, None)
+    };
+    PathRun {
+        mismatch: result.mismatch,
+        stop: result.stop,
+        instructions: result.instructions,
+        cycles: result.cycles,
+        instr_word,
+        witness,
+    }
+}
+
+/// Builds the instruction memory for the configured constraint.
+fn build_imem<D: Domain>(constraint: InstrConstraint) -> SymbolicInstrMemory<D> {
+    match constraint {
+        InstrConstraint::None => SymbolicInstrMemory::new(),
+        InstrConstraint::BlockSystem => {
+            SymbolicInstrMemory::with_constraint(|dom: &mut D, instr| {
+                let opcode = dom.field(instr, 6, 0);
+                let system = dom.const_word(opcodes::SYSTEM);
+                let not_system = dom.ne_w(opcode, system);
+                dom.assume(not_system);
+            })
+        }
+        InstrConstraint::OnlyOpcode(target) => {
+            SymbolicInstrMemory::with_constraint(move |dom: &mut D, instr| {
+                let opcode = dom.field(instr, 6, 0);
+                let is_target = dom.eq_const(opcode, target & 0x7f);
+                dom.assume(is_target);
+            })
+        }
+        InstrConstraint::ExtendedCsrOnly => {
+            SymbolicInstrMemory::with_constraint(|dom: &mut D, instr| {
+                let opcode = dom.field(instr, 6, 0);
+                let is_system = dom.eq_const(opcode, opcodes::SYSTEM);
+                // Zicsr flavours only: funct3 ∉ {0b000, 0b100}.
+                let funct3 = dom.field(instr, 14, 12);
+                let zero = dom.const_word(0);
+                let four = dom.const_word(4);
+                let not_priv = dom.ne_w(funct3, zero);
+                let not_reserved = dom.ne_w(funct3, four);
+                let addr = dom.field(instr, 31, 20);
+                let mut in_set = dom.const_bool(false);
+                for csr in [0x340u32, 0x306, 0xb00, 0xb02, 0xb80, 0xb82] {
+                    let hit = dom.eq_const(addr, csr);
+                    in_set = dom.or_b(in_set, hit);
+                }
+                // Representative slices of the 29-register HPM families
+                // keep the targeted sweep small; classification groups
+                // them back into the full-family rows.
+                for (lo, hi) in [
+                    (0xb03u32, 0xb06),
+                    (0xb83, 0xb86),
+                    (0x323, 0x326),
+                    (0xc00, 0xc02),
+                    (0xc80, 0xc82),
+                ] {
+                    let lo_w = dom.const_word(lo);
+                    let hi_w = dom.const_word(hi);
+                    let ge = dom.uge(addr, lo_w);
+                    let le = {
+                        let gt = dom.ult(hi_w, addr);
+                        dom.not_b(gt)
+                    };
+                    let within = dom.and_b(ge, le);
+                    in_set = dom.or_b(in_set, within);
+                }
+                let zicsr = dom.and_b(not_priv, not_reserved);
+                let shaped = dom.and_b(is_system, zicsr);
+                let constrained = dom.and_b(shaped, in_set);
+                dom.assume(constrained);
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut config = SessionConfig::rv32i_only();
+        config.dmem_words = 12;
+        assert!(VerifySession::new(config).is_err());
+
+        let mut config = SessionConfig::rv32i_only();
+        config.symbolic_regs = 32;
+        assert!(VerifySession::new(config).is_err());
+
+        let mut config = SessionConfig::rv32i_only();
+        config.instr_limit = 0;
+        assert!(VerifySession::new(config).is_err());
+
+        assert!(VerifySession::new(SessionConfig::rv32i_only()).is_ok());
+    }
+
+    #[test]
+    fn presets_differ_in_the_documented_ways() {
+        let t1 = SessionConfig::table1();
+        let t2 = SessionConfig::rv32i_only();
+        assert_eq!(t1.constraint, InstrConstraint::None);
+        assert_eq!(t2.constraint, InstrConstraint::BlockSystem);
+        assert!(!t1.stop_at_first_mismatch);
+        assert!(t2.stop_at_first_mismatch);
+        assert!(t1.inject.is_none() && t2.inject.is_none());
+    }
+}

@@ -1,0 +1,420 @@
+//! The voter: detects functional mismatches between core and ISS.
+
+use std::fmt;
+
+use symcosim_rtl::RvfiRecord;
+use symcosim_symex::{ConcreteDomain, Domain, SymExec};
+
+/// Which architectural observation disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MismatchKind {
+    /// One model trapped and the other did not, or the causes differ
+    /// (`None` = no trap, `Some(cause)` = trapped with that `mcause`).
+    TrapDisagreement {
+        /// The RTL core's outcome.
+        core: Option<u32>,
+        /// The ISS's outcome.
+        iss: Option<u32>,
+    },
+    /// The post-instruction program counters can differ.
+    PcMismatch,
+    /// The reported destination register indices can differ.
+    RdAddrMismatch,
+    /// The reported destination register write values can differ.
+    RdValueMismatch,
+    /// Architectural register `index` can differ after the instruction.
+    RegFileMismatch {
+        /// Register index (1..32).
+        index: usize,
+    },
+    /// Data memory word `word_index` can differ at the end of the run.
+    MemoryMismatch {
+        /// Word index within the data memory.
+        word_index: usize,
+    },
+}
+
+impl fmt::Display for MismatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MismatchKind::TrapDisagreement { core, iss } => {
+                let show = |o: &Option<u32>| match o {
+                    None => "no trap".to_string(),
+                    Some(cause) => format!("trap (cause {cause})"),
+                };
+                write!(
+                    f,
+                    "trap disagreement: core {}, iss {}",
+                    show(core),
+                    show(iss)
+                )
+            }
+            MismatchKind::PcMismatch => f.write_str("next-PC mismatch"),
+            MismatchKind::RdAddrMismatch => f.write_str("destination register index mismatch"),
+            MismatchKind::RdValueMismatch => f.write_str("destination register value mismatch"),
+            MismatchKind::RegFileMismatch { index } => {
+                write!(f, "register file mismatch at x{index}")
+            }
+            MismatchKind::MemoryMismatch { word_index } => {
+                write!(f, "data memory mismatch at word {word_index}")
+            }
+        }
+    }
+}
+
+/// A functional difference between the two models, found on one path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// What disagreed.
+    pub kind: MismatchKind,
+    /// Zero-based index of the instruction that exposed it.
+    pub instr_index: u64,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instruction {}: {}", self.instr_index, self.kind)
+    }
+}
+
+/// Domain-specific mismatch oracle.
+///
+/// The voter builds *can-these-differ* conditions; how they are discharged
+/// depends on the domain: concretely it is a plain comparison, symbolically
+/// a satisfiability query against the path condition. `commit` pins a
+/// discovered mismatch into the path so the extracted test vector
+/// reproduces it.
+pub trait Judge<D: Domain> {
+    /// Can `cond` be true under the current path?
+    fn possibly_true(&mut self, dom: &mut D, cond: D::Bool) -> bool;
+    /// Pins `cond` (already known possible) into the path condition.
+    fn commit(&mut self, dom: &mut D, cond: D::Bool);
+}
+
+/// Concrete-domain judge: conditions are plain booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConcreteJudge;
+
+impl Judge<ConcreteDomain> for ConcreteJudge {
+    fn possibly_true(&mut self, _dom: &mut ConcreteDomain, cond: bool) -> bool {
+        cond
+    }
+
+    fn commit(&mut self, _dom: &mut ConcreteDomain, _cond: bool) {}
+}
+
+/// Symbolic-domain judge: conditions go to the solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymbolicJudge;
+
+impl<'e> Judge<SymExec<'e>> for SymbolicJudge {
+    fn possibly_true(&mut self, dom: &mut SymExec<'e>, cond: symcosim_symex::TermId) -> bool {
+        dom.check_sat(cond)
+    }
+
+    fn commit(&mut self, dom: &mut SymExec<'e>, cond: symcosim_symex::TermId) {
+        dom.add_constraint(cond);
+    }
+}
+
+/// Compares per-instruction retirement behaviour of the two models.
+///
+/// Modelled on the paper's RVFI-based voter: trap outcome, old/new PC and
+/// the destination register write are checked, plus (strictly stronger) the
+/// entire architectural register file.
+#[derive(Debug, Clone)]
+pub struct Voter {
+    /// Compare the post-instruction PC.
+    pub compare_pc: bool,
+    /// Compare the RVFI destination-register fields.
+    pub compare_rd: bool,
+    /// Compare all 32 architectural registers.
+    pub compare_regfile: bool,
+}
+
+impl Default for Voter {
+    fn default() -> Voter {
+        Voter {
+            compare_pc: true,
+            compare_rd: true,
+            compare_regfile: true,
+        }
+    }
+}
+
+impl Voter {
+    /// Creates the default (full-comparison) voter.
+    pub fn new() -> Voter {
+        Voter::default()
+    }
+
+    /// Compares one retirement; returns the first mismatch found.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compare_step<D, J>(
+        &self,
+        dom: &mut D,
+        judge: &mut J,
+        instr_index: u64,
+        core_retire: &RvfiRecord<D::Word>,
+        iss_retire: &RvfiRecord<D::Word>,
+        core_regs: &[D::Word; 32],
+        iss_regs: &[D::Word; 32],
+    ) -> Option<Mismatch>
+    where
+        D: Domain,
+        J: Judge<D>,
+    {
+        // Trap outcome is concrete control flow: compare directly.
+        let core_trap = core_retire
+            .trap
+            .then_some(core_retire.trap_cause.unwrap_or(0));
+        let iss_trap = iss_retire
+            .trap
+            .then_some(iss_retire.trap_cause.unwrap_or(0));
+        if core_trap != iss_trap {
+            return Some(Mismatch {
+                kind: MismatchKind::TrapDisagreement {
+                    core: core_trap,
+                    iss: iss_trap,
+                },
+                instr_index,
+            });
+        }
+
+        if self.compare_pc {
+            let ne = dom.ne_w(core_retire.pc_wdata, iss_retire.pc_wdata);
+            if judge.possibly_true(dom, ne) {
+                judge.commit(dom, ne);
+                return Some(Mismatch {
+                    kind: MismatchKind::PcMismatch,
+                    instr_index,
+                });
+            }
+        }
+
+        if self.compare_rd && !core_retire.trap {
+            let ne = dom.ne_w(core_retire.rd_addr, iss_retire.rd_addr);
+            if judge.possibly_true(dom, ne) {
+                judge.commit(dom, ne);
+                return Some(Mismatch {
+                    kind: MismatchKind::RdAddrMismatch,
+                    instr_index,
+                });
+            }
+            let ne = dom.ne_w(core_retire.rd_wdata, iss_retire.rd_wdata);
+            if judge.possibly_true(dom, ne) {
+                judge.commit(dom, ne);
+                return Some(Mismatch {
+                    kind: MismatchKind::RdValueMismatch,
+                    instr_index,
+                });
+            }
+        }
+
+        if self.compare_regfile {
+            for index in 1..32 {
+                let ne = dom.ne_w(core_regs[index], iss_regs[index]);
+                if judge.possibly_true(dom, ne) {
+                    judge.commit(dom, ne);
+                    return Some(Mismatch {
+                        kind: MismatchKind::RegFileMismatch { index },
+                        instr_index,
+                    });
+                }
+            }
+        }
+
+        None
+    }
+
+    /// Compares the two data memories at the end of a run.
+    pub fn compare_memory<D, J>(
+        &self,
+        dom: &mut D,
+        judge: &mut J,
+        instr_index: u64,
+        core_words: &[D::Word],
+        iss_words: &[D::Word],
+    ) -> Option<Mismatch>
+    where
+        D: Domain,
+        J: Judge<D>,
+    {
+        debug_assert_eq!(core_words.len(), iss_words.len());
+        for (word_index, (a, b)) in core_words.iter().zip(iss_words).enumerate() {
+            let ne = dom.ne_w(*a, *b);
+            if judge.possibly_true(dom, ne) {
+                judge.commit(dom, ne);
+                return Some(Mismatch {
+                    kind: MismatchKind::MemoryMismatch { word_index },
+                    instr_index,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(pc_wdata: u32, rd_addr: u32, rd_wdata: u32, trap: Option<u32>) -> RvfiRecord<u32> {
+        RvfiRecord {
+            valid: true,
+            order: 0,
+            insn: 0x13,
+            trap: trap.is_some(),
+            trap_cause: trap,
+            pc_rdata: 0,
+            pc_wdata,
+            rd_addr,
+            rd_wdata,
+        }
+    }
+
+    #[test]
+    fn equal_records_produce_no_mismatch() {
+        let mut dom = ConcreteDomain::new();
+        let voter = Voter::new();
+        let regs = [0u32; 32];
+        let a = record(4, 1, 42, None);
+        let result = voter.compare_step(
+            &mut dom,
+            &mut ConcreteJudge,
+            0,
+            &a,
+            &a.clone(),
+            &regs,
+            &regs,
+        );
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn trap_disagreement_detected_first() {
+        let mut dom = ConcreteDomain::new();
+        let voter = Voter::new();
+        let regs = [0u32; 32];
+        let core = record(0, 0, 0, Some(2));
+        let iss = record(4, 1, 42, None);
+        let m = voter
+            .compare_step(&mut dom, &mut ConcreteJudge, 3, &core, &iss, &regs, &regs)
+            .expect("mismatch");
+        assert_eq!(
+            m.kind,
+            MismatchKind::TrapDisagreement {
+                core: Some(2),
+                iss: None
+            }
+        );
+        assert_eq!(m.instr_index, 3);
+    }
+
+    #[test]
+    fn differing_causes_disagree() {
+        let mut dom = ConcreteDomain::new();
+        let voter = Voter::new();
+        let regs = [0u32; 32];
+        let core = record(0, 0, 0, Some(2));
+        let iss = record(0, 0, 0, Some(4));
+        let m = voter
+            .compare_step(&mut dom, &mut ConcreteJudge, 0, &core, &iss, &regs, &regs)
+            .expect("mismatch");
+        assert!(matches!(m.kind, MismatchKind::TrapDisagreement { .. }));
+    }
+
+    #[test]
+    fn pc_then_rd_then_regfile_order() {
+        let mut dom = ConcreteDomain::new();
+        let voter = Voter::new();
+        let regs = [0u32; 32];
+        let base = record(4, 1, 42, None);
+
+        let pc_diff = record(8, 1, 42, None);
+        let m = voter
+            .compare_step(
+                &mut dom,
+                &mut ConcreteJudge,
+                0,
+                &pc_diff,
+                &base,
+                &regs,
+                &regs,
+            )
+            .expect("pc mismatch");
+        assert_eq!(m.kind, MismatchKind::PcMismatch);
+
+        let rd_diff = record(4, 2, 42, None);
+        let m = voter
+            .compare_step(
+                &mut dom,
+                &mut ConcreteJudge,
+                0,
+                &rd_diff,
+                &base,
+                &regs,
+                &regs,
+            )
+            .expect("rd mismatch");
+        assert_eq!(m.kind, MismatchKind::RdAddrMismatch);
+
+        let val_diff = record(4, 1, 43, None);
+        let m = voter
+            .compare_step(
+                &mut dom,
+                &mut ConcreteJudge,
+                0,
+                &val_diff,
+                &base,
+                &regs,
+                &regs,
+            )
+            .expect("value mismatch");
+        assert_eq!(m.kind, MismatchKind::RdValueMismatch);
+
+        let mut core_regs = regs;
+        core_regs[7] = 1;
+        let m = voter
+            .compare_step(
+                &mut dom,
+                &mut ConcreteJudge,
+                0,
+                &base,
+                &base.clone(),
+                &core_regs,
+                &regs,
+            )
+            .expect("regfile mismatch");
+        assert_eq!(m.kind, MismatchKind::RegFileMismatch { index: 7 });
+    }
+
+    #[test]
+    fn memory_comparison() {
+        let mut dom = ConcreteDomain::new();
+        let voter = Voter::new();
+        let a = [1u32, 2, 3];
+        let b = [1u32, 9, 3];
+        let m = voter
+            .compare_memory(&mut dom, &mut ConcreteJudge, 5, &a, &b)
+            .expect("memory mismatch");
+        assert_eq!(m.kind, MismatchKind::MemoryMismatch { word_index: 1 });
+        assert!(voter
+            .compare_memory(&mut dom, &mut ConcreteJudge, 5, &a, &a)
+            .is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Mismatch {
+            kind: MismatchKind::TrapDisagreement {
+                core: Some(2),
+                iss: None,
+            },
+            instr_index: 1,
+        };
+        let text = m.to_string();
+        assert!(text.contains("instruction 1"));
+        assert!(text.contains("cause 2"));
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end tests of the `symcosim-cli` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_symcosim-cli");
+
+#[test]
+fn help_prints_usage() {
+    let output = Command::new(BIN).arg("--help").output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("verify"));
+    assert!(text.contains("inject"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let output = Command::new(BIN).arg("frobnicate").output().expect("binary runs");
+    assert!(!output.status.success());
+    let text = String::from_utf8_lossy(&output.stderr);
+    assert!(text.contains("unknown subcommand"));
+}
+
+#[test]
+fn inject_finds_a_fast_fault() {
+    // E5 (JAL loses the PC update) is detected within a handful of paths.
+    let output = Command::new(BIN).args(["inject", "E5"]).output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("JAL does not change the PC"), "{text}");
+    assert!(text.contains("reproducer:"), "{text}");
+}
+
+#[test]
+fn asm_assembles_stdin() {
+    let mut child = Command::new(BIN)
+        .arg("asm")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"addi x1, x0, 42\nebreak\n")
+        .expect("write source");
+    let output = child.wait_with_output().expect("binary finishes");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(text.lines().collect::<Vec<_>>(), vec!["02a00093", "00100073"]);
+}
+
+#[test]
+fn asm_reports_errors_on_stderr() {
+    let mut child = Command::new(BIN)
+        .arg("asm")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"bogus x1\n")
+        .expect("write source");
+    let output = child.wait_with_output().expect("binary finishes");
+    assert!(!output.status.success());
+    let text = String::from_utf8_lossy(&output.stderr);
+    assert!(text.contains("line 1"), "{text}");
+}

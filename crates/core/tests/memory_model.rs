@@ -1,0 +1,144 @@
+//! Property tests of the symbolic data memory against a byte-array
+//! reference model, exercised through both of its interfaces (the strobe
+//! DBus used by the core and the byte interface used by the ISS).
+
+use proptest::prelude::*;
+use symcosim_core::SymbolicDataMemory;
+use symcosim_rtl::Strobe;
+use symcosim_symex::ConcreteDomain;
+
+const WORDS: usize = 16;
+
+/// Simple byte-addressed reference model.
+#[derive(Clone)]
+struct RefMem {
+    bytes: Vec<u8>,
+}
+
+impl RefMem {
+    fn new() -> RefMem {
+        RefMem {
+            bytes: vec![0; WORDS * 4],
+        }
+    }
+
+    fn load(&self, addr: u32, width: u32) -> u32 {
+        let mut value = 0u32;
+        for i in 0..width {
+            let a = ((addr + i) as usize) % (WORDS * 4);
+            value |= (self.bytes[a] as u32) << (i * 8);
+        }
+        value
+    }
+
+    fn store(&mut self, addr: u32, value: u32, width: u32) {
+        for i in 0..width {
+            let a = ((addr + i) as usize) % (WORDS * 4);
+            self.bytes[a] = (value >> (i * 8)) as u8;
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    ByteLoad {
+        addr: u32,
+        width: u32,
+    },
+    ByteStore {
+        addr: u32,
+        value: u32,
+        width: u32,
+    },
+    StrobeLoad {
+        word_addr: u32,
+        lanes: u8,
+    },
+    StrobeStore {
+        word_addr: u32,
+        data: u32,
+        lanes: u8,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let width = prop_oneof![Just(1u32), Just(2), Just(4)];
+    let lanes = prop_oneof![
+        Just(0b0001u8),
+        Just(0b0010),
+        Just(0b0100),
+        Just(0b1000),
+        Just(0b0011),
+        Just(0b1100),
+        Just(0b1111),
+    ];
+    prop_oneof![
+        (0u32..WORDS as u32 * 4, width.clone())
+            .prop_map(|(addr, width)| Op::ByteLoad { addr, width }),
+        (0u32..WORDS as u32 * 4, any::<u32>(), width)
+            .prop_map(|(addr, value, width)| Op::ByteStore { addr, value, width }),
+        (0u32..WORDS as u32, lanes.clone()).prop_map(|(w, lanes)| Op::StrobeLoad {
+            word_addr: w * 4,
+            lanes
+        }),
+        (0u32..WORDS as u32, any::<u32>(), lanes).prop_map(|(w, data, lanes)| Op::StrobeStore {
+            word_addr: w * 4,
+            data,
+            lanes
+        }),
+    ]
+}
+
+fn lane_mask(lanes: u8) -> u32 {
+    (0..4)
+        .filter(|l| lanes & (1 << l) != 0)
+        .fold(0, |m, l| m | (0xff << (l * 8)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary interleavings of byte and strobe accesses agree with the
+    /// byte-array reference model.
+    #[test]
+    fn memory_matches_reference(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let mut dom = ConcreteDomain::new();
+        let mut mem: SymbolicDataMemory<ConcreteDomain> =
+            SymbolicDataMemory::new_zeroed(&mut dom, WORDS);
+        let mut reference = RefMem::new();
+
+        for op in &ops {
+            match *op {
+                Op::ByteLoad { addr, width } => {
+                    let got = mem.load_bytes(&mut dom, addr, width);
+                    let want = reference.load(addr, width);
+                    prop_assert_eq!(got, want, "byte load at {:#x} width {}", addr, width);
+                }
+                Op::ByteStore { addr, value, width } => {
+                    mem.store_bytes(&mut dom, addr, value, width);
+                    reference.store(addr, value, width);
+                }
+                Op::StrobeLoad { word_addr, lanes } => {
+                    let strobe = Strobe::from_lanes(lanes).expect("legal lanes");
+                    let got = mem.strobe_access(&mut dom, word_addr, false, 0, strobe);
+                    let want = reference.load(word_addr, 4) & lane_mask(lanes);
+                    prop_assert_eq!(got, want, "strobe load at {:#x} lanes {:04b}", word_addr, lanes);
+                }
+                Op::StrobeStore { word_addr, data, lanes } => {
+                    let strobe = Strobe::from_lanes(lanes).expect("legal lanes");
+                    mem.strobe_access(&mut dom, word_addr, true, data, strobe);
+                    let mask = lane_mask(lanes);
+                    let merged = (reference.load(word_addr, 4) & !mask) | (data & mask);
+                    reference.store(word_addr, merged, 4);
+                }
+            }
+        }
+
+        // Final full-state agreement.
+        for i in 0..WORDS {
+            let got = mem.words()[i];
+            let want = reference.load(i as u32 * 4, 4);
+            prop_assert_eq!(got, want, "word {}", i);
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! A small two-pass RV32I+Zicsr text assembler.
+//!
+//! Supports the syntax the disassembler emits (so `parse(disasm(i)) == i`),
+//! labels, the common pseudo-instructions, and comments — enough to write
+//! directed co-simulation programs in tests and examples.
+//!
+//! ```
+//! use symcosim_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), symcosim_isa::asm::AssembleError> {
+//! let words = assemble(
+//!     r#"
+//!     start:
+//!         addi x1, x0, 10     # counter
+//!     loop:
+//!         addi x1, x1, -1
+//!         bne  x1, x0, loop
+//!         ebreak
+//!     "#,
+//! )?;
+//! assert_eq!(words.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{encode, BranchKind, CsrOp, Instr, LoadKind, OpKind, Reg, StoreKind};
+
+/// Error produced by [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AssembleError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AssembleError> {
+    Err(AssembleError { line, message: message.into() })
+}
+
+/// Parses a register name (`x0`–`x31` or an ABI name).
+fn parse_reg(token: &str, line: usize) -> Result<Reg, AssembleError> {
+    let token = token.trim();
+    if let Some(rest) = token.strip_prefix('x') {
+        if let Ok(index) = rest.parse::<usize>() {
+            if let Some(reg) = Reg::from_index(index) {
+                return Ok(reg);
+            }
+        }
+    }
+    for reg in Reg::ALL {
+        if reg.abi_name() == token {
+            return Ok(reg);
+        }
+    }
+    err(line, format!("unknown register {token:?}"))
+}
+
+/// Parses a signed immediate (decimal or 0x-prefixed hex).
+fn parse_imm(token: &str, line: usize) -> Result<i64, AssembleError> {
+    let token = token.trim();
+    let (negative, body) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match value {
+        Ok(v) => Ok(if negative { -v } else { v }),
+        Err(_) => err(line, format!("invalid immediate {token:?}")),
+    }
+}
+
+/// Parses a CSR operand: a name from the address map or a numeric address.
+fn parse_csr(token: &str, line: usize) -> Result<u16, AssembleError> {
+    let token = token.trim();
+    for addr in 0u16..4096 {
+        if crate::csr_name(addr) == Some(token) {
+            return Ok(addr);
+        }
+    }
+    if let Some(stripped) = token.strip_prefix("csr") {
+        return parse_imm(stripped, line).map(|v| (v as u16) & 0xfff);
+    }
+    parse_imm(token, line).map(|v| (v as u16) & 0xfff)
+}
+
+/// Parses `imm(reg)` memory-operand syntax.
+fn parse_mem_operand(token: &str, line: usize) -> Result<(i64, Reg), AssembleError> {
+    let token = token.trim();
+    let open = token
+        .find('(')
+        .ok_or(AssembleError { line, message: format!("expected imm(reg), got {token:?}") })?;
+    if !token.ends_with(')') {
+        return err(line, format!("expected imm(reg), got {token:?}"));
+    }
+    let imm = if open == 0 { 0 } else { parse_imm(&token[..open], line)? };
+    let reg = parse_reg(&token[open + 1..token.len() - 1], line)?;
+    Ok((imm, reg))
+}
+
+/// A line after lexing: optional label, optional statement.
+struct SourceLine<'a> {
+    number: usize,
+    mnemonic: &'a str,
+    operands: Vec<&'a str>,
+}
+
+/// Resolves either a label or a numeric offset to a PC-relative offset.
+fn branch_target(
+    token: &str,
+    labels: &HashMap<&str, u32>,
+    pc: u32,
+    line: usize,
+) -> Result<i32, AssembleError> {
+    if let Some(&target) = labels.get(token.trim()) {
+        return Ok(target.wrapping_sub(pc) as i32);
+    }
+    parse_imm(token, line).map(|v| v as i32)
+}
+
+/// Assembles source text into instruction words (base address 0).
+///
+/// Supported directives: labels (`name:`), comments (`#` / `//`), and the
+/// pseudo-instructions `nop`, `li` (12-bit range), `mv`, `not`, `neg`,
+/// `j`, `ret`, `beqz`, `bnez`.
+///
+/// # Errors
+///
+/// Returns [`AssembleError`] with the offending line on any syntax error,
+/// unknown mnemonic, undefined label or out-of-range immediate.
+pub fn assemble(source: &str) -> Result<Vec<u32>, AssembleError> {
+    // Pass 1: strip comments/labels, collect label addresses.
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut statements: Vec<SourceLine<'_>> = Vec::new();
+    for (index, raw) in source.lines().enumerate() {
+        let number = index + 1;
+        let mut line = raw;
+        if let Some(pos) = line.find('#') {
+            line = &line[..pos];
+        }
+        if let Some(pos) = line.find("//") {
+            line = &line[..pos];
+        }
+        let mut line = line.trim();
+        while let Some(colon) = line.find(':') {
+            let label = line[..colon].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return err(number, format!("invalid label {label:?}"));
+            }
+            if labels.insert(label, (statements.len() * 4) as u32).is_some() {
+                return err(number, format!("duplicate label {label:?}"));
+            }
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(pos) => (&line[..pos], line[pos..].trim()),
+            None => (line, ""),
+        };
+        let operands: Vec<&str> =
+            if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+        statements.push(SourceLine { number, mnemonic, operands });
+    }
+
+    // Pass 2: encode.
+    let mut words = Vec::with_capacity(statements.len());
+    for (index, stmt) in statements.iter().enumerate() {
+        let pc = (index * 4) as u32;
+        let instr = encode_statement(stmt, &labels, pc)?;
+        words.push(encode(&instr));
+    }
+    Ok(words)
+}
+
+fn encode_statement(
+    stmt: &SourceLine<'_>,
+    labels: &HashMap<&str, u32>,
+    pc: u32,
+) -> Result<Instr, AssembleError> {
+    let line = stmt.number;
+    let ops = &stmt.operands;
+    let arity = |n: usize| -> Result<(), AssembleError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("{} expects {} operands, got {}", stmt.mnemonic, n, ops.len()))
+        }
+    };
+    let reg = |i: usize| parse_reg(ops[i], line);
+    let imm12 = |i: usize| -> Result<i32, AssembleError> {
+        let v = parse_imm(ops[i], line)?;
+        if (-2048..=2047).contains(&v) {
+            Ok(v as i32)
+        } else {
+            err(line, format!("immediate {v} out of 12-bit range"))
+        }
+    };
+    let shamt = |i: usize| -> Result<u8, AssembleError> {
+        let v = parse_imm(ops[i], line)?;
+        if (0..32).contains(&v) {
+            Ok(v as u8)
+        } else {
+            err(line, format!("shift amount {v} out of range"))
+        }
+    };
+
+    let op_kind = |kind: OpKind| -> Result<Instr, AssembleError> {
+        arity(3)?;
+        Ok(Instr::Op { kind, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? })
+    };
+    let branch = |kind: BranchKind| -> Result<Instr, AssembleError> {
+        arity(3)?;
+        let offset = branch_target(ops[2], labels, pc, line)?;
+        Ok(Instr::Branch { kind, rs1: reg(0)?, rs2: reg(1)?, offset })
+    };
+    let load = |kind: LoadKind| -> Result<Instr, AssembleError> {
+        arity(2)?;
+        let (imm, rs1) = parse_mem_operand(ops[1], line)?;
+        Ok(Instr::Load { kind, rd: reg(0)?, rs1, imm: imm as i32 })
+    };
+    let store = |kind: StoreKind| -> Result<Instr, AssembleError> {
+        arity(2)?;
+        let (imm, rs1) = parse_mem_operand(ops[1], line)?;
+        Ok(Instr::Store { kind, rs1, rs2: reg(0)?, imm: imm as i32 })
+    };
+    let csr_reg = |op: CsrOp| -> Result<Instr, AssembleError> {
+        arity(3)?;
+        Ok(Instr::Csr { op, rd: reg(0)?, csr: parse_csr(ops[1], line)?, rs1: reg(2)? })
+    };
+    let csr_imm = |op: CsrOp| -> Result<Instr, AssembleError> {
+        arity(3)?;
+        let uimm = parse_imm(ops[2], line)?;
+        if !(0..32).contains(&uimm) {
+            return err(line, format!("zimm {uimm} out of 5-bit range"));
+        }
+        Ok(Instr::CsrImm { op, rd: reg(0)?, csr: parse_csr(ops[1], line)?, uimm: uimm as u8 })
+    };
+
+    match stmt.mnemonic {
+        "lui" => {
+            arity(2)?;
+            let value = parse_imm(ops[1], line)?;
+            if !(0..=0xfffff).contains(&value) {
+                return err(line, format!("lui immediate {value:#x} out of 20-bit range"));
+            }
+            Ok(Instr::Lui { rd: reg(0)?, imm: ((value as u32) << 12) as i32 })
+        }
+        "auipc" => {
+            arity(2)?;
+            let value = parse_imm(ops[1], line)?;
+            if !(0..=0xfffff).contains(&value) {
+                return err(line, format!("auipc immediate {value:#x} out of 20-bit range"));
+            }
+            Ok(Instr::Auipc { rd: reg(0)?, imm: ((value as u32) << 12) as i32 })
+        }
+        "jal" => {
+            arity(2)?;
+            let offset = branch_target(ops[1], labels, pc, line)?;
+            Ok(Instr::Jal { rd: reg(0)?, offset })
+        }
+        "jalr" => {
+            arity(2)?;
+            let (imm, rs1) = parse_mem_operand(ops[1], line)?;
+            Ok(Instr::Jalr { rd: reg(0)?, rs1, imm: imm as i32 })
+        }
+        "beq" => branch(BranchKind::Beq),
+        "bne" => branch(BranchKind::Bne),
+        "blt" => branch(BranchKind::Blt),
+        "bge" => branch(BranchKind::Bge),
+        "bltu" => branch(BranchKind::Bltu),
+        "bgeu" => branch(BranchKind::Bgeu),
+        "lb" => load(LoadKind::Lb),
+        "lh" => load(LoadKind::Lh),
+        "lw" => load(LoadKind::Lw),
+        "lbu" => load(LoadKind::Lbu),
+        "lhu" => load(LoadKind::Lhu),
+        "sb" => store(StoreKind::Sb),
+        "sh" => store(StoreKind::Sh),
+        "sw" => store(StoreKind::Sw),
+        "addi" => {
+            arity(3)?;
+            Ok(Instr::Addi { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+        }
+        "slti" => {
+            arity(3)?;
+            Ok(Instr::Slti { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+        }
+        "sltiu" => {
+            arity(3)?;
+            Ok(Instr::Sltiu { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+        }
+        "xori" => {
+            arity(3)?;
+            Ok(Instr::Xori { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+        }
+        "ori" => {
+            arity(3)?;
+            Ok(Instr::Ori { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+        }
+        "andi" => {
+            arity(3)?;
+            Ok(Instr::Andi { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+        }
+        "slli" => {
+            arity(3)?;
+            Ok(Instr::Slli { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? })
+        }
+        "srli" => {
+            arity(3)?;
+            Ok(Instr::Srli { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? })
+        }
+        "srai" => {
+            arity(3)?;
+            Ok(Instr::Srai { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? })
+        }
+        "add" => op_kind(OpKind::Add),
+        "sub" => op_kind(OpKind::Sub),
+        "sll" => op_kind(OpKind::Sll),
+        "slt" => op_kind(OpKind::Slt),
+        "sltu" => op_kind(OpKind::Sltu),
+        "xor" => op_kind(OpKind::Xor),
+        "srl" => op_kind(OpKind::Srl),
+        "sra" => op_kind(OpKind::Sra),
+        "or" => op_kind(OpKind::Or),
+        "and" => op_kind(OpKind::And),
+        "fence" => {
+            if ops.is_empty() {
+                Ok(Instr::Fence { pred: 0xf, succ: 0xf })
+            } else {
+                arity(2)?;
+                let pred = parse_imm(ops[0], line)?;
+                let succ = parse_imm(ops[1], line)?;
+                if !(0..16).contains(&pred) || !(0..16).contains(&succ) {
+                    return err(line, "fence sets are 4-bit");
+                }
+                Ok(Instr::Fence { pred: pred as u8, succ: succ as u8 })
+            }
+        }
+        "fence.i" => {
+            arity(0)?;
+            Ok(Instr::FenceI)
+        }
+        "ecall" => {
+            arity(0)?;
+            Ok(Instr::Ecall)
+        }
+        "ebreak" => {
+            arity(0)?;
+            Ok(Instr::Ebreak)
+        }
+        "mret" => {
+            arity(0)?;
+            Ok(Instr::Mret)
+        }
+        "wfi" => {
+            arity(0)?;
+            Ok(Instr::Wfi)
+        }
+        "csrrw" => csr_reg(CsrOp::Rw),
+        "csrrs" => csr_reg(CsrOp::Rs),
+        "csrrc" => csr_reg(CsrOp::Rc),
+        "csrrwi" => csr_imm(CsrOp::Rw),
+        "csrrsi" => csr_imm(CsrOp::Rs),
+        "csrrci" => csr_imm(CsrOp::Rc),
+        // Pseudo-instructions.
+        "nop" => {
+            arity(0)?;
+            Ok(Instr::Addi { rd: Reg::X0, rs1: Reg::X0, imm: 0 })
+        }
+        "li" => {
+            arity(2)?;
+            Ok(Instr::Addi { rd: reg(0)?, rs1: Reg::X0, imm: imm12(1)? })
+        }
+        "mv" => {
+            arity(2)?;
+            Ok(Instr::Addi { rd: reg(0)?, rs1: reg(1)?, imm: 0 })
+        }
+        "not" => {
+            arity(2)?;
+            Ok(Instr::Xori { rd: reg(0)?, rs1: reg(1)?, imm: -1 })
+        }
+        "neg" => {
+            arity(2)?;
+            Ok(Instr::Op { kind: OpKind::Sub, rd: reg(0)?, rs1: Reg::X0, rs2: reg(1)? })
+        }
+        "j" => {
+            arity(1)?;
+            let offset = branch_target(ops[0], labels, pc, line)?;
+            Ok(Instr::Jal { rd: Reg::X0, offset })
+        }
+        "ret" => {
+            arity(0)?;
+            Ok(Instr::Jalr { rd: Reg::X0, rs1: Reg::X1, imm: 0 })
+        }
+        "beqz" => {
+            arity(2)?;
+            let offset = branch_target(ops[1], labels, pc, line)?;
+            Ok(Instr::Branch { kind: BranchKind::Beq, rs1: reg(0)?, rs2: Reg::X0, offset })
+        }
+        "bnez" => {
+            arity(2)?;
+            let offset = branch_target(ops[1], labels, pc, line)?;
+            Ok(Instr::Branch { kind: BranchKind::Bne, rs1: reg(0)?, rs2: Reg::X0, offset })
+        }
+        other => err(line, format!("unknown mnemonic {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn assembles_basic_program() {
+        let words = assemble(
+            r"
+            start:
+                addi x1, x0, 10
+            loop:
+                addi x1, x1, -1
+                bne x1, x0, loop
+                ebreak
+            ",
+        )
+        .expect("valid program");
+        assert_eq!(words.len(), 4);
+        assert_eq!(
+            decode(words[2]).expect("bne"),
+            Instr::Branch { kind: BranchKind::Bne, rs1: Reg::X1, rs2: Reg::X0, offset: -4 }
+        );
+    }
+
+    #[test]
+    fn round_trips_through_the_disassembler() {
+        let sample = [
+            Instr::Lui { rd: Reg::X5, imm: 0x12345 << 12 },
+            Instr::Auipc { rd: Reg::X6, imm: 0x1000 },
+            Instr::Jal { rd: Reg::X1, offset: 16 },
+            Instr::Jalr { rd: Reg::X0, rs1: Reg::X1, imm: 4 },
+            Instr::Branch { kind: BranchKind::Bgeu, rs1: Reg::X2, rs2: Reg::X3, offset: -8 },
+            Instr::Load { kind: LoadKind::Lhu, rd: Reg::X4, rs1: Reg::X5, imm: -2 },
+            Instr::Store { kind: StoreKind::Sb, rs1: Reg::X6, rs2: Reg::X7, imm: 3 },
+            Instr::Addi { rd: Reg::X8, rs1: Reg::X9, imm: -100 },
+            Instr::Slli { rd: Reg::X10, rs1: Reg::X11, shamt: 7 },
+            Instr::Op { kind: OpKind::Sra, rd: Reg::X12, rs1: Reg::X13, rs2: Reg::X14 },
+            Instr::Fence { pred: 0xf, succ: 0x3 },
+            Instr::FenceI,
+            Instr::Ecall,
+            Instr::Ebreak,
+            Instr::Mret,
+            Instr::Wfi,
+            Instr::Csr { op: CsrOp::Rw, rd: Reg::X1, rs1: Reg::X2, csr: 0x340 },
+            Instr::CsrImm { op: CsrOp::Rs, rd: Reg::X3, uimm: 5, csr: 0xc00 },
+        ];
+        for instr in sample {
+            let text = instr.to_string();
+            let words = assemble(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(decode(words[0]), Ok(instr), "{text}");
+        }
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let words = assemble("nop\nli x1, 42\nmv x2, x1\nnot x3, x2\nneg x4, x3\nj 0\nret")
+            .expect("pseudos");
+        assert_eq!(decode(words[0]), Ok(Instr::Addi { rd: Reg::X0, rs1: Reg::X0, imm: 0 }));
+        assert_eq!(decode(words[1]), Ok(Instr::Addi { rd: Reg::X1, rs1: Reg::X0, imm: 42 }));
+        assert_eq!(decode(words[3]), Ok(Instr::Xori { rd: Reg::X3, rs1: Reg::X2, imm: -1 }));
+        assert_eq!(
+            decode(words[4]),
+            Ok(Instr::Op { kind: OpKind::Sub, rd: Reg::X4, rs1: Reg::X0, rs2: Reg::X3 })
+        );
+        assert_eq!(decode(words[6]), Ok(Instr::Jalr { rd: Reg::X0, rs1: Reg::X1, imm: 0 }));
+    }
+
+    #[test]
+    fn abi_register_names_accepted() {
+        let words = assemble("add a0, sp, t0").expect("abi names");
+        assert_eq!(
+            decode(words[0]),
+            Ok(Instr::Op { kind: OpKind::Add, rd: Reg::X10, rs1: Reg::X2, rs2: Reg::X5 })
+        );
+    }
+
+    #[test]
+    fn csr_names_and_numbers() {
+        let a = assemble("csrrw x1, mscratch, x2").expect("name");
+        let b = assemble("csrrw x1, 0x340, x2").expect("number");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let words = assemble("beq x0, x0, end\nnop\nend: ebreak").expect("forward label");
+        assert_eq!(
+            decode(words[0]),
+            Ok(Instr::Branch { kind: BranchKind::Beq, rs1: Reg::X0, rs2: Reg::X0, offset: 8 })
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus x1").expect_err("unknown mnemonic");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("addi x1, x0, 5000").expect_err("range");
+        assert!(e.message.contains("12-bit"));
+
+        let e = assemble("lw x1, nope").expect_err("mem operand");
+        assert!(e.message.contains("imm(reg)"));
+
+        let e = assemble("x: nop\nx: nop").expect_err("duplicate label");
+        assert!(e.message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Control and Status Register address map.
+
+use std::fmt;
+
+/// A 12-bit CSR address.
+///
+/// The two top bits of the address encode accessibility: bits `[11:10]`
+/// equal to `0b11` mean the CSR is read-only, and bits `[9:8]` give the
+/// lowest privilege level that may access it.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_isa::Csr;
+///
+/// assert!(Csr::MVENDORID.is_read_only());
+/// assert!(!Csr::MSCRATCH.is_read_only());
+/// assert_eq!(Csr::MCYCLE.name(), Some("mcycle"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Csr(pub u16);
+
+/// Broad functional grouping of a CSR address, used by the verification
+/// report to label findings the way Table I of the paper does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrClass {
+    /// Machine information registers (`mvendorid`, `marchid`, …).
+    MachineInfo,
+    /// Machine trap setup (`mstatus`, `mtvec`, `medeleg`, …).
+    MachineTrapSetup,
+    /// Machine trap handling (`mscratch`, `mepc`, `mcause`, `mtval`, `mip`).
+    MachineTrapHandling,
+    /// Machine counters (`mcycle`, `minstret` and their `h` halves).
+    MachineCounter,
+    /// Machine hardware performance monitor counters (`mhpmcounter3..=31`).
+    MachineHpmCounter,
+    /// Machine HPM event selectors (`mhpmevent3..=31`).
+    MachineHpmEvent,
+    /// Unprivileged counters (`cycle`, `time`, `instret` and `h` halves).
+    UnprivilegedCounter,
+    /// Anything not covered above.
+    Other,
+}
+
+impl Csr {
+    /// `mstatus` — machine status.
+    pub const MSTATUS: Csr = Csr(0x300);
+    /// `misa` — ISA and extensions.
+    pub const MISA: Csr = Csr(0x301);
+    /// `medeleg` — machine exception delegation.
+    pub const MEDELEG: Csr = Csr(0x302);
+    /// `mideleg` — machine interrupt delegation.
+    pub const MIDELEG: Csr = Csr(0x303);
+    /// `mie` — machine interrupt enable.
+    pub const MIE: Csr = Csr(0x304);
+    /// `mtvec` — machine trap vector base.
+    pub const MTVEC: Csr = Csr(0x305);
+    /// `mcounteren` — machine counter enable.
+    pub const MCOUNTEREN: Csr = Csr(0x306);
+    /// `mscratch` — machine scratch.
+    pub const MSCRATCH: Csr = Csr(0x340);
+    /// `mepc` — machine exception PC.
+    pub const MEPC: Csr = Csr(0x341);
+    /// `mcause` — machine trap cause.
+    pub const MCAUSE: Csr = Csr(0x342);
+    /// `mtval` — machine trap value.
+    pub const MTVAL: Csr = Csr(0x343);
+    /// `mip` — machine interrupt pending.
+    pub const MIP: Csr = Csr(0x344);
+    /// `mcycle` — machine cycle counter, low half.
+    pub const MCYCLE: Csr = Csr(0xb00);
+    /// `minstret` — machine instructions-retired counter, low half.
+    pub const MINSTRET: Csr = Csr(0xb02);
+    /// `mcycleh` — machine cycle counter, high half.
+    pub const MCYCLEH: Csr = Csr(0xb80);
+    /// `minstreth` — machine instructions-retired counter, high half.
+    pub const MINSTRETH: Csr = Csr(0xb82);
+    /// `cycle` — unprivileged cycle counter, low half.
+    pub const CYCLE: Csr = Csr(0xc00);
+    /// `time` — unprivileged timer, low half.
+    pub const TIME: Csr = Csr(0xc01);
+    /// `instret` — unprivileged instructions-retired counter, low half.
+    pub const INSTRET: Csr = Csr(0xc02);
+    /// `cycleh` — unprivileged cycle counter, high half.
+    pub const CYCLEH: Csr = Csr(0xc80);
+    /// `timeh` — unprivileged timer, high half.
+    pub const TIMEH: Csr = Csr(0xc81);
+    /// `instreth` — unprivileged instructions-retired counter, high half.
+    pub const INSTRETH: Csr = Csr(0xc82);
+    /// `mvendorid` — machine vendor ID (read-only).
+    pub const MVENDORID: Csr = Csr(0xf11);
+    /// `marchid` — machine architecture ID (read-only).
+    pub const MARCHID: Csr = Csr(0xf12);
+    /// `mimpid` — machine implementation ID (read-only).
+    pub const MIMPID: Csr = Csr(0xf13);
+    /// `mhartid` — hardware thread ID (read-only).
+    pub const MHARTID: Csr = Csr(0xf14);
+
+    /// Address of `mhpmcounter<n>` for `n` in `3..=31`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `3..=31`.
+    pub fn mhpmcounter(n: u16) -> Csr {
+        assert!((3..=31).contains(&n), "mhpmcounter index out of range: {n}");
+        Csr(0xb00 + n)
+    }
+
+    /// Address of `mhpmcounter<n>h` for `n` in `3..=31`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `3..=31`.
+    pub fn mhpmcounterh(n: u16) -> Csr {
+        assert!(
+            (3..=31).contains(&n),
+            "mhpmcounterh index out of range: {n}"
+        );
+        Csr(0xb80 + n)
+    }
+
+    /// Address of `mhpmevent<n>` for `n` in `3..=31`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `3..=31`.
+    pub fn mhpmevent(n: u16) -> Csr {
+        assert!((3..=31).contains(&n), "mhpmevent index out of range: {n}");
+        Csr(0x320 + n)
+    }
+
+    /// The raw 12-bit address.
+    #[inline]
+    pub const fn addr(self) -> u16 {
+        self.0
+    }
+
+    /// Whether the address is architecturally read-only (bits `[11:10]`
+    /// both set). A write attempt must raise an illegal-instruction trap.
+    #[inline]
+    pub const fn is_read_only(self) -> bool {
+        self.0 >> 10 == 0b11
+    }
+
+    /// Lowest privilege level encoded in bits `[9:8]` (0 = user,
+    /// 3 = machine).
+    #[inline]
+    pub const fn min_privilege(self) -> u8 {
+        ((self.0 >> 8) & 0b11) as u8
+    }
+
+    /// The functional grouping of this address.
+    pub fn class(self) -> CsrClass {
+        match self.0 {
+            0xf11..=0xf14 => CsrClass::MachineInfo,
+            0x300..=0x306 => CsrClass::MachineTrapSetup,
+            0x340..=0x344 => CsrClass::MachineTrapHandling,
+            0xb00 | 0xb02 | 0xb80 | 0xb82 => CsrClass::MachineCounter,
+            0xb03..=0xb1f | 0xb83..=0xb9f => CsrClass::MachineHpmCounter,
+            0x323..=0x33f => CsrClass::MachineHpmEvent,
+            0xc00..=0xc02 | 0xc80..=0xc82 => CsrClass::UnprivilegedCounter,
+            _ => CsrClass::Other,
+        }
+    }
+
+    /// Canonical name of this address, if it is an architected CSR.
+    pub fn name(self) -> Option<&'static str> {
+        csr_name(self.0)
+    }
+}
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "csr{:#05x}", self.0),
+        }
+    }
+}
+
+impl From<u16> for Csr {
+    fn from(addr: u16) -> Csr {
+        Csr(addr & 0xfff)
+    }
+}
+
+/// Looks up the canonical name for a CSR address.
+///
+/// Returns `None` for unarchitected addresses.
+pub fn csr_name(addr: u16) -> Option<&'static str> {
+    Some(match addr {
+        0x300 => "mstatus",
+        0x301 => "misa",
+        0x302 => "medeleg",
+        0x303 => "mideleg",
+        0x304 => "mie",
+        0x305 => "mtvec",
+        0x306 => "mcounteren",
+        0x340 => "mscratch",
+        0x341 => "mepc",
+        0x342 => "mcause",
+        0x343 => "mtval",
+        0x344 => "mip",
+        0xb00 => "mcycle",
+        0xb02 => "minstret",
+        0xb80 => "mcycleh",
+        0xb82 => "minstreth",
+        0xc00 => "cycle",
+        0xc01 => "time",
+        0xc02 => "instret",
+        0xc80 => "cycleh",
+        0xc81 => "timeh",
+        0xc82 => "instreth",
+        0xf11 => "mvendorid",
+        0xf12 => "marchid",
+        0xf13 => "mimpid",
+        0xf14 => "mhartid",
+        0xb03..=0xb1f => {
+            const NAMES: [&str; 29] = [
+                "mhpmcounter3",
+                "mhpmcounter4",
+                "mhpmcounter5",
+                "mhpmcounter6",
+                "mhpmcounter7",
+                "mhpmcounter8",
+                "mhpmcounter9",
+                "mhpmcounter10",
+                "mhpmcounter11",
+                "mhpmcounter12",
+                "mhpmcounter13",
+                "mhpmcounter14",
+                "mhpmcounter15",
+                "mhpmcounter16",
+                "mhpmcounter17",
+                "mhpmcounter18",
+                "mhpmcounter19",
+                "mhpmcounter20",
+                "mhpmcounter21",
+                "mhpmcounter22",
+                "mhpmcounter23",
+                "mhpmcounter24",
+                "mhpmcounter25",
+                "mhpmcounter26",
+                "mhpmcounter27",
+                "mhpmcounter28",
+                "mhpmcounter29",
+                "mhpmcounter30",
+                "mhpmcounter31",
+            ];
+            NAMES[(addr - 0xb03) as usize]
+        }
+        0xb83..=0xb9f => {
+            const NAMES: [&str; 29] = [
+                "mhpmcounter3h",
+                "mhpmcounter4h",
+                "mhpmcounter5h",
+                "mhpmcounter6h",
+                "mhpmcounter7h",
+                "mhpmcounter8h",
+                "mhpmcounter9h",
+                "mhpmcounter10h",
+                "mhpmcounter11h",
+                "mhpmcounter12h",
+                "mhpmcounter13h",
+                "mhpmcounter14h",
+                "mhpmcounter15h",
+                "mhpmcounter16h",
+                "mhpmcounter17h",
+                "mhpmcounter18h",
+                "mhpmcounter19h",
+                "mhpmcounter20h",
+                "mhpmcounter21h",
+                "mhpmcounter22h",
+                "mhpmcounter23h",
+                "mhpmcounter24h",
+                "mhpmcounter25h",
+                "mhpmcounter26h",
+                "mhpmcounter27h",
+                "mhpmcounter28h",
+                "mhpmcounter29h",
+                "mhpmcounter30h",
+                "mhpmcounter31h",
+            ];
+            NAMES[(addr - 0xb83) as usize]
+        }
+        0x323..=0x33f => {
+            const NAMES: [&str; 29] = [
+                "mhpmevent3",
+                "mhpmevent4",
+                "mhpmevent5",
+                "mhpmevent6",
+                "mhpmevent7",
+                "mhpmevent8",
+                "mhpmevent9",
+                "mhpmevent10",
+                "mhpmevent11",
+                "mhpmevent12",
+                "mhpmevent13",
+                "mhpmevent14",
+                "mhpmevent15",
+                "mhpmevent16",
+                "mhpmevent17",
+                "mhpmevent18",
+                "mhpmevent19",
+                "mhpmevent20",
+                "mhpmevent21",
+                "mhpmevent22",
+                "mhpmevent23",
+                "mhpmevent24",
+                "mhpmevent25",
+                "mhpmevent26",
+                "mhpmevent27",
+                "mhpmevent28",
+                "mhpmevent29",
+                "mhpmevent30",
+                "mhpmevent31",
+            ];
+            NAMES[(addr - 0x323) as usize]
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_only_detection_follows_address_bits() {
+        assert!(Csr::MVENDORID.is_read_only());
+        assert!(Csr::MARCHID.is_read_only());
+        assert!(Csr::MHARTID.is_read_only());
+        assert!(Csr::CYCLE.is_read_only());
+        assert!(!Csr::MCYCLE.is_read_only());
+        assert!(!Csr::MSCRATCH.is_read_only());
+        assert!(!Csr::MIP.is_read_only());
+    }
+
+    #[test]
+    fn hpm_ranges_are_named_and_classified() {
+        assert_eq!(Csr::mhpmcounter(16).name(), Some("mhpmcounter16"));
+        assert_eq!(Csr::mhpmcounterh(3).name(), Some("mhpmcounter3h"));
+        assert_eq!(Csr::mhpmevent(16).name(), Some("mhpmevent16"));
+        assert_eq!(Csr::mhpmcounter(31).class(), CsrClass::MachineHpmCounter);
+        assert_eq!(Csr::mhpmevent(31).class(), CsrClass::MachineHpmEvent);
+    }
+
+    #[test]
+    #[should_panic(expected = "mhpmcounter index out of range")]
+    fn hpm_counter_rejects_index_2() {
+        Csr::mhpmcounter(2);
+    }
+
+    #[test]
+    fn display_prefers_names() {
+        assert_eq!(Csr::MSCRATCH.to_string(), "mscratch");
+        assert_eq!(Csr(0x7c0).to_string(), "csr0x7c0");
+    }
+
+    #[test]
+    fn min_privilege_extracted() {
+        assert_eq!(Csr::MSTATUS.min_privilege(), 3);
+        assert_eq!(Csr::CYCLE.min_privilege(), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The reference instruction decoder.
+//!
+//! This is the *architectural* decoder used by the assembler, the fuzzing
+//! baseline and for pretty-printing test vectors. The ISS and the RTL core
+//! each carry their own decode logic written over the symbolic word domain;
+//! differential tests in those crates check them against this one.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::imm::{decode_b_imm, decode_i_imm, decode_j_imm, decode_s_imm, decode_u_imm};
+use crate::instr::{BranchKind, CsrOp, Instr, LoadKind, OpKind, StoreKind};
+use crate::{opcodes, Reg};
+
+/// Error returned by [`decode`] for words that are not valid RV32I+Zicsr
+/// encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction encoding {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+#[inline]
+fn rd(word: u32) -> Reg {
+    Reg::from_field(word >> 7)
+}
+
+#[inline]
+fn rs1(word: u32) -> Reg {
+    Reg::from_field(word >> 15)
+}
+
+#[inline]
+fn rs2(word: u32) -> Reg {
+    Reg::from_field(word >> 20)
+}
+
+#[inline]
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+#[inline]
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+/// Decodes a 32-bit instruction word into an [`Instr`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid RV32I+Zicsr encoding
+/// (including reserved shift encodings and malformed SYSTEM instructions).
+///
+/// # Example
+///
+/// ```
+/// use symcosim_isa::{decode, Instr, OpKind, Reg};
+///
+/// # fn main() -> Result<(), symcosim_isa::DecodeError> {
+/// // add x1, x2, x3
+/// let instr = decode(0x0031_00b3)?;
+/// assert_eq!(instr, Instr::Op { kind: OpKind::Add, rd: Reg::X1, rs1: Reg::X2, rs2: Reg::X3 });
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let illegal = Err(DecodeError { word });
+    match word & 0x7f {
+        opcodes::LUI => Ok(Instr::Lui {
+            rd: rd(word),
+            imm: decode_u_imm(word),
+        }),
+        opcodes::AUIPC => Ok(Instr::Auipc {
+            rd: rd(word),
+            imm: decode_u_imm(word),
+        }),
+        opcodes::JAL => Ok(Instr::Jal {
+            rd: rd(word),
+            offset: decode_j_imm(word),
+        }),
+        opcodes::JALR if funct3(word) == 0 => Ok(Instr::Jalr {
+            rd: rd(word),
+            rs1: rs1(word),
+            imm: decode_i_imm(word),
+        }),
+        opcodes::BRANCH => {
+            let kind = match funct3(word) {
+                0b000 => BranchKind::Beq,
+                0b001 => BranchKind::Bne,
+                0b100 => BranchKind::Blt,
+                0b101 => BranchKind::Bge,
+                0b110 => BranchKind::Bltu,
+                0b111 => BranchKind::Bgeu,
+                _ => return illegal,
+            };
+            Ok(Instr::Branch {
+                kind,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: decode_b_imm(word),
+            })
+        }
+        opcodes::LOAD => {
+            let kind = match funct3(word) {
+                0b000 => LoadKind::Lb,
+                0b001 => LoadKind::Lh,
+                0b010 => LoadKind::Lw,
+                0b100 => LoadKind::Lbu,
+                0b101 => LoadKind::Lhu,
+                _ => return illegal,
+            };
+            Ok(Instr::Load {
+                kind,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: decode_i_imm(word),
+            })
+        }
+        opcodes::STORE => {
+            let kind = match funct3(word) {
+                0b000 => StoreKind::Sb,
+                0b001 => StoreKind::Sh,
+                0b010 => StoreKind::Sw,
+                _ => return illegal,
+            };
+            Ok(Instr::Store {
+                kind,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                imm: decode_s_imm(word),
+            })
+        }
+        opcodes::OP_IMM => {
+            let (rd, rs1, imm) = (rd(word), rs1(word), decode_i_imm(word));
+            match funct3(word) {
+                0b000 => Ok(Instr::Addi { rd, rs1, imm }),
+                0b010 => Ok(Instr::Slti { rd, rs1, imm }),
+                0b011 => Ok(Instr::Sltiu { rd, rs1, imm }),
+                0b100 => Ok(Instr::Xori { rd, rs1, imm }),
+                0b110 => Ok(Instr::Ori { rd, rs1, imm }),
+                0b111 => Ok(Instr::Andi { rd, rs1, imm }),
+                0b001 if funct7(word) == 0 => Ok(Instr::Slli {
+                    rd,
+                    rs1,
+                    shamt: (imm & 0x1f) as u8,
+                }),
+                0b101 if funct7(word) == 0 => Ok(Instr::Srli {
+                    rd,
+                    rs1,
+                    shamt: (imm & 0x1f) as u8,
+                }),
+                0b101 if funct7(word) == 0b010_0000 => Ok(Instr::Srai {
+                    rd,
+                    rs1,
+                    shamt: (imm & 0x1f) as u8,
+                }),
+                _ => illegal,
+            }
+        }
+        opcodes::OP => {
+            let kind = match (funct3(word), funct7(word)) {
+                (0b000, 0b000_0000) => OpKind::Add,
+                (0b000, 0b010_0000) => OpKind::Sub,
+                (0b001, 0b000_0000) => OpKind::Sll,
+                (0b010, 0b000_0000) => OpKind::Slt,
+                (0b011, 0b000_0000) => OpKind::Sltu,
+                (0b100, 0b000_0000) => OpKind::Xor,
+                (0b101, 0b000_0000) => OpKind::Srl,
+                (0b101, 0b010_0000) => OpKind::Sra,
+                (0b110, 0b000_0000) => OpKind::Or,
+                (0b111, 0b000_0000) => OpKind::And,
+                _ => return illegal,
+            };
+            Ok(Instr::Op {
+                kind,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            })
+        }
+        opcodes::MISC_MEM => match funct3(word) {
+            0b000 => Ok(Instr::Fence {
+                pred: ((word >> 24) & 0xf) as u8,
+                succ: ((word >> 20) & 0xf) as u8,
+            }),
+            0b001 => Ok(Instr::FenceI),
+            _ => illegal,
+        },
+        opcodes::SYSTEM => match funct3(word) {
+            0b000 => match (funct7(word), rs2(word).index() as u32, rs1(word), rd(word)) {
+                (0, 0, Reg::X0, Reg::X0) => Ok(Instr::Ecall),
+                (0, 1, Reg::X0, Reg::X0) => Ok(Instr::Ebreak),
+                (0b001_1000, 0b00010, Reg::X0, Reg::X0) => Ok(Instr::Mret),
+                (0b000_1000, 0b00101, Reg::X0, Reg::X0) => Ok(Instr::Wfi),
+                _ => illegal,
+            },
+            f3 @ (0b001..=0b011) => {
+                let op = match f3 {
+                    0b001 => CsrOp::Rw,
+                    0b010 => CsrOp::Rs,
+                    _ => CsrOp::Rc,
+                };
+                Ok(Instr::Csr {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    csr: (word >> 20) as u16,
+                })
+            }
+            f3 @ (0b101..=0b111) => {
+                let op = match f3 {
+                    0b101 => CsrOp::Rw,
+                    0b110 => CsrOp::Rs,
+                    _ => CsrOp::Rc,
+                };
+                Ok(Instr::CsrImm {
+                    op,
+                    rd: rd(word),
+                    uimm: rs1(word).index() as u8,
+                    csr: (word >> 20) as u16,
+                })
+            }
+            _ => illegal,
+        },
+        _ => illegal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_canonical_nop() {
+        // addi x0, x0, 0
+        assert_eq!(
+            decode(0x0000_0013).expect("nop decodes"),
+            Instr::Addi {
+                rd: Reg::X0,
+                rs1: Reg::X0,
+                imm: 0
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_system_instructions() {
+        assert_eq!(decode(0x0000_0073).expect("ecall"), Instr::Ecall);
+        assert_eq!(decode(0x0010_0073).expect("ebreak"), Instr::Ebreak);
+        assert_eq!(decode(0x3020_0073).expect("mret"), Instr::Mret);
+        assert_eq!(decode(0x1050_0073).expect("wfi"), Instr::Wfi);
+    }
+
+    #[test]
+    fn rejects_reserved_shift_encodings() {
+        // slli with funct7 = 0b0100000 is reserved in RV32I.
+        let slli = 0x0000_1013 | (0b010_0000 << 25);
+        assert!(decode(slli).is_err());
+        // srli/srai with any other funct7 is reserved too.
+        let bad_srl = 0x0000_5013 | (0b000_0001 << 25);
+        assert!(decode(bad_srl).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_major_opcode() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+        // A RV64I-only opcode (OP-IMM-32, 0b0011011) must not decode.
+        assert!(decode(0x0000_001b).is_err());
+    }
+
+    #[test]
+    fn rejects_jalr_with_nonzero_funct3() {
+        let jalr = 0x0000_0067;
+        assert!(decode(jalr).is_ok());
+        assert!(decode(jalr | (1 << 12)).is_err());
+    }
+
+    #[test]
+    fn decodes_csr_immediate_forms() {
+        // csrrwi x0, 0x400, 0  => funct3 101
+        let w = (0x400 << 20) | (0b101 << 12) | 0x73;
+        assert_eq!(
+            decode(w).expect("csrrwi"),
+            Instr::CsrImm {
+                op: CsrOp::Rw,
+                rd: Reg::X0,
+                uimm: 0,
+                csr: 0x400
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_fence_fields() {
+        // fence iorw, iorw
+        let w = 0x0ff0_000f;
+        assert_eq!(
+            decode(w).expect("fence"),
+            Instr::Fence {
+                pred: 0xf,
+                succ: 0xf
+            }
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Disassembly: `Display` for [`Instr`] in conventional assembler syntax.
+
+use std::fmt;
+
+use crate::instr::{BranchKind, CsrOp, Instr, LoadKind, OpKind, StoreKind};
+use crate::Csr;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm as u32) >> 12),
+            Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, imm } => write!(f, "jalr {rd}, {imm}({rs1})"),
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let mn = match kind {
+                    BranchKind::Beq => "beq",
+                    BranchKind::Bne => "bne",
+                    BranchKind::Blt => "blt",
+                    BranchKind::Bge => "bge",
+                    BranchKind::Bltu => "bltu",
+                    BranchKind::Bgeu => "bgeu",
+                };
+                write!(f, "{mn} {rs1}, {rs2}, {offset}")
+            }
+            Instr::Load { kind, rd, rs1, imm } => {
+                let mn = match kind {
+                    LoadKind::Lb => "lb",
+                    LoadKind::Lh => "lh",
+                    LoadKind::Lw => "lw",
+                    LoadKind::Lbu => "lbu",
+                    LoadKind::Lhu => "lhu",
+                };
+                write!(f, "{mn} {rd}, {imm}({rs1})")
+            }
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                imm,
+            } => {
+                let mn = match kind {
+                    StoreKind::Sb => "sb",
+                    StoreKind::Sh => "sh",
+                    StoreKind::Sw => "sw",
+                };
+                write!(f, "{mn} {rs2}, {imm}({rs1})")
+            }
+            Instr::Addi { rd, rs1, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Instr::Slti { rd, rs1, imm } => write!(f, "slti {rd}, {rs1}, {imm}"),
+            Instr::Sltiu { rd, rs1, imm } => write!(f, "sltiu {rd}, {rs1}, {imm}"),
+            Instr::Xori { rd, rs1, imm } => write!(f, "xori {rd}, {rs1}, {imm}"),
+            Instr::Ori { rd, rs1, imm } => write!(f, "ori {rd}, {rs1}, {imm}"),
+            Instr::Andi { rd, rs1, imm } => write!(f, "andi {rd}, {rs1}, {imm}"),
+            Instr::Slli { rd, rs1, shamt } => write!(f, "slli {rd}, {rs1}, {shamt}"),
+            Instr::Srli { rd, rs1, shamt } => write!(f, "srli {rd}, {rs1}, {shamt}"),
+            Instr::Srai { rd, rs1, shamt } => write!(f, "srai {rd}, {rs1}, {shamt}"),
+            Instr::Op { kind, rd, rs1, rs2 } => {
+                let mn = match kind {
+                    OpKind::Add => "add",
+                    OpKind::Sub => "sub",
+                    OpKind::Sll => "sll",
+                    OpKind::Slt => "slt",
+                    OpKind::Sltu => "sltu",
+                    OpKind::Xor => "xor",
+                    OpKind::Srl => "srl",
+                    OpKind::Sra => "sra",
+                    OpKind::Or => "or",
+                    OpKind::And => "and",
+                };
+                write!(f, "{mn} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Fence { pred, succ } => write!(f, "fence {pred:#x}, {succ:#x}"),
+            Instr::FenceI => f.write_str("fence.i"),
+            Instr::Ecall => f.write_str("ecall"),
+            Instr::Ebreak => f.write_str("ebreak"),
+            Instr::Mret => f.write_str("mret"),
+            Instr::Wfi => f.write_str("wfi"),
+            Instr::Csr { op, rd, rs1, csr } => {
+                let mn = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                };
+                write!(f, "{mn} {rd}, {}, {rs1}", Csr(csr))
+            }
+            Instr::CsrImm { op, rd, uimm, csr } => {
+                let mn = match op {
+                    CsrOp::Rw => "csrrwi",
+                    CsrOp::Rs => "csrrsi",
+                    CsrOp::Rc => "csrrci",
+                };
+                write!(f, "{mn} {rd}, {}, {uimm}", Csr(csr))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn formats_match_convention() {
+        assert_eq!(
+            Instr::Lui {
+                rd: Reg::X1,
+                imm: 0x12345 << 12
+            }
+            .to_string(),
+            "lui x1, 0x12345"
+        );
+        assert_eq!(
+            Instr::Load {
+                kind: LoadKind::Lw,
+                rd: Reg::X2,
+                rs1: Reg::X3,
+                imm: -4
+            }
+            .to_string(),
+            "lw x2, -4(x3)"
+        );
+        assert_eq!(
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::X0,
+                rs1: Reg::X0,
+                csr: 0xf11
+            }
+            .to_string(),
+            "csrrw x0, mvendorid, x0"
+        );
+        assert_eq!(
+            Instr::CsrImm {
+                op: CsrOp::Rs,
+                rd: Reg::X1,
+                uimm: 0,
+                csr: 0xc00
+            }
+            .to_string(),
+            "csrrsi x1, cycle, 0"
+        );
+        assert_eq!(Instr::Wfi.to_string(), "wfi");
+    }
+}

@@ -1,0 +1,291 @@
+//! The instruction encoder (assembler back-end).
+
+use crate::imm::{encode_b_imm, encode_i_imm, encode_j_imm, encode_s_imm, encode_u_imm};
+use crate::instr::{CsrOp, Instr};
+use crate::{opcodes, Reg};
+
+#[inline]
+fn rd(reg: Reg) -> u32 {
+    (reg.index() as u32) << 7
+}
+
+#[inline]
+fn rs1(reg: Reg) -> u32 {
+    (reg.index() as u32) << 15
+}
+
+#[inline]
+fn rs2(reg: Reg) -> u32 {
+    (reg.index() as u32) << 20
+}
+
+#[inline]
+fn f3(value: u32) -> u32 {
+    value << 12
+}
+
+#[inline]
+fn f7(value: u32) -> u32 {
+    value << 25
+}
+
+/// Encodes an [`Instr`] into its 32-bit instruction word.
+///
+/// Encoding is the exact inverse of [`decode`](crate::decode): for every
+/// instruction `i`, `decode(encode(&i)) == Ok(i)` (verified by property
+/// tests).
+///
+/// # Panics
+///
+/// Panics if an immediate is out of range for its format (e.g. an I-type
+/// immediate outside `-2048..=2047`, a shift amount ≥ 32, or a CSR zimm
+/// ≥ 32); see the `encode_*_imm` immediate codecs re-exported at the crate root.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_isa::{encode, Instr, Reg};
+///
+/// let nop = encode(&Instr::Addi { rd: Reg::X0, rs1: Reg::X0, imm: 0 });
+/// assert_eq!(nop, 0x0000_0013);
+/// ```
+pub fn encode(instr: &Instr) -> u32 {
+    match *instr {
+        Instr::Lui { rd: d, imm } => opcodes::LUI | rd(d) | encode_u_imm(imm),
+        Instr::Auipc { rd: d, imm } => opcodes::AUIPC | rd(d) | encode_u_imm(imm),
+        Instr::Jal { rd: d, offset } => opcodes::JAL | rd(d) | encode_j_imm(offset),
+        Instr::Jalr {
+            rd: d,
+            rs1: s1,
+            imm,
+        } => opcodes::JALR | rd(d) | rs1(s1) | encode_i_imm(imm),
+        Instr::Branch {
+            kind,
+            rs1: s1,
+            rs2: s2,
+            offset,
+        } => opcodes::BRANCH | f3(kind.funct3()) | rs1(s1) | rs2(s2) | encode_b_imm(offset),
+        Instr::Load {
+            kind,
+            rd: d,
+            rs1: s1,
+            imm,
+        } => opcodes::LOAD | f3(kind.funct3()) | rd(d) | rs1(s1) | encode_i_imm(imm),
+        Instr::Store {
+            kind,
+            rs1: s1,
+            rs2: s2,
+            imm,
+        } => opcodes::STORE | f3(kind.funct3()) | rs1(s1) | rs2(s2) | encode_s_imm(imm),
+        Instr::Addi {
+            rd: d,
+            rs1: s1,
+            imm,
+        } => opcodes::OP_IMM | f3(0b000) | rd(d) | rs1(s1) | encode_i_imm(imm),
+        Instr::Slti {
+            rd: d,
+            rs1: s1,
+            imm,
+        } => opcodes::OP_IMM | f3(0b010) | rd(d) | rs1(s1) | encode_i_imm(imm),
+        Instr::Sltiu {
+            rd: d,
+            rs1: s1,
+            imm,
+        } => opcodes::OP_IMM | f3(0b011) | rd(d) | rs1(s1) | encode_i_imm(imm),
+        Instr::Xori {
+            rd: d,
+            rs1: s1,
+            imm,
+        } => opcodes::OP_IMM | f3(0b100) | rd(d) | rs1(s1) | encode_i_imm(imm),
+        Instr::Ori {
+            rd: d,
+            rs1: s1,
+            imm,
+        } => opcodes::OP_IMM | f3(0b110) | rd(d) | rs1(s1) | encode_i_imm(imm),
+        Instr::Andi {
+            rd: d,
+            rs1: s1,
+            imm,
+        } => opcodes::OP_IMM | f3(0b111) | rd(d) | rs1(s1) | encode_i_imm(imm),
+        Instr::Slli {
+            rd: d,
+            rs1: s1,
+            shamt,
+        } => {
+            assert!(shamt < 32, "shift amount out of range: {shamt}");
+            opcodes::OP_IMM | f3(0b001) | rd(d) | rs1(s1) | ((shamt as u32) << 20)
+        }
+        Instr::Srli {
+            rd: d,
+            rs1: s1,
+            shamt,
+        } => {
+            assert!(shamt < 32, "shift amount out of range: {shamt}");
+            opcodes::OP_IMM | f3(0b101) | rd(d) | rs1(s1) | ((shamt as u32) << 20)
+        }
+        Instr::Srai {
+            rd: d,
+            rs1: s1,
+            shamt,
+        } => {
+            assert!(shamt < 32, "shift amount out of range: {shamt}");
+            opcodes::OP_IMM | f3(0b101) | f7(0b010_0000) | rd(d) | rs1(s1) | ((shamt as u32) << 20)
+        }
+        Instr::Op {
+            kind,
+            rd: d,
+            rs1: s1,
+            rs2: s2,
+        } => {
+            let (funct3, funct7) = kind.functs();
+            opcodes::OP | f3(funct3) | f7(funct7) | rd(d) | rs1(s1) | rs2(s2)
+        }
+        Instr::Fence { pred, succ } => {
+            assert!(
+                pred < 16 && succ < 16,
+                "fence sets are 4-bit: {pred} {succ}"
+            );
+            opcodes::MISC_MEM | ((pred as u32) << 24) | ((succ as u32) << 20)
+        }
+        Instr::FenceI => opcodes::MISC_MEM | f3(0b001),
+        Instr::Ecall => opcodes::SYSTEM,
+        Instr::Ebreak => opcodes::SYSTEM | (1 << 20),
+        Instr::Mret => opcodes::SYSTEM | f7(0b001_1000) | (0b00010 << 20),
+        Instr::Wfi => opcodes::SYSTEM | f7(0b000_1000) | (0b00101 << 20),
+        Instr::Csr {
+            op,
+            rd: d,
+            rs1: s1,
+            csr,
+        } => {
+            assert!(csr < 4096, "CSR address is 12-bit: {csr:#x}");
+            let funct3 = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            opcodes::SYSTEM | f3(funct3) | rd(d) | rs1(s1) | ((csr as u32) << 20)
+        }
+        Instr::CsrImm {
+            op,
+            rd: d,
+            uimm,
+            csr,
+        } => {
+            assert!(csr < 4096, "CSR address is 12-bit: {csr:#x}");
+            assert!(uimm < 32, "CSR zimm is 5-bit: {uimm}");
+            let funct3 = match op {
+                CsrOp::Rw => 0b101,
+                CsrOp::Rs => 0b110,
+                CsrOp::Rc => 0b111,
+            };
+            opcodes::SYSTEM | f3(funct3) | rd(d) | ((uimm as u32) << 15) | ((csr as u32) << 20)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+    use crate::instr::{BranchKind, LoadKind, OpKind, StoreKind};
+
+    #[test]
+    fn canonical_encodings() {
+        assert_eq!(encode(&Instr::Ecall), 0x0000_0073);
+        assert_eq!(encode(&Instr::Ebreak), 0x0010_0073);
+        assert_eq!(encode(&Instr::Mret), 0x3020_0073);
+        assert_eq!(encode(&Instr::Wfi), 0x1050_0073);
+        // add x1, x2, x3
+        assert_eq!(
+            encode(&Instr::Op {
+                kind: OpKind::Add,
+                rd: Reg::X1,
+                rs1: Reg::X2,
+                rs2: Reg::X3
+            }),
+            0x0031_00b3
+        );
+    }
+
+    #[test]
+    fn round_trip_representative_sample() {
+        let sample = [
+            Instr::Lui {
+                rd: Reg::X31,
+                imm: -4096,
+            },
+            Instr::Auipc {
+                rd: Reg::X1,
+                imm: 0x7fff_f000,
+            },
+            Instr::Jal {
+                rd: Reg::X1,
+                offset: -2,
+            },
+            Instr::Jalr {
+                rd: Reg::X0,
+                rs1: Reg::X5,
+                imm: 2047,
+            },
+            Instr::Branch {
+                kind: BranchKind::Bgeu,
+                rs1: Reg::X3,
+                rs2: Reg::X4,
+                offset: -4096,
+            },
+            Instr::Load {
+                kind: LoadKind::Lhu,
+                rd: Reg::X9,
+                rs1: Reg::X10,
+                imm: -1,
+            },
+            Instr::Store {
+                kind: StoreKind::Sh,
+                rs1: Reg::X11,
+                rs2: Reg::X12,
+                imm: -2048,
+            },
+            Instr::Slli {
+                rd: Reg::X1,
+                rs1: Reg::X2,
+                shamt: 31,
+            },
+            Instr::Srai {
+                rd: Reg::X1,
+                rs1: Reg::X2,
+                shamt: 1,
+            },
+            Instr::Fence {
+                pred: 0xf,
+                succ: 0x3,
+            },
+            Instr::FenceI,
+            Instr::Csr {
+                op: CsrOp::Rs,
+                rd: Reg::X1,
+                rs1: Reg::X1,
+                csr: 0xf14,
+            },
+            Instr::CsrImm {
+                op: CsrOp::Rc,
+                rd: Reg::X1,
+                uimm: 1,
+                csr: 0xf12,
+            },
+        ];
+        for instr in sample {
+            assert_eq!(decode(encode(&instr)), Ok(instr), "{instr:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shift amount out of range")]
+    fn rejects_wide_shift() {
+        encode(&Instr::Slli {
+            rd: Reg::X1,
+            rs1: Reg::X1,
+            shamt: 32,
+        });
+    }
+}

@@ -1,0 +1,204 @@
+//! Immediate field codecs for the RV32 instruction formats.
+//!
+//! Each format scatters its (sign-extended) immediate across the 32-bit
+//! instruction word in a different way. The `decode_*` functions extract and
+//! sign-extend the immediate from a full instruction word; the `encode_*`
+//! functions produce the immediate's bit pattern positioned within an
+//! otherwise-zero word, ready to be OR-ed with opcode/register fields.
+//!
+//! Ranges and alignment:
+//!
+//! | format | bits | range | alignment |
+//! |--------|------|-------|-----------|
+//! | I      | 12   | −2048 ..= 2047 | 1 |
+//! | S      | 12   | −2048 ..= 2047 | 1 |
+//! | B      | 13   | −4096 ..= 4094 | 2 |
+//! | U      | 20 (upper) | bits `[31:12]` | 4096 |
+//! | J      | 21   | −1 MiB ..= 1 MiB − 2 | 2 |
+
+/// Sign-extends the low `bits` bits of `value`.
+#[inline]
+const fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes the I-format immediate (bits `[31:20]`), sign-extended.
+#[inline]
+pub const fn decode_i_imm(word: u32) -> i32 {
+    sext(word >> 20, 12)
+}
+
+/// Encodes an I-format immediate into bits `[31:20]`.
+///
+/// # Panics
+///
+/// Panics if `imm` is outside `-2048..=2047`.
+#[inline]
+pub fn encode_i_imm(imm: i32) -> u32 {
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "I-immediate out of range: {imm}"
+    );
+    ((imm as u32) & 0xfff) << 20
+}
+
+/// Decodes the S-format immediate (bits `[31:25]` ++ `[11:7]`), sign-extended.
+#[inline]
+pub const fn decode_s_imm(word: u32) -> i32 {
+    sext(((word >> 25) << 5) | ((word >> 7) & 0x1f), 12)
+}
+
+/// Encodes an S-format immediate into bits `[31:25]` and `[11:7]`.
+///
+/// # Panics
+///
+/// Panics if `imm` is outside `-2048..=2047`.
+#[inline]
+pub fn encode_s_imm(imm: i32) -> u32 {
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "S-immediate out of range: {imm}"
+    );
+    let imm = imm as u32 & 0xfff;
+    ((imm >> 5) << 25) | ((imm & 0x1f) << 7)
+}
+
+/// Decodes the B-format branch offset, sign-extended (always even).
+#[inline]
+pub const fn decode_b_imm(word: u32) -> i32 {
+    let imm = ((word >> 31) << 12)
+        | (((word >> 7) & 0x1) << 11)
+        | (((word >> 25) & 0x3f) << 5)
+        | (((word >> 8) & 0xf) << 1);
+    sext(imm, 13)
+}
+
+/// Encodes a B-format branch offset.
+///
+/// # Panics
+///
+/// Panics if `imm` is outside `-4096..=4094` or odd.
+#[inline]
+pub fn encode_b_imm(imm: i32) -> u32 {
+    assert!(
+        (-4096..=4094).contains(&imm) && imm % 2 == 0,
+        "B-immediate out of range or misaligned: {imm}"
+    );
+    let imm = imm as u32 & 0x1fff;
+    (((imm >> 12) & 0x1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 0x1) << 7)
+}
+
+/// Decodes the U-format immediate: the upper 20 bits, low 12 bits zero.
+#[inline]
+pub const fn decode_u_imm(word: u32) -> i32 {
+    (word & 0xffff_f000) as i32
+}
+
+/// Encodes a U-format immediate.
+///
+/// # Panics
+///
+/// Panics if any of the low 12 bits of `imm` are set.
+#[inline]
+pub fn encode_u_imm(imm: i32) -> u32 {
+    assert_eq!(
+        imm & 0xfff,
+        0,
+        "U-immediate must have zero low 12 bits: {imm:#x}"
+    );
+    imm as u32
+}
+
+/// Decodes the J-format jump offset, sign-extended (always even).
+#[inline]
+pub const fn decode_j_imm(word: u32) -> i32 {
+    let imm = ((word >> 31) << 20)
+        | (((word >> 12) & 0xff) << 12)
+        | (((word >> 20) & 0x1) << 11)
+        | (((word >> 21) & 0x3ff) << 1);
+    sext(imm, 21)
+}
+
+/// Encodes a J-format jump offset.
+///
+/// # Panics
+///
+/// Panics if `imm` is outside `-1048576..=1048574` or odd.
+#[inline]
+pub fn encode_j_imm(imm: i32) -> u32 {
+    assert!(
+        (-1_048_576..=1_048_574).contains(&imm) && imm % 2 == 0,
+        "J-immediate out of range or misaligned: {imm}"
+    );
+    let imm = imm as u32 & 0x1f_ffff;
+    (((imm >> 20) & 0x1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i_imm_round_trip_extremes() {
+        for imm in [-2048, -1, 0, 1, 2047] {
+            assert_eq!(decode_i_imm(encode_i_imm(imm)), imm);
+        }
+    }
+
+    #[test]
+    fn s_imm_round_trip_extremes() {
+        for imm in [-2048, -1, 0, 1, 2047] {
+            assert_eq!(decode_s_imm(encode_s_imm(imm)), imm);
+        }
+    }
+
+    #[test]
+    fn b_imm_round_trip_extremes() {
+        for imm in [-4096, -2, 0, 2, 4094] {
+            assert_eq!(decode_b_imm(encode_b_imm(imm)), imm);
+        }
+    }
+
+    #[test]
+    fn u_imm_round_trip_extremes() {
+        for imm in [i32::MIN, -4096, 0, 4096, 0x7fff_f000] {
+            assert_eq!(decode_u_imm(encode_u_imm(imm)), imm);
+        }
+    }
+
+    #[test]
+    fn j_imm_round_trip_extremes() {
+        for imm in [-1_048_576, -2, 0, 2, 1_048_574] {
+            assert_eq!(decode_j_imm(encode_j_imm(imm)), imm);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "I-immediate out of range")]
+    fn i_imm_rejects_out_of_range() {
+        encode_i_imm(2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn b_imm_rejects_odd() {
+        encode_b_imm(3);
+    }
+
+    #[test]
+    fn b_imm_known_encoding() {
+        // beq offset +8 places imm[3:1]=100 into bits [11:8].
+        assert_eq!(encode_b_imm(8), 0b0100 << 8);
+        // imm = -2 sets every immediate bit.
+        let w = encode_b_imm(-2);
+        assert_eq!(decode_b_imm(w), -2);
+        assert_eq!(w & 0x8000_0000, 0x8000_0000, "sign bit lives at bit 31");
+    }
+}

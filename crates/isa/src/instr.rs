@@ -1,0 +1,456 @@
+//! The decoded instruction representation.
+
+use crate::Reg;
+
+/// Width/signedness selector for the load instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// `LB` — load signed byte.
+    Lb,
+    /// `LH` — load signed half-word.
+    Lh,
+    /// `LW` — load word.
+    Lw,
+    /// `LBU` — load unsigned byte.
+    Lbu,
+    /// `LHU` — load unsigned half-word.
+    Lhu,
+}
+
+impl LoadKind {
+    /// The `funct3` encoding of this load.
+    pub const fn funct3(self) -> u32 {
+        match self {
+            LoadKind::Lb => 0b000,
+            LoadKind::Lh => 0b001,
+            LoadKind::Lw => 0b010,
+            LoadKind::Lbu => 0b100,
+            LoadKind::Lhu => 0b101,
+        }
+    }
+
+    /// Access width in bytes.
+    pub const fn width(self) -> u32 {
+        match self {
+            LoadKind::Lb | LoadKind::Lbu => 1,
+            LoadKind::Lh | LoadKind::Lhu => 2,
+            LoadKind::Lw => 4,
+        }
+    }
+
+    /// Whether the loaded value is sign-extended.
+    pub const fn is_signed(self) -> bool {
+        matches!(self, LoadKind::Lb | LoadKind::Lh)
+    }
+}
+
+/// Width selector for the store instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// `SB` — store byte.
+    Sb,
+    /// `SH` — store half-word.
+    Sh,
+    /// `SW` — store word.
+    Sw,
+}
+
+impl StoreKind {
+    /// The `funct3` encoding of this store.
+    pub const fn funct3(self) -> u32 {
+        match self {
+            StoreKind::Sb => 0b000,
+            StoreKind::Sh => 0b001,
+            StoreKind::Sw => 0b010,
+        }
+    }
+
+    /// Access width in bytes.
+    pub const fn width(self) -> u32 {
+        match self {
+            StoreKind::Sb => 1,
+            StoreKind::Sh => 2,
+            StoreKind::Sw => 4,
+        }
+    }
+}
+
+/// Comparison selector for the conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// `BEQ` — branch if equal.
+    Beq,
+    /// `BNE` — branch if not equal.
+    Bne,
+    /// `BLT` — branch if less than (signed).
+    Blt,
+    /// `BGE` — branch if greater or equal (signed).
+    Bge,
+    /// `BLTU` — branch if less than (unsigned).
+    Bltu,
+    /// `BGEU` — branch if greater or equal (unsigned).
+    Bgeu,
+}
+
+impl BranchKind {
+    /// The `funct3` encoding of this branch.
+    pub const fn funct3(self) -> u32 {
+        match self {
+            BranchKind::Beq => 0b000,
+            BranchKind::Bne => 0b001,
+            BranchKind::Blt => 0b100,
+            BranchKind::Bge => 0b101,
+            BranchKind::Bltu => 0b110,
+            BranchKind::Bgeu => 0b111,
+        }
+    }
+}
+
+/// Operation selector for the register-register ALU instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants map one-to-one to RV32I mnemonics
+pub enum OpKind {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+}
+
+impl OpKind {
+    /// `(funct3, funct7)` encoding of this operation.
+    pub const fn functs(self) -> (u32, u32) {
+        match self {
+            OpKind::Add => (0b000, 0b000_0000),
+            OpKind::Sub => (0b000, 0b010_0000),
+            OpKind::Sll => (0b001, 0b000_0000),
+            OpKind::Slt => (0b010, 0b000_0000),
+            OpKind::Sltu => (0b011, 0b000_0000),
+            OpKind::Xor => (0b100, 0b000_0000),
+            OpKind::Srl => (0b101, 0b000_0000),
+            OpKind::Sra => (0b101, 0b010_0000),
+            OpKind::Or => (0b110, 0b000_0000),
+            OpKind::And => (0b111, 0b000_0000),
+        }
+    }
+}
+
+/// Read-modify-write flavour of a Zicsr instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// `CSRRW`/`CSRRWI` — atomic read & write.
+    Rw,
+    /// `CSRRS`/`CSRRSI` — atomic read & set bits.
+    Rs,
+    /// `CSRRC`/`CSRRCI` — atomic read & clear bits.
+    Rc,
+}
+
+/// A decoded RV32I + Zicsr instruction.
+///
+/// Immediates are stored already sign-extended (shift amounts and CSR zimm
+/// fields are zero-extended, as the ISA specifies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `LUI rd, imm` — `imm` has its low 12 bits clear.
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// Upper immediate (low 12 bits zero).
+        imm: i32,
+    },
+    /// `AUIPC rd, imm` — `imm` has its low 12 bits clear.
+    Auipc {
+        /// Destination register.
+        rd: Reg,
+        /// Upper immediate (low 12 bits zero).
+        imm: i32,
+    },
+    /// `JAL rd, offset`.
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// PC-relative jump offset (even).
+        offset: i32,
+    },
+    /// `JALR rd, rs1, imm`.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset added to `rs1`.
+        imm: i32,
+    },
+    /// Conditional branch `B<kind> rs1, rs2, offset`.
+    Branch {
+        /// Comparison performed.
+        kind: BranchKind,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+        /// PC-relative offset (even).
+        offset: i32,
+    },
+    /// Memory load `L<kind> rd, imm(rs1)`.
+    Load {
+        /// Width/signedness.
+        kind: LoadKind,
+        /// Destination register.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset.
+        imm: i32,
+    },
+    /// Memory store `S<kind> rs2, imm(rs1)`.
+    Store {
+        /// Width.
+        kind: StoreKind,
+        /// Base register.
+        rs1: Reg,
+        /// Source register.
+        rs2: Reg,
+        /// Byte offset.
+        imm: i32,
+    },
+    /// `ADDI rd, rs1, imm`.
+    Addi {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `SLTI rd, rs1, imm` (signed compare).
+    Slti {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `SLTIU rd, rs1, imm` (unsigned compare of sign-extended immediate).
+    Sltiu {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `XORI rd, rs1, imm`.
+    Xori {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `ORI rd, rs1, imm`.
+    Ori {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `ANDI rd, rs1, imm`.
+    Andi {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `SLLI rd, rs1, shamt`.
+    Slli {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Shift amount in `0..32`.
+        shamt: u8,
+    },
+    /// `SRLI rd, rs1, shamt`.
+    Srli {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Shift amount in `0..32`.
+        shamt: u8,
+    },
+    /// `SRAI rd, rs1, shamt`.
+    Srai {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Shift amount in `0..32`.
+        shamt: u8,
+    },
+    /// Register-register ALU operation.
+    Op {
+        /// Operation performed.
+        kind: OpKind,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `FENCE pred, succ` (treated as a no-op by both models).
+    Fence {
+        /// Predecessor set (bits `[27:24]` of the encoding).
+        pred: u8,
+        /// Successor set (bits `[23:20]` of the encoding).
+        succ: u8,
+    },
+    /// `FENCE.I` instruction-stream synchronisation (no-op in the models).
+    FenceI,
+    /// `ECALL` environment call.
+    Ecall,
+    /// `EBREAK` breakpoint.
+    Ebreak,
+    /// `MRET` machine-mode trap return.
+    Mret,
+    /// `WFI` wait-for-interrupt hint.
+    Wfi,
+    /// Register-operand Zicsr instruction (`CSRRW`/`CSRRS`/`CSRRC`).
+    Csr {
+        /// Read-modify-write flavour.
+        op: CsrOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// CSR address (12 bits).
+        csr: u16,
+    },
+    /// Immediate-operand Zicsr instruction (`CSRRWI`/`CSRRSI`/`CSRRCI`).
+    CsrImm {
+        /// Read-modify-write flavour.
+        op: CsrOp,
+        /// Destination register.
+        rd: Reg,
+        /// Zero-extended 5-bit immediate.
+        uimm: u8,
+        /// CSR address (12 bits).
+        csr: u16,
+    },
+}
+
+impl Instr {
+    /// The destination register written by this instruction, if any.
+    ///
+    /// Branches, stores, fences and the bare system instructions write no
+    /// register. Note that an `rd` of `x0` still counts as "has a
+    /// destination" at the encoding level — the write is simply discarded.
+    pub fn rd(&self) -> Option<Reg> {
+        match *self {
+            Instr::Lui { rd, .. }
+            | Instr::Auipc { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::Addi { rd, .. }
+            | Instr::Slti { rd, .. }
+            | Instr::Sltiu { rd, .. }
+            | Instr::Xori { rd, .. }
+            | Instr::Ori { rd, .. }
+            | Instr::Andi { rd, .. }
+            | Instr::Slli { rd, .. }
+            | Instr::Srli { rd, .. }
+            | Instr::Srai { rd, .. }
+            | Instr::Op { rd, .. }
+            | Instr::Csr { rd, .. }
+            | Instr::CsrImm { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a control-flow transfer (jump or branch).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. } | Instr::Mret
+        )
+    }
+
+    /// Whether this is a Zicsr instruction.
+    pub fn is_csr(&self) -> bool {
+        matches!(self, Instr::Csr { .. } | Instr::CsrImm { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_kind_metadata_is_consistent() {
+        assert_eq!(LoadKind::Lb.width(), 1);
+        assert!(LoadKind::Lb.is_signed());
+        assert!(!LoadKind::Lbu.is_signed());
+        assert_eq!(LoadKind::Lw.width(), 4);
+        assert!(!LoadKind::Lw.is_signed());
+    }
+
+    #[test]
+    fn op_kind_functs_distinct() {
+        let kinds = [
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Sll,
+            OpKind::Slt,
+            OpKind::Sltu,
+            OpKind::Xor,
+            OpKind::Srl,
+            OpKind::Sra,
+            OpKind::Or,
+            OpKind::And,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.functs(), b.functs());
+            }
+        }
+    }
+
+    #[test]
+    fn rd_reported_for_register_writers_only() {
+        use crate::Reg;
+        assert_eq!(
+            Instr::Lui {
+                rd: Reg::X3,
+                imm: 0
+            }
+            .rd(),
+            Some(Reg::X3)
+        );
+        assert_eq!(
+            Instr::Store {
+                kind: StoreKind::Sw,
+                rs1: Reg::X1,
+                rs2: Reg::X2,
+                imm: 0
+            }
+            .rd(),
+            None
+        );
+        assert_eq!(Instr::Ecall.rd(), None);
+    }
+}

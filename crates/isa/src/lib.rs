@@ -1,0 +1,75 @@
+//! RV32I + Zicsr instruction-set substrate.
+//!
+//! This crate is the single source of truth for everything
+//! architecture-level that both the reference ISS (`symcosim-iss`) and the
+//! RTL core model (`symcosim-microrv32`) share: register names, immediate
+//! codecs, the instruction decoder and encoder, the CSR address map and trap
+//! cause codes.
+//!
+//! The scope is exactly the ISA the paper's case study exercises:
+//! RV32I (the 32-bit base integer instruction set) plus the Zicsr CSR
+//! instructions and the privileged instructions MicroRV32 reacts to
+//! (`ECALL`, `EBREAK`, `MRET`, `WFI`, `FENCE`).
+//!
+//! # Example
+//!
+//! ```
+//! use symcosim_isa::{decode, encode, Instr, Reg};
+//!
+//! # fn main() -> Result<(), symcosim_isa::DecodeError> {
+//! let word = encode(&Instr::Addi { rd: Reg::X1, rs1: Reg::X2, imm: -7 });
+//! assert_eq!(decode(word)?, Instr::Addi { rd: Reg::X1, rs1: Reg::X2, imm: -7 });
+//! assert_eq!(decode(word)?.to_string(), "addi x1, x2, -7");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+mod csr;
+mod decode;
+mod disasm;
+mod encode;
+mod imm;
+mod instr;
+mod reg;
+mod trap;
+
+pub use csr::{csr_name, Csr, CsrClass};
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use imm::{
+    decode_b_imm, decode_i_imm, decode_j_imm, decode_s_imm, decode_u_imm, encode_b_imm,
+    encode_i_imm, encode_j_imm, encode_s_imm, encode_u_imm,
+};
+pub use instr::{BranchKind, CsrOp, Instr, LoadKind, OpKind, StoreKind};
+pub use reg::Reg;
+pub use trap::Trap;
+
+/// Major opcode field (bits `[6:0]`) values used by RV32I + Zicsr.
+pub mod opcodes {
+    /// `LUI` — load upper immediate.
+    pub const LUI: u32 = 0b011_0111;
+    /// `AUIPC` — add upper immediate to PC.
+    pub const AUIPC: u32 = 0b001_0111;
+    /// `JAL` — jump and link.
+    pub const JAL: u32 = 0b110_1111;
+    /// `JALR` — jump and link register.
+    pub const JALR: u32 = 0b110_0111;
+    /// Conditional branches (`BEQ`…`BGEU`).
+    pub const BRANCH: u32 = 0b110_0011;
+    /// Loads (`LB`…`LHU`).
+    pub const LOAD: u32 = 0b000_0011;
+    /// Stores (`SB`…`SW`).
+    pub const STORE: u32 = 0b010_0011;
+    /// Register-immediate ALU operations.
+    pub const OP_IMM: u32 = 0b001_0011;
+    /// Register-register ALU operations.
+    pub const OP: u32 = 0b011_0011;
+    /// `FENCE` / `FENCE.I`.
+    pub const MISC_MEM: u32 = 0b000_1111;
+    /// `ECALL`, `EBREAK`, `MRET`, `WFI` and the Zicsr instructions.
+    pub const SYSTEM: u32 = 0b111_0011;
+}

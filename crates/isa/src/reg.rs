@@ -1,0 +1,178 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the 32 RV32I general-purpose registers `x0`–`x31`.
+///
+/// `x0` is architecturally hardwired to zero; writes to it are discarded.
+/// The enum is `repr(u8)` so `Reg as u8` yields the register index, and
+/// [`Reg::from_index`] converts back.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_isa::Reg;
+///
+/// assert_eq!(Reg::X5.index(), 5);
+/// assert_eq!(Reg::from_index(5), Some(Reg::X5));
+/// assert_eq!(Reg::X5.abi_name(), "t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // the 32 variants are self-describing
+pub enum Reg {
+    X0 = 0,
+    X1,
+    X2,
+    X3,
+    X4,
+    X5,
+    X6,
+    X7,
+    X8,
+    X9,
+    X10,
+    X11,
+    X12,
+    X13,
+    X14,
+    X15,
+    X16,
+    X17,
+    X18,
+    X19,
+    X20,
+    X21,
+    X22,
+    X23,
+    X24,
+    X25,
+    X26,
+    X27,
+    X28,
+    X29,
+    X30,
+    X31,
+}
+
+impl Reg {
+    /// All 32 registers in index order.
+    pub const ALL: [Reg; 32] = [
+        Reg::X0,
+        Reg::X1,
+        Reg::X2,
+        Reg::X3,
+        Reg::X4,
+        Reg::X5,
+        Reg::X6,
+        Reg::X7,
+        Reg::X8,
+        Reg::X9,
+        Reg::X10,
+        Reg::X11,
+        Reg::X12,
+        Reg::X13,
+        Reg::X14,
+        Reg::X15,
+        Reg::X16,
+        Reg::X17,
+        Reg::X18,
+        Reg::X19,
+        Reg::X20,
+        Reg::X21,
+        Reg::X22,
+        Reg::X23,
+        Reg::X24,
+        Reg::X25,
+        Reg::X26,
+        Reg::X27,
+        Reg::X28,
+        Reg::X29,
+        Reg::X30,
+        Reg::X31,
+    ];
+
+    /// Numeric register index in `0..32`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Converts an index in `0..32` to a register; `None` otherwise.
+    #[inline]
+    pub const fn from_index(index: usize) -> Option<Reg> {
+        if index < 32 {
+            Some(Self::ALL[index])
+        } else {
+            None
+        }
+    }
+
+    /// Converts the low five bits of an encoded register field.
+    #[inline]
+    pub const fn from_field(field: u32) -> Reg {
+        Self::ALL[(field & 0x1f) as usize]
+    }
+
+    /// Whether this is the hardwired-zero register `x0`.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Reg::X0)
+    }
+
+    /// Standard RISC-V ABI mnemonic (`zero`, `ra`, `sp`, …).
+    pub const fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.index())
+    }
+}
+
+impl From<Reg> for u32 {
+    fn from(reg: Reg) -> u32 {
+        reg.index() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..32 {
+            let r = Reg::from_index(i).expect("valid index");
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(32), None);
+    }
+
+    #[test]
+    fn from_field_masks_high_bits() {
+        assert_eq!(Reg::from_field(0x25), Reg::X5);
+        assert_eq!(Reg::from_field(31), Reg::X31);
+    }
+
+    #[test]
+    fn display_uses_numeric_name() {
+        assert_eq!(Reg::X0.to_string(), "x0");
+        assert_eq!(Reg::X31.to_string(), "x31");
+    }
+
+    #[test]
+    fn only_x0_is_zero() {
+        assert!(Reg::X0.is_zero());
+        for r in Reg::ALL.iter().skip(1) {
+            assert!(!r.is_zero());
+        }
+    }
+}

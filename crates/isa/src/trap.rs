@@ -1,0 +1,109 @@
+//! Synchronous exception causes.
+
+use std::fmt;
+
+/// Machine-mode synchronous exception causes used by RV32I+Zicsr.
+///
+/// The discriminants are the architectural `mcause` codes.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_isa::Trap;
+///
+/// assert_eq!(Trap::IllegalInstruction.cause(), 2);
+/// assert_eq!(Trap::from_cause(4), Some(Trap::LoadAddressMisaligned));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Trap {
+    /// Instruction address misaligned (cause 0).
+    InstructionAddressMisaligned = 0,
+    /// Instruction access fault (cause 1).
+    InstructionAccessFault = 1,
+    /// Illegal instruction (cause 2).
+    IllegalInstruction = 2,
+    /// Breakpoint (cause 3).
+    Breakpoint = 3,
+    /// Load address misaligned (cause 4).
+    LoadAddressMisaligned = 4,
+    /// Load access fault (cause 5).
+    LoadAccessFault = 5,
+    /// Store address misaligned (cause 6).
+    StoreAddressMisaligned = 6,
+    /// Store access fault (cause 7).
+    StoreAccessFault = 7,
+    /// Environment call from U-mode (cause 8).
+    EcallFromU = 8,
+    /// Environment call from M-mode (cause 11).
+    EcallFromM = 11,
+}
+
+impl Trap {
+    /// The architectural `mcause` code.
+    #[inline]
+    pub const fn cause(self) -> u32 {
+        self as u32
+    }
+
+    /// Converts an `mcause` code back to a trap, if it is one we model.
+    pub const fn from_cause(cause: u32) -> Option<Trap> {
+        Some(match cause {
+            0 => Trap::InstructionAddressMisaligned,
+            1 => Trap::InstructionAccessFault,
+            2 => Trap::IllegalInstruction,
+            3 => Trap::Breakpoint,
+            4 => Trap::LoadAddressMisaligned,
+            5 => Trap::LoadAccessFault,
+            6 => Trap::StoreAddressMisaligned,
+            7 => Trap::StoreAccessFault,
+            8 => Trap::EcallFromU,
+            11 => Trap::EcallFromM,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Trap::InstructionAddressMisaligned => "instruction address misaligned",
+            Trap::InstructionAccessFault => "instruction access fault",
+            Trap::IllegalInstruction => "illegal instruction",
+            Trap::Breakpoint => "breakpoint",
+            Trap::LoadAddressMisaligned => "load address misaligned",
+            Trap::LoadAccessFault => "load access fault",
+            Trap::StoreAddressMisaligned => "store address misaligned",
+            Trap::StoreAccessFault => "store access fault",
+            Trap::EcallFromU => "environment call from U-mode",
+            Trap::EcallFromM => "environment call from M-mode",
+        };
+        f.write_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_round_trip() {
+        let traps = [
+            Trap::InstructionAddressMisaligned,
+            Trap::InstructionAccessFault,
+            Trap::IllegalInstruction,
+            Trap::Breakpoint,
+            Trap::LoadAddressMisaligned,
+            Trap::LoadAccessFault,
+            Trap::StoreAddressMisaligned,
+            Trap::StoreAccessFault,
+            Trap::EcallFromU,
+            Trap::EcallFromM,
+        ];
+        for trap in traps {
+            assert_eq!(Trap::from_cause(trap.cause()), Some(trap));
+        }
+        assert_eq!(Trap::from_cause(9), None);
+        assert_eq!(Trap::from_cause(12), None);
+    }
+}

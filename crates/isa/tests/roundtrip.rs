@@ -1,0 +1,144 @@
+//! Property tests for the instruction codecs.
+
+use proptest::prelude::*;
+use symcosim_isa::{decode, encode, BranchKind, CsrOp, Instr, LoadKind, OpKind, Reg, StoreKind};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(|i| Reg::from_index(i).expect("index in range"))
+}
+
+fn arb_i_imm() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let load_kind = prop_oneof![
+        Just(LoadKind::Lb),
+        Just(LoadKind::Lh),
+        Just(LoadKind::Lw),
+        Just(LoadKind::Lbu),
+        Just(LoadKind::Lhu),
+    ];
+    let store_kind = prop_oneof![
+        Just(StoreKind::Sb),
+        Just(StoreKind::Sh),
+        Just(StoreKind::Sw)
+    ];
+    let branch_kind = prop_oneof![
+        Just(BranchKind::Beq),
+        Just(BranchKind::Bne),
+        Just(BranchKind::Blt),
+        Just(BranchKind::Bge),
+        Just(BranchKind::Bltu),
+        Just(BranchKind::Bgeu),
+    ];
+    let op_kind = prop_oneof![
+        Just(OpKind::Add),
+        Just(OpKind::Sub),
+        Just(OpKind::Sll),
+        Just(OpKind::Slt),
+        Just(OpKind::Sltu),
+        Just(OpKind::Xor),
+        Just(OpKind::Srl),
+        Just(OpKind::Sra),
+        Just(OpKind::Or),
+        Just(OpKind::And),
+    ];
+    let csr_op = prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)];
+
+    prop_oneof![
+        (arb_reg(), (-524288i32..=524287).prop_map(|v| v << 12))
+            .prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (arb_reg(), (-524288i32..=524287).prop_map(|v| v << 12))
+            .prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
+        (arb_reg(), (-524288i32..=524287).prop_map(|v| v * 2))
+            .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Jalr { rd, rs1, imm }),
+        (
+            branch_kind,
+            arb_reg(),
+            arb_reg(),
+            (-2048i32..=2047).prop_map(|v| v * 2)
+        )
+            .prop_map(|(kind, rs1, rs2, offset)| Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset
+            }),
+        (load_kind, arb_reg(), arb_reg(), arb_i_imm())
+            .prop_map(|(kind, rd, rs1, imm)| Instr::Load { kind, rd, rs1, imm }),
+        (store_kind, arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(kind, rs1, rs2, imm)| {
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                imm,
+            }
+        }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Slti { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Sltiu {
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Ori { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Slli { rd, rs1, shamt }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srli { rd, rs1, shamt }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srai { rd, rs1, shamt }),
+        (op_kind, arb_reg(), arb_reg(), arb_reg()).prop_map(|(kind, rd, rs1, rs2)| Instr::Op {
+            kind,
+            rd,
+            rs1,
+            rs2
+        }),
+        (0u8..16, 0u8..16).prop_map(|(pred, succ)| Instr::Fence { pred, succ }),
+        Just(Instr::FenceI),
+        Just(Instr::Ecall),
+        Just(Instr::Ebreak),
+        Just(Instr::Mret),
+        Just(Instr::Wfi),
+        (csr_op.clone(), arb_reg(), arb_reg(), 0u16..4096)
+            .prop_map(|(op, rd, rs1, csr)| Instr::Csr { op, rd, rs1, csr }),
+        (csr_op, arb_reg(), 0u8..32, 0u16..4096).prop_map(|(op, rd, uimm, csr)| Instr::CsrImm {
+            op,
+            rd,
+            uimm,
+            csr
+        }),
+    ]
+}
+
+proptest! {
+    /// Every instruction survives an encode/decode round trip unchanged.
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        let word = encode(&instr);
+        prop_assert_eq!(decode(word), Ok(instr));
+    }
+
+    /// The decoder never panics, whatever the input word.
+    #[test]
+    fn decode_total(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    /// Decoded instructions re-encode to a word that decodes identically
+    /// (canonicalisation is idempotent).
+    #[test]
+    fn reencode_is_stable(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            let canon = encode(&instr);
+            prop_assert_eq!(decode(canon), Ok(instr));
+        }
+    }
+
+    /// Disassembly never panics and is never empty.
+    #[test]
+    fn disassembly_total(instr in arb_instr()) {
+        prop_assert!(!instr.to_string().is_empty());
+    }
+}

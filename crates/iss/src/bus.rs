@@ -1,0 +1,124 @@
+//! The ISS data-memory interface.
+
+use symcosim_symex::Domain;
+
+/// Data-memory port of the ISS.
+///
+/// The ISS performs raw, zero-extended accesses of 1, 2 or 4 bytes; sign
+/// extension is the ISS's own job (matching the paper's description of the
+/// VP memory interface, where `load_byte` sign-extends in the ISS binding).
+/// Addresses are byte addresses and may be symbolic; implementations must
+/// handle (e.g. mask) out-of-range addresses themselves.
+pub trait IssBus<D: Domain> {
+    /// Loads `width_bytes` ∈ {1, 2, 4} bytes at `addr`, zero-extended.
+    fn load(&mut self, dom: &mut D, addr: D::Word, width_bytes: u32) -> D::Word;
+
+    /// Stores the low `width_bytes` ∈ {1, 2, 4} bytes of `value` at `addr`.
+    fn store(&mut self, dom: &mut D, addr: D::Word, value: D::Word, width_bytes: u32);
+}
+
+/// A simple word-array memory, for tests and the fuzzing baseline.
+///
+/// Addresses are masked into the array, so every access succeeds (there is
+/// no bus error concept, as in the paper's small co-simulation memories).
+#[derive(Debug, Clone)]
+pub struct ArrayBus<D: Domain> {
+    words: Vec<D::Word>,
+}
+
+impl<D: Domain<Word = u32>> ArrayBus<D> {
+    /// Creates a zeroed memory of `num_words` 32-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_words` is not a power of two (masking requires it).
+    pub fn new(num_words: usize) -> ArrayBus<D> {
+        assert!(
+            num_words.is_power_of_two(),
+            "memory size must be a power of two"
+        );
+        ArrayBus {
+            words: vec![0; num_words],
+        }
+    }
+
+    /// Direct word read (test inspection).
+    pub fn word(&self, index: usize) -> u32 {
+        self.words[index % self.words.len()]
+    }
+
+    /// Direct word write (test setup).
+    pub fn set_word(&mut self, index: usize, value: u32) {
+        let len = self.words.len();
+        self.words[index % len] = value;
+    }
+}
+
+impl<D: Domain<Word = u32>> IssBus<D> for ArrayBus<D> {
+    fn load(&mut self, dom: &mut D, addr: u32, width_bytes: u32) -> u32 {
+        let _ = dom;
+        let index = (addr as usize / 4) % self.words.len();
+        let offset = (addr % 4) * 8;
+        let word = self.words[index];
+        match width_bytes {
+            1 => (word >> offset) & 0xff,
+            2 => (word >> offset) & 0xffff,
+            4 => word,
+            _ => panic!("unsupported access width {width_bytes}"),
+        }
+    }
+
+    fn store(&mut self, dom: &mut D, addr: u32, value: u32, width_bytes: u32) {
+        let _ = dom;
+        let index = (addr as usize / 4) % self.words.len();
+        let offset = (addr % 4) * 8;
+        let word = &mut self.words[index];
+        match width_bytes {
+            1 => {
+                let mask = 0xffu32 << offset;
+                *word = (*word & !mask) | ((value & 0xff) << offset);
+            }
+            2 => {
+                let mask = 0xffffu32 << offset;
+                *word = (*word & !mask) | ((value & 0xffff) << offset);
+            }
+            4 => *word = value,
+            _ => panic!("unsupported access width {width_bytes}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symcosim_symex::ConcreteDomain;
+
+    #[test]
+    fn byte_half_word_access() {
+        let mut dom = ConcreteDomain::new();
+        let mut bus: ArrayBus<ConcreteDomain> = ArrayBus::new(4);
+        bus.store(&mut dom, 0, 0xdead_beef, 4);
+        assert_eq!(bus.load(&mut dom, 0, 4), 0xdead_beef);
+        assert_eq!(bus.load(&mut dom, 0, 1), 0xef);
+        assert_eq!(bus.load(&mut dom, 1, 1), 0xbe);
+        assert_eq!(bus.load(&mut dom, 2, 2), 0xdead);
+        bus.store(&mut dom, 1, 0x55, 1);
+        assert_eq!(bus.load(&mut dom, 0, 4), 0xdead_55ef);
+        bus.store(&mut dom, 2, 0x1234, 2);
+        assert_eq!(bus.load(&mut dom, 0, 4), 0x1234_55ef);
+    }
+
+    #[test]
+    fn addresses_wrap_into_the_array() {
+        let mut dom = ConcreteDomain::new();
+        let mut bus: ArrayBus<ConcreteDomain> = ArrayBus::new(2);
+        bus.store(&mut dom, 8, 7, 4); // wraps to word 0
+        assert_eq!(bus.word(0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _: ArrayBus<ConcreteDomain> = ArrayBus::new(3);
+    }
+}

@@ -1,0 +1,91 @@
+//! ISS behaviour configuration.
+
+/// Configurable behaviours of the reference ISS.
+///
+/// [`IssConfig::vp_v1`] reproduces the RISC-V VP as evaluated in the paper,
+/// *including its two real bugs*; [`IssConfig::fixed`] is the corrected
+/// model used for clean regression runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssConfig {
+    /// Raise `LoadAddressMisaligned`/`StoreAddressMisaligned` on misaligned
+    /// data accesses (the VP does; MicroRV32 instead supports them —
+    /// a permitted-implementation *mismatch*, Table I rows LW…SHU).
+    pub trap_on_misaligned_data: bool,
+    /// Raise `InstructionAddressMisaligned` when a taken control transfer
+    /// targets a non-word-aligned address.
+    pub trap_on_misaligned_fetch: bool,
+    /// Execute `WFI` as a legal hint/no-op (the VP does; MicroRV32 omits
+    /// the instruction and traps — RTL error, Table I row WFI).
+    pub wfi_is_nop: bool,
+    /// **VP bug**: trap on *reads* of `medeleg`/`mideleg` (Table I rows
+    /// marked E*). `false` restores the specified read-write behaviour.
+    pub medeleg_mideleg_read_trap: bool,
+    /// Value reported by the read-only `marchid` CSR.
+    pub marchid: u32,
+    /// Value reported by the read-only `mvendorid` CSR.
+    pub mvendorid: u32,
+    /// Value reported by the read-only `mimpid` CSR.
+    pub mimpid: u32,
+    /// Value reported by the read-only `mhartid` CSR.
+    pub mhartid: u32,
+    /// Value reported by the read-only `misa` CSR (RV32I ⇒ bit 8, MXL=1).
+    pub misa: u32,
+}
+
+impl IssConfig {
+    /// The RISC-V VP ISS as evaluated in the paper — including its two
+    /// bugs (traps at `medeleg`/`mideleg` reads).
+    pub fn vp_v1() -> IssConfig {
+        IssConfig {
+            trap_on_misaligned_data: true,
+            trap_on_misaligned_fetch: true,
+            wfi_is_nop: true,
+            medeleg_mideleg_read_trap: true,
+            marchid: 0,
+            mvendorid: 0,
+            mimpid: 0,
+            mhartid: 0,
+            misa: (1 << 30) | (1 << 8), // MXL=32-bit, extension I
+        }
+    }
+
+    /// The VP with its two bugs fixed.
+    pub fn fixed() -> IssConfig {
+        IssConfig {
+            medeleg_mideleg_read_trap: false,
+            ..IssConfig::vp_v1()
+        }
+    }
+}
+
+impl Default for IssConfig {
+    fn default() -> IssConfig {
+        IssConfig::vp_v1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vp_v1_carries_the_paper_bugs() {
+        let config = IssConfig::vp_v1();
+        assert!(config.medeleg_mideleg_read_trap);
+        assert!(config.trap_on_misaligned_data);
+        assert!(config.wfi_is_nop);
+    }
+
+    #[test]
+    fn fixed_differs_only_in_the_bugs() {
+        let fixed = IssConfig::fixed();
+        assert!(!fixed.medeleg_mideleg_read_trap);
+        assert_eq!(
+            IssConfig {
+                medeleg_mideleg_read_trap: true,
+                ..fixed
+            },
+            IssConfig::vp_v1()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Reference RV32I+Zicsr Instruction Set Simulator.
+//!
+//! This is the functional reference model of the co-simulation — the
+//! equivalent of the RISC-V VP ISS the paper uses. It executes one
+//! instruction per [`Iss::step`], is written generically over the
+//! [`Domain`](symcosim_symex::Domain) abstraction (so the same code runs
+//! concretely and symbolically), and reports retirement information as an
+//! [`RvfiRecord`](symcosim_rtl::RvfiRecord) for the voter.
+//!
+//! The VP behaviours Table I of the paper attributes to the ISS are
+//! reproduced behind [`IssConfig`]:
+//!
+//! * traps on misaligned data accesses (where MicroRV32 supports them) —
+//!   the load/store *mismatches*,
+//! * implements `WFI` as a hint/no-op (MicroRV32 traps — an RTL *error*),
+//! * traps on unimplemented CSRs and on writes to read-only CSRs
+//!   (MicroRV32 misses these traps — RTL *errors*),
+//! * **bug**: traps on *reads* of `medeleg`/`mideleg`
+//!   ([`IssConfig::medeleg_mideleg_read_trap`]) — the two ISS errors (E*),
+//! * implements the full counter zoo (`cycle`, `time`, `instret`,
+//!   `mhpmcounter3..=31`, `mscratch`, `mcounteren`, …) that MicroRV32
+//!   lacks — the unimplemented-CSR *mismatches*,
+//! * counts `mcycle` abstractly (one per instruction), while the RTL core
+//!   counts real clock cycles — the cycle-count *mismatch*.
+//!
+//! # Example
+//!
+//! ```
+//! use symcosim_iss::{ArrayBus, Iss, IssConfig};
+//! use symcosim_symex::ConcreteDomain;
+//!
+//! let mut dom = ConcreteDomain::new();
+//! let mut iss = Iss::new(&mut dom, IssConfig::vp_v1());
+//! let mut bus = ArrayBus::new(64);
+//! // addi x1, x0, 42
+//! let retire = iss.step(&mut dom, &mut bus, 0x02a0_0093);
+//! assert!(!retire.trap);
+//! assert_eq!(iss.register(1), 42);
+//! assert_eq!(retire.pc_wdata, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod config;
+mod csr;
+mod exec;
+
+pub use bus::{ArrayBus, IssBus};
+pub use config::IssConfig;
+pub use csr::IssCsrFile;
+pub use exec::Iss;

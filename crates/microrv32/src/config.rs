@@ -1,0 +1,139 @@
+//! Core behaviour configuration (the Table I bug switches).
+
+/// How the core's `mcycle` counter advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleCountMode {
+    /// Count real clock cycles (the RTL core's behaviour; deviates from
+    /// the ISS's abstract timing — the paper's *cycle count mismatch*).
+    PerClock,
+    /// Count one per retired instruction (matches the abstract ISS; used
+    /// by the corrected configuration for clean regression runs).
+    PerInstruction,
+}
+
+/// Configurable behaviours of the core.
+///
+/// [`CoreConfig::microrv32_v1`] reproduces the shipped MicroRV32 exactly as
+/// Table I of the paper characterises it; every deviation it lists is one
+/// field here, so individual findings can be toggled in isolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Support misaligned loads/stores by splitting them into byte
+    /// transactions (MicroRV32 does; the VP traps instead — Table I
+    /// rows LW/LH/LHU/SW/SH/SHU, classified as a *mismatch*).
+    /// When `false`, the core raises the architectural misaligned traps.
+    pub support_misaligned_data: bool,
+    /// Implement `WFI`. MicroRV32 omits it entirely and raises an illegal
+    /// instruction trap (Table I row WFI, an RTL *error*).
+    pub implement_wfi: bool,
+    /// Raise an illegal-instruction trap when accessing a CSR the core
+    /// does not implement. MicroRV32 silently reads zero / drops writes
+    /// (Table I rows "Missing trap at access", RTL *errors*).
+    pub trap_on_unimplemented_csr: bool,
+    /// Raise an illegal-instruction trap on writes to the read-only ID
+    /// CSRs (`mvendorid`, `marchid`, `mhartid`). MicroRV32 silently drops
+    /// the write (Table I, RTL *errors*).
+    pub trap_on_readonly_csr_write: bool,
+    /// Spuriously trap on *writes* to `mip`, `mcycle`, `minstret`,
+    /// `mcycleh`, `minstreth` — MicroRV32 does (Table I "Trap at write
+    /// access", RTL *errors*); the specification says these are writable.
+    pub trap_on_counter_write: bool,
+    /// Implement the wider CSR surface the VP has (`mscratch`,
+    /// `mcounteren`, unprivileged counters, HPM ranges). MicroRV32 does
+    /// not (Table I "unimpl. CSR" rows, *mismatches*).
+    pub implement_extended_csrs: bool,
+    /// `mcycle` advance policy.
+    pub cycle_count_mode: CycleCountMode,
+    /// Count trapped instructions in `minstret` too — MicroRV32's
+    /// deviating counting logic (part of Table I's "Cycle Count Mismatch"
+    /// rows). The specification counts *retired* instructions only.
+    pub count_trapped_in_instret: bool,
+    /// Trap when a taken control transfer targets a misaligned address.
+    pub trap_on_misaligned_fetch: bool,
+    /// `marchid` value reported by the core.
+    pub marchid: u32,
+    /// `mvendorid` value reported by the core.
+    pub mvendorid: u32,
+    /// `mimpid` value reported by the core.
+    pub mimpid: u32,
+    /// `mhartid` value reported by the core.
+    pub mhartid: u32,
+    /// `misa` value reported by the core.
+    pub misa: u32,
+}
+
+impl CoreConfig {
+    /// The shipped MicroRV32 as evaluated in the paper — all Table I
+    /// behaviours present.
+    pub fn microrv32_v1() -> CoreConfig {
+        CoreConfig {
+            support_misaligned_data: true,
+            implement_wfi: false,
+            trap_on_unimplemented_csr: false,
+            trap_on_readonly_csr_write: false,
+            trap_on_counter_write: true,
+            implement_extended_csrs: false,
+            cycle_count_mode: CycleCountMode::PerClock,
+            count_trapped_in_instret: true,
+            trap_on_misaligned_fetch: true,
+            marchid: 0,
+            mvendorid: 0,
+            mimpid: 0,
+            mhartid: 0,
+            misa: (1 << 30) | (1 << 8),
+        }
+    }
+
+    /// The corrected core: behaves exactly like the corrected ISS
+    /// ([`IssConfig::fixed`](../symcosim_iss/struct.IssConfig.html)), so a
+    /// co-simulation of the two finds no mismatches — the pipeline's clean
+    /// regression configuration.
+    pub fn fixed() -> CoreConfig {
+        CoreConfig {
+            support_misaligned_data: false,
+            implement_wfi: true,
+            trap_on_unimplemented_csr: true,
+            trap_on_readonly_csr_write: true,
+            trap_on_counter_write: false,
+            implement_extended_csrs: true,
+            cycle_count_mode: CycleCountMode::PerInstruction,
+            count_trapped_in_instret: false,
+            ..CoreConfig::microrv32_v1()
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig::microrv32_v1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_has_all_table_one_behaviours() {
+        let config = CoreConfig::microrv32_v1();
+        assert!(config.support_misaligned_data);
+        assert!(!config.implement_wfi);
+        assert!(!config.trap_on_unimplemented_csr);
+        assert!(!config.trap_on_readonly_csr_write);
+        assert!(config.trap_on_counter_write);
+        assert!(!config.implement_extended_csrs);
+        assert_eq!(config.cycle_count_mode, CycleCountMode::PerClock);
+    }
+
+    #[test]
+    fn fixed_inverts_every_bug_switch() {
+        let fixed = CoreConfig::fixed();
+        assert!(!fixed.support_misaligned_data);
+        assert!(fixed.implement_wfi);
+        assert!(fixed.trap_on_unimplemented_csr);
+        assert!(fixed.trap_on_readonly_csr_write);
+        assert!(!fixed.trap_on_counter_write);
+        assert!(fixed.implement_extended_csrs);
+        assert_eq!(fixed.cycle_count_mode, CycleCountMode::PerInstruction);
+    }
+}

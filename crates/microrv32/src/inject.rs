@@ -1,0 +1,112 @@
+//! The injected error catalogue E0–E9 (Table II of the paper).
+
+use std::fmt;
+
+/// A seeded RTL fault for the error-injection performance evaluation.
+///
+/// Each variant corresponds to one row of Table II and is wired into the
+/// core's decoder, ALU, PC update logic or load unit. The faults cover a
+/// broad range of functionality: decoding (E0–E2), arithmetic (E3–E4),
+/// control flow (E5–E6) and memory access (E7–E9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectedError {
+    /// E0: the `SLLI` decode entry marks instruction bit 25 (the lowest
+    /// `funct7` bit) as don't-care, so the reserved RV64 encoding with
+    /// that bit set erroneously decodes to `SLLI` instead of trapping.
+    E0SlliDecodeDontCare,
+    /// E1: the same don't-care bit in the `SRLI` decode entry.
+    E1SrliDecodeDontCare,
+    /// E2: the same don't-care bit in the `SRAI` decode entry.
+    E2SraiDecodeDontCare,
+    /// E3: stuck-at-0 fault on the lowest result bit of `ADDI`.
+    E3AddiStuckAt0Lsb,
+    /// E4: stuck-at-0 fault on the highest result bit of `SUB`.
+    E4SubStuckAt0Msb,
+    /// E5: `JAL` fails to update the PC (falls through to PC+4).
+    E5JalNoPcUpdate,
+    /// E6: `BNE` behaves like `BEQ`.
+    E6BneBehavesLikeBeq,
+    /// E7: the `LBU` byte-lane selection has flipped endianness
+    /// (byte offset XOR 3).
+    E7LbuEndiannessFlip,
+    /// E8: `LB` misses the 8-to-32-bit sign extension.
+    E8LbNoSignExtension,
+    /// E9: `LW` only loads the lower 16 bits from memory.
+    E9LwOnlyLow16,
+}
+
+impl InjectedError {
+    /// All ten injected errors, in Table II order.
+    pub const ALL: [InjectedError; 10] = [
+        InjectedError::E0SlliDecodeDontCare,
+        InjectedError::E1SrliDecodeDontCare,
+        InjectedError::E2SraiDecodeDontCare,
+        InjectedError::E3AddiStuckAt0Lsb,
+        InjectedError::E4SubStuckAt0Msb,
+        InjectedError::E5JalNoPcUpdate,
+        InjectedError::E6BneBehavesLikeBeq,
+        InjectedError::E7LbuEndiannessFlip,
+        InjectedError::E8LbNoSignExtension,
+        InjectedError::E9LwOnlyLow16,
+    ];
+
+    /// The paper's short identifier (`"E0"` … `"E9"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            InjectedError::E0SlliDecodeDontCare => "E0",
+            InjectedError::E1SrliDecodeDontCare => "E1",
+            InjectedError::E2SraiDecodeDontCare => "E2",
+            InjectedError::E3AddiStuckAt0Lsb => "E3",
+            InjectedError::E4SubStuckAt0Msb => "E4",
+            InjectedError::E5JalNoPcUpdate => "E5",
+            InjectedError::E6BneBehavesLikeBeq => "E6",
+            InjectedError::E7LbuEndiannessFlip => "E7",
+            InjectedError::E8LbNoSignExtension => "E8",
+            InjectedError::E9LwOnlyLow16 => "E9",
+        }
+    }
+
+    /// One-line description matching Section V-B of the paper.
+    pub fn description(self) -> &'static str {
+        match self {
+            InjectedError::E0SlliDecodeDontCare => "don't-care bit in SLLI decode table",
+            InjectedError::E1SrliDecodeDontCare => "don't-care bit in SRLI decode table",
+            InjectedError::E2SraiDecodeDontCare => "don't-care bit in SRAI decode table",
+            InjectedError::E3AddiStuckAt0Lsb => "stuck-at-0 fault on ADDI result bit 0",
+            InjectedError::E4SubStuckAt0Msb => "stuck-at-0 fault on SUB result bit 31",
+            InjectedError::E5JalNoPcUpdate => "JAL does not change the PC",
+            InjectedError::E6BneBehavesLikeBeq => "BNE behaves like BEQ",
+            InjectedError::E7LbuEndiannessFlip => "LBU byte lane endianness flipped",
+            InjectedError::E8LbNoSignExtension => "LB missing 8-to-32-bit sign extension",
+            InjectedError::E9LwOnlyLow16 => "LW loads only the lower 16 bits",
+        }
+    }
+}
+
+impl fmt::Display for InjectedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id(), self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_ordered() {
+        assert_eq!(InjectedError::ALL.len(), 10);
+        for (i, error) in InjectedError::ALL.iter().enumerate() {
+            assert_eq!(error.id(), format!("E{i}"));
+            assert!(!error.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_concatenates_id_and_description() {
+        assert_eq!(
+            InjectedError::E5JalNoPcUpdate.to_string(),
+            "E5: JAL does not change the PC"
+        );
+    }
+}

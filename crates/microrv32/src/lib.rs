@@ -1,0 +1,54 @@
+//! Cycle-accurate MicroRV32-equivalent RV32I+Zicsr core model (the DUT).
+//!
+//! This crate plays the role of the verilated MicroRV32 core in the paper's
+//! co-simulation: a multi-cycle RV32I+Zicsr processor driven through an
+//! instruction bus (`fetch_enable`/`instruction_ready` handshake), a
+//! strobe-based data bus, and observed through an RVFI retirement port.
+//! Like the ISS it is generic over the [`Domain`](symcosim_symex::Domain)
+//! abstraction, so the identical "RTL" runs concretely and symbolically.
+//!
+//! Two independent bug mechanisms reproduce the paper's evaluation:
+//!
+//! * [`CoreConfig`] encodes the *shipped* MicroRV32 behaviours that Table I
+//!   reports as errors/mismatches against the VP — full misaligned
+//!   load/store support, missing `WFI`, missing illegal-instruction traps
+//!   on CSR misuse, spurious traps on counter writes, and a real
+//!   clock-cycle counter. [`CoreConfig::microrv32_v1`] has all of them;
+//!   [`CoreConfig::fixed`] is the corrected core for clean runs.
+//! * [`InjectedError`] implements the ten seeded faults E0–E9 of the
+//!   paper's performance evaluation (Table II), wired into the decoder,
+//!   ALU, PC logic and load unit.
+//!
+//! # Example
+//!
+//! ```
+//! use symcosim_microrv32::{Core, CoreConfig};
+//! use symcosim_rtl::{DBusResponse, IBusResponse};
+//! use symcosim_symex::ConcreteDomain;
+//!
+//! let mut dom = ConcreteDomain::new();
+//! let mut core = Core::new(&mut dom, CoreConfig::microrv32_v1());
+//! // Drive the clock: answer the fetch with `addi x1, x0, 5`.
+//! let idle_d = DBusResponse { data_ready: false, read_data: 0 };
+//! let out = core.cycle(&mut dom, IBusResponse { instruction_ready: false, instruction: 0 }, idle_d);
+//! assert!(out.ibus.fetch_enable);
+//! let out = core.cycle(&mut dom, IBusResponse { instruction_ready: true, instruction: 0x0050_0093 }, idle_d);
+//! assert!(out.rvfi.is_none());
+//! let out = core.cycle(&mut dom, IBusResponse { instruction_ready: false, instruction: 0 }, idle_d);
+//! let retire = out.rvfi.expect("ALU instruction retires in the execute cycle");
+//! assert_eq!(retire.rd_wdata, 5);
+//! assert_eq!(core.register(1), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod core;
+mod csr;
+mod inject;
+
+pub use crate::core::{Core, CoreOutputs, FsmState};
+pub use config::{CoreConfig, CycleCountMode};
+pub use csr::CoreCsrFile;
+pub use inject::InjectedError;

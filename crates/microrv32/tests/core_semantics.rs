@@ -1,0 +1,529 @@
+//! Cycle-level behavioural tests for the core (concrete domain).
+
+use symcosim_isa::{encode, BranchKind, CsrOp, Instr, LoadKind, OpKind, Reg, StoreKind, Trap};
+use symcosim_microrv32::{Core, CoreConfig, InjectedError};
+use symcosim_rtl::{DBusResponse, IBusResponse, RvfiRecord};
+use symcosim_symex::ConcreteDomain;
+
+type Dom = ConcreteDomain;
+
+/// A concrete testbench: instruction ROM + strobe-aware data RAM.
+struct Bench {
+    dom: Dom,
+    core: Core<Dom>,
+    imem: Vec<u32>,
+    dmem: Vec<u32>,
+    pending_fetch: Option<u32>,
+    pending_data: Option<u32>,
+}
+
+impl Bench {
+    fn new(config: CoreConfig) -> Bench {
+        let mut dom = Dom::new();
+        let core = Core::new(&mut dom, config);
+        Bench {
+            dom,
+            core,
+            imem: Vec::new(),
+            dmem: vec![0; 64],
+            pending_fetch: None,
+            pending_data: None,
+        }
+    }
+
+    fn with_error(config: CoreConfig, error: InjectedError) -> Bench {
+        let mut bench = Bench::new(config.clone());
+        bench.core = Core::with_injected_error(&mut bench.dom, config, error);
+        bench
+    }
+
+    fn load_program(&mut self, instrs: &[Instr]) {
+        self.imem = instrs.iter().map(encode).collect();
+    }
+
+    /// Clocks until the next retirement (bounded).
+    fn step_instruction(&mut self) -> RvfiRecord<u32> {
+        for _ in 0..64 {
+            let ibus_rsp = IBusResponse {
+                instruction_ready: self.pending_fetch.is_some(),
+                instruction: self.pending_fetch.take().unwrap_or(0),
+            };
+            let dbus_rsp = DBusResponse {
+                data_ready: self.pending_data.is_some(),
+                read_data: self.pending_data.take().unwrap_or(0),
+            };
+            let out = self.core.cycle(&mut self.dom, ibus_rsp, dbus_rsp);
+            if out.ibus.fetch_enable {
+                let index = (out.ibus.address as usize / 4) % self.imem.len().max(1);
+                self.pending_fetch = Some(*self.imem.get(index).unwrap_or(&0));
+            }
+            if out.dbus.enable {
+                let index = (out.dbus.address as usize / 4) % self.dmem.len();
+                if out.dbus.write {
+                    let mut word = self.dmem[index];
+                    for lane in 0..4 {
+                        if out.dbus.strobe.lanes() & (1 << lane) != 0 {
+                            let mask = 0xffu32 << (lane * 8);
+                            word = (word & !mask) | (out.dbus.write_data & mask);
+                        }
+                    }
+                    self.dmem[index] = word;
+                    self.pending_data = Some(0);
+                } else {
+                    self.pending_data = Some(self.dmem[index]);
+                }
+            }
+            if let Some(rvfi) = out.rvfi {
+                return rvfi;
+            }
+        }
+        panic!("core did not retire within 64 cycles");
+    }
+
+    fn reg(&self, reg: Reg) -> u32 {
+        self.core.register(reg.index())
+    }
+
+    fn set_reg(&mut self, reg: Reg, value: u32) {
+        self.core.set_register(reg.index(), value);
+    }
+}
+
+#[test]
+fn alu_instruction_timing_and_result() {
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.load_program(&[Instr::Addi {
+        rd: Reg::X1,
+        rs1: Reg::X0,
+        imm: 42,
+    }]);
+    let retire = bench.step_instruction();
+    assert_eq!(retire.rd_wdata, 42);
+    assert_eq!(retire.pc_wdata, 4);
+    assert_eq!(bench.reg(Reg::X1), 42);
+    // Multi-cycle core: fetch request + fetch ready + execute = 3 cycles.
+    assert_eq!(bench.core.cycles(), 3);
+}
+
+#[test]
+fn aligned_loads_and_stores_round_trip() {
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.set_reg(Reg::X1, 16);
+    bench.set_reg(Reg::X2, 0xdead_beef);
+    bench.load_program(&[
+        Instr::Store {
+            kind: StoreKind::Sw,
+            rs1: Reg::X1,
+            rs2: Reg::X2,
+            imm: 0,
+        },
+        Instr::Load {
+            kind: LoadKind::Lw,
+            rd: Reg::X3,
+            rs1: Reg::X1,
+            imm: 0,
+        },
+        Instr::Load {
+            kind: LoadKind::Lbu,
+            rd: Reg::X4,
+            rs1: Reg::X1,
+            imm: 1,
+        },
+        Instr::Load {
+            kind: LoadKind::Lb,
+            rd: Reg::X5,
+            rs1: Reg::X1,
+            imm: 1,
+        },
+        Instr::Load {
+            kind: LoadKind::Lhu,
+            rd: Reg::X6,
+            rs1: Reg::X1,
+            imm: 2,
+        },
+        Instr::Load {
+            kind: LoadKind::Lh,
+            rd: Reg::X7,
+            rs1: Reg::X1,
+            imm: 2,
+        },
+    ]);
+    for _ in 0..6 {
+        let retire = bench.step_instruction();
+        assert!(!retire.trap);
+    }
+    assert_eq!(bench.dmem[4], 0xdead_beef);
+    assert_eq!(bench.reg(Reg::X3), 0xdead_beef);
+    assert_eq!(bench.reg(Reg::X4), 0xbe);
+    assert_eq!(bench.reg(Reg::X5), 0xffff_ffbe);
+    assert_eq!(bench.reg(Reg::X6), 0xdead);
+    assert_eq!(bench.reg(Reg::X7), 0xffff_dead);
+}
+
+#[test]
+fn shipped_core_supports_misaligned_accesses() {
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.set_reg(Reg::X1, 17); // word 4, offset 1
+    bench.set_reg(Reg::X2, 0x1122_3344);
+    bench.load_program(&[
+        Instr::Store {
+            kind: StoreKind::Sw,
+            rs1: Reg::X1,
+            rs2: Reg::X2,
+            imm: 0,
+        },
+        Instr::Load {
+            kind: LoadKind::Lw,
+            rd: Reg::X3,
+            rs1: Reg::X1,
+            imm: 0,
+        },
+        Instr::Load {
+            kind: LoadKind::Lhu,
+            rd: Reg::X4,
+            rs1: Reg::X1,
+            imm: 2,
+        },
+    ]);
+    let retire = bench.step_instruction();
+    assert!(
+        !retire.trap,
+        "misaligned store is supported in the shipped core"
+    );
+    // Bytes land at 17,18,19,20: word4 = 44 33 22 at offsets 1..3, word5 byte0 = 11.
+    assert_eq!(bench.dmem[4], 0x2233_4400);
+    assert_eq!(bench.dmem[5], 0x0000_0011);
+    let retire = bench.step_instruction();
+    assert!(!retire.trap);
+    assert_eq!(
+        bench.reg(Reg::X3),
+        0x1122_3344,
+        "misaligned load reassembles"
+    );
+    let retire = bench.step_instruction();
+    assert!(!retire.trap);
+    assert_eq!(
+        bench.reg(Reg::X4),
+        0x1122,
+        "misaligned halfword at 19 crosses words"
+    );
+}
+
+#[test]
+fn fixed_core_traps_on_misaligned() {
+    let mut bench = Bench::new(CoreConfig::fixed());
+    bench.set_reg(Reg::X1, 17);
+    bench.load_program(&[Instr::Load {
+        kind: LoadKind::Lw,
+        rd: Reg::X3,
+        rs1: Reg::X1,
+        imm: 0,
+    }]);
+    let retire = bench.step_instruction();
+    assert!(retire.trap);
+    assert_eq!(retire.trap_cause, Some(Trap::LoadAddressMisaligned.cause()));
+}
+
+#[test]
+fn wfi_traps_in_shipped_core_and_not_in_fixed() {
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.load_program(&[Instr::Wfi]);
+    let retire = bench.step_instruction();
+    assert!(retire.trap, "shipped MicroRV32 misses WFI");
+    assert_eq!(retire.trap_cause, Some(Trap::IllegalInstruction.cause()));
+
+    let mut bench = Bench::new(CoreConfig::fixed());
+    bench.load_program(&[Instr::Wfi]);
+    let retire = bench.step_instruction();
+    assert!(!retire.trap, "fixed core implements WFI as a no-op");
+}
+
+#[test]
+fn csr_bugs_match_table_one() {
+    // Write to read-only marchid: shipped core misses the trap.
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.load_program(&[Instr::CsrImm {
+        op: CsrOp::Rc,
+        rd: Reg::X1,
+        uimm: 1,
+        csr: 0xf12,
+    }]);
+    let retire = bench.step_instruction();
+    assert!(!retire.trap, "shipped core silently drops read-only writes");
+
+    let mut bench = Bench::new(CoreConfig::fixed());
+    bench.load_program(&[Instr::CsrImm {
+        op: CsrOp::Rc,
+        rd: Reg::X1,
+        uimm: 1,
+        csr: 0xf12,
+    }]);
+    let retire = bench.step_instruction();
+    assert!(retire.trap, "fixed core raises the mandatory trap");
+
+    // Write to mcycle: shipped core spuriously traps.
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.load_program(&[Instr::Csr {
+        op: CsrOp::Rw,
+        rd: Reg::X1,
+        rs1: Reg::X0,
+        csr: 0xb00,
+    }]);
+    let retire = bench.step_instruction();
+    assert!(retire.trap, "shipped core traps on counter writes");
+
+    let mut bench = Bench::new(CoreConfig::fixed());
+    bench.load_program(&[Instr::Csr {
+        op: CsrOp::Rw,
+        rd: Reg::X1,
+        rs1: Reg::X0,
+        csr: 0xb00,
+    }]);
+    let retire = bench.step_instruction();
+    assert!(!retire.trap);
+}
+
+#[test]
+fn branches_and_jumps() {
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.set_reg(Reg::X1, 1);
+    bench.set_reg(Reg::X2, 2);
+    bench.load_program(&[
+        Instr::Branch {
+            kind: BranchKind::Bne,
+            rs1: Reg::X1,
+            rs2: Reg::X2,
+            offset: 8,
+        },
+        Instr::Addi {
+            rd: Reg::X3,
+            rs1: Reg::X0,
+            imm: 99,
+        }, // skipped
+        Instr::Jal {
+            rd: Reg::X4,
+            offset: -8,
+        },
+    ]);
+    let retire = bench.step_instruction();
+    assert_eq!(retire.pc_wdata, 8, "bne taken");
+    let retire = bench.step_instruction();
+    assert_eq!(retire.pc_wdata, 0, "jal back to start");
+    assert_eq!(bench.reg(Reg::X4), 12);
+    assert_eq!(bench.reg(Reg::X3), 0, "skipped instruction never ran");
+}
+
+#[test]
+fn injected_errors_flip_visible_behaviour() {
+    // E3: ADDI LSB stuck at zero.
+    let mut bench = Bench::with_error(CoreConfig::microrv32_v1(), InjectedError::E3AddiStuckAt0Lsb);
+    bench.load_program(&[Instr::Addi {
+        rd: Reg::X1,
+        rs1: Reg::X0,
+        imm: 7,
+    }]);
+    bench.step_instruction();
+    assert_eq!(bench.reg(Reg::X1), 6, "bit 0 forced to zero");
+
+    // E4: SUB MSB stuck at zero.
+    let mut bench = Bench::with_error(CoreConfig::microrv32_v1(), InjectedError::E4SubStuckAt0Msb);
+    bench.set_reg(Reg::X1, 0);
+    bench.set_reg(Reg::X2, 1);
+    bench.load_program(&[Instr::Op {
+        kind: OpKind::Sub,
+        rd: Reg::X3,
+        rs1: Reg::X1,
+        rs2: Reg::X2,
+    }]);
+    bench.step_instruction();
+    assert_eq!(bench.reg(Reg::X3), 0x7fff_ffff, "0 - 1 with MSB cleared");
+
+    // E5: JAL falls through.
+    let mut bench = Bench::with_error(CoreConfig::microrv32_v1(), InjectedError::E5JalNoPcUpdate);
+    bench.load_program(&[Instr::Jal {
+        rd: Reg::X1,
+        offset: 16,
+    }]);
+    let retire = bench.step_instruction();
+    assert_eq!(retire.pc_wdata, 4, "PC update lost");
+    assert_eq!(bench.reg(Reg::X1), 4, "link value still written");
+
+    // E6: BNE behaves like BEQ.
+    let mut bench = Bench::with_error(
+        CoreConfig::microrv32_v1(),
+        InjectedError::E6BneBehavesLikeBeq,
+    );
+    bench.set_reg(Reg::X1, 5);
+    bench.set_reg(Reg::X2, 5);
+    bench.load_program(&[Instr::Branch {
+        kind: BranchKind::Bne,
+        rs1: Reg::X1,
+        rs2: Reg::X2,
+        offset: 8,
+    }]);
+    let retire = bench.step_instruction();
+    assert_eq!(retire.pc_wdata, 8, "equal operands now take the branch");
+
+    // E8: LB without sign extension.
+    let mut bench = Bench::with_error(
+        CoreConfig::microrv32_v1(),
+        InjectedError::E8LbNoSignExtension,
+    );
+    bench.dmem[4] = 0x0000_0080;
+    bench.set_reg(Reg::X1, 16);
+    bench.load_program(&[Instr::Load {
+        kind: LoadKind::Lb,
+        rd: Reg::X2,
+        rs1: Reg::X1,
+        imm: 0,
+    }]);
+    bench.step_instruction();
+    assert_eq!(bench.reg(Reg::X2), 0x80, "sign extension missing");
+
+    // E9: LW loads only the low half.
+    let mut bench = Bench::with_error(CoreConfig::microrv32_v1(), InjectedError::E9LwOnlyLow16);
+    bench.dmem[4] = 0xdead_beef;
+    bench.set_reg(Reg::X1, 16);
+    bench.load_program(&[Instr::Load {
+        kind: LoadKind::Lw,
+        rd: Reg::X2,
+        rs1: Reg::X1,
+        imm: 0,
+    }]);
+    bench.step_instruction();
+    assert_eq!(bench.reg(Reg::X2), 0x0000_beef);
+
+    // E7: LBU endianness flip selects the mirrored byte lane.
+    let mut bench = Bench::with_error(
+        CoreConfig::microrv32_v1(),
+        InjectedError::E7LbuEndiannessFlip,
+    );
+    bench.dmem[4] = 0x4433_2211;
+    bench.set_reg(Reg::X1, 16);
+    bench.load_program(&[Instr::Load {
+        kind: LoadKind::Lbu,
+        rd: Reg::X2,
+        rs1: Reg::X1,
+        imm: 0,
+    }]);
+    bench.step_instruction();
+    assert_eq!(bench.reg(Reg::X2), 0x44, "offset 0 reads lane 3");
+}
+
+#[test]
+fn decode_dont_care_faults_accept_reserved_encodings() {
+    // The reserved encoding: SLLI with funct7 bit 0 set (instruction bit 25).
+    let reserved_slli = encode(&Instr::Slli {
+        rd: Reg::X1,
+        rs1: Reg::X0,
+        shamt: 1,
+    }) | (1 << 25);
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.imem = vec![reserved_slli];
+    let retire = bench.step_instruction();
+    assert!(retire.trap, "healthy core rejects the reserved encoding");
+
+    let mut bench = Bench::with_error(
+        CoreConfig::microrv32_v1(),
+        InjectedError::E0SlliDecodeDontCare,
+    );
+    bench.imem = vec![reserved_slli];
+    let retire = bench.step_instruction();
+    assert!(!retire.trap, "E0 decodes the reserved encoding as SLLI");
+
+    let reserved_srli = encode(&Instr::Srli {
+        rd: Reg::X1,
+        rs1: Reg::X0,
+        shamt: 1,
+    }) | (1 << 25);
+    let mut bench = Bench::with_error(
+        CoreConfig::microrv32_v1(),
+        InjectedError::E1SrliDecodeDontCare,
+    );
+    bench.imem = vec![reserved_srli];
+    let retire = bench.step_instruction();
+    assert!(!retire.trap, "E1 decodes the reserved encoding as SRLI");
+
+    let reserved_srai = encode(&Instr::Srai {
+        rd: Reg::X1,
+        rs1: Reg::X0,
+        shamt: 1,
+    }) | (1 << 25);
+    let mut bench = Bench::with_error(
+        CoreConfig::microrv32_v1(),
+        InjectedError::E2SraiDecodeDontCare,
+    );
+    bench.imem = vec![reserved_srai];
+    let retire = bench.step_instruction();
+    assert!(!retire.trap, "E2 decodes the reserved encoding as SRAI");
+}
+
+#[test]
+fn cycle_counter_counts_clocks_in_shipped_core() {
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.load_program(&[
+        Instr::Addi {
+            rd: Reg::X1,
+            rs1: Reg::X0,
+            imm: 1,
+        },
+        Instr::Csr {
+            op: CsrOp::Rs,
+            rd: Reg::X2,
+            rs1: Reg::X0,
+            csr: 0xb00,
+        },
+    ]);
+    bench.step_instruction();
+    bench.step_instruction();
+    // mcycle read during the second instruction's execute cycle; must
+    // exceed the instruction count (3 cycles for the first instruction
+    // plus fetch cycles of the second).
+    assert!(
+        bench.reg(Reg::X2) > 2,
+        "PerClock counting: {}",
+        bench.reg(Reg::X2)
+    );
+
+    let mut bench = Bench::new(CoreConfig::fixed());
+    bench.load_program(&[
+        Instr::Addi {
+            rd: Reg::X1,
+            rs1: Reg::X0,
+            imm: 1,
+        },
+        Instr::Csr {
+            op: CsrOp::Rs,
+            rd: Reg::X2,
+            rs1: Reg::X0,
+            csr: 0xb00,
+        },
+    ]);
+    bench.step_instruction();
+    bench.step_instruction();
+    assert_eq!(
+        bench.reg(Reg::X2),
+        1,
+        "PerInstruction counting matches the ISS"
+    );
+}
+
+#[test]
+fn trap_entry_updates_machine_state() {
+    let mut bench = Bench::new(CoreConfig::microrv32_v1());
+    bench.set_reg(Reg::X1, 0x40);
+    bench.load_program(&[
+        Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            rs1: Reg::X1,
+            csr: 0x305,
+        }, // mtvec = 0x40
+        Instr::Ecall,
+    ]);
+    bench.step_instruction();
+    let retire = bench.step_instruction();
+    assert!(retire.trap);
+    assert_eq!(retire.trap_cause, Some(Trap::EcallFromM.cause()));
+    assert_eq!(retire.pc_wdata, 0x40, "redirected to mtvec");
+}

@@ -1,0 +1,136 @@
+//! The core's RVFI stream satisfies the riscv-formal-style trace
+//! properties over whole assembled programs.
+
+use symcosim_isa::asm::assemble;
+use symcosim_microrv32::{Core, CoreConfig};
+use symcosim_rtl::{DBusResponse, IBusResponse, RvfiMonitor, RvfiRecord};
+use symcosim_symex::ConcreteDomain;
+
+/// Drives the core over `program`, returning the retirement trace.
+fn run_program(config: CoreConfig, program: &[u32], max_retires: usize) -> Vec<RvfiRecord<u32>> {
+    let mut dom = ConcreteDomain::new();
+    let mut core = Core::new(&mut dom, config);
+    let mut dmem = vec![0u32; 64];
+    let mut pending_fetch: Option<u32> = None;
+    let mut pending_data: Option<u32> = None;
+    let mut trace = Vec::new();
+
+    for _ in 0..max_retires * 16 {
+        let ibus_rsp = IBusResponse {
+            instruction_ready: pending_fetch.is_some(),
+            instruction: pending_fetch.take().unwrap_or(0),
+        };
+        let dbus_rsp = DBusResponse {
+            data_ready: pending_data.is_some(),
+            read_data: pending_data.take().unwrap_or(0),
+        };
+        let out = core.cycle(&mut dom, ibus_rsp, dbus_rsp);
+        if out.ibus.fetch_enable {
+            let index = (out.ibus.address as usize / 4) % program.len();
+            pending_fetch = Some(program[index]);
+        }
+        if out.dbus.enable {
+            let index = (out.dbus.address as usize / 4) % dmem.len();
+            if out.dbus.write {
+                let mut word = dmem[index];
+                for lane in 0..4 {
+                    if out.dbus.strobe.lanes() & (1 << lane) != 0 {
+                        let mask = 0xffu32 << (lane * 8);
+                        word = (word & !mask) | (out.dbus.write_data & mask);
+                    }
+                }
+                dmem[index] = word;
+                pending_data = Some(0);
+            } else {
+                pending_data = Some(dmem[index]);
+            }
+        }
+        if let Some(record) = out.rvfi {
+            trace.push(record);
+            if trace.len() >= max_retires {
+                break;
+            }
+        }
+    }
+    trace
+}
+
+fn assert_trace_clean(trace: &[RvfiRecord<u32>]) {
+    let mut monitor = RvfiMonitor::new();
+    for record in trace {
+        let violations = monitor.check(record);
+        assert!(violations.is_empty(), "record {record:?} violates: {violations:?}");
+    }
+}
+
+#[test]
+fn loop_program_trace_is_consistent() {
+    let program = assemble(
+        r"
+        start:
+            li   x1, 5
+            li   x2, 0
+        loop:
+            add  x2, x2, x1
+            addi x1, x1, -1
+            bnez x1, loop
+            ebreak
+        ",
+    )
+    .expect("valid program");
+    let trace = run_program(CoreConfig::fixed(), &program, 18);
+    assert_eq!(trace.len(), 18, "2 setup + 5×3 loop + ebreak");
+    assert_trace_clean(&trace);
+    // The ebreak record traps with the breakpoint cause.
+    let last = trace.last().expect("non-empty");
+    assert!(last.trap);
+    assert_eq!(last.trap_cause, Some(3));
+}
+
+#[test]
+fn memory_program_trace_is_consistent() {
+    let program = assemble(
+        r"
+            li   x1, 0x40
+            li   x2, -2
+            sw   x2, 0(x1)
+            lb   x3, 1(x1)
+            lhu  x4, 2(x1)
+            lw   x5, 0(x1)
+            ebreak
+        ",
+    )
+    .expect("valid program");
+    let trace = run_program(CoreConfig::fixed(), &program, 7);
+    assert_trace_clean(&trace);
+}
+
+#[test]
+fn trapping_trace_stays_consistent_across_the_trap() {
+    // The shipped core traps on WFI; the monitor must accept the
+    // trap-redirected PC chain (pc_wdata = mtvec = 0).
+    let program = assemble("nop\nwfi\nnop\nebreak").expect("valid program");
+    let trace = run_program(CoreConfig::microrv32_v1(), &program, 4);
+    assert_trace_clean(&trace);
+    assert!(trace[1].trap, "WFI traps on the shipped core");
+    assert_eq!(trace[1].pc_wdata, 0, "redirected to the reset mtvec");
+    assert_eq!(trace[2].pc_rdata, 0, "chain continues at the trap vector");
+}
+
+#[test]
+fn shipped_and_fixed_cores_produce_equal_traces_on_bug_free_programs() {
+    let program = assemble(
+        r"
+            li   x1, 7
+            slli x2, x1, 4
+            srai x3, x2, 2
+            xor  x4, x2, x3
+            sltu x5, x3, x4
+            ebreak
+        ",
+    )
+    .expect("valid program");
+    let shipped = run_program(CoreConfig::microrv32_v1(), &program, 6);
+    let fixed = run_program(CoreConfig::fixed(), &program, 6);
+    assert_eq!(shipped, fixed, "configs only differ on the Table I surface");
+}

@@ -1,0 +1,172 @@
+//! Instruction- and data-bus protocol types.
+//!
+//! MicroRV32 separates the instruction bus (IBus) and data bus (DBus). The
+//! IBus uses a `fetch_enable` / `instruction_ready` handshake; the DBus is
+//! strobe-based, the byte-lane scheme used by AXI write strobes, the
+//! Wishbone `SEL` lines and PicoRV32's native memory interface.
+
+use std::fmt;
+
+/// DBus byte-lane strobe.
+///
+/// Valid values select a naturally aligned byte (`0001`, `0010`, `0100`,
+/// `1000`), half-word (`0011`, `1100`) or the full word (`1111`) within the
+/// addressed 32-bit location.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_rtl::Strobe;
+///
+/// let strobe = Strobe::for_access(1, 1).expect("byte at offset 1");
+/// assert_eq!(strobe.lanes(), 0b0010);
+/// assert_eq!(strobe.width_bytes(), 1);
+/// assert_eq!(strobe.offset(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Strobe(u8);
+
+impl Strobe {
+    /// Full-word access.
+    pub const WORD: Strobe = Strobe(0b1111);
+
+    /// Creates a strobe from raw lane bits.
+    ///
+    /// Returns `None` unless the pattern is one of the seven legal values.
+    pub fn from_lanes(lanes: u8) -> Option<Strobe> {
+        match lanes {
+            0b0001 | 0b0010 | 0b0100 | 0b1000 | 0b0011 | 0b1100 | 0b1111 => Some(Strobe(lanes)),
+            _ => None,
+        }
+    }
+
+    /// Builds the strobe for an access of `width_bytes` (1, 2 or 4) at
+    /// byte offset `offset` within the word.
+    ///
+    /// Returns `None` for misaligned or out-of-range combinations — the
+    /// combinations a core that *traps* on misalignment never produces.
+    pub fn for_access(width_bytes: u32, offset: u32) -> Option<Strobe> {
+        let lanes = match (width_bytes, offset) {
+            (1, 0..=3) => 0b0001 << offset,
+            (2, 0) => 0b0011,
+            (2, 2) => 0b1100,
+            (4, 0) => 0b1111,
+            _ => return None,
+        };
+        Some(Strobe(lanes))
+    }
+
+    /// The raw lane bits.
+    #[inline]
+    pub fn lanes(self) -> u8 {
+        self.0
+    }
+
+    /// Access width in bytes (1, 2 or 4).
+    pub fn width_bytes(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Byte offset of the lowest selected lane.
+    pub fn offset(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+}
+
+impl fmt::Display for Strobe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04b}", self.0)
+    }
+}
+
+/// IBus request driven by the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IBusRequest<W> {
+    /// The core wants to fetch this cycle.
+    pub fetch_enable: bool,
+    /// Fetch address (`IMem_address`).
+    pub address: W,
+}
+
+/// IBus response driven by the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IBusResponse<W> {
+    /// The instruction word is valid this cycle (`IMem_instructionReady`).
+    pub instruction_ready: bool,
+    /// The fetched instruction (`IMem_instruction`).
+    pub instruction: W,
+}
+
+/// DBus request driven by the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DBusRequest<W> {
+    /// A data access is requested this cycle (`DMem_enable`).
+    pub enable: bool,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+    /// Word-aligned access address (`DMem_address`).
+    pub address: W,
+    /// Store data, positioned in the selected lanes (`DMem_writeData`).
+    pub write_data: W,
+    /// Byte-lane selection (`DMem_wrStrobe`).
+    pub strobe: Strobe,
+}
+
+/// DBus response driven by the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DBusResponse<W> {
+    /// Load data is valid this cycle (`DMem_dataReady`).
+    pub data_ready: bool,
+    /// Loaded word, lanes positioned as stored (`DMem_readData`).
+    pub read_data: W,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_strobes_only() {
+        let legal = [0b0001, 0b0010, 0b0100, 0b1000, 0b0011, 0b1100, 0b1111];
+        for lanes in 0u8..16 {
+            assert_eq!(
+                Strobe::from_lanes(lanes).is_some(),
+                legal.contains(&lanes),
+                "lanes {lanes:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn access_construction_covers_alignments() {
+        assert_eq!(Strobe::for_access(1, 3).map(Strobe::lanes), Some(0b1000));
+        assert_eq!(Strobe::for_access(2, 0).map(Strobe::lanes), Some(0b0011));
+        assert_eq!(Strobe::for_access(2, 2).map(Strobe::lanes), Some(0b1100));
+        assert_eq!(Strobe::for_access(4, 0).map(Strobe::lanes), Some(0b1111));
+        assert_eq!(Strobe::for_access(2, 1), None);
+        assert_eq!(Strobe::for_access(4, 2), None);
+        assert_eq!(Strobe::for_access(1, 4), None);
+        assert_eq!(Strobe::for_access(3, 0), None);
+    }
+
+    #[test]
+    fn width_and_offset_round_trip() {
+        for width in [1u32, 2, 4] {
+            for offset in 0..4 {
+                if let Some(strobe) = Strobe::for_access(width, offset) {
+                    assert_eq!(strobe.width_bytes(), width);
+                    assert_eq!(strobe.offset(), offset);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_binary() {
+        assert_eq!(Strobe::WORD.to_string(), "1111");
+        assert_eq!(
+            Strobe::from_lanes(0b0010).expect("legal").to_string(),
+            "0010"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! RTL modelling substrate.
+//!
+//! The paper's device under test is a Verilog core translated to C++ by
+//! verilator. This crate provides the primitives to write the equivalent
+//! cycle-accurate model directly in Rust — in effect a "hand-verilated"
+//! style: two-phase clocked registers ([`Reg`]), the bus protocol types the
+//! MicroRV32 environment uses (an instruction bus with a
+//! `fetch_enable`/`instruction_ready` handshake, and a strobe-based data
+//! bus as used by AXI/Wishbone/PicoRV32), and the RISC-V Formal Interface
+//! (RVFI) retirement record the voter observes.
+//!
+//! Data-path values are generic over the word type `W` so that the same
+//! core model runs concretely (`u32`) and symbolically (term handles);
+//! control-path signals (handshakes, FSM states) stay concrete `bool`s,
+//! mirroring how the symbolic co-simulation in the paper concretises
+//! control flow through forking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod monitor;
+mod reg;
+mod rvfi;
+
+pub use bus::{DBusRequest, DBusResponse, IBusRequest, IBusResponse, Strobe};
+pub use reg::{Clocked, Reg};
+pub use monitor::{RvfiMonitor, RvfiViolation};
+pub use rvfi::RvfiRecord;

@@ -1,0 +1,217 @@
+//! An RVFI self-consistency monitor.
+//!
+//! riscv-formal couples its bounded model checking to per-record sanity
+//! properties on the RVFI port; this monitor implements the subset that is
+//! meaningful for a trace observed at simulation time, independently of
+//! any reference model. The co-simulation voter compares two models
+//! against *each other*; this monitor catches records that are internally
+//! broken even when both models agree (e.g. a harness wiring bug).
+
+use std::fmt;
+
+use crate::RvfiRecord;
+
+/// A violated RVFI trace property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvfiViolation {
+    /// `rvfi_order` did not increase by one.
+    OrderNotMonotonic {
+        /// Order of the previous record.
+        previous: u64,
+        /// Order of the offending record.
+        current: u64,
+    },
+    /// A trapping record reported a destination-register write.
+    TrapWithRegisterWrite,
+    /// A trapping record carried no cause.
+    TrapWithoutCause,
+    /// A non-trapping record carried a trap cause.
+    CauseWithoutTrap,
+    /// `rd_addr == 0` but `rd_wdata != 0` (x0 must read as zero).
+    NonZeroX0Write,
+    /// The next record's `pc_rdata` differs from this record's `pc_wdata`.
+    PcChainBroken {
+        /// Promised next PC.
+        expected: u32,
+        /// Observed next PC.
+        found: u32,
+    },
+    /// An invalid record was submitted.
+    InvalidRecord,
+}
+
+impl fmt::Display for RvfiViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RvfiViolation::OrderNotMonotonic { previous, current } => {
+                write!(f, "rvfi_order not monotonic: {previous} then {current}")
+            }
+            RvfiViolation::TrapWithRegisterWrite => {
+                f.write_str("trapping instruction reported a register write")
+            }
+            RvfiViolation::TrapWithoutCause => f.write_str("trap without a cause"),
+            RvfiViolation::CauseWithoutTrap => f.write_str("cause reported without a trap"),
+            RvfiViolation::NonZeroX0Write => f.write_str("non-zero write data reported for x0"),
+            RvfiViolation::PcChainBroken { expected, found } => {
+                write!(f, "pc chain broken: expected {expected:#010x}, found {found:#010x}")
+            }
+            RvfiViolation::InvalidRecord => f.write_str("invalid record submitted"),
+        }
+    }
+}
+
+/// Checks a stream of concrete RVFI records for internal consistency.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_rtl::{RvfiMonitor, RvfiRecord};
+///
+/// let mut monitor = RvfiMonitor::new();
+/// let record = RvfiRecord::<u32> {
+///     valid: true,
+///     order: 0,
+///     insn: 0x13,
+///     trap: false,
+///     trap_cause: None,
+///     pc_rdata: 0,
+///     pc_wdata: 4,
+///     rd_addr: 0,
+///     rd_wdata: 0,
+/// };
+/// assert!(monitor.check(&record).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RvfiMonitor {
+    previous: Option<RvfiRecord<u32>>,
+}
+
+impl RvfiMonitor {
+    /// Creates a monitor expecting the first record of a trace.
+    pub fn new() -> RvfiMonitor {
+        RvfiMonitor::default()
+    }
+
+    /// Checks the next record of the trace; returns all violations.
+    pub fn check(&mut self, record: &RvfiRecord<u32>) -> Vec<RvfiViolation> {
+        let mut violations = Vec::new();
+        if !record.valid {
+            violations.push(RvfiViolation::InvalidRecord);
+        }
+        if record.trap {
+            if record.trap_cause.is_none() {
+                violations.push(RvfiViolation::TrapWithoutCause);
+            }
+            if record.rd_addr != 0 || record.rd_wdata != 0 {
+                violations.push(RvfiViolation::TrapWithRegisterWrite);
+            }
+        } else if record.trap_cause.is_some() {
+            violations.push(RvfiViolation::CauseWithoutTrap);
+        }
+        if record.rd_addr == 0 && record.rd_wdata != 0 {
+            violations.push(RvfiViolation::NonZeroX0Write);
+        }
+        if let Some(previous) = &self.previous {
+            if record.order != previous.order + 1 {
+                violations.push(RvfiViolation::OrderNotMonotonic {
+                    previous: previous.order,
+                    current: record.order,
+                });
+            }
+            if record.pc_rdata != previous.pc_wdata {
+                violations.push(RvfiViolation::PcChainBroken {
+                    expected: previous.pc_wdata,
+                    found: record.pc_rdata,
+                });
+            }
+        }
+        self.previous = Some(*record);
+        violations
+    }
+
+    /// Forgets the trace history (e.g. after a testbench reset).
+    pub fn reset(&mut self) {
+        self.previous = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good(order: u64, pc: u32) -> RvfiRecord<u32> {
+        RvfiRecord {
+            valid: true,
+            order,
+            insn: 0x13,
+            trap: false,
+            trap_cause: None,
+            pc_rdata: pc,
+            pc_wdata: pc + 4,
+            rd_addr: 1,
+            rd_wdata: 7,
+        }
+    }
+
+    #[test]
+    fn clean_chain_passes() {
+        let mut monitor = RvfiMonitor::new();
+        assert!(monitor.check(&good(0, 0)).is_empty());
+        assert!(monitor.check(&good(1, 4)).is_empty());
+        assert!(monitor.check(&good(2, 8)).is_empty());
+    }
+
+    #[test]
+    fn broken_pc_chain_detected() {
+        let mut monitor = RvfiMonitor::new();
+        monitor.check(&good(0, 0));
+        let violations = monitor.check(&good(1, 12));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, RvfiViolation::PcChainBroken { expected: 4, found: 12 })));
+    }
+
+    #[test]
+    fn order_must_increment() {
+        let mut monitor = RvfiMonitor::new();
+        monitor.check(&good(0, 0));
+        let violations = monitor.check(&good(5, 4));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, RvfiViolation::OrderNotMonotonic { previous: 0, current: 5 })));
+    }
+
+    #[test]
+    fn trap_rules() {
+        let mut monitor = RvfiMonitor::new();
+        let mut record = good(0, 0);
+        record.trap = true;
+        record.trap_cause = None;
+        let violations = monitor.check(&record);
+        assert!(violations.contains(&RvfiViolation::TrapWithoutCause));
+        assert!(violations.contains(&RvfiViolation::TrapWithRegisterWrite));
+
+        monitor.reset();
+        let mut record = good(0, 0);
+        record.trap_cause = Some(2);
+        assert!(monitor.check(&record).contains(&RvfiViolation::CauseWithoutTrap));
+    }
+
+    #[test]
+    fn x0_write_data_must_be_zero() {
+        let mut monitor = RvfiMonitor::new();
+        let mut record = good(0, 0);
+        record.rd_addr = 0;
+        record.rd_wdata = 9;
+        assert!(monitor.check(&record).contains(&RvfiViolation::NonZeroX0Write));
+    }
+
+    #[test]
+    fn reset_clears_chain_state() {
+        let mut monitor = RvfiMonitor::new();
+        monitor.check(&good(0, 0));
+        monitor.reset();
+        // Fresh trace at a different PC: no chain violation.
+        assert!(monitor.check(&good(0, 0x100)).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Two-phase clocked register primitive.
+
+/// A clocked register with verilator-style two-phase update.
+///
+/// Combinational logic reads [`Reg::get`] and schedules the next value with
+/// [`Reg::set_next`]; the testbench advances the clock by calling
+/// [`Reg::tick`] on every register (usually via [`Clocked::tick`] on the
+/// containing module). Until `tick`, reads keep returning the old value —
+/// this reproduces non-blocking assignment semantics and makes the model
+/// insensitive to evaluation order within a cycle.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_rtl::Reg;
+///
+/// let mut q = Reg::new(0u32);
+/// q.set_next(5);
+/// assert_eq!(q.get(), 0); // not yet clocked
+/// q.tick();
+/// assert_eq!(q.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reg<T: Copy> {
+    current: T,
+    next: T,
+}
+
+impl<T: Copy> Reg<T> {
+    /// Creates a register holding `init` (also the pending next value).
+    pub fn new(init: T) -> Reg<T> {
+        Reg {
+            current: init,
+            next: init,
+        }
+    }
+
+    /// The registered (pre-edge) value.
+    #[inline]
+    pub fn get(&self) -> T {
+        self.current
+    }
+
+    /// Schedules `value` to be latched at the next clock edge.
+    #[inline]
+    pub fn set_next(&mut self, value: T) {
+        self.next = value;
+    }
+
+    /// The currently scheduled next value (for debug inspection).
+    #[inline]
+    pub fn peek_next(&self) -> T {
+        self.next
+    }
+
+    /// Advances the clock edge: the scheduled value becomes current.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.current = self.next;
+    }
+
+    /// Resets both phases to `value` immediately (asynchronous reset).
+    pub fn reset(&mut self, value: T) {
+        self.current = value;
+        self.next = value;
+    }
+}
+
+impl<T: Copy + Default> Default for Reg<T> {
+    fn default() -> Reg<T> {
+        Reg::new(T::default())
+    }
+}
+
+/// A module with clocked state.
+///
+/// Implementors propagate [`Reg::tick`] to every register they own.
+pub trait Clocked {
+    /// Advances one clock edge.
+    fn tick(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_phase_semantics() {
+        let mut r = Reg::new(1u32);
+        r.set_next(2);
+        r.set_next(3); // last write wins
+        assert_eq!(r.get(), 1);
+        assert_eq!(r.peek_next(), 3);
+        r.tick();
+        assert_eq!(r.get(), 3);
+        // Without a new set_next, the value holds.
+        r.tick();
+        assert_eq!(r.get(), 3);
+    }
+
+    #[test]
+    fn reset_clears_both_phases() {
+        let mut r = Reg::new(7u32);
+        r.set_next(9);
+        r.reset(0);
+        r.tick();
+        assert_eq!(r.get(), 0);
+    }
+
+    #[test]
+    fn order_insensitivity_within_a_cycle() {
+        // Swap two registers — the classic non-blocking assignment test.
+        let mut a = Reg::new(1u32);
+        let mut b = Reg::new(2u32);
+        a.set_next(b.get());
+        b.set_next(a.get());
+        a.tick();
+        b.tick();
+        assert_eq!((a.get(), b.get()), (2, 1));
+    }
+}

@@ -1,0 +1,98 @@
+//! RISC-V Formal Interface (RVFI) retirement records.
+
+/// One retired instruction as observed through the RVFI port.
+///
+/// This is the subset of RVFI the paper's voter consumes: instruction
+/// identity, trap outcome, old/new PC and the destination-register write.
+/// Handshake metadata (`valid`, `order`, `trap`) is concrete — the
+/// symbolic executor forks until control flow is — while data-path values,
+/// including the destination-register *index*, carry the domain's word
+/// type `W` so they can stay symbolic within a path.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_rtl::RvfiRecord;
+///
+/// let record = RvfiRecord::<u32> {
+///     valid: true,
+///     order: 0,
+///     insn: 0x0000_0013,
+///     trap: false,
+///     trap_cause: None,
+///     pc_rdata: 0x0,
+///     pc_wdata: 0x4,
+///     rd_addr: 0,
+///     rd_wdata: 0,
+/// };
+/// assert!(record.valid && !record.trap);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RvfiRecord<W> {
+    /// The record describes a retired instruction (`rvfi_valid`).
+    pub valid: bool,
+    /// Retirement index, starting at zero (`rvfi_order`).
+    pub order: u64,
+    /// The retired instruction word (`rvfi_insn`).
+    pub insn: W,
+    /// The instruction trapped (`rvfi_trap`).
+    pub trap: bool,
+    /// Synchronous exception cause if `trap` (architectural `mcause`).
+    pub trap_cause: Option<u32>,
+    /// PC before the instruction (`rvfi_pc_rdata`).
+    pub pc_rdata: W,
+    /// PC after the instruction (`rvfi_pc_wdata`).
+    pub pc_wdata: W,
+    /// Destination register index; 0 when no register is written
+    /// (`rvfi_rd_addr`).
+    pub rd_addr: W,
+    /// Value written to the destination register (`rvfi_rd_wdata`);
+    /// must read as zero when `rd_addr == 0`, per the RVFI convention.
+    pub rd_wdata: W,
+}
+
+impl<W> RvfiRecord<W> {
+    /// Maps the word-typed fields through `f`, keeping control metadata.
+    ///
+    /// Used to concretise a symbolic record once a solver model is known.
+    pub fn map_words<V>(self, mut f: impl FnMut(W) -> V) -> RvfiRecord<V> {
+        RvfiRecord {
+            valid: self.valid,
+            order: self.order,
+            insn: f(self.insn),
+            trap: self.trap,
+            trap_cause: self.trap_cause,
+            pc_rdata: f(self.pc_rdata),
+            pc_wdata: f(self.pc_wdata),
+            rd_addr: f(self.rd_addr),
+            rd_wdata: f(self.rd_wdata),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_words_preserves_metadata() {
+        let record = RvfiRecord::<u32> {
+            valid: true,
+            order: 3,
+            insn: 0x13,
+            trap: true,
+            trap_cause: Some(2),
+            pc_rdata: 0x100,
+            pc_wdata: 0x104,
+            rd_addr: 5,
+            rd_wdata: 42,
+        };
+        let mapped = record.map_words(|w| w as u64 * 2);
+        assert!(mapped.valid);
+        assert_eq!(mapped.order, 3);
+        assert_eq!(mapped.trap_cause, Some(2));
+        assert_eq!(mapped.rd_addr, 10);
+        assert_eq!(mapped.rd_wdata, 84);
+        assert_eq!(mapped.pc_wdata, 0x208);
+    }
+}

@@ -1,0 +1,160 @@
+//! DIMACS CNF import/export.
+//!
+//! Primarily a debugging aid: a failing bit-blasted query can be dumped with
+//! [`to_dimacs`] and cross-checked with an external solver.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Lit, Solver, Var};
+
+/// Error produced by [`parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text into a fresh [`Solver`].
+///
+/// Comment lines (`c …`) and the problem line (`p cnf V C`) are accepted;
+/// variables beyond the declared count are allocated on demand.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed tokens or a clause without a
+/// terminating `0`.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_sat::{parse_dimacs, SolveResult};
+///
+/// # fn main() -> Result<(), symcosim_sat::ParseDimacsError> {
+/// let mut solver = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")?;
+/// assert_eq!(solver.solve(&[]), SolveResult::Sat);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<Solver, ParseDimacsError> {
+    let mut solver = Solver::new();
+    let mut clause: Vec<Lit> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        for token in line.split_ascii_whitespace() {
+            let value: i64 = token.parse().map_err(|_| ParseDimacsError {
+                line: lineno + 1,
+                message: format!("invalid literal token {token:?}"),
+            })?;
+            if value == 0 {
+                solver.add_clause(clause.drain(..));
+                continue;
+            }
+            let var_index = (value.unsigned_abs() - 1) as usize;
+            while solver.num_vars() <= var_index {
+                solver.new_var();
+            }
+            clause.push(Lit::new(Var::from_index(var_index), value > 0));
+        }
+    }
+    if !clause.is_empty() {
+        return Err(ParseDimacsError {
+            line: text.lines().count(),
+            message: "last clause not terminated by 0".to_string(),
+        });
+    }
+    Ok(solver)
+}
+
+/// Serialises a clause list to DIMACS CNF text.
+///
+/// `num_vars` is emitted in the problem line; literal `v0` becomes DIMACS
+/// variable `1`.
+pub fn to_dimacs<'a, I>(num_vars: usize, clauses: I) -> String
+where
+    I: IntoIterator<Item = &'a [Lit]>,
+{
+    let clause_texts: Vec<String> = clauses
+        .into_iter()
+        .map(|clause| {
+            let mut line = String::new();
+            for lit in clause {
+                let dimacs =
+                    (lit.var().index() as i64 + 1) * if lit.is_positive() { 1 } else { -1 };
+                line.push_str(&dimacs.to_string());
+                line.push(' ');
+            }
+            line.push('0');
+            line
+        })
+        .collect();
+    format!(
+        "p cnf {} {}\n{}\n",
+        num_vars,
+        clause_texts.len(),
+        clause_texts.join("\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parses_comments_and_problem_line() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let mut solver = parse_dimacs(text).expect("valid DIMACS");
+        assert_eq!(solver.num_vars(), 3);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn rejects_garbage_token() {
+        let err = parse_dimacs("1 x 0\n").expect_err("invalid token");
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("invalid literal"));
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        let err = parse_dimacs("1 2\n").expect_err("unterminated clause");
+        assert!(err.message.contains("not terminated"));
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![
+                Lit::positive(Var::from_index(0)),
+                Lit::negative(Var::from_index(1)),
+            ],
+            vec![Lit::positive(Var::from_index(1))],
+        ];
+        let text = to_dimacs(2, clauses.iter().map(|c| c.as_slice()));
+        assert!(text.starts_with("p cnf 2 2"));
+        let mut solver = parse_dimacs(&text).expect("round trip");
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert_eq!(solver.model_value(Var::from_index(0)), Some(true));
+        assert_eq!(solver.model_value(Var::from_index(1)), Some(true));
+    }
+
+    #[test]
+    fn empty_input_is_sat() {
+        let mut solver = parse_dimacs("").expect("empty ok");
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,41 @@
+//! A CDCL SAT solver.
+//!
+//! This crate is the decision-procedure substrate for the symbolic execution
+//! engine (`symcosim-symex`): bit-vector path constraints are bit-blasted to
+//! CNF and discharged here. It is a from-scratch implementation of the
+//! standard conflict-driven clause-learning architecture:
+//!
+//! * two-literal watching for unit propagation,
+//! * first-UIP conflict analysis with clause learning,
+//! * VSIDS variable activities with phase saving,
+//! * Luby-sequence restarts,
+//! * solving under assumptions (the incremental interface the symbolic
+//!   engine uses for path-feasibility queries), and
+//! * DIMACS import/export for debugging against external solvers.
+//!
+//! # Example
+//!
+//! ```
+//! use symcosim_sat::{Lit, SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause([Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause([Lit::negative(a)]);
+//! assert_eq!(solver.solve(&[]), SolveResult::Sat);
+//! assert_eq!(solver.model_value(b), Some(true));
+//! // Under the assumption ¬b the formula becomes unsatisfiable.
+//! assert_eq!(solver.solve(&[Lit::negative(b)]), SolveResult::Unsat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dimacs;
+mod lit;
+mod solver;
+
+pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

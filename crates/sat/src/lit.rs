@@ -1,0 +1,153 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from zero.
+///
+/// Create variables with [`Solver::new_var`](crate::Solver::new_var);
+/// indices are dense and owned by one solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The variable's dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a variable from a dense index.
+    ///
+    /// Only meaningful for indices previously returned by a solver.
+    #[inline]
+    pub const fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `2·var + sign` so literals index watch lists directly.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_sat::{Lit, Var};
+///
+/// let v = Var::from_index(3);
+/// let lit = Lit::positive(v);
+/// assert_eq!(!lit, Lit::negative(v));
+/// assert_eq!((!lit).var(), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub const fn positive(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub const fn negative(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a polarity.
+    #[inline]
+    pub const fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for a positive literal.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense code (`2·var + sign`), usable as an array index.
+    #[inline]
+    pub const fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    #[inline]
+    pub const fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var().0)
+        } else {
+            write!(f, "¬v{}", self.var().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        let lit = Lit::positive(Var::from_index(7));
+        assert_eq!(!!lit, lit);
+        assert_ne!(!lit, lit);
+        assert_eq!((!lit).var(), lit.var());
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for code in 0..64 {
+            assert_eq!(Lit::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn polarity() {
+        let v = Var::from_index(0);
+        assert!(Lit::positive(v).is_positive());
+        assert!(!Lit::negative(v).is_positive());
+        assert_eq!(Lit::new(v, true), Lit::positive(v));
+        assert_eq!(Lit::new(v, false), Lit::negative(v));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(2);
+        assert_eq!(Lit::positive(v).to_string(), "v2");
+        assert_eq!(Lit::negative(v).to_string(), "¬v2");
+    }
+}

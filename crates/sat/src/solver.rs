@@ -1,0 +1,953 @@
+//! The CDCL search engine.
+
+use std::fmt;
+
+use crate::{Lit, Var};
+
+const UNDEF: u8 = 2;
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The formula is unsatisfiable under the given assumptions.
+    Unsat,
+}
+
+/// Cumulative search statistics, exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of `solve` calls.
+    pub solves: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solves={} decisions={} propagations={} conflicts={} restarts={} learnt={}",
+            self.solves,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnt_clauses
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    cref: usize,
+    blocker: Lit,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the [crate documentation](crate) for an end-to-end example. Clauses
+/// may be added at any time between `solve` calls; learnt clauses persist,
+/// making repeated [`Solver::solve`] calls under different assumptions cheap
+/// (this is how the symbolic engine checks path feasibility incrementally).
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<u8>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: Vec<Var>,
+    heap_index: Vec<usize>,
+    seen: Vec<bool>,
+    model: Vec<u8>,
+    ok: bool,
+    stats: SolverStats,
+}
+
+const HEAP_ABSENT: usize = usize::MAX;
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: Vec::new(),
+            heap_index: Vec::new(),
+            seen: Vec::new(),
+            model: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var(self.assign.len() as u32);
+        self.assign.push(UNDEF);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap_index.push(HEAP_ABSENT);
+        self.heap_insert(var);
+        var
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem (non-learnt) clauses added.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut stats = self.stats;
+        stats.learnt_clauses = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count() as u64;
+        stats
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Tautologies are dropped; literals already false at the top level are
+    /// removed. Adding the empty clause (or a clause whose literals are all
+    /// false at the top level) makes the formula permanently unsatisfiable.
+    ///
+    /// Returns `false` if the solver is already in an unsatisfiable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable not created by
+    /// [`Solver::new_var`] on this solver.
+    pub fn add_clause<I>(&mut self, lits: I) -> bool
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for lit in &lits {
+            assert!(
+                lit.var().index() < self.num_vars(),
+                "literal {lit} references an unallocated variable"
+            );
+        }
+        if !self.ok {
+            return false;
+        }
+        // Clause insertion happens at the top level only.
+        self.cancel_until(0);
+        lits.sort_unstable();
+        lits.dedup();
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut prev: Option<Lit> = None;
+        for lit in lits {
+            if let Some(p) = prev {
+                if p == !lit {
+                    return true; // tautology: contains l and ¬l (adjacent after sort)
+                }
+            }
+            match self.lit_value(lit) {
+                Some(true) => return true, // already satisfied at top level
+                Some(false) => {}          // drop falsified literal
+                None => {
+                    simplified.push(lit);
+                    prev = Some(lit);
+                }
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    /// Solves under the given assumptions.
+    ///
+    /// Assumptions are literals forced true for this call only. After
+    /// [`SolveResult::Sat`], the model is available via
+    /// [`Solver::model_value`] until mutated again.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let mut conflicts_until_restart = self.restart_budget();
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(confl);
+                // A conflict forcing us below the assumption prefix means
+                // the assumptions themselves are inconsistent with the
+                // formula once the asserting literal contradicts one.
+                self.cancel_until(backjump);
+                match learnt.len() {
+                    0 => {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    1 => {
+                        if self.lit_value(learnt[0]) == Some(false) {
+                            self.ok = false;
+                            return SolveResult::Unsat;
+                        }
+                        if self.lit_value(learnt[0]).is_none() {
+                            self.unchecked_enqueue(learnt[0], None);
+                        }
+                    }
+                    _ => {
+                        let asserting = learnt[0];
+                        let cref = self.attach_clause(learnt, true);
+                        self.bump_clause(cref);
+                        self.unchecked_enqueue(asserting, Some(cref));
+                    }
+                }
+                self.decay_activities();
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = self.restart_budget();
+                    self.cancel_until(0);
+                    self.maybe_reduce_db();
+                    continue;
+                }
+                // Establish assumptions, one decision level each.
+                if self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.lit_value(p) {
+                        Some(true) => {
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        Some(false) => {
+                            // The formula (plus earlier assumptions) implies ¬p.
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(p, None);
+                            continue;
+                        }
+                    }
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // All variables assigned: model found.
+                        self.model = self.assign.clone();
+                        self.cancel_until(0);
+                        return SolveResult::Sat;
+                    }
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(var, self.phase[var.index()]);
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value of `var` in the most recent satisfying assignment.
+    ///
+    /// `None` if no model is available or the variable was created after
+    /// the last successful solve.
+    pub fn model_value(&self, var: Var) -> Option<bool> {
+        match self.model.get(var.index()) {
+            Some(&0) => Some(false),
+            Some(&1) => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The value of `lit` in the most recent satisfying assignment.
+    pub fn model_lit_value(&self, lit: Lit) -> Option<bool> {
+        self.model_value(lit.var()).map(|v| v == lit.is_positive())
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn restart_budget(&self) -> u64 {
+        100 * luby(self.stats.restarts + 1)
+    }
+
+    #[inline]
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    #[inline]
+    fn var_value(&self, var: Var) -> Option<bool> {
+        match self.assign[var.index()] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.var_value(lit.var()).map(|v| v == lit.is_positive())
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        self.watches[(!lits[0]).code()].push(Watch {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watch {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+        debug_assert!(self.lit_value(lit).is_none());
+        let var = lit.var();
+        self.assign[var.index()] = lit.is_positive() as u8;
+        self.level[var.index()] = self.decision_level() as u32;
+        self.reason[var.index()] = reason;
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let watch = ws[i];
+                if self.lit_value(watch.blocker) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                let cref = watch.cref;
+                if self.clauses[cref].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Ensure the falsified literal ¬p sits at index 1.
+                let false_lit = !p;
+                {
+                    let lits = &mut self.clauses[cref].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != watch.blocker && self.lit_value(first) == Some(true) {
+                    ws[i] = Watch {
+                        cref,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Search for a replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[cref].lits.len() {
+                    let lit = self.clauses[cref].lits[k];
+                    if self.lit_value(lit) != Some(false) {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[(!lit).code()].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    self.watches[p.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[p.code()] = ws;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = confl;
+        let current_level = self.decision_level() as u32;
+
+        loop {
+            self.bump_clause(cref);
+            let start = usize::from(p.is_some());
+            let clause_lits: Vec<Lit> = self.clauses[cref].lits[start..].to_vec();
+            for q in clause_lits {
+                let var = q.var();
+                if !self.seen[var.index()] && self.level[var.index()] > 0 {
+                    self.seen[var.index()] = true;
+                    self.bump_var(var);
+                    if self.level[var.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next trail literal contributing to the conflict.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            p = Some(lit);
+            cref = self.reason[lit.var().index()].expect("non-decision literal has a reason");
+        }
+
+        let asserting = !p.expect("conflict at level > 0 has a UIP");
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(asserting);
+        clause.extend(learnt.iter().copied());
+
+        // Clear remaining seen flags.
+        for lit in &clause {
+            self.seen[lit.var().index()] = false;
+        }
+
+        // Backjump level: highest level among the non-asserting literals.
+        let mut backjump = 0usize;
+        if clause.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..clause.len() {
+                if self.level[clause[i].var().index()] > self.level[clause[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            clause.swap(1, max_i);
+            backjump = self.level[clause[1].var().index()] as usize;
+        }
+        (clause, backjump)
+    }
+
+    fn cancel_until(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let boundary = self.trail_lim[target_level];
+        for i in (boundary..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let var = lit.var();
+            self.phase[var.index()] = lit.is_positive();
+            self.assign[var.index()] = UNDEF;
+            self.reason[var.index()] = None;
+            if self.heap_index[var.index()] == HEAP_ABSENT {
+                self.heap_insert(var);
+            }
+        }
+        self.trail.truncate(boundary);
+        self.trail_lim.truncate(target_level);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(var) = self.heap_pop() {
+            if self.var_value(var).is_none() {
+                return Some(var);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_index[var.index()] != HEAP_ABSENT {
+            self.heap_sift_up(self.heap_index[var.index()]);
+        }
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        if !self.clauses[cref].learnt {
+            return;
+        }
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > 1e20 {
+            for clause in &mut self.clauses {
+                clause.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    /// Deletes low-activity learnt clauses when the database grows past a
+    /// threshold. Runs only at decision level zero.
+    fn maybe_reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let learnt_count = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count();
+        let threshold = 2000 + self.num_clauses();
+        if learnt_count <= threshold {
+            return;
+        }
+        let mut activities: Vec<f64> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .map(|c| c.activity)
+            .collect();
+        activities.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
+        let median = activities[activities.len() / 2];
+        let locked: Vec<Option<usize>> = self.reason.clone();
+        for (cref, clause) in self.clauses.iter_mut().enumerate() {
+            if clause.learnt
+                && !clause.deleted
+                && clause.activity < median
+                && clause.lits.len() > 2
+                && !locked.contains(&Some(cref))
+            {
+                clause.deleted = true;
+            }
+        }
+        // Rebuild watches from scratch, dropping deleted clauses.
+        for list in &mut self.watches {
+            list.clear();
+        }
+        for cref in 0..self.clauses.len() {
+            if self.clauses[cref].deleted {
+                continue;
+            }
+            let (l0, l1) = (self.clauses[cref].lits[0], self.clauses[cref].lits[1]);
+            self.watches[(!l0).code()].push(Watch { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watch { cref, blocker: l0 });
+        }
+    }
+
+    // Indexed binary max-heap ordered by variable activity.
+
+    fn heap_insert(&mut self, var: Var) {
+        debug_assert_eq!(self.heap_index[var.index()], HEAP_ABSENT);
+        self.heap.push(var);
+        self.heap_index[var.index()] = self.heap.len() - 1;
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_index[top.index()] = HEAP_ABSENT;
+        let last = self.heap.pop().expect("heap non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_index[last.index()] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.activity[self.heap[pos].index()] <= self.activity[self.heap[parent].index()] {
+                break;
+            }
+            self.heap_swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut best = pos;
+            if left < self.heap.len()
+                && self.activity[self.heap[left].index()] > self.activity[self.heap[best].index()]
+            {
+                best = left;
+            }
+            if right < self.heap.len()
+                && self.activity[self.heap[right].index()] > self.activity[self.heap[best].index()]
+            {
+                best = right;
+            }
+            if best == pos {
+                break;
+            }
+            self.heap_swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_index[self.heap[a].index()] = a;
+        self.heap_index[self.heap[b].index()] = b;
+    }
+}
+
+/// The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+fn luby(mut i: u64) -> u64 {
+    loop {
+        if (i + 1).is_power_of_two() {
+            return i.div_ceil(2);
+        }
+        // Strip the longest complete prefix of length 2^k − 1.
+        let k = 63 - (i + 1).leading_zeros() as u64;
+        i -= (1u64 << k) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(solver: &Solver, i: usize) -> Lit {
+        let _ = solver;
+        Lit::positive(Var::from_index(i))
+    }
+
+    fn solver_with_vars(n: usize) -> Solver {
+        let mut solver = Solver::new();
+        for _ in 0..n {
+            solver.new_var();
+        }
+        solver
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), want, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut solver = Solver::new();
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut solver = solver_with_vars(3);
+        let (a, b, c) = (pos(&solver, 0), pos(&solver, 1), pos(&solver, 2));
+        solver.add_clause([a]);
+        solver.add_clause([!a, b]);
+        solver.add_clause([!b, c]);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert_eq!(solver.model_value(Var::from_index(0)), Some(true));
+        assert_eq!(solver.model_value(Var::from_index(1)), Some(true));
+        assert_eq!(solver.model_value(Var::from_index(2)), Some(true));
+    }
+
+    #[test]
+    fn direct_contradiction_is_unsat() {
+        let mut solver = solver_with_vars(1);
+        let a = pos(&solver, 0);
+        solver.add_clause([a]);
+        assert!(!solver.add_clause([!a]));
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut solver = solver_with_vars(1);
+        assert!(!solver.add_clause([]));
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut solver = solver_with_vars(2);
+        let (a, b) = (pos(&solver, 0), pos(&solver, 1));
+        assert!(solver.add_clause([a, !a]));
+        assert!(solver.add_clause([b, !b, a]));
+        assert_eq!(solver.num_clauses(), 0);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_restrict_but_do_not_persist() {
+        let mut solver = solver_with_vars(2);
+        let (a, b) = (pos(&solver, 0), pos(&solver, 1));
+        solver.add_clause([a, b]);
+        assert_eq!(solver.solve(&[!a]), SolveResult::Sat);
+        assert_eq!(solver.model_value(Var::from_index(1)), Some(true));
+        assert_eq!(solver.solve(&[!a, !b]), SolveResult::Unsat);
+        // The failed assumption query must not poison later queries.
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert_eq!(solver.solve(&[!b]), SolveResult::Sat);
+        assert_eq!(solver.model_value(Var::from_index(0)), Some(true));
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_unsat() {
+        let mut solver = solver_with_vars(1);
+        let a = pos(&solver, 0);
+        assert_eq!(solver.solve(&[a, !a]), SolveResult::Unsat);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+
+    /// Pigeonhole principle PHP(n+1, n) is unsatisfiable — a classic
+    /// exercise for the conflict analysis machinery.
+    fn pigeonhole(pigeons: usize, holes: usize) -> (Solver, Vec<Vec<Lit>>) {
+        let mut solver = Solver::new();
+        let mut grid = Vec::new();
+        for _ in 0..pigeons {
+            let row: Vec<Lit> = (0..holes)
+                .map(|_| Lit::positive(solver.new_var()))
+                .collect();
+            grid.push(row);
+        }
+        for row in &grid {
+            solver.add_clause(row.iter().copied());
+        }
+        #[allow(clippy::needless_range_loop)] // 2-D pigeonhole indexing
+        #[allow(clippy::needless_range_loop)] // 2-D pigeonhole indexing
+        for hole in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    let (a, b) = (grid[p1][hole], grid[p2][hole]);
+                    solver.add_clause([!a, !b]);
+                }
+            }
+        }
+        (solver, grid)
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=5 {
+            let (mut solver, _) = pigeonhole(holes + 1, holes);
+            assert_eq!(
+                solver.solve(&[]),
+                SolveResult::Unsat,
+                "PHP({}, {})",
+                holes + 1,
+                holes
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let (mut solver, grid) = pigeonhole(4, 4);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        // Each pigeon sits in at least one hole in the model.
+        for row in &grid {
+            assert!(row.iter().any(|&l| solver.model_lit_value(l) == Some(true)));
+        }
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_model() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 = 1  =>  x1 = 0, x2 = 1.
+        let mut solver = solver_with_vars(3);
+        let (a, b, c) = (pos(&solver, 0), pos(&solver, 1), pos(&solver, 2));
+        // a ⊕ b = 1  <=>  (a ∨ b) ∧ (¬a ∨ ¬b)
+        solver.add_clause([a, b]);
+        solver.add_clause([!a, !b]);
+        solver.add_clause([b, c]);
+        solver.add_clause([!b, !c]);
+        solver.add_clause([a]);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert_eq!(solver.model_value(Var::from_index(1)), Some(false));
+        assert_eq!(solver.model_value(Var::from_index(2)), Some(true));
+    }
+
+    #[test]
+    fn model_satisfies_every_clause_on_random_instances() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..50 {
+            let nvars = 8 + (next() % 8) as usize;
+            let nclauses = 3 * nvars;
+            let mut solver = solver_with_vars(nvars);
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let var = Var::from_index((next() as usize) % nvars);
+                    clause.push(Lit::new(var, next() % 2 == 0));
+                }
+                clauses.push(clause.clone());
+                solver.add_clause(clause);
+            }
+            if solver.solve(&[]) == SolveResult::Sat {
+                for clause in &clauses {
+                    assert!(
+                        clause
+                            .iter()
+                            .any(|&l| solver.model_lit_value(l) == Some(true)),
+                        "model violates clause {clauses:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let (mut solver, _) = pigeonhole(5, 4);
+        solver.solve(&[]);
+        let stats = solver.stats();
+        assert!(stats.conflicts > 0);
+        assert!(stats.propagations > 0);
+        assert_eq!(stats.solves, 1);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated variable")]
+    fn rejects_foreign_literal() {
+        let mut solver = solver_with_vars(1);
+        solver.add_clause([Lit::positive(Var::from_index(5))]);
+    }
+
+    #[test]
+    fn incremental_use_after_sat() {
+        let mut solver = solver_with_vars(4);
+        let lits: Vec<Lit> = (0..4).map(|i| pos(&solver, i)).collect();
+        solver.add_clause([lits[0], lits[1]]);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        solver.add_clause([!lits[0]]);
+        solver.add_clause([!lits[1], lits[2]]);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert_eq!(solver.model_value(Var::from_index(1)), Some(true));
+        assert_eq!(solver.model_value(Var::from_index(2)), Some(true));
+        solver.add_clause([!lits[2], lits[3]]);
+        assert_eq!(solver.solve(&[!lits[3]]), SolveResult::Unsat);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+}

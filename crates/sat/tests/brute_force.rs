@@ -1,0 +1,90 @@
+//! Differential tests: CDCL verdicts against exhaustive enumeration.
+
+use proptest::prelude::*;
+use symcosim_sat::{Lit, SolveResult, Solver, Var};
+
+/// A clause as (variable index, polarity) pairs.
+type TestClause = Vec<(usize, bool)>;
+
+fn brute_force_sat(num_vars: usize, clauses: &[TestClause]) -> bool {
+    assert!(num_vars <= 16, "brute force limited to 16 variables");
+    'outer: for assignment in 0u32..(1 << num_vars) {
+        for clause in clauses {
+            let satisfied = clause
+                .iter()
+                .any(|&(var, positive)| ((assignment >> var) & 1 == 1) == positive);
+            if !satisfied {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn build_solver(num_vars: usize, clauses: &[TestClause]) -> Solver {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        solver.add_clause(clause.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
+    }
+    solver
+}
+
+fn arb_clauses(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<TestClause>> {
+    let clause = proptest::collection::vec((0..num_vars, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 0..=max_clauses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The CDCL verdict agrees with exhaustive enumeration.
+    #[test]
+    fn verdict_matches_brute_force(clauses in arb_clauses(8, 40)) {
+        let expected = brute_force_sat(8, &clauses);
+        let mut solver = build_solver(8, &clauses);
+        let got = solver.solve(&[]) == SolveResult::Sat;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Whenever the solver answers SAT, its model satisfies every clause.
+    #[test]
+    fn sat_models_are_genuine(clauses in arb_clauses(10, 60)) {
+        let mut solver = build_solver(10, &clauses);
+        if solver.solve(&[]) == SolveResult::Sat {
+            for clause in &clauses {
+                let ok = clause.iter().any(|&(v, pos)| {
+                    solver.model_value(Var::from_index(v)) == Some(pos)
+                });
+                prop_assert!(ok, "model violates clause {:?}", clause);
+            }
+        }
+    }
+
+    /// Solving under assumptions equals solving the formula with the
+    /// assumptions added as unit clauses.
+    #[test]
+    fn assumptions_equal_units(
+        clauses in arb_clauses(8, 30),
+        assumed in proptest::collection::vec((0usize..8, any::<bool>()), 0..=3),
+    ) {
+        let mut incremental = build_solver(8, &clauses);
+        let assumptions: Vec<Lit> = assumed
+            .iter()
+            .map(|&(v, pos)| Lit::new(Var::from_index(v), pos))
+            .collect();
+        let got = incremental.solve(&assumptions) == SolveResult::Sat;
+
+        let mut clauses_with_units = clauses.clone();
+        for &(v, pos) in &assumed {
+            clauses_with_units.push(vec![(v, pos)]);
+        }
+        let expected = brute_force_sat(8, &clauses_with_units);
+        prop_assert_eq!(got, expected);
+
+        // And the incremental solver is reusable afterwards.
+        let baseline = brute_force_sat(8, &clauses);
+        prop_assert_eq!(incremental.solve(&[]) == SolveResult::Sat, baseline);
+    }
+}

@@ -1,0 +1,175 @@
+//! Term pretty-printing and graph statistics.
+//!
+//! Debugging aids: constraints and voter conditions can be dumped in a
+//! readable SMT-like prefix syntax, and the context can report how big the
+//! shared term graph has grown (useful when tuning memory sizes and the
+//! symbolic register window).
+
+use std::collections::HashMap;
+
+use crate::term::{Node, TermId};
+use crate::Context;
+
+impl Context {
+    /// Renders `term` as an SMT-like prefix expression.
+    ///
+    /// Shared subterms are rendered in full at each occurrence; use
+    /// [`Context::stats`] to judge sharing. Constants print as hex,
+    /// symbols by name.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use symcosim_symex::Context;
+    ///
+    /// let mut ctx = Context::new();
+    /// let x = ctx.symbol(32, "x");
+    /// let k = ctx.constant(32, 7);
+    /// let sum = ctx.add(x, k);
+    /// let cond = ctx.ult(sum, k);
+    /// assert_eq!(ctx.render(cond), "(ult (add x 0x7) 0x7)");
+    /// ```
+    pub fn render(&self, term: TermId) -> String {
+        match self.node(term) {
+            Node::Const { value, .. } => format!("{value:#x}"),
+            Node::Symbol { .. } => {
+                self.symbol_name(term).expect("symbol has a name").to_string()
+            }
+            Node::Not(a) => format!("(not {})", self.render(a)),
+            Node::And(a, b) => format!("(and {} {})", self.render(a), self.render(b)),
+            Node::Or(a, b) => format!("(or {} {})", self.render(a), self.render(b)),
+            Node::Xor(a, b) => format!("(xor {} {})", self.render(a), self.render(b)),
+            Node::Add(a, b) => format!("(add {} {})", self.render(a), self.render(b)),
+            Node::Sub(a, b) => format!("(sub {} {})", self.render(a), self.render(b)),
+            Node::Mul(a, b) => format!("(mul {} {})", self.render(a), self.render(b)),
+            Node::Shl(a, b) => format!("(shl {} {})", self.render(a), self.render(b)),
+            Node::Lshr(a, b) => format!("(lshr {} {})", self.render(a), self.render(b)),
+            Node::Ashr(a, b) => format!("(ashr {} {})", self.render(a), self.render(b)),
+            Node::Eq(a, b) => format!("(eq {} {})", self.render(a), self.render(b)),
+            Node::Ult(a, b) => format!("(ult {} {})", self.render(a), self.render(b)),
+            Node::Slt(a, b) => format!("(slt {} {})", self.render(a), self.render(b)),
+            Node::Ite(c, t, e) => {
+                format!("(ite {} {} {})", self.render(c), self.render(t), self.render(e))
+            }
+            Node::Extract { term, hi, lo } => {
+                format!("(extract[{hi}:{lo}] {})", self.render(term))
+            }
+            Node::Concat { hi, lo } => {
+                format!("(concat {} {})", self.render(hi), self.render(lo))
+            }
+            Node::ZeroExt { term, width } => {
+                format!("(zext[{width}] {})", self.render(term))
+            }
+            Node::SignExt { term, width } => {
+                format!("(sext[{width}] {})", self.render(term))
+            }
+        }
+    }
+
+    /// Aggregate statistics of the term graph.
+    pub fn stats(&self) -> ContextStats {
+        let mut by_kind: HashMap<&'static str, usize> = HashMap::new();
+        let mut symbols = 0;
+        let mut constants = 0;
+        for index in 0..self.num_nodes() {
+            let node = self.node(TermId(index as u32));
+            let kind = match node {
+                Node::Const { .. } => {
+                    constants += 1;
+                    "const"
+                }
+                Node::Symbol { .. } => {
+                    symbols += 1;
+                    "symbol"
+                }
+                Node::Not(_) => "not",
+                Node::And(..) => "and",
+                Node::Or(..) => "or",
+                Node::Xor(..) => "xor",
+                Node::Add(..) => "add",
+                Node::Sub(..) => "sub",
+                Node::Mul(..) => "mul",
+                Node::Shl(..) => "shl",
+                Node::Lshr(..) => "lshr",
+                Node::Ashr(..) => "ashr",
+                Node::Eq(..) => "eq",
+                Node::Ult(..) => "ult",
+                Node::Slt(..) => "slt",
+                Node::Ite(..) => "ite",
+                Node::Extract { .. } => "extract",
+                Node::Concat { .. } => "concat",
+                Node::ZeroExt { .. } => "zext",
+                Node::SignExt { .. } => "sext",
+            };
+            *by_kind.entry(kind).or_default() += 1;
+        }
+        ContextStats { nodes: self.num_nodes(), symbols, constants, by_kind }
+    }
+}
+
+/// Term-graph statistics returned by [`Context::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Total interned nodes.
+    pub nodes: usize,
+    /// Symbol leaves.
+    pub symbols: usize,
+    /// Constant leaves.
+    pub constants: usize,
+    /// Node count per operator kind.
+    pub by_kind: HashMap<&'static str, usize>,
+}
+
+impl std::fmt::Display for ContextStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} symbols, {} constants)",
+            self.nodes, self.symbols, self.constants
+        )?;
+        let mut kinds: Vec<_> =
+            self.by_kind.iter().filter(|(k, _)| **k != "symbol" && **k != "const").collect();
+        kinds.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (kind, count) in kinds.into_iter().take(5) {
+            write!(f, ", {kind}×{count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_expressions() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let y = ctx.symbol(8, "y");
+        let diff = ctx.sub(x, y);
+        let byte = ctx.extract(diff, 3, 0);
+        let wide = ctx.sign_ext(byte, 8);
+        let zero = ctx.constant(8, 0);
+        let cond = ctx.eq(wide, zero);
+        let sel = ctx.ite(cond, x, y);
+        assert_eq!(
+            ctx.render(sel),
+            "(ite (eq (sext[8] (extract[3:0] (sub x y))) 0x0) x y)"
+        );
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(32, "x");
+        let y = ctx.symbol(32, "y");
+        let a = ctx.add(x, y);
+        let _b = ctx.add(x, y); // hash-consed: no new node
+        let _c = ctx.mul(a, x);
+        let stats = ctx.stats();
+        assert_eq!(stats.symbols, 2);
+        assert_eq!(stats.by_kind.get("add"), Some(&1));
+        assert_eq!(stats.by_kind.get("mul"), Some(&1));
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -1,0 +1,746 @@
+//! Path exploration by deterministic re-execution.
+//!
+//! A *path* is identified by the sequence of branch directions taken at
+//! symbolic [`decide`](crate::Domain::decide) points. The engine keeps a
+//! frontier of unexplored decision prefixes; to run a path it re-executes
+//! the user closure from scratch, forcing recorded decisions and forking at
+//! the first fresh symbolic branch whose both sides are feasible. This is
+//! functionally the exploration KLEE performs by snapshotting, traded for
+//! re-execution — sound because the closure is deterministic, and cheap
+//! because co-simulation paths are bounded to one or two instructions.
+
+use crate::solve::SolverBackend;
+use crate::term::TermId;
+use crate::{Context, Domain, TestVector};
+
+/// Frontier discipline for pending paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Depth-first: explore the most recent fork first (KLEE's DFS).
+    #[default]
+    Dfs,
+    /// Breadth-first: explore forks in creation order.
+    Bfs,
+    /// Uniform random choice from the frontier (KLEE's random-path flavour),
+    /// deterministic in [`EngineConfig::seed`].
+    RandomPath,
+}
+
+/// Exploration limits and policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Frontier discipline.
+    pub strategy: SearchStrategy,
+    /// Stop after this many paths have been run (complete or not).
+    pub max_paths: usize,
+    /// Kill a path after this many symbolic decisions.
+    pub max_decisions_per_path: usize,
+    /// Produce a [`TestVector`] for every finished path (one extra solver
+    /// call per path, like KLEE's test-case emission).
+    pub emit_test_vectors: bool,
+    /// Seed for [`SearchStrategy::RandomPath`].
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            strategy: SearchStrategy::Dfs,
+            max_paths: 100_000,
+            max_decisions_per_path: 100_000,
+            emit_test_vectors: true,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Why a path ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStatus {
+    /// The closure ran to completion under feasible constraints.
+    Complete,
+    /// An [`assume`](crate::Domain::assume) made the path infeasible.
+    Infeasible,
+    /// The per-path decision limit was hit (counted as a *partial path*,
+    /// like KLEE paths killed by resource limits).
+    DecisionLimit,
+}
+
+/// One explored path and the value the closure returned on it.
+#[derive(Debug, Clone)]
+pub struct PathResult<R> {
+    /// The closure's return value.
+    pub value: R,
+    /// Why the path ended.
+    pub status: PathStatus,
+    /// Branch directions taken at symbolic decision points.
+    pub decisions: Vec<bool>,
+    /// Number of path constraints collected.
+    pub num_constraints: usize,
+    /// Concrete inputs reproducing this path, if emission is enabled and
+    /// the path is feasible.
+    pub test_vector: Option<TestVector>,
+}
+
+/// Aggregate result of an [`Engine::explore`] call.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome<R> {
+    /// All explored paths in completion order.
+    pub paths: Vec<PathResult<R>>,
+    /// Paths that ran to completion.
+    pub complete_paths: usize,
+    /// Paths cut short (infeasible assumes or decision limits).
+    pub partial_paths: usize,
+    /// `true` if exploration stopped because [`EngineConfig::max_paths`]
+    /// was reached while the frontier was non-empty.
+    pub frontier_exhausted: bool,
+}
+
+impl<R> ExploreOutcome<R> {
+    /// Iterates over the values of complete paths.
+    pub fn complete_values(&self) -> impl Iterator<Item = &R> {
+        self.paths
+            .iter()
+            .filter(|p| p.status == PathStatus::Complete)
+            .map(|p| &p.value)
+    }
+}
+
+#[derive(Debug)]
+struct PendingPath {
+    prefix: Vec<bool>,
+}
+
+/// The symbolic exploration engine.
+///
+/// Owns the term [`Context`] and the incremental [`SolverBackend`]; both
+/// are shared across paths so hash-consed terms and learnt clauses carry
+/// over. See the [crate documentation](crate) for an example.
+#[derive(Debug)]
+pub struct Engine {
+    ctx: Context,
+    backend: SolverBackend,
+    config: EngineConfig,
+    rng_state: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            ctx: Context::new(),
+            backend: SolverBackend::new(),
+            config: config.clone(),
+            rng_state: config.seed | 1,
+        }
+    }
+
+    /// Read access to the term context (for inspecting returned terms).
+    pub fn ctx(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Mutable access to the term context.
+    pub fn ctx_mut(&mut self) -> &mut Context {
+        &mut self.ctx
+    }
+
+    /// The solver backend, e.g. for statistics.
+    pub fn backend(&self) -> &SolverBackend {
+        &self.backend
+    }
+
+    /// Explores every feasible path through `f`.
+    ///
+    /// `f` must be deterministic: given the same decisions it must perform
+    /// the same domain operations in the same order, and it must name its
+    /// symbolic inputs canonically (see
+    /// [`Domain::fresh_word`](crate::Domain::fresh_word)). Each invocation
+    /// corresponds to one path; the engine re-invokes `f` until the
+    /// frontier empties or [`EngineConfig::max_paths`] is hit.
+    pub fn explore<F, R>(&mut self, f: F) -> ExploreOutcome<R>
+    where
+        F: FnMut(&mut SymExec<'_>) -> R,
+    {
+        self.explore_until(f, |_| false)
+    }
+
+    /// Like [`Engine::explore`], but stops as soon as `stop` returns true
+    /// for a just-completed path (e.g. "a mismatch was found") — the
+    /// error-injection experiments' mode of operation.
+    pub fn explore_until<F, R, P>(&mut self, mut f: F, mut stop: P) -> ExploreOutcome<R>
+    where
+        F: FnMut(&mut SymExec<'_>) -> R,
+        P: FnMut(&PathResult<R>) -> bool,
+    {
+        let mut frontier = vec![PendingPath { prefix: Vec::new() }];
+        let mut paths = Vec::new();
+        let mut complete = 0usize;
+        let mut partial = 0usize;
+
+        while let Some(pending) = self.pop_frontier(&mut frontier) {
+            if paths.len() >= self.config.max_paths {
+                return ExploreOutcome {
+                    paths,
+                    complete_paths: complete,
+                    partial_paths: partial,
+                    frontier_exhausted: true,
+                };
+            }
+            let mut exec = SymExec {
+                ctx: &mut self.ctx,
+                backend: &mut self.backend,
+                prefix: pending.prefix,
+                taken: Vec::new(),
+                constraints: Vec::new(),
+                forks: Vec::new(),
+                path_symbols: Vec::new(),
+                status: PathStatus::Complete,
+                max_decisions: self.config.max_decisions_per_path,
+            };
+            let value = f(&mut exec);
+            let SymExec {
+                taken,
+                constraints,
+                forks,
+                path_symbols,
+                status,
+                ..
+            } = exec;
+            for prefix in forks {
+                frontier.push(PendingPath { prefix });
+            }
+            let test_vector = if self.config.emit_test_vectors && status != PathStatus::Infeasible {
+                self.model_for(&constraints, &path_symbols)
+            } else {
+                None
+            };
+            match status {
+                PathStatus::Complete => complete += 1,
+                _ => partial += 1,
+            }
+            paths.push(PathResult {
+                value,
+                status,
+                decisions: taken,
+                num_constraints: constraints.len(),
+                test_vector,
+            });
+            if stop(paths.last().expect("just pushed")) {
+                return ExploreOutcome {
+                    frontier_exhausted: !frontier.is_empty(),
+                    paths,
+                    complete_paths: complete,
+                    partial_paths: partial,
+                };
+            }
+        }
+
+        ExploreOutcome {
+            paths,
+            complete_paths: complete,
+            partial_paths: partial,
+            frontier_exhausted: false,
+        }
+    }
+
+    fn pop_frontier(&mut self, frontier: &mut Vec<PendingPath>) -> Option<PendingPath> {
+        if frontier.is_empty() {
+            return None;
+        }
+        let index = match self.config.strategy {
+            SearchStrategy::Dfs => frontier.len() - 1,
+            SearchStrategy::Bfs => 0,
+            SearchStrategy::RandomPath => {
+                // xorshift64* — deterministic, no external dependency.
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                (self.rng_state as usize) % frontier.len()
+            }
+        };
+        Some(frontier.swap_remove(index))
+    }
+
+    fn model_for(&mut self, constraints: &[TermId], symbols: &[TermId]) -> Option<TestVector> {
+        if !self.backend.check(&self.ctx, constraints).is_sat() {
+            return None;
+        }
+        let mut vector = TestVector::new();
+        for &sym in symbols {
+            let name = self.ctx.symbol_name(sym)?.to_string();
+            let width = self.ctx.width(sym);
+            let value = self.backend.value_of(&self.ctx, sym).unwrap_or(0);
+            vector.push(name, width, value);
+        }
+        Some(vector)
+    }
+}
+
+/// Per-path symbolic executor; implements [`Domain`] over term handles.
+///
+/// Handed to the exploration closure by [`Engine::explore`]. Beyond the
+/// `Domain` operations it offers path-level queries used by verification
+/// harnesses: [`SymExec::check_sat`] (is a condition possible here?) and
+/// [`SymExec::concrete_witness`] (a model value under the path condition).
+#[derive(Debug)]
+pub struct SymExec<'e> {
+    ctx: &'e mut Context,
+    backend: &'e mut SolverBackend,
+    prefix: Vec<bool>,
+    taken: Vec<bool>,
+    constraints: Vec<TermId>,
+    forks: Vec<Vec<bool>>,
+    path_symbols: Vec<TermId>,
+    status: PathStatus,
+    max_decisions: usize,
+}
+
+impl SymExec<'_> {
+    /// The term context (symbolic values are [`TermId`]s into it).
+    pub fn context(&mut self) -> &mut Context {
+        self.ctx
+    }
+
+    /// The constraints accumulated on this path so far.
+    pub fn constraints(&self) -> &[TermId] {
+        &self.constraints
+    }
+
+    /// Whether `cond` is satisfiable together with the path condition —
+    /// *without* committing to it.
+    ///
+    /// This is the voter's primitive: "can the two models disagree here?".
+    pub fn check_sat(&mut self, cond: TermId) -> bool {
+        if let Some(value) = self.ctx.const_value(cond) {
+            return value == 1;
+        }
+        let mut conditions = self.constraints.clone();
+        conditions.push(cond);
+        self.backend.check(self.ctx, &conditions).is_sat()
+    }
+
+    /// A concrete witness for `term` under the path condition plus `extra`.
+    ///
+    /// Returns `None` if the combined constraints are infeasible.
+    pub fn concrete_witness(&mut self, term: TermId, extra: &[TermId]) -> Option<u64> {
+        let mut conditions = self.constraints.clone();
+        conditions.extend_from_slice(extra);
+        if !self.backend.check(self.ctx, &conditions).is_sat() {
+            return None;
+        }
+        self.backend.value_of(self.ctx, term)
+    }
+
+    /// A test vector for the path condition plus `extra` constraints,
+    /// covering the symbols created on this path.
+    pub fn witness_vector(&mut self, extra: &[TermId]) -> Option<TestVector> {
+        let mut conditions = self.constraints.clone();
+        conditions.extend_from_slice(extra);
+        if !self.backend.check(self.ctx, &conditions).is_sat() {
+            return None;
+        }
+        let mut vector = TestVector::new();
+        for &sym in &self.path_symbols {
+            let name = self.ctx.symbol_name(sym)?.to_string();
+            let width = self.ctx.width(sym);
+            let value = self.backend.value_of(self.ctx, sym).unwrap_or(0);
+            vector.push(name, width, value);
+        }
+        Some(vector)
+    }
+
+    /// Permanently adds `cond` to the path condition (it is already known
+    /// to hold, e.g. after a mismatch witness has been found).
+    pub fn add_constraint(&mut self, cond: TermId) {
+        self.constraints.push(cond);
+    }
+
+    fn kill(&mut self, status: PathStatus) {
+        if self.status == PathStatus::Complete {
+            self.status = status;
+        }
+    }
+}
+
+impl Domain for SymExec<'_> {
+    type Word = TermId;
+    type Bool = TermId;
+
+    fn const_word(&mut self, value: u32) -> TermId {
+        self.ctx.constant(32, value as u64)
+    }
+
+    fn const_bool(&mut self, value: bool) -> TermId {
+        self.ctx.bool_const(value)
+    }
+
+    fn fresh_word(&mut self, name: &str) -> TermId {
+        let sym = self.ctx.symbol(32, name);
+        if !self.path_symbols.contains(&sym) {
+            self.path_symbols.push(sym);
+        }
+        sym
+    }
+
+    fn word_value(&self, word: TermId) -> Option<u32> {
+        self.ctx.const_value(word).map(|v| v as u32)
+    }
+
+    fn bool_value(&self, b: TermId) -> Option<bool> {
+        self.ctx.const_value(b).map(|v| v == 1)
+    }
+
+    fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.add(a, b)
+    }
+
+    fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.sub(a, b)
+    }
+
+    fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.mul(a, b)
+    }
+
+    fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.and(a, b)
+    }
+
+    fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.or(a, b)
+    }
+
+    fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.xor(a, b)
+    }
+
+    fn not_w(&mut self, a: TermId) -> TermId {
+        self.ctx.not(a)
+    }
+
+    fn shl(&mut self, a: TermId, amount: TermId) -> TermId {
+        self.ctx.shl(a, amount)
+    }
+
+    fn lshr(&mut self, a: TermId, amount: TermId) -> TermId {
+        self.ctx.lshr(a, amount)
+    }
+
+    fn ashr(&mut self, a: TermId, amount: TermId) -> TermId {
+        self.ctx.ashr(a, amount)
+    }
+
+    fn eq_w(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.eq(a, b)
+    }
+
+    fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.ult(a, b)
+    }
+
+    fn slt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.slt(a, b)
+    }
+
+    fn ite(&mut self, cond: TermId, then_w: TermId, else_w: TermId) -> TermId {
+        self.ctx.ite(cond, then_w, else_w)
+    }
+
+    fn not_b(&mut self, a: TermId) -> TermId {
+        self.ctx.not(a)
+    }
+
+    fn and_b(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.and(a, b)
+    }
+
+    fn or_b(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.or(a, b)
+    }
+
+    fn bool_to_word(&mut self, b: TermId) -> TermId {
+        self.ctx.zero_ext(b, 32)
+    }
+
+    fn decide(&mut self, cond: TermId) -> bool {
+        if self.is_dead() {
+            return false;
+        }
+        if let Some(value) = self.ctx.const_value(cond) {
+            return value == 1;
+        }
+        let index = self.taken.len();
+        if index < self.prefix.len() {
+            // Replaying a recorded prefix: feasibility was established when
+            // the fork was scheduled.
+            let choice = self.prefix[index];
+            let constraint = if choice { cond } else { self.ctx.not(cond) };
+            self.constraints.push(constraint);
+            self.taken.push(choice);
+            return choice;
+        }
+        if self.taken.len() >= self.max_decisions {
+            self.kill(PathStatus::DecisionLimit);
+            return false;
+        }
+        let negated = self.ctx.not(cond);
+        let mut with_true = self.constraints.clone();
+        with_true.push(cond);
+        let true_feasible = self.backend.check(self.ctx, &with_true).is_sat();
+        let (choice, constraint) = if true_feasible {
+            let mut with_false = self.constraints.clone();
+            with_false.push(negated);
+            if self.backend.check(self.ctx, &with_false).is_sat() {
+                // Both sides feasible: fork, continue on `true`.
+                let mut sibling = self.taken.clone();
+                sibling.push(false);
+                self.forks.push(sibling);
+            }
+            (true, cond)
+        } else {
+            // The path condition is feasible by induction, so `false` is.
+            (false, negated)
+        };
+        self.constraints.push(constraint);
+        self.taken.push(choice);
+        choice
+    }
+
+    fn assume(&mut self, cond: TermId) {
+        if self.is_dead() {
+            return;
+        }
+        match self.ctx.const_value(cond) {
+            Some(1) => return,
+            Some(_) => {
+                self.kill(PathStatus::Infeasible);
+                return;
+            }
+            None => {}
+        }
+        self.constraints.push(cond);
+        if !self.backend.check(self.ctx, &self.constraints).is_sat() {
+            self.kill(PathStatus::Infeasible);
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.status != PathStatus::Complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_symbol_forks_both_ways() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let outcome = engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            let ten = exec.const_word(10);
+            let lt = exec.ult(x, ten);
+            exec.decide(lt)
+        });
+        assert_eq!(outcome.paths.len(), 2);
+        assert_eq!(outcome.complete_paths, 2);
+        let values: Vec<bool> = outcome.paths.iter().map(|p| p.value).collect();
+        assert!(values.contains(&true) && values.contains(&false));
+        // Test vectors respect the branch each path took.
+        for path in &outcome.paths {
+            let vector = path
+                .test_vector
+                .as_ref()
+                .expect("feasible path has a vector");
+            let x = vector.get("x").expect("x was an input");
+            assert_eq!(path.value, x < 10, "vector {vector} inconsistent with path");
+        }
+    }
+
+    #[test]
+    fn nested_decisions_enumerate_all_combinations() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let outcome = engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            let mut count = 0;
+            for bit in 0..3 {
+                let field = exec.field(x, bit, bit);
+                let one = exec.const_word(1);
+                let set = exec.eq_w(field, one);
+                if exec.decide(set) {
+                    count += 1;
+                }
+            }
+            count
+        });
+        assert_eq!(outcome.paths.len(), 8);
+        let mut histogram = [0usize; 4];
+        for path in &outcome.paths {
+            histogram[path.value] += 1;
+        }
+        assert_eq!(histogram, [1, 3, 3, 1]);
+    }
+
+    #[test]
+    fn infeasible_branches_are_pruned() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let outcome = engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            let five = exec.const_word(5);
+            let lt5 = exec.ult(x, five);
+            let first = exec.decide(lt5);
+            // If x < 5, then x < 100 is forced: no second fork.
+            let hundred = exec.const_word(100);
+            let lt100 = exec.ult(x, hundred);
+            let second = exec.decide(lt100);
+            (first, second)
+        });
+        // Paths: (T,T), (F,T), (F,F) — (T,F) is infeasible and never forked.
+        assert_eq!(outcome.paths.len(), 3);
+        assert!(!outcome.paths.iter().any(|p| p.value == (true, false)));
+    }
+
+    #[test]
+    fn assume_prunes_and_marks_infeasible() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let outcome = engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            let three = exec.const_word(3);
+            let is3 = exec.eq_w(x, three);
+            exec.assume(is3);
+            let four = exec.const_word(4);
+            let is4 = exec.eq_w(x, four);
+            exec.assume(is4); // contradiction
+            exec.is_dead()
+        });
+        assert_eq!(outcome.paths.len(), 1);
+        assert_eq!(outcome.paths[0].status, PathStatus::Infeasible);
+        assert_eq!(outcome.partial_paths, 1);
+        assert!(outcome.paths[0].value);
+    }
+
+    #[test]
+    fn decision_limit_counts_as_partial() {
+        let config = EngineConfig {
+            max_decisions_per_path: 2,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(config);
+        let outcome = engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            for bit in 0..8 {
+                let field = exec.field(x, bit, bit);
+                let one = exec.const_word(1);
+                let set = exec.eq_w(field, one);
+                exec.decide(set);
+                if exec.is_dead() {
+                    break;
+                }
+            }
+        });
+        assert!(outcome
+            .paths
+            .iter()
+            .any(|p| p.status == PathStatus::DecisionLimit));
+    }
+
+    #[test]
+    fn max_paths_truncates_search() {
+        let config = EngineConfig {
+            max_paths: 3,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(config);
+        let outcome = engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            for bit in 0..6 {
+                let field = exec.field(x, bit, bit);
+                let one = exec.const_word(1);
+                let set = exec.eq_w(field, one);
+                exec.decide(set);
+            }
+        });
+        assert_eq!(outcome.paths.len(), 3);
+        assert!(outcome.frontier_exhausted);
+    }
+
+    #[test]
+    fn strategies_cover_the_same_paths() {
+        for strategy in [
+            SearchStrategy::Dfs,
+            SearchStrategy::Bfs,
+            SearchStrategy::RandomPath,
+        ] {
+            let config = EngineConfig {
+                strategy,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(config);
+            let outcome = engine.explore(|exec| {
+                let x = exec.fresh_word("x");
+                let mut value = 0u32;
+                for bit in 0..3 {
+                    let field = exec.field(x, bit, bit);
+                    let one = exec.const_word(1);
+                    let set = exec.eq_w(field, one);
+                    if exec.decide(set) {
+                        value |= 1 << bit;
+                    }
+                }
+                value
+            });
+            let mut values: Vec<u32> = outcome.paths.iter().map(|p| p.value).collect();
+            values.sort_unstable();
+            assert_eq!(values, (0..8).collect::<Vec<u32>>(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn concrete_computations_do_not_fork() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let outcome = engine.explore(|exec| {
+            let a = exec.const_word(6);
+            let b = exec.const_word(7);
+            let product = exec.mul(a, b);
+            let c42 = exec.const_word(42);
+            let eq = exec.eq_w(product, c42);
+            exec.decide(eq)
+        });
+        assert_eq!(outcome.paths.len(), 1);
+        assert!(outcome.paths[0].value);
+        assert!(outcome.paths[0].decisions.is_empty());
+    }
+
+    #[test]
+    fn check_sat_does_not_commit() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let outcome = engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            let seven = exec.const_word(7);
+            let is7 = exec.eq_w(x, seven);
+            let possible = exec.check_sat(is7);
+            let not7 = exec.not_b(is7);
+            let also_possible = exec.check_sat(not7);
+            (possible, also_possible)
+        });
+        assert_eq!(outcome.paths.len(), 1);
+        assert_eq!(outcome.paths[0].value, (true, true));
+    }
+
+    #[test]
+    fn concrete_witness_respects_constraints() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let outcome = engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            let c100 = exec.const_word(100);
+            let lt = exec.ult(x, c100);
+            exec.assume(lt);
+            let c50 = exec.const_word(50);
+            let gt50 = exec.ult(c50, x);
+            exec.concrete_witness(x, &[gt50])
+        });
+        let witness = outcome.paths[0].value.expect("feasible");
+        assert!(witness > 50 && witness < 100, "witness {witness}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Concrete evaluation of terms under an environment.
+//!
+//! Used by the test suites to check the bit-blaster and the simplifier
+//! against a ground-truth interpreter, and by [`TestVector`] replay.
+//!
+//! [`TestVector`]: crate::TestVector
+
+use std::collections::HashMap;
+
+use crate::context::{mask, to_signed};
+use crate::term::{Node, TermId};
+use crate::Context;
+
+/// An assignment of concrete values to symbol names.
+pub type Env = HashMap<String, u64>;
+
+/// Evaluates `term` under `env`.
+///
+/// Unbound symbols evaluate to zero (matching the solver's behaviour of
+/// leaving unconstrained inputs at an arbitrary-but-reported value; the test
+/// suites always bind every symbol).
+///
+/// # Panics
+///
+/// Panics if `term` does not belong to `ctx`.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_symex::{eval, Context, Env};
+///
+/// let mut ctx = Context::new();
+/// let x = ctx.symbol(32, "x");
+/// let k = ctx.constant(32, 2);
+/// let doubled = ctx.mul(x, k);
+///
+/// let mut env = Env::new();
+/// env.insert("x".to_string(), 21);
+/// assert_eq!(eval(&ctx, doubled, &env), 42);
+/// ```
+pub fn eval(ctx: &Context, term: TermId, env: &Env) -> u64 {
+    let width = ctx.width(term);
+    let value = match ctx.node(term) {
+        Node::Const { value, .. } => value,
+        Node::Symbol { .. } => {
+            let name = ctx.symbol_name(term).expect("symbol node has a name");
+            env.get(name).copied().unwrap_or(0)
+        }
+        Node::Not(a) => !eval(ctx, a, env),
+        Node::And(a, b) => eval(ctx, a, env) & eval(ctx, b, env),
+        Node::Or(a, b) => eval(ctx, a, env) | eval(ctx, b, env),
+        Node::Xor(a, b) => eval(ctx, a, env) ^ eval(ctx, b, env),
+        Node::Add(a, b) => eval(ctx, a, env).wrapping_add(eval(ctx, b, env)),
+        Node::Sub(a, b) => eval(ctx, a, env).wrapping_sub(eval(ctx, b, env)),
+        Node::Mul(a, b) => eval(ctx, a, env).wrapping_mul(eval(ctx, b, env)),
+        Node::Shl(a, s) => {
+            let shift = eval(ctx, s, env);
+            if shift >= width as u64 {
+                0
+            } else {
+                eval(ctx, a, env) << shift
+            }
+        }
+        Node::Lshr(a, s) => {
+            let shift = eval(ctx, s, env);
+            if shift >= width as u64 {
+                0
+            } else {
+                mask(width, eval(ctx, a, env)) >> shift
+            }
+        }
+        Node::Ashr(a, s) => {
+            let shift = eval(ctx, s, env).min(width as u64 - 1) as u32;
+            let signed = to_signed(width, mask(width, eval(ctx, a, env)));
+            (signed >> shift) as u64
+        }
+        Node::Eq(a, b) => {
+            let wa = ctx.width(a);
+            (mask(wa, eval(ctx, a, env)) == mask(wa, eval(ctx, b, env))) as u64
+        }
+        Node::Ult(a, b) => {
+            let wa = ctx.width(a);
+            (mask(wa, eval(ctx, a, env)) < mask(wa, eval(ctx, b, env))) as u64
+        }
+        Node::Slt(a, b) => {
+            let wa = ctx.width(a);
+            (to_signed(wa, mask(wa, eval(ctx, a, env)))
+                < to_signed(wa, mask(wa, eval(ctx, b, env)))) as u64
+        }
+        Node::Ite(c, t, e) => {
+            if eval(ctx, c, env) & 1 == 1 {
+                eval(ctx, t, env)
+            } else {
+                eval(ctx, e, env)
+            }
+        }
+        Node::Extract { term, lo, .. } => eval(ctx, term, env) >> lo,
+        Node::Concat { hi, lo } => {
+            let lo_width = ctx.width(lo);
+            (eval(ctx, hi, env) << lo_width) | mask(lo_width, eval(ctx, lo, env))
+        }
+        Node::ZeroExt { term, .. } => {
+            let source_width = ctx.width(term);
+            mask(source_width, eval(ctx, term, env))
+        }
+        Node::SignExt { term, .. } => {
+            let source_width = ctx.width(term);
+            to_signed(source_width, mask(source_width, eval(ctx, term, env))) as u64
+        }
+    };
+    mask(width, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_mixed_expression() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(32, "x");
+        let y = ctx.symbol(32, "y");
+        let sum = ctx.add(x, y);
+        let three = ctx.constant(32, 3);
+        let shifted = ctx.shl(sum, three);
+        let mut env = Env::new();
+        env.insert("x".into(), 5);
+        env.insert("y".into(), 7);
+        assert_eq!(eval(&ctx, shifted, &env), 96);
+    }
+
+    #[test]
+    fn unbound_symbols_are_zero() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(16, "unbound");
+        assert_eq!(eval(&ctx, x, &Env::new()), 0);
+    }
+
+    #[test]
+    fn narrow_widths_wrap() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let one = ctx.constant(8, 1);
+        let sum = ctx.add(x, one);
+        let mut env = Env::new();
+        env.insert("x".into(), 0xff);
+        assert_eq!(eval(&ctx, sum, &env), 0);
+    }
+
+    #[test]
+    fn ite_and_compares() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(32, "x");
+        let limit = ctx.constant(32, 10);
+        let cond = ctx.ult(x, limit);
+        let yes = ctx.constant(32, 1);
+        let no = ctx.constant(32, 2);
+        let result = ctx.ite(cond, yes, no);
+        let mut env = Env::new();
+        env.insert("x".into(), 3);
+        assert_eq!(eval(&ctx, result, &env), 1);
+        env.insert("x".into(), 30);
+        assert_eq!(eval(&ctx, result, &env), 2);
+    }
+}

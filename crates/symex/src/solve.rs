@@ -1,0 +1,173 @@
+//! High-level solver facade: feasibility checks and model extraction.
+
+use symcosim_sat::{Lit, SolveResult, Solver, SolverStats};
+
+use crate::blast::Blaster;
+use crate::term::TermId;
+use crate::{Context, TestVector};
+
+/// Outcome of a [`SolverBackend::check`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckResult {
+    /// The conjunction of conditions is satisfiable.
+    Sat,
+    /// The conjunction of conditions is unsatisfiable.
+    Unsat,
+}
+
+impl CheckResult {
+    /// `true` for [`CheckResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == CheckResult::Sat
+    }
+}
+
+/// Persistent solver state shared by all feasibility queries of an
+/// exploration: one CDCL instance plus the bit-blasting cache.
+///
+/// Conditions are passed as *assumptions*, so clauses learnt for one path
+/// condition accelerate all later queries (the incremental pattern KLEE
+/// uses through its solver chain).
+///
+/// # Example
+///
+/// ```
+/// use symcosim_symex::{Context, SolverBackend};
+///
+/// let mut ctx = Context::new();
+/// let x = ctx.symbol(8, "x");
+/// let c5 = ctx.constant(8, 5);
+/// let lt = ctx.ult(x, c5);
+/// let ge = ctx.not(lt);
+///
+/// let mut backend = SolverBackend::new();
+/// assert!(backend.check(&ctx, &[lt]).is_sat());
+/// assert!(backend.check(&ctx, &[ge]).is_sat());
+/// assert!(!backend.check(&ctx, &[lt, ge]).is_sat());
+/// ```
+#[derive(Debug, Default)]
+pub struct SolverBackend {
+    solver: Solver,
+    blaster: Blaster,
+}
+
+impl SolverBackend {
+    /// Creates a fresh backend.
+    pub fn new() -> SolverBackend {
+        SolverBackend::default()
+    }
+
+    /// Checks the conjunction of width-1 `conditions` for satisfiability.
+    ///
+    /// On [`CheckResult::Sat`] a model is retained and can be inspected
+    /// with [`SolverBackend::value_of`] or exported with
+    /// [`SolverBackend::test_vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any condition does not have width 1.
+    pub fn check(&mut self, ctx: &Context, conditions: &[TermId]) -> CheckResult {
+        let assumptions: Vec<Lit> = conditions
+            .iter()
+            .map(|&c| self.blaster.bool_lit(ctx, &mut self.solver, c))
+            .collect();
+        match self.solver.solve(&assumptions) {
+            SolveResult::Sat => CheckResult::Sat,
+            SolveResult::Unsat => CheckResult::Unsat,
+        }
+    }
+
+    /// The value of `term` in the most recent model.
+    ///
+    /// Returns `None` if no successful [`check`](SolverBackend::check) has
+    /// happened yet. Bits the model does not constrain read as zero.
+    pub fn value_of(&mut self, ctx: &Context, term: TermId) -> Option<u64> {
+        let bits = self.blaster.bits(ctx, &mut self.solver, term);
+        let mut any = false;
+        let mut value = 0u64;
+        for (i, lit) in bits.iter().enumerate() {
+            match self.solver.model_lit_value(*lit) {
+                Some(true) => {
+                    value |= 1 << i;
+                    any = true;
+                }
+                Some(false) => any = true,
+                None => {}
+            }
+        }
+        if any {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Exports the most recent model as a [`TestVector`] covering every
+    /// symbol registered in `ctx`.
+    pub fn test_vector(&mut self, ctx: &Context) -> TestVector {
+        let mut vector = TestVector::new();
+        for &sym in ctx.symbols().to_vec().iter() {
+            let name = ctx.symbol_name(sym).expect("registered symbol").to_string();
+            let width = ctx.width(sym);
+            let value = self.value_of(ctx, sym).unwrap_or(0);
+            vector.push(name, width, value);
+        }
+        vector
+    }
+
+    /// Statistics of the underlying SAT solver.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Env};
+
+    #[test]
+    fn model_satisfies_condition() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(32, "x");
+        let y = ctx.symbol(32, "y");
+        let sum = ctx.add(x, y);
+        let target = ctx.constant(32, 0x1234_5678);
+        let cond = ctx.eq(sum, target);
+
+        let mut backend = SolverBackend::new();
+        assert!(backend.check(&ctx, &[cond]).is_sat());
+        let vector = backend.test_vector(&ctx);
+        let env: Env = vector.to_env();
+        assert_eq!(
+            eval(&ctx, cond, &env),
+            1,
+            "model {vector} violates the condition"
+        );
+    }
+
+    #[test]
+    fn unsat_conjunction_detected() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let is1 = ctx.eq(x, c1);
+        let is2 = ctx.eq(x, c2);
+        let mut backend = SolverBackend::new();
+        assert!(backend.check(&ctx, &[is1]).is_sat());
+        assert!(backend.check(&ctx, &[is2]).is_sat());
+        assert!(!backend.check(&ctx, &[is1, is2]).is_sat());
+        // Still usable afterwards.
+        assert!(backend.check(&ctx, &[is1]).is_sat());
+        assert_eq!(backend.value_of(&ctx, x), Some(1));
+    }
+
+    #[test]
+    fn no_model_before_check() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let mut backend = SolverBackend::new();
+        assert_eq!(backend.value_of(&ctx, x), None);
+    }
+}

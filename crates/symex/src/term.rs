@@ -1,0 +1,109 @@
+//! Term graph node representation.
+
+use std::fmt;
+
+/// Bit-width of a term, in bits (1 to 64).
+pub type Width = u32;
+
+/// Handle to an interned term in a [`Context`](crate::Context).
+///
+/// Identical terms are hash-consed, so two `TermId`s are equal exactly when
+/// the terms are structurally identical (after simplification). Handles are
+/// only meaningful for the context that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// Dense index into the owning context's node table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A bit-vector expression node.
+///
+/// All binary bitwise/arithmetic nodes require equal operand widths; the
+/// comparison nodes produce width-1 results. Widths are validated by the
+/// [`Context`](crate::Context) constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Constant with `width` bits and value `value` (high bits zero).
+    Const {
+        /// Bit width.
+        width: Width,
+        /// The value, left-padded with zero bits.
+        value: u64,
+    },
+    /// A free symbolic input, identified by an interned name.
+    Symbol {
+        /// Bit width.
+        width: Width,
+        /// Index into the context's symbol-name table.
+        name: u32,
+    },
+    /// Bitwise NOT.
+    Not(TermId),
+    /// Bitwise AND.
+    And(TermId, TermId),
+    /// Bitwise OR.
+    Or(TermId, TermId),
+    /// Bitwise XOR.
+    Xor(TermId, TermId),
+    /// Two's-complement addition (wrapping).
+    Add(TermId, TermId),
+    /// Two's-complement subtraction (wrapping).
+    Sub(TermId, TermId),
+    /// Multiplication (wrapping, low half).
+    Mul(TermId, TermId),
+    /// Logical shift left; shifts ≥ width yield zero.
+    Shl(TermId, TermId),
+    /// Logical shift right; shifts ≥ width yield zero.
+    Lshr(TermId, TermId),
+    /// Arithmetic shift right; shifts ≥ width replicate the sign bit.
+    Ashr(TermId, TermId),
+    /// Equality; result has width 1.
+    Eq(TermId, TermId),
+    /// Unsigned less-than; result has width 1.
+    Ult(TermId, TermId),
+    /// Signed less-than; result has width 1.
+    Slt(TermId, TermId),
+    /// If-then-else; the condition has width 1, branches equal widths.
+    Ite(TermId, TermId, TermId),
+    /// Bit slice `[hi:lo]` (inclusive), width `hi - lo + 1`.
+    Extract {
+        /// Source term.
+        term: TermId,
+        /// Most significant extracted bit.
+        hi: u32,
+        /// Least significant extracted bit.
+        lo: u32,
+    },
+    /// Concatenation; `hi` occupies the most significant bits.
+    Concat {
+        /// Upper part.
+        hi: TermId,
+        /// Lower part.
+        lo: TermId,
+    },
+    /// Zero extension to `width`.
+    ZeroExt {
+        /// Source term (narrower than `width`).
+        term: TermId,
+        /// Target width.
+        width: Width,
+    },
+    /// Sign extension to `width`.
+    SignExt {
+        /// Source term (narrower than `width`).
+        term: TermId,
+        /// Target width.
+        width: Width,
+    },
+}

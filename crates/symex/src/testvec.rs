@@ -1,0 +1,118 @@
+//! Concrete test vectors (the `.ktest` equivalent).
+
+use std::fmt;
+
+use crate::eval::Env;
+
+/// One symbol assignment inside a [`TestVector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestVectorEntry {
+    /// Symbol name as registered with the context.
+    pub name: String,
+    /// Symbol width in bits.
+    pub width: u32,
+    /// Assigned value (high bits zero).
+    pub value: u64,
+}
+
+/// A concrete assignment to every symbolic input of a path.
+///
+/// Produced from a solver model (see
+/// [`SolverBackend::test_vector`](crate::SolverBackend::test_vector));
+/// replaying the co-simulation with these inputs deterministically
+/// reproduces the path — including any mismatch it exposed.
+///
+/// # Example
+///
+/// ```
+/// use symcosim_symex::TestVector;
+///
+/// let mut vector = TestVector::new();
+/// vector.push("instr_0".to_string(), 32, 0x0000_0013);
+/// assert_eq!(vector.get("instr_0"), Some(0x13));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TestVector {
+    entries: Vec<TestVectorEntry>,
+}
+
+impl TestVector {
+    /// Creates an empty test vector.
+    pub fn new() -> TestVector {
+        TestVector::default()
+    }
+
+    /// Appends an assignment.
+    pub fn push(&mut self, name: String, width: u32, value: u64) {
+        self.entries.push(TestVectorEntry { name, width, value });
+    }
+
+    /// Looks up an assignment by symbol name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value)
+    }
+
+    /// The assignments, in symbol registration order.
+    pub fn entries(&self) -> &[TestVectorEntry] {
+        &self.entries
+    }
+
+    /// Number of assignments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to an evaluation environment for [`eval`](crate::eval).
+    pub fn to_env(&self) -> Env {
+        self.entries
+            .iter()
+            .map(|e| (e.name.clone(), e.value))
+            .collect()
+    }
+}
+
+impl fmt::Display for TestVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={:#x}", entry.name, entry.value)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_env_conversion() {
+        let mut vector = TestVector::new();
+        vector.push("a".into(), 32, 7);
+        vector.push("b".into(), 8, 0xff);
+        assert_eq!(vector.get("a"), Some(7));
+        assert_eq!(vector.get("missing"), None);
+        assert_eq!(vector.len(), 2);
+        assert!(!vector.is_empty());
+        let env = vector.to_env();
+        assert_eq!(env["b"], 0xff);
+    }
+
+    #[test]
+    fn display_lists_assignments() {
+        let mut vector = TestVector::new();
+        vector.push("x".into(), 32, 16);
+        assert_eq!(vector.to_string(), "{x=0x10}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Differential property tests: the bit-blaster against the concrete
+//! evaluator, over randomly generated term DAGs.
+
+use proptest::prelude::*;
+use symcosim_symex::{eval, Context, Env, SolverBackend, TermId};
+
+/// A recipe for building a random term over two 8-bit symbols.
+#[derive(Debug, Clone)]
+enum Recipe {
+    X,
+    Y,
+    Const(u8),
+    Not(Box<Recipe>),
+    And(Box<Recipe>, Box<Recipe>),
+    Or(Box<Recipe>, Box<Recipe>),
+    Xor(Box<Recipe>, Box<Recipe>),
+    Add(Box<Recipe>, Box<Recipe>),
+    Sub(Box<Recipe>, Box<Recipe>),
+    Mul(Box<Recipe>, Box<Recipe>),
+    Shl(Box<Recipe>, Box<Recipe>),
+    Lshr(Box<Recipe>, Box<Recipe>),
+    Ashr(Box<Recipe>, Box<Recipe>),
+    IteUlt(Box<Recipe>, Box<Recipe>, Box<Recipe>, Box<Recipe>),
+}
+
+fn build(ctx: &mut Context, recipe: &Recipe) -> TermId {
+    match recipe {
+        Recipe::X => ctx.symbol(8, "x"),
+        Recipe::Y => ctx.symbol(8, "y"),
+        Recipe::Const(v) => ctx.constant(8, *v as u64),
+        Recipe::Not(a) => {
+            let a = build(ctx, a);
+            ctx.not(a)
+        }
+        Recipe::And(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.and(a, b)
+        }
+        Recipe::Or(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.or(a, b)
+        }
+        Recipe::Xor(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.xor(a, b)
+        }
+        Recipe::Add(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.add(a, b)
+        }
+        Recipe::Sub(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.sub(a, b)
+        }
+        Recipe::Mul(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.mul(a, b)
+        }
+        Recipe::Shl(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.shl(a, b)
+        }
+        Recipe::Lshr(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.lshr(a, b)
+        }
+        Recipe::Ashr(a, b) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            ctx.ashr(a, b)
+        }
+        Recipe::IteUlt(a, b, t, e) => {
+            let (a, b) = (build(ctx, a), build(ctx, b));
+            let cond = ctx.ult(a, b);
+            let (t, e) = (build(ctx, t), build(ctx, e));
+            ctx.ite(cond, t, e)
+        }
+    }
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        Just(Recipe::X),
+        Just(Recipe::Y),
+        any::<u8>().prop_map(Recipe::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Recipe::Not(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Lshr(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Ashr(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(a, b, t, e)| {
+                Recipe::IteUlt(Box::new(a), Box::new(b), Box::new(t), Box::new(e))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under an input-fixing path condition, the blasted term is forced to
+    /// exactly the value the reference evaluator computes.
+    #[test]
+    fn blaster_agrees_with_evaluator(recipe in arb_recipe(), x in any::<u8>(), y in any::<u8>()) {
+        let mut ctx = Context::new();
+        let term = build(&mut ctx, &recipe);
+        let sym_x = ctx.symbol(8, "x");
+        let sym_y = ctx.symbol(8, "y");
+
+        let mut env = Env::new();
+        env.insert("x".into(), x as u64);
+        env.insert("y".into(), y as u64);
+        let expected = eval(&ctx, term, &env);
+
+        let cx = ctx.constant(8, x as u64);
+        let cy = ctx.constant(8, y as u64);
+        let fix_x = ctx.eq(sym_x, cx);
+        let fix_y = ctx.eq(sym_y, cy);
+        let cexp = ctx.constant(8, expected);
+        let matches = ctx.eq(term, cexp);
+        let differs = ctx.not(matches);
+
+        let mut backend = SolverBackend::new();
+        prop_assert!(
+            backend.check(&ctx, &[fix_x, fix_y, matches]).is_sat(),
+            "expected value {expected:#x} must be consistent"
+        );
+        prop_assert!(
+            !backend.check(&ctx, &[fix_x, fix_y, differs]).is_sat(),
+            "blasted term must be forced to {expected:#x}"
+        );
+    }
+
+    /// Models returned for an unconstrained term always satisfy the
+    /// condition they were asked for (soundness of model extraction).
+    #[test]
+    fn models_replay_through_the_evaluator(recipe in arb_recipe(), target in any::<u8>()) {
+        let mut ctx = Context::new();
+        let term = build(&mut ctx, &recipe);
+        let ctarget = ctx.constant(8, target as u64);
+        let cond = ctx.eq(term, ctarget);
+        let mut backend = SolverBackend::new();
+        if backend.check(&ctx, &[cond]).is_sat() {
+            let vector = backend.test_vector(&ctx);
+            let env = vector.to_env();
+            prop_assert_eq!(
+                eval(&ctx, cond, &env), 1,
+                "test vector {} does not reproduce the condition", vector
+            );
+        }
+    }
+}

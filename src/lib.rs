@@ -1,0 +1,42 @@
+//! # symcosim — symbolic co-simulation for RISC-V processor verification
+//!
+//! Facade crate re-exporting the whole workspace under one roof. The
+//! individual crates are usable on their own; this crate exists so that the
+//! repository-level examples and integration tests can say `use symcosim::…`
+//! and so downstream users get a single dependency.
+//!
+//! The framework reproduces the DATE 2023 paper *"Processor Verification
+//! using Symbolic Execution: A RISC-V Case-Study"* (Bruns, Herdt, Drechsler):
+//! an RV32I+Zicsr RTL core model is co-simulated against a reference ISS
+//! under a symbolic execution engine; a voter compares RVFI retirement
+//! records and reports functional mismatches together with concrete
+//! reproducing test vectors.
+//!
+//! See [`core`] for the verification flow, [`symex`] for the symbolic
+//! engine, [`microrv32`] for the device under test and [`iss`] for the
+//! reference model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use symcosim::core::{SessionConfig, VerifySession};
+//! use symcosim::microrv32::InjectedError;
+//!
+//! # fn main() -> Result<(), symcosim::core::SessionError> {
+//! // Seed a control-flow fault and hunt it with symbolic co-simulation.
+//! let mut config = SessionConfig::rv32i_only();
+//! config.inject = Some(InjectedError::E6BneBehavesLikeBeq);
+//! let report = VerifySession::new(config)?.run();
+//! let finding = report.first_mismatch().expect("the fault is found");
+//! assert!(finding.witness.is_some(), "every finding carries a reproducer");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use symcosim_core as core;
+pub use symcosim_isa as isa;
+pub use symcosim_iss as iss;
+pub use symcosim_microrv32 as microrv32;
+pub use symcosim_rtl as rtl;
+pub use symcosim_sat as sat;
+pub use symcosim_symex as symex;

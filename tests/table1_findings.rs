@@ -1,0 +1,104 @@
+//! Table I end-to-end: verifying the *shipped* models against each other
+//! rediscovers the paper's catalogue of errors and mismatches.
+
+use symcosim::core::{FindingClass, SessionConfig, VerifySession};
+
+fn run_table1(instr_limit: u32) -> symcosim::core::VerifyReport {
+    let mut config = SessionConfig::table1();
+    config.instr_limit = instr_limit;
+    config.cycle_limit = 64 * instr_limit as u64;
+    VerifySession::new(config).expect("valid config").run()
+}
+
+fn has(report: &symcosim::core::VerifyReport, subject: &str, label_fragment: &str) -> bool {
+    report
+        .findings
+        .iter()
+        .any(|f| f.subject == subject && f.label.contains(label_fragment))
+}
+
+#[test]
+fn limit_one_finds_the_shallow_catalogue() {
+    let report = run_table1(1);
+
+    // Misalignment mismatches (Table I rows LW/LH/LHU/SW/SH).
+    for subject in ["LW", "LH", "LHU", "SW", "SH"] {
+        assert!(
+            has(&report, subject, "alignment"),
+            "{subject} alignment row missing"
+        );
+    }
+    // The missing WFI instruction (RTL error).
+    assert!(has(&report, "WFI", "Missing WFI instruction"));
+    // Spurious traps at counter writes (RTL errors).
+    for subject in ["mip", "mcycle", "minstret", "mcycleh", "minstreth"] {
+        assert!(
+            has(&report, subject, "Trap at write access"),
+            "{subject} row missing"
+        );
+    }
+    // Missing traps at writes to read-only ID registers (RTL errors).
+    for subject in ["mvendorid", "marchid", "mhartid"] {
+        assert!(
+            has(&report, subject, "Missing trap at write"),
+            "{subject} row missing"
+        );
+    }
+    // Missing trap at completely unarchitected CSRs (RTL error).
+    assert!(has(&report, "unimpl. CSRs", "Missing trap at access"));
+    // The two VP bugs (ISS errors).
+    assert!(has(&report, "medeleg", "VP traps"));
+    assert!(has(&report, "mideleg", "VP traps"));
+    // Unimplemented unprivileged counters (mismatches).
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.label == "unimpl. Unprivileged CSR"),
+        "unprivileged counter rows missing"
+    );
+    // The cycle counter logic deviates (mismatch).
+    assert!(has(&report, "mcycle", "Cycle Count Mismatch"));
+
+    // Classification sanity: the VP bugs are the only ISS errors.
+    let iss_errors: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.class == FindingClass::IssError)
+        .map(|f| f.subject.as_str())
+        .collect();
+    assert_eq!(
+        iss_errors.len(),
+        2,
+        "exactly the two VP bugs: {iss_errors:?}"
+    );
+}
+
+#[test]
+fn every_finding_carries_a_witness_and_example() {
+    let report = run_table1(1);
+    assert!(!report.findings.is_empty());
+    for finding in &report.findings {
+        assert!(finding.witness.is_some(), "{finding} lacks a witness");
+        assert!(finding.example.is_some(), "{finding} lacks an example");
+    }
+}
+
+#[test]
+fn fixing_one_bug_removes_exactly_its_rows() {
+    // Implement WFI in the core: the WFI row disappears, the rest stays.
+    let mut config = SessionConfig::table1();
+    config.core_config.implement_wfi = true;
+    let report = VerifySession::new(config).expect("valid config").run();
+    assert!(
+        !report.findings.iter().any(|f| f.subject == "WFI"),
+        "the WFI row must disappear once implemented"
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.label == "Missing alignment check"),
+        "other findings must persist"
+    );
+}
