@@ -1,13 +1,14 @@
 //! Co-simulation throughput benchmarks: the concrete harness (the inner
 //! loop of the fuzzing baseline) and one symbolic path exploration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use symcosim_core::{
     CoSim, ConcreteJudge, InstrConstraint, SessionConfig, SymbolicInstrMemory, VerifySession,
 };
 use symcosim_iss::IssConfig;
 use symcosim_microrv32::CoreConfig;
 use symcosim_symex::ConcreteDomain;
+use symcosim_testkit::bench;
 
 /// One concrete co-simulation run: fetch, execute on both models, vote.
 fn concrete_run(instr_limit: u32) -> u64 {
@@ -30,45 +31,33 @@ fn concrete_run(instr_limit: u32) -> u64 {
     result.instructions
 }
 
-fn bench_concrete(c: &mut Criterion) {
-    c.bench_function("cosim/concrete_1_instruction", |b| {
-        b.iter(|| concrete_run(1))
+fn main() {
+    bench("cosim/concrete_1_instruction", 10, 100, || {
+        black_box(concrete_run(1));
     });
-    c.bench_function("cosim/concrete_8_instructions", |b| {
-        b.iter(|| concrete_run(8))
+    bench("cosim/concrete_8_instructions", 10, 100, || {
+        black_box(concrete_run(8));
     });
-}
 
-fn bench_symbolic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cosim/symbolic");
-    group.sample_size(10);
     // Explore a single major opcode so each iteration is one small
     // exploration (LUI: exactly one feasible path).
-    group.bench_function("lui_only_exploration", |b| {
-        b.iter(|| {
-            let mut config = SessionConfig::rv32i_only();
-            config.stop_at_first_mismatch = false;
-            config.constraint = InstrConstraint::OnlyOpcode(symcosim_isa::opcodes::LUI);
-            let report = VerifySession::new(config)
-                .expect("valid configuration")
-                .run();
-            assert_eq!(report.paths_complete, 1);
-        })
+    bench("cosim/symbolic/lui_only_exploration", 1, 5, || {
+        let mut config = SessionConfig::rv32i_only();
+        config.stop_at_first_mismatch = false;
+        config.constraint = InstrConstraint::OnlyOpcode(symcosim_isa::opcodes::LUI);
+        let report = VerifySession::new(config)
+            .expect("valid configuration")
+            .run();
+        assert_eq!(report.paths_complete, 1);
     });
     // The branch opcode forks over comparisons and taken/not-taken.
-    group.bench_function("branch_opcode_exploration", |b| {
-        b.iter(|| {
-            let mut config = SessionConfig::rv32i_only();
-            config.stop_at_first_mismatch = false;
-            config.constraint = InstrConstraint::OnlyOpcode(symcosim_isa::opcodes::BRANCH);
-            let report = VerifySession::new(config)
-                .expect("valid configuration")
-                .run();
-            assert!(report.paths_complete > 5);
-        })
+    bench("cosim/symbolic/branch_opcode_exploration", 1, 5, || {
+        let mut config = SessionConfig::rv32i_only();
+        config.stop_at_first_mismatch = false;
+        config.constraint = InstrConstraint::OnlyOpcode(symcosim_isa::opcodes::BRANCH);
+        let report = VerifySession::new(config)
+            .expect("valid configuration")
+            .run();
+        assert!(report.paths_complete > 5);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_concrete, bench_symbolic);
-criterion_main!(benches);

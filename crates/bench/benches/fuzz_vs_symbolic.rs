@@ -1,40 +1,28 @@
 //! Time-to-detection: symbolic exploration vs the random fuzzing baseline
 //! on the same injected error — the comparison motivating the paper.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use symcosim_core::fuzz::{self, FuzzConfig};
 use symcosim_core::{SessionConfig, VerifySession};
 use symcosim_microrv32::InjectedError;
+use symcosim_testkit::bench;
 
-fn bench_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detect_e3");
-    group.sample_size(10);
-
-    group.bench_function("symbolic", |b| {
-        b.iter(|| {
-            let mut config = SessionConfig::rv32i_only();
-            config.inject = Some(InjectedError::E3AddiStuckAt0Lsb);
-            let report = VerifySession::new(config)
-                .expect("valid configuration")
-                .run();
-            assert!(report.first_mismatch().is_some());
-        })
+fn main() {
+    bench("detect_e3/symbolic", 1, 5, || {
+        let mut config = SessionConfig::rv32i_only();
+        config.inject = Some(InjectedError::E3AddiStuckAt0Lsb);
+        let report = VerifySession::new(config)
+            .expect("valid configuration")
+            .run();
+        assert!(report.first_mismatch().is_some());
     });
 
-    group.bench_function("fuzzing", |b| {
-        let mut seed = 1u64;
-        b.iter(|| {
-            let mut config = FuzzConfig::rv32i_only();
-            config.inject = Some(InjectedError::E3AddiStuckAt0Lsb);
-            config.seed = seed;
-            seed = seed.wrapping_add(1);
-            let outcome = fuzz::run(&config);
-            assert!(outcome.found());
-        })
+    let mut seed = 1u64;
+    bench("detect_e3/fuzzing", 1, 5, || {
+        let mut config = FuzzConfig::rv32i_only();
+        config.inject = Some(InjectedError::E3AddiStuckAt0Lsb);
+        config.seed = seed;
+        seed = seed.wrapping_add(1);
+        let outcome = fuzz::run(&config);
+        assert!(outcome.found());
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_detection);
-criterion_main!(benches);

@@ -2,9 +2,10 @@
 //! solver and the bit-vector blasting layer that every path-feasibility
 //! query of the co-simulation goes through.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
 use symcosim_sat::{Lit, Solver};
 use symcosim_symex::{Context, SolverBackend};
+use symcosim_testkit::bench;
 
 /// Unsatisfiable pigeonhole instance — exercises conflict analysis.
 fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
@@ -31,77 +32,58 @@ fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     solver
 }
 
-fn bench_sat(c: &mut Criterion) {
-    c.bench_function("sat/pigeonhole_7_6_unsat", |b| {
-        b.iter_batched(
-            || pigeonhole(7, 6),
-            |mut solver| solver.solve(&[]),
-            BatchSize::SmallInput,
-        )
+fn main() {
+    bench("sat/pigeonhole_7_6_unsat", 2, 20, || {
+        let mut solver = pigeonhole(7, 6);
+        black_box(solver.solve(&[]));
+    });
+
+    bench("blast/add32_equation", 2, 20, || {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(32, "x");
+        let y = ctx.symbol(32, "y");
+        let sum = ctx.add(x, y);
+        let target = ctx.constant(32, 0x1234_5678);
+        let cond = ctx.eq(sum, target);
+        let mut backend = SolverBackend::new();
+        assert!(backend.check(&ctx, &[cond]).is_sat());
+    });
+
+    bench("blast/mul16_factorisation", 1, 10, || {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(16, "x");
+        let y = ctx.symbol(16, "y");
+        let product = ctx.mul(x, y);
+        // 12343 is prime, so any factorisation with both factors > 1
+        // must exploit the wrapping semantics (x·y ≡ 12343 mod 2^16) —
+        // forcing the solver through the full multiplier circuit.
+        let target = ctx.constant(16, 12_343);
+        let one = ctx.constant(16, 1);
+        let cond = ctx.eq(product, target);
+        let x_gt1 = ctx.ult(one, x);
+        let y_gt1 = ctx.ult(one, y);
+        let t = ctx.and(cond, x_gt1);
+        let both = ctx.and(t, y_gt1);
+        let mut backend = SolverBackend::new();
+        assert!(backend.check(&ctx, &[both]).is_sat());
+        let xv = backend.value_of(&ctx, x).expect("model");
+        let yv = backend.value_of(&ctx, y).expect("model");
+        assert_eq!(xv.wrapping_mul(yv) & 0xffff, 12_343);
+    });
+
+    bench("blast/incremental_assumption_queries", 2, 20, || {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(32, "x");
+        let conds: Vec<_> = (0..16)
+            .map(|i| {
+                let k = ctx.constant(32, 1u64 << i);
+                let masked = ctx.and(x, k);
+                ctx.eq(masked, k)
+            })
+            .collect();
+        let mut backend = SolverBackend::new();
+        for i in 0..conds.len() {
+            assert!(backend.check(&ctx, &conds[..=i]).is_sat());
+        }
     });
 }
-
-fn bench_blast(c: &mut Criterion) {
-    c.bench_function("blast/add32_equation", |b| {
-        b.iter(|| {
-            let mut ctx = Context::new();
-            let x = ctx.symbol(32, "x");
-            let y = ctx.symbol(32, "y");
-            let sum = ctx.add(x, y);
-            let target = ctx.constant(32, 0x1234_5678);
-            let cond = ctx.eq(sum, target);
-            let mut backend = SolverBackend::new();
-            assert!(backend.check(&ctx, &[cond]).is_sat());
-        })
-    });
-
-    c.bench_function("blast/mul16_factorisation", |b| {
-        b.iter(|| {
-            let mut ctx = Context::new();
-            let x = ctx.symbol(16, "x");
-            let y = ctx.symbol(16, "y");
-            let product = ctx.mul(x, y);
-            // 12343 is prime, so any factorisation with both factors > 1
-            // must exploit the wrapping semantics (x·y ≡ 12343 mod 2^16) —
-            // forcing the solver through the full multiplier circuit.
-            let target = ctx.constant(16, 12_343);
-            let one = ctx.constant(16, 1);
-            let cond = ctx.eq(product, target);
-            let x_gt1 = ctx.ult(one, x);
-            let y_gt1 = ctx.ult(one, y);
-            let t = ctx.and(cond, x_gt1);
-            let both = ctx.and(t, y_gt1);
-            let mut backend = SolverBackend::new();
-            assert!(backend.check(&ctx, &[both]).is_sat());
-            let xv = backend.value_of(&ctx, x).expect("model");
-            let yv = backend.value_of(&ctx, y).expect("model");
-            assert_eq!(xv.wrapping_mul(yv) & 0xffff, 12_343);
-        })
-    });
-
-    c.bench_function("blast/incremental_assumption_queries", |b| {
-        b.iter_batched(
-            || {
-                let mut ctx = Context::new();
-                let x = ctx.symbol(32, "x");
-                let conds: Vec<_> = (0..16)
-                    .map(|i| {
-                        let k = ctx.constant(32, 1u64 << i);
-                        let masked = ctx.and(x, k);
-                        ctx.eq(masked, k)
-                    })
-                    .collect();
-                (ctx, conds, SolverBackend::new())
-            },
-            |(ctx, conds, mut backend)| {
-                for i in 0..conds.len() {
-                    assert!(backend.check(&ctx, &conds[..=i]).is_sat());
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-criterion_group!(benches, bench_sat, bench_blast);
-criterion_main!(benches);

@@ -10,12 +10,18 @@
 //! path) at laptop scale.
 //!
 //! Run with: `cargo run --release -p symcosim-bench --bin longrun`
+//! Optional: `--jobs N` explores on N worker threads (note the path
+//! budget makes truncated runs scheduling-dependent: the *set* of paths
+//! inside the budget varies, each path's result does not) and
+//! `--progress-json` streams structured progress events on stderr.
 
 use std::time::Instant;
 
+use symcosim_bench::{run_session, RunOpts};
 use symcosim_core::{SessionConfig, VerifySession};
 
 fn main() {
+    let opts = RunOpts::from_args();
     let budget: usize = std::env::args()
         .skip_while(|a| a != "--paths")
         .nth(1)
@@ -29,9 +35,10 @@ fn main() {
 
     println!("comprehensive exploration (instruction limit 2, path budget {budget})\n");
     let start = Instant::now();
-    let report = VerifySession::new(config)
-        .expect("valid configuration")
-        .run();
+    let report = run_session(
+        VerifySession::new(config).expect("valid configuration"),
+        opts,
+    );
     let elapsed = start.elapsed();
 
     println!(

@@ -12,31 +12,37 @@
 //!    (`mscratch`, `mcounteren`, the HPM ranges).
 //!
 //! Run with: `cargo run --release -p symcosim-bench --bin table1`
+//! Optional: `--jobs N` explores each phase on N worker threads
+//! (identical catalogue, shorter wall-clock on multi-core hosts) and
+//! `--progress-json` streams structured progress events on stderr.
 
 use std::time::Instant;
 
+use symcosim_bench::{run_session, RunOpts};
 use symcosim_core::{
     Finding, FindingClass, InstrConstraint, SessionConfig, VerifyReport, VerifySession,
 };
 
-fn run_phase(config: SessionConfig) -> VerifyReport {
-    VerifySession::new(config)
-        .expect("valid configuration")
-        .run()
+fn run_phase(config: SessionConfig, opts: RunOpts) -> VerifyReport {
+    run_session(
+        VerifySession::new(config).expect("valid configuration"),
+        opts,
+    )
 }
 
 fn main() {
+    let opts = RunOpts::from_args();
     let start = Instant::now();
 
     // Phase 1: full instruction space, one instruction per path.
-    let phase1 = run_phase(SessionConfig::table1());
+    let phase1 = run_phase(SessionConfig::table1(), opts);
 
     // Phase 2: extended-CSR space, two instructions per path.
     let mut config = SessionConfig::table1();
     config.instr_limit = 2;
     config.cycle_limit = 128;
     config.constraint = InstrConstraint::ExtendedCsrOnly;
-    let phase2 = run_phase(config);
+    let phase2 = run_phase(config, opts);
 
     let elapsed = start.elapsed();
 

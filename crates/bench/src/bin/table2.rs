@@ -3,10 +3,13 @@
 //! executed instructions, time, partial paths and completed paths.
 //!
 //! Run with: `cargo run --release -p symcosim-bench --bin table2`
+//! Optional: `--jobs N` explores each error's paths on N worker threads
+//! (identical results, shorter wall-clock on multi-core hosts) and
+//! `--progress-json` streams structured progress events on stderr.
 
 use std::time::Instant;
 
-use symcosim_bench::{fmt_secs, median};
+use symcosim_bench::{fmt_secs, median, run_session, RunOpts};
 use symcosim_core::{SessionConfig, VerifySession};
 use symcosim_microrv32::InjectedError;
 
@@ -18,7 +21,7 @@ struct Row {
     complete: usize,
 }
 
-fn run_one(error: InjectedError, instr_limit: u32) -> Row {
+fn run_one(error: InjectedError, instr_limit: u32, opts: RunOpts) -> Row {
     let mut config = SessionConfig::rv32i_only();
     config.inject = Some(error);
     config.instr_limit = instr_limit;
@@ -33,9 +36,8 @@ fn run_one(error: InjectedError, instr_limit: u32) -> Row {
         config.strategy = symcosim_symex::SearchStrategy::Bfs;
     }
     let start = Instant::now();
-    let report = VerifySession::new(config)
-        .expect("valid configuration")
-        .run();
+    let session = VerifySession::new(config).expect("valid configuration");
+    let report = run_session(session, opts);
     Row {
         found: report.first_mismatch().is_some(),
         instructions: report.instructions_executed,
@@ -46,6 +48,7 @@ fn run_one(error: InjectedError, instr_limit: u32) -> Row {
 }
 
 fn main() {
+    let opts = RunOpts::from_args();
     println!("Table II — injected error results (RV32I only, CSR instructions blocked)\n");
     println!(
         "{:<6} | {:^44} | {:^44}",
@@ -75,7 +78,7 @@ fn main() {
     let mut path_series = [Vec::new(), Vec::new()];
 
     for error in InjectedError::ALL {
-        let rows = [run_one(error, 1), run_one(error, 2)];
+        let rows = [run_one(error, 1, opts), run_one(error, 2, opts)];
         print!("{:<6}", error.id());
         for (i, row) in rows.iter().enumerate() {
             print!(

@@ -12,11 +12,69 @@
 //!   "a non-optimised symbolic execution requires more than 30 days"
 //!   claim.
 //!
-//! Criterion benches live in `benches/` and cover the engine and
-//! co-simulation building blocks plus the fuzzing comparison.
+//! Micro-benchmarks live in `benches/` (std-only harnesses built on
+//! `symcosim-testkit`) and cover the engine and co-simulation building
+//! blocks plus the fuzzing comparison. Every binary accepts `--jobs N`
+//! for parallel exploration and `--progress-json` for structured
+//! progress events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::sync::mpsc;
+use std::thread;
+
+use symcosim_core::{ProgressEvent, VerifyReport, VerifySession};
+
+/// Parallelism options the table bins share: `--jobs N` selects the
+/// worker count (default 1, the sequential engine) and `--progress-json`
+/// streams one structured progress event per line on stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Worker threads; 1 runs the classic sequential engine.
+    pub jobs: usize,
+    /// Stream JSON progress events on stderr.
+    pub progress_json: bool,
+}
+
+impl RunOpts {
+    /// Parses the options from the process arguments (unknown arguments
+    /// are ignored so bins can layer their own flags on top).
+    pub fn from_args() -> RunOpts {
+        let args: Vec<String> = std::env::args().collect();
+        let jobs = args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        RunOpts {
+            jobs: usize::max(jobs, 1),
+            progress_json: args.iter().any(|a| a == "--progress-json"),
+        }
+    }
+}
+
+/// Runs a session honouring [`RunOpts`]: sequentially for `--jobs 1`
+/// without progress, on worker threads otherwise. The merged report is
+/// the same either way for frontier-drained configurations.
+pub fn run_session(session: VerifySession, opts: RunOpts) -> VerifyReport {
+    if opts.jobs <= 1 && !opts.progress_json {
+        return session.run();
+    }
+    if !opts.progress_json {
+        return session.run_parallel(opts.jobs);
+    }
+    let (sender, receiver) = mpsc::channel::<ProgressEvent>();
+    let printer = thread::spawn(move || {
+        for event in receiver {
+            eprintln!("{}", event.to_json());
+        }
+    });
+    let report = session.run_parallel_with_progress(opts.jobs, Some(sender));
+    let _ = printer.join();
+    report
+}
 
 /// Formats a `std::time::Duration` the way the tables print it (seconds).
 pub fn fmt_secs(duration: std::time::Duration) -> String {

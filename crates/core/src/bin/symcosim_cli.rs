@@ -8,10 +8,10 @@
 //! ```
 
 use std::error::Error;
-use std::io::Read;
+use std::io::{IsTerminal, Read};
 
 use symcosim_core::fuzz::{self, FuzzConfig};
-use symcosim_core::{InstrConstraint, SessionConfig, VerifySession};
+use symcosim_core::{InstrConstraint, ProgressEvent, SessionConfig, VerifyReport, VerifySession};
 use symcosim_microrv32::InjectedError;
 
 const USAGE: &str = "\
@@ -19,16 +19,19 @@ symcosim — symbolic co-simulation for RISC-V processor verification
 
 USAGE:
     symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
+                        [--jobs N] [--seed N]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
-        symbolic registers (default 2).
+        symbolic registers (default 2). --jobs explores paths on N worker
+        threads (same report, any N); --seed seeds randomised search.
 
-    symcosim-cli inject <E0..E9> [--limit N] [--fuzz] [--hybrid]
+    symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
+                        [--fuzz] [--hybrid]
         Seed one of the paper's Table II faults into the core and hunt it
         symbolically (default), by fuzzing (--fuzz), or hybrid (--hybrid).
 
-    symcosim-cli fuzz [--runs N] [--coverage] [--inject Ek]
+    symcosim-cli fuzz [--runs N] [--seed N] [--coverage] [--inject Ek]
         Run the concrete fuzzing baseline against corrected models.
 
     symcosim-cli asm
@@ -73,6 +76,39 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, Box<dyn Error>
     Ok(None)
 }
 
+/// Runs the session sequentially or, with `--jobs` ≥ 2, on worker threads
+/// with a live status line on stderr (when stderr is a terminal).
+fn run_session(session: VerifySession, jobs: usize) -> VerifyReport {
+    if jobs <= 1 {
+        return session.run();
+    }
+    if !std::io::stderr().is_terminal() {
+        return session.run_parallel(jobs);
+    }
+    let (sender, receiver) = std::sync::mpsc::channel();
+    let printer = std::thread::spawn(move || {
+        for event in receiver {
+            match event {
+                ProgressEvent::PathDone {
+                    paths_done,
+                    queued,
+                    elapsed_ms,
+                    ..
+                } => eprint!(
+                    "\r[{:>5}.{}s] {paths_done} paths explored, {queued} queued    ",
+                    elapsed_ms / 1000,
+                    elapsed_ms % 1000 / 100
+                ),
+                ProgressEvent::Finished { .. } => eprint!("\r{:64}\r", ""),
+                _ => {}
+            }
+        }
+    });
+    let report = session.run_parallel_with_progress(jobs, Some(sender));
+    let _ = printer.join();
+    report
+}
+
 fn parse_error(token: &str) -> Result<InjectedError, Box<dyn Error>> {
     InjectedError::ALL
         .into_iter()
@@ -95,7 +131,11 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(window) = flag_value(args, "--window")? {
         config.symbolic_regs = window as usize;
     }
-    let report = VerifySession::new(config)?.run();
+    if let Some(seed) = flag_value(args, "--seed")? {
+        config.seed = seed;
+    }
+    let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
+    let report = run_session(VerifySession::new(config)?, jobs);
     print!("{report}");
     Ok(())
 }
@@ -119,6 +159,10 @@ fn cmd_inject(args: &[String]) -> Result<(), Box<dyn Error>> {
         session.instr_limit = limit as u32;
         session.cycle_limit = 64 * limit;
     }
+    if let Some(seed) = flag_value(args, "--seed")? {
+        session.seed = seed;
+    }
+    let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
 
     if args.iter().any(|a| a == "--hybrid") {
         let mut fuzz_config = FuzzConfig::rv32i_only();
@@ -135,7 +179,7 @@ fn cmd_inject(args: &[String]) -> Result<(), Box<dyn Error>> {
         return Ok(());
     }
 
-    let report = VerifySession::new(session)?.run();
+    let report = run_session(VerifySession::new(session)?, jobs);
     print!("{report}");
     match report.first_mismatch() {
         Some(finding) => {
@@ -152,6 +196,9 @@ fn cmd_fuzz(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut config = FuzzConfig::rv32i_only();
     if let Some(runs) = flag_value(args, "--runs")? {
         config.max_runs = runs;
+    }
+    if let Some(seed) = flag_value(args, "--seed")? {
+        config.seed = seed;
     }
     if let Some(pos) = args.iter().position(|a| a == "--inject") {
         let id = args.get(pos + 1).ok_or("--inject expects an error id")?;

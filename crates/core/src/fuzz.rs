@@ -9,11 +9,10 @@
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use symcosim_iss::IssConfig;
 use symcosim_microrv32::{CoreConfig, InjectedError};
 use symcosim_symex::ConcreteDomain;
+use symcosim_testkit::Rng;
 
 use crate::cosim::CoSim;
 use crate::voter::{ConcreteJudge, Mismatch};
@@ -118,9 +117,9 @@ fn run_inputs(
 }
 
 /// Samples one instruction word respecting the generation constraint.
-fn random_word(rng: &mut StdRng, block_system: bool) -> u32 {
+fn random_word(rng: &mut Rng, block_system: bool) -> u32 {
     loop {
-        let word: u32 = rng.gen();
+        let word: u32 = rng.next_u32();
         if !block_system || word & 0x7f != symcosim_isa::opcodes::SYSTEM {
             return word;
         }
@@ -136,15 +135,15 @@ fn random_word(rng: &mut StdRng, block_system: bool) -> u32 {
 /// `config.random_regs` exceeds 31.
 pub fn run(config: &FuzzConfig) -> FuzzOutcome {
     let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed(config.seed);
     let mut instructions = 0u64;
 
     for run_index in 0..config.max_runs {
         let words: Vec<u32> = (0..config.instr_limit)
             .map(|_| random_word(&mut rng, config.block_system))
             .collect();
-        let regs: Vec<u32> = (0..config.random_regs).map(|_| rng.gen()).collect();
-        let memory: Vec<u32> = (0..config.dmem_words).map(|_| rng.gen()).collect();
+        let regs: Vec<u32> = (0..config.random_regs).map(|_| rng.next_u32()).collect();
+        let memory: Vec<u32> = (0..config.dmem_words).map(|_| rng.next_u32()).collect();
         let result = run_inputs(config, &words, &regs, &memory);
         instructions += result.instructions;
         if result.mismatch.is_some() {
@@ -182,21 +181,21 @@ fn decode_class(word: u32) -> u32 {
 /// `config.random_regs` exceeds 31.
 pub fn run_coverage_guided(config: &FuzzConfig) -> FuzzOutcome {
     let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed(config.seed);
     let mut instructions = 0u64;
     let mut corpus: Vec<Vec<u32>> = Vec::new();
     let mut seen_classes = std::collections::HashSet::new();
 
     for run_index in 0..config.max_runs {
         // 50/50: mutate a corpus entry or generate fresh.
-        let words: Vec<u32> = if !corpus.is_empty() && rng.gen_bool(0.5) {
-            let parent = &corpus[rng.gen_range(0..corpus.len())];
+        let words: Vec<u32> = if !corpus.is_empty() && rng.chance(1, 2) {
+            let parent = &corpus[rng.index(corpus.len())];
             parent
                 .iter()
                 .map(|&w| {
                     let mut word = w;
-                    for _ in 0..rng.gen_range(1..=3) {
-                        word ^= 1 << rng.gen_range(0..32);
+                    for _ in 0..1 + rng.below(3) {
+                        word ^= 1 << rng.below(32);
                     }
                     if config.block_system && word & 0x7f == symcosim_isa::opcodes::SYSTEM {
                         word ^= 0x40; // knock it out of the SYSTEM opcode
@@ -209,8 +208,8 @@ pub fn run_coverage_guided(config: &FuzzConfig) -> FuzzOutcome {
                 .map(|_| random_word(&mut rng, config.block_system))
                 .collect()
         };
-        let regs: Vec<u32> = (0..config.random_regs).map(|_| rng.gen()).collect();
-        let memory: Vec<u32> = (0..config.dmem_words).map(|_| rng.gen()).collect();
+        let regs: Vec<u32> = (0..config.random_regs).map(|_| rng.next_u32()).collect();
+        let memory: Vec<u32> = (0..config.dmem_words).map(|_| rng.next_u32()).collect();
         let result = run_inputs(config, &words, &regs, &memory);
         instructions += result.instructions;
         if result.mismatch.is_some() {

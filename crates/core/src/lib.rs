@@ -63,4 +63,5 @@ pub use memory::{IssDataBus, SymbolicDataMemory, SymbolicInstrMemory};
 pub use replay::replay;
 pub use report::{Finding, FindingClass, VerifyReport};
 pub use session::{InstrConstraint, SessionConfig, SessionError, VerifySession};
+pub use symcosim_exec::ProgressEvent;
 pub use voter::{ConcreteJudge, Judge, Mismatch, MismatchKind, SymbolicJudge, Voter};

@@ -54,7 +54,10 @@ impl<D: Domain> SymbolicInstrMemory<D> {
     pub fn with_constraint(
         constraint: impl Fn(&mut D, D::Word) + Send + 'static,
     ) -> SymbolicInstrMemory<D> {
-        SymbolicInstrMemory { constraint: Some(Box::new(constraint)), ..SymbolicInstrMemory::new() }
+        SymbolicInstrMemory {
+            constraint: Some(Box::new(constraint)),
+            ..SymbolicInstrMemory::new()
+        }
     }
 
     /// Replaces the symbolic generator with a custom one (the fuzzing
@@ -63,7 +66,10 @@ impl<D: Domain> SymbolicInstrMemory<D> {
     pub fn with_generator(
         generator: impl FnMut(&mut D, u32) -> D::Word + Send + 'static,
     ) -> SymbolicInstrMemory<D> {
-        SymbolicInstrMemory { generator: Some(Box::new(generator)), ..SymbolicInstrMemory::new() }
+        SymbolicInstrMemory {
+            generator: Some(Box::new(generator)),
+            ..SymbolicInstrMemory::new()
+        }
     }
 
     /// Backs the instruction memory with a concrete program (word 0 at
@@ -79,8 +85,14 @@ impl<D: Domain> SymbolicInstrMemory<D> {
     ///
     /// Panics if `words` is empty.
     pub fn from_program(words: Vec<u32>) -> SymbolicInstrMemory<D> {
-        assert!(!words.is_empty(), "program must contain at least one instruction");
-        SymbolicInstrMemory { program: Some(words), ..SymbolicInstrMemory::new() }
+        assert!(
+            !words.is_empty(),
+            "program must contain at least one instruction"
+        );
+        SymbolicInstrMemory {
+            program: Some(words),
+            ..SymbolicInstrMemory::new()
+        }
     }
 
     /// Number of instructions generated so far.

@@ -302,7 +302,9 @@ fn classify_csr(
 /// Aggregate result of a verification session.
 #[derive(Debug, Clone)]
 pub struct VerifyReport {
-    /// Unique classified findings, in discovery order.
+    /// Unique classified findings, in canonical path order (lexicographic
+    /// on the discovering path's decision vector — identical for
+    /// sequential and parallel exploration).
     pub findings: Vec<Finding>,
     /// Paths that ran to the instruction limit without incident.
     pub paths_complete: usize,

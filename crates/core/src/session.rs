@@ -1,13 +1,18 @@
 //! The top-level verification session.
 
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::sync::mpsc::Sender;
+use std::time::{Duration, Instant};
 
+use symcosim_exec::{explore_parallel, ExecConfig, ProgressEvent};
 use symcosim_isa::opcodes;
 use symcosim_iss::IssConfig;
 use symcosim_microrv32::{CoreConfig, InjectedError};
-use symcosim_symex::{Domain, Engine, EngineConfig, SearchStrategy, SymExec, TestVector};
+use symcosim_symex::{
+    Domain, Engine, EngineConfig, PathResult, SearchStrategy, SymExec, TestVector,
+};
 
 use crate::cosim::{CoSim, StopReason};
 use crate::report::{classify, Finding, VerifyReport};
@@ -57,6 +62,9 @@ pub struct SessionConfig {
     pub constraint: InstrConstraint,
     /// Maximum number of explored paths.
     pub max_paths: usize,
+    /// Maximum symbolic decisions per path before the path is culled
+    /// (KLEE-style resource kill; counted as a partial path).
+    pub max_decisions_per_path: usize,
     /// Frontier discipline.
     pub strategy: SearchStrategy,
     /// Emit a test vector per path (KLEE's test-case generation).
@@ -64,6 +72,12 @@ pub struct SessionConfig {
     /// Stop the exploration at the first mismatch (Table II mode) instead
     /// of cataloguing all findings (Table I mode).
     pub stop_at_first_mismatch: bool,
+    /// Seed for randomised search strategies; parallel workers derive
+    /// decorrelated per-worker seeds from it.
+    pub seed: u64,
+    /// Wall-clock budget for [`VerifySession::run_parallel`]; `None`
+    /// means unbounded. Ignored by the sequential [`VerifySession::run`].
+    pub deadline: Option<Duration>,
 }
 
 impl SessionConfig {
@@ -80,9 +94,12 @@ impl SessionConfig {
             dmem_words: 16,
             constraint: InstrConstraint::None,
             max_paths: 100_000,
+            max_decisions_per_path: 10_000,
             strategy: SearchStrategy::Dfs,
             emit_test_vectors: true,
             stop_at_first_mismatch: false,
+            seed: 0x5eed_cafe,
+            deadline: None,
         }
     }
 
@@ -100,9 +117,12 @@ impl SessionConfig {
             dmem_words: 16,
             constraint: InstrConstraint::BlockSystem,
             max_paths: 100_000,
+            max_decisions_per_path: 10_000,
             strategy: SearchStrategy::Dfs,
             emit_test_vectors: true,
             stop_at_first_mismatch: true,
+            seed: 0x5eed_cafe,
+            deadline: None,
         }
     }
 }
@@ -173,9 +193,15 @@ impl VerifySession {
                 ),
             });
         }
-        if config.instr_limit == 0 || config.cycle_limit == 0 || config.max_paths == 0 {
+        if config.instr_limit == 0
+            || config.cycle_limit == 0
+            || config.max_paths == 0
+            || config.max_decisions_per_path == 0
+        {
             return Err(SessionError {
-                message: "instr_limit, cycle_limit and max_paths must be positive".to_string(),
+                message:
+                    "instr_limit, cycle_limit, max_paths and max_decisions_per_path must be positive"
+                        .to_string(),
             });
         }
         Ok(VerifySession { config })
@@ -190,59 +216,118 @@ impl VerifySession {
     pub fn run(self) -> VerifyReport {
         let start = Instant::now();
         let config = self.config;
-        let engine_config = EngineConfig {
-            strategy: config.strategy,
-            max_paths: config.max_paths,
-            max_decisions_per_path: 10_000,
-            emit_test_vectors: config.emit_test_vectors,
-            seed: 0x5eed_cafe,
-        };
-        let mut engine = Engine::new(engine_config);
+        let mut engine = Engine::new(engine_config(&config));
         let closure_config = config.clone();
         let stop_early = config.stop_at_first_mismatch;
         let outcome = engine.explore_until(
             move |exec| run_one_path(exec, &closure_config),
             move |path| stop_early && path.value.mismatch.is_some(),
         );
+        merge_report(outcome.paths, outcome.frontier_exhausted, start)
+    }
 
-        let mut findings: Vec<Finding> = Vec::new();
-        let mut paths_complete = 0usize;
-        let mut paths_partial = 0usize;
-        let mut instructions = 0u64;
-        let mut cycles = 0u64;
-        let mut test_vectors = 0usize;
+    /// Runs the symbolic exploration on `jobs` worker threads (each with
+    /// its own engine and solver) and aggregates the report.
+    ///
+    /// For a frontier-drained configuration the report is identical to the
+    /// sequential [`VerifySession::run`] whatever `jobs` is: the engine
+    /// extracts witnesses from history-independent solvers, and both entry
+    /// points merge paths in canonical decision order. Runs cut short —
+    /// path budget, [`SessionConfig::deadline`], or
+    /// [`SessionConfig::stop_at_first_mismatch`] — explore a
+    /// scheduling-dependent subset and are only reproducible per path.
+    pub fn run_parallel(self, jobs: usize) -> VerifyReport {
+        self.run_parallel_with_progress(jobs, None)
+    }
 
-        for path in &outcome.paths {
-            let run = &path.value;
-            instructions += run.instructions;
-            cycles += run.cycles;
-            if path.test_vector.is_some() || run.witness.is_some() {
-                test_vectors += 1;
-            }
-            match run.stop {
-                StopReason::InstrLimit => paths_complete += 1,
-                _ => paths_partial += 1,
-            }
-            if let Some(mismatch) = &run.mismatch {
-                let mut finding = classify(run.instr_word, mismatch);
-                finding.witness = run.witness.clone();
-                let key = finding.dedup_key();
-                if !findings.iter().any(|f| f.dedup_key() == key) {
-                    findings.push(finding);
-                }
+    /// [`VerifySession::run_parallel`] with structured progress events
+    /// emitted on `progress` (a dropped receiver is tolerated).
+    pub fn run_parallel_with_progress(
+        self,
+        jobs: usize,
+        progress: Option<Sender<ProgressEvent>>,
+    ) -> VerifyReport {
+        let start = Instant::now();
+        let config = self.config;
+        let exec_config = ExecConfig {
+            jobs,
+            engine: engine_config(&config),
+            deadline: config.deadline,
+        };
+        let closure_config = config.clone();
+        let stop_early = config.stop_at_first_mismatch;
+        let outcome = explore_parallel(
+            &exec_config,
+            move |exec: &mut SymExec<'_>| run_one_path(exec, &closure_config),
+            move |path: &PathResult<PathRun>| stop_early && path.value.mismatch.is_some(),
+            progress,
+        );
+        merge_report(outcome.paths, outcome.frontier_exhausted, start)
+    }
+}
+
+/// The engine configuration a session config induces.
+fn engine_config(config: &SessionConfig) -> EngineConfig {
+    EngineConfig {
+        strategy: config.strategy,
+        max_paths: config.max_paths,
+        max_decisions_per_path: config.max_decisions_per_path,
+        emit_test_vectors: config.emit_test_vectors,
+        seed: config.seed,
+    }
+}
+
+/// Aggregates explored paths into the session report.
+///
+/// Shared by the sequential and parallel entry points. Paths are first put
+/// into canonical order (lexicographic on decision vectors — explored
+/// vectors are pairwise prefix-free, so the order is total and independent
+/// of exploration scheduling); findings then deduplicate to one Table I
+/// row per (subject, description) through a hash set.
+fn merge_report(
+    mut paths: Vec<PathResult<PathRun>>,
+    truncated: bool,
+    start: Instant,
+) -> VerifyReport {
+    paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    let mut paths_complete = 0usize;
+    let mut paths_partial = 0usize;
+    let mut instructions = 0u64;
+    let mut cycles = 0u64;
+    let mut test_vectors = 0usize;
+
+    for path in &paths {
+        let run = &path.value;
+        instructions += run.instructions;
+        cycles += run.cycles;
+        if path.test_vector.is_some() || run.witness.is_some() {
+            test_vectors += 1;
+        }
+        match run.stop {
+            StopReason::InstrLimit => paths_complete += 1,
+            _ => paths_partial += 1,
+        }
+        if let Some(mismatch) = &run.mismatch {
+            let mut finding = classify(run.instr_word, mismatch);
+            finding.witness = run.witness.clone();
+            if seen.insert(finding.dedup_key()) {
+                findings.push(finding);
             }
         }
+    }
 
-        VerifyReport {
-            findings,
-            paths_complete,
-            paths_partial,
-            instructions_executed: instructions,
-            cycles,
-            test_vectors,
-            duration: start.elapsed(),
-            truncated: outcome.frontier_exhausted,
-        }
+    VerifyReport {
+        findings,
+        paths_complete,
+        paths_partial,
+        instructions_executed: instructions,
+        cycles,
+        test_vectors,
+        duration: start.elapsed(),
+        truncated,
     }
 }
 
@@ -262,10 +347,13 @@ fn run_one_path(exec: &mut SymExec<'_>, config: &SessionConfig) -> PathRun {
     );
     let result = cosim.run(exec, &mut SymbolicJudge);
     let (witness, instr_word) = if result.mismatch.is_some() {
-        let witness = exec.witness_vector(&[]);
+        // Stable extraction (fresh solver per query): the witness depends
+        // only on the path condition, so reports agree between sequential
+        // and parallel exploration.
+        let witness = exec.stable_witness_vector(&[]);
         let instr_word = cosim
             .last_instruction()
-            .and_then(|term| exec.concrete_witness(term, &[]))
+            .and_then(|term| exec.stable_concrete_witness(term, &[]))
             .map(|v| v as u32);
         (witness, instr_word)
     } else {

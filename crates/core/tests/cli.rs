@@ -7,7 +7,10 @@ const BIN: &str = env!("CARGO_BIN_EXE_symcosim-cli");
 
 #[test]
 fn help_prints_usage() {
-    let output = Command::new(BIN).arg("--help").output().expect("binary runs");
+    let output = Command::new(BIN)
+        .arg("--help")
+        .output()
+        .expect("binary runs");
     assert!(output.status.success());
     let text = String::from_utf8_lossy(&output.stdout);
     assert!(text.contains("verify"));
@@ -16,7 +19,10 @@ fn help_prints_usage() {
 
 #[test]
 fn unknown_subcommand_fails_with_usage() {
-    let output = Command::new(BIN).arg("frobnicate").output().expect("binary runs");
+    let output = Command::new(BIN)
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
     assert!(!output.status.success());
     let text = String::from_utf8_lossy(&output.stderr);
     assert!(text.contains("unknown subcommand"));
@@ -25,7 +31,10 @@ fn unknown_subcommand_fails_with_usage() {
 #[test]
 fn inject_finds_a_fast_fault() {
     // E5 (JAL loses the PC update) is detected within a handful of paths.
-    let output = Command::new(BIN).args(["inject", "E5"]).output().expect("binary runs");
+    let output = Command::new(BIN)
+        .args(["inject", "E5"])
+        .output()
+        .expect("binary runs");
     assert!(output.status.success());
     let text = String::from_utf8_lossy(&output.stdout);
     assert!(text.contains("JAL does not change the PC"), "{text}");
@@ -49,7 +58,10 @@ fn asm_assembles_stdin() {
     let output = child.wait_with_output().expect("binary finishes");
     assert!(output.status.success());
     let text = String::from_utf8_lossy(&output.stdout);
-    assert_eq!(text.lines().collect::<Vec<_>>(), vec!["02a00093", "00100073"]);
+    assert_eq!(
+        text.lines().collect::<Vec<_>>(),
+        vec!["02a00093", "00100073"]
+    );
 }
 
 #[test]

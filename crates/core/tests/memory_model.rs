@@ -2,10 +2,10 @@
 //! reference model, exercised through both of its interfaces (the strobe
 //! DBus used by the core and the byte interface used by the ISS).
 
-use proptest::prelude::*;
 use symcosim_core::SymbolicDataMemory;
 use symcosim_rtl::Strobe;
 use symcosim_symex::ConcreteDomain;
+use symcosim_testkit::{check_cases, Rng};
 
 const WORDS: usize = 16;
 
@@ -61,32 +61,30 @@ enum Op {
     },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let width = prop_oneof![Just(1u32), Just(2), Just(4)];
-    let lanes = prop_oneof![
-        Just(0b0001u8),
-        Just(0b0010),
-        Just(0b0100),
-        Just(0b1000),
-        Just(0b0011),
-        Just(0b1100),
-        Just(0b1111),
-    ];
-    prop_oneof![
-        (0u32..WORDS as u32 * 4, width.clone())
-            .prop_map(|(addr, width)| Op::ByteLoad { addr, width }),
-        (0u32..WORDS as u32 * 4, any::<u32>(), width)
-            .prop_map(|(addr, value, width)| Op::ByteStore { addr, value, width }),
-        (0u32..WORDS as u32, lanes.clone()).prop_map(|(w, lanes)| Op::StrobeLoad {
-            word_addr: w * 4,
-            lanes
-        }),
-        (0u32..WORDS as u32, any::<u32>(), lanes).prop_map(|(w, data, lanes)| Op::StrobeStore {
-            word_addr: w * 4,
-            data,
-            lanes
-        }),
-    ]
+const WIDTHS: [u32; 3] = [1, 2, 4];
+const LANES: [u8; 7] = [0b0001, 0b0010, 0b0100, 0b1000, 0b0011, 0b1100, 0b1111];
+
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.index(4) {
+        0 => Op::ByteLoad {
+            addr: rng.below(WORDS as u64 * 4) as u32,
+            width: *rng.choose(&WIDTHS),
+        },
+        1 => Op::ByteStore {
+            addr: rng.below(WORDS as u64 * 4) as u32,
+            value: rng.next_u32(),
+            width: *rng.choose(&WIDTHS),
+        },
+        2 => Op::StrobeLoad {
+            word_addr: rng.below(WORDS as u64) as u32 * 4,
+            lanes: *rng.choose(&LANES),
+        },
+        _ => Op::StrobeStore {
+            word_addr: rng.below(WORDS as u64) as u32 * 4,
+            data: rng.next_u32(),
+            lanes: *rng.choose(&LANES),
+        },
+    }
 }
 
 fn lane_mask(lanes: u8) -> u32 {
@@ -95,13 +93,13 @@ fn lane_mask(lanes: u8) -> u32 {
         .fold(0, |m, l| m | (0xff << (l * 8)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Arbitrary interleavings of byte and strobe accesses agree with the
+/// byte-array reference model.
+#[test]
+fn memory_matches_reference() {
+    check_cases(0x3e3_0001, 128, |rng| {
+        let ops: Vec<Op> = (0..1 + rng.index(39)).map(|_| random_op(rng)).collect();
 
-    /// Arbitrary interleavings of byte and strobe accesses agree with the
-    /// byte-array reference model.
-    #[test]
-    fn memory_matches_reference(ops in proptest::collection::vec(arb_op(), 1..40)) {
         let mut dom = ConcreteDomain::new();
         let mut mem: SymbolicDataMemory<ConcreteDomain> =
             SymbolicDataMemory::new_zeroed(&mut dom, WORDS);
@@ -112,7 +110,7 @@ proptest! {
                 Op::ByteLoad { addr, width } => {
                     let got = mem.load_bytes(&mut dom, addr, width);
                     let want = reference.load(addr, width);
-                    prop_assert_eq!(got, want, "byte load at {:#x} width {}", addr, width);
+                    assert_eq!(got, want, "byte load at {addr:#x} width {width}");
                 }
                 Op::ByteStore { addr, value, width } => {
                     mem.store_bytes(&mut dom, addr, value, width);
@@ -122,9 +120,13 @@ proptest! {
                     let strobe = Strobe::from_lanes(lanes).expect("legal lanes");
                     let got = mem.strobe_access(&mut dom, word_addr, false, 0, strobe);
                     let want = reference.load(word_addr, 4) & lane_mask(lanes);
-                    prop_assert_eq!(got, want, "strobe load at {:#x} lanes {:04b}", word_addr, lanes);
+                    assert_eq!(got, want, "strobe load at {word_addr:#x} lanes {lanes:04b}");
                 }
-                Op::StrobeStore { word_addr, data, lanes } => {
+                Op::StrobeStore {
+                    word_addr,
+                    data,
+                    lanes,
+                } => {
                     let strobe = Strobe::from_lanes(lanes).expect("legal lanes");
                     mem.strobe_access(&mut dom, word_addr, true, data, strobe);
                     let mask = lane_mask(lanes);
@@ -138,7 +140,7 @@ proptest! {
         for i in 0..WORDS {
             let got = mem.words()[i];
             let want = reference.load(i as u32 * 4, 4);
-            prop_assert_eq!(got, want, "word {}", i);
+            assert_eq!(got, want, "word {i}");
         }
-    }
+    });
 }

@@ -1,0 +1,367 @@
+//! The worker pool: spawn, explore, merge deterministically.
+
+use std::sync::mpsc::Sender;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use symcosim_symex::{Engine, EngineConfig, PathResult, PathStatus, SolverStats, SymExec};
+
+use crate::budget::Budget;
+use crate::frontier::ShardedFrontier;
+use crate::progress::ProgressEvent;
+
+/// Configuration of one parallel exploration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker thread count (clamped to at least 1).
+    pub jobs: usize,
+    /// Per-worker engine configuration. `max_paths` is interpreted as the
+    /// *global* path budget across all workers; `seed` is perturbed per
+    /// worker so random-path popping decorrelates.
+    pub engine: EngineConfig,
+    /// Optional wall-clock budget for the whole exploration.
+    pub deadline: Option<Duration>,
+}
+
+impl ExecConfig {
+    /// `jobs` workers with the given engine configuration, no deadline.
+    pub fn new(jobs: usize, engine: EngineConfig) -> ExecConfig {
+        ExecConfig {
+            jobs,
+            engine,
+            deadline: None,
+        }
+    }
+}
+
+/// Per-worker accounting of one exploration.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Paths this worker ran.
+    pub paths: usize,
+    /// Time spent executing paths (excludes queue waits).
+    pub busy: Duration,
+    /// Its private SAT solver's cumulative statistics.
+    pub stats: SolverStats,
+}
+
+/// Aggregate result of an [`explore_parallel`] call.
+///
+/// `paths` is in **canonical order** (lexicographic by decision vector),
+/// not completion order — the order is a pure function of the exploration,
+/// independent of worker count and scheduling.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome<R> {
+    /// All explored paths in canonical (decision-vector) order.
+    pub paths: Vec<PathResult<R>>,
+    /// Paths that ran to completion.
+    pub complete_paths: usize,
+    /// Paths cut short (infeasible assumes or decision limits).
+    pub partial_paths: usize,
+    /// `true` if exploration stopped with work left (path budget,
+    /// deadline, or stop predicate).
+    pub frontier_exhausted: bool,
+    /// Per-worker accounting, indexed by worker.
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock duration of the whole exploration.
+    pub wall: Duration,
+}
+
+impl<R> ParallelOutcome<R> {
+    /// Iterates over the values of complete paths (canonical order).
+    pub fn complete_values(&self) -> impl Iterator<Item = &R> {
+        self.paths
+            .iter()
+            .filter(|p| p.status == PathStatus::Complete)
+            .map(|p| &p.value)
+    }
+}
+
+/// Explores every feasible path through `task` using `config.jobs` worker
+/// threads, stopping early when `stop` returns true for a finished path.
+///
+/// `task` must satisfy the same determinism contract as
+/// [`Engine::explore`]; additionally it is shared by all workers, so it
+/// must be `Sync` (it is re-invoked, never mutated). Progress events are
+/// emitted on `progress` if given; a dropped receiver is tolerated.
+///
+/// For a frontier-drained run the returned outcome is identical whatever
+/// `config.jobs` is — see the crate documentation for the argument.
+pub fn explore_parallel<R, F, P>(
+    config: &ExecConfig,
+    task: F,
+    stop: P,
+    progress: Option<Sender<ProgressEvent>>,
+) -> ParallelOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut SymExec<'_>) -> R + Sync,
+    P: Fn(&PathResult<R>) -> bool + Sync,
+{
+    let jobs = config.jobs.max(1);
+    let start = Instant::now();
+    let budget = Budget::new(config.engine.max_paths, config.deadline);
+    let frontier = ShardedFrontier::new(jobs);
+    frontier.push(0, Vec::new());
+    if let Some(tx) = &progress {
+        let _ = tx.send(ProgressEvent::Started { jobs });
+    }
+
+    let (mut paths, workers) = thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|worker| {
+                let tx = progress.clone();
+                let (frontier, budget, task, stop) = (&frontier, &budget, &task, &stop);
+                let mut engine_config = config.engine.clone();
+                engine_config.seed ^= (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                scope.spawn(move || {
+                    let strategy = engine_config.strategy;
+                    let mut rng = engine_config.seed | 1;
+                    let mut engine = Engine::new(engine_config);
+                    let mut local: Vec<PathResult<R>> = Vec::new();
+                    let mut busy = Duration::ZERO;
+                    while let Some(prefix) = frontier.acquire(worker, strategy, &mut rng, budget) {
+                        if !budget.claim() {
+                            // Path budget spent: retire the job unrun and
+                            // bring the whole exploration down.
+                            frontier.finish(worker, Vec::new());
+                            budget.cancel();
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let outcome = engine.run_prefix(prefix, task);
+                        busy += t0.elapsed();
+                        if stop(&outcome.result) {
+                            budget.cancel();
+                        }
+                        frontier.finish(worker, outcome.forks);
+                        if let Some(tx) = &tx {
+                            let _ = tx.send(ProgressEvent::PathDone {
+                                worker,
+                                depth: outcome.result.decisions.len(),
+                                paths_done: budget.claimed(),
+                                queued: frontier.pending(),
+                                elapsed_ms: start.elapsed().as_millis() as u64,
+                            });
+                        }
+                        local.push(outcome.result);
+                    }
+                    let stats = engine.backend().stats();
+                    if let Some(tx) = &tx {
+                        let _ = tx.send(ProgressEvent::WorkerDone {
+                            worker,
+                            paths: local.len(),
+                            busy_ms: busy.as_millis() as u64,
+                            solver: stats,
+                        });
+                    }
+                    let report = WorkerReport {
+                        worker,
+                        paths: local.len(),
+                        busy,
+                        stats,
+                    };
+                    (local, report)
+                })
+            })
+            .collect();
+        let mut paths = Vec::new();
+        let mut workers = Vec::new();
+        for handle in handles {
+            let (local, report) = handle.join().expect("worker panicked");
+            paths.extend(local);
+            workers.push(report);
+        }
+        (paths, workers)
+    });
+
+    // Canonical merge: explored decision vectors are pairwise prefix-free,
+    // so their lexicographic order is total and schedule-independent.
+    paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
+    let complete = paths
+        .iter()
+        .filter(|p| p.status == PathStatus::Complete)
+        .count();
+    let truncated = budget.cancelled() || frontier.pending() > 0;
+    if let Some(tx) = &progress {
+        let _ = tx.send(ProgressEvent::Finished {
+            paths: paths.len(),
+            wall_ms: start.elapsed().as_millis() as u64,
+            truncated,
+        });
+    }
+    ParallelOutcome {
+        complete_paths: complete,
+        partial_paths: paths.len() - complete,
+        frontier_exhausted: truncated,
+        workers,
+        wall: start.elapsed(),
+        paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use symcosim_symex::{Domain, SearchStrategy};
+
+    /// Four decisions over distinct bits of one symbol: 16 feasible paths.
+    fn four_bit_task(exec: &mut SymExec<'_>) -> u32 {
+        let x = exec.fresh_word("x");
+        let mut value = 0u32;
+        for bit in 0..4 {
+            let field = exec.field(x, bit, bit);
+            let one = exec.const_word(1);
+            let set = exec.eq_w(field, one);
+            if exec.decide(set) {
+                value |= 1 << bit;
+            }
+        }
+        value
+    }
+
+    fn config(jobs: usize) -> ExecConfig {
+        ExecConfig::new(jobs, EngineConfig::default())
+    }
+
+    /// A printable fingerprint of everything a merged report is built from.
+    fn fingerprint(outcome: &ParallelOutcome<u32>) -> Vec<String> {
+        outcome
+            .paths
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:?} value={} status={:?} vector={:?}",
+                    p.decisions,
+                    p.value,
+                    p.status,
+                    p.test_vector.as_ref().map(|v| v.to_string())
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn drained_runs_are_identical_across_worker_counts() {
+        let baseline = explore_parallel(&config(1), four_bit_task, |_| false, None);
+        assert_eq!(baseline.paths.len(), 16);
+        assert!(!baseline.frontier_exhausted);
+        let mut values: Vec<u32> = baseline.complete_values().copied().collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..16).collect::<Vec<u32>>());
+
+        for jobs in [2, 4] {
+            let outcome = explore_parallel(&config(jobs), four_bit_task, |_| false, None);
+            assert_eq!(fingerprint(&outcome), fingerprint(&baseline), "jobs={jobs}");
+            assert_eq!(outcome.workers.len(), jobs);
+        }
+    }
+
+    #[test]
+    fn all_strategies_drain_to_the_same_merge() {
+        let baseline = explore_parallel(&config(1), four_bit_task, |_| false, None);
+        for strategy in [SearchStrategy::Bfs, SearchStrategy::RandomPath] {
+            let mut cfg = config(3);
+            cfg.engine.strategy = strategy;
+            let outcome = explore_parallel(&cfg, four_bit_task, |_| false, None);
+            assert_eq!(
+                fingerprint(&outcome),
+                fingerprint(&baseline),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        let first = explore_parallel(&config(4), four_bit_task, |_| false, None);
+        let second = explore_parallel(&config(4), four_bit_task, |_| false, None);
+        assert_eq!(fingerprint(&first), fingerprint(&second));
+    }
+
+    #[test]
+    fn stop_predicate_cancels_the_run() {
+        let outcome = explore_parallel(&config(2), four_bit_task, |p| p.value == 5, None);
+        assert!(outcome.paths.iter().any(|p| p.value == 5));
+        assert!(outcome.frontier_exhausted, "forks were left unexplored");
+    }
+
+    #[test]
+    fn path_budget_truncates() {
+        let mut cfg = config(2);
+        cfg.engine.max_paths = 5;
+        let outcome = explore_parallel(&cfg, four_bit_task, |_| false, None);
+        assert!(outcome.paths.len() <= 5, "{} paths", outcome.paths.len());
+        assert!(outcome.frontier_exhausted);
+    }
+
+    #[test]
+    fn expired_deadline_stops_immediately() {
+        let mut cfg = config(2);
+        cfg.deadline = Some(Duration::ZERO);
+        let outcome = explore_parallel(&cfg, four_bit_task, |_| false, None);
+        assert!(outcome.paths.is_empty());
+        assert!(outcome.frontier_exhausted);
+    }
+
+    #[test]
+    fn progress_events_bracket_the_run() {
+        let (tx, rx) = mpsc::channel();
+        let outcome = explore_parallel(&config(2), four_bit_task, |_| false, Some(tx));
+        let events: Vec<ProgressEvent> = rx.iter().collect();
+        assert!(matches!(
+            events.first(),
+            Some(ProgressEvent::Started { jobs: 2 })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(ProgressEvent::Finished {
+                paths: 16,
+                truncated: false,
+                ..
+            })
+        ));
+        let path_events = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::PathDone { .. }))
+            .count();
+        assert_eq!(path_events, outcome.paths.len());
+        let worker_events = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::WorkerDone { .. }))
+            .count();
+        assert_eq!(worker_events, 2);
+    }
+
+    #[test]
+    fn infeasible_paths_survive_the_merge() {
+        // assume() kills one branch; parallel and sequential agree on the
+        // partial-path accounting.
+        let task = |exec: &mut SymExec<'_>| {
+            let x = exec.fresh_word("x");
+            let ten = exec.const_word(10);
+            let lt = exec.ult(x, ten);
+            let five = exec.const_word(5);
+            let big = exec.ult(five, x);
+            if exec.decide(lt) {
+                // x < 10: now require x > 5 and x < 3 — contradiction on
+                // the sub-branch that also decided x < 3.
+                exec.assume(big);
+                let three = exec.const_word(3);
+                let small = exec.ult(x, three);
+                exec.assume(small);
+                1
+            } else {
+                0
+            }
+        };
+        let seq = explore_parallel(&config(1), task, |_| false, None);
+        let par = explore_parallel(&config(4), task, |_| false, None);
+        assert_eq!(seq.complete_paths, par.complete_paths);
+        assert_eq!(seq.partial_paths, par.partial_paths);
+        assert!(seq.partial_paths >= 1, "the contradiction must show up");
+    }
+}

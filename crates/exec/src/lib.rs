@@ -1,0 +1,50 @@
+//! Parallel path-exploration executor.
+//!
+//! [`explore_parallel`] distributes the decision-prefix jobs a symbolic
+//! exploration generates over a pool of worker threads, each owning a
+//! private [`Engine`](symcosim_symex::Engine) (term context + SAT solver —
+//! the context is not `Sync`, so sharing is not an option). The pieces:
+//!
+//! * [`ShardedFrontier`] — one work queue per worker plus work stealing,
+//!   so forks stay local to the worker that produced them until somebody
+//!   runs dry,
+//! * [`Budget`] — the global path budget, the wall-clock deadline and the
+//!   cooperative cancellation flag (`stop_at_first_mismatch`),
+//! * [`ProgressEvent`] — structured observability events on an optional
+//!   channel (live status lines, JSON logs),
+//! * a **deterministic merge**: explored paths are sorted by their decision
+//!   vectors, a schedule-independent canonical order, so a drained
+//!   exploration produces the same [`ParallelOutcome`] whatever the worker
+//!   count or interleaving.
+//!
+//! # Why the merge is deterministic
+//!
+//! A path is identified by its decision vector. Feasibility answers are
+//! objective — a prefix is SAT or UNSAT regardless of what the solver did
+//! before — so the set of explored paths, each path's status and its forks
+//! are pure functions of the exploration closure. Model *values* are the
+//! one history-dependent quantity (CDCL phase saving and branching
+//! activity), which is why the engine extracts test vectors and witnesses
+//! from a fresh solver per query (see
+//! [`Engine::run_prefix`](symcosim_symex::Engine::run_prefix)). Explored
+//! decision vectors are pairwise prefix-free (a forked sibling always
+//! extends the point where its parent diverged), so the lexicographic
+//! order is total and canonical.
+//!
+//! Exhaustive (frontier-drained) runs are bit-for-bit reproducible. Runs
+//! cut short — path budget, deadline, stop predicate — report a
+//! deterministic *content* per path but a scheduling-dependent *subset* of
+//! paths; they set [`ParallelOutcome::frontier_exhausted`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod executor;
+mod frontier;
+mod progress;
+
+pub use budget::Budget;
+pub use executor::{explore_parallel, ExecConfig, ParallelOutcome, WorkerReport};
+pub use frontier::ShardedFrontier;
+pub use progress::ProgressEvent;

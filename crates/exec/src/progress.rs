@@ -1,0 +1,139 @@
+//! Structured progress events for live status lines and JSON logs.
+
+use symcosim_symex::SolverStats;
+
+/// One observability event from a parallel exploration.
+///
+/// Events are emitted on the optional channel passed to
+/// [`explore_parallel`](crate::explore_parallel); delivery order between
+/// workers is the real execution order, so the stream is inherently
+/// non-deterministic (it reports scheduling — the merged result does not
+/// depend on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// Exploration started with this many workers.
+    Started {
+        /// Worker count.
+        jobs: usize,
+    },
+    /// A worker finished one path.
+    PathDone {
+        /// Worker index.
+        worker: usize,
+        /// Decision depth of the finished path.
+        depth: usize,
+        /// Paths claimed against the budget so far (run-wide).
+        paths_done: usize,
+        /// Prefixes queued across all shards right now.
+        queued: usize,
+        /// Milliseconds since exploration start.
+        elapsed_ms: u64,
+    },
+    /// A worker drained out and exited.
+    WorkerDone {
+        /// Worker index.
+        worker: usize,
+        /// Paths this worker ran.
+        paths: usize,
+        /// Milliseconds this worker spent executing paths (excludes
+        /// queue waits).
+        busy_ms: u64,
+        /// Its private SAT solver's cumulative statistics.
+        solver: SolverStats,
+    },
+    /// The exploration finished and the merge is complete.
+    Finished {
+        /// Total paths explored.
+        paths: usize,
+        /// Wall-clock milliseconds for the whole exploration.
+        wall_ms: u64,
+        /// Whether work was left unexplored (budget, deadline or stop
+        /// predicate).
+        truncated: bool,
+    },
+}
+
+impl ProgressEvent {
+    /// The event as one line of JSON (hand-rolled; every field is numeric
+    /// or boolean, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        match self {
+            ProgressEvent::Started { jobs } => {
+                format!("{{\"event\":\"started\",\"jobs\":{jobs}}}")
+            }
+            ProgressEvent::PathDone {
+                worker,
+                depth,
+                paths_done,
+                queued,
+                elapsed_ms,
+            } => format!(
+                "{{\"event\":\"path\",\"worker\":{worker},\"depth\":{depth},\
+                 \"paths_done\":{paths_done},\"queued\":{queued},\"elapsed_ms\":{elapsed_ms}}}"
+            ),
+            ProgressEvent::WorkerDone {
+                worker,
+                paths,
+                busy_ms,
+                solver,
+            } => format!(
+                "{{\"event\":\"worker_done\",\"worker\":{worker},\"paths\":{paths},\
+                 \"busy_ms\":{busy_ms},\"solves\":{},\"decisions\":{},\"propagations\":{},\
+                 \"conflicts\":{},\"restarts\":{}}}",
+                solver.solves,
+                solver.decisions,
+                solver.propagations,
+                solver.conflicts,
+                solver.restarts
+            ),
+            ProgressEvent::Finished {
+                paths,
+                wall_ms,
+                truncated,
+            } => format!(
+                "{{\"event\":\"finished\",\"paths\":{paths},\"wall_ms\":{wall_ms},\
+                 \"truncated\":{truncated}}}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let events = [
+            ProgressEvent::Started { jobs: 4 },
+            ProgressEvent::PathDone {
+                worker: 1,
+                depth: 7,
+                paths_done: 12,
+                queued: 3,
+                elapsed_ms: 250,
+            },
+            ProgressEvent::WorkerDone {
+                worker: 1,
+                paths: 6,
+                busy_ms: 200,
+                solver: SolverStats::default(),
+            },
+            ProgressEvent::Finished {
+                paths: 24,
+                wall_ms: 300,
+                truncated: false,
+            },
+        ];
+        for event in events {
+            let json = event.to_json();
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            assert_eq!(
+                json.matches('{').count(),
+                json.matches('}').count(),
+                "{json}"
+            );
+            assert!(json.contains("\"event\":\""), "{json}");
+        }
+    }
+}

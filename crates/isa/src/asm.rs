@@ -47,7 +47,10 @@ impl fmt::Display for AssembleError {
 impl Error for AssembleError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AssembleError> {
-    Err(AssembleError { line, message: message.into() })
+    Err(AssembleError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parses a register name (`x0`–`x31` or an ABI name).
@@ -103,13 +106,18 @@ fn parse_csr(token: &str, line: usize) -> Result<u16, AssembleError> {
 /// Parses `imm(reg)` memory-operand syntax.
 fn parse_mem_operand(token: &str, line: usize) -> Result<(i64, Reg), AssembleError> {
     let token = token.trim();
-    let open = token
-        .find('(')
-        .ok_or(AssembleError { line, message: format!("expected imm(reg), got {token:?}") })?;
+    let open = token.find('(').ok_or(AssembleError {
+        line,
+        message: format!("expected imm(reg), got {token:?}"),
+    })?;
     if !token.ends_with(')') {
         return err(line, format!("expected imm(reg), got {token:?}"));
     }
-    let imm = if open == 0 { 0 } else { parse_imm(&token[..open], line)? };
+    let imm = if open == 0 {
+        0
+    } else {
+        parse_imm(&token[..open], line)?
+    };
     let reg = parse_reg(&token[open + 1..token.len() - 1], line)?;
     Ok((imm, reg))
 }
@@ -163,7 +171,10 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AssembleError> {
             if label.is_empty() || label.contains(char::is_whitespace) {
                 return err(number, format!("invalid label {label:?}"));
             }
-            if labels.insert(label, (statements.len() * 4) as u32).is_some() {
+            if labels
+                .insert(label, (statements.len() * 4) as u32)
+                .is_some()
+            {
                 return err(number, format!("duplicate label {label:?}"));
             }
             line = line[colon + 1..].trim();
@@ -175,9 +186,16 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AssembleError> {
             Some(pos) => (&line[..pos], line[pos..].trim()),
             None => (line, ""),
         };
-        let operands: Vec<&str> =
-            if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
-        statements.push(SourceLine { number, mnemonic, operands });
+        let operands: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        statements.push(SourceLine {
+            number,
+            mnemonic,
+            operands,
+        });
     }
 
     // Pass 2: encode.
@@ -201,7 +219,15 @@ fn encode_statement(
         if ops.len() == n {
             Ok(())
         } else {
-            err(line, format!("{} expects {} operands, got {}", stmt.mnemonic, n, ops.len()))
+            err(
+                line,
+                format!(
+                    "{} expects {} operands, got {}",
+                    stmt.mnemonic,
+                    n,
+                    ops.len()
+                ),
+            )
         }
     };
     let reg = |i: usize| parse_reg(ops[i], line);
@@ -224,26 +250,51 @@ fn encode_statement(
 
     let op_kind = |kind: OpKind| -> Result<Instr, AssembleError> {
         arity(3)?;
-        Ok(Instr::Op { kind, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? })
+        Ok(Instr::Op {
+            kind,
+            rd: reg(0)?,
+            rs1: reg(1)?,
+            rs2: reg(2)?,
+        })
     };
     let branch = |kind: BranchKind| -> Result<Instr, AssembleError> {
         arity(3)?;
         let offset = branch_target(ops[2], labels, pc, line)?;
-        Ok(Instr::Branch { kind, rs1: reg(0)?, rs2: reg(1)?, offset })
+        Ok(Instr::Branch {
+            kind,
+            rs1: reg(0)?,
+            rs2: reg(1)?,
+            offset,
+        })
     };
     let load = |kind: LoadKind| -> Result<Instr, AssembleError> {
         arity(2)?;
         let (imm, rs1) = parse_mem_operand(ops[1], line)?;
-        Ok(Instr::Load { kind, rd: reg(0)?, rs1, imm: imm as i32 })
+        Ok(Instr::Load {
+            kind,
+            rd: reg(0)?,
+            rs1,
+            imm: imm as i32,
+        })
     };
     let store = |kind: StoreKind| -> Result<Instr, AssembleError> {
         arity(2)?;
         let (imm, rs1) = parse_mem_operand(ops[1], line)?;
-        Ok(Instr::Store { kind, rs1, rs2: reg(0)?, imm: imm as i32 })
+        Ok(Instr::Store {
+            kind,
+            rs1,
+            rs2: reg(0)?,
+            imm: imm as i32,
+        })
     };
     let csr_reg = |op: CsrOp| -> Result<Instr, AssembleError> {
         arity(3)?;
-        Ok(Instr::Csr { op, rd: reg(0)?, csr: parse_csr(ops[1], line)?, rs1: reg(2)? })
+        Ok(Instr::Csr {
+            op,
+            rd: reg(0)?,
+            csr: parse_csr(ops[1], line)?,
+            rs1: reg(2)?,
+        })
     };
     let csr_imm = |op: CsrOp| -> Result<Instr, AssembleError> {
         arity(3)?;
@@ -251,7 +302,12 @@ fn encode_statement(
         if !(0..32).contains(&uimm) {
             return err(line, format!("zimm {uimm} out of 5-bit range"));
         }
-        Ok(Instr::CsrImm { op, rd: reg(0)?, csr: parse_csr(ops[1], line)?, uimm: uimm as u8 })
+        Ok(Instr::CsrImm {
+            op,
+            rd: reg(0)?,
+            csr: parse_csr(ops[1], line)?,
+            uimm: uimm as u8,
+        })
     };
 
     match stmt.mnemonic {
@@ -259,27 +315,46 @@ fn encode_statement(
             arity(2)?;
             let value = parse_imm(ops[1], line)?;
             if !(0..=0xfffff).contains(&value) {
-                return err(line, format!("lui immediate {value:#x} out of 20-bit range"));
+                return err(
+                    line,
+                    format!("lui immediate {value:#x} out of 20-bit range"),
+                );
             }
-            Ok(Instr::Lui { rd: reg(0)?, imm: ((value as u32) << 12) as i32 })
+            Ok(Instr::Lui {
+                rd: reg(0)?,
+                imm: ((value as u32) << 12) as i32,
+            })
         }
         "auipc" => {
             arity(2)?;
             let value = parse_imm(ops[1], line)?;
             if !(0..=0xfffff).contains(&value) {
-                return err(line, format!("auipc immediate {value:#x} out of 20-bit range"));
+                return err(
+                    line,
+                    format!("auipc immediate {value:#x} out of 20-bit range"),
+                );
             }
-            Ok(Instr::Auipc { rd: reg(0)?, imm: ((value as u32) << 12) as i32 })
+            Ok(Instr::Auipc {
+                rd: reg(0)?,
+                imm: ((value as u32) << 12) as i32,
+            })
         }
         "jal" => {
             arity(2)?;
             let offset = branch_target(ops[1], labels, pc, line)?;
-            Ok(Instr::Jal { rd: reg(0)?, offset })
+            Ok(Instr::Jal {
+                rd: reg(0)?,
+                offset,
+            })
         }
         "jalr" => {
             arity(2)?;
             let (imm, rs1) = parse_mem_operand(ops[1], line)?;
-            Ok(Instr::Jalr { rd: reg(0)?, rs1, imm: imm as i32 })
+            Ok(Instr::Jalr {
+                rd: reg(0)?,
+                rs1,
+                imm: imm as i32,
+            })
         }
         "beq" => branch(BranchKind::Beq),
         "bne" => branch(BranchKind::Bne),
@@ -297,39 +372,75 @@ fn encode_statement(
         "sw" => store(StoreKind::Sw),
         "addi" => {
             arity(3)?;
-            Ok(Instr::Addi { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+            Ok(Instr::Addi {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: imm12(2)?,
+            })
         }
         "slti" => {
             arity(3)?;
-            Ok(Instr::Slti { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+            Ok(Instr::Slti {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: imm12(2)?,
+            })
         }
         "sltiu" => {
             arity(3)?;
-            Ok(Instr::Sltiu { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+            Ok(Instr::Sltiu {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: imm12(2)?,
+            })
         }
         "xori" => {
             arity(3)?;
-            Ok(Instr::Xori { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+            Ok(Instr::Xori {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: imm12(2)?,
+            })
         }
         "ori" => {
             arity(3)?;
-            Ok(Instr::Ori { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+            Ok(Instr::Ori {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: imm12(2)?,
+            })
         }
         "andi" => {
             arity(3)?;
-            Ok(Instr::Andi { rd: reg(0)?, rs1: reg(1)?, imm: imm12(2)? })
+            Ok(Instr::Andi {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: imm12(2)?,
+            })
         }
         "slli" => {
             arity(3)?;
-            Ok(Instr::Slli { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? })
+            Ok(Instr::Slli {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                shamt: shamt(2)?,
+            })
         }
         "srli" => {
             arity(3)?;
-            Ok(Instr::Srli { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? })
+            Ok(Instr::Srli {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                shamt: shamt(2)?,
+            })
         }
         "srai" => {
             arity(3)?;
-            Ok(Instr::Srai { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? })
+            Ok(Instr::Srai {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                shamt: shamt(2)?,
+            })
         }
         "add" => op_kind(OpKind::Add),
         "sub" => op_kind(OpKind::Sub),
@@ -343,7 +454,10 @@ fn encode_statement(
         "and" => op_kind(OpKind::And),
         "fence" => {
             if ops.is_empty() {
-                Ok(Instr::Fence { pred: 0xf, succ: 0xf })
+                Ok(Instr::Fence {
+                    pred: 0xf,
+                    succ: 0xf,
+                })
             } else {
                 arity(2)?;
                 let pred = parse_imm(ops[0], line)?;
@@ -351,7 +465,10 @@ fn encode_statement(
                 if !(0..16).contains(&pred) || !(0..16).contains(&succ) {
                     return err(line, "fence sets are 4-bit");
                 }
-                Ok(Instr::Fence { pred: pred as u8, succ: succ as u8 })
+                Ok(Instr::Fence {
+                    pred: pred as u8,
+                    succ: succ as u8,
+                })
             }
         }
         "fence.i" => {
@@ -383,42 +500,80 @@ fn encode_statement(
         // Pseudo-instructions.
         "nop" => {
             arity(0)?;
-            Ok(Instr::Addi { rd: Reg::X0, rs1: Reg::X0, imm: 0 })
+            Ok(Instr::Addi {
+                rd: Reg::X0,
+                rs1: Reg::X0,
+                imm: 0,
+            })
         }
         "li" => {
             arity(2)?;
-            Ok(Instr::Addi { rd: reg(0)?, rs1: Reg::X0, imm: imm12(1)? })
+            Ok(Instr::Addi {
+                rd: reg(0)?,
+                rs1: Reg::X0,
+                imm: imm12(1)?,
+            })
         }
         "mv" => {
             arity(2)?;
-            Ok(Instr::Addi { rd: reg(0)?, rs1: reg(1)?, imm: 0 })
+            Ok(Instr::Addi {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: 0,
+            })
         }
         "not" => {
             arity(2)?;
-            Ok(Instr::Xori { rd: reg(0)?, rs1: reg(1)?, imm: -1 })
+            Ok(Instr::Xori {
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: -1,
+            })
         }
         "neg" => {
             arity(2)?;
-            Ok(Instr::Op { kind: OpKind::Sub, rd: reg(0)?, rs1: Reg::X0, rs2: reg(1)? })
+            Ok(Instr::Op {
+                kind: OpKind::Sub,
+                rd: reg(0)?,
+                rs1: Reg::X0,
+                rs2: reg(1)?,
+            })
         }
         "j" => {
             arity(1)?;
             let offset = branch_target(ops[0], labels, pc, line)?;
-            Ok(Instr::Jal { rd: Reg::X0, offset })
+            Ok(Instr::Jal {
+                rd: Reg::X0,
+                offset,
+            })
         }
         "ret" => {
             arity(0)?;
-            Ok(Instr::Jalr { rd: Reg::X0, rs1: Reg::X1, imm: 0 })
+            Ok(Instr::Jalr {
+                rd: Reg::X0,
+                rs1: Reg::X1,
+                imm: 0,
+            })
         }
         "beqz" => {
             arity(2)?;
             let offset = branch_target(ops[1], labels, pc, line)?;
-            Ok(Instr::Branch { kind: BranchKind::Beq, rs1: reg(0)?, rs2: Reg::X0, offset })
+            Ok(Instr::Branch {
+                kind: BranchKind::Beq,
+                rs1: reg(0)?,
+                rs2: Reg::X0,
+                offset,
+            })
         }
         "bnez" => {
             arity(2)?;
             let offset = branch_target(ops[1], labels, pc, line)?;
-            Ok(Instr::Branch { kind: BranchKind::Bne, rs1: reg(0)?, rs2: Reg::X0, offset })
+            Ok(Instr::Branch {
+                kind: BranchKind::Bne,
+                rs1: reg(0)?,
+                rs2: Reg::X0,
+                offset,
+            })
         }
         other => err(line, format!("unknown mnemonic {other:?}")),
     }
@@ -445,31 +600,90 @@ mod tests {
         assert_eq!(words.len(), 4);
         assert_eq!(
             decode(words[2]).expect("bne"),
-            Instr::Branch { kind: BranchKind::Bne, rs1: Reg::X1, rs2: Reg::X0, offset: -4 }
+            Instr::Branch {
+                kind: BranchKind::Bne,
+                rs1: Reg::X1,
+                rs2: Reg::X0,
+                offset: -4
+            }
         );
     }
 
     #[test]
     fn round_trips_through_the_disassembler() {
         let sample = [
-            Instr::Lui { rd: Reg::X5, imm: 0x12345 << 12 },
-            Instr::Auipc { rd: Reg::X6, imm: 0x1000 },
-            Instr::Jal { rd: Reg::X1, offset: 16 },
-            Instr::Jalr { rd: Reg::X0, rs1: Reg::X1, imm: 4 },
-            Instr::Branch { kind: BranchKind::Bgeu, rs1: Reg::X2, rs2: Reg::X3, offset: -8 },
-            Instr::Load { kind: LoadKind::Lhu, rd: Reg::X4, rs1: Reg::X5, imm: -2 },
-            Instr::Store { kind: StoreKind::Sb, rs1: Reg::X6, rs2: Reg::X7, imm: 3 },
-            Instr::Addi { rd: Reg::X8, rs1: Reg::X9, imm: -100 },
-            Instr::Slli { rd: Reg::X10, rs1: Reg::X11, shamt: 7 },
-            Instr::Op { kind: OpKind::Sra, rd: Reg::X12, rs1: Reg::X13, rs2: Reg::X14 },
-            Instr::Fence { pred: 0xf, succ: 0x3 },
+            Instr::Lui {
+                rd: Reg::X5,
+                imm: 0x12345 << 12,
+            },
+            Instr::Auipc {
+                rd: Reg::X6,
+                imm: 0x1000,
+            },
+            Instr::Jal {
+                rd: Reg::X1,
+                offset: 16,
+            },
+            Instr::Jalr {
+                rd: Reg::X0,
+                rs1: Reg::X1,
+                imm: 4,
+            },
+            Instr::Branch {
+                kind: BranchKind::Bgeu,
+                rs1: Reg::X2,
+                rs2: Reg::X3,
+                offset: -8,
+            },
+            Instr::Load {
+                kind: LoadKind::Lhu,
+                rd: Reg::X4,
+                rs1: Reg::X5,
+                imm: -2,
+            },
+            Instr::Store {
+                kind: StoreKind::Sb,
+                rs1: Reg::X6,
+                rs2: Reg::X7,
+                imm: 3,
+            },
+            Instr::Addi {
+                rd: Reg::X8,
+                rs1: Reg::X9,
+                imm: -100,
+            },
+            Instr::Slli {
+                rd: Reg::X10,
+                rs1: Reg::X11,
+                shamt: 7,
+            },
+            Instr::Op {
+                kind: OpKind::Sra,
+                rd: Reg::X12,
+                rs1: Reg::X13,
+                rs2: Reg::X14,
+            },
+            Instr::Fence {
+                pred: 0xf,
+                succ: 0x3,
+            },
             Instr::FenceI,
             Instr::Ecall,
             Instr::Ebreak,
             Instr::Mret,
             Instr::Wfi,
-            Instr::Csr { op: CsrOp::Rw, rd: Reg::X1, rs1: Reg::X2, csr: 0x340 },
-            Instr::CsrImm { op: CsrOp::Rs, rd: Reg::X3, uimm: 5, csr: 0xc00 },
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::X1,
+                rs1: Reg::X2,
+                csr: 0x340,
+            },
+            Instr::CsrImm {
+                op: CsrOp::Rs,
+                rd: Reg::X3,
+                uimm: 5,
+                csr: 0xc00,
+            },
         ];
         for instr in sample {
             let text = instr.to_string();
@@ -482,14 +696,47 @@ mod tests {
     fn pseudo_instructions_expand() {
         let words = assemble("nop\nli x1, 42\nmv x2, x1\nnot x3, x2\nneg x4, x3\nj 0\nret")
             .expect("pseudos");
-        assert_eq!(decode(words[0]), Ok(Instr::Addi { rd: Reg::X0, rs1: Reg::X0, imm: 0 }));
-        assert_eq!(decode(words[1]), Ok(Instr::Addi { rd: Reg::X1, rs1: Reg::X0, imm: 42 }));
-        assert_eq!(decode(words[3]), Ok(Instr::Xori { rd: Reg::X3, rs1: Reg::X2, imm: -1 }));
+        assert_eq!(
+            decode(words[0]),
+            Ok(Instr::Addi {
+                rd: Reg::X0,
+                rs1: Reg::X0,
+                imm: 0
+            })
+        );
+        assert_eq!(
+            decode(words[1]),
+            Ok(Instr::Addi {
+                rd: Reg::X1,
+                rs1: Reg::X0,
+                imm: 42
+            })
+        );
+        assert_eq!(
+            decode(words[3]),
+            Ok(Instr::Xori {
+                rd: Reg::X3,
+                rs1: Reg::X2,
+                imm: -1
+            })
+        );
         assert_eq!(
             decode(words[4]),
-            Ok(Instr::Op { kind: OpKind::Sub, rd: Reg::X4, rs1: Reg::X0, rs2: Reg::X3 })
+            Ok(Instr::Op {
+                kind: OpKind::Sub,
+                rd: Reg::X4,
+                rs1: Reg::X0,
+                rs2: Reg::X3
+            })
         );
-        assert_eq!(decode(words[6]), Ok(Instr::Jalr { rd: Reg::X0, rs1: Reg::X1, imm: 0 }));
+        assert_eq!(
+            decode(words[6]),
+            Ok(Instr::Jalr {
+                rd: Reg::X0,
+                rs1: Reg::X1,
+                imm: 0
+            })
+        );
     }
 
     #[test]
@@ -497,7 +744,12 @@ mod tests {
         let words = assemble("add a0, sp, t0").expect("abi names");
         assert_eq!(
             decode(words[0]),
-            Ok(Instr::Op { kind: OpKind::Add, rd: Reg::X10, rs1: Reg::X2, rs2: Reg::X5 })
+            Ok(Instr::Op {
+                kind: OpKind::Add,
+                rd: Reg::X10,
+                rs1: Reg::X2,
+                rs2: Reg::X5
+            })
         );
     }
 
@@ -513,7 +765,12 @@ mod tests {
         let words = assemble("beq x0, x0, end\nnop\nend: ebreak").expect("forward label");
         assert_eq!(
             decode(words[0]),
-            Ok(Instr::Branch { kind: BranchKind::Beq, rs1: Reg::X0, rs2: Reg::X0, offset: 8 })
+            Ok(Instr::Branch {
+                kind: BranchKind::Beq,
+                rs1: Reg::X0,
+                rs2: Reg::X0,
+                offset: 8
+            })
         );
     }
 

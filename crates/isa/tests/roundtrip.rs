@@ -1,144 +1,209 @@
 //! Property tests for the instruction codecs.
 
-use proptest::prelude::*;
 use symcosim_isa::{decode, encode, BranchKind, CsrOp, Instr, LoadKind, OpKind, Reg, StoreKind};
+use symcosim_testkit::{check_cases, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0usize..32).prop_map(|i| Reg::from_index(i).expect("index in range"))
+fn reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.index(32)).expect("index in range")
 }
 
-fn arb_i_imm() -> impl Strategy<Value = i32> {
-    -2048i32..=2047
+fn i_imm(rng: &mut Rng) -> i32 {
+    rng.range_i64(-2048, 2047) as i32
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let load_kind = prop_oneof![
-        Just(LoadKind::Lb),
-        Just(LoadKind::Lh),
-        Just(LoadKind::Lw),
-        Just(LoadKind::Lbu),
-        Just(LoadKind::Lhu),
-    ];
-    let store_kind = prop_oneof![
-        Just(StoreKind::Sb),
-        Just(StoreKind::Sh),
-        Just(StoreKind::Sw)
-    ];
-    let branch_kind = prop_oneof![
-        Just(BranchKind::Beq),
-        Just(BranchKind::Bne),
-        Just(BranchKind::Blt),
-        Just(BranchKind::Bge),
-        Just(BranchKind::Bltu),
-        Just(BranchKind::Bgeu),
-    ];
-    let op_kind = prop_oneof![
-        Just(OpKind::Add),
-        Just(OpKind::Sub),
-        Just(OpKind::Sll),
-        Just(OpKind::Slt),
-        Just(OpKind::Sltu),
-        Just(OpKind::Xor),
-        Just(OpKind::Srl),
-        Just(OpKind::Sra),
-        Just(OpKind::Or),
-        Just(OpKind::And),
-    ];
-    let csr_op = prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)];
+fn u_imm(rng: &mut Rng) -> i32 {
+    (rng.range_i64(-524288, 524287) as i32) << 12
+}
 
-    prop_oneof![
-        (arb_reg(), (-524288i32..=524287).prop_map(|v| v << 12))
-            .prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (arb_reg(), (-524288i32..=524287).prop_map(|v| v << 12))
-            .prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
-        (arb_reg(), (-524288i32..=524287).prop_map(|v| v * 2))
-            .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Jalr { rd, rs1, imm }),
-        (
-            branch_kind,
-            arb_reg(),
-            arb_reg(),
-            (-2048i32..=2047).prop_map(|v| v * 2)
-        )
-            .prop_map(|(kind, rs1, rs2, offset)| Instr::Branch {
-                kind,
-                rs1,
-                rs2,
-                offset
-            }),
-        (load_kind, arb_reg(), arb_reg(), arb_i_imm())
-            .prop_map(|(kind, rd, rs1, imm)| Instr::Load { kind, rd, rs1, imm }),
-        (store_kind, arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(kind, rs1, rs2, imm)| {
-            Instr::Store {
-                kind,
-                rs1,
-                rs2,
-                imm,
+fn j_offset(rng: &mut Rng) -> i32 {
+    (rng.range_i64(-524288, 524287) as i32) * 2
+}
+
+fn b_offset(rng: &mut Rng) -> i32 {
+    (rng.range_i64(-2048, 2047) as i32) * 2
+}
+
+fn instr(rng: &mut Rng) -> Instr {
+    let load_kind = [
+        LoadKind::Lb,
+        LoadKind::Lh,
+        LoadKind::Lw,
+        LoadKind::Lbu,
+        LoadKind::Lhu,
+    ];
+    let store_kind = [StoreKind::Sb, StoreKind::Sh, StoreKind::Sw];
+    let branch_kind = [
+        BranchKind::Beq,
+        BranchKind::Bne,
+        BranchKind::Blt,
+        BranchKind::Bge,
+        BranchKind::Bltu,
+        BranchKind::Bgeu,
+    ];
+    let op_kind = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Sll,
+        OpKind::Slt,
+        OpKind::Sltu,
+        OpKind::Xor,
+        OpKind::Srl,
+        OpKind::Sra,
+        OpKind::Or,
+        OpKind::And,
+    ];
+    let csr_op = [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc];
+
+    match rng.index(24) {
+        0 => Instr::Lui {
+            rd: reg(rng),
+            imm: u_imm(rng),
+        },
+        1 => Instr::Auipc {
+            rd: reg(rng),
+            imm: u_imm(rng),
+        },
+        2 => Instr::Jal {
+            rd: reg(rng),
+            offset: j_offset(rng),
+        },
+        3 => Instr::Jalr {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        4 => Instr::Branch {
+            kind: *rng.choose(&branch_kind),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: b_offset(rng),
+        },
+        5 => Instr::Load {
+            kind: *rng.choose(&load_kind),
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        6 => Instr::Store {
+            kind: *rng.choose(&store_kind),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            imm: i_imm(rng),
+        },
+        7 => Instr::Addi {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        8 => Instr::Slti {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        9 => Instr::Sltiu {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        10 => Instr::Xori {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        11 => Instr::Ori {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        12 => Instr::Andi {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        13 => Instr::Slli {
+            rd: reg(rng),
+            rs1: reg(rng),
+            shamt: rng.below(32) as u8,
+        },
+        14 => Instr::Srli {
+            rd: reg(rng),
+            rs1: reg(rng),
+            shamt: rng.below(32) as u8,
+        },
+        15 => Instr::Srai {
+            rd: reg(rng),
+            rs1: reg(rng),
+            shamt: rng.below(32) as u8,
+        },
+        16 => Instr::Op {
+            kind: *rng.choose(&op_kind),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        17 => Instr::Fence {
+            pred: rng.below(16) as u8,
+            succ: rng.below(16) as u8,
+        },
+        18 => Instr::FenceI,
+        19 => Instr::Ecall,
+        20 => Instr::Ebreak,
+        21 => Instr::Mret,
+        22 => Instr::Wfi,
+        _ => {
+            if rng.chance(1, 2) {
+                Instr::Csr {
+                    op: *rng.choose(&csr_op),
+                    rd: reg(rng),
+                    rs1: reg(rng),
+                    csr: rng.below(4096) as u16,
+                }
+            } else {
+                Instr::CsrImm {
+                    op: *rng.choose(&csr_op),
+                    rd: reg(rng),
+                    uimm: rng.below(32) as u8,
+                    csr: rng.below(4096) as u16,
+                }
             }
-        }),
-        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Slti { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Sltiu {
-            rd,
-            rs1,
-            imm
-        }),
-        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Ori { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Slli { rd, rs1, shamt }),
-        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srli { rd, rs1, shamt }),
-        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srai { rd, rs1, shamt }),
-        (op_kind, arb_reg(), arb_reg(), arb_reg()).prop_map(|(kind, rd, rs1, rs2)| Instr::Op {
-            kind,
-            rd,
-            rs1,
-            rs2
-        }),
-        (0u8..16, 0u8..16).prop_map(|(pred, succ)| Instr::Fence { pred, succ }),
-        Just(Instr::FenceI),
-        Just(Instr::Ecall),
-        Just(Instr::Ebreak),
-        Just(Instr::Mret),
-        Just(Instr::Wfi),
-        (csr_op.clone(), arb_reg(), arb_reg(), 0u16..4096)
-            .prop_map(|(op, rd, rs1, csr)| Instr::Csr { op, rd, rs1, csr }),
-        (csr_op, arb_reg(), 0u8..32, 0u16..4096).prop_map(|(op, rd, uimm, csr)| Instr::CsrImm {
-            op,
-            rd,
-            uimm,
-            csr
-        }),
-    ]
-}
-
-proptest! {
-    /// Every instruction survives an encode/decode round trip unchanged.
-    #[test]
-    fn encode_decode_round_trip(instr in arb_instr()) {
-        let word = encode(&instr);
-        prop_assert_eq!(decode(word), Ok(instr));
-    }
-
-    /// The decoder never panics, whatever the input word.
-    #[test]
-    fn decode_total(word in any::<u32>()) {
-        let _ = decode(word);
-    }
-
-    /// Decoded instructions re-encode to a word that decodes identically
-    /// (canonicalisation is idempotent).
-    #[test]
-    fn reencode_is_stable(word in any::<u32>()) {
-        if let Ok(instr) = decode(word) {
-            let canon = encode(&instr);
-            prop_assert_eq!(decode(canon), Ok(instr));
         }
     }
+}
 
-    /// Disassembly never panics and is never empty.
-    #[test]
-    fn disassembly_total(instr in arb_instr()) {
-        prop_assert!(!instr.to_string().is_empty());
-    }
+/// Every instruction survives an encode/decode round trip unchanged.
+#[test]
+fn encode_decode_round_trip() {
+    check_cases(0x15a_0001, 256, |rng| {
+        let instr = instr(rng);
+        let word = encode(&instr);
+        assert_eq!(decode(word), Ok(instr));
+    });
+}
+
+/// The decoder never panics, whatever the input word.
+#[test]
+fn decode_total() {
+    check_cases(0x15a_0002, 256, |rng| {
+        let _ = decode(rng.next_u32());
+    });
+}
+
+/// Decoded instructions re-encode to a word that decodes identically
+/// (canonicalisation is idempotent).
+#[test]
+fn reencode_is_stable() {
+    check_cases(0x15a_0003, 256, |rng| {
+        if let Ok(instr) = decode(rng.next_u32()) {
+            let canon = encode(&instr);
+            assert_eq!(decode(canon), Ok(instr));
+        }
+    });
+}
+
+/// Disassembly never panics and is never empty.
+#[test]
+fn disassembly_total() {
+    check_cases(0x15a_0004, 256, |rng| {
+        assert!(!instr(rng).to_string().is_empty());
+    });
 }

@@ -59,7 +59,10 @@ fn assert_trace_clean(trace: &[RvfiRecord<u32>]) {
     let mut monitor = RvfiMonitor::new();
     for record in trace {
         let violations = monitor.check(record);
-        assert!(violations.is_empty(), "record {record:?} violates: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "record {record:?} violates: {violations:?}"
+        );
     }
 }
 

@@ -24,6 +24,6 @@ mod reg;
 mod rvfi;
 
 pub use bus::{DBusRequest, DBusResponse, IBusRequest, IBusResponse, Strobe};
-pub use reg::{Clocked, Reg};
 pub use monitor::{RvfiMonitor, RvfiViolation};
+pub use reg::{Clocked, Reg};
 pub use rvfi::RvfiRecord;

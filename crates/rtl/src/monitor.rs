@@ -53,7 +53,10 @@ impl fmt::Display for RvfiViolation {
             RvfiViolation::CauseWithoutTrap => f.write_str("cause reported without a trap"),
             RvfiViolation::NonZeroX0Write => f.write_str("non-zero write data reported for x0"),
             RvfiViolation::PcChainBroken { expected, found } => {
-                write!(f, "pc chain broken: expected {expected:#010x}, found {found:#010x}")
+                write!(
+                    f,
+                    "pc chain broken: expected {expected:#010x}, found {found:#010x}"
+                )
             }
             RvfiViolation::InvalidRecord => f.write_str("invalid record submitted"),
         }
@@ -166,9 +169,13 @@ mod tests {
         let mut monitor = RvfiMonitor::new();
         monitor.check(&good(0, 0));
         let violations = monitor.check(&good(1, 12));
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, RvfiViolation::PcChainBroken { expected: 4, found: 12 })));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            RvfiViolation::PcChainBroken {
+                expected: 4,
+                found: 12
+            }
+        )));
     }
 
     #[test]
@@ -176,9 +183,13 @@ mod tests {
         let mut monitor = RvfiMonitor::new();
         monitor.check(&good(0, 0));
         let violations = monitor.check(&good(5, 4));
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, RvfiViolation::OrderNotMonotonic { previous: 0, current: 5 })));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            RvfiViolation::OrderNotMonotonic {
+                previous: 0,
+                current: 5
+            }
+        )));
     }
 
     #[test]
@@ -194,7 +205,9 @@ mod tests {
         monitor.reset();
         let mut record = good(0, 0);
         record.trap_cause = Some(2);
-        assert!(monitor.check(&record).contains(&RvfiViolation::CauseWithoutTrap));
+        assert!(monitor
+            .check(&record)
+            .contains(&RvfiViolation::CauseWithoutTrap));
     }
 
     #[test]
@@ -203,7 +216,9 @@ mod tests {
         let mut record = good(0, 0);
         record.rd_addr = 0;
         record.rd_wdata = 9;
-        assert!(monitor.check(&record).contains(&RvfiViolation::NonZeroX0Write));
+        assert!(monitor
+            .check(&record)
+            .contains(&RvfiViolation::NonZeroX0Write));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Differential tests: CDCL verdicts against exhaustive enumeration.
 
-use proptest::prelude::*;
 use symcosim_sat::{Lit, SolveResult, Solver, Var};
+use symcosim_testkit::{check_cases, Rng};
 
 /// A clause as (variable index, polarity) pairs.
 type TestClause = Vec<(usize, bool)>;
@@ -31,44 +31,57 @@ fn build_solver(num_vars: usize, clauses: &[TestClause]) -> Solver {
     solver
 }
 
-fn arb_clauses(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<TestClause>> {
-    let clause = proptest::collection::vec((0..num_vars, any::<bool>()), 1..=4);
-    proptest::collection::vec(clause, 0..=max_clauses)
+fn random_clauses(rng: &mut Rng, num_vars: usize, max_clauses: usize) -> Vec<TestClause> {
+    let count = rng.index(max_clauses + 1);
+    (0..count)
+        .map(|_| {
+            let len = 1 + rng.index(4);
+            (0..len)
+                .map(|_| (rng.index(num_vars), rng.chance(1, 2)))
+                .collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// The CDCL verdict agrees with exhaustive enumeration.
-    #[test]
-    fn verdict_matches_brute_force(clauses in arb_clauses(8, 40)) {
+/// The CDCL verdict agrees with exhaustive enumeration.
+#[test]
+fn verdict_matches_brute_force() {
+    check_cases(0x5a7_b7f1, 200, |rng| {
+        let clauses = random_clauses(rng, 8, 40);
         let expected = brute_force_sat(8, &clauses);
         let mut solver = build_solver(8, &clauses);
         let got = solver.solve(&[]) == SolveResult::Sat;
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected, "clauses {clauses:?}");
+    });
+}
 
-    /// Whenever the solver answers SAT, its model satisfies every clause.
-    #[test]
-    fn sat_models_are_genuine(clauses in arb_clauses(10, 60)) {
+/// Whenever the solver answers SAT, its model satisfies every clause.
+#[test]
+fn sat_models_are_genuine() {
+    check_cases(0x5a7_3a11, 200, |rng| {
+        let clauses = random_clauses(rng, 10, 60);
         let mut solver = build_solver(10, &clauses);
         if solver.solve(&[]) == SolveResult::Sat {
             for clause in &clauses {
-                let ok = clause.iter().any(|&(v, pos)| {
-                    solver.model_value(Var::from_index(v)) == Some(pos)
-                });
-                prop_assert!(ok, "model violates clause {:?}", clause);
+                let ok = clause
+                    .iter()
+                    .any(|&(v, pos)| solver.model_value(Var::from_index(v)) == Some(pos));
+                assert!(ok, "model violates clause {clause:?}");
             }
         }
-    }
+    });
+}
 
-    /// Solving under assumptions equals solving the formula with the
-    /// assumptions added as unit clauses.
-    #[test]
-    fn assumptions_equal_units(
-        clauses in arb_clauses(8, 30),
-        assumed in proptest::collection::vec((0usize..8, any::<bool>()), 0..=3),
-    ) {
+/// Solving under assumptions equals solving the formula with the
+/// assumptions added as unit clauses.
+#[test]
+fn assumptions_equal_units() {
+    check_cases(0x5a7_a55e, 200, |rng| {
+        let clauses = random_clauses(rng, 8, 30);
+        let assumed: Vec<(usize, bool)> = (0..rng.index(4))
+            .map(|_| (rng.index(8), rng.chance(1, 2)))
+            .collect();
+
         let mut incremental = build_solver(8, &clauses);
         let assumptions: Vec<Lit> = assumed
             .iter()
@@ -81,10 +94,10 @@ proptest! {
             clauses_with_units.push(vec![(v, pos)]);
         }
         let expected = brute_force_sat(8, &clauses_with_units);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "clauses {clauses:?} assumed {assumed:?}");
 
         // And the incremental solver is reusable afterwards.
         let baseline = brute_force_sat(8, &clauses);
-        prop_assert_eq!(incremental.solve(&[]) == SolveResult::Sat, baseline);
-    }
+        assert_eq!(incremental.solve(&[]) == SolveResult::Sat, baseline);
+    });
 }

@@ -32,9 +32,10 @@ impl Context {
     pub fn render(&self, term: TermId) -> String {
         match self.node(term) {
             Node::Const { value, .. } => format!("{value:#x}"),
-            Node::Symbol { .. } => {
-                self.symbol_name(term).expect("symbol has a name").to_string()
-            }
+            Node::Symbol { .. } => self
+                .symbol_name(term)
+                .expect("symbol has a name")
+                .to_string(),
             Node::Not(a) => format!("(not {})", self.render(a)),
             Node::And(a, b) => format!("(and {} {})", self.render(a), self.render(b)),
             Node::Or(a, b) => format!("(or {} {})", self.render(a), self.render(b)),
@@ -49,7 +50,12 @@ impl Context {
             Node::Ult(a, b) => format!("(ult {} {})", self.render(a), self.render(b)),
             Node::Slt(a, b) => format!("(slt {} {})", self.render(a), self.render(b)),
             Node::Ite(c, t, e) => {
-                format!("(ite {} {} {})", self.render(c), self.render(t), self.render(e))
+                format!(
+                    "(ite {} {} {})",
+                    self.render(c),
+                    self.render(t),
+                    self.render(e)
+                )
             }
             Node::Extract { term, hi, lo } => {
                 format!("(extract[{hi}:{lo}] {})", self.render(term))
@@ -103,7 +109,12 @@ impl Context {
             };
             *by_kind.entry(kind).or_default() += 1;
         }
-        ContextStats { nodes: self.num_nodes(), symbols, constants, by_kind }
+        ContextStats {
+            nodes: self.num_nodes(),
+            symbols,
+            constants,
+            by_kind,
+        }
     }
 }
 
@@ -127,8 +138,11 @@ impl std::fmt::Display for ContextStats {
             "{} nodes ({} symbols, {} constants)",
             self.nodes, self.symbols, self.constants
         )?;
-        let mut kinds: Vec<_> =
-            self.by_kind.iter().filter(|(k, _)| **k != "symbol" && **k != "const").collect();
+        let mut kinds: Vec<_> = self
+            .by_kind
+            .iter()
+            .filter(|(k, _)| **k != "symbol" && **k != "const")
+            .collect();
         kinds.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
         for (kind, count) in kinds.into_iter().take(5) {
             write!(f, ", {kind}×{count}")?;

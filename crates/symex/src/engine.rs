@@ -106,6 +106,20 @@ impl<R> ExploreOutcome<R> {
     }
 }
 
+/// One explored prefix: the finished path plus the sibling prefixes it
+/// scheduled at fresh forks.
+///
+/// This is the unit of work a parallel executor distributes: feed a prefix
+/// to [`Engine::run_prefix`], collect the result, enqueue the forks.
+#[derive(Debug, Clone)]
+pub struct PrefixOutcome<R> {
+    /// The path that was run.
+    pub result: PathResult<R>,
+    /// Unexplored sibling prefixes discovered at fresh forks, in creation
+    /// order (shallowest first).
+    pub forks: Vec<Vec<bool>>,
+}
+
 #[derive(Debug)]
 struct PendingPath {
     prefix: Vec<bool>,
@@ -187,45 +201,15 @@ impl Engine {
                     frontier_exhausted: true,
                 };
             }
-            let mut exec = SymExec {
-                ctx: &mut self.ctx,
-                backend: &mut self.backend,
-                prefix: pending.prefix,
-                taken: Vec::new(),
-                constraints: Vec::new(),
-                forks: Vec::new(),
-                path_symbols: Vec::new(),
-                status: PathStatus::Complete,
-                max_decisions: self.config.max_decisions_per_path,
-            };
-            let value = f(&mut exec);
-            let SymExec {
-                taken,
-                constraints,
-                forks,
-                path_symbols,
-                status,
-                ..
-            } = exec;
-            for prefix in forks {
+            let outcome = self.run_prefix(pending.prefix, &mut f);
+            for prefix in outcome.forks {
                 frontier.push(PendingPath { prefix });
             }
-            let test_vector = if self.config.emit_test_vectors && status != PathStatus::Infeasible {
-                self.model_for(&constraints, &path_symbols)
-            } else {
-                None
-            };
-            match status {
+            match outcome.result.status {
                 PathStatus::Complete => complete += 1,
                 _ => partial += 1,
             }
-            paths.push(PathResult {
-                value,
-                status,
-                decisions: taken,
-                num_constraints: constraints.len(),
-                test_vector,
-            });
+            paths.push(outcome.result);
             if stop(paths.last().expect("just pushed")) {
                 return ExploreOutcome {
                     frontier_exhausted: !frontier.is_empty(),
@@ -241,6 +225,58 @@ impl Engine {
             complete_paths: complete,
             partial_paths: partial,
             frontier_exhausted: false,
+        }
+    }
+
+    /// Runs the single path selected by `prefix` and returns its result
+    /// plus the sibling prefixes scheduled at fresh forks.
+    ///
+    /// This is [`Engine::explore_until`]'s loop body, exposed so an
+    /// external scheduler (the parallel executor) can drive its own
+    /// frontier. Everything in the returned [`PrefixOutcome`] except the
+    /// closure's own value is a pure function of `prefix` and the closure:
+    /// feasibility answers are objective (independent of the persistent
+    /// solver's query history), and model extraction uses a fresh solver —
+    /// so two engines given the same prefix agree, whatever they ran
+    /// before.
+    pub fn run_prefix<F, R>(&mut self, prefix: Vec<bool>, f: F) -> PrefixOutcome<R>
+    where
+        F: FnOnce(&mut SymExec<'_>) -> R,
+    {
+        let mut exec = SymExec {
+            ctx: &mut self.ctx,
+            backend: &mut self.backend,
+            prefix,
+            taken: Vec::new(),
+            constraints: Vec::new(),
+            forks: Vec::new(),
+            path_symbols: Vec::new(),
+            status: PathStatus::Complete,
+            max_decisions: self.config.max_decisions_per_path,
+        };
+        let value = f(&mut exec);
+        let SymExec {
+            taken,
+            constraints,
+            forks,
+            path_symbols,
+            status,
+            ..
+        } = exec;
+        let test_vector = if self.config.emit_test_vectors && status != PathStatus::Infeasible {
+            self.model_for(&constraints, &path_symbols)
+        } else {
+            None
+        };
+        PrefixOutcome {
+            result: PathResult {
+                value,
+                status,
+                decisions: taken,
+                num_constraints: constraints.len(),
+                test_vector,
+            },
+            forks,
         }
     }
 
@@ -263,14 +299,20 @@ impl Engine {
     }
 
     fn model_for(&mut self, constraints: &[TermId], symbols: &[TermId]) -> Option<TestVector> {
-        if !self.backend.check(&self.ctx, constraints).is_sat() {
+        // Deliberately a fresh solver, not the engine's persistent one: the
+        // persistent solver's models depend on its query history (phase
+        // saving, branching activity), while a fresh solve depends only on
+        // the path condition. Emitted vectors are therefore identical
+        // however paths are scheduled across engines/workers.
+        let mut backend = SolverBackend::new();
+        if !backend.check(&self.ctx, constraints).is_sat() {
             return None;
         }
         let mut vector = TestVector::new();
         for &sym in symbols {
             let name = self.ctx.symbol_name(sym)?.to_string();
             let width = self.ctx.width(sym);
-            let value = self.backend.value_of(&self.ctx, sym).unwrap_or(0);
+            let value = backend.value_of(&self.ctx, sym).unwrap_or(0);
             vector.push(name, width, value);
         }
         Some(vector)
@@ -345,6 +387,40 @@ impl SymExec<'_> {
             let name = self.ctx.symbol_name(sym)?.to_string();
             let width = self.ctx.width(sym);
             let value = self.backend.value_of(self.ctx, sym).unwrap_or(0);
+            vector.push(name, width, value);
+        }
+        Some(vector)
+    }
+
+    /// Like [`SymExec::concrete_witness`], but extracted from a fresh
+    /// solver: the returned value depends only on the path condition plus
+    /// `extra`, not on the query history of the engine's persistent
+    /// solver. Reports that must be identical across sequential and
+    /// parallel exploration extract their witnesses through this.
+    pub fn stable_concrete_witness(&mut self, term: TermId, extra: &[TermId]) -> Option<u64> {
+        let mut conditions = self.constraints.clone();
+        conditions.extend_from_slice(extra);
+        let mut backend = SolverBackend::new();
+        if !backend.check(self.ctx, &conditions).is_sat() {
+            return None;
+        }
+        backend.value_of(self.ctx, term)
+    }
+
+    /// Like [`SymExec::witness_vector`], but extracted from a fresh solver
+    /// (see [`SymExec::stable_concrete_witness`]).
+    pub fn stable_witness_vector(&mut self, extra: &[TermId]) -> Option<TestVector> {
+        let mut conditions = self.constraints.clone();
+        conditions.extend_from_slice(extra);
+        let mut backend = SolverBackend::new();
+        if !backend.check(self.ctx, &conditions).is_sat() {
+            return None;
+        }
+        let mut vector = TestVector::new();
+        for &sym in &self.path_symbols {
+            let name = self.ctx.symbol_name(sym)?.to_string();
+            let width = self.ctx.width(sym);
+            let value = backend.value_of(self.ctx, sym).unwrap_or(0);
             vector.push(name, width, value);
         }
         Some(vector)
@@ -726,6 +802,61 @@ mod tests {
         });
         assert_eq!(outcome.paths.len(), 1);
         assert_eq!(outcome.paths[0].value, (true, true));
+    }
+
+    /// Three decisions over distinct bits of one symbol: 8 feasible paths.
+    fn three_bit_task(exec: &mut SymExec<'_>) -> u32 {
+        let x = exec.fresh_word("x");
+        let mut value = 0u32;
+        for bit in 0..3 {
+            let field = exec.field(x, bit, bit);
+            let one = exec.const_word(1);
+            let set = exec.eq_w(field, one);
+            if exec.decide(set) {
+                value |= 1 << bit;
+            }
+        }
+        value
+    }
+
+    #[test]
+    fn run_prefix_drives_an_external_frontier() {
+        // DFS exploration re-implemented on top of run_prefix matches
+        // the engine's own explore().
+        let mut engine = Engine::new(EngineConfig::default());
+        let mut frontier = vec![Vec::new()];
+        let mut values = Vec::new();
+        while let Some(prefix) = frontier.pop() {
+            let outcome = engine.run_prefix(prefix, three_bit_task);
+            frontier.extend(outcome.forks);
+            values.push(outcome.result.value);
+        }
+        values.sort_unstable();
+        assert_eq!(values, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn run_prefix_is_history_independent() {
+        // The same prefix on a fresh engine and on an engine that explored
+        // other paths first: identical result, forks and test vector.
+        let prefix = vec![true, false];
+        let mut fresh = Engine::new(EngineConfig::default());
+        let baseline = fresh.run_prefix(prefix.clone(), three_bit_task);
+
+        let mut warmed = Engine::new(EngineConfig::default());
+        warmed.run_prefix(Vec::new(), three_bit_task);
+        warmed.run_prefix(vec![false], three_bit_task);
+        let repeat = warmed.run_prefix(prefix, three_bit_task);
+
+        assert_eq!(repeat.result.value, baseline.result.value);
+        assert_eq!(repeat.result.status, baseline.result.status);
+        assert_eq!(repeat.result.decisions, baseline.result.decisions);
+        assert_eq!(repeat.forks, baseline.forks);
+        let (a, b) = (
+            baseline.result.test_vector.expect("feasible"),
+            repeat.result.test_vector.expect("feasible"),
+        );
+        assert_eq!(a.to_string(), b.to_string(), "models must be stable");
     }
 
     #[test]

@@ -64,9 +64,11 @@ pub use context::Context;
 pub use display::ContextStats;
 pub use domain::{ConcreteDomain, Domain};
 pub use engine::{
-    Engine, EngineConfig, ExploreOutcome, PathResult, PathStatus, SearchStrategy, SymExec,
+    Engine, EngineConfig, ExploreOutcome, PathResult, PathStatus, PrefixOutcome, SearchStrategy,
+    SymExec,
 };
 pub use eval::{eval, Env};
 pub use solve::{CheckResult, SolverBackend};
+pub use symcosim_sat::SolverStats;
 pub use term::{Node, TermId, Width};
 pub use testvec::TestVector;

@@ -1,8 +1,8 @@
 //! Differential property tests: the bit-blaster against the concrete
 //! evaluator, over randomly generated term DAGs.
 
-use proptest::prelude::*;
 use symcosim_symex::{eval, Context, Env, SolverBackend, TermId};
+use symcosim_testkit::{check_cases, Rng};
 
 /// A recipe for building a random term over two 8-bit symbols.
 #[derive(Debug, Clone)]
@@ -77,40 +77,46 @@ fn build(ctx: &mut Context, recipe: &Recipe) -> TermId {
     }
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    let leaf = prop_oneof![
-        Just(Recipe::X),
-        Just(Recipe::Y),
-        any::<u8>().prop_map(Recipe::Const),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|a| Recipe::Not(Box::new(a))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Shl(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Recipe::Lshr(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Recipe::Ashr(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(a, b, t, e)| {
-                Recipe::IteUlt(Box::new(a), Box::new(b), Box::new(t), Box::new(e))
-            }),
-        ]
-    })
+/// A random recipe with bounded depth (matching the old proptest
+/// `prop_recursive(4, ..)` shape: leaves grow more likely as depth runs out).
+fn recipe(rng: &mut Rng, depth: usize) -> Recipe {
+    if depth == 0 || rng.chance(1, 4) {
+        return match rng.index(3) {
+            0 => Recipe::X,
+            1 => Recipe::Y,
+            _ => Recipe::Const(rng.below(256) as u8),
+        };
+    }
+    let d = depth - 1;
+    match rng.index(11) {
+        0 => Recipe::Not(Box::new(recipe(rng, d))),
+        1 => Recipe::And(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        2 => Recipe::Or(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        3 => Recipe::Xor(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        4 => Recipe::Add(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        5 => Recipe::Sub(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        6 => Recipe::Mul(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        7 => Recipe::Shl(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        8 => Recipe::Lshr(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        9 => Recipe::Ashr(Box::new(recipe(rng, d)), Box::new(recipe(rng, d))),
+        _ => Recipe::IteUlt(
+            Box::new(recipe(rng, d)),
+            Box::new(recipe(rng, d)),
+            Box::new(recipe(rng, d)),
+            Box::new(recipe(rng, d)),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Under an input-fixing path condition, the blasted term is forced to
+/// exactly the value the reference evaluator computes.
+#[test]
+fn blaster_agrees_with_evaluator() {
+    check_cases(0xd1f_0001, 64, |rng| {
+        let recipe = recipe(rng, 4);
+        let x = rng.below(256) as u8;
+        let y = rng.below(256) as u8;
 
-    /// Under an input-fixing path condition, the blasted term is forced to
-    /// exactly the value the reference evaluator computes.
-    #[test]
-    fn blaster_agrees_with_evaluator(recipe in arb_recipe(), x in any::<u8>(), y in any::<u8>()) {
         let mut ctx = Context::new();
         let term = build(&mut ctx, &recipe);
         let sym_x = ctx.symbol(8, "x");
@@ -130,20 +136,25 @@ proptest! {
         let differs = ctx.not(matches);
 
         let mut backend = SolverBackend::new();
-        prop_assert!(
+        assert!(
             backend.check(&ctx, &[fix_x, fix_y, matches]).is_sat(),
-            "expected value {expected:#x} must be consistent"
+            "expected value {expected:#x} must be consistent ({recipe:?})"
         );
-        prop_assert!(
+        assert!(
             !backend.check(&ctx, &[fix_x, fix_y, differs]).is_sat(),
-            "blasted term must be forced to {expected:#x}"
+            "blasted term must be forced to {expected:#x} ({recipe:?})"
         );
-    }
+    });
+}
 
-    /// Models returned for an unconstrained term always satisfy the
-    /// condition they were asked for (soundness of model extraction).
-    #[test]
-    fn models_replay_through_the_evaluator(recipe in arb_recipe(), target in any::<u8>()) {
+/// Models returned for an unconstrained term always satisfy the
+/// condition they were asked for (soundness of model extraction).
+#[test]
+fn models_replay_through_the_evaluator() {
+    check_cases(0xd1f_0002, 64, |rng| {
+        let recipe = recipe(rng, 4);
+        let target = rng.below(256) as u8;
+
         let mut ctx = Context::new();
         let term = build(&mut ctx, &recipe);
         let ctarget = ctx.constant(8, target as u64);
@@ -152,10 +163,11 @@ proptest! {
         if backend.check(&ctx, &[cond]).is_sat() {
             let vector = backend.test_vector(&ctx);
             let env = vector.to_env();
-            prop_assert_eq!(
-                eval(&ctx, cond, &env), 1,
-                "test vector {} does not reproduce the condition", vector
+            assert_eq!(
+                eval(&ctx, cond, &env),
+                1,
+                "test vector {vector} does not reproduce the condition"
             );
         }
-    }
+    });
 }

@@ -1,0 +1,222 @@
+//! Zero-dependency test and benchmark substrate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace cannot depend on `rand`, `proptest` or `criterion`. This crate
+//! provides the three services those dependencies supplied, in ~200 lines
+//! of std-only Rust:
+//!
+//! * [`Rng`] — a small, fast, deterministic PRNG (splitmix64 core) with the
+//!   handful of sampling helpers the fuzzer and the property tests need,
+//! * [`check_cases`] — a miniature property-test harness: run a closure
+//!   over N independently seeded cases and report the failing case's seed
+//!   so it can be replayed,
+//! * [`bench`] — a wall-clock micro-benchmark runner printing min / median
+//!   / mean per iteration, used by the `harness = false` bench binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// A deterministic 64-bit PRNG (splitmix64).
+///
+/// Not cryptographic; statistically solid for fuzzing and property tests,
+/// and — unlike `rand::StdRng` — guaranteed stable across releases, so
+/// recorded failing seeds stay replayable forever.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Any seed is fine, including 0.
+    pub fn seed(seed: u64) -> Rng {
+        Rng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is empty");
+        // Multiply-shift rejection-free mapping (Lemire); the bias for
+        // bounds ≪ 2^64 is far below anything a test could observe.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// A uniform value in the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + self.below(span) as i64
+    }
+
+    /// `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+}
+
+/// Runs `body` over `cases` independently seeded cases.
+///
+/// Each case receives its own [`Rng`] derived from `base_seed` and the case
+/// index. On panic, the case index and seed are printed before the panic
+/// propagates, so the failure replays with
+/// `Rng::seed(<printed seed>)`.
+pub fn check_cases<F: FnMut(&mut Rng)>(base_seed: u64, cases: usize, mut body: F) {
+    for case in 0..cases {
+        let seed = base_seed ^ (case as u64).wrapping_mul(0xa24b_aed4_963e_e407);
+        let mut rng = Rng::seed(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("property failed at case {case}/{cases}, replay with Rng::seed({seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// One measured benchmark: timing summary over `iters` iterations.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations measured (after warm-up).
+    pub iters: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+}
+
+impl std::fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} {:>12.2?} min {:>12.2?} median {:>12.2?} mean  ({} iters)",
+            self.name, self.min, self.median, self.mean, self.iters
+        )
+    }
+}
+
+/// Times `body` for `iters` iterations (plus `warmup` unmeasured ones),
+/// prints and returns the summary.
+///
+/// The replacement for the `criterion` benches: deliberately simple —
+/// wall-clock, no outlier rejection — because the repo's benches compare
+/// orders of magnitude, not percents.
+pub fn bench<F: FnMut()>(name: &str, warmup: usize, iters: usize, mut body: F) -> BenchReport {
+    assert!(iters > 0, "bench needs at least one iteration");
+    for _ in 0..warmup {
+        body();
+    }
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        body();
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    let report = BenchReport {
+        name: name.to_string(),
+        iters,
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        mean: total / iters as u32,
+    };
+    println!("{report}");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_covers_range() {
+        let mut a = Rng::seed(42);
+        let mut b = Rng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = Rng::seed(7);
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            let i = r.range_i64(-5, 5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn below_hits_every_bucket() {
+        let mut r = Rng::seed(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn check_cases_runs_all_cases() {
+        let mut count = 0;
+        check_cases(0xbeef, 17, |_rng| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let report = bench("noop", 1, 5, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert_eq!(report.iters, 5);
+        assert!(report.min <= report.median && report.median >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repo's tier-1 gate, runnable locally and from CI:
+#   build, tests, formatting, lints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci OK"

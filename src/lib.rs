@@ -13,7 +13,8 @@
 //! reproducing test vectors.
 //!
 //! See [`core`] for the verification flow, [`symex`] for the symbolic
-//! engine, [`microrv32`] for the device under test and [`iss`] for the
+//! engine, [`exec`] for the parallel path-exploration executor,
+//! [`microrv32`] for the device under test and [`iss`] for the
 //! reference model.
 //!
 //! # Quickstart
@@ -34,6 +35,7 @@
 //! ```
 
 pub use symcosim_core as core;
+pub use symcosim_exec as exec;
 pub use symcosim_isa as isa;
 pub use symcosim_iss as iss;
 pub use symcosim_microrv32 as microrv32;

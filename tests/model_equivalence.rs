@@ -4,146 +4,166 @@
 //!
 //! This complements the symbolic clean-run test: property-based inputs
 //! cover the concrete data path (including values the symbolic run only
-//! covers abstractly), and failures shrink to minimal instructions.
+//! covers abstractly), and failing cases replay from a printed seed.
 
-use proptest::prelude::*;
 use symcosim::core::{CoSim, ConcreteJudge, SymbolicInstrMemory};
 use symcosim::isa::{encode, BranchKind, Instr, LoadKind, OpKind, Reg, StoreKind};
 use symcosim::iss::IssConfig;
 use symcosim::microrv32::CoreConfig;
 use symcosim::symex::ConcreteDomain;
+use symcosim_testkit::{check_cases, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0usize..32).prop_map(|i| Reg::from_index(i).expect("in range"))
+fn reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.index(32)).expect("in range")
+}
+
+fn i_imm(rng: &mut Rng) -> i32 {
+    rng.range_i64(-2048, 2047) as i32
 }
 
 /// Instructions whose architectural effect is fully observable through the
 /// voter within one instruction (no environment dependence).
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let op_kind = prop_oneof![
-        Just(OpKind::Add),
-        Just(OpKind::Sub),
-        Just(OpKind::Sll),
-        Just(OpKind::Slt),
-        Just(OpKind::Sltu),
-        Just(OpKind::Xor),
-        Just(OpKind::Srl),
-        Just(OpKind::Sra),
-        Just(OpKind::Or),
-        Just(OpKind::And),
+fn instr(rng: &mut Rng) -> Instr {
+    let op_kind = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Sll,
+        OpKind::Slt,
+        OpKind::Sltu,
+        OpKind::Xor,
+        OpKind::Srl,
+        OpKind::Sra,
+        OpKind::Or,
+        OpKind::And,
     ];
-    let load_kind = prop_oneof![
-        Just(LoadKind::Lb),
-        Just(LoadKind::Lh),
-        Just(LoadKind::Lw),
-        Just(LoadKind::Lbu),
-        Just(LoadKind::Lhu),
+    let load_kind = [
+        LoadKind::Lb,
+        LoadKind::Lh,
+        LoadKind::Lw,
+        LoadKind::Lbu,
+        LoadKind::Lhu,
     ];
-    let store_kind = prop_oneof![
-        Just(StoreKind::Sb),
-        Just(StoreKind::Sh),
-        Just(StoreKind::Sw)
+    let store_kind = [StoreKind::Sb, StoreKind::Sh, StoreKind::Sw];
+    let branch_kind = [
+        BranchKind::Beq,
+        BranchKind::Bne,
+        BranchKind::Blt,
+        BranchKind::Bge,
+        BranchKind::Bltu,
+        BranchKind::Bgeu,
     ];
-    let branch_kind = prop_oneof![
-        Just(BranchKind::Beq),
-        Just(BranchKind::Bne),
-        Just(BranchKind::Blt),
-        Just(BranchKind::Bge),
-        Just(BranchKind::Bltu),
-        Just(BranchKind::Bgeu),
-    ];
-    prop_oneof![
-        (arb_reg(), (-524288i32..=524287).prop_map(|v| v << 12))
-            .prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (arb_reg(), (-524288i32..=524287).prop_map(|v| v << 12))
-            .prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
-        (arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::Addi {
-            rd,
-            rs1,
-            imm
-        }),
-        (arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::Slti {
-            rd,
-            rs1,
-            imm
-        }),
-        (arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::Sltiu {
-            rd,
-            rs1,
-            imm
-        }),
-        (arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::Xori {
-            rd,
-            rs1,
-            imm
-        }),
-        (arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::Ori {
-            rd,
-            rs1,
-            imm
-        }),
-        (arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::Andi {
-            rd,
-            rs1,
-            imm
-        }),
-        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Slli { rd, rs1, shamt }),
-        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srli { rd, rs1, shamt }),
-        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srai { rd, rs1, shamt }),
-        (op_kind, arb_reg(), arb_reg(), arb_reg()).prop_map(|(kind, rd, rs1, rs2)| Instr::Op {
-            kind,
-            rd,
-            rs1,
-            rs2
-        }),
-        (
-            branch_kind,
-            arb_reg(),
-            arb_reg(),
-            (-2048i32..=2047).prop_map(|v| v * 2)
-        )
-            .prop_map(|(kind, rs1, rs2, offset)| Instr::Branch {
-                kind,
-                rs1,
-                rs2,
-                offset
-            }),
-        (arb_reg(), (-524288i32..=524287).prop_map(|v| v * 2))
-            .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::Jalr {
-            rd,
-            rs1,
-            imm
-        }),
-        (load_kind, arb_reg(), arb_reg(), -2048i32..=2047)
-            .prop_map(|(kind, rd, rs1, imm)| Instr::Load { kind, rd, rs1, imm }),
-        (store_kind, arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(kind, rs1, rs2, imm)| {
-            Instr::Store {
-                kind,
-                rs1,
-                rs2,
-                imm,
+    match rng.index(21) {
+        0 => Instr::Lui {
+            rd: reg(rng),
+            imm: (rng.range_i64(-524288, 524287) as i32) << 12,
+        },
+        1 => Instr::Auipc {
+            rd: reg(rng),
+            imm: (rng.range_i64(-524288, 524287) as i32) << 12,
+        },
+        2 => Instr::Addi {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        3 => Instr::Slti {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        4 => Instr::Sltiu {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        5 => Instr::Xori {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        6 => Instr::Ori {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        7 => Instr::Andi {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        8 => Instr::Slli {
+            rd: reg(rng),
+            rs1: reg(rng),
+            shamt: rng.below(32) as u8,
+        },
+        9 => Instr::Srli {
+            rd: reg(rng),
+            rs1: reg(rng),
+            shamt: rng.below(32) as u8,
+        },
+        10 => Instr::Srai {
+            rd: reg(rng),
+            rs1: reg(rng),
+            shamt: rng.below(32) as u8,
+        },
+        11 => Instr::Op {
+            kind: *rng.choose(&op_kind),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        12 => Instr::Branch {
+            kind: *rng.choose(&branch_kind),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: (rng.range_i64(-2048, 2047) as i32) * 2,
+        },
+        13 => Instr::Jal {
+            rd: reg(rng),
+            offset: (rng.range_i64(-524288, 524287) as i32) * 2,
+        },
+        14 => Instr::Jalr {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        15 => Instr::Load {
+            kind: *rng.choose(&load_kind),
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i_imm(rng),
+        },
+        16 => Instr::Store {
+            kind: *rng.choose(&store_kind),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            imm: i_imm(rng),
+        },
+        17 => Instr::Wfi,
+        18 => Instr::Ecall,
+        19 => Instr::Ebreak,
+        _ => {
+            if rng.chance(1, 2) {
+                Instr::FenceI
+            } else {
+                Instr::Fence {
+                    pred: rng.below(16) as u8,
+                    succ: rng.below(16) as u8,
+                }
             }
-        }),
-        Just(Instr::Wfi),
-        Just(Instr::Ecall),
-        Just(Instr::Ebreak),
-        Just(Instr::FenceI),
-        (0u8..16, 0u8..16).prop_map(|(pred, succ)| Instr::Fence { pred, succ }),
-    ]
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// One random instruction with random register/memory seeds: the
+/// corrected core and ISS must agree on everything the voter sees.
+#[test]
+fn corrected_models_retire_identically() {
+    check_cases(0xe90_0001, 256, |rng| {
+        let instr = instr(rng);
+        let seeds: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        let mem_seed = rng.next_u32();
 
-    /// One random instruction with random register/memory seeds: the
-    /// corrected core and ISS must agree on everything the voter sees.
-    #[test]
-    fn corrected_models_retire_identically(
-        instr in arb_instr(),
-        seeds in proptest::collection::vec(any::<u32>(), 4),
-        mem_seed in any::<u32>(),
-    ) {
         let mut dom = ConcreteDomain::new();
         let word = encode(&instr);
         let imem = SymbolicInstrMemory::with_generator(move |_dom, _| word);
@@ -168,23 +188,30 @@ proptest! {
             cosim.iss_dmem.set_word(i, value);
         }
         let result = cosim.run(&mut dom, &mut ConcreteJudge);
-        prop_assert!(
+        assert!(
             result.mismatch.is_none(),
             "models disagree on `{instr}` ({word:#010x}): {:?}",
             result.mismatch
         );
-    }
+    });
+}
 
-    /// The shipped configurations, restricted to instructions outside the
-    /// Table I bug surface (plain ALU ops), also agree — the bugs are
-    /// where the paper says they are, not scattered everywhere.
-    #[test]
-    fn shipped_models_agree_on_plain_alu(
-        rd in arb_reg(), rs1 in arb_reg(), rs2 in arb_reg(),
-        a in any::<u32>(), b in any::<u32>(),
-    ) {
+/// The shipped configurations, restricted to instructions outside the
+/// Table I bug surface (plain ALU ops), also agree — the bugs are
+/// where the paper says they are, not scattered everywhere.
+#[test]
+fn shipped_models_agree_on_plain_alu() {
+    check_cases(0xe90_0002, 256, |rng| {
+        let (rd, rs1, rs2) = (reg(rng), reg(rng), reg(rng));
+        let (a, b) = (rng.next_u32(), rng.next_u32());
+
         let mut dom = ConcreteDomain::new();
-        let word = encode(&Instr::Op { kind: OpKind::Add, rd, rs1, rs2 });
+        let word = encode(&Instr::Op {
+            kind: OpKind::Add,
+            rd,
+            rs1,
+            rs2,
+        });
         let imem = SymbolicInstrMemory::with_generator(move |_dom, _| word);
         let mut cosim = CoSim::new(
             &mut dom,
@@ -202,6 +229,6 @@ proptest! {
         cosim.core.set_register(rs2.index().max(1), b);
         cosim.iss.set_register(rs2.index().max(1), b);
         let result = cosim.run(&mut dom, &mut ConcreteJudge);
-        prop_assert!(result.mismatch.is_none(), "{:?}", result.mismatch);
-    }
+        assert!(result.mismatch.is_none(), "{:?}", result.mismatch);
+    });
 }

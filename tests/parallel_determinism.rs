@@ -1,0 +1,100 @@
+//! The parallel executor is a drop-in for the sequential engine: for any
+//! frontier-drained configuration, `run_parallel(jobs)` produces a report
+//! identical to `run()` for every worker count — same findings in the
+//! same canonical order, same witnesses, same path/test-vector counts.
+//!
+//! The configurations below restrict generation to one major opcode to
+//! keep each exploration small; the property itself is configuration-
+//! independent (see `crates/exec` and DESIGN.md for the argument).
+
+use symcosim::core::{InstrConstraint, SessionConfig, VerifyReport, VerifySession};
+use symcosim::isa::opcodes;
+use symcosim::microrv32::InjectedError;
+
+/// Everything report-visible except the wall-clock duration.
+fn fingerprint(report: &VerifyReport) -> String {
+    let mut out = String::new();
+    for finding in &report.findings {
+        out.push_str(&format!(
+            "{}|{}|{}|{:?}|{}\n",
+            finding.class,
+            finding.subject,
+            finding.label,
+            finding.example,
+            finding
+                .witness
+                .as_ref()
+                .map(|w| w.to_string())
+                .unwrap_or_default(),
+        ));
+    }
+    out.push_str(&format!(
+        "complete={} partial={} vectors={} instrs={} cycles={} truncated={}",
+        report.paths_complete,
+        report.paths_partial,
+        report.test_vectors,
+        report.instructions_executed,
+        report.cycles,
+        report.truncated,
+    ));
+    out
+}
+
+fn identical_for_all_job_counts(config: SessionConfig) -> VerifyReport {
+    let sequential = VerifySession::new(config.clone())
+        .expect("valid config")
+        .run();
+    let expected = fingerprint(&sequential);
+    for jobs in [1, 2, 4] {
+        let parallel = VerifySession::new(config.clone())
+            .expect("valid config")
+            .run_parallel(jobs);
+        assert_eq!(
+            fingerprint(&parallel),
+            expected,
+            "run_parallel({jobs}) diverged from the sequential report"
+        );
+    }
+    sequential
+}
+
+#[test]
+fn clean_models_branch_space() {
+    // Corrected models, no fault: the report must be mismatch-free and
+    // identical across worker counts.
+    let mut config = SessionConfig::rv32i_only();
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::BRANCH);
+    let report = identical_for_all_job_counts(config);
+    assert!(report.findings.is_empty(), "clean models must not mismatch");
+    assert!(!report.truncated, "the frontier must drain");
+}
+
+#[test]
+fn shipped_models_store_space() {
+    // One Table I slice (STORE against the shipped models) checks the
+    // catalogue mode: findings, examples and witnesses must all agree.
+    let mut config = SessionConfig::table1();
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::STORE);
+    let report = identical_for_all_job_counts(config);
+    assert!(
+        !report.findings.is_empty(),
+        "the shipped models mismatch on STORE"
+    );
+}
+
+#[test]
+fn injected_e4_op_space() {
+    // Injected-fault catalogue mode: E4 (SUB result bit 31 stuck at 0)
+    // lives in the OP opcode space. Full drain (no stop-at-first) keeps
+    // the explored set — and therefore the report — schedule-independent.
+    let mut config = SessionConfig::rv32i_only();
+    config.inject = Some(InjectedError::E4SubStuckAt0Msb);
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::OP);
+    let report = identical_for_all_job_counts(config);
+    assert!(
+        report.findings.iter().any(|f| f.witness.is_some()),
+        "the injected fault must be found with a witness"
+    );
+}
