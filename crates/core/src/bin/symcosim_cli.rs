@@ -19,12 +19,14 @@ symcosim — symbolic co-simulation for RISC-V processor verification
 
 USAGE:
     symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
-                        [--jobs N] [--seed N]
+                        [--jobs N] [--seed N] [--lint]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
         symbolic registers (default 2). --jobs explores paths on N worker
         threads (same report, any N); --seed seeds randomised search.
+        --lint runs the symbolic-IR well-formedness pass over every path
+        and appends the issues to the report.
 
     symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
                         [--fuzz] [--hybrid]
@@ -133,6 +135,9 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if let Some(seed) = flag_value(args, "--seed")? {
         config.seed = seed;
+    }
+    if args.iter().any(|a| a == "--lint") {
+        config.lint_ir = true;
     }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
     let report = run_session(VerifySession::new(config)?, jobs);

@@ -322,6 +322,10 @@ pub struct VerifyReport {
     /// `true` if the exploration stopped early (path budget or
     /// stop-at-first-mismatch) with work remaining.
     pub truncated: bool,
+    /// Symbolic-IR well-formedness issues found by the per-path lint pass
+    /// (deduplicated, canonical path order). Empty unless
+    /// [`SessionConfig::lint_ir`](crate::SessionConfig::lint_ir) is set.
+    pub lint_issues: Vec<String>,
 }
 
 impl VerifyReport {
@@ -351,6 +355,12 @@ impl fmt::Display for VerifyReport {
         )?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
+        }
+        if !self.lint_issues.is_empty() {
+            writeln!(f, "{} IR well-formedness issues:", self.lint_issues.len())?;
+            for issue in &self.lint_issues {
+                writeln!(f, "  {issue}")?;
+            }
         }
         Ok(())
     }

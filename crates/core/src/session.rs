@@ -78,6 +78,10 @@ pub struct SessionConfig {
     /// Wall-clock budget for [`VerifySession::run_parallel`]; `None`
     /// means unbounded. Ignored by the sequential [`VerifySession::run`].
     pub deadline: Option<Duration>,
+    /// Run the symbolic-IR well-formedness pass
+    /// ([`SymExec::lint_path`]) over every explored path and surface the
+    /// issues in [`VerifyReport::lint_issues`] (the CLI's `--lint` flag).
+    pub lint_ir: bool,
 }
 
 impl SessionConfig {
@@ -100,6 +104,7 @@ impl SessionConfig {
             stop_at_first_mismatch: false,
             seed: 0x5eed_cafe,
             deadline: None,
+            lint_ir: false,
         }
     }
 
@@ -123,6 +128,7 @@ impl SessionConfig {
             stop_at_first_mismatch: true,
             seed: 0x5eed_cafe,
             deadline: None,
+            lint_ir: false,
         }
     }
 }
@@ -156,6 +162,7 @@ struct PathRun {
     cycles: u64,
     instr_word: Option<u32>,
     witness: Option<TestVector>,
+    lint_issues: Vec<String>,
 }
 
 /// The end-to-end symbolic verification flow.
@@ -298,6 +305,8 @@ fn merge_report(
     let mut instructions = 0u64;
     let mut cycles = 0u64;
     let mut test_vectors = 0usize;
+    let mut lint_issues: Vec<String> = Vec::new();
+    let mut lint_seen: HashSet<String> = HashSet::new();
 
     for path in &paths {
         let run = &path.value;
@@ -317,6 +326,11 @@ fn merge_report(
                 findings.push(finding);
             }
         }
+        for issue in &run.lint_issues {
+            if lint_seen.insert(issue.clone()) {
+                lint_issues.push(issue.clone());
+            }
+        }
     }
 
     VerifyReport {
@@ -328,6 +342,7 @@ fn merge_report(
         test_vectors,
         duration: start.elapsed(),
         truncated,
+        lint_issues,
     }
 }
 
@@ -359,6 +374,11 @@ fn run_one_path(exec: &mut SymExec<'_>, config: &SessionConfig) -> PathRun {
     } else {
         (None, None)
     };
+    let lint_issues = if config.lint_ir {
+        exec.lint_path().iter().map(ToString::to_string).collect()
+    } else {
+        Vec::new()
+    };
     PathRun {
         mismatch: result.mismatch,
         stop: result.stop,
@@ -366,6 +386,7 @@ fn run_one_path(exec: &mut SymExec<'_>, config: &SessionConfig) -> PathRun {
         cycles: result.cycles,
         instr_word,
         witness,
+        lint_issues,
     }
 }
 

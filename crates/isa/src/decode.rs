@@ -44,16 +44,225 @@ fn rs2(word: u32) -> Reg {
 }
 
 #[inline]
-fn funct3(word: u32) -> u32 {
-    (word >> 12) & 0x7
+fn shamt(word: u32) -> u8 {
+    ((word >> 20) & 0x1f) as u8
 }
 
 #[inline]
-fn funct7(word: u32) -> u32 {
-    word >> 25
+fn csr_addr(word: u32) -> u16 {
+    (word >> 20) as u16
+}
+
+/// One ternary decode rule over the 32-bit instruction word space.
+///
+/// A word `w` is accepted by the rule iff `w & mask == value`; the bits
+/// outside `mask` are don't-cares (operand fields, immediates, the CSR
+/// address). The whole RV32I+Zicsr decode space of this crate is described
+/// by [`DECODE_TABLE`], which both [`decode`] and the `symcosim-lint`
+/// static analyzer consume, so the analysed table *is* the shipped decoder.
+#[derive(Clone, Copy)]
+pub struct DecodeRule {
+    /// Cared-bit mask: a set bit means the decoder inspects that bit.
+    pub mask: u32,
+    /// Required value of the cared bits (bits outside `mask` are zero).
+    pub value: u32,
+    /// Canonical mnemonic, used by lint reports and counterexamples.
+    pub name: &'static str,
+    build: fn(u32) -> Instr,
+}
+
+impl DecodeRule {
+    /// Returns `true` iff `word` is accepted by this rule.
+    #[inline]
+    #[must_use]
+    pub const fn matches(&self, word: u32) -> bool {
+        word & self.mask == self.value
+    }
+
+    /// Extracts the operand fields of a matching `word`.
+    ///
+    /// The result is only meaningful when [`matches`](Self::matches) holds;
+    /// for non-matching words the extracted operands are unspecified.
+    #[inline]
+    #[must_use]
+    pub fn build(&self, word: u32) -> Instr {
+        (self.build)(word)
+    }
+}
+
+/// Cares about the major opcode only (U- and J-type instructions).
+const OPCODE: u32 = 0x0000_007f;
+/// Cares about the major opcode and funct3.
+const OPCODE_F3: u32 = 0x0000_707f;
+/// Cares about the major opcode, funct3 and funct7 (R-type and shifts).
+const OPCODE_F3_F7: u32 = 0xfe00_707f;
+/// Every bit is fixed (the four SYSTEM special instructions).
+const EXACT: u32 = 0xffff_ffff;
+
+/// Builds the fixed-bit pattern `opcode | funct3 << 12 | funct7 << 25`.
+const fn pat(opcode: u32, funct3: u32, funct7: u32) -> u32 {
+    opcode | (funct3 << 12) | (funct7 << 25)
+}
+
+macro_rules! rule {
+    ($mask:expr, $value:expr, $name:literal, $build:expr) => {
+        DecodeRule {
+            mask: $mask,
+            value: $value,
+            name: $name,
+            build: $build,
+        }
+    };
+}
+
+/// The complete RV32I+Zicsr decode table.
+///
+/// Every legal instruction word is accepted by exactly one rule; every word
+/// accepted by no rule is an illegal instruction. Both properties
+/// (*disjointness* and *completeness* against [`decode`]) are proved
+/// statically by `symcosim-lint` over the ternary-pattern algebra, without
+/// enumerating the 2^32 space. [`decode`] itself is a first-match scan of
+/// this table, so there is no second copy of the decode logic to drift.
+#[rustfmt::skip]
+pub static DECODE_TABLE: &[DecodeRule] = &[
+    // U-type and J-type: major opcode only.
+    rule!(OPCODE, opcodes::LUI, "lui", |w| Instr::Lui { rd: rd(w), imm: decode_u_imm(w) }),
+    rule!(OPCODE, opcodes::AUIPC, "auipc", |w| Instr::Auipc { rd: rd(w), imm: decode_u_imm(w) }),
+    rule!(OPCODE, opcodes::JAL, "jal", |w| Instr::Jal { rd: rd(w), offset: decode_j_imm(w) }),
+    // JALR requires funct3 = 0.
+    rule!(OPCODE_F3, pat(opcodes::JALR, 0b000, 0), "jalr",
+        |w| Instr::Jalr { rd: rd(w), rs1: rs1(w), imm: decode_i_imm(w) }),
+    // Conditional branches: funct3 010/011 are reserved.
+    rule!(OPCODE_F3, pat(opcodes::BRANCH, 0b000, 0), "beq",
+        |w| branch(BranchKind::Beq, w)),
+    rule!(OPCODE_F3, pat(opcodes::BRANCH, 0b001, 0), "bne",
+        |w| branch(BranchKind::Bne, w)),
+    rule!(OPCODE_F3, pat(opcodes::BRANCH, 0b100, 0), "blt",
+        |w| branch(BranchKind::Blt, w)),
+    rule!(OPCODE_F3, pat(opcodes::BRANCH, 0b101, 0), "bge",
+        |w| branch(BranchKind::Bge, w)),
+    rule!(OPCODE_F3, pat(opcodes::BRANCH, 0b110, 0), "bltu",
+        |w| branch(BranchKind::Bltu, w)),
+    rule!(OPCODE_F3, pat(opcodes::BRANCH, 0b111, 0), "bgeu",
+        |w| branch(BranchKind::Bgeu, w)),
+    // Loads: funct3 011/110/111 are reserved in RV32I.
+    rule!(OPCODE_F3, pat(opcodes::LOAD, 0b000, 0), "lb", |w| load(LoadKind::Lb, w)),
+    rule!(OPCODE_F3, pat(opcodes::LOAD, 0b001, 0), "lh", |w| load(LoadKind::Lh, w)),
+    rule!(OPCODE_F3, pat(opcodes::LOAD, 0b010, 0), "lw", |w| load(LoadKind::Lw, w)),
+    rule!(OPCODE_F3, pat(opcodes::LOAD, 0b100, 0), "lbu", |w| load(LoadKind::Lbu, w)),
+    rule!(OPCODE_F3, pat(opcodes::LOAD, 0b101, 0), "lhu", |w| load(LoadKind::Lhu, w)),
+    // Stores: funct3 011..111 are reserved in RV32I.
+    rule!(OPCODE_F3, pat(opcodes::STORE, 0b000, 0), "sb", |w| store(StoreKind::Sb, w)),
+    rule!(OPCODE_F3, pat(opcodes::STORE, 0b001, 0), "sh", |w| store(StoreKind::Sh, w)),
+    rule!(OPCODE_F3, pat(opcodes::STORE, 0b010, 0), "sw", |w| store(StoreKind::Sw, w)),
+    // OP-IMM: six I-type ALU forms plus the three funct7-guarded shifts.
+    rule!(OPCODE_F3, pat(opcodes::OP_IMM, 0b000, 0), "addi",
+        |w| Instr::Addi { rd: rd(w), rs1: rs1(w), imm: decode_i_imm(w) }),
+    rule!(OPCODE_F3, pat(opcodes::OP_IMM, 0b010, 0), "slti",
+        |w| Instr::Slti { rd: rd(w), rs1: rs1(w), imm: decode_i_imm(w) }),
+    rule!(OPCODE_F3, pat(opcodes::OP_IMM, 0b011, 0), "sltiu",
+        |w| Instr::Sltiu { rd: rd(w), rs1: rs1(w), imm: decode_i_imm(w) }),
+    rule!(OPCODE_F3, pat(opcodes::OP_IMM, 0b100, 0), "xori",
+        |w| Instr::Xori { rd: rd(w), rs1: rs1(w), imm: decode_i_imm(w) }),
+    rule!(OPCODE_F3, pat(opcodes::OP_IMM, 0b110, 0), "ori",
+        |w| Instr::Ori { rd: rd(w), rs1: rs1(w), imm: decode_i_imm(w) }),
+    rule!(OPCODE_F3, pat(opcodes::OP_IMM, 0b111, 0), "andi",
+        |w| Instr::Andi { rd: rd(w), rs1: rs1(w), imm: decode_i_imm(w) }),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP_IMM, 0b001, 0b000_0000), "slli",
+        |w| Instr::Slli { rd: rd(w), rs1: rs1(w), shamt: shamt(w) }),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP_IMM, 0b101, 0b000_0000), "srli",
+        |w| Instr::Srli { rd: rd(w), rs1: rs1(w), shamt: shamt(w) }),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP_IMM, 0b101, 0b010_0000), "srai",
+        |w| Instr::Srai { rd: rd(w), rs1: rs1(w), shamt: shamt(w) }),
+    // OP: the ten R-type (funct3, funct7) pairs.
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b000, 0b000_0000), "add", |w| op(OpKind::Add, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b000, 0b010_0000), "sub", |w| op(OpKind::Sub, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b001, 0b000_0000), "sll", |w| op(OpKind::Sll, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b010, 0b000_0000), "slt", |w| op(OpKind::Slt, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b011, 0b000_0000), "sltu", |w| op(OpKind::Sltu, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b100, 0b000_0000), "xor", |w| op(OpKind::Xor, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b101, 0b000_0000), "srl", |w| op(OpKind::Srl, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b101, 0b010_0000), "sra", |w| op(OpKind::Sra, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b110, 0b000_0000), "or", |w| op(OpKind::Or, w)),
+    rule!(OPCODE_F3_F7, pat(opcodes::OP, 0b111, 0b000_0000), "and", |w| op(OpKind::And, w)),
+    // MISC-MEM: fm/pred/succ/rs1/rd of FENCE and the imm/rs1/rd of FENCE.I
+    // are don't-cares (hints must execute as the base instruction).
+    rule!(OPCODE_F3, pat(opcodes::MISC_MEM, 0b000, 0), "fence",
+        |w| Instr::Fence { pred: ((w >> 24) & 0xf) as u8, succ: ((w >> 20) & 0xf) as u8 }),
+    rule!(OPCODE_F3, pat(opcodes::MISC_MEM, 0b001, 0), "fence.i", |_| Instr::FenceI),
+    // SYSTEM with funct3 = 0: four fully-fixed encodings.
+    rule!(EXACT, 0x0000_0073, "ecall", |_| Instr::Ecall),
+    rule!(EXACT, 0x0010_0073, "ebreak", |_| Instr::Ebreak),
+    rule!(EXACT, 0x3020_0073, "mret", |_| Instr::Mret),
+    rule!(EXACT, 0x1050_0073, "wfi", |_| Instr::Wfi),
+    // Zicsr: the CSR address (bits 31:20) is a don't-care at decode time;
+    // legality of the address is an execution-time question.
+    rule!(OPCODE_F3, pat(opcodes::SYSTEM, 0b001, 0), "csrrw", |w| csr(CsrOp::Rw, w)),
+    rule!(OPCODE_F3, pat(opcodes::SYSTEM, 0b010, 0), "csrrs", |w| csr(CsrOp::Rs, w)),
+    rule!(OPCODE_F3, pat(opcodes::SYSTEM, 0b011, 0), "csrrc", |w| csr(CsrOp::Rc, w)),
+    rule!(OPCODE_F3, pat(opcodes::SYSTEM, 0b101, 0), "csrrwi", |w| csr_imm(CsrOp::Rw, w)),
+    rule!(OPCODE_F3, pat(opcodes::SYSTEM, 0b110, 0), "csrrsi", |w| csr_imm(CsrOp::Rs, w)),
+    rule!(OPCODE_F3, pat(opcodes::SYSTEM, 0b111, 0), "csrrci", |w| csr_imm(CsrOp::Rc, w)),
+];
+
+fn branch(kind: BranchKind, w: u32) -> Instr {
+    Instr::Branch {
+        kind,
+        rs1: rs1(w),
+        rs2: rs2(w),
+        offset: decode_b_imm(w),
+    }
+}
+
+fn load(kind: LoadKind, w: u32) -> Instr {
+    Instr::Load {
+        kind,
+        rd: rd(w),
+        rs1: rs1(w),
+        imm: decode_i_imm(w),
+    }
+}
+
+fn store(kind: StoreKind, w: u32) -> Instr {
+    Instr::Store {
+        kind,
+        rs1: rs1(w),
+        rs2: rs2(w),
+        imm: decode_s_imm(w),
+    }
+}
+
+fn op(kind: OpKind, w: u32) -> Instr {
+    Instr::Op {
+        kind,
+        rd: rd(w),
+        rs1: rs1(w),
+        rs2: rs2(w),
+    }
+}
+
+fn csr(op: CsrOp, w: u32) -> Instr {
+    Instr::Csr {
+        op,
+        rd: rd(w),
+        rs1: rs1(w),
+        csr: csr_addr(w),
+    }
+}
+
+fn csr_imm(op: CsrOp, w: u32) -> Instr {
+    Instr::CsrImm {
+        op,
+        rd: rd(w),
+        uimm: rs1(w).index() as u8,
+        csr: csr_addr(w),
+    }
 }
 
 /// Decodes a 32-bit instruction word into an [`Instr`].
+///
+/// This is a first-match scan of [`DECODE_TABLE`]; the rules are pairwise
+/// disjoint (checked by `symcosim-lint`), so first-match equals only-match.
 ///
 /// # Errors
 ///
@@ -73,166 +282,11 @@ fn funct7(word: u32) -> u32 {
 /// # }
 /// ```
 pub fn decode(word: u32) -> Result<Instr, DecodeError> {
-    let illegal = Err(DecodeError { word });
-    match word & 0x7f {
-        opcodes::LUI => Ok(Instr::Lui {
-            rd: rd(word),
-            imm: decode_u_imm(word),
-        }),
-        opcodes::AUIPC => Ok(Instr::Auipc {
-            rd: rd(word),
-            imm: decode_u_imm(word),
-        }),
-        opcodes::JAL => Ok(Instr::Jal {
-            rd: rd(word),
-            offset: decode_j_imm(word),
-        }),
-        opcodes::JALR if funct3(word) == 0 => Ok(Instr::Jalr {
-            rd: rd(word),
-            rs1: rs1(word),
-            imm: decode_i_imm(word),
-        }),
-        opcodes::BRANCH => {
-            let kind = match funct3(word) {
-                0b000 => BranchKind::Beq,
-                0b001 => BranchKind::Bne,
-                0b100 => BranchKind::Blt,
-                0b101 => BranchKind::Bge,
-                0b110 => BranchKind::Bltu,
-                0b111 => BranchKind::Bgeu,
-                _ => return illegal,
-            };
-            Ok(Instr::Branch {
-                kind,
-                rs1: rs1(word),
-                rs2: rs2(word),
-                offset: decode_b_imm(word),
-            })
-        }
-        opcodes::LOAD => {
-            let kind = match funct3(word) {
-                0b000 => LoadKind::Lb,
-                0b001 => LoadKind::Lh,
-                0b010 => LoadKind::Lw,
-                0b100 => LoadKind::Lbu,
-                0b101 => LoadKind::Lhu,
-                _ => return illegal,
-            };
-            Ok(Instr::Load {
-                kind,
-                rd: rd(word),
-                rs1: rs1(word),
-                imm: decode_i_imm(word),
-            })
-        }
-        opcodes::STORE => {
-            let kind = match funct3(word) {
-                0b000 => StoreKind::Sb,
-                0b001 => StoreKind::Sh,
-                0b010 => StoreKind::Sw,
-                _ => return illegal,
-            };
-            Ok(Instr::Store {
-                kind,
-                rs1: rs1(word),
-                rs2: rs2(word),
-                imm: decode_s_imm(word),
-            })
-        }
-        opcodes::OP_IMM => {
-            let (rd, rs1, imm) = (rd(word), rs1(word), decode_i_imm(word));
-            match funct3(word) {
-                0b000 => Ok(Instr::Addi { rd, rs1, imm }),
-                0b010 => Ok(Instr::Slti { rd, rs1, imm }),
-                0b011 => Ok(Instr::Sltiu { rd, rs1, imm }),
-                0b100 => Ok(Instr::Xori { rd, rs1, imm }),
-                0b110 => Ok(Instr::Ori { rd, rs1, imm }),
-                0b111 => Ok(Instr::Andi { rd, rs1, imm }),
-                0b001 if funct7(word) == 0 => Ok(Instr::Slli {
-                    rd,
-                    rs1,
-                    shamt: (imm & 0x1f) as u8,
-                }),
-                0b101 if funct7(word) == 0 => Ok(Instr::Srli {
-                    rd,
-                    rs1,
-                    shamt: (imm & 0x1f) as u8,
-                }),
-                0b101 if funct7(word) == 0b010_0000 => Ok(Instr::Srai {
-                    rd,
-                    rs1,
-                    shamt: (imm & 0x1f) as u8,
-                }),
-                _ => illegal,
-            }
-        }
-        opcodes::OP => {
-            let kind = match (funct3(word), funct7(word)) {
-                (0b000, 0b000_0000) => OpKind::Add,
-                (0b000, 0b010_0000) => OpKind::Sub,
-                (0b001, 0b000_0000) => OpKind::Sll,
-                (0b010, 0b000_0000) => OpKind::Slt,
-                (0b011, 0b000_0000) => OpKind::Sltu,
-                (0b100, 0b000_0000) => OpKind::Xor,
-                (0b101, 0b000_0000) => OpKind::Srl,
-                (0b101, 0b010_0000) => OpKind::Sra,
-                (0b110, 0b000_0000) => OpKind::Or,
-                (0b111, 0b000_0000) => OpKind::And,
-                _ => return illegal,
-            };
-            Ok(Instr::Op {
-                kind,
-                rd: rd(word),
-                rs1: rs1(word),
-                rs2: rs2(word),
-            })
-        }
-        opcodes::MISC_MEM => match funct3(word) {
-            0b000 => Ok(Instr::Fence {
-                pred: ((word >> 24) & 0xf) as u8,
-                succ: ((word >> 20) & 0xf) as u8,
-            }),
-            0b001 => Ok(Instr::FenceI),
-            _ => illegal,
-        },
-        opcodes::SYSTEM => match funct3(word) {
-            0b000 => match (funct7(word), rs2(word).index() as u32, rs1(word), rd(word)) {
-                (0, 0, Reg::X0, Reg::X0) => Ok(Instr::Ecall),
-                (0, 1, Reg::X0, Reg::X0) => Ok(Instr::Ebreak),
-                (0b001_1000, 0b00010, Reg::X0, Reg::X0) => Ok(Instr::Mret),
-                (0b000_1000, 0b00101, Reg::X0, Reg::X0) => Ok(Instr::Wfi),
-                _ => illegal,
-            },
-            f3 @ (0b001..=0b011) => {
-                let op = match f3 {
-                    0b001 => CsrOp::Rw,
-                    0b010 => CsrOp::Rs,
-                    _ => CsrOp::Rc,
-                };
-                Ok(Instr::Csr {
-                    op,
-                    rd: rd(word),
-                    rs1: rs1(word),
-                    csr: (word >> 20) as u16,
-                })
-            }
-            f3 @ (0b101..=0b111) => {
-                let op = match f3 {
-                    0b101 => CsrOp::Rw,
-                    0b110 => CsrOp::Rs,
-                    _ => CsrOp::Rc,
-                };
-                Ok(Instr::CsrImm {
-                    op,
-                    rd: rd(word),
-                    uimm: rs1(word).index() as u8,
-                    csr: (word >> 20) as u16,
-                })
-            }
-            _ => illegal,
-        },
-        _ => illegal,
-    }
+    DECODE_TABLE
+        .iter()
+        .find(|rule| rule.matches(word))
+        .map(|rule| rule.build(word))
+        .ok_or(DecodeError { word })
 }
 
 #[cfg(test)]
@@ -298,6 +352,31 @@ mod tests {
                 csr: 0x400
             }
         );
+    }
+
+    #[test]
+    fn table_rule_names_are_unique() {
+        let mut names: Vec<&str> = DECODE_TABLE.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DECODE_TABLE.len());
+    }
+
+    #[test]
+    fn table_values_honour_their_masks() {
+        for rule in DECODE_TABLE {
+            assert_eq!(
+                rule.value & !rule.mask,
+                0,
+                "rule {} fixes bits outside its mask",
+                rule.name
+            );
+            assert!(
+                rule.matches(rule.value),
+                "rule {} rejects itself",
+                rule.name
+            );
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod reg;
 mod trap;
 
 pub use csr::{csr_name, Csr, CsrClass};
-pub use decode::{decode, DecodeError};
+pub use decode::{decode, DecodeError, DecodeRule, DECODE_TABLE};
 pub use encode::encode;
 pub use imm::{
     decode_b_imm, decode_i_imm, decode_j_imm, decode_s_imm, decode_u_imm, encode_b_imm,

@@ -207,3 +207,120 @@ fn disassembly_total() {
         assert!(!instr(rng).to_string().is_empty());
     });
 }
+
+// --- Known-illegal corpus -------------------------------------------------
+//
+// Words the decoder must reject, and on which both corrected executable
+// models must raise the same illegal-instruction trap (cause 2). The
+// classification harnesses come from the lint crate so this file and
+// `symcosim-lint --cross` agree on what "illegal in a model" means.
+
+use symcosim_iss::IssConfig;
+use symcosim_lint::cross::{core_illegal, iss_illegal};
+use symcosim_microrv32::CoreConfig;
+
+/// Asserts that `word` is decode-illegal and that both corrected models
+/// trap on it with cause 2.
+fn assert_illegal_everywhere(word: u32) {
+    assert!(decode(word).is_err(), "0x{word:08x} unexpectedly decodes");
+    assert!(
+        iss_illegal(word, &IssConfig::fixed()),
+        "0x{word:08x}: fixed ISS does not trap illegal"
+    );
+    assert!(
+        core_illegal(word, &CoreConfig::fixed()),
+        "0x{word:08x}: fixed core does not trap illegal"
+    );
+}
+
+/// Structured near-misses: legal opcodes with reserved funct3/funct7
+/// values, and privileged exact encodings with corrupted operand fields.
+#[test]
+fn structured_illegal_words_trap_in_both_models() {
+    let corpus: &[u32] = &[
+        // JALR with funct3 != 0.
+        0b110_0111 | (1 << 12),
+        0b110_0111 | (7 << 12),
+        // LOAD funct3 ∈ {3, 6, 7} (no LD/LWU/reserved in RV32I).
+        0b000_0011 | (3 << 12),
+        0b000_0011 | (6 << 12),
+        0b000_0011 | (7 << 12),
+        // STORE funct3 > 2.
+        0b010_0011 | (3 << 12),
+        0b010_0011 | (7 << 12),
+        // BRANCH funct3 ∈ {2, 3} (reserved).
+        0b110_0011 | (2 << 12),
+        0b110_0011 | (3 << 12),
+        // Shift immediates with bad funct7: SLLI needs 0, SRLI/SRAI
+        // need 0 or 0b010_0000.
+        0b001_0011 | (1 << 12) | (1 << 25),
+        0b001_0011 | (5 << 12) | (1 << 25),
+        0b001_0011 | (5 << 12) | (0b111_1111 << 25),
+        // OP with funct7 outside {0, 0b010_0000}, and SUB-bit abuse on
+        // operations that have no SUB form.
+        0b011_0011 | (1 << 25),
+        0b011_0011 | (1 << 12) | (0b010_0000 << 25), // "SLL" with bit 30
+        0b011_0011 | (7 << 12) | (0b010_0000 << 25), // "AND" with bit 30
+        // MISC-MEM funct3 > 1 (only FENCE and FENCE.I exist).
+        0b000_1111 | (2 << 12),
+        0b000_1111 | (7 << 12),
+        // SYSTEM funct3 = 4 (reserved encoding slot).
+        0b111_0011 | (4 << 12),
+        // Privileged exact-encoding near-misses: ECALL with rs2 = 2
+        // (rs2 = 1 would *be* EBREAK), EBREAK with rd = 1, MRET with
+        // rs1 = 1, WFI with rd = 1.
+        0x0000_0073 | (2 << 20),
+        0x0010_0073 | (1 << 7),
+        0x3020_0073 | (1 << 15),
+        0x1050_0073 | (1 << 7),
+        // Unused major opcodes (OP-FP, AMO, custom-0).
+        0b101_0011,
+        0b010_1111,
+        0b000_1011,
+        // Compressed-looking words: low two bits != 0b11.
+        0x0000_0000,
+        0x0000_4501,
+        0x0000_0001,
+        0xffff_fffe,
+    ];
+    for &word in corpus {
+        assert_illegal_everywhere(word);
+    }
+}
+
+/// Randomised: whenever a word fails to decode, both corrected models
+/// must agree it is illegal; whenever it decodes (and legality does not
+/// depend on the CSR address), neither model may trap it as illegal.
+#[test]
+fn random_words_classify_identically_across_models() {
+    check_cases(0x15a_0005, 64, |rng| {
+        let word = rng.next_u32();
+        let iss = iss_illegal(word, &IssConfig::fixed());
+        let core = core_illegal(word, &CoreConfig::fixed());
+        assert_eq!(iss, core, "0x{word:08x}: fixed models disagree");
+        match decode(word) {
+            Err(_) => assert!(iss, "0x{word:08x}: decode-illegal but models retire it"),
+            Ok(Instr::Csr { .. } | Instr::CsrImm { .. }) => {}
+            Ok(_) => assert!(!iss, "0x{word:08x}: decode-legal but models trap it"),
+        }
+    });
+}
+
+/// Reserved CSR encodings decode fine (address legality is an execution
+/// property) but both corrected models trap on unarchitected addresses.
+#[test]
+fn reserved_csr_encodings_trap_identically() {
+    // CSRRW x1, <addr>, x1 for addresses with no architected CSR.
+    for addr in [0x003u32, 0x145, 0x7c0, 0x800, 0xfff] {
+        let word = 0b111_0011 | (1 << 7) | (1 << 12) | (1 << 15) | (addr << 20);
+        assert!(decode(word).is_ok(), "0x{word:08x} must decode");
+        assert!(
+            iss_illegal(word, &IssConfig::fixed()),
+            "csr 0x{addr:03x}: fixed ISS does not trap"
+        );
+        assert!(
+            core_illegal(word, &CoreConfig::fixed()),
+            "csr 0x{addr:03x}: fixed core does not trap"
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Cross-model illegal-instruction agreement sweeps.
+//!
+//! The decode-space theorems ([`crate::decode_space`]) prove properties of
+//! the *shared decode table*; this module checks that the two executable
+//! models actually honour it. Both the reference ISS ([`Iss`]) and the
+//! MicroRV32 core ([`Core`]) are driven one instruction at a time over a
+//! structured sweep of the word space, and each word is classified as
+//! *illegal* in a model when its first retirement traps with cause 2
+//! (illegal instruction).
+//!
+//! Two comparisons come out of the sweep:
+//!
+//! * under the **corrected** configurations ([`IssConfig::fixed`],
+//!   [`CoreConfig::fixed`]) the models must agree with each other *and*
+//!   with [`decode`] everywhere — any disagreement is a gating finding,
+//!   reported as a concrete 32-bit counterexample word;
+//! * under the **as-shipped** configurations ([`IssConfig::vp_v1`],
+//!   [`CoreConfig::microrv32_v1`]) the paper's Table I decode-edge
+//!   differences (WFI, unimplemented CSRs, counter writes, read-only CSR
+//!   writes, `medeleg`/`mideleg` reads) show up as expected disagreements;
+//!   they are counted and sampled for the report but do not gate.
+
+use symcosim_isa::{decode, opcodes, Instr};
+use symcosim_iss::{ArrayBus, Iss, IssConfig};
+use symcosim_microrv32::{Core, CoreConfig};
+use symcosim_rtl::{DBusResponse, IBusResponse};
+use symcosim_symex::ConcreteDomain;
+
+/// Illegal-instruction trap cause (`mcause` 2).
+const CAUSE_ILLEGAL: u32 = 2;
+
+/// Cycle budget for a single-instruction core run with an always-ready
+/// bus; retirement takes at most fetch + execute + four data sub-accesses.
+const CORE_CYCLE_BUDGET: u32 = 16;
+
+/// How many concrete counterexample words each list keeps (the totals are
+/// always exact; only the samples are capped, for stable reports).
+pub const SAMPLE_CAP: usize = 16;
+
+/// A word on which two classifiers that must agree disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossFinding {
+    /// The concrete instruction word.
+    pub word: u32,
+    /// What disagreed about it.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CrossFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:08x}: {}", self.word, self.detail)
+    }
+}
+
+/// Result of the cross-model sweeps.
+#[derive(Debug, Clone)]
+pub struct CrossModelReport {
+    /// Number of distinct probe words swept (each runs in four
+    /// model/config combinations).
+    pub words_swept: u64,
+    /// Corrected-model disagreements: ISS vs core under the `fixed`
+    /// configurations. Gating — must be empty.
+    pub fixed_disagreements: Vec<CrossFinding>,
+    /// Corrected models vs the static decode table. Gating — must be
+    /// empty.
+    pub decode_mismatches: Vec<CrossFinding>,
+    /// Number of words where the as-shipped (`v1`) models disagree —
+    /// the paper's Table I decode-edge differences. Informational.
+    pub v1_disagreement_count: u64,
+    /// First [`SAMPLE_CAP`] `v1` disagreement words, in sweep order.
+    pub v1_samples: Vec<u32>,
+}
+
+impl CrossModelReport {
+    /// Number of gating findings.
+    #[must_use]
+    pub fn findings(&self) -> usize {
+        self.fixed_disagreements.len() + self.decode_mismatches.len()
+    }
+}
+
+/// Classifies `word` under the ISS: does its first retirement trap with
+/// cause 2?
+#[must_use]
+pub fn iss_illegal(word: u32, config: &IssConfig) -> bool {
+    let mut dom = ConcreteDomain::new();
+    let mut iss = Iss::new(&mut dom, config.clone());
+    let mut bus: ArrayBus<ConcreteDomain> = ArrayBus::new(16);
+    let rvfi = iss.step(&mut dom, &mut bus, word);
+    rvfi.trap && rvfi.trap_cause == Some(CAUSE_ILLEGAL)
+}
+
+/// Classifies `word` under the MicroRV32 core: the core is cycled with an
+/// always-ready instruction/data bus until its first retirement; the word
+/// is illegal when that retirement traps with cause 2.
+///
+/// # Panics
+///
+/// Panics if the core fails to retire within [`CORE_CYCLE_BUDGET`] cycles
+/// (impossible with an always-ready bus).
+#[must_use]
+pub fn core_illegal(word: u32, config: &CoreConfig) -> bool {
+    let mut dom = ConcreteDomain::new();
+    let mut core = Core::new(&mut dom, config.clone());
+    for _ in 0..CORE_CYCLE_BUDGET {
+        let outputs = core.cycle(
+            &mut dom,
+            IBusResponse {
+                instruction_ready: true,
+                instruction: word,
+            },
+            DBusResponse {
+                data_ready: true,
+                read_data: 0,
+            },
+        );
+        if let Some(rvfi) = outputs.rvfi {
+            return rvfi.trap && rvfi.trap_cause == Some(CAUSE_ILLEGAL);
+        }
+    }
+    panic!("core did not retire 0x{word:08x} within {CORE_CYCLE_BUDGET} cycles");
+}
+
+/// The structured probe set: every (opcode, funct3, funct7) combination
+/// with zeroed operand fields, a SYSTEM funct3=0 sweep over rs2/rd/rs1,
+/// and the full 4096-entry CSR address space for every Zicsr funct3.
+fn sweep_words() -> Vec<u32> {
+    let mut words = Vec::new();
+    // Every decode rule's mask lives inside opcode|funct3|funct7, so this
+    // covers at least one word of every rule and of every residual cube
+    // with small-field structure.
+    for opcode in 0..128u32 {
+        for funct3 in 0..8u32 {
+            for funct7 in 0..128u32 {
+                words.push(opcode | (funct3 << 12) | (funct7 << 25));
+            }
+        }
+    }
+    // SYSTEM funct3=0 is the privileged corner: ECALL/EBREAK/MRET/WFI are
+    // exact encodings, so near-misses in rs2/rd/rs1 must stay illegal.
+    for funct7 in 0..128u32 {
+        for rs2 in [0u32, 1, 2, 5, 31] {
+            for (rd, rs1) in [(0u32, 0u32), (1, 0), (0, 1)] {
+                words
+                    .push(opcodes::SYSTEM | (rd << 7) | (rs1 << 15) | (rs2 << 20) | (funct7 << 25));
+            }
+        }
+    }
+    // The full CSR address space for every Zicsr flavour: address legality
+    // is where the shipped models disagree (Table I).
+    for funct3 in [1u32, 2, 3, 5, 6, 7] {
+        for addr in 0..4096u32 {
+            for (rd, rs1) in [(0u32, 0u32), (1, 0), (0, 1), (1, 1)] {
+                words.push(
+                    opcodes::SYSTEM | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (addr << 20),
+                );
+            }
+        }
+    }
+    words.sort_unstable();
+    words.dedup();
+    words
+}
+
+/// Whether execution-time illegality of a decoded instruction depends on
+/// more than the decode table (CSR address legality is decided at
+/// execution, not decode).
+fn execution_dependent(instr: &Instr) -> bool {
+    matches!(instr, Instr::Csr { .. } | Instr::CsrImm { .. })
+}
+
+/// Runs the sweeps and assembles the report.
+#[must_use]
+pub fn analyze() -> CrossModelReport {
+    let iss_fixed = IssConfig::fixed();
+    let core_fixed = CoreConfig::fixed();
+    let iss_v1 = IssConfig::vp_v1();
+    let core_v1 = CoreConfig::microrv32_v1();
+
+    let words = sweep_words();
+    let mut fixed_disagreements = Vec::new();
+    let mut decode_mismatches = Vec::new();
+    let mut v1_disagreement_count = 0u64;
+    let mut v1_samples = Vec::new();
+
+    for &word in &words {
+        let iss_says = iss_illegal(word, &iss_fixed);
+        let core_says = core_illegal(word, &core_fixed);
+        if iss_says != core_says {
+            fixed_disagreements.push(CrossFinding {
+                word,
+                detail: format!(
+                    "fixed models disagree: ISS says {}, core says {}",
+                    illegality(iss_says),
+                    illegality(core_says)
+                ),
+            });
+        }
+        match decode(word) {
+            Err(_) => {
+                // Statically illegal: both corrected models must trap.
+                for (model, says) in [("ISS", iss_says), ("core", core_says)] {
+                    if !says {
+                        decode_mismatches.push(CrossFinding {
+                            word,
+                            detail: format!(
+                                "decode table rejects the word but the fixed {model} \
+                                 retires it without an illegal-instruction trap"
+                            ),
+                        });
+                    }
+                }
+            }
+            Ok(instr) => {
+                // Statically legal: no illegal trap, unless legality also
+                // depends on execution state (CSR addresses).
+                if !execution_dependent(&instr) {
+                    for (model, says) in [("ISS", iss_says), ("core", core_says)] {
+                        if says {
+                            decode_mismatches.push(CrossFinding {
+                                word,
+                                detail: format!(
+                                    "decode table accepts the word ({instr:?}) but the \
+                                     fixed {model} raises an illegal-instruction trap"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if iss_illegal(word, &iss_v1) != core_illegal(word, &core_v1) {
+            v1_disagreement_count += 1;
+            if v1_samples.len() < SAMPLE_CAP {
+                v1_samples.push(word);
+            }
+        }
+    }
+
+    CrossModelReport {
+        words_swept: words.len() as u64,
+        fixed_disagreements,
+        decode_mismatches,
+        v1_disagreement_count,
+        v1_samples,
+    }
+}
+
+fn illegality(illegal: bool) -> &'static str {
+    if illegal {
+        "illegal"
+    } else {
+        "legal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_encodings_are_legal_in_both_fixed_models() {
+        // ECALL, EBREAK, MRET, WFI.
+        for word in [0x0000_0073, 0x0010_0073, 0x3020_0073, 0x1050_0073] {
+            assert!(!iss_illegal(word, &IssConfig::fixed()), "{word:#010x}");
+            assert!(!core_illegal(word, &CoreConfig::fixed()), "{word:#010x}");
+        }
+    }
+
+    #[test]
+    fn garbage_words_are_illegal_in_both_fixed_models() {
+        // All-zero, all-ones and a compressed-looking word.
+        for word in [0x0000_0000, 0xffff_ffff, 0x0000_4501] {
+            assert!(iss_illegal(word, &IssConfig::fixed()), "{word:#010x}");
+            assert!(core_illegal(word, &CoreConfig::fixed()), "{word:#010x}");
+        }
+    }
+
+    #[test]
+    fn wfi_is_a_table1_decode_edge() {
+        // The shipped VP treats WFI as a NOP while the shipped core traps:
+        // the exact Table I disagreement the sweep must surface.
+        let wfi = 0x1050_0073;
+        assert!(!iss_illegal(wfi, &IssConfig::vp_v1()));
+        assert!(core_illegal(wfi, &CoreConfig::microrv32_v1()));
+    }
+
+    #[test]
+    fn sweep_covers_every_decode_rule() {
+        let words = sweep_words();
+        for rule in symcosim_isa::DECODE_TABLE {
+            assert!(
+                words.iter().any(|&w| rule.matches(w)),
+                "sweep misses rule {}",
+                rule.name
+            );
+        }
+    }
+}

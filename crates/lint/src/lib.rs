@@ -1,0 +1,48 @@
+//! Static analysis for the symcosim workspace: decode-space theorems,
+//! cross-model agreement sweeps and a symbolic-IR well-formedness pass.
+//!
+//! The verification flow of the paper trusts two artefacts it never
+//! checks: the RV32I+Zicsr *decode table* both models are generated from,
+//! and the *symbolic term DAGs* the engine builds while exploring them.
+//! This crate closes both gaps without a solver in the loop:
+//!
+//! * [`pattern`] — a ternary cube algebra over the 2^32 instruction-word
+//!   space. Every decode rule is a cube `(mask, value)`; cube subtraction
+//!   and pairwise overlap tests decide set questions exactly, with no
+//!   enumeration.
+//! * [`decode_space`] — four theorems over the shared
+//!   [`DECODE_TABLE`](symcosim_isa::DECODE_TABLE): *disjointness* (no two
+//!   rules overlap), *completeness* (rules plus the residual illegal set
+//!   partition the space, with the exact counts), *encoder consistency*
+//!   (every encoder lands inside its own rule and decodes back) and
+//!   grounding probes against the real decoder.
+//! * [`cross`] — concrete sweeps driving the reference ISS and the
+//!   MicroRV32 core one instruction at a time: the corrected models must
+//!   classify exactly the decode table's complement as illegal;
+//!   as-shipped (`v1`) disagreements are the paper's Table I decode
+//!   edges, reported as concrete counterexample words.
+//! * [`ir`] — the symbolic-IR well-formedness pass
+//!   ([`symcosim_symex::wf`]) run over the path conditions of a real
+//!   symbolic co-simulation, plus an executable audit of the `x0`
+//!   write-discard choke points in both models.
+//! * [`report`] — human-readable and versioned-JSON report assembly
+//!   ([`report::SCHEMA`]).
+//!
+//! The `symcosim-lint` binary wires the passes to the command line and
+//! exits nonzero on any gating finding; `scripts/ci.sh` runs it with
+//! `--all --json` on every push.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cross;
+pub mod decode_space;
+pub mod ir;
+pub mod pattern;
+pub mod report;
+
+pub use cross::CrossModelReport;
+pub use decode_space::DecodeSpaceReport;
+pub use ir::IrReport;
+pub use pattern::{Pattern, PatternSet};
+pub use report::LintReport;

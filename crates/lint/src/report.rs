@@ -1,0 +1,414 @@
+//! Report assembly: human-readable text and a stable JSON rendering.
+//!
+//! The JSON schema is versioned (the top-level `schema` key) and emitted
+//! with a fixed field order and fixed formatting, so the CI gate and the
+//! golden-file test can compare reports byte-for-byte. Counterexample
+//! *samples* are capped ([`crate::cross::SAMPLE_CAP`]); every count is
+//! exact.
+
+use std::fmt;
+
+use crate::cross::CrossModelReport;
+use crate::decode_space::DecodeSpaceReport;
+use crate::ir::IrReport;
+
+/// Version tag of the JSON report layout.
+pub const SCHEMA: &str = "symcosim-lint/1";
+
+/// The combined lint report. Sections are optional so the CLI can run any
+/// subset of the passes; absent sections render as JSON `null`.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Decode-space theorems (completeness, disjointness, encoder
+    /// consistency).
+    pub decode: Option<DecodeSpaceReport>,
+    /// Cross-model illegal-instruction agreement sweeps.
+    pub cross: Option<CrossModelReport>,
+    /// Symbolic-IR well-formedness pass and `x0` audit.
+    pub ir: Option<IrReport>,
+}
+
+impl LintReport {
+    /// Total number of gating findings across all sections.
+    #[must_use]
+    pub fn findings(&self) -> usize {
+        self.decode.as_ref().map_or(0, DecodeSpaceReport::findings)
+            + self.cross.as_ref().map_or(0, CrossModelReport::findings)
+            + self.ir.as_ref().map_or(0, IrReport::findings)
+    }
+
+    /// Renders the report as stable, pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.string_field("schema", SCHEMA);
+        match &self.decode {
+            None => w.null_field("decode_space"),
+            Some(decode) => {
+                w.object_field("decode_space");
+                w.number_field("rules", decode.rules as u64);
+                w.number_field("legal_words", decode.legal_words);
+                w.number_field("illegal_words", decode.illegal_words);
+                w.number_field("residual_cubes", decode.residual_cubes as u64);
+                w.array_field("overlaps", decode.overlaps.len(), |w, i| {
+                    let o = &decode.overlaps[i];
+                    w.open_object();
+                    w.string_field("first", o.first);
+                    w.string_field("second", o.second);
+                    w.string_field("word", &hex(o.word));
+                    w.close_object();
+                });
+                w.array_field(
+                    "completeness_violations",
+                    decode.completeness_violations.len(),
+                    |w, i| {
+                        let v = &decode.completeness_violations[i];
+                        w.open_object();
+                        w.string_field("word", &hex(v.word));
+                        w.string_field("detail", &v.detail);
+                        w.close_object();
+                    },
+                );
+                w.array_field(
+                    "encode_violations",
+                    decode.encode_violations.len(),
+                    |w, i| {
+                        let v = &decode.encode_violations[i];
+                        w.open_object();
+                        w.string_field("word", &hex(v.word));
+                        w.string_field("rule", v.rule);
+                        w.string_field("detail", &v.detail);
+                        w.close_object();
+                    },
+                );
+                w.close_object();
+            }
+        }
+        match &self.cross {
+            None => w.null_field("cross_model"),
+            Some(cross) => {
+                w.object_field("cross_model");
+                w.number_field("words_swept", cross.words_swept);
+                w.array_field(
+                    "fixed_disagreements",
+                    cross.fixed_disagreements.len(),
+                    |w, i| {
+                        let f = &cross.fixed_disagreements[i];
+                        w.open_object();
+                        w.string_field("word", &hex(f.word));
+                        w.string_field("detail", &f.detail);
+                        w.close_object();
+                    },
+                );
+                w.array_field(
+                    "decode_mismatches",
+                    cross.decode_mismatches.len(),
+                    |w, i| {
+                        let f = &cross.decode_mismatches[i];
+                        w.open_object();
+                        w.string_field("word", &hex(f.word));
+                        w.string_field("detail", &f.detail);
+                        w.close_object();
+                    },
+                );
+                w.number_field("v1_disagreement_count", cross.v1_disagreement_count);
+                w.array_field("v1_samples", cross.v1_samples.len(), |w, i| {
+                    w.string_value(&hex(cross.v1_samples[i]));
+                });
+                w.close_object();
+            }
+        }
+        match &self.ir {
+            None => w.null_field("ir"),
+            Some(ir) => {
+                w.object_field("ir");
+                w.number_field("paths_checked", ir.paths_checked as u64);
+                w.array_field("violations", ir.violations.len(), |w, i| {
+                    w.string_value(&ir.violations[i]);
+                });
+                w.number_field("advisories", ir.advisories);
+                w.number_field("x0_cases", ir.x0_cases as u64);
+                w.array_field("x0_violations", ir.x0_violations.len(), |w, i| {
+                    w.string_value(&ir.x0_violations[i]);
+                });
+                w.close_object();
+            }
+        }
+        w.number_field("findings", self.findings() as u64);
+        w.string_field(
+            "status",
+            if self.findings() == 0 {
+                "clean"
+            } else {
+                "findings"
+            },
+        );
+        w.close_object();
+        w.finish()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(decode) = &self.decode {
+            writeln!(f, "decode space:")?;
+            writeln!(
+                f,
+                "  {} rules; {} legal words, {} illegal words ({} residual cubes)",
+                decode.rules, decode.legal_words, decode.illegal_words, decode.residual_cubes
+            )?;
+            for o in &decode.overlaps {
+                writeln!(
+                    f,
+                    "  OVERLAP {} / {} at 0x{:08x}",
+                    o.first, o.second, o.word
+                )?;
+            }
+            for v in &decode.completeness_violations {
+                writeln!(f, "  COMPLETENESS 0x{:08x}: {}", v.word, v.detail)?;
+            }
+            for v in &decode.encode_violations {
+                writeln!(f, "  ENCODE [{}] 0x{:08x}: {}", v.rule, v.word, v.detail)?;
+            }
+            if decode.findings() == 0 {
+                writeln!(
+                    f,
+                    "  complete, disjoint and encoder-consistent (proved by cube subtraction)"
+                )?;
+            }
+        }
+        if let Some(cross) = &self.cross {
+            writeln!(
+                f,
+                "cross-model agreement ({} words swept):",
+                cross.words_swept
+            )?;
+            for finding in &cross.fixed_disagreements {
+                writeln!(f, "  FIXED-DISAGREEMENT {finding}")?;
+            }
+            for finding in &cross.decode_mismatches {
+                writeln!(f, "  DECODE-MISMATCH {finding}")?;
+            }
+            if cross.findings() == 0 {
+                writeln!(
+                    f,
+                    "  corrected models agree with each other and the decode table"
+                )?;
+            }
+            writeln!(
+                f,
+                "  {} expected as-shipped (Table I) disagreements, e.g.:",
+                cross.v1_disagreement_count
+            )?;
+            for word in &cross.v1_samples {
+                writeln!(f, "    0x{word:08x}")?;
+            }
+        }
+        if let Some(ir) = &self.ir {
+            writeln!(
+                f,
+                "symbolic IR: {} paths checked, {} advisories; x0 audit over {} cases",
+                ir.paths_checked, ir.advisories, ir.x0_cases
+            )?;
+            for v in &ir.violations {
+                writeln!(f, "  IR-VIOLATION {v}")?;
+            }
+            for v in &ir.x0_violations {
+                writeln!(f, "  X0-VIOLATION {v}")?;
+            }
+            if ir.findings() == 0 {
+                writeln!(f, "  all path conditions well-formed, x0 writes discarded")?;
+            }
+        }
+        let findings = self.findings();
+        if findings == 0 {
+            writeln!(f, "lint: clean")
+        } else {
+            writeln!(f, "lint: {findings} findings")
+        }
+    }
+}
+
+fn hex(word: u32) -> String {
+    format!("0x{word:08x}")
+}
+
+/// Minimal pretty-printing JSON emitter with a fixed layout: two-space
+/// indentation, one field per line, no trailing spaces — deliberately
+/// boring so reports diff cleanly.
+struct JsonWriter {
+    out: String,
+    indent: usize,
+    /// Whether the current container already has an entry (comma control).
+    has_entry: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            indent: 0,
+            has_entry: Vec::new(),
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn begin_entry(&mut self) {
+        if let Some(has_entry) = self.has_entry.last_mut() {
+            if *has_entry {
+                self.out.push(',');
+            }
+            *has_entry = true;
+        }
+        if !self.has_entry.is_empty() {
+            self.newline_indent();
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        self.begin_entry();
+        self.out.push('"');
+        self.out.push_str(name);
+        self.out.push_str("\": ");
+    }
+
+    fn open_object(&mut self) {
+        self.out.push('{');
+        self.indent += 1;
+        self.has_entry.push(false);
+    }
+
+    fn close_object(&mut self) {
+        let had_entries = self.has_entry.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had_entries {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    fn object_field(&mut self, name: &str) {
+        self.key(name);
+        self.open_object();
+    }
+
+    fn null_field(&mut self, name: &str) {
+        self.key(name);
+        self.out.push_str("null");
+    }
+
+    fn string_field(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.push_json_string(value);
+    }
+
+    fn number_field(&mut self, name: &str, value: u64) {
+        self.key(name);
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Emits `"name": [...]` with `len` elements produced by `emit`
+    /// (which writes one value per call via the `*_value` helpers).
+    fn array_field(
+        &mut self,
+        name: &str,
+        len: usize,
+        mut emit: impl FnMut(&mut JsonWriter, usize),
+    ) {
+        self.key(name);
+        if len == 0 {
+            self.out.push_str("[]");
+            return;
+        }
+        self.out.push('[');
+        self.indent += 1;
+        self.has_entry.push(false);
+        for index in 0..len {
+            self.begin_entry();
+            // The element itself must not re-trigger comma handling.
+            let depth = self.has_entry.len();
+            self.has_entry.push(false);
+            emit(self, index);
+            self.has_entry.truncate(depth);
+        }
+        self.has_entry.pop();
+        self.indent -= 1;
+        self.newline_indent();
+        self.out.push(']');
+    }
+
+    /// Writes a bare string value (array element).
+    fn string_value(&mut self, value: &str) {
+        self.push_json_string(value);
+    }
+
+    fn push_json_string(&mut self, value: &str) {
+        self.out.push('"');
+        for ch in value.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\t' => self.out.push_str("\\t"),
+                '\r' => self.out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_renders_null_sections() {
+        let report = LintReport::default();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert!(json.contains("\"schema\": \"symcosim-lint/1\""));
+        assert!(json.contains("\"decode_space\": null"));
+        assert!(json.contains("\"cross_model\": null"));
+        assert!(json.contains("\"ir\": null"));
+        assert!(json.contains("\"status\": \"clean\""));
+    }
+
+    #[test]
+    fn string_escaping_is_json_safe() {
+        let mut w = JsonWriter::new();
+        w.push_json_string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn findings_sum_across_sections() {
+        let report = LintReport {
+            ir: Some(crate::ir::IrReport {
+                paths_checked: 1,
+                violations: vec!["v".into()],
+                advisories: 0,
+                x0_cases: 0,
+                x0_violations: vec!["w".into()],
+            }),
+            ..LintReport::default()
+        };
+        assert_eq!(report.findings(), 2);
+        assert!(report.to_json().contains("\"status\": \"findings\""));
+    }
+}

@@ -1,0 +1,35 @@
+//! Golden-file test for the `--json` report schema.
+//!
+//! The JSON rendering is a machine interface (CI parses it, the schema
+//! key versions it), so its exact bytes are pinned: stable field order,
+//! stable formatting, deterministic pass results. Any intentional layout
+//! change must bump [`symcosim_lint::report::SCHEMA`] and regenerate the
+//! golden file with
+//! `cargo run --release -p symcosim-lint -- --all --json`.
+
+use symcosim_lint::{cross, decode_space, ir, LintReport};
+
+#[test]
+fn json_report_matches_the_golden_file() {
+    let report = LintReport {
+        decode: Some(decode_space::analyze()),
+        cross: Some(cross::analyze()),
+        ir: Some(ir::analyze()),
+    };
+    let rendered = report.to_json();
+    let golden = include_str!("golden/report.json");
+    assert_eq!(
+        rendered, golden,
+        "JSON report drifted from tests/golden/report.json; if the change \
+         is intentional, bump report::SCHEMA and regenerate the golden file"
+    );
+}
+
+#[test]
+fn schema_key_is_versioned() {
+    let golden = include_str!("golden/report.json");
+    assert!(golden.contains(&format!(
+        "\"schema\": \"{}\"",
+        symcosim_lint::report::SCHEMA
+    )));
+}

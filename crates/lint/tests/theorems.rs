@@ -1,0 +1,65 @@
+//! Integration wrappers pinning the four decode-space theorems and the
+//! IR pass as plain `cargo test` gates (the same checks `symcosim-lint
+//! --all` runs, exposed to the default test suite).
+
+use symcosim_isa::DECODE_TABLE;
+use symcosim_lint::{cross, decode_space, ir};
+
+/// Theorem 1 (disjointness): no two decode rules share a word.
+#[test]
+fn theorem_disjointness() {
+    assert!(decode_space::check_disjointness().is_empty());
+}
+
+/// Theorem 2 (completeness): the rules plus the residual illegal set
+/// partition the 2^32 word space, and the exact legal count matches the
+/// table's mask structure.
+#[test]
+fn theorem_completeness() {
+    let residual = decode_space::illegal_space();
+    assert!(decode_space::check_completeness(&residual).is_empty());
+    let legal: u64 = DECODE_TABLE
+        .iter()
+        .map(|rule| 1u64 << (32 - rule.mask.count_ones()))
+        .sum();
+    assert_eq!(legal + residual.count(), 1u64 << 32);
+}
+
+/// Theorem 3 (encoder consistency): every encoder lands inside its own
+/// decode rule and decodes back to the instruction it encoded.
+#[test]
+fn theorem_encode_consistency() {
+    assert!(decode_space::check_encode_consistency().is_empty());
+}
+
+/// Theorem 4 (cross-model agreement): the corrected ISS and core classify
+/// exactly the decode table's complement as illegal — no disagreement
+/// with each other, none with the table.
+#[test]
+fn theorem_cross_model_agreement() {
+    let report = cross::analyze();
+    assert!(
+        report.fixed_disagreements.is_empty(),
+        "{:#?}",
+        report.fixed_disagreements
+    );
+    assert!(
+        report.decode_mismatches.is_empty(),
+        "{:#?}",
+        report.decode_mismatches
+    );
+    // The as-shipped models *must* disagree: Table I's decode edges.
+    assert!(report.v1_disagreement_count > 0);
+}
+
+/// The symbolic-IR well-formedness pass is clean on real path conditions.
+#[test]
+fn ir_pass_is_clean() {
+    let report = ir::analyze();
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert!(
+        report.x0_violations.is_empty(),
+        "{:#?}",
+        report.x0_violations
+    );
+}

@@ -190,6 +190,14 @@ impl<D: Domain> Core<D> {
         value
     }
 
+    /// Writes a register selected by a (possibly symbolic) index word;
+    /// `x0` stays hardwired to zero.
+    ///
+    /// The single architectural choke point for register writes: every rd
+    /// update in [`Core::retire`] funnels through here (the testbench-only
+    /// [`Core::set_register`] carries the same guard), so the x0 invariant
+    /// holds by construction. `symcosim-lint --ir` re-checks it executably
+    /// against both models.
     fn write_reg(&mut self, dom: &mut D, index: D::Word, value: D::Word) {
         if let Some(i) = dom.word_value(index) {
             if i & 0x1f != 0 {

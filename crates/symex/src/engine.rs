@@ -255,6 +255,10 @@ impl Engine {
             max_decisions: self.config.max_decisions_per_path,
         };
         let value = f(&mut exec);
+        // Debug builds re-validate the path condition after every path
+        // (node-local checks only; the full pass is SymExec::lint_path).
+        #[cfg(debug_assertions)]
+        crate::wf::debug_validate_path(exec.ctx, &exec.constraints);
         let SymExec {
             taken,
             constraints,
@@ -430,6 +434,13 @@ impl SymExec<'_> {
     /// to hold, e.g. after a mismatch witness has been found).
     pub fn add_constraint(&mut self, cond: TermId) {
         self.constraints.push(cond);
+    }
+
+    /// Runs the full [well-formedness pass](crate::wf::validate_path) over
+    /// this path's condition and symbolic reads.
+    #[must_use]
+    pub fn lint_path(&self) -> Vec<crate::wf::WfIssue> {
+        crate::wf::validate_path(self.ctx, &self.constraints, &self.path_symbols)
     }
 
     fn kill(&mut self, status: PathStatus) {

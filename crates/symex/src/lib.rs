@@ -59,6 +59,7 @@ mod eval;
 mod solve;
 mod term;
 mod testvec;
+pub mod wf;
 
 pub use context::Context;
 pub use display::ContextStats;

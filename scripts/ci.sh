@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # The repo's tier-1 gate, runnable locally and from CI:
-#   build, tests, formatting, lints.
+#   build, tests, static analysis, formatting, lints.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +9,9 @@ cargo build --release
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> symcosim-lint --all --json"
+cargo run --release -p symcosim-lint -- --all --json > /dev/null
 
 echo "==> cargo fmt --check"
 cargo fmt --check
