@@ -1,0 +1,166 @@
+//! Paths-per-second microbenchmark of the two path engines.
+//!
+//! Runs the same frontier-drained exploration — corrected models,
+//! generation restricted to the OP major opcode — once with the
+//! re-execution engine and once with the fork engine, and reports the
+//! throughput ratio. At instruction limit `d` the re-execution engine
+//! re-runs up to `d - 1` instructions for every sibling forked at the
+//! last decision level, while the fork engine resumes from a snapshot
+//! taken at the enclosing instruction boundary, so the fork advantage
+//! grows with the instruction limit.
+//!
+//! Both engines issue the *identical* sequence of solver queries (the
+//! printed solve counts match), so the measured gap is purely
+//! replay-versus-snapshot overhead. The feasibility-query cache narrows
+//! that gap: a replayed prefix answers its branch decisions from the
+//! cache instead of the SAT solver, which makes re-execution far cheaper
+//! than it would be uncached and keeps the ratio modest in shallow,
+//! solver-dominated regimes.
+//!
+//! Emits `BENCH_pathengine.json` into the working directory and prints
+//! the same numbers to stdout. The benchmark is informational
+//! (non-gating): it always exits 0, whatever the measured ratio.
+//!
+//! Run with: `cargo run --release -p symcosim-bench --bin pathengine`
+//! Optional: `--paths N` bounds the explored paths per engine (default
+//! 200; the OP space at limit 2 exhausts below that, so the default
+//! measures the full space); `--limit N` sets the instruction limit of
+//! the primary comparison (default 2); `--smoke` is a fast CI mode
+//! (24 paths, primary row only). A full run also measures a deeper
+//! limit-4 row to show how the ratio scales with path depth.
+
+use std::time::Instant;
+
+use symcosim_core::{EngineKind, InstrConstraint, SessionConfig, VerifySession};
+use symcosim_isa::opcodes;
+
+struct Measurement {
+    kind: EngineKind,
+    paths: usize,
+    findings: usize,
+    wall_ms: u64,
+    paths_per_sec: f64,
+}
+
+fn bench_config(max_paths: usize, instr_limit: u32) -> SessionConfig {
+    let mut config = SessionConfig::rv32i_only();
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::OP);
+    config.instr_limit = instr_limit;
+    config.cycle_limit = 64 * instr_limit as u64;
+    config.max_paths = max_paths;
+    // Isolate path-engine throughput: per-path test-vector emission
+    // re-solves the full path condition on a fresh solver, a cost that is
+    // identical in both engines and would dilute the measured ratio.
+    config.emit_test_vectors = false;
+    config
+}
+
+fn run_engine(kind: EngineKind, max_paths: usize, instr_limit: u32) -> Measurement {
+    let mut config = bench_config(max_paths, instr_limit);
+    config.engine = kind;
+    let start = Instant::now();
+    let report = VerifySession::new(config)
+        .expect("valid configuration")
+        .run();
+    let wall = start.elapsed();
+    let paths = report.total_paths();
+    eprintln!(
+        "  [{kind} @ limit {instr_limit}] solver: {} solves, {} conflicts; \
+         cache: {} hits, {} misses",
+        report.solver_stats.solves,
+        report.solver_stats.conflicts,
+        report.query_cache.hits,
+        report.query_cache.misses
+    );
+    Measurement {
+        kind,
+        paths,
+        findings: report.findings.len(),
+        wall_ms: wall.as_millis() as u64,
+        paths_per_sec: paths as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Runs both engines at one instruction limit and returns
+/// `(reexec, fork, speedup)` after checking they explored the same space.
+fn compare(max_paths: usize, instr_limit: u32) -> (Measurement, Measurement, f64) {
+    let reexec = run_engine(EngineKind::Reexec, max_paths, instr_limit);
+    let fork = run_engine(EngineKind::Fork, max_paths, instr_limit);
+    assert_eq!(
+        (reexec.paths, reexec.findings),
+        (fork.paths, fork.findings),
+        "the engines must explore the same path set"
+    );
+    for m in [&reexec, &fork] {
+        println!(
+            "{:<8} limit {:>2} {:>6} paths  {:>8} ms  {:>10.2} paths/s",
+            m.kind.to_string(),
+            instr_limit,
+            m.paths,
+            m.wall_ms,
+            m.paths_per_sec
+        );
+    }
+    let speedup = fork.paths_per_sec / reexec.paths_per_sec.max(1e-9);
+    println!("fork/reexec speedup at limit {instr_limit}: {speedup:.2}x\n");
+    (reexec, fork, speedup)
+}
+
+fn json_entry(m: &Measurement) -> String {
+    format!(
+        "{{\"paths\":{},\"findings\":{},\"wall_ms\":{},\"paths_per_sec\":{:.2}}}",
+        m.paths, m.findings, m.wall_ms, m.paths_per_sec
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let max_paths = args
+        .iter()
+        .position(|a| a == "--paths")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 24 } else { 200 });
+    let instr_limit = args
+        .iter()
+        .position(|a| a == "--limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    println!(
+        "path-engine throughput (OnlyOpcode(OP), instruction limit \
+         {instr_limit}, up to {max_paths} paths per engine)\n"
+    );
+    let (reexec, fork, speedup) = compare(max_paths, instr_limit);
+
+    let deep = if smoke {
+        None
+    } else {
+        let deep_limit = 4;
+        let (r, f, s) = compare(max_paths, deep_limit);
+        Some((deep_limit, r, f, s))
+    };
+
+    let deep_json = match &deep {
+        None => String::new(),
+        Some((limit, r, f, s)) => format!(
+            ",\"deep\":{{\"instr_limit\":{limit},\"reexec\":{},\"fork\":{},\
+             \"speedup\":{s:.2}}}",
+            json_entry(r),
+            json_entry(f)
+        ),
+    };
+    let json = format!(
+        "{{\"bench\":\"pathengine\",\"smoke\":{smoke},\
+         \"config\":{{\"constraint\":\"OnlyOpcode(OP)\",\"instr_limit\":{instr_limit},\
+         \"max_paths\":{max_paths}}},\
+         \"reexec\":{},\"fork\":{},\"speedup\":{speedup:.2}{deep_json}}}\n",
+        json_entry(&reexec),
+        json_entry(&fork)
+    );
+    std::fs::write("BENCH_pathengine.json", json).expect("write BENCH_pathengine.json");
+    println!("wrote BENCH_pathengine.json");
+}

@@ -23,7 +23,8 @@ use symcosim_core::{
     Finding, FindingClass, InstrConstraint, SessionConfig, VerifyReport, VerifySession,
 };
 
-fn run_phase(config: SessionConfig, opts: RunOpts) -> VerifyReport {
+fn run_phase(mut config: SessionConfig, opts: RunOpts) -> VerifyReport {
+    opts.apply(&mut config);
     run_session(
         VerifySession::new(config).expect("valid configuration"),
         opts,

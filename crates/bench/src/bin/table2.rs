@@ -35,6 +35,7 @@ fn run_one(error: InjectedError, instr_limit: u32, opts: RunOpts) -> Row {
         // preserving completeness.
         config.strategy = symcosim_symex::SearchStrategy::Bfs;
     }
+    opts.apply(&mut config);
     let start = Instant::now();
     let session = VerifySession::new(config).expect("valid configuration");
     let report = run_session(session, opts);

@@ -11,7 +11,9 @@ use std::error::Error;
 use std::io::{IsTerminal, Read};
 
 use symcosim_core::fuzz::{self, FuzzConfig};
-use symcosim_core::{InstrConstraint, ProgressEvent, SessionConfig, VerifyReport, VerifySession};
+use symcosim_core::{
+    EngineKind, InstrConstraint, ProgressEvent, SessionConfig, VerifyReport, VerifySession,
+};
 use symcosim_microrv32::InjectedError;
 
 const USAGE: &str = "\
@@ -19,17 +21,20 @@ symcosim — symbolic co-simulation for RISC-V processor verification
 
 USAGE:
     symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
-                        [--jobs N] [--seed N] [--lint]
+                        [--jobs N] [--seed N] [--engine fork|reexec] [--lint]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
         symbolic registers (default 2). --jobs explores paths on N worker
         threads (same report, any N); --seed seeds randomised search.
+        --engine selects the path engine: fork (default) resumes sibling
+        paths from copy-on-write snapshots, reexec replays each decision
+        prefix from the root — both produce the identical report.
         --lint runs the symbolic-IR well-formedness pass over every path
         and appends the issues to the report.
 
     symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
-                        [--fuzz] [--hybrid]
+                        [--engine fork|reexec] [--fuzz] [--hybrid]
         Seed one of the paper's Table II faults into the core and hunt it
         symbolically (default), by fuzzing (--fuzz), or hybrid (--hybrid).
 
@@ -74,6 +79,16 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, Box<dyn Error>
             .get(pos + 1)
             .ok_or_else(|| format!("{flag} expects a value"))?;
         return Ok(Some(value.parse()?));
+    }
+    Ok(None)
+}
+
+fn flag_engine(args: &[String]) -> Result<Option<EngineKind>, Box<dyn Error>> {
+    if let Some(pos) = args.iter().position(|a| a == "--engine") {
+        let value = args.get(pos + 1).ok_or("--engine expects a value")?;
+        let kind = EngineKind::parse(value)
+            .ok_or_else(|| format!("unknown engine {value:?} (expected fork or reexec)"))?;
+        return Ok(Some(kind));
     }
     Ok(None)
 }
@@ -139,6 +154,9 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     if args.iter().any(|a| a == "--lint") {
         config.lint_ir = true;
     }
+    if let Some(engine) = flag_engine(args)? {
+        config.engine = engine;
+    }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
     let report = run_session(VerifySession::new(config)?, jobs);
     print!("{report}");
@@ -166,6 +184,9 @@ fn cmd_inject(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if let Some(seed) = flag_value(args, "--seed")? {
         session.seed = seed;
+    }
+    if let Some(engine) = flag_engine(args)? {
+        session.engine = engine;
     }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
 

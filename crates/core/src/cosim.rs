@@ -46,6 +46,11 @@ pub type CosimOutcome = CosimResult;
 /// instruction stream, and votes after every retirement. In symbolic mode
 /// this happens inside an [`Engine::explore`](symcosim_symex::Engine)
 /// closure; in concrete mode it is the fuzzing baseline's inner loop.
+///
+/// The loop is exposed at instruction granularity too:
+/// [`CoSim::step_instr`] advances one retire-and-vote round, and `run` is
+/// just its loop. The fork engine snapshots (clones) the whole `CoSim`
+/// between steps, which is why every field is plain data.
 #[derive(Debug)]
 pub struct CoSim<D: Domain> {
     /// The device under test.
@@ -63,6 +68,34 @@ pub struct CoSim<D: Domain> {
     cycle_limit: u64,
     compare_memory: bool,
     last_insn: Option<D::Word>,
+    // Loop state, kept in fields so a clone resumes mid-run.
+    next_instr: u64,
+    instructions: u64,
+    pending_fetch: Option<D::Word>,
+    pending_data: Option<D::Word>,
+}
+
+// Manual impl: a derived Clone would demand `D: Clone`, and the
+// fork-engine executor that drives snapshots is not cloneable.
+impl<D: Domain> Clone for CoSim<D> {
+    fn clone(&self) -> CoSim<D> {
+        CoSim {
+            core: self.core.clone(),
+            iss: self.iss.clone(),
+            imem: self.imem.clone(),
+            core_dmem: self.core_dmem.clone(),
+            iss_dmem: self.iss_dmem.clone(),
+            voter: self.voter.clone(),
+            instr_limit: self.instr_limit,
+            cycle_limit: self.cycle_limit,
+            compare_memory: self.compare_memory,
+            last_insn: self.last_insn,
+            next_instr: self.next_instr,
+            instructions: self.instructions,
+            pending_fetch: self.pending_fetch,
+            pending_data: self.pending_data,
+        }
+    }
 }
 
 impl<D: Domain> CoSim<D> {
@@ -112,6 +145,10 @@ impl<D: Domain> CoSim<D> {
             cycle_limit,
             compare_memory: true,
             last_insn: None,
+            next_instr: 0,
+            instructions: 0,
+            pending_fetch: None,
+            pending_data: None,
         }
     }
 
@@ -133,96 +170,97 @@ impl<D: Domain> CoSim<D> {
 
     /// Runs the co-simulation until mismatch, limit, or path death.
     pub fn run<J: Judge<D>>(&mut self, dom: &mut D, judge: &mut J) -> CosimResult {
-        let mut instructions = 0u64;
-        let mut pending_fetch: Option<D::Word> = None;
-        let mut pending_data: Option<D::Word> = None;
-
-        for instr_index in 0..self.instr_limit as u64 {
-            // --- Drive the RTL core to its next retirement. -------------
-            let core_retire = loop {
-                if dom.is_dead() {
-                    return CosimResult {
-                        mismatch: None,
-                        instructions,
-                        cycles: self.core.cycles(),
-                        stop: StopReason::PathDead,
-                    };
-                }
-                if self.core.cycles() >= self.cycle_limit {
-                    return CosimResult {
-                        mismatch: None,
-                        instructions,
-                        cycles: self.core.cycles(),
-                        stop: StopReason::CycleLimit,
-                    };
-                }
-                let zero = dom.const_word(0);
-                let ibus_rsp = IBusResponse {
-                    instruction_ready: pending_fetch.is_some(),
-                    instruction: pending_fetch.take().unwrap_or(zero),
-                };
-                let dbus_rsp = DBusResponse {
-                    data_ready: pending_data.is_some(),
-                    read_data: pending_data.take().unwrap_or(zero),
-                };
-                let out = self.core.cycle(dom, ibus_rsp, dbus_rsp);
-                if out.ibus.fetch_enable {
-                    pending_fetch = Some(self.imem.fetch(dom, out.ibus.address));
-                }
-                if out.dbus.enable {
-                    pending_data = Some(self.core_dmem.strobe_access(
-                        dom,
-                        out.dbus.address,
-                        out.dbus.write,
-                        out.dbus.write_data,
-                        out.dbus.strobe,
-                    ));
-                }
-                if let Some(retire) = out.rvfi {
-                    break retire;
-                }
-            };
-            instructions += 1;
-            self.last_insn = Some(core_retire.insn);
-
-            // --- The ISS follows with the same instruction stream. ------
-            let iss_pc = self.iss.pc();
-            let iss_instr = self.imem.fetch(dom, iss_pc);
-            let iss_retire = {
-                let mut bus = IssDataBus::new(&mut self.iss_dmem);
-                self.iss.step(dom, &mut bus, iss_instr)
-            };
-            instructions += 1;
-            if dom.is_dead() {
-                return CosimResult {
-                    mismatch: None,
-                    instructions,
-                    cycles: self.core.cycles(),
-                    stop: StopReason::PathDead,
-                };
-            }
-
-            // --- Vote. ---------------------------------------------------
-            let core_regs = *self.core.registers();
-            let iss_regs = *self.iss.registers();
-            if let Some(mismatch) = self.voter.compare_step(
-                dom,
-                judge,
-                instr_index,
-                &core_retire,
-                &iss_retire,
-                &core_regs,
-                &iss_regs,
-            ) {
-                return CosimResult {
-                    mismatch: Some(mismatch),
-                    instructions,
-                    cycles: self.core.cycles(),
-                    stop: StopReason::Mismatch,
-                };
+        loop {
+            if let Some(result) = self.step_instr(dom, judge) {
+                return result;
             }
         }
+    }
 
+    /// Advances the co-simulation by one instruction: drives the core to
+    /// its next retirement, lets the ISS follow, and votes. Once the
+    /// instruction limit is reached, the next call performs the end-of-run
+    /// memory comparison and yields the final result.
+    ///
+    /// Returns `Some` when the run is over, `None` while it can continue.
+    /// This is the fork engine's snapshot boundary: the whole `CoSim` is
+    /// cloneable between calls.
+    pub fn step_instr<J: Judge<D>>(&mut self, dom: &mut D, judge: &mut J) -> Option<CosimResult> {
+        if self.next_instr >= self.instr_limit as u64 {
+            return Some(self.finish(dom, judge));
+        }
+        let instr_index = self.next_instr;
+
+        // --- Drive the RTL core to its next retirement. -----------------
+        let core_retire = loop {
+            if dom.is_dead() {
+                return Some(self.result(None, StopReason::PathDead));
+            }
+            if self.core.cycles() >= self.cycle_limit {
+                return Some(self.result(None, StopReason::CycleLimit));
+            }
+            let zero = dom.const_word(0);
+            let ibus_rsp = IBusResponse {
+                instruction_ready: self.pending_fetch.is_some(),
+                instruction: self.pending_fetch.take().unwrap_or(zero),
+            };
+            let dbus_rsp = DBusResponse {
+                data_ready: self.pending_data.is_some(),
+                read_data: self.pending_data.take().unwrap_or(zero),
+            };
+            let out = self.core.cycle(dom, ibus_rsp, dbus_rsp);
+            if out.ibus.fetch_enable {
+                self.pending_fetch = Some(self.imem.fetch(dom, out.ibus.address));
+            }
+            if out.dbus.enable {
+                self.pending_data = Some(self.core_dmem.strobe_access(
+                    dom,
+                    out.dbus.address,
+                    out.dbus.write,
+                    out.dbus.write_data,
+                    out.dbus.strobe,
+                ));
+            }
+            if let Some(retire) = out.rvfi {
+                break retire;
+            }
+        };
+        self.instructions += 1;
+        self.last_insn = Some(core_retire.insn);
+
+        // --- The ISS follows with the same instruction stream. ----------
+        let iss_pc = self.iss.pc();
+        let iss_instr = self.imem.fetch(dom, iss_pc);
+        let iss_retire = {
+            let mut bus = IssDataBus::new(&mut self.iss_dmem);
+            self.iss.step(dom, &mut bus, iss_instr)
+        };
+        self.instructions += 1;
+        if dom.is_dead() {
+            return Some(self.result(None, StopReason::PathDead));
+        }
+
+        // --- Vote. ------------------------------------------------------
+        let core_regs = *self.core.registers();
+        let iss_regs = *self.iss.registers();
+        if let Some(mismatch) = self.voter.compare_step(
+            dom,
+            judge,
+            instr_index,
+            &core_retire,
+            &iss_retire,
+            &core_regs,
+            &iss_regs,
+        ) {
+            return Some(self.result(Some(mismatch), StopReason::Mismatch));
+        }
+        self.next_instr += 1;
+        None
+    }
+
+    /// End-of-run: the optional data-memory comparison and the final
+    /// result.
+    fn finish<J: Judge<D>>(&mut self, dom: &mut D, judge: &mut J) -> CosimResult {
         if self.compare_memory {
             let core_words = self.core_dmem.words().to_vec();
             let iss_words = self.iss_dmem.words().to_vec();
@@ -233,20 +271,18 @@ impl<D: Domain> CoSim<D> {
                 &core_words,
                 &iss_words,
             ) {
-                return CosimResult {
-                    mismatch: Some(mismatch),
-                    instructions,
-                    cycles: self.core.cycles(),
-                    stop: StopReason::Mismatch,
-                };
+                return self.result(Some(mismatch), StopReason::Mismatch);
             }
         }
+        self.result(None, StopReason::InstrLimit)
+    }
 
+    fn result(&self, mismatch: Option<Mismatch>, stop: StopReason) -> CosimResult {
         CosimResult {
-            mismatch: None,
-            instructions,
+            mismatch,
+            instructions: self.instructions,
             cycles: self.core.cycles(),
-            stop: StopReason::InstrLimit,
+            stop,
         }
     }
 }

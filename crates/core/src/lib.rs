@@ -64,4 +64,5 @@ pub use replay::replay;
 pub use report::{Finding, FindingClass, VerifyReport};
 pub use session::{InstrConstraint, SessionConfig, SessionError, VerifySession};
 pub use symcosim_exec::ProgressEvent;
+pub use symcosim_symex::{EngineKind, QueryCacheStats};
 pub use voter::{ConcreteJudge, Judge, Mismatch, MismatchKind, SymbolicJudge, Voter};

@@ -1,5 +1,7 @@
 //! Symbolic instruction and data memories.
 
+use std::sync::{Arc, Mutex};
+
 use symcosim_rtl::Strobe;
 use symcosim_symex::Domain;
 
@@ -23,9 +25,12 @@ pub struct SymbolicInstrMemory<D: Domain> {
 }
 
 /// A per-instruction generation constraint (the `klee_assume` hook).
-type ConstraintFn<D> = Box<dyn Fn(&mut D, <D as Domain>::Word) + Send>;
+/// Shared (`Arc`) so snapshots of the memory clone cheaply.
+type ConstraintFn<D> = Arc<dyn Fn(&mut D, <D as Domain>::Word) + Send + Sync>;
 /// A custom instruction generator (fuzzing and replay feed words here).
-type GeneratorFn<D> = Box<dyn FnMut(&mut D, u32) -> <D as Domain>::Word + Send>;
+/// Clones share the generator — acceptable because generators are only
+/// used by concrete fuzz/replay runs, which never snapshot.
+type GeneratorFn<D> = Arc<Mutex<dyn FnMut(&mut D, u32) -> <D as Domain>::Word + Send>>;
 
 impl<D: Domain> std::fmt::Debug for SymbolicInstrMemory<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -34,6 +39,20 @@ impl<D: Domain> std::fmt::Debug for SymbolicInstrMemory<D> {
             .field("generated", &self.generated)
             .field("constrained", &self.constraint.is_some())
             .finish()
+    }
+}
+
+// Manual impl: the closures are behind `Arc` precisely so snapshotting
+// engines can clone the memory without `D: Clone` or cloneable closures.
+impl<D: Domain> Clone for SymbolicInstrMemory<D> {
+    fn clone(&self) -> SymbolicInstrMemory<D> {
+        SymbolicInstrMemory {
+            entries: self.entries.clone(),
+            generated: self.generated,
+            constraint: self.constraint.clone(),
+            generator: self.generator.clone(),
+            program: self.program.clone(),
+        }
     }
 }
 
@@ -52,10 +71,10 @@ impl<D: Domain> SymbolicInstrMemory<D> {
     /// Installs a generation constraint, applied to each fresh
     /// instruction via [`Domain::assume`].
     pub fn with_constraint(
-        constraint: impl Fn(&mut D, D::Word) + Send + 'static,
+        constraint: impl Fn(&mut D, D::Word) + Send + Sync + 'static,
     ) -> SymbolicInstrMemory<D> {
         SymbolicInstrMemory {
-            constraint: Some(Box::new(constraint)),
+            constraint: Some(Arc::new(constraint)),
             ..SymbolicInstrMemory::new()
         }
     }
@@ -67,7 +86,7 @@ impl<D: Domain> SymbolicInstrMemory<D> {
         generator: impl FnMut(&mut D, u32) -> D::Word + Send + 'static,
     ) -> SymbolicInstrMemory<D> {
         SymbolicInstrMemory {
-            generator: Some(Box::new(generator)),
+            generator: Some(Arc::new(Mutex::new(generator))),
             ..SymbolicInstrMemory::new()
         }
     }
@@ -112,8 +131,8 @@ impl<D: Domain> SymbolicInstrMemory<D> {
                 return *instr;
             }
         }
-        let instr = match &mut self.generator {
-            Some(generator) => generator(dom, self.generated),
+        let instr = match &self.generator {
+            Some(generator) => generator.lock().expect("generator lock")(dom, self.generated),
             None => {
                 let name = match dom.word_value(addr) {
                     Some(concrete) => format!("imem_{concrete:08x}"),
@@ -144,9 +163,19 @@ impl<D: Domain> Default for SymbolicInstrMemory<D> {
 /// memories start with identical symbolic contents (the paper's guard
 /// against false mismatches). Accesses with symbolic addresses select and
 /// update through if-then-else chains, never forking.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SymbolicDataMemory<D: Domain> {
     words: Vec<D::Word>,
+}
+
+// Manual impl: a derived Clone would demand `D: Clone`, and the
+// fork-engine executor that snapshots these memories is not cloneable.
+impl<D: Domain> Clone for SymbolicDataMemory<D> {
+    fn clone(&self) -> SymbolicDataMemory<D> {
+        SymbolicDataMemory {
+            words: self.words.clone(),
+        }
+    }
 }
 
 impl<D: Domain> SymbolicDataMemory<D> {

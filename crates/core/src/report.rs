@@ -9,7 +9,7 @@ use std::fmt;
 use std::time::Duration;
 
 use symcosim_isa::{decode, Csr, CsrClass, Instr, Trap};
-use symcosim_symex::TestVector;
+use symcosim_symex::{QueryCacheStats, SolverStats, TestVector};
 
 use crate::voter::{Mismatch, MismatchKind};
 
@@ -326,6 +326,10 @@ pub struct VerifyReport {
     /// (deduplicated, canonical path order). Empty unless
     /// [`SessionConfig::lint_ir`](crate::SessionConfig::lint_ir) is set.
     pub lint_issues: Vec<String>,
+    /// SAT-solver statistics, summed over all workers' persistent solvers.
+    pub solver_stats: SolverStats,
+    /// Feasibility-query memoisation counters, summed over all workers.
+    pub query_cache: QueryCacheStats,
 }
 
 impl VerifyReport {
@@ -352,6 +356,14 @@ impl fmt::Display for VerifyReport {
             self.instructions_executed,
             self.test_vectors,
             self.duration,
+        )?;
+        writeln!(
+            f,
+            "solver: {} solves, {} conflicts; query cache: {} hits, {} misses",
+            self.solver_stats.solves,
+            self.solver_stats.conflicts,
+            self.query_cache.hits,
+            self.query_cache.misses,
         )?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;

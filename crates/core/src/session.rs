@@ -6,15 +6,16 @@ use std::fmt;
 use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 
-use symcosim_exec::{explore_parallel, ExecConfig, ProgressEvent};
+use symcosim_exec::{explore_parallel, explore_parallel_fork, ExecConfig, ProgressEvent};
 use symcosim_isa::opcodes;
 use symcosim_iss::IssConfig;
 use symcosim_microrv32::{CoreConfig, InjectedError};
 use symcosim_symex::{
-    Domain, Engine, EngineConfig, PathResult, SearchStrategy, SymExec, TestVector,
+    Domain, Engine, EngineConfig, EngineKind, ForkEngine, ForkExec, ForkTask, PathProbe,
+    PathResult, QueryCacheStats, SearchStrategy, SolverStats, StepResult, SymExec, TestVector,
 };
 
-use crate::cosim::{CoSim, StopReason};
+use crate::cosim::{CoSim, CosimResult, StopReason};
 use crate::report::{classify, Finding, VerifyReport};
 use crate::voter::{Mismatch, SymbolicJudge};
 use crate::SymbolicInstrMemory;
@@ -82,6 +83,13 @@ pub struct SessionConfig {
     /// ([`SymExec::lint_path`]) over every explored path and surface the
     /// issues in [`VerifyReport::lint_issues`] (the CLI's `--lint` flag).
     pub lint_ir: bool,
+    /// Path engine: [`EngineKind::Fork`] (default) snapshots the
+    /// co-simulation state at fork points and resumes siblings from the
+    /// clone; [`EngineKind::Reexec`] re-executes each path from the root
+    /// replaying the recorded decision prefix. Both explore the same
+    /// canonical path set and produce bit-identical reports — the CLI's
+    /// `--engine` flag.
+    pub engine: EngineKind,
 }
 
 impl SessionConfig {
@@ -105,6 +113,7 @@ impl SessionConfig {
             seed: 0x5eed_cafe,
             deadline: None,
             lint_ir: false,
+            engine: EngineKind::Fork,
         }
     }
 
@@ -129,6 +138,7 @@ impl SessionConfig {
             seed: 0x5eed_cafe,
             deadline: None,
             lint_ir: false,
+            engine: EngineKind::Fork,
         }
     }
 }
@@ -220,17 +230,51 @@ impl VerifySession {
     }
 
     /// Runs the symbolic exploration and aggregates the report.
+    ///
+    /// The path engine is selected by [`SessionConfig::engine`]; both
+    /// engines drain the same canonical path set and yield bit-identical
+    /// reports (enforced by the `engine_equivalence` integration tests).
     pub fn run(self) -> VerifyReport {
         let start = Instant::now();
         let config = self.config;
-        let mut engine = Engine::new(engine_config(&config));
-        let closure_config = config.clone();
         let stop_early = config.stop_at_first_mismatch;
-        let outcome = engine.explore_until(
-            move |exec| run_one_path(exec, &closure_config),
-            move |path| stop_early && path.value.mismatch.is_some(),
-        );
-        merge_report(outcome.paths, outcome.frontier_exhausted, start)
+        match config.engine {
+            EngineKind::Reexec => {
+                let mut engine = Engine::new(engine_config(&config));
+                let closure_config = config.clone();
+                let outcome = engine.explore_until(
+                    move |exec| run_one_path(exec, &closure_config),
+                    move |path| stop_early && path.value.mismatch.is_some(),
+                );
+                let solver = engine.backend().stats();
+                let cache = engine.backend().query_cache_stats();
+                merge_report(
+                    outcome.paths,
+                    outcome.frontier_exhausted,
+                    start,
+                    solver,
+                    cache,
+                )
+            }
+            EngineKind::Fork => {
+                let mut engine = ForkEngine::new(engine_config(&config));
+                let task = SessionTask {
+                    config: config.clone(),
+                };
+                let outcome = engine.explore_until(&task, move |path| {
+                    stop_early && path.value.mismatch.is_some()
+                });
+                let solver = engine.backend().stats();
+                let cache = engine.backend().query_cache_stats();
+                merge_report(
+                    outcome.paths,
+                    outcome.frontier_exhausted,
+                    start,
+                    solver,
+                    cache,
+                )
+            }
+        }
     }
 
     /// Runs the symbolic exploration on `jobs` worker threads (each with
@@ -261,16 +305,62 @@ impl VerifySession {
             engine: engine_config(&config),
             deadline: config.deadline,
         };
-        let closure_config = config.clone();
         let stop_early = config.stop_at_first_mismatch;
-        let outcome = explore_parallel(
-            &exec_config,
-            move |exec: &mut SymExec<'_>| run_one_path(exec, &closure_config),
-            move |path: &PathResult<PathRun>| stop_early && path.value.mismatch.is_some(),
-            progress,
-        );
-        merge_report(outcome.paths, outcome.frontier_exhausted, start)
+        match config.engine {
+            EngineKind::Reexec => {
+                let closure_config = config.clone();
+                let outcome = explore_parallel(
+                    &exec_config,
+                    move |exec: &mut SymExec<'_>| run_one_path(exec, &closure_config),
+                    move |path: &PathResult<PathRun>| stop_early && path.value.mismatch.is_some(),
+                    progress,
+                );
+                let (solver, cache) = sum_worker_stats(&outcome.workers);
+                merge_report(
+                    outcome.paths,
+                    outcome.frontier_exhausted,
+                    start,
+                    solver,
+                    cache,
+                )
+            }
+            EngineKind::Fork => {
+                let task = SessionTask {
+                    config: config.clone(),
+                };
+                let outcome = explore_parallel_fork(
+                    &exec_config,
+                    &task,
+                    move |path: &PathResult<PathRun>| stop_early && path.value.mismatch.is_some(),
+                    progress,
+                );
+                let (solver, cache) = sum_worker_stats(&outcome.workers);
+                merge_report(
+                    outcome.paths,
+                    outcome.frontier_exhausted,
+                    start,
+                    solver,
+                    cache,
+                )
+            }
+        }
     }
+}
+
+/// Sums the per-worker solver and query-cache counters for the report.
+fn sum_worker_stats(workers: &[symcosim_exec::WorkerReport]) -> (SolverStats, QueryCacheStats) {
+    let mut solver = SolverStats::default();
+    let mut cache = QueryCacheStats::default();
+    for worker in workers {
+        solver.solves += worker.stats.solves;
+        solver.decisions += worker.stats.decisions;
+        solver.propagations += worker.stats.propagations;
+        solver.conflicts += worker.stats.conflicts;
+        solver.restarts += worker.stats.restarts;
+        solver.learnt_clauses += worker.stats.learnt_clauses;
+        cache = cache.merge(worker.cache);
+    }
+    (solver, cache)
 }
 
 /// The engine configuration a session config induces.
@@ -281,6 +371,7 @@ fn engine_config(config: &SessionConfig) -> EngineConfig {
         max_decisions_per_path: config.max_decisions_per_path,
         emit_test_vectors: config.emit_test_vectors,
         seed: config.seed,
+        max_resident_snapshots: EngineConfig::DEFAULT_MAX_RESIDENT_SNAPSHOTS,
     }
 }
 
@@ -295,6 +386,8 @@ fn merge_report(
     mut paths: Vec<PathResult<PathRun>>,
     truncated: bool,
     start: Instant,
+    solver_stats: SolverStats,
+    query_cache: QueryCacheStats,
 ) -> VerifyReport {
     paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
 
@@ -343,14 +436,16 @@ fn merge_report(
         duration: start.elapsed(),
         truncated,
         lint_issues,
+        solver_stats,
+        query_cache,
     }
 }
 
-/// Runs one co-simulation path inside the engine.
-fn run_one_path(exec: &mut SymExec<'_>, config: &SessionConfig) -> PathRun {
+/// Builds the co-simulation one path runs on.
+fn build_cosim<D: Domain>(dom: &mut D, config: &SessionConfig) -> CoSim<D> {
     let imem = build_imem(config.constraint);
-    let mut cosim = CoSim::new(
-        exec,
+    CoSim::new(
+        dom,
         config.core_config.clone(),
         config.iss_config.clone(),
         config.inject,
@@ -359,12 +454,21 @@ fn run_one_path(exec: &mut SymExec<'_>, config: &SessionConfig) -> PathRun {
         config.dmem_words,
         config.instr_limit,
         config.cycle_limit,
-    );
-    let result = cosim.run(exec, &mut SymbolicJudge);
+    )
+}
+
+/// Turns a finished co-simulation into the per-path record — shared by the
+/// re-execution closure and the fork task.
+fn finish_run<D: PathProbe>(
+    exec: &mut D,
+    config: &SessionConfig,
+    cosim: &CoSim<D>,
+    result: &CosimResult,
+) -> PathRun {
     let (witness, instr_word) = if result.mismatch.is_some() {
         // Stable extraction (fresh solver per query): the witness depends
         // only on the path condition, so reports agree between sequential
-        // and parallel exploration.
+        // and parallel exploration, and between the two path engines.
         let witness = exec.stable_witness_vector(&[]);
         let instr_word = cosim
             .last_instruction()
@@ -380,13 +484,51 @@ fn run_one_path(exec: &mut SymExec<'_>, config: &SessionConfig) -> PathRun {
         Vec::new()
     };
     PathRun {
-        mismatch: result.mismatch,
+        mismatch: result.mismatch.clone(),
         stop: result.stop,
         instructions: result.instructions,
         cycles: result.cycles,
         instr_word,
         witness,
         lint_issues,
+    }
+}
+
+/// Runs one co-simulation path inside the re-execution engine.
+fn run_one_path(exec: &mut SymExec<'_>, config: &SessionConfig) -> PathRun {
+    let mut cosim = build_cosim(exec, config);
+    let result = cosim.run(exec, &mut SymbolicJudge);
+    finish_run(exec, config, &cosim, &result)
+}
+
+/// The verification flow as a [`ForkTask`]: the fork engine snapshots the
+/// co-simulation between [`CoSim::step_instr`] boundaries instead of
+/// re-executing the prefix.
+struct SessionTask {
+    config: SessionConfig,
+}
+
+/// Snapshot unit: everything one path mutates outside the executor.
+#[derive(Clone)]
+struct SessionState {
+    cosim: CoSim<ForkExec>,
+}
+
+impl ForkTask for SessionTask {
+    type State = SessionState;
+    type Out = PathRun;
+
+    fn start(&self, exec: &mut ForkExec) -> SessionState {
+        SessionState {
+            cosim: build_cosim(exec, &self.config),
+        }
+    }
+
+    fn step(&self, state: &mut SessionState, exec: &mut ForkExec) -> StepResult<PathRun> {
+        match state.cosim.step_instr(exec, &mut SymbolicJudge) {
+            None => StepResult::Continue,
+            Some(result) => StepResult::Done(finish_run(exec, &self.config, &state.cosim, &result)),
+        }
     }
 }
 

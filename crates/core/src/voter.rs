@@ -3,7 +3,7 @@
 use std::fmt;
 
 use symcosim_rtl::RvfiRecord;
-use symcosim_symex::{ConcreteDomain, Domain, SymExec};
+use symcosim_symex::{ConcreteDomain, Domain, PathProbe};
 
 /// Which architectural observation disagreed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,15 +104,19 @@ impl Judge<ConcreteDomain> for ConcreteJudge {
 }
 
 /// Symbolic-domain judge: conditions go to the solver.
+///
+/// Blanket over [`PathProbe`], so the same judge serves the re-execution
+/// executor ([`SymExec`](symcosim_symex::SymExec)) and the fork-engine
+/// executor ([`ForkExec`](symcosim_symex::ForkExec)).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SymbolicJudge;
 
-impl<'e> Judge<SymExec<'e>> for SymbolicJudge {
-    fn possibly_true(&mut self, dom: &mut SymExec<'e>, cond: symcosim_symex::TermId) -> bool {
+impl<D: PathProbe> Judge<D> for SymbolicJudge {
+    fn possibly_true(&mut self, dom: &mut D, cond: symcosim_symex::TermId) -> bool {
         dom.check_sat(cond)
     }
 
-    fn commit(&mut self, dom: &mut SymExec<'e>, cond: symcosim_symex::TermId) {
+    fn commit(&mut self, dom: &mut D, cond: symcosim_symex::TermId) {
         dom.add_constraint(cond);
     }
 }

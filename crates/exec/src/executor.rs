@@ -1,10 +1,14 @@
 //! The worker pool: spawn, explore, merge deterministically.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use symcosim_symex::{Engine, EngineConfig, PathResult, PathStatus, SolverStats, SymExec};
+use symcosim_symex::{
+    Engine, EngineConfig, ForkEngine, ForkJob, ForkTask, PathResult, PathStatus, QueryCacheStats,
+    SolverStats, SymExec,
+};
 
 use crate::budget::Budget;
 use crate::frontier::ShardedFrontier;
@@ -45,6 +49,8 @@ pub struct WorkerReport {
     pub busy: Duration,
     /// Its private SAT solver's cumulative statistics.
     pub stats: SolverStats,
+    /// Its feasibility-query cache's hit/miss counters.
+    pub cache: QueryCacheStats,
 }
 
 /// Aggregate result of an [`explore_parallel`] call.
@@ -149,12 +155,14 @@ where
                         local.push(outcome.result);
                     }
                     let stats = engine.backend().stats();
+                    let cache = engine.backend().query_cache_stats();
                     if let Some(tx) = &tx {
                         let _ = tx.send(ProgressEvent::WorkerDone {
                             worker,
                             paths: local.len(),
                             busy_ms: busy.as_millis() as u64,
                             solver: stats,
+                            cache,
                         });
                     }
                     let report = WorkerReport {
@@ -162,6 +170,7 @@ where
                         paths: local.len(),
                         busy,
                         stats,
+                        cache,
                     };
                     (local, report)
                 })
@@ -202,11 +211,183 @@ where
     }
 }
 
+/// One frontier entry of a fork-engine exploration: the job plus the
+/// worker whose engine produced it.
+///
+/// A snapshot embeds `TermId`s and task state minted by the owner's
+/// private term context, so it is only meaningful inside that worker's
+/// engine. A stolen entry is degraded to its recorded decision prefix
+/// ([`ForkJob::spill`]) and replayed from the root — stealing trades the
+/// snapshot for load balance.
+struct ForkEntry<S> {
+    owner: usize,
+    job: ForkJob<S>,
+}
+
+/// [`explore_parallel`] for a [`ForkTask`]: every worker owns a private
+/// [`ForkEngine`] and resumes sibling paths from copy-on-write snapshots
+/// instead of re-executing decision prefixes.
+///
+/// Snapshots are worker-affine (see [`ForkEntry`]); jobs that cross
+/// workers through stealing, and forks past the global
+/// [`EngineConfig::max_resident_snapshots`] bound, fall back to prefix
+/// replay. Both fallbacks change performance only — the per-path results,
+/// and therefore the canonical merge, are identical either way.
+pub fn explore_parallel_fork<T, P>(
+    config: &ExecConfig,
+    task: &T,
+    stop: P,
+    progress: Option<Sender<ProgressEvent>>,
+) -> ParallelOutcome<T::Out>
+where
+    T: ForkTask + Sync,
+    T::State: Send + Sync,
+    T::Out: Send,
+    P: Fn(&PathResult<T::Out>) -> bool + Sync,
+{
+    let jobs = config.jobs.max(1);
+    let start = Instant::now();
+    let budget = Budget::new(config.engine.max_paths, config.deadline);
+    let frontier: ShardedFrontier<ForkEntry<T::State>> = ShardedFrontier::new(jobs);
+    let resident = AtomicUsize::new(0);
+    let max_resident = config.engine.max_resident_snapshots;
+    frontier.push(
+        0,
+        ForkEntry {
+            owner: 0,
+            job: ForkJob::root(),
+        },
+    );
+    if let Some(tx) = &progress {
+        let _ = tx.send(ProgressEvent::Started { jobs });
+    }
+
+    let (mut paths, workers) = thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|worker| {
+                let tx = progress.clone();
+                let (frontier, budget, resident, stop) = (&frontier, &budget, &resident, &stop);
+                let mut engine_config = config.engine.clone();
+                engine_config.seed ^= (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                scope.spawn(move || {
+                    let strategy = engine_config.strategy;
+                    let mut rng = engine_config.seed | 1;
+                    let mut engine = ForkEngine::new(engine_config);
+                    let mut local: Vec<PathResult<T::Out>> = Vec::new();
+                    let mut busy = Duration::ZERO;
+                    while let Some(entry) = frontier.acquire(worker, strategy, &mut rng, budget) {
+                        let mut job = entry.job;
+                        if job.has_snapshot() {
+                            resident.fetch_sub(1, Ordering::Relaxed);
+                            if entry.owner != worker {
+                                job.spill();
+                            }
+                        }
+                        if !budget.claim() {
+                            // Path budget spent: retire the job unrun and
+                            // bring the whole exploration down.
+                            frontier.finish(worker, Vec::new());
+                            budget.cancel();
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let (result, forks) = engine.run_job(job, task);
+                        busy += t0.elapsed();
+                        if stop(&result) {
+                            budget.cancel();
+                        }
+                        let forks = forks
+                            .into_iter()
+                            .map(|mut fork| {
+                                if fork.has_snapshot() {
+                                    let admitted = resident
+                                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                                            (n < max_resident).then_some(n + 1)
+                                        })
+                                        .is_ok();
+                                    if !admitted {
+                                        fork.spill();
+                                    }
+                                }
+                                ForkEntry {
+                                    owner: worker,
+                                    job: fork,
+                                }
+                            })
+                            .collect();
+                        frontier.finish(worker, forks);
+                        if let Some(tx) = &tx {
+                            let _ = tx.send(ProgressEvent::PathDone {
+                                worker,
+                                depth: result.decisions.len(),
+                                paths_done: budget.claimed(),
+                                queued: frontier.pending(),
+                                elapsed_ms: start.elapsed().as_millis() as u64,
+                            });
+                        }
+                        local.push(result);
+                    }
+                    let stats = engine.backend().stats();
+                    let cache = engine.backend().query_cache_stats();
+                    if let Some(tx) = &tx {
+                        let _ = tx.send(ProgressEvent::WorkerDone {
+                            worker,
+                            paths: local.len(),
+                            busy_ms: busy.as_millis() as u64,
+                            solver: stats,
+                            cache,
+                        });
+                    }
+                    let report = WorkerReport {
+                        worker,
+                        paths: local.len(),
+                        busy,
+                        stats,
+                        cache,
+                    };
+                    (local, report)
+                })
+            })
+            .collect();
+        let mut paths = Vec::new();
+        let mut workers = Vec::new();
+        for handle in handles {
+            let (local, report) = handle.join().expect("worker panicked");
+            paths.extend(local);
+            workers.push(report);
+        }
+        (paths, workers)
+    });
+
+    // Same canonical merge as `explore_parallel` (see the crate docs).
+    paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
+    let complete = paths
+        .iter()
+        .filter(|p| p.status == PathStatus::Complete)
+        .count();
+    let truncated = budget.cancelled() || frontier.pending() > 0;
+    if let Some(tx) = &progress {
+        let _ = tx.send(ProgressEvent::Finished {
+            paths: paths.len(),
+            wall_ms: start.elapsed().as_millis() as u64,
+            truncated,
+        });
+    }
+    ParallelOutcome {
+        complete_paths: complete,
+        partial_paths: paths.len() - complete,
+        frontier_exhausted: truncated,
+        workers,
+        wall: start.elapsed(),
+        paths,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::mpsc;
-    use symcosim_symex::{Domain, SearchStrategy};
+    use symcosim_symex::{Domain, ForkExec, SearchStrategy, StepResult};
 
     /// Four decisions over distinct bits of one symbol: 16 feasible paths.
     fn four_bit_task(exec: &mut SymExec<'_>) -> u32 {
@@ -334,6 +515,59 @@ mod tests {
             .filter(|e| matches!(e, ProgressEvent::WorkerDone { .. }))
             .count();
         assert_eq!(worker_events, 2);
+    }
+
+    /// [`four_bit_task`] as a [`ForkTask`]: one decision per step, so the
+    /// fork engine snapshots between bits.
+    struct ForkBits;
+
+    #[derive(Clone)]
+    struct ForkBitsState {
+        value: u32,
+        bit: u32,
+    }
+
+    impl ForkTask for ForkBits {
+        type State = ForkBitsState;
+        type Out = u32;
+
+        fn start(&self, _exec: &mut ForkExec) -> ForkBitsState {
+            ForkBitsState { value: 0, bit: 0 }
+        }
+
+        fn step(&self, state: &mut ForkBitsState, exec: &mut ForkExec) -> StepResult<u32> {
+            if state.bit == 4 {
+                return StepResult::Done(state.value);
+            }
+            let x = exec.fresh_word("x");
+            let field = exec.field(x, state.bit, state.bit);
+            let one = exec.const_word(1);
+            let set = exec.eq_w(field, one);
+            if exec.decide(set) {
+                state.value |= 1 << state.bit;
+            }
+            state.bit += 1;
+            StepResult::Continue
+        }
+    }
+
+    #[test]
+    fn fork_executor_matches_reexec_executor() {
+        let baseline = explore_parallel(&config(1), four_bit_task, |_| false, None);
+        for jobs in [1, 3] {
+            let outcome = explore_parallel_fork(&config(jobs), &ForkBits, |_| false, None);
+            assert_eq!(fingerprint(&outcome), fingerprint(&baseline), "jobs={jobs}");
+            assert_eq!(outcome.workers.len(), jobs);
+        }
+    }
+
+    #[test]
+    fn snapshot_bound_zero_degrades_to_replay() {
+        let baseline = explore_parallel(&config(1), four_bit_task, |_| false, None);
+        let mut cfg = config(2);
+        cfg.engine.max_resident_snapshots = 0;
+        let outcome = explore_parallel_fork(&cfg, &ForkBits, |_| false, None);
+        assert_eq!(fingerprint(&outcome), fingerprint(&baseline));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Sharded work queue of decision prefixes with work stealing.
+//! Sharded work queue of path-exploration jobs with work stealing.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -8,22 +8,26 @@ use symcosim_symex::SearchStrategy;
 
 use crate::budget::Budget;
 
-/// One queue of pending decision prefixes per worker, plus the termination
-/// protocol.
+/// One queue of pending jobs per worker, plus the termination protocol.
+///
+/// The payload `T` is whatever identifies one unit of path work — a bare
+/// decision prefix (`Vec<bool>`) for the re-execution engine, a
+/// [`ForkJob`](symcosim_symex::ForkJob) wrapper carrying an optional state
+/// snapshot for the fork engine.
 ///
 /// Workers pop from their own shard using the configured
 /// [`SearchStrategy`] and steal from siblings' *front* when they run dry —
-/// the shallowest queued prefix heads the largest unexplored subtree, so
+/// the shallowest queued job heads the largest unexplored subtree, so
 /// stealing it moves the most work.
 ///
 /// Termination tracks two counters under one lock: `pending` (queued, not
 /// yet acquired) and `in_flight` (acquired, not yet retired). Forks are
 /// queued *before* their parent is retired, so `pending + in_flight`
-/// reaching zero proves the exploration is drained — a prefix can never be
+/// reaching zero proves the exploration is drained — a job can never be
 /// in limbo.
 #[derive(Debug)]
-pub struct ShardedFrontier {
-    shards: Vec<Mutex<VecDeque<Vec<bool>>>>,
+pub struct ShardedFrontier<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
     sync: Mutex<Counters>,
     wakeup: Condvar,
 }
@@ -34,9 +38,9 @@ struct Counters {
     in_flight: usize,
 }
 
-impl ShardedFrontier {
+impl<T> ShardedFrontier<T> {
     /// An empty frontier with one shard per worker.
-    pub fn new(shards: usize) -> ShardedFrontier {
+    pub fn new(shards: usize) -> ShardedFrontier<T> {
         assert!(shards > 0, "at least one shard");
         ShardedFrontier {
             shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -45,41 +49,41 @@ impl ShardedFrontier {
         }
     }
 
-    /// Queues `prefix` on `shard`.
-    pub fn push(&self, shard: usize, prefix: Vec<bool>) {
+    /// Queues `job` on `shard`.
+    pub fn push(&self, shard: usize, job: T) {
         self.sync.lock().expect("frontier lock").pending += 1;
         self.shards[shard]
             .lock()
             .expect("shard lock")
-            .push_back(prefix);
+            .push_back(job);
         self.wakeup.notify_one();
     }
 
-    /// Number of queued (not yet acquired) prefixes right now.
+    /// Number of queued (not yet acquired) jobs right now.
     pub fn pending(&self) -> usize {
         self.sync.lock().expect("frontier lock").pending
     }
 
-    /// Blocks until a prefix is available (returns it), the exploration is
+    /// Blocks until a job is available (returns it), the exploration is
     /// drained, or `budget` is cancelled (both return `None`).
     ///
-    /// Every acquired prefix must be retired with [`ShardedFrontier::finish`].
+    /// Every acquired job must be retired with [`ShardedFrontier::finish`].
     pub fn acquire(
         &self,
         worker: usize,
         strategy: SearchStrategy,
         rng: &mut u64,
         budget: &Budget,
-    ) -> Option<Vec<bool>> {
+    ) -> Option<T> {
         loop {
             if budget.cancelled() {
                 return None;
             }
-            if let Some(prefix) = self.try_pop(worker, strategy, rng) {
+            if let Some(job) = self.try_pop(worker, strategy, rng) {
                 let mut sync = self.sync.lock().expect("frontier lock");
                 sync.pending -= 1;
                 sync.in_flight += 1;
-                return Some(prefix);
+                return Some(job);
             }
             let sync = self.sync.lock().expect("frontier lock");
             if sync.pending == 0 && sync.in_flight == 0 {
@@ -95,9 +99,9 @@ impl ShardedFrontier {
         }
     }
 
-    /// Retires an acquired prefix, queueing the `forks` it produced on the
+    /// Retires an acquired job, queueing the `forks` it produced on the
     /// worker's own shard first (see the type-level invariant).
-    pub fn finish(&self, worker: usize, forks: Vec<Vec<bool>>) {
+    pub fn finish(&self, worker: usize, forks: Vec<T>) {
         for fork in forks {
             self.push(worker, fork);
         }
@@ -109,7 +113,7 @@ impl ShardedFrontier {
         }
     }
 
-    fn try_pop(&self, worker: usize, strategy: SearchStrategy, rng: &mut u64) -> Option<Vec<bool>> {
+    fn try_pop(&self, worker: usize, strategy: SearchStrategy, rng: &mut u64) -> Option<T> {
         {
             let mut own = self.shards[worker].lock().expect("shard lock");
             let popped = match strategy {
@@ -175,7 +179,7 @@ mod tests {
 
     #[test]
     fn cancellation_unblocks_acquire() {
-        let frontier = ShardedFrontier::new(1);
+        let frontier: ShardedFrontier<Vec<bool>> = ShardedFrontier::new(1);
         let budget = Budget::new(100, None);
         let mut rng = 1u64;
         frontier.push(0, Vec::new());

@@ -3,7 +3,12 @@
 //! [`explore_parallel`] distributes the decision-prefix jobs a symbolic
 //! exploration generates over a pool of worker threads, each owning a
 //! private [`Engine`](symcosim_symex::Engine) (term context + SAT solver —
-//! the context is not `Sync`, so sharing is not an option). The pieces:
+//! the context is not `Sync`, so sharing is not an option).
+//! [`explore_parallel_fork`] is the same pool driving
+//! [`ForkEngine`](symcosim_symex::ForkEngine)s: frontier entries carry
+//! copy-on-write state snapshots where resident (worker-affine, under the
+//! [`max_resident_snapshots`](symcosim_symex::EngineConfig::max_resident_snapshots)
+//! bound) and degrade to decision-prefix replay where not. The pieces:
 //!
 //! * [`ShardedFrontier`] — one work queue per worker plus work stealing,
 //!   so forks stay local to the worker that produced them until somebody
@@ -45,6 +50,8 @@ mod frontier;
 mod progress;
 
 pub use budget::Budget;
-pub use executor::{explore_parallel, ExecConfig, ParallelOutcome, WorkerReport};
+pub use executor::{
+    explore_parallel, explore_parallel_fork, ExecConfig, ParallelOutcome, WorkerReport,
+};
 pub use frontier::ShardedFrontier;
 pub use progress::ProgressEvent;

@@ -1,6 +1,6 @@
 //! Structured progress events for live status lines and JSON logs.
 
-use symcosim_symex::SolverStats;
+use symcosim_symex::{QueryCacheStats, SolverStats};
 
 /// One observability event from a parallel exploration.
 ///
@@ -40,6 +40,8 @@ pub enum ProgressEvent {
         busy_ms: u64,
         /// Its private SAT solver's cumulative statistics.
         solver: SolverStats,
+        /// Its feasibility-query cache's hit/miss counters.
+        cache: QueryCacheStats,
     },
     /// The exploration finished and the merge is complete.
     Finished {
@@ -76,15 +78,18 @@ impl ProgressEvent {
                 paths,
                 busy_ms,
                 solver,
+                cache,
             } => format!(
                 "{{\"event\":\"worker_done\",\"worker\":{worker},\"paths\":{paths},\
                  \"busy_ms\":{busy_ms},\"solves\":{},\"decisions\":{},\"propagations\":{},\
-                 \"conflicts\":{},\"restarts\":{}}}",
+                 \"conflicts\":{},\"restarts\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
                 solver.solves,
                 solver.decisions,
                 solver.propagations,
                 solver.conflicts,
-                solver.restarts
+                solver.restarts,
+                cache.hits,
+                cache.misses
             ),
             ProgressEvent::Finished {
                 paths,
@@ -118,6 +123,7 @@ mod tests {
                 paths: 6,
                 busy_ms: 200,
                 solver: SolverStats::default(),
+                cache: QueryCacheStats::default(),
             },
             ProgressEvent::Finished {
                 paths: 24,

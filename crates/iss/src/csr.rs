@@ -14,7 +14,7 @@ use symcosim_symex::Domain;
 use crate::IssConfig;
 
 /// CSR storage and dispatch for the reference ISS.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IssCsrFile<D: Domain> {
     mstatus: D::Word,
     mtvec: D::Word,
@@ -34,6 +34,31 @@ pub struct IssCsrFile<D: Domain> {
     /// HPM counter/event storage, associative on the (possibly symbolic)
     /// CSR address; later entries shadow earlier ones.
     hpm: Vec<(D::Word, D::Word)>,
+}
+
+// Manual impl: a derived Clone would demand `D: Clone`, which the
+// fork-engine executor is not (`D::Word` itself is always `Copy`).
+impl<D: Domain> Clone for IssCsrFile<D> {
+    fn clone(&self) -> IssCsrFile<D> {
+        IssCsrFile {
+            mstatus: self.mstatus,
+            mtvec: self.mtvec,
+            mepc: self.mepc,
+            mcause: self.mcause,
+            mtval: self.mtval,
+            mie: self.mie,
+            mip: self.mip,
+            mscratch: self.mscratch,
+            mcounteren: self.mcounteren,
+            medeleg: self.medeleg,
+            mideleg: self.mideleg,
+            mcycle: self.mcycle,
+            mcycleh: self.mcycleh,
+            minstret: self.minstret,
+            minstreth: self.minstreth,
+            hpm: self.hpm.clone(),
+        }
+    }
 }
 
 impl<D: Domain> IssCsrFile<D> {

@@ -56,13 +56,28 @@ impl<D: Domain> Outcome<D> {
 /// ISS holds the architectural state (PC, register file, CSR file) as
 /// domain words; [`Iss::step`] executes one instruction word and returns
 /// the retirement record the voter consumes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Iss<D: Domain> {
     pc: D::Word,
     regs: [D::Word; 32],
     csr: IssCsrFile<D>,
     config: IssConfig,
     retired: u64,
+}
+
+// Manual impl: snapshotting engines clone the ISS mid-exploration, and a
+// derived Clone would demand `D: Clone`, which the fork-engine executor
+// is not (`D::Word` itself is always `Copy`).
+impl<D: Domain> Clone for Iss<D> {
+    fn clone(&self) -> Iss<D> {
+        Iss {
+            pc: self.pc,
+            regs: self.regs,
+            csr: self.csr.clone(),
+            config: self.config.clone(),
+            retired: self.retired,
+        }
+    }
 }
 
 impl<D: Domain> Iss<D> {

@@ -71,6 +71,7 @@ pub fn analyze() -> IrReport {
         max_decisions_per_path: 4096,
         emit_test_vectors: false,
         seed: 0x11e7,
+        ..EngineConfig::default()
     });
     let outcome = engine.explore(|exec: &mut SymExec<'_>| {
         let imem = only_opcode_imem(IR_OPCODE);

@@ -19,7 +19,7 @@ pub enum FsmState {
 }
 
 /// One word-aligned DBus sub-access of a (possibly misaligned) load/store.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct SubAccess<D: Domain> {
     /// Word-aligned bus address.
     word_addr: D::Word,
@@ -35,6 +35,22 @@ struct SubAccess<D: Domain> {
     store_data: D::Word,
 }
 
+// Clone is implemented by hand on the generic model structs: `D::Word` is
+// always `Copy`, but a derived impl would demand `D: Clone`, and the
+// fork-engine executor that snapshots these models is not cloneable.
+impl<D: Domain> Clone for SubAccess<D> {
+    fn clone(&self) -> SubAccess<D> {
+        SubAccess {
+            word_addr: self.word_addr,
+            strobe: self.strobe,
+            bus_shift: self.bus_shift,
+            val_shift: self.val_shift,
+            bytes: self.bytes,
+            store_data: self.store_data,
+        }
+    }
+}
+
 /// Load flavour, for final extension and fault injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LoadFlavour {
@@ -45,7 +61,7 @@ enum LoadFlavour {
     Lw,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct MemPlan<D: Domain> {
     is_store: bool,
     subs: Vec<SubAccess<D>>,
@@ -53,6 +69,19 @@ struct MemPlan<D: Domain> {
     assembled: D::Word,
     flavour: LoadFlavour,
     rd: D::Word,
+}
+
+impl<D: Domain> Clone for MemPlan<D> {
+    fn clone(&self) -> MemPlan<D> {
+        MemPlan {
+            is_store: self.is_store,
+            subs: self.subs.clone(),
+            current: self.current,
+            assembled: self.assembled,
+            flavour: self.flavour,
+            rd: self.rd,
+        }
+    }
 }
 
 /// What the decode/execute stage concluded.
@@ -84,7 +113,7 @@ pub struct CoreOutputs<W> {
 /// Drive it by calling [`Core::cycle`] once per clock with the bus
 /// responses to the *previous* cycle's requests; see the
 /// [crate documentation](crate) for an example.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Core<D: Domain> {
     config: CoreConfig,
     inject: Option<InjectedError>,
@@ -96,6 +125,25 @@ pub struct Core<D: Domain> {
     mem_plan: Option<MemPlan<D>>,
     retired: u64,
     cycles: u64,
+}
+
+// Manual impl: snapshotting engines clone the core mid-exploration, and a
+// derived Clone would require `D: Clone` (see `SubAccess`).
+impl<D: Domain> Clone for Core<D> {
+    fn clone(&self) -> Core<D> {
+        Core {
+            config: self.config.clone(),
+            inject: self.inject,
+            state: self.state,
+            pc: self.pc,
+            regs: self.regs,
+            csr: self.csr.clone(),
+            latched_instr: self.latched_instr,
+            mem_plan: self.mem_plan.clone(),
+            retired: self.retired,
+            cycles: self.cycles,
+        }
+    }
 }
 
 impl<D: Domain> Core<D> {

@@ -10,7 +10,7 @@ use symcosim_symex::Domain;
 use crate::CoreConfig;
 
 /// CSR storage and dispatch for the RTL core model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CoreCsrFile<D: Domain> {
     mstatus: D::Word,
     mtvec: D::Word,
@@ -30,6 +30,31 @@ pub struct CoreCsrFile<D: Domain> {
     /// HPM storage, only active with `implement_extended_csrs` (the fixed
     /// core mirrors the VP's plain read/write HPM registers).
     hpm: Vec<(D::Word, D::Word)>,
+}
+
+// Manual impl: `D::Word` is `Copy`, but a derived Clone would demand
+// `D: Clone`, which the fork-engine executor is not.
+impl<D: Domain> Clone for CoreCsrFile<D> {
+    fn clone(&self) -> CoreCsrFile<D> {
+        CoreCsrFile {
+            mstatus: self.mstatus,
+            mtvec: self.mtvec,
+            mepc: self.mepc,
+            mcause: self.mcause,
+            mtval: self.mtval,
+            mie: self.mie,
+            mip: self.mip,
+            medeleg: self.medeleg,
+            mideleg: self.mideleg,
+            mscratch: self.mscratch,
+            mcounteren: self.mcounteren,
+            mcycle: self.mcycle,
+            mcycleh: self.mcycleh,
+            minstret: self.minstret,
+            minstreth: self.minstreth,
+            hpm: self.hpm.clone(),
+        }
+    }
 }
 
 impl<D: Domain> CoreCsrFile<D> {

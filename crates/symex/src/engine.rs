@@ -40,6 +40,17 @@ pub struct EngineConfig {
     pub emit_test_vectors: bool,
     /// Seed for [`SearchStrategy::RandomPath`].
     pub seed: u64,
+    /// Upper bound on copy-on-write snapshots resident in a
+    /// [`ForkEngine`](crate::ForkEngine) frontier; beyond it new forks
+    /// spill back to prefix replay. Ignored by the re-execution engine.
+    pub max_resident_snapshots: usize,
+}
+
+impl EngineConfig {
+    /// Default [`EngineConfig::max_resident_snapshots`]: a snapshot is a
+    /// few KiB of cloned model state, so about a thousand of them bound
+    /// frontier memory to single-digit MiB.
+    pub const DEFAULT_MAX_RESIDENT_SNAPSHOTS: usize = 1024;
 }
 
 impl Default for EngineConfig {
@@ -50,6 +61,7 @@ impl Default for EngineConfig {
             max_decisions_per_path: 100_000,
             emit_test_vectors: true,
             seed: 0x5eed_cafe,
+            max_resident_snapshots: EngineConfig::DEFAULT_MAX_RESIDENT_SNAPSHOTS,
         }
     }
 }
@@ -308,18 +320,7 @@ impl Engine {
         // saving, branching activity), while a fresh solve depends only on
         // the path condition. Emitted vectors are therefore identical
         // however paths are scheduled across engines/workers.
-        let mut backend = SolverBackend::new();
-        if !backend.check(&self.ctx, constraints).is_sat() {
-            return None;
-        }
-        let mut vector = TestVector::new();
-        for &sym in symbols {
-            let name = self.ctx.symbol_name(sym)?.to_string();
-            let width = self.ctx.width(sym);
-            let value = backend.value_of(&self.ctx, sym).unwrap_or(0);
-            vector.push(name, width, value);
-        }
-        Some(vector)
+        crate::solve::fresh_model_vector(&self.ctx, constraints, symbols)
     }
 }
 
@@ -363,7 +364,10 @@ impl SymExec<'_> {
         }
         let mut conditions = self.constraints.clone();
         conditions.push(cond);
-        self.backend.check(self.ctx, &conditions).is_sat()
+        // Feasibility only (no model is read afterwards), so the memoised
+        // query cache applies: sibling paths sharing a prefix ask the same
+        // condition sets over and over.
+        self.backend.check_cached(self.ctx, &conditions).is_sat()
     }
 
     /// A concrete witness for `term` under the path condition plus `extra`.
@@ -404,11 +408,7 @@ impl SymExec<'_> {
     pub fn stable_concrete_witness(&mut self, term: TermId, extra: &[TermId]) -> Option<u64> {
         let mut conditions = self.constraints.clone();
         conditions.extend_from_slice(extra);
-        let mut backend = SolverBackend::new();
-        if !backend.check(self.ctx, &conditions).is_sat() {
-            return None;
-        }
-        backend.value_of(self.ctx, term)
+        crate::solve::fresh_model_value(self.ctx, &conditions, term)
     }
 
     /// Like [`SymExec::witness_vector`], but extracted from a fresh solver
@@ -416,18 +416,7 @@ impl SymExec<'_> {
     pub fn stable_witness_vector(&mut self, extra: &[TermId]) -> Option<TestVector> {
         let mut conditions = self.constraints.clone();
         conditions.extend_from_slice(extra);
-        let mut backend = SolverBackend::new();
-        if !backend.check(self.ctx, &conditions).is_sat() {
-            return None;
-        }
-        let mut vector = TestVector::new();
-        for &sym in &self.path_symbols {
-            let name = self.ctx.symbol_name(sym)?.to_string();
-            let width = self.ctx.width(sym);
-            let value = backend.value_of(self.ctx, sym).unwrap_or(0);
-            vector.push(name, width, value);
-        }
-        Some(vector)
+        crate::solve::fresh_model_vector(self.ctx, &conditions, &self.path_symbols)
     }
 
     /// Permanently adds `cond` to the path condition (it is already known
@@ -574,11 +563,11 @@ impl Domain for SymExec<'_> {
         let negated = self.ctx.not(cond);
         let mut with_true = self.constraints.clone();
         with_true.push(cond);
-        let true_feasible = self.backend.check(self.ctx, &with_true).is_sat();
+        let true_feasible = self.backend.check_cached(self.ctx, &with_true).is_sat();
         let (choice, constraint) = if true_feasible {
             let mut with_false = self.constraints.clone();
             with_false.push(negated);
-            if self.backend.check(self.ctx, &with_false).is_sat() {
+            if self.backend.check_cached(self.ctx, &with_false).is_sat() {
                 // Both sides feasible: fork, continue on `true`.
                 let mut sibling = self.taken.clone();
                 sibling.push(false);
@@ -607,7 +596,11 @@ impl Domain for SymExec<'_> {
             None => {}
         }
         self.constraints.push(cond);
-        if !self.backend.check(self.ctx, &self.constraints).is_sat() {
+        if !self
+            .backend
+            .check_cached(self.ctx, &self.constraints)
+            .is_sat()
+        {
             self.kill(PathStatus::Infeasible);
         }
     }
@@ -797,6 +790,26 @@ mod tests {
         assert_eq!(outcome.paths.len(), 1);
         assert!(outcome.paths[0].value);
         assert!(outcome.paths[0].decisions.is_empty());
+    }
+
+    #[test]
+    fn replayed_queries_hit_the_cache() {
+        // Re-executed paths repeat the parent's check_sat query with the
+        // identical condition set; the backend memoises it.
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.explore(|exec| {
+            let x = exec.fresh_word("x");
+            let ten = exec.const_word(10);
+            let lt = exec.ult(x, ten);
+            let possible = exec.check_sat(lt);
+            let zero = exec.const_word(0);
+            let is_zero = exec.eq_w(x, zero);
+            exec.decide(is_zero);
+            possible
+        });
+        let stats = engine.backend().query_cache_stats();
+        assert!(stats.hits > 0, "the sibling path repeats the query");
+        assert!(stats.misses > 0);
     }
 
     #[test]

@@ -1,0 +1,933 @@
+//! Path exploration by copy-on-write snapshot forking.
+//!
+//! The re-execution [`Engine`](crate::Engine) pays O(d²) model steps for a
+//! decision tree of depth *d*: every scheduled prefix re-runs the user
+//! closure from cycle zero. This module restores KLEE's snapshotting
+//! discipline. A task is expressed as a *stepped* computation
+//! ([`ForkTask`]): the engine snapshots the task's cloneable state at every
+//! step boundary, and when a decision inside the step forks, the sibling
+//! job carries the snapshot plus the short intra-step *replay* window —
+//! resuming costs one clone instead of a full re-run.
+//!
+//! Canonical path identity is preserved: the full decision bitstring is
+//! still recorded per path, forks are scheduled in the same order, and the
+//! frontier disciplines ([`SearchStrategy`]) mirror the re-execution engine
+//! bit for bit. A job whose snapshot has been dropped (memory spill,
+//! cross-worker migration) degrades gracefully to whole-prefix replay, so
+//! any job can always be completed from its prefix alone.
+//!
+//! Shared-context invariant: all paths of one engine intern terms into a
+//! single append-only [`Context`]. A snapshot therefore never copies the
+//! term graph — its `TermId`s stay valid because nothing is ever removed.
+//! The flip side is that snapshots are only meaningful inside the engine
+//! (and worker) that created them; the fork-point watermark is simply the
+//! length of the recorded decision prefix.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::engine::{EngineConfig, ExploreOutcome, PathResult, PathStatus, SearchStrategy};
+use crate::probe::PathProbe;
+use crate::solve::SolverBackend;
+use crate::term::TermId;
+use crate::wf::WfIssue;
+use crate::{Context, Domain, TestVector};
+
+/// Which path-exploration engine a session should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Deterministic re-execution ([`Engine`](crate::Engine)): every path
+    /// re-runs the model from cycle zero, replaying its decision prefix.
+    Reexec,
+    /// Copy-on-write snapshot forking ([`ForkEngine`]): decision points
+    /// clone the stepped task state instead of scheduling a re-run.
+    #[default]
+    Fork,
+}
+
+impl EngineKind {
+    /// Parses the CLI spelling (`"fork"` / `"reexec"`).
+    pub fn parse(token: &str) -> Option<EngineKind> {
+        match token {
+            "fork" => Some(EngineKind::Fork),
+            "reexec" => Some(EngineKind::Reexec),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Reexec => write!(f, "reexec"),
+            EngineKind::Fork => write!(f, "fork"),
+        }
+    }
+}
+
+/// What one [`ForkTask::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult<Out> {
+    /// The task has more steps to run on this path.
+    Continue,
+    /// The path is finished and produced this value.
+    Done(Out),
+}
+
+/// A deterministic computation the [`ForkEngine`] can snapshot.
+///
+/// The engine calls [`start`](ForkTask::start) once per root path and then
+/// [`step`](ForkTask::step) repeatedly until it returns
+/// [`StepResult::Done`]. The granularity of a step is the granularity of
+/// snapshotting: forks inside a step replay only that step's decisions
+/// from the pre-step snapshot.
+///
+/// Contract:
+/// * the computation must be deterministic — the same decision sequence
+///   performs the same domain operations in the same order and names its
+///   symbolic inputs canonically;
+/// * `step` must return `Done` promptly once the executor
+///   [`is_dead`](crate::Domain::is_dead);
+/// * `State` must capture everything the task carries across steps (terms
+///   are handles into the shared context and clone freely).
+pub trait ForkTask {
+    /// Per-path state, cloned at snapshot points.
+    type State: Clone;
+    /// Per-path result value.
+    type Out;
+
+    /// Builds the initial state for a fresh path.
+    fn start(&self, exec: &mut ForkExec) -> Self::State;
+
+    /// Advances the path by one snapshot interval.
+    fn step(&self, state: &mut Self::State, exec: &mut ForkExec) -> StepResult<Self::Out>;
+}
+
+/// A copy-on-write snapshot: the task state plus the engine-side path
+/// bookkeeping, all captured at a step boundary. The shared [`Context`] is
+/// deliberately *not* part of the snapshot (append-only, see the module
+/// docs).
+///
+/// Snapshots are built lazily — only when a step actually forked — and
+/// shared between all the step's siblings through an [`Arc`], so an
+/// n-way fork costs one clone of the state, not n.
+#[derive(Debug, Clone)]
+struct Snapshot<S> {
+    state: S,
+    constraints: Vec<TermId>,
+    taken: Vec<bool>,
+    path_symbols: Vec<TermId>,
+}
+
+/// One schedulable unit of fork-engine work: a canonical decision prefix,
+/// optionally accelerated by a snapshot taken at the last step boundary
+/// before the fork.
+#[derive(Debug, Clone)]
+pub struct ForkJob<S> {
+    prefix: Vec<bool>,
+    snapshot: Option<Arc<Snapshot<S>>>,
+}
+
+impl<S> ForkJob<S> {
+    /// The root job: empty prefix, no snapshot.
+    pub fn root() -> ForkJob<S> {
+        ForkJob {
+            prefix: Vec::new(),
+            snapshot: None,
+        }
+    }
+
+    /// Rebuilds a job from a bare decision prefix (whole-path replay).
+    pub fn from_prefix(prefix: Vec<bool>) -> ForkJob<S> {
+        ForkJob {
+            prefix,
+            snapshot: None,
+        }
+    }
+
+    /// The canonical decision prefix identifying this path.
+    pub fn prefix(&self) -> &[bool] {
+        &self.prefix
+    }
+
+    /// Consumes the job, returning its prefix.
+    pub fn into_prefix(self) -> Vec<bool> {
+        self.prefix
+    }
+
+    /// Whether a snapshot is attached.
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Drops the snapshot, degrading the job to whole-prefix replay. This
+    /// is the memory-bound spill and the cross-worker migration path.
+    pub fn spill(&mut self) {
+        self.snapshot = None;
+    }
+}
+
+/// Per-path symbolic executor of the [`ForkEngine`]; implements [`Domain`]
+/// over term handles exactly like [`SymExec`](crate::SymExec), plus an
+/// intra-step replay window for resuming from snapshots.
+///
+/// Unlike `SymExec` it owns the context and solver (they persist across
+/// paths inside the engine), so tasks hold `&mut ForkExec` only for the
+/// duration of a call.
+#[derive(Debug)]
+pub struct ForkExec {
+    ctx: Context,
+    backend: SolverBackend,
+    replay: VecDeque<bool>,
+    taken: Vec<bool>,
+    constraints: Vec<TermId>,
+    forks: Vec<Vec<bool>>,
+    path_symbols: Vec<TermId>,
+    status: PathStatus,
+    max_decisions: usize,
+}
+
+impl ForkExec {
+    fn new(max_decisions: usize) -> ForkExec {
+        ForkExec {
+            ctx: Context::new(),
+            backend: SolverBackend::new(),
+            replay: VecDeque::new(),
+            taken: Vec::new(),
+            constraints: Vec::new(),
+            forks: Vec::new(),
+            path_symbols: Vec::new(),
+            status: PathStatus::Complete,
+            max_decisions,
+        }
+    }
+
+    /// The term context (symbolic values are [`TermId`]s into it).
+    pub fn context(&mut self) -> &mut Context {
+        &mut self.ctx
+    }
+
+    /// The constraints accumulated on this path so far.
+    pub fn constraints(&self) -> &[TermId] {
+        &self.constraints
+    }
+
+    /// Whether `cond` is satisfiable together with the path condition —
+    /// *without* committing to it (see
+    /// [`SymExec::check_sat`](crate::SymExec::check_sat)).
+    pub fn check_sat(&mut self, cond: TermId) -> bool {
+        if let Some(value) = self.ctx.const_value(cond) {
+            return value == 1;
+        }
+        let mut conditions = self.constraints.clone();
+        conditions.push(cond);
+        // During replay this is usually a cache hit: the parent path asked
+        // the identical condition set.
+        self.backend.check_cached(&self.ctx, &conditions).is_sat()
+    }
+
+    /// Permanently adds `cond` to the path condition.
+    pub fn add_constraint(&mut self, cond: TermId) {
+        self.constraints.push(cond);
+    }
+
+    /// History-independent witness extraction (fresh solver), matching
+    /// [`SymExec::stable_concrete_witness`](crate::SymExec::stable_concrete_witness).
+    pub fn stable_concrete_witness(&mut self, term: TermId, extra: &[TermId]) -> Option<u64> {
+        let mut conditions = self.constraints.clone();
+        conditions.extend_from_slice(extra);
+        crate::solve::fresh_model_value(&self.ctx, &conditions, term)
+    }
+
+    /// History-independent test-vector extraction (fresh solver), matching
+    /// [`SymExec::stable_witness_vector`](crate::SymExec::stable_witness_vector).
+    pub fn stable_witness_vector(&mut self, extra: &[TermId]) -> Option<TestVector> {
+        let mut conditions = self.constraints.clone();
+        conditions.extend_from_slice(extra);
+        crate::solve::fresh_model_vector(&self.ctx, &conditions, &self.path_symbols)
+    }
+
+    /// Runs the full [well-formedness pass](crate::wf::validate_path) over
+    /// this path's condition and symbolic reads.
+    #[must_use]
+    pub fn lint_path(&self) -> Vec<WfIssue> {
+        crate::wf::validate_path(&self.ctx, &self.constraints, &self.path_symbols)
+    }
+
+    fn kill(&mut self, status: PathStatus) {
+        if self.status == PathStatus::Complete {
+            self.status = status;
+        }
+    }
+
+    fn begin_path<S>(&mut self, prefix: Vec<bool>, snapshot: Option<&Snapshot<S>>) {
+        match snapshot {
+            Some(snap) => {
+                debug_assert!(snap.taken.len() <= prefix.len());
+                debug_assert_eq!(&prefix[..snap.taken.len()], &snap.taken[..]);
+                self.replay = prefix[snap.taken.len()..].iter().copied().collect();
+                self.taken = snap.taken.clone();
+                self.constraints = snap.constraints.clone();
+                self.path_symbols = snap.path_symbols.clone();
+            }
+            None => {
+                self.replay = prefix.into_iter().collect();
+                self.taken = Vec::new();
+                self.constraints = Vec::new();
+                self.path_symbols = Vec::new();
+            }
+        }
+        self.forks = Vec::new();
+        self.status = PathStatus::Complete;
+    }
+}
+
+impl Domain for ForkExec {
+    type Word = TermId;
+    type Bool = TermId;
+
+    fn const_word(&mut self, value: u32) -> TermId {
+        self.ctx.constant(32, value as u64)
+    }
+
+    fn const_bool(&mut self, value: bool) -> TermId {
+        self.ctx.bool_const(value)
+    }
+
+    fn fresh_word(&mut self, name: &str) -> TermId {
+        let sym = self.ctx.symbol(32, name);
+        if !self.path_symbols.contains(&sym) {
+            self.path_symbols.push(sym);
+        }
+        sym
+    }
+
+    fn word_value(&self, word: TermId) -> Option<u32> {
+        self.ctx.const_value(word).map(|v| v as u32)
+    }
+
+    fn bool_value(&self, b: TermId) -> Option<bool> {
+        self.ctx.const_value(b).map(|v| v == 1)
+    }
+
+    fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.add(a, b)
+    }
+
+    fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.sub(a, b)
+    }
+
+    fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.mul(a, b)
+    }
+
+    fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.and(a, b)
+    }
+
+    fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.or(a, b)
+    }
+
+    fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.xor(a, b)
+    }
+
+    fn not_w(&mut self, a: TermId) -> TermId {
+        self.ctx.not(a)
+    }
+
+    fn shl(&mut self, a: TermId, amount: TermId) -> TermId {
+        self.ctx.shl(a, amount)
+    }
+
+    fn lshr(&mut self, a: TermId, amount: TermId) -> TermId {
+        self.ctx.lshr(a, amount)
+    }
+
+    fn ashr(&mut self, a: TermId, amount: TermId) -> TermId {
+        self.ctx.ashr(a, amount)
+    }
+
+    fn eq_w(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.eq(a, b)
+    }
+
+    fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.ult(a, b)
+    }
+
+    fn slt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.slt(a, b)
+    }
+
+    fn ite(&mut self, cond: TermId, then_w: TermId, else_w: TermId) -> TermId {
+        self.ctx.ite(cond, then_w, else_w)
+    }
+
+    fn not_b(&mut self, a: TermId) -> TermId {
+        self.ctx.not(a)
+    }
+
+    fn and_b(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.and(a, b)
+    }
+
+    fn or_b(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ctx.or(a, b)
+    }
+
+    fn bool_to_word(&mut self, b: TermId) -> TermId {
+        self.ctx.zero_ext(b, 32)
+    }
+
+    fn decide(&mut self, cond: TermId) -> bool {
+        if self.is_dead() {
+            return false;
+        }
+        if let Some(value) = self.ctx.const_value(cond) {
+            return value == 1;
+        }
+        if let Some(choice) = self.replay.pop_front() {
+            // Replaying a forced window (snapshot resume or spilled
+            // prefix): feasibility was established when the fork was
+            // scheduled, no solver call needed.
+            let constraint = if choice { cond } else { self.ctx.not(cond) };
+            self.constraints.push(constraint);
+            self.taken.push(choice);
+            return choice;
+        }
+        if self.taken.len() >= self.max_decisions {
+            self.kill(PathStatus::DecisionLimit);
+            return false;
+        }
+        let negated = self.ctx.not(cond);
+        let mut with_true = self.constraints.clone();
+        with_true.push(cond);
+        let true_feasible = self.backend.check_cached(&self.ctx, &with_true).is_sat();
+        let (choice, constraint) = if true_feasible {
+            let mut with_false = self.constraints.clone();
+            with_false.push(negated);
+            if self.backend.check_cached(&self.ctx, &with_false).is_sat() {
+                // Both sides feasible: fork, continue on `true`.
+                let mut sibling = self.taken.clone();
+                sibling.push(false);
+                self.forks.push(sibling);
+            }
+            (true, cond)
+        } else {
+            // The path condition is feasible by induction, so `false` is.
+            (false, negated)
+        };
+        self.constraints.push(constraint);
+        self.taken.push(choice);
+        choice
+    }
+
+    fn assume(&mut self, cond: TermId) {
+        if self.is_dead() {
+            return;
+        }
+        match self.ctx.const_value(cond) {
+            Some(1) => return,
+            Some(_) => {
+                self.kill(PathStatus::Infeasible);
+                return;
+            }
+            None => {}
+        }
+        self.constraints.push(cond);
+        if !self.replay.is_empty() {
+            // Inside the replayed window the identical constraint set was
+            // checked satisfiable on the parent path (the parent stayed
+            // alive past this point, and the flipped branch itself was
+            // checked at fork time), so the re-execution engine's check
+            // here is guaranteed Sat — skip it.
+            return;
+        }
+        if !self
+            .backend
+            .check_cached(&self.ctx, &self.constraints)
+            .is_sat()
+        {
+            self.kill(PathStatus::Infeasible);
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.status != PathStatus::Complete
+    }
+}
+
+impl PathProbe for ForkExec {
+    fn constraints(&self) -> &[TermId] {
+        ForkExec::constraints(self)
+    }
+
+    fn check_sat(&mut self, cond: TermId) -> bool {
+        ForkExec::check_sat(self, cond)
+    }
+
+    fn add_constraint(&mut self, cond: TermId) {
+        ForkExec::add_constraint(self, cond)
+    }
+
+    fn stable_concrete_witness(&mut self, term: TermId, extra: &[TermId]) -> Option<u64> {
+        ForkExec::stable_concrete_witness(self, term, extra)
+    }
+
+    fn stable_witness_vector(&mut self, extra: &[TermId]) -> Option<TestVector> {
+        ForkExec::stable_witness_vector(self, extra)
+    }
+
+    fn lint_path(&self) -> Vec<WfIssue> {
+        ForkExec::lint_path(self)
+    }
+}
+
+/// The snapshotting exploration engine — [`Engine`](crate::Engine)'s
+/// copy-on-write twin.
+///
+/// Explores the same canonical path tree with the same frontier
+/// disciplines and the same `--seed` determinism, but resumes forked paths
+/// from cloned state instead of re-running them. See the
+/// [module docs](self) for the architecture.
+#[derive(Debug)]
+pub struct ForkEngine {
+    exec: ForkExec,
+    config: EngineConfig,
+    rng_state: u64,
+}
+
+impl ForkEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> ForkEngine {
+        ForkEngine {
+            exec: ForkExec::new(config.max_decisions_per_path),
+            config: config.clone(),
+            rng_state: config.seed | 1,
+        }
+    }
+
+    /// Read access to the term context.
+    pub fn ctx(&self) -> &Context {
+        &self.exec.ctx
+    }
+
+    /// The solver backend, e.g. for statistics.
+    pub fn backend(&self) -> &SolverBackend {
+        &self.exec.backend
+    }
+
+    /// Runs the single path selected by `job` and returns its result plus
+    /// the sibling jobs scheduled at fresh forks.
+    ///
+    /// The counterpart of [`Engine::run_prefix`](crate::Engine::run_prefix)
+    /// — everything except the task's own value is a pure function of the
+    /// job's prefix and the task, so a snapshotted job and its spilled
+    /// twin produce identical results.
+    pub fn run_job<T: ForkTask>(
+        &mut self,
+        job: ForkJob<T::State>,
+        task: &T,
+    ) -> (PathResult<T::Out>, Vec<ForkJob<T::State>>) {
+        let ForkJob { prefix, snapshot } = job;
+        self.exec.begin_path(prefix, snapshot.as_deref());
+        // Move out of the snapshot when this job holds the last reference;
+        // clone only when siblings still share it.
+        let mut state: Option<T::State> = snapshot.map(|s| match Arc::try_unwrap(s) {
+            Ok(snap) => snap.state,
+            Err(shared) => shared.state.clone(),
+        });
+        let mut jobs: Vec<ForkJob<T::State>> = Vec::new();
+        let value = loop {
+            let (done, snap) = match state.take() {
+                None => {
+                    // Forks inside `start` (decisions before the first step
+                    // boundary) have no pre-state; their siblings replay the
+                    // whole prefix.
+                    state = Some(task.start(&mut self.exec));
+                    (None, None)
+                }
+                Some(pre_state) => {
+                    // The engine-side bookkeeping is append-only within a
+                    // path, so the pre-step snapshot needs only watermark
+                    // lengths now and is materialised *after* the step, and
+                    // only if the step actually forked.
+                    let constraints_mark = self.exec.constraints.len();
+                    let taken_mark = self.exec.taken.len();
+                    let symbols_mark = self.exec.path_symbols.len();
+                    let mut next = pre_state.clone();
+                    let done = match task.step(&mut next, &mut self.exec) {
+                        StepResult::Continue => None,
+                        StepResult::Done(out) => Some(out),
+                    };
+                    let snap = if self.exec.forks.is_empty() {
+                        None
+                    } else {
+                        Some(Arc::new(Snapshot {
+                            state: pre_state,
+                            constraints: self.exec.constraints[..constraints_mark].to_vec(),
+                            taken: self.exec.taken[..taken_mark].to_vec(),
+                            path_symbols: self.exec.path_symbols[..symbols_mark].to_vec(),
+                        }))
+                    };
+                    state = Some(next);
+                    (done, snap)
+                }
+            };
+            if !self.exec.forks.is_empty() {
+                let siblings = std::mem::take(&mut self.exec.forks);
+                for sibling in siblings {
+                    jobs.push(ForkJob {
+                        prefix: sibling,
+                        snapshot: snap.clone(),
+                    });
+                }
+            }
+            if let Some(out) = done {
+                break out;
+            }
+        };
+        debug_assert!(
+            self.exec.replay.is_empty() || self.exec.is_dead(),
+            "task finished with unconsumed replay decisions"
+        );
+        #[cfg(debug_assertions)]
+        crate::wf::debug_validate_path(&self.exec.ctx, &self.exec.constraints);
+        let test_vector =
+            if self.config.emit_test_vectors && self.exec.status != PathStatus::Infeasible {
+                crate::solve::fresh_model_vector(
+                    &self.exec.ctx,
+                    &self.exec.constraints,
+                    &self.exec.path_symbols,
+                )
+            } else {
+                None
+            };
+        let result = PathResult {
+            value,
+            status: self.exec.status,
+            decisions: self.exec.taken.clone(),
+            num_constraints: self.exec.constraints.len(),
+            test_vector,
+        };
+        (result, jobs)
+    }
+
+    /// Explores every feasible path through `task` (the counterpart of
+    /// [`Engine::explore`](crate::Engine::explore)).
+    pub fn explore<T: ForkTask>(&mut self, task: &T) -> ExploreOutcome<T::Out> {
+        self.explore_until(task, |_| false)
+    }
+
+    /// Like [`ForkEngine::explore`], but stops as soon as `stop` returns
+    /// true for a just-completed path.
+    ///
+    /// The frontier bounds resident snapshots to
+    /// [`EngineConfig::max_resident_snapshots`]; beyond that, new forks are
+    /// spilled to prefix-only jobs.
+    pub fn explore_until<T: ForkTask, P>(&mut self, task: &T, mut stop: P) -> ExploreOutcome<T::Out>
+    where
+        P: FnMut(&PathResult<T::Out>) -> bool,
+    {
+        let mut frontier: Vec<ForkJob<T::State>> = vec![ForkJob::root()];
+        let mut resident = 0usize;
+        let mut paths = Vec::new();
+        let mut complete = 0usize;
+        let mut partial = 0usize;
+
+        while let Some(job) = self.pop_frontier(&mut frontier) {
+            if job.has_snapshot() {
+                resident -= 1;
+            }
+            if paths.len() >= self.config.max_paths {
+                return ExploreOutcome {
+                    paths,
+                    complete_paths: complete,
+                    partial_paths: partial,
+                    frontier_exhausted: true,
+                };
+            }
+            let (result, forks) = self.run_job(job, task);
+            for mut fork in forks {
+                if fork.has_snapshot() {
+                    if resident >= self.config.max_resident_snapshots {
+                        fork.spill();
+                    } else {
+                        resident += 1;
+                    }
+                }
+                frontier.push(fork);
+            }
+            match result.status {
+                PathStatus::Complete => complete += 1,
+                _ => partial += 1,
+            }
+            paths.push(result);
+            if stop(paths.last().expect("just pushed")) {
+                return ExploreOutcome {
+                    frontier_exhausted: !frontier.is_empty(),
+                    paths,
+                    complete_paths: complete,
+                    partial_paths: partial,
+                };
+            }
+        }
+
+        ExploreOutcome {
+            paths,
+            complete_paths: complete,
+            partial_paths: partial,
+            frontier_exhausted: false,
+        }
+    }
+
+    fn pop_frontier<S>(&mut self, frontier: &mut Vec<ForkJob<S>>) -> Option<ForkJob<S>> {
+        if frontier.is_empty() {
+            return None;
+        }
+        // Mirrors Engine::pop_frontier exactly (same xorshift64* stream),
+        // so both engines visit the canonical path tree in the same order.
+        let index = match self.config.strategy {
+            SearchStrategy::Dfs => frontier.len() - 1,
+            SearchStrategy::Bfs => 0,
+            SearchStrategy::RandomPath => {
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                (self.rng_state as usize) % frontier.len()
+            }
+        };
+        Some(frontier.swap_remove(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, SymExec};
+
+    /// Stepped twin of the re-execution tests' three-bit task: one
+    /// decision per step over distinct bits of one symbol.
+    struct BitTask {
+        bits: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    struct BitState {
+        value: u32,
+        bit: u32,
+    }
+
+    impl ForkTask for BitTask {
+        type State = BitState;
+        type Out = u32;
+
+        fn start(&self, _exec: &mut ForkExec) -> BitState {
+            BitState { value: 0, bit: 0 }
+        }
+
+        fn step(&self, state: &mut BitState, exec: &mut ForkExec) -> StepResult<u32> {
+            if exec.is_dead() || state.bit >= self.bits {
+                return StepResult::Done(state.value);
+            }
+            let x = exec.fresh_word("x");
+            let field = exec.field(x, state.bit, state.bit);
+            let one = exec.const_word(1);
+            let set = exec.eq_w(field, one);
+            if exec.decide(set) {
+                state.value |= 1 << state.bit;
+            }
+            state.bit += 1;
+            StepResult::Continue
+        }
+    }
+
+    fn closure_bit_task(bits: u32) -> impl FnMut(&mut SymExec<'_>) -> u32 {
+        move |exec| {
+            let x = exec.fresh_word("x");
+            let mut value = 0u32;
+            for bit in 0..bits {
+                let field = exec.field(x, bit, bit);
+                let one = exec.const_word(1);
+                let set = exec.eq_w(field, one);
+                if exec.decide(set) {
+                    value |= 1 << bit;
+                }
+            }
+            value
+        }
+    }
+
+    fn fingerprint(paths: &[PathResult<u32>]) -> Vec<String> {
+        paths
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:?}|{:?}|{}|{}|{:?}",
+                    p.value,
+                    p.decisions,
+                    p.num_constraints,
+                    p.status == PathStatus::Complete,
+                    p.test_vector.as_ref().map(|v| v.to_string())
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fork_engine_matches_reexec_engine() {
+        for strategy in [
+            SearchStrategy::Dfs,
+            SearchStrategy::Bfs,
+            SearchStrategy::RandomPath,
+        ] {
+            let config = EngineConfig {
+                strategy,
+                ..EngineConfig::default()
+            };
+            let mut reexec = Engine::new(config.clone());
+            let expected = reexec.explore(closure_bit_task(3));
+            let mut fork = ForkEngine::new(config);
+            let actual = fork.explore(&BitTask { bits: 3 });
+            assert_eq!(
+                fingerprint(&actual.paths),
+                fingerprint(&expected.paths),
+                "{strategy:?}: engines must visit identical canonical paths"
+            );
+            assert_eq!(actual.complete_paths, expected.complete_paths);
+            assert_eq!(actual.partial_paths, expected.partial_paths);
+            assert_eq!(actual.frontier_exhausted, expected.frontier_exhausted);
+        }
+    }
+
+    #[test]
+    fn spilled_jobs_match_snapshotted_jobs() {
+        // Forcing every fork to spill (max_resident_snapshots = 0) must
+        // not change any path outcome — only the cost of resuming.
+        let snappy = EngineConfig::default();
+        let spilly = EngineConfig {
+            max_resident_snapshots: 0,
+            ..EngineConfig::default()
+        };
+        let mut with_snapshots = ForkEngine::new(snappy);
+        let baseline = with_snapshots.explore(&BitTask { bits: 4 });
+        let mut without = ForkEngine::new(spilly);
+        let spilled = without.explore(&BitTask { bits: 4 });
+        assert_eq!(fingerprint(&baseline.paths), fingerprint(&spilled.paths));
+    }
+
+    #[test]
+    fn run_job_is_history_independent() {
+        // The same spilled prefix on a fresh engine and on a warmed-up
+        // engine: identical result and forks.
+        let prefix = vec![true, false];
+        let task = BitTask { bits: 3 };
+        let mut fresh = ForkEngine::new(EngineConfig::default());
+        let (baseline, base_forks) = fresh.run_job(ForkJob::from_prefix(prefix.clone()), &task);
+
+        let mut warmed = ForkEngine::new(EngineConfig::default());
+        warmed.run_job(ForkJob::root(), &task);
+        warmed.run_job(ForkJob::from_prefix(vec![false]), &task);
+        let (repeat, repeat_forks) = warmed.run_job(ForkJob::from_prefix(prefix), &task);
+
+        assert_eq!(repeat.value, baseline.value);
+        assert_eq!(repeat.status, baseline.status);
+        assert_eq!(repeat.decisions, baseline.decisions);
+        let (a, b): (Vec<_>, Vec<_>) = (
+            base_forks.iter().map(|j| j.prefix().to_vec()).collect(),
+            repeat_forks.iter().map(|j| j.prefix().to_vec()).collect(),
+        );
+        assert_eq!(a, b);
+        assert_eq!(
+            baseline.test_vector.expect("feasible").to_string(),
+            repeat.test_vector.expect("feasible").to_string(),
+        );
+    }
+
+    struct AssumeTask;
+
+    impl ForkTask for AssumeTask {
+        type State = u32;
+        type Out = bool;
+
+        fn start(&self, _exec: &mut ForkExec) -> u32 {
+            0
+        }
+
+        fn step(&self, state: &mut u32, exec: &mut ForkExec) -> StepResult<bool> {
+            if exec.is_dead() {
+                return StepResult::Done(exec.is_dead());
+            }
+            match *state {
+                0 => {
+                    let x = exec.fresh_word("x");
+                    let three = exec.const_word(3);
+                    let is3 = exec.eq_w(x, three);
+                    exec.assume(is3);
+                }
+                1 => {
+                    let x = exec.fresh_word("x");
+                    let four = exec.const_word(4);
+                    let is4 = exec.eq_w(x, four);
+                    exec.assume(is4); // contradiction
+                }
+                _ => return StepResult::Done(exec.is_dead()),
+            }
+            *state += 1;
+            StepResult::Continue
+        }
+    }
+
+    #[test]
+    fn contradictory_assumes_mark_infeasible() {
+        let mut engine = ForkEngine::new(EngineConfig::default());
+        let outcome = engine.explore(&AssumeTask);
+        assert_eq!(outcome.paths.len(), 1);
+        assert_eq!(outcome.paths[0].status, PathStatus::Infeasible);
+        assert_eq!(outcome.partial_paths, 1);
+        assert!(outcome.paths[0].value);
+    }
+
+    #[test]
+    fn decision_limit_counts_as_partial() {
+        let config = EngineConfig {
+            max_decisions_per_path: 2,
+            ..EngineConfig::default()
+        };
+        let mut engine = ForkEngine::new(config);
+        let outcome = engine.explore(&BitTask { bits: 8 });
+        assert!(outcome
+            .paths
+            .iter()
+            .any(|p| p.status == PathStatus::DecisionLimit));
+    }
+
+    #[test]
+    fn max_paths_truncates_search() {
+        let config = EngineConfig {
+            max_paths: 3,
+            ..EngineConfig::default()
+        };
+        let mut engine = ForkEngine::new(config);
+        let outcome = engine.explore(&BitTask { bits: 6 });
+        assert_eq!(outcome.paths.len(), 3);
+        assert!(outcome.frontier_exhausted);
+    }
+
+    #[test]
+    fn replay_performs_no_solver_work() {
+        // The whole point of the fork engine: resuming a sibling replays
+        // forced decisions without feasibility checks, so exploring a
+        // 2^4-path tree issues far fewer queries than 16 re-runs would.
+        let mut engine = ForkEngine::new(EngineConfig::default());
+        engine.explore(&BitTask { bits: 4 });
+        let cache = engine.backend().query_cache_stats();
+        let queries = cache.hits + cache.misses;
+        // Each of the 15 fresh decisions asks at most 2 queries; replayed
+        // decisions ask none.
+        assert!(queries <= 30, "replay must not issue queries ({queries})");
+    }
+}

@@ -11,6 +11,9 @@
 //!   branch on symbolic data forks the path, path constraints are checked
 //!   for feasibility incrementally, and each completed path can produce a
 //!   concrete [`TestVector`] (KLEE's `.ktest` equivalent),
+//! * [`ForkEngine`] — the same exploration by KLEE-style copy-on-write
+//!   snapshot forking: a stepped [`ForkTask`] is cloned at decision points
+//!   instead of re-run, with a spill-to-replay memory bound,
 //! * [`Domain`] — the abstraction that lets the ISS and the RTL core be
 //!   written once and executed both concretely (`u32`) and symbolically.
 //!
@@ -56,6 +59,8 @@ mod display;
 mod domain;
 mod engine;
 mod eval;
+mod fork;
+mod probe;
 mod solve;
 mod term;
 mod testvec;
@@ -69,7 +74,9 @@ pub use engine::{
     SymExec,
 };
 pub use eval::{eval, Env};
-pub use solve::{CheckResult, SolverBackend};
+pub use fork::{EngineKind, ForkEngine, ForkExec, ForkJob, ForkTask, StepResult};
+pub use probe::PathProbe;
+pub use solve::{CheckResult, QueryCacheStats, SolverBackend};
 pub use symcosim_sat::SolverStats;
 pub use term::{Node, TermId, Width};
 pub use testvec::TestVector;

@@ -1,0 +1,70 @@
+//! Path-level queries shared by the symbolic executors.
+//!
+//! Verification harnesses (the voter, the mismatch reporter) need more than
+//! the [`Domain`] arithmetic surface: they ask whether a condition is
+//! possible on the current path, commit constraints once a disagreement is
+//! witnessed, and extract stable models. [`PathProbe`] captures exactly
+//! that surface so the same harness code runs under the re-execution
+//! engine ([`SymExec`](crate::SymExec)) and the snapshotting fork engine
+//! ([`ForkExec`](crate::ForkExec)).
+
+use crate::term::TermId;
+use crate::wf::WfIssue;
+use crate::{Domain, SymExec, TestVector};
+
+/// A symbolic [`Domain`] that can additionally answer path-level queries.
+///
+/// Implementations must keep the *stable* extraction contract: witnesses
+/// and vectors are computed on a fresh solver from the path condition
+/// alone, so they are identical however the path was scheduled.
+pub trait PathProbe: Domain<Word = TermId, Bool = TermId> {
+    /// The constraints accumulated on this path so far.
+    fn constraints(&self) -> &[TermId];
+
+    /// Whether `cond` is satisfiable together with the path condition —
+    /// *without* committing to it.
+    fn check_sat(&mut self, cond: TermId) -> bool;
+
+    /// Permanently adds `cond` to the path condition.
+    fn add_constraint(&mut self, cond: TermId);
+
+    /// A history-independent concrete witness for `term` under the path
+    /// condition plus `extra` (fresh solver; see
+    /// [`SymExec::stable_concrete_witness`]).
+    fn stable_concrete_witness(&mut self, term: TermId, extra: &[TermId]) -> Option<u64>;
+
+    /// A history-independent test vector for the path condition plus
+    /// `extra`, covering the symbols created on this path.
+    fn stable_witness_vector(&mut self, extra: &[TermId]) -> Option<TestVector>;
+
+    /// Runs the full well-formedness pass over this path.
+    fn lint_path(&self) -> Vec<WfIssue>;
+}
+
+impl PathProbe for SymExec<'_> {
+    fn constraints(&self) -> &[TermId] {
+        // Inherent methods win over trait methods in resolution, so these
+        // delegations do not recurse.
+        SymExec::constraints(self)
+    }
+
+    fn check_sat(&mut self, cond: TermId) -> bool {
+        SymExec::check_sat(self, cond)
+    }
+
+    fn add_constraint(&mut self, cond: TermId) {
+        SymExec::add_constraint(self, cond)
+    }
+
+    fn stable_concrete_witness(&mut self, term: TermId, extra: &[TermId]) -> Option<u64> {
+        SymExec::stable_concrete_witness(self, term, extra)
+    }
+
+    fn stable_witness_vector(&mut self, extra: &[TermId]) -> Option<TestVector> {
+        SymExec::stable_witness_vector(self, extra)
+    }
+
+    fn lint_path(&self) -> Vec<WfIssue> {
+        SymExec::lint_path(self)
+    }
+}

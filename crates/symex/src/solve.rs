@@ -1,5 +1,7 @@
 //! High-level solver facade: feasibility checks and model extraction.
 
+use std::collections::HashMap;
+
 use symcosim_sat::{Lit, SolveResult, Solver, SolverStats};
 
 use crate::blast::Blaster;
@@ -19,6 +21,26 @@ impl CheckResult {
     /// `true` for [`CheckResult::Sat`].
     pub fn is_sat(self) -> bool {
         self == CheckResult::Sat
+    }
+}
+
+/// Hit/miss counters of the feasibility-query memoisation cache
+/// (see [`SolverBackend::check_cached`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Queries answered from the cache without touching the solver.
+    pub hits: u64,
+    /// Queries that had to run the SAT solver.
+    pub misses: u64,
+}
+
+impl QueryCacheStats {
+    /// Component-wise sum, for aggregating per-worker statistics.
+    pub fn merge(self, other: QueryCacheStats) -> QueryCacheStats {
+        QueryCacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
     }
 }
 
@@ -49,6 +71,8 @@ impl CheckResult {
 pub struct SolverBackend {
     solver: Solver,
     blaster: Blaster,
+    cache: HashMap<Box<[TermId]>, CheckResult>,
+    cache_stats: QueryCacheStats,
 }
 
 impl SolverBackend {
@@ -77,10 +101,41 @@ impl SolverBackend {
         }
     }
 
+    /// Checks feasibility like [`check`](SolverBackend::check), memoising
+    /// the answer per *condition set*.
+    ///
+    /// The cache key is the sorted, deduplicated list of condition terms,
+    /// so the same conjunction asked in any order (as happens when sibling
+    /// paths replay a shared prefix) is answered without re-running the
+    /// solver. Because hash-consing makes term identity structural,
+    /// equal keys mean equal formulas.
+    ///
+    /// A cache hit does **not** refresh the solver model: use the plain
+    /// [`check`](SolverBackend::check) before [`value_of`](Self::value_of)
+    /// or [`test_vector`](Self::test_vector). This method is meant for
+    /// feasibility-only call sites (branch decisions, assumptions).
+    pub fn check_cached(&mut self, ctx: &Context, conditions: &[TermId]) -> CheckResult {
+        let mut key: Vec<TermId> = conditions.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        let key: Box<[TermId]> = key.into_boxed_slice();
+        if let Some(&cached) = self.cache.get(&key) {
+            self.cache_stats.hits += 1;
+            return cached;
+        }
+        self.cache_stats.misses += 1;
+        let result = self.check(ctx, conditions);
+        self.cache.insert(key, result);
+        result
+    }
+
     /// The value of `term` in the most recent model.
     ///
     /// Returns `None` if no successful [`check`](SolverBackend::check) has
-    /// happened yet. Bits the model does not constrain read as zero.
+    /// happened yet, **or** if no bit of `term` was constrained by that
+    /// check — i.e. the term never reached the solver, so the model is
+    /// silent about it and any value would do. When at least one bit is
+    /// constrained, the remaining unconstrained bits read as zero.
     pub fn value_of(&mut self, ctx: &Context, term: TermId) -> Option<u64> {
         let bits = self.blaster.bits(ctx, &mut self.solver, term);
         let mut any = false;
@@ -106,7 +161,7 @@ impl SolverBackend {
     /// symbol registered in `ctx`.
     pub fn test_vector(&mut self, ctx: &Context) -> TestVector {
         let mut vector = TestVector::new();
-        for &sym in ctx.symbols().to_vec().iter() {
+        for &sym in ctx.symbols() {
             let name = ctx.symbol_name(sym).expect("registered symbol").to_string();
             let width = ctx.width(sym);
             let value = self.value_of(ctx, sym).unwrap_or(0);
@@ -119,6 +174,48 @@ impl SolverBackend {
     pub fn stats(&self) -> SolverStats {
         self.solver.stats()
     }
+
+    /// Hit/miss counters of the [`check_cached`](Self::check_cached)
+    /// memoisation cache.
+    pub fn query_cache_stats(&self) -> QueryCacheStats {
+        self.cache_stats
+    }
+}
+
+/// Solves `conditions` on a *fresh* backend and extracts a test vector for
+/// `extra_symbols` plus every path symbol in the conditions.
+///
+/// Using a throw-away solver makes the extracted model independent of query
+/// history, so the same path yields the same vector no matter which engine
+/// or worker explored it.
+pub(crate) fn fresh_model_vector(
+    ctx: &Context,
+    conditions: &[TermId],
+    symbols: &[TermId],
+) -> Option<TestVector> {
+    let mut backend = SolverBackend::new();
+    if !backend.check(ctx, conditions).is_sat() {
+        return None;
+    }
+    let mut vector = TestVector::new();
+    for &sym in symbols {
+        let name = ctx.symbol_name(sym)?.to_string();
+        let width = ctx.width(sym);
+        let value = backend.value_of(ctx, sym).unwrap_or(0);
+        vector.push(name, width, value);
+    }
+    Some(vector)
+}
+
+/// Solves `conditions` on a fresh backend and evaluates `term` in the
+/// resulting model. `None` if the conditions are infeasible or no bit of
+/// `term` was constrained (same contract as [`SolverBackend::value_of`]).
+pub(crate) fn fresh_model_value(ctx: &Context, conditions: &[TermId], term: TermId) -> Option<u64> {
+    let mut backend = SolverBackend::new();
+    if !backend.check(ctx, conditions).is_sat() {
+        return None;
+    }
+    backend.value_of(ctx, term)
 }
 
 #[cfg(test)]
@@ -169,5 +266,57 @@ mod tests {
         let x = ctx.symbol(8, "x");
         let mut backend = SolverBackend::new();
         assert_eq!(backend.value_of(&ctx, x), None);
+    }
+
+    #[test]
+    fn value_of_unconstrained_symbol_is_none() {
+        // `value_of` answers None exactly when *no* bit of the term was
+        // constrained by the last check — here `y` never reached the
+        // solver, so the model is silent about it.
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let y = ctx.symbol(8, "y");
+        let c7 = ctx.constant(8, 7);
+        let cond = ctx.eq(x, c7);
+        let mut backend = SolverBackend::new();
+        assert!(backend.check(&ctx, &[cond]).is_sat());
+        assert_eq!(backend.value_of(&ctx, x), Some(7));
+        assert_eq!(backend.value_of(&ctx, y), None, "y has no constrained bit");
+    }
+
+    #[test]
+    fn check_cached_memoises_condition_sets() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let is1 = ctx.eq(x, c1);
+        let is2 = ctx.eq(x, c2);
+
+        let mut backend = SolverBackend::new();
+        assert!(backend.check_cached(&ctx, &[is1]).is_sat());
+        assert!(!backend.check_cached(&ctx, &[is1, is2]).is_sat());
+        assert_eq!(backend.query_cache_stats().misses, 2);
+        assert_eq!(backend.query_cache_stats().hits, 0);
+
+        // Same sets again — order and duplicates don't matter.
+        assert!(backend.check_cached(&ctx, &[is1]).is_sat());
+        assert!(!backend.check_cached(&ctx, &[is2, is1]).is_sat());
+        assert!(!backend.check_cached(&ctx, &[is1, is2, is1]).is_sat());
+        assert_eq!(backend.query_cache_stats().misses, 2);
+        assert_eq!(backend.query_cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn fresh_model_helpers_are_history_independent() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let c9 = ctx.constant(8, 9);
+        let cond = ctx.eq(x, c9);
+        assert_eq!(fresh_model_value(&ctx, &[cond], x), Some(9));
+        let vector = fresh_model_vector(&ctx, &[cond], &[x]).expect("sat");
+        assert_eq!(eval(&ctx, x, &vector.to_env()), 9);
+        let not_cond = ctx.not(cond);
+        assert_eq!(fresh_model_value(&ctx, &[cond, not_cond], x), None);
     }
 }

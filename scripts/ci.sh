@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "==> symcosim-lint --all --json"
 cargo run --release -p symcosim-lint -- --all --json > /dev/null
 
+echo "==> pathengine --smoke (informational, non-gating)"
+cargo run --release -p symcosim-bench --bin pathengine -- --smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,121 @@
+//! The fork engine is a drop-in for the re-execution engine: for any
+//! frontier-drained configuration, running the session with
+//! `EngineKind::Fork` (the default) produces a report bit-identical to
+//! `EngineKind::Reexec` — same findings in the same canonical order,
+//! same witnesses and examples, same path/instruction/cycle counts.
+//!
+//! Both engines walk the decision tree in the same seeded order and ask
+//! the solver the same queries; they differ only in how a sibling path
+//! reconstructs its prefix (replay from the root versus resuming a
+//! copy-on-write snapshot). See DESIGN.md §9 for the argument.
+//!
+//! The configurations below restrict generation to one major opcode so
+//! each exploration stays small; the property itself is
+//! configuration-independent.
+
+use symcosim::core::{EngineKind, InstrConstraint, SessionConfig, VerifyReport, VerifySession};
+use symcosim::isa::opcodes;
+use symcosim::microrv32::InjectedError;
+
+/// Everything report-visible except wall-clock duration and solver/cache
+/// statistics (the fork engine skips replay, so it performs fewer cached
+/// feasibility lookups; the *solved* query sequence is identical).
+fn fingerprint(report: &VerifyReport) -> String {
+    let mut out = String::new();
+    for finding in &report.findings {
+        out.push_str(&format!(
+            "{}|{}|{}|{:?}|{}\n",
+            finding.class,
+            finding.subject,
+            finding.label,
+            finding.example,
+            finding
+                .witness
+                .as_ref()
+                .map(|w| w.to_string())
+                .unwrap_or_default(),
+        ));
+    }
+    out.push_str(&format!(
+        "complete={} partial={} vectors={} instrs={} cycles={} truncated={}",
+        report.paths_complete,
+        report.paths_partial,
+        report.test_vectors,
+        report.instructions_executed,
+        report.cycles,
+        report.truncated,
+    ));
+    out
+}
+
+/// Runs `config` under the re-execution engine, the fork engine, and the
+/// fork engine on two workers, and asserts all three reports agree.
+fn engines_agree(config: SessionConfig) -> VerifyReport {
+    let mut reexec_config = config.clone();
+    reexec_config.engine = EngineKind::Reexec;
+    let reexec = VerifySession::new(reexec_config)
+        .expect("valid config")
+        .run();
+    let expected = fingerprint(&reexec);
+
+    let mut fork_config = config.clone();
+    fork_config.engine = EngineKind::Fork;
+    let fork = VerifySession::new(fork_config.clone())
+        .expect("valid config")
+        .run();
+    assert_eq!(
+        fingerprint(&fork),
+        expected,
+        "fork run() diverged from the re-execution report"
+    );
+
+    let fork_parallel = VerifySession::new(fork_config)
+        .expect("valid config")
+        .run_parallel(2);
+    assert_eq!(
+        fingerprint(&fork_parallel),
+        expected,
+        "fork run_parallel(2) diverged from the re-execution report"
+    );
+    reexec
+}
+
+#[test]
+fn clean_models_branch_space() {
+    // Corrected models, no fault: both engines must drain the BRANCH
+    // space without findings and agree on every count.
+    let mut config = SessionConfig::rv32i_only();
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::BRANCH);
+    let report = engines_agree(config);
+    assert!(report.findings.is_empty(), "clean models must not mismatch");
+    assert!(!report.truncated, "the frontier must drain");
+}
+
+#[test]
+fn shipped_models_store_space() {
+    // One Table I slice (STORE against the shipped models) checks the
+    // catalogue mode: findings, examples and witnesses must all agree.
+    let mut config = SessionConfig::table1();
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::STORE);
+    let report = engines_agree(config);
+    assert!(
+        !report.findings.is_empty(),
+        "the shipped models mismatch on STORE"
+    );
+}
+
+#[test]
+fn injected_e4_op_space() {
+    // Injected-fault mode: E4 (SUB result bit 31 stuck at 0) lives in
+    // the OP opcode space, and its witness extraction must agree too.
+    let mut config = SessionConfig::rv32i_only();
+    config.inject = Some(InjectedError::E4SubStuckAt0Msb);
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::OP);
+    let report = engines_agree(config);
+    assert!(
+        report.findings.iter().any(|f| f.witness.is_some()),
+        "the injected fault must be found with a witness"
+    );
+}
