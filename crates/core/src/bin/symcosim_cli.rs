@@ -12,7 +12,8 @@ use std::io::{IsTerminal, Read};
 
 use symcosim_core::fuzz::{self, FuzzConfig};
 use symcosim_core::{
-    EngineKind, InstrConstraint, ProgressEvent, SessionConfig, VerifyReport, VerifySession,
+    Certificate, EngineKind, InstrConstraint, ProgressEvent, SessionConfig, VerifyReport,
+    VerifySession,
 };
 use symcosim_microrv32::InjectedError;
 
@@ -22,6 +23,7 @@ symcosim — symbolic co-simulation for RISC-V processor verification
 USAGE:
     symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
                         [--jobs N] [--seed N] [--engine fork|reexec] [--lint]
+                        [--opcode HEX] [--certify] [--report-json PATH]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
@@ -32,6 +34,14 @@ USAGE:
         prefix from the root — both produce the identical report.
         --lint runs the symbolic-IR well-formedness pass over every path
         and appends the issues to the report.
+        --opcode restricts generation to one major opcode (hex, e.g. 0x63).
+        --certify projects every path onto the instruction space and
+        audits the run in-process: the certificate proves the explored
+        paths partition the legal decode space (exit code 1 if they do
+        not). --report-json dumps the machine-readable symcosim-report/1
+        document (including the coverage section `symcosim-lint
+        --coverage` re-certifies) to PATH; both flags imply coverage
+        collection.
 
     symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
                         [--engine fork|reexec] [--fuzz] [--hybrid]
@@ -79,6 +89,16 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, Box<dyn Error>
             .get(pos + 1)
             .ok_or_else(|| format!("{flag} expects a value"))?;
         return Ok(Some(value.parse()?));
+    }
+    Ok(None)
+}
+
+fn flag_string(args: &[String], flag: &str) -> Result<Option<String>, Box<dyn Error>> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        let value = args
+            .get(pos + 1)
+            .ok_or_else(|| format!("{flag} expects a value"))?;
+        return Ok(Some(value.clone()));
     }
     Ok(None)
 }
@@ -157,9 +177,37 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(engine) = flag_engine(args)? {
         config.engine = engine;
     }
+    if let Some(opcode) = flag_string(args, "--opcode")? {
+        let digits = opcode.strip_prefix("0x").unwrap_or(&opcode);
+        let word =
+            u32::from_str_radix(digits, 16).map_err(|e| format!("bad --opcode {opcode:?}: {e}"))?;
+        config.constraint = InstrConstraint::OnlyOpcode(word);
+    }
+    let certify = args.iter().any(|a| a == "--certify");
+    let report_json = flag_string(args, "--report-json")?;
+    if certify || report_json.is_some() {
+        config.collect_coverage = true;
+    }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
     let report = run_session(VerifySession::new(config)?, jobs);
     print!("{report}");
+    if let Some(path) = report_json {
+        std::fs::write(&path, report.to_json())?;
+        println!("report dumped to {path}");
+    }
+    if certify {
+        let coverage = report
+            .coverage
+            .as_ref()
+            .expect("--certify collects coverage");
+        let certificate = Certificate::certify(coverage);
+        print!("{certificate}");
+        if certificate.findings() > 0 {
+            // Uncovered decode words or double-claimed paths: the run's
+            // coverage argument does not hold.
+            std::process::exit(1);
+        }
+    }
     Ok(())
 }
 

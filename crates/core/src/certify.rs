@@ -1,0 +1,884 @@
+//! Exploration-coverage certifier: proves, with cube algebra and no
+//! enumeration, that a finished run's paths partition the legal decode
+//! space.
+//!
+//! The input is [`CoverageData`] — per-path ternary-cube projections of
+//! the path conditions onto the symbolic instruction fetch slots
+//! ([`SlotCoverage`]), plus the projected legal decode domain. From it,
+//! [`Certificate::certify`] establishes three theorems per fetch slot:
+//!
+//! 1. **Completeness** — the union of the certified paths' covers
+//!    contains the domain; any uncovered word is reported as a concrete
+//!    hex counterexample.
+//! 2. **Disjointness** — certified paths claim pairwise-disjoint words.
+//!    Checked along the decision prefix tree: where two sibling subtrees
+//!    diverge on an instruction-exact decision, their aggregated covers
+//!    must not intersect.
+//! 3. **Attribution** — every domain word not covered by a certified path
+//!    is covered by a path stopped at an explicit bound (cycle or
+//!    decision limit) or accounted to the run-level truncation flag;
+//!    nothing is silently lost.
+//!
+//! A *certified* path is one that ran to its instruction limit (or to a
+//!   voter mismatch — the mismatch *is* the path's behaviour class) under
+//!   feasible constraints; infeasible paths cover no words and are
+//!   excluded.
+//!
+//! All three theorems are cube-set computations over
+//! [`PatternSet`] — the certifier never enumerates the 2^32 word space.
+//! Because projection only ever widens (never shrinks) a path's cover,
+//! a `complete` verdict is sound: uncovered counterexamples are real
+//! gaps, and inexact covers are flagged per slot via
+//! [`SlotCertificate::exact`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use symcosim_isa::{Pattern, PatternSet};
+use symcosim_symex::SlotCoverage;
+
+use crate::json::{self, JsonValue, JsonWriter};
+
+/// Schema identifier of the certificate document.
+pub const CERT_SCHEMA: &str = "symcosim-cert/1";
+
+/// Name prefix of instruction fetch-slot symbols (see
+/// [`SymbolicInstrMemory`](crate::SymbolicInstrMemory)).
+pub const SLOT_PREFIX: &str = "imem_";
+
+/// Cap on concrete witness words (counterexamples, overlap samples)
+/// reported per slot.
+const WITNESS_LIMIT: usize = 8;
+
+/// Why a non-certified (but feasible) path stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundCause {
+    /// The per-path core clock-cycle limit was hit.
+    CycleLimit,
+    /// The per-path symbolic decision limit was hit (KLEE-style resource
+    /// kill).
+    DecisionLimit,
+}
+
+impl BoundCause {
+    /// Stable JSON spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoundCause::CycleLimit => "cycle_limit",
+            BoundCause::DecisionLimit => "decision_limit",
+        }
+    }
+
+    /// Inverse of [`BoundCause::as_str`].
+    #[must_use]
+    pub fn parse(text: &str) -> Option<BoundCause> {
+        match text {
+            "cycle_limit" => Some(BoundCause::CycleLimit),
+            "decision_limit" => Some(BoundCause::DecisionLimit),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BoundCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One explored path's contribution to the coverage argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathCoverage {
+    /// Branch directions taken at symbolic decision points (the path's
+    /// canonical identity).
+    pub decisions: Vec<bool>,
+    /// Whether the path ran to its instruction limit (or to a voter
+    /// mismatch) under feasible constraints — only such paths certify
+    /// decode-space coverage.
+    pub certified: bool,
+    /// For feasible-but-cut-short paths, the bound that stopped them.
+    /// `None` on certified paths and on excluded (infeasible) paths.
+    pub bound: Option<BoundCause>,
+    /// Projection of the path condition onto each fetch slot it mentions.
+    /// A slot not listed is unconstrained by the path (full cover).
+    pub slots: Vec<SlotCoverage>,
+}
+
+impl PathCoverage {
+    /// Whether the path is excluded from the argument entirely
+    /// (infeasible: it covers no words).
+    #[must_use]
+    pub fn excluded(&self) -> bool {
+        !self.certified && self.bound.is_none()
+    }
+
+    /// The path's cover for `slot` as a disjoint cube set; universe if the
+    /// path does not constrain the slot.
+    fn slot_set(&self, slot: &str) -> PatternSet {
+        match self.slots.iter().find(|s| s.slot == slot) {
+            None => PatternSet::universe(),
+            Some(coverage) => {
+                let mut set = PatternSet::empty();
+                for cube in &coverage.cubes {
+                    set.insert(cube);
+                }
+                set
+            }
+        }
+    }
+}
+
+/// Everything the certifier needs from a finished run — carried in
+/// [`VerifyReport::coverage`](crate::VerifyReport) and round-tripped
+/// through the `symcosim-report/1` JSON dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageData {
+    /// Fetch-slot symbol prefix the projections were taken against.
+    pub slot_prefix: String,
+    /// The legal decode domain as disjoint cubes — the projection of the
+    /// session's instruction-generation constraint, *not* a hard-coded
+    /// table.
+    pub domain: Vec<Pattern>,
+    /// Whether the domain projection is exact (no widening).
+    pub domain_exact: bool,
+    /// Whether the exploration stopped early with work remaining (path
+    /// budget, deadline, or stop-at-first-mismatch).
+    pub truncated: bool,
+    /// Per-path records, in canonical (lexicographic decision) order.
+    pub paths: Vec<PathCoverage>,
+}
+
+impl CoverageData {
+    /// Writes the coverage fields into an already-open JSON object.
+    pub fn write_fields(&self, w: &mut JsonWriter) {
+        w.string_field("slot_prefix", &self.slot_prefix);
+        w.bool_field("domain_exact", self.domain_exact);
+        w.bool_field("truncated", self.truncated);
+        write_cubes(w, "domain", &self.domain);
+        w.array_field("paths", self.paths.len(), |w, i| {
+            let path = &self.paths[i];
+            w.open_object();
+            w.string_field("decisions", &bits_to_string(&path.decisions));
+            w.bool_field("certified", path.certified);
+            match path.bound {
+                Some(cause) => w.string_field("bound", cause.as_str()),
+                None => w.null_field("bound"),
+            }
+            w.array_field("slots", path.slots.len(), |w, j| {
+                let slot = &path.slots[j];
+                w.open_object();
+                w.string_field("slot", &slot.slot);
+                w.bool_field("exact", slot.exact);
+                w.array_field("instr_decisions", slot.instr_decisions.len(), |w, k| {
+                    w.number_value(u64::from(slot.instr_decisions[k]));
+                });
+                write_cubes(w, "cubes", &slot.cubes);
+                w.close_object();
+            });
+            w.close_object();
+        });
+    }
+
+    /// Parses the coverage object written by [`CoverageData::write_fields`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(value: &JsonValue) -> Result<CoverageData, String> {
+        let slot_prefix = value
+            .get("slot_prefix")
+            .and_then(JsonValue::as_str)
+            .ok_or("coverage.slot_prefix missing")?
+            .to_string();
+        let domain_exact = value
+            .get("domain_exact")
+            .and_then(JsonValue::as_bool)
+            .ok_or("coverage.domain_exact missing")?;
+        let truncated = value
+            .get("truncated")
+            .and_then(JsonValue::as_bool)
+            .ok_or("coverage.truncated missing")?;
+        let domain = parse_cubes(value.get("domain").ok_or("coverage.domain missing")?)?;
+        let mut paths = Vec::new();
+        for entry in value
+            .get("paths")
+            .and_then(JsonValue::as_array)
+            .ok_or("coverage.paths missing")?
+        {
+            paths.push(parse_path(entry)?);
+        }
+        Ok(CoverageData {
+            slot_prefix,
+            domain,
+            domain_exact,
+            truncated,
+            paths,
+        })
+    }
+}
+
+fn parse_path(value: &JsonValue) -> Result<PathCoverage, String> {
+    let decisions = bits_from_string(
+        value
+            .get("decisions")
+            .and_then(JsonValue::as_str)
+            .ok_or("path.decisions missing")?,
+    )?;
+    let certified = value
+        .get("certified")
+        .and_then(JsonValue::as_bool)
+        .ok_or("path.certified missing")?;
+    let bound = match value.get("bound").ok_or("path.bound missing")? {
+        JsonValue::Null => None,
+        JsonValue::String(text) => {
+            Some(BoundCause::parse(text).ok_or_else(|| format!("unknown bound cause {text:?}"))?)
+        }
+        _ => return Err("path.bound must be null or a string".to_string()),
+    };
+    let mut slots = Vec::new();
+    for entry in value
+        .get("slots")
+        .and_then(JsonValue::as_array)
+        .ok_or("path.slots missing")?
+    {
+        let slot = entry
+            .get("slot")
+            .and_then(JsonValue::as_str)
+            .ok_or("slot.slot missing")?
+            .to_string();
+        let exact = entry
+            .get("exact")
+            .and_then(JsonValue::as_bool)
+            .ok_or("slot.exact missing")?;
+        let mut instr_decisions = Vec::new();
+        for item in entry
+            .get("instr_decisions")
+            .and_then(JsonValue::as_array)
+            .ok_or("slot.instr_decisions missing")?
+        {
+            let index = item.as_u64().ok_or("instr_decisions entry not a number")?;
+            instr_decisions
+                .push(u32::try_from(index).map_err(|_| "instr_decisions entry too large")?);
+        }
+        let cubes = parse_cubes(entry.get("cubes").ok_or("slot.cubes missing")?)?;
+        slots.push(SlotCoverage {
+            slot,
+            cubes,
+            exact,
+            instr_decisions,
+        });
+    }
+    Ok(PathCoverage {
+        decisions,
+        certified,
+        bound,
+        slots,
+    })
+}
+
+/// Emits `"name": [{"mask": "0x…", "value": "0x…"}, …]`.
+fn write_cubes(w: &mut JsonWriter, name: &str, cubes: &[Pattern]) {
+    w.array_field(name, cubes.len(), |w, i| {
+        w.open_object();
+        w.string_field("mask", &hex(cubes[i].mask));
+        w.string_field("value", &hex(cubes[i].value));
+        w.close_object();
+    });
+}
+
+fn parse_cubes(value: &JsonValue) -> Result<Vec<Pattern>, String> {
+    let mut cubes = Vec::new();
+    for entry in value.as_array().ok_or("cube list is not an array")? {
+        let mask = parse_hex(
+            entry
+                .get("mask")
+                .and_then(JsonValue::as_str)
+                .ok_or("cube.mask missing")?,
+        )?;
+        let cube_value = parse_hex(
+            entry
+                .get("value")
+                .and_then(JsonValue::as_str)
+                .ok_or("cube.value missing")?,
+        )?;
+        cubes.push(Pattern::new(mask, cube_value));
+    }
+    Ok(cubes)
+}
+
+fn hex(word: u32) -> String {
+    format!("{word:#010x}")
+}
+
+fn parse_hex(text: &str) -> Result<u32, String> {
+    let digits = text
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("expected 0x-prefixed hex, got {text:?}"))?;
+    u32::from_str_radix(digits, 16).map_err(|e| format!("bad hex word {text:?}: {e}"))
+}
+
+fn bits_to_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn bits_from_string(text: &str) -> Result<Vec<bool>, String> {
+    text.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("bad decision bit {other:?}")),
+        })
+        .collect()
+}
+
+/// The certifier's overall conclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The certified paths cover the whole legal decode domain and are
+    /// pairwise disjoint: the run partitions the decode space.
+    Complete,
+    /// Every uncovered domain word is attributed to an explicit bound
+    /// (a bounded path's cover, or the run-level truncation flag).
+    Bounded,
+    /// An uncovered domain word has no attribution, or two certified
+    /// paths claim the same word — the coverage argument does not hold.
+    Failed,
+}
+
+impl Verdict {
+    /// Stable JSON spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Complete => "complete",
+            Verdict::Bounded => "bounded",
+            Verdict::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The per-slot coverage theorem instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotCertificate {
+    /// Fetch-slot symbol name (e.g. `imem_00000000`).
+    pub slot: String,
+    /// Words in the legal decode domain.
+    pub domain_words: u64,
+    /// Domain words covered by certified paths.
+    pub certified_words: u64,
+    /// Domain words uncovered by certified paths but attributed to a
+    /// bounded path's cover.
+    pub bounded_words: u64,
+    /// Domain words with no attribution at all.
+    pub residual_words: u64,
+    /// Whether every certified path's projection (and the domain
+    /// projection) was exact — if not, the cover is a sound
+    /// over-approximation and `complete` means "no *provable* gap".
+    pub exact: bool,
+    /// Concrete unattributed words (capped), sorted ascending.
+    pub counterexamples: Vec<u32>,
+    /// Concrete words claimed by two certified sibling subtrees at an
+    /// instruction-exact divergence (capped), sorted ascending.
+    pub overlaps: Vec<u32>,
+}
+
+/// The result of certifying one run: the coverage theorems and their
+/// verdict, serialisable as the `symcosim-cert/1` document.
+///
+/// Deliberately excludes wall-clock timings, engine choice, job counts
+/// and solver statistics so the two path engines — and any worker count —
+/// produce byte-identical certificates for the same exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Overall conclusion (worst across slots).
+    pub verdict: Verdict,
+    /// Fetch-slot symbol prefix.
+    pub slot_prefix: String,
+    /// Run-level truncation flag carried from the session.
+    pub truncated: bool,
+    /// Paths whose covers certify coverage.
+    pub paths_certified: usize,
+    /// Feasible paths stopped at an explicit bound.
+    pub paths_bounded: usize,
+    /// Infeasible paths (cover nothing, excluded).
+    pub paths_excluded: usize,
+    /// The legal decode domain cubes.
+    pub domain: Vec<Pattern>,
+    /// Whether the domain cubes are the exact constraint projection.
+    pub domain_exact: bool,
+    /// Per-slot theorem instances, in slot-name order.
+    pub slots: Vec<SlotCertificate>,
+}
+
+impl Certificate {
+    /// Runs the full certification over collected coverage data.
+    #[must_use]
+    pub fn certify(data: &CoverageData) -> Certificate {
+        let mut domain_set = PatternSet::empty();
+        for cube in &data.domain {
+            domain_set.insert(cube);
+        }
+
+        let certified: Vec<&PathCoverage> = data.paths.iter().filter(|p| p.certified).collect();
+        let bounded: Vec<&PathCoverage> = data
+            .paths
+            .iter()
+            .filter(|p| !p.certified && p.bound.is_some())
+            .collect();
+        let paths_excluded = data.paths.len() - certified.len() - bounded.len();
+
+        let mut slot_names: BTreeSet<&str> = BTreeSet::new();
+        for path in &data.paths {
+            for slot in &path.slots {
+                slot_names.insert(&slot.slot);
+            }
+        }
+
+        let mut slots = Vec::new();
+        let mut any_overlap = false;
+        let mut any_residual = false;
+        let mut any_bounded_words = false;
+        for name in slot_names {
+            let mut certified_cover = PatternSet::empty();
+            for path in &certified {
+                certified_cover.union_with(&path.slot_set(name));
+            }
+            let mut bounded_cover = PatternSet::empty();
+            for path in &bounded {
+                bounded_cover.union_with(&path.slot_set(name));
+            }
+
+            let certified_words = certified_cover.intersect_set(&domain_set).count();
+            let mut residual = domain_set.clone();
+            residual.subtract_set(&certified_cover);
+            let bounded_words = residual.intersect_set(&bounded_cover).count();
+            residual.subtract_set(&bounded_cover);
+            residual.sort_cubes();
+            let residual_words = residual.count();
+            let mut counterexamples: Vec<u32> = residual
+                .cubes()
+                .iter()
+                .take(WITNESS_LIMIT)
+                .map(Pattern::sample)
+                .collect();
+            counterexamples.sort_unstable();
+
+            let exact = data.domain_exact
+                && certified.iter().all(|path| {
+                    path.slots
+                        .iter()
+                        .find(|s| s.slot == name)
+                        .is_none_or(|s| s.exact)
+                });
+
+            let mut overlaps = Vec::new();
+            subtree_cover(&certified, name, 0, &mut overlaps);
+            overlaps.sort_unstable();
+            overlaps.dedup();
+            overlaps.truncate(WITNESS_LIMIT);
+
+            any_overlap |= !overlaps.is_empty();
+            any_residual |= residual_words > 0;
+            any_bounded_words |= bounded_words > 0;
+            slots.push(SlotCertificate {
+                slot: name.to_string(),
+                domain_words: domain_set.count(),
+                certified_words,
+                bounded_words,
+                residual_words,
+                exact,
+                counterexamples,
+                overlaps,
+            });
+        }
+
+        // A run whose certified paths never constrain any fetch slot
+        // covers everything trivially — unless there is no certified path
+        // at all, in which case the whole domain is unaccounted.
+        let nothing_explored = slots.is_empty() && certified.is_empty() && !domain_set.is_empty();
+
+        let verdict = if any_overlap {
+            Verdict::Failed
+        } else if any_residual || nothing_explored {
+            if data.truncated || (nothing_explored && !bounded.is_empty()) {
+                Verdict::Bounded
+            } else {
+                Verdict::Failed
+            }
+        } else if any_bounded_words || data.truncated {
+            Verdict::Bounded
+        } else {
+            Verdict::Complete
+        };
+
+        Certificate {
+            verdict,
+            slot_prefix: data.slot_prefix.clone(),
+            truncated: data.truncated,
+            paths_certified: certified.len(),
+            paths_bounded: bounded.len(),
+            paths_excluded,
+            domain: data.domain.clone(),
+            domain_exact: data.domain_exact,
+            slots,
+        }
+    }
+
+    /// Number of reportable findings — overlap witnesses plus, on a
+    /// failed verdict, the uncovered counterexamples (at least one, so a
+    /// failure is never silent). Zero on `complete` and `bounded`.
+    #[must_use]
+    pub fn findings(&self) -> usize {
+        let overlaps: usize = self.slots.iter().map(|s| s.overlaps.len()).sum();
+        if self.verdict == Verdict::Failed {
+            let uncovered: usize = self.slots.iter().map(|s| s.counterexamples.len()).sum();
+            (overlaps + uncovered).max(1)
+        } else {
+            overlaps
+        }
+    }
+
+    /// Serialises the certificate as the `symcosim-cert/1` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        json::header(&mut w, CERT_SCHEMA);
+        w.string_field("verdict", self.verdict.as_str());
+        w.string_field("slot_prefix", &self.slot_prefix);
+        w.bool_field("truncated", self.truncated);
+        w.number_field("paths_certified", self.paths_certified as u64);
+        w.number_field("paths_bounded", self.paths_bounded as u64);
+        w.number_field("paths_excluded", self.paths_excluded as u64);
+        w.bool_field("domain_exact", self.domain_exact);
+        write_cubes(&mut w, "domain", &self.domain);
+        w.array_field("slots", self.slots.len(), |w, i| {
+            let slot = &self.slots[i];
+            w.open_object();
+            w.string_field("slot", &slot.slot);
+            w.number_field("domain_words", slot.domain_words);
+            w.number_field("certified_words", slot.certified_words);
+            w.number_field("bounded_words", slot.bounded_words);
+            w.number_field("residual_words", slot.residual_words);
+            w.bool_field("exact", slot.exact);
+            w.array_field("counterexamples", slot.counterexamples.len(), |w, k| {
+                w.string_value(&hex(slot.counterexamples[k]));
+            });
+            w.array_field("overlaps", slot.overlaps.len(), |w, k| {
+                w.string_value(&hex(slot.overlaps[k]));
+            });
+            w.close_object();
+        });
+        w.number_field("findings", self.findings() as u64);
+        w.string_field(
+            "status",
+            if self.findings() == 0 {
+                "clean"
+            } else {
+                "findings"
+            },
+        );
+        w.close_object();
+        w.finish()
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "coverage certificate: {} ({} certified, {} bounded, {} excluded paths{})",
+            self.verdict,
+            self.paths_certified,
+            self.paths_bounded,
+            self.paths_excluded,
+            if self.truncated {
+                ", truncated run"
+            } else {
+                ""
+            },
+        )?;
+        for slot in &self.slots {
+            writeln!(
+                f,
+                "  {}: {}/{} words certified, {} bounded, {} unattributed{}",
+                slot.slot,
+                slot.certified_words,
+                slot.domain_words,
+                slot.bounded_words,
+                slot.residual_words,
+                if slot.exact { "" } else { " (widened cover)" },
+            )?;
+            for word in &slot.counterexamples {
+                writeln!(f, "    uncovered: {}", hex(*word))?;
+            }
+            for word in &slot.overlaps {
+                writeln!(f, "    double-claimed: {}", hex(*word))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Recursive disjointness check along the decision prefix tree.
+///
+/// Returns the union of the subtree's covers for `slot`. At the first
+/// depth `d` where the group diverges, if `d` is an instruction-exact
+/// decision (recorded in any member's
+/// [`SlotCoverage::instr_decisions`]) the two halves' aggregated covers
+/// must be disjoint; intersection samples are pushed into `overlaps`.
+fn subtree_cover(
+    paths: &[&PathCoverage],
+    slot: &str,
+    depth: usize,
+    overlaps: &mut Vec<u32>,
+) -> PatternSet {
+    if paths.len() <= 1 {
+        return paths
+            .first()
+            .map_or_else(PatternSet::empty, |p| p.slot_set(slot));
+    }
+    // Advance past the shared prefix to the first divergence. Explored
+    // decision vectors are pairwise prefix-free, so one exists.
+    let mut d = depth;
+    loop {
+        let first = paths[0].decisions.get(d);
+        if first.is_none() || paths.iter().any(|p| p.decisions.get(d) != first) {
+            break;
+        }
+        d += 1;
+    }
+    let (zeros, ones): (Vec<&PathCoverage>, Vec<&PathCoverage>) = paths
+        .iter()
+        .copied()
+        .partition(|p| p.decisions.get(d) == Some(&false));
+    if zeros.is_empty() || ones.is_empty() {
+        // Malformed input (duplicate or prefix-nested decision vectors):
+        // no legitimate split exists, so stop rather than recurse forever.
+        // The union is still sound for the parent's own check.
+        let mut union = PatternSet::empty();
+        for path in paths {
+            union.union_with(&path.slot_set(slot));
+        }
+        return union;
+    }
+    let cover_zeros = subtree_cover(&zeros, slot, d + 1, overlaps);
+    let cover_ones = subtree_cover(&ones, slot, d + 1, overlaps);
+
+    let instr_exact = paths.iter().any(|p| {
+        p.slots
+            .iter()
+            .any(|s| s.slot == slot && s.instr_decisions.contains(&(d as u32)))
+    });
+    if instr_exact {
+        let intersection = cover_zeros.intersect_set(&cover_ones);
+        for cube in intersection.cubes().iter().take(WITNESS_LIMIT) {
+            overlaps.push(cube.sample());
+        }
+    }
+
+    let mut union = cover_zeros;
+    union.union_with(&cover_ones);
+    union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A certified path constraining bit 0 of the slot to `bit`.
+    fn half_path(bit: bool) -> PathCoverage {
+        PathCoverage {
+            decisions: vec![bit],
+            certified: true,
+            bound: None,
+            slots: vec![SlotCoverage {
+                slot: "imem_00000000".to_string(),
+                cubes: vec![Pattern::new(1, u32::from(bit))],
+                exact: true,
+                instr_decisions: vec![0],
+            }],
+        }
+    }
+
+    fn two_half_data() -> CoverageData {
+        CoverageData {
+            slot_prefix: SLOT_PREFIX.to_string(),
+            domain: vec![Pattern::universe()],
+            domain_exact: true,
+            truncated: false,
+            paths: vec![half_path(false), half_path(true)],
+        }
+    }
+
+    #[test]
+    fn disjoint_halves_certify_complete() {
+        let cert = Certificate::certify(&two_half_data());
+        assert_eq!(cert.verdict, Verdict::Complete);
+        assert_eq!(cert.findings(), 0);
+        assert_eq!(cert.paths_certified, 2);
+        let slot = &cert.slots[0];
+        assert_eq!(slot.domain_words, 1 << 32);
+        assert_eq!(slot.certified_words, 1 << 32);
+        assert_eq!(slot.residual_words, 0);
+        assert!(slot.exact);
+        assert!(slot.counterexamples.is_empty() && slot.overlaps.is_empty());
+    }
+
+    #[test]
+    fn a_dropped_path_fails_with_a_counterexample() {
+        let mut data = two_half_data();
+        data.paths.pop(); // lose the odd-words half
+        let cert = Certificate::certify(&data);
+        assert_eq!(cert.verdict, Verdict::Failed);
+        assert!(cert.findings() >= 1);
+        let slot = &cert.slots[0];
+        assert_eq!(slot.residual_words, 1 << 31);
+        // Every reported counterexample really is uncovered (odd word).
+        assert!(!slot.counterexamples.is_empty());
+        assert!(slot.counterexamples.iter().all(|w| w & 1 == 1));
+    }
+
+    #[test]
+    fn a_bounded_path_attributes_its_region() {
+        let mut data = two_half_data();
+        data.paths[1].certified = false;
+        data.paths[1].bound = Some(BoundCause::CycleLimit);
+        let cert = Certificate::certify(&data);
+        assert_eq!(cert.verdict, Verdict::Bounded);
+        assert_eq!(cert.findings(), 0);
+        let slot = &cert.slots[0];
+        assert_eq!(slot.certified_words, 1 << 31);
+        assert_eq!(slot.bounded_words, 1 << 31);
+        assert_eq!(slot.residual_words, 0);
+    }
+
+    #[test]
+    fn a_truncated_run_downgrades_missing_coverage_to_bounded() {
+        let mut data = two_half_data();
+        data.paths.pop();
+        data.truncated = true;
+        let cert = Certificate::certify(&data);
+        assert_eq!(cert.verdict, Verdict::Bounded);
+        assert_eq!(cert.findings(), 0);
+    }
+
+    #[test]
+    fn overlapping_sibling_claims_fail_with_a_witness() {
+        let mut data = two_half_data();
+        // Tamper the second path into claiming every word.
+        data.paths[1].slots[0].cubes = vec![Pattern::universe()];
+        let cert = Certificate::certify(&data);
+        assert_eq!(cert.verdict, Verdict::Failed);
+        let slot = &cert.slots[0];
+        assert!(!slot.overlaps.is_empty());
+        // The witness word is genuinely claimed by both paths.
+        for word in &slot.overlaps {
+            assert!(data
+                .paths
+                .iter()
+                .all(|p| p.slot_set("imem_00000000").covers(*word)));
+        }
+    }
+
+    #[test]
+    fn branches_on_register_values_may_share_words() {
+        // Two certified paths diverging on a *non*-instruction decision
+        // (e.g. a register-dependent branch) legitimately cover the same
+        // instruction words.
+        let mut data = two_half_data();
+        for path in &mut data.paths {
+            path.slots[0].cubes = vec![Pattern::universe()];
+            path.slots[0].instr_decisions.clear();
+        }
+        let cert = Certificate::certify(&data);
+        assert_eq!(cert.verdict, Verdict::Complete);
+        assert!(cert.slots[0].overlaps.is_empty());
+    }
+
+    #[test]
+    fn infeasible_paths_are_excluded_not_counted_against() {
+        let mut data = two_half_data();
+        data.paths.push(PathCoverage {
+            decisions: vec![true, true],
+            certified: false,
+            bound: None,
+            slots: Vec::new(),
+        });
+        let cert = Certificate::certify(&data);
+        assert_eq!(cert.verdict, Verdict::Complete);
+        assert_eq!(cert.paths_excluded, 1);
+    }
+
+    #[test]
+    fn widened_covers_are_flagged_inexact_but_still_sound() {
+        let mut data = two_half_data();
+        data.paths[0].slots[0].exact = false;
+        let cert = Certificate::certify(&data);
+        assert_eq!(cert.verdict, Verdict::Complete);
+        assert!(!cert.slots[0].exact);
+    }
+
+    #[test]
+    fn coverage_data_round_trips_through_json() {
+        let mut data = two_half_data();
+        data.paths[1].certified = false;
+        data.paths[1].bound = Some(BoundCause::DecisionLimit);
+        let mut w = JsonWriter::new();
+        w.open_object();
+        data.write_fields(&mut w);
+        w.close_object();
+        let text = w.finish();
+        let value = JsonValue::parse(&text).expect("own output parses");
+        let parsed = CoverageData::from_json(&value).expect("own output round-trips");
+        assert_eq!(parsed, data);
+    }
+
+    #[test]
+    fn certificate_json_has_the_versioned_header_and_verdict() {
+        let cert = Certificate::certify(&two_half_data());
+        let text = cert.to_json();
+        let value = JsonValue::parse(&text).expect("certificate parses");
+        assert_eq!(
+            value.get("schema").and_then(JsonValue::as_str),
+            Some(CERT_SCHEMA)
+        );
+        assert_eq!(
+            value.get("tool").and_then(JsonValue::as_str),
+            Some("symcosim")
+        );
+        assert_eq!(
+            value.get("verdict").and_then(JsonValue::as_str),
+            Some("complete")
+        );
+        assert_eq!(
+            value.get("status").and_then(JsonValue::as_str),
+            Some("clean")
+        );
+        assert_eq!(value.get("findings").and_then(JsonValue::as_u64), Some(0));
+    }
+
+    #[test]
+    fn empty_runs_fail_unless_attributed() {
+        let empty = CoverageData {
+            slot_prefix: SLOT_PREFIX.to_string(),
+            domain: vec![Pattern::universe()],
+            domain_exact: true,
+            truncated: false,
+            paths: Vec::new(),
+        };
+        assert_eq!(Certificate::certify(&empty).verdict, Verdict::Failed);
+        let truncated = CoverageData {
+            truncated: true,
+            ..empty
+        };
+        assert_eq!(Certificate::certify(&truncated).verdict, Verdict::Bounded);
+    }
+}

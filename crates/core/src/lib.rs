@@ -50,18 +50,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 mod cosim;
 pub mod fuzz;
+pub mod json;
 mod memory;
 mod replay;
 mod report;
 mod session;
 mod voter;
 
+pub use certify::{BoundCause, Certificate, CoverageData, PathCoverage, SlotCertificate, Verdict};
 pub use cosim::{CoSim, CosimOutcome, CosimResult, StopReason};
 pub use memory::{IssDataBus, SymbolicDataMemory, SymbolicInstrMemory};
 pub use replay::replay;
-pub use report::{Finding, FindingClass, VerifyReport};
+pub use report::{Finding, FindingClass, VerifyReport, REPORT_SCHEMA};
 pub use session::{InstrConstraint, SessionConfig, SessionError, VerifySession};
 pub use symcosim_exec::ProgressEvent;
 pub use symcosim_symex::{EngineKind, QueryCacheStats};

@@ -11,6 +11,8 @@ use std::time::Duration;
 use symcosim_isa::{decode, Csr, CsrClass, Instr, Trap};
 use symcosim_symex::{QueryCacheStats, SolverStats, TestVector};
 
+use crate::certify::CoverageData;
+use crate::json::{self, JsonWriter};
 use crate::voter::{Mismatch, MismatchKind};
 
 /// Table I's *R* column.
@@ -330,7 +332,15 @@ pub struct VerifyReport {
     pub solver_stats: SolverStats,
     /// Feasibility-query memoisation counters, summed over all workers.
     pub query_cache: QueryCacheStats,
+    /// Per-path decode-space coverage projections plus the projected
+    /// legal domain — the coverage certifier's input. `None` unless
+    /// [`SessionConfig::collect_coverage`](crate::SessionConfig::collect_coverage)
+    /// is set.
+    pub coverage: Option<CoverageData>,
 }
+
+/// Schema identifier of the session-report JSON dump.
+pub const REPORT_SCHEMA: &str = "symcosim-report/1";
 
 impl VerifyReport {
     /// The first finding, if any mismatch was discovered.
@@ -341,6 +351,49 @@ impl VerifyReport {
     /// Total paths explored.
     pub fn total_paths(&self) -> usize {
         self.paths_complete + self.paths_partial
+    }
+
+    /// Serialises the report as the `symcosim-report/1` document —
+    /// the machine-readable surface `symcosim-lint --coverage`
+    /// re-certifies. Wall-clock duration and solver statistics are
+    /// deliberately excluded so the dump is identical across engines,
+    /// worker counts and machines.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        json::header(&mut w, REPORT_SCHEMA);
+        w.number_field("paths_complete", self.paths_complete as u64);
+        w.number_field("paths_partial", self.paths_partial as u64);
+        w.number_field("instructions_executed", self.instructions_executed);
+        w.number_field("cycles", self.cycles);
+        w.number_field("test_vectors", self.test_vectors as u64);
+        w.bool_field("truncated", self.truncated);
+        w.array_field("findings", self.findings.len(), |w, i| {
+            let finding = &self.findings[i];
+            w.open_object();
+            w.string_field("class", &finding.class.to_string());
+            w.string_field("subject", &finding.subject);
+            w.string_field("label", &finding.label);
+            match &finding.example {
+                Some(example) => w.string_field("example", example),
+                None => w.null_field("example"),
+            }
+            w.close_object();
+        });
+        w.array_field("lint_issues", self.lint_issues.len(), |w, i| {
+            w.string_value(&self.lint_issues[i]);
+        });
+        match &self.coverage {
+            Some(coverage) => {
+                w.object_field("coverage");
+                coverage.write_fields(&mut w);
+                w.close_object();
+            }
+            None => w.null_field("coverage"),
+        }
+        w.close_object();
+        w.finish()
     }
 }
 

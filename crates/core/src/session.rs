@@ -7,14 +7,16 @@ use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 
 use symcosim_exec::{explore_parallel, explore_parallel_fork, ExecConfig, ProgressEvent};
-use symcosim_isa::opcodes;
+use symcosim_isa::{opcodes, Pattern};
 use symcosim_iss::IssConfig;
 use symcosim_microrv32::{CoreConfig, InjectedError};
 use symcosim_symex::{
     Domain, Engine, EngineConfig, EngineKind, ForkEngine, ForkExec, ForkTask, PathProbe,
-    PathResult, QueryCacheStats, SearchStrategy, SolverStats, StepResult, SymExec, TestVector,
+    PathResult, PathStatus, QueryCacheStats, SearchStrategy, SlotCoverage, SolverStats, StepResult,
+    SymExec, TestVector,
 };
 
+use crate::certify::{self, BoundCause, CoverageData, PathCoverage};
 use crate::cosim::{CoSim, CosimResult, StopReason};
 use crate::report::{classify, Finding, VerifyReport};
 use crate::voter::{Mismatch, SymbolicJudge};
@@ -90,6 +92,12 @@ pub struct SessionConfig {
     /// canonical path set and produce bit-identical reports — the CLI's
     /// `--engine` flag.
     pub engine: EngineKind,
+    /// Project every path's condition onto the instruction fetch slots
+    /// and carry the cubes — together with the projected legal decode
+    /// domain — in [`VerifyReport::coverage`], ready for the coverage
+    /// certifier ([`Certificate`](crate::Certificate)). Off by default:
+    /// projection adds a small per-path cost.
+    pub collect_coverage: bool,
 }
 
 impl SessionConfig {
@@ -114,6 +122,7 @@ impl SessionConfig {
             deadline: None,
             lint_ir: false,
             engine: EngineKind::Fork,
+            collect_coverage: false,
         }
     }
 
@@ -139,6 +148,7 @@ impl SessionConfig {
             deadline: None,
             lint_ir: false,
             engine: EngineKind::Fork,
+            collect_coverage: false,
         }
     }
 }
@@ -173,6 +183,7 @@ struct PathRun {
     instr_word: Option<u32>,
     witness: Option<TestVector>,
     lint_issues: Vec<String>,
+    coverage: Vec<SlotCoverage>,
 }
 
 /// The end-to-end symbolic verification flow.
@@ -238,6 +249,9 @@ impl VerifySession {
         let start = Instant::now();
         let config = self.config;
         let stop_early = config.stop_at_first_mismatch;
+        let domain = config
+            .collect_coverage
+            .then(|| project_domain(config.constraint));
         match config.engine {
             EngineKind::Reexec => {
                 let mut engine = Engine::new(engine_config(&config));
@@ -254,6 +268,7 @@ impl VerifySession {
                     start,
                     solver,
                     cache,
+                    domain,
                 )
             }
             EngineKind::Fork => {
@@ -272,6 +287,7 @@ impl VerifySession {
                     start,
                     solver,
                     cache,
+                    domain,
                 )
             }
         }
@@ -306,6 +322,9 @@ impl VerifySession {
             deadline: config.deadline,
         };
         let stop_early = config.stop_at_first_mismatch;
+        let domain = config
+            .collect_coverage
+            .then(|| project_domain(config.constraint));
         match config.engine {
             EngineKind::Reexec => {
                 let closure_config = config.clone();
@@ -322,6 +341,7 @@ impl VerifySession {
                     start,
                     solver,
                     cache,
+                    domain,
                 )
             }
             EngineKind::Fork => {
@@ -341,6 +361,7 @@ impl VerifySession {
                     start,
                     solver,
                     cache,
+                    domain,
                 )
             }
         }
@@ -388,8 +409,32 @@ fn merge_report(
     start: Instant,
     solver_stats: SolverStats,
     query_cache: QueryCacheStats,
+    domain: Option<(Vec<Pattern>, bool)>,
 ) -> VerifyReport {
     paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
+
+    // Coverage rides through the same deterministic merge as the
+    // findings: path records are already in canonical decision order, so
+    // the certifier input — and hence the certificate — is bit-identical
+    // across engines and worker counts.
+    let coverage = domain.map(|(domain, domain_exact)| CoverageData {
+        slot_prefix: certify::SLOT_PREFIX.to_string(),
+        domain,
+        domain_exact,
+        truncated,
+        paths: paths
+            .iter()
+            .map(|path| {
+                let (certified, bound) = classify_path_coverage(path);
+                PathCoverage {
+                    decisions: path.decisions.clone(),
+                    certified,
+                    bound,
+                    slots: path.value.coverage.clone(),
+                }
+            })
+            .collect(),
+    });
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut seen: HashSet<(String, String)> = HashSet::new();
@@ -438,6 +483,45 @@ fn merge_report(
         lint_issues,
         solver_stats,
         query_cache,
+        coverage,
+    }
+}
+
+/// Classifies a path for the coverage certifier: certified paths fully
+/// determined their behaviour class (ran to the instruction limit, or to
+/// a voter mismatch — the mismatch *is* the class); feasible paths cut
+/// short map to the bound that stopped them; infeasible paths cover no
+/// words and are excluded.
+fn classify_path_coverage(path: &PathResult<PathRun>) -> (bool, Option<BoundCause>) {
+    match path.status {
+        PathStatus::Complete => match path.value.stop {
+            StopReason::InstrLimit | StopReason::Mismatch => (true, None),
+            StopReason::CycleLimit => (false, Some(BoundCause::CycleLimit)),
+            StopReason::PathDead => (false, None),
+        },
+        PathStatus::DecisionLimit => (false, Some(BoundCause::DecisionLimit)),
+        PathStatus::Infeasible => (false, None),
+    }
+}
+
+/// Projects the session's instruction-generation constraint onto a fresh
+/// fetch slot: the *legal decode domain* the certifier checks coverage
+/// against. Runs the real [`build_imem`] constraint closure on a scratch
+/// engine — the domain is derived from the same code path every explored
+/// path went through, never a hard-coded table.
+fn project_domain(constraint: InstrConstraint) -> (Vec<Pattern>, bool) {
+    let mut engine = Engine::new(EngineConfig::default());
+    let outcome = engine.run_prefix(Vec::new(), |exec: &mut SymExec<'_>| {
+        let mut imem = build_imem(constraint);
+        let addr = exec.const_word(0);
+        let _ = imem.fetch(exec, addr);
+        exec.project_coverage(certify::SLOT_PREFIX)
+    });
+    match outcome.result.value.into_iter().next() {
+        Some(slot) => (slot.cubes, slot.exact),
+        // An unconstrained generator mentions the slot in no assumption:
+        // every word is legal.
+        None => (vec![Pattern::universe()], true),
     }
 }
 
@@ -483,6 +567,11 @@ fn finish_run<D: PathProbe>(
     } else {
         Vec::new()
     };
+    let coverage = if config.collect_coverage {
+        exec.project_coverage(certify::SLOT_PREFIX)
+    } else {
+        Vec::new()
+    };
     PathRun {
         mismatch: result.mismatch.clone(),
         stop: result.stop,
@@ -491,6 +580,7 @@ fn finish_run<D: PathProbe>(
         instr_word,
         witness,
         lint_issues,
+        coverage,
     }
 }
 

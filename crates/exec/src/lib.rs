@@ -40,6 +40,14 @@
 //! cut short — path budget, deadline, stop predicate — report a
 //! deterministic *content* per path but a scheduling-dependent *subset* of
 //! paths; they set [`ParallelOutcome::frontier_exhausted`].
+//!
+//! The merge is generic in the per-path payload, so anything a path
+//! computes rides it unchanged: the coverage certifier (`core::certify`)
+//! attaches each path's ternary-cube projection onto the instruction
+//! space to the payload, and because drained runs merge canonically, the
+//! resulting `symcosim-cert/1` certificate is byte-identical across
+//! engines and worker counts — the certificate depends only on the
+//! canonical path set, never on the schedule that produced it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -34,6 +34,7 @@ mod disasm;
 mod encode;
 mod imm;
 mod instr;
+pub mod pattern;
 mod reg;
 mod trap;
 
@@ -45,6 +46,7 @@ pub use imm::{
     encode_i_imm, encode_j_imm, encode_s_imm, encode_u_imm,
 };
 pub use instr::{BranchKind, CsrOp, Instr, LoadKind, OpKind, StoreKind};
+pub use pattern::{Pattern, PatternSet};
 pub use reg::Reg;
 pub use trap::Trap;
 

@@ -1,0 +1,477 @@
+//! Ternary bit-pattern algebra over the 32-bit instruction word space.
+//!
+//! A [`Pattern`] is a cube in `{0,1,X}^32`: `mask` selects the cared bits,
+//! `value` gives their required values, and the remaining bits are free.
+//! Decode rules, encoder ranges and the whole 2^32 universe are all cubes,
+//! so the decode-space theorems reduce to cube operations — overlap tests,
+//! intersection, complement and cube subtraction — with no enumeration
+//! anywhere. The same algebra carries the dynamic coverage certificates:
+//! each explored path projects its path condition to a [`PatternSet`] over
+//! the instruction slot, and completeness/disjointness of a whole run are
+//! again just set operations.
+
+use crate::DecodeRule;
+
+/// A ternary cube over 32-bit words: `w` is covered iff `w & mask == value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Pattern {
+    /// Cared-bit mask.
+    pub mask: u32,
+    /// Required value of the cared bits (zero outside `mask`).
+    pub value: u32,
+}
+
+impl Pattern {
+    /// Creates a cube, normalising `value` onto `mask`.
+    #[must_use]
+    pub const fn new(mask: u32, value: u32) -> Pattern {
+        Pattern {
+            mask,
+            value: value & mask,
+        }
+    }
+
+    /// The cube covering every 32-bit word.
+    #[must_use]
+    pub const fn universe() -> Pattern {
+        Pattern { mask: 0, value: 0 }
+    }
+
+    /// The cube holding exactly `word`.
+    #[must_use]
+    pub const fn singleton(word: u32) -> Pattern {
+        Pattern {
+            mask: u32::MAX,
+            value: word,
+        }
+    }
+
+    /// Whether `word` lies in the cube.
+    #[must_use]
+    pub const fn covers(&self, word: u32) -> bool {
+        word & self.mask == self.value
+    }
+
+    /// Number of words in the cube: `2^(32 - popcount(mask))`.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        1u64 << (32 - self.mask.count_ones())
+    }
+
+    /// Whether the two cubes share at least one word: they do exactly when
+    /// their fixed bits agree wherever both care.
+    #[must_use]
+    pub const fn overlaps(&self, other: &Pattern) -> bool {
+        (self.value ^ other.value) & self.mask & other.mask == 0
+    }
+
+    /// Whether every word of `self` also lies in `other`.
+    #[must_use]
+    pub const fn subset_of(&self, other: &Pattern) -> bool {
+        // `other` must care about no bit `self` leaves free, and agree on
+        // the shared cared bits.
+        other.mask & !self.mask == 0 && (self.value ^ other.value) & other.mask == 0
+    }
+
+    /// The intersection cube, `None` when disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &Pattern) -> Option<Pattern> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Pattern {
+            mask: self.mask | other.mask,
+            value: self.value | other.value,
+        })
+    }
+
+    /// A concrete member word (free bits zero).
+    #[must_use]
+    pub const fn sample(&self) -> u32 {
+        self.value
+    }
+
+    /// Corner samples of the cube: free bits all-zero, all-one, and the two
+    /// alternating fillings. Cheap concrete probes that ground the cube
+    /// algebra against the real decoder.
+    #[must_use]
+    pub fn corner_samples(&self) -> [u32; 4] {
+        let free = !self.mask;
+        [
+            self.value,
+            self.value | free,
+            self.value | (free & 0xaaaa_aaaa),
+            self.value | (free & 0x5555_5555),
+        ]
+    }
+
+    /// Cube subtraction: disjoint cubes covering `self \ other`.
+    ///
+    /// Splits `self` along each bit that `other` fixes but `self` leaves
+    /// free; the halves disagreeing with `other` survive, and what remains
+    /// afterwards lies inside `other` and is dropped. At most 32 cubes
+    /// result.
+    #[must_use]
+    pub fn subtract(&self, other: &Pattern) -> Vec<Pattern> {
+        if !self.overlaps(other) {
+            return vec![*self];
+        }
+        let mut survivors = Vec::new();
+        let mut current = *self;
+        let split_bits = other.mask & !self.mask;
+        for bit_index in 0..32 {
+            let bit = 1u32 << bit_index;
+            if split_bits & bit == 0 {
+                continue;
+            }
+            survivors.push(Pattern {
+                mask: current.mask | bit,
+                value: current.value | (bit & !other.value),
+            });
+            current = Pattern {
+                mask: current.mask | bit,
+                value: current.value | (bit & other.value),
+            };
+        }
+        // `current` now agrees with `other` on every cared bit, i.e. it is
+        // contained in `other`, so it is exactly the part removed.
+        survivors
+    }
+
+    /// Cube complement: disjoint cubes covering `universe \ self`.
+    ///
+    /// One cube per cared bit (the standard ring-sum decomposition); the
+    /// all-don't-care cube has an empty complement.
+    #[must_use]
+    pub fn complement(&self) -> Vec<Pattern> {
+        Pattern::universe().subtract(self)
+    }
+}
+
+impl From<&DecodeRule> for Pattern {
+    fn from(rule: &DecodeRule) -> Pattern {
+        Pattern::new(rule.mask, rule.value)
+    }
+}
+
+/// A set of pairwise-disjoint cubes, closed under the boolean set algebra.
+#[derive(Debug, Clone, Default)]
+pub struct PatternSet {
+    cubes: Vec<Pattern>,
+}
+
+impl PatternSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> PatternSet {
+        PatternSet { cubes: Vec::new() }
+    }
+
+    /// The set covering every 32-bit word.
+    #[must_use]
+    pub fn universe() -> PatternSet {
+        PatternSet {
+            cubes: vec![Pattern::universe()],
+        }
+    }
+
+    /// The set covering exactly one cube.
+    #[must_use]
+    pub fn from_cube(pattern: Pattern) -> PatternSet {
+        PatternSet {
+            cubes: vec![pattern],
+        }
+    }
+
+    /// Whether the set covers no word at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Adds every word of `pattern` to the set, keeping cubes disjoint:
+    /// only the part of `pattern` not already covered is appended.
+    pub fn insert(&mut self, pattern: &Pattern) {
+        let mut fresh = vec![*pattern];
+        for cube in &self.cubes {
+            fresh = fresh.iter().flat_map(|f| f.subtract(cube)).collect();
+            if fresh.is_empty() {
+                return;
+            }
+        }
+        self.cubes.extend(fresh);
+    }
+
+    /// Set union: `self := self ∪ other`.
+    pub fn union_with(&mut self, other: &PatternSet) {
+        for cube in &other.cubes {
+            self.insert(cube);
+        }
+    }
+
+    /// Removes every word covered by `pattern` from the set.
+    pub fn subtract(&mut self, pattern: &Pattern) {
+        self.cubes = self
+            .cubes
+            .iter()
+            .flat_map(|cube| cube.subtract(pattern))
+            .collect();
+    }
+
+    /// Set difference: `self := self \ other`.
+    pub fn subtract_set(&mut self, other: &PatternSet) {
+        for cube in &other.cubes {
+            self.subtract(cube);
+        }
+    }
+
+    /// Set intersection, as a new set. Pairwise cube intersections of two
+    /// disjoint families are themselves pairwise disjoint.
+    #[must_use]
+    pub fn intersect_set(&self, other: &PatternSet) -> PatternSet {
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(i) = a.intersect(b) {
+                    cubes.push(i);
+                }
+            }
+        }
+        PatternSet { cubes }
+    }
+
+    /// Set complement: `universe \ self`.
+    #[must_use]
+    pub fn complement(&self) -> PatternSet {
+        let mut out = PatternSet::universe();
+        out.subtract_set(self);
+        out
+    }
+
+    /// The disjoint cubes of the set.
+    #[must_use]
+    pub fn cubes(&self) -> &[Pattern] {
+        &self.cubes
+    }
+
+    /// Total number of words covered (exact, since cubes are disjoint).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.cubes.iter().map(Pattern::count).sum()
+    }
+
+    /// Whether `word` is covered by any cube.
+    #[must_use]
+    pub fn covers(&self, word: u32) -> bool {
+        self.cubes.iter().any(|cube| cube.covers(word))
+    }
+
+    /// Canonicalises the cube order so structurally equal sets compare and
+    /// serialise identically regardless of construction order.
+    pub fn sort_cubes(&mut self) {
+        self.cubes.sort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symcosim_testkit::check_cases;
+
+    #[test]
+    fn universe_counts_the_full_space() {
+        assert_eq!(Pattern::universe().count(), 1u64 << 32);
+        assert_eq!(PatternSet::universe().count(), 1u64 << 32);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_exact() {
+        let a = Pattern::new(0x0000_00ff, 0x13);
+        let b = Pattern::new(0x0000_0f00, 0x100);
+        assert!(a.overlaps(&b) && b.overlaps(&a));
+        let c = Pattern::new(0x0000_00ff, 0x33);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn subtraction_partitions_counts() {
+        let a = Pattern::new(0x0000_007f, 0x13);
+        let b = Pattern::new(0x0000_707f, 0x13);
+        let diff = a.subtract(&b);
+        let diff_count: u64 = diff.iter().map(Pattern::count).sum();
+        assert_eq!(diff_count + b.count(), a.count());
+        for cube in &diff {
+            assert!(!cube.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn disjoint_subtraction_is_identity() {
+        let a = Pattern::new(0x0000_007f, 0x13);
+        let b = Pattern::new(0x0000_007f, 0x33);
+        assert_eq!(a.subtract(&b), vec![a]);
+    }
+
+    #[test]
+    fn subtracting_self_empties_the_cube() {
+        let a = Pattern::new(0x0000_707f, 0x13);
+        assert!(a.subtract(&a).is_empty());
+    }
+
+    #[test]
+    fn membership_matches_subtraction_semantics() {
+        // Randomised: after subtracting b from the universe, a word is
+        // covered exactly when b does not cover it.
+        check_cases(0x717e_0001, 128, |rng| {
+            let b = Pattern::new(rng.next_u32(), rng.next_u32());
+            let mut set = PatternSet::universe();
+            set.subtract(&b);
+            let word = rng.next_u32();
+            assert_eq!(set.covers(word), !b.covers(word));
+            assert_eq!(set.count(), (1u64 << 32) - b.count());
+        });
+    }
+
+    #[test]
+    fn corner_samples_stay_inside_the_cube() {
+        check_cases(0x717e_0002, 64, |rng| {
+            let p = Pattern::new(rng.next_u32(), rng.next_u32());
+            for word in p.corner_samples() {
+                assert!(p.covers(word));
+            }
+        });
+    }
+
+    #[test]
+    fn intersection_covers_common_words() {
+        let a = Pattern::new(0x0000_00ff, 0x13);
+        let b = Pattern::new(0x0000_0f0f, 0x103);
+        let i = a.intersect(&b).expect("overlapping");
+        assert!(a.covers(i.sample()) && b.covers(i.sample()));
+    }
+
+    // --- certifier edge cases: complement / intersection on the boundary
+    // cubes the coverage algebra leans on.
+
+    #[test]
+    fn all_dont_care_cube_has_empty_complement() {
+        assert!(Pattern::universe().complement().is_empty());
+        assert!(PatternSet::universe().complement().is_empty());
+    }
+
+    #[test]
+    fn empty_set_complement_is_the_universe() {
+        let empty = PatternSet::empty();
+        assert!(empty.is_empty());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.complement().count(), 1u64 << 32);
+        // Intersecting anything with the empty set stays empty.
+        assert!(PatternSet::universe().intersect_set(&empty).is_empty());
+    }
+
+    #[test]
+    fn single_bit_cube_complement_is_the_opposite_half() {
+        for bit_index in [0u32, 7, 31] {
+            let bit = 1u32 << bit_index;
+            let ones = Pattern::new(bit, bit);
+            let comp = ones.complement();
+            assert_eq!(comp.len(), 1);
+            assert_eq!(comp[0], Pattern::new(bit, 0));
+            assert_eq!(comp[0].count() + ones.count(), 1u64 << 32);
+        }
+    }
+
+    #[test]
+    fn singleton_cube_complement_partitions_exactly() {
+        let w = 0xdead_beef;
+        let p = Pattern::singleton(w);
+        assert_eq!(p.count(), 1);
+        let comp = p.complement();
+        assert_eq!(comp.len(), 32);
+        let comp_count: u64 = comp.iter().map(Pattern::count).sum();
+        assert_eq!(comp_count, (1u64 << 32) - 1);
+        assert!(comp.iter().all(|c| !c.covers(w)));
+        assert!(comp.iter().any(|c| c.covers(w ^ 1)));
+    }
+
+    #[test]
+    fn single_bit_cube_intersections() {
+        let b0 = Pattern::new(0x1, 0x1);
+        let b1 = Pattern::new(0x2, 0x2);
+        // Different bits: the intersection fixes both.
+        let both = b0.intersect(&b1).expect("independent bits overlap");
+        assert_eq!(both, Pattern::new(0x3, 0x3));
+        // Same bit, opposite polarity: disjoint halves.
+        assert!(b0.intersect(&Pattern::new(0x1, 0x0)).is_none());
+        // Intersecting with itself is the identity.
+        assert_eq!(b0.intersect(&b0), Some(b0));
+    }
+
+    #[test]
+    fn intersect_with_universe_is_identity() {
+        check_cases(0x717e_0003, 64, |rng| {
+            let p = Pattern::new(rng.next_u32(), rng.next_u32());
+            assert_eq!(p.intersect(&Pattern::universe()), Some(p));
+        });
+    }
+
+    #[test]
+    fn subset_of_agrees_with_subtraction() {
+        check_cases(0x717e_0004, 128, |rng| {
+            let a = Pattern::new(rng.next_u32(), rng.next_u32());
+            let b = Pattern::new(rng.next_u32(), rng.next_u32());
+            assert_eq!(a.subset_of(&b), a.subtract(&b).is_empty());
+            assert!(a.subset_of(&a));
+            assert!(a.subset_of(&Pattern::universe()));
+        });
+    }
+
+    #[test]
+    fn insert_keeps_cubes_disjoint_and_counts_exact() {
+        check_cases(0x717e_0005, 64, |rng| {
+            let mut set = PatternSet::empty();
+            let mut members = Vec::new();
+            for _ in 0..6 {
+                let p = Pattern::new(rng.next_u32() | 0xffff_0000, rng.next_u32());
+                set.insert(&p);
+                members.push(p);
+            }
+            for (i, a) in set.cubes().iter().enumerate() {
+                for b in &set.cubes()[i + 1..] {
+                    assert!(!a.overlaps(b), "cubes must stay disjoint");
+                }
+            }
+            let word = rng.next_u32();
+            assert_eq!(set.covers(word), members.iter().any(|m| m.covers(word)));
+        });
+    }
+
+    #[test]
+    fn set_algebra_laws_hold_pointwise() {
+        // union/intersection/difference/complement agree with pointwise
+        // membership on random probes.
+        check_cases(0x717e_0006, 64, |rng| {
+            let a_cube = Pattern::new(rng.next_u32(), rng.next_u32());
+            let b_cube = Pattern::new(rng.next_u32(), rng.next_u32());
+            let a = PatternSet::from_cube(a_cube);
+            let b = PatternSet::from_cube(b_cube);
+
+            let mut union = a.clone();
+            union.union_with(&b);
+            let inter = a.intersect_set(&b);
+            let mut diff = a.clone();
+            diff.subtract_set(&b);
+            let comp = a.complement();
+
+            for _ in 0..8 {
+                let w = rng.next_u32();
+                assert_eq!(union.covers(w), a.covers(w) || b.covers(w));
+                assert_eq!(inter.covers(w), a.covers(w) && b.covers(w));
+                assert_eq!(diff.covers(w), a.covers(w) && !b.covers(w));
+                assert_eq!(comp.covers(w), !a.covers(w));
+            }
+            // Inclusion–exclusion on the exact counts.
+            assert_eq!(union.count() + inter.count(), a.count() + b.count());
+        });
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline re-certification of a dumped session report.
+//!
+//! `symcosim-cli verify --report-json PATH` dumps a `symcosim-report/1`
+//! document whose `coverage` section carries every explored path's
+//! ternary-cube projection onto the symbolic fetch slots. This pass
+//! re-derives the exploration-coverage certificate from that document
+//! alone — no engine, no solver — so a CI gate (or an auditor) can check
+//! a run's partition argument after the fact, and bit-compare the result
+//! against the in-process `symcosim-cert/1` certificate.
+
+use symcosim_core::json::JsonValue;
+use symcosim_core::{Certificate, CoverageData, REPORT_SCHEMA};
+
+/// Parses a dumped `symcosim-report/1` document and re-certifies its
+/// coverage section.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read, is not valid JSON,
+/// carries the wrong schema tag, or has no coverage section (the run was
+/// made without `--certify`/`--report-json`, or the section was
+/// stripped).
+pub fn certify_report_file(path: &str) -> Result<Certificate, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    certify_report_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Re-certifies a `symcosim-report/1` document given as a JSON string.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON, a wrong `schema` tag or a
+/// missing/null/ill-formed `coverage` section.
+pub fn certify_report_json(text: &str) -> Result<Certificate, String> {
+    let value = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some(schema) if schema == REPORT_SCHEMA => {}
+        Some(schema) => return Err(format!("schema is {schema:?}, expected {REPORT_SCHEMA:?}")),
+        None => return Err(format!("missing schema tag (expected {REPORT_SCHEMA:?})")),
+    }
+    let coverage = match value.get("coverage") {
+        None | Some(JsonValue::Null) => {
+            return Err(
+                "report has no coverage section; rerun symcosim-cli verify with --report-json \
+                 (coverage collection is implied)"
+                    .to_string(),
+            )
+        }
+        Some(section) => CoverageData::from_json(section)?,
+    };
+    Ok(Certificate::certify(&coverage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symcosim_core::Verdict;
+
+    /// A minimal report: one certified path claiming the whole space.
+    fn report(coverage_json: &str) -> String {
+        format!("{{\n  \"schema\": \"symcosim-report/1\",\n  \"coverage\": {coverage_json}\n}}\n")
+    }
+
+    const FULL_COVER: &str = "{\n\
+        \"slot_prefix\": \"imem_\",\n\
+        \"domain_exact\": true,\n\
+        \"truncated\": false,\n\
+        \"domain\": [{\"mask\": \"0x00000000\", \"value\": \"0x00000000\"}],\n\
+        \"paths\": [{\n\
+          \"decisions\": \"\",\n\
+          \"certified\": true,\n\
+          \"bound\": null,\n\
+          \"slots\": [{\n\
+            \"slot\": \"imem_00000000\",\n\
+            \"exact\": true,\n\
+            \"instr_decisions\": [],\n\
+            \"cubes\": [{\"mask\": \"0x00000000\", \"value\": \"0x00000000\"}]\n\
+          }]\n\
+        }]\n\
+      }";
+
+    #[test]
+    fn a_well_formed_dump_re_certifies() {
+        let cert = certify_report_json(&report(FULL_COVER)).expect("certifies");
+        assert_eq!(cert.verdict, Verdict::Complete);
+        assert_eq!(cert.findings(), 0);
+    }
+
+    #[test]
+    fn a_wrong_schema_is_rejected() {
+        let text = report(FULL_COVER).replace("symcosim-report/1", "symcosim-lint/1");
+        let err = certify_report_json(&text).expect_err("wrong schema");
+        assert!(err.contains("symcosim-report/1"), "{err}");
+    }
+
+    #[test]
+    fn a_stripped_coverage_section_is_an_error_not_a_pass() {
+        let err = certify_report_json(&report("null")).expect_err("no coverage");
+        assert!(err.contains("no coverage section"), "{err}");
+    }
+
+    #[test]
+    fn a_missing_file_reports_the_path() {
+        let err = certify_report_file("/nonexistent/report.json").expect_err("no file");
+        assert!(err.contains("/nonexistent/report.json"), "{err}");
+    }
+}

@@ -25,6 +25,10 @@
 //!   ([`symcosim_symex::wf`]) run over the path conditions of a real
 //!   symbolic co-simulation, plus an executable audit of the `x0`
 //!   write-discard choke points in both models.
+//! * [`coverage`] — offline re-certification of a dumped
+//!   `symcosim-report/1` document: re-derives the exploration-coverage
+//!   certificate (the run's paths partition the legal decode space) from
+//!   the report's ternary-cube projections, with no engine in the loop.
 //! * [`report`] — human-readable and versioned-JSON report assembly
 //!   ([`report::SCHEMA`]).
 //!
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod cross;
 pub mod decode_space;
 pub mod ir;

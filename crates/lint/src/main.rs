@@ -1,7 +1,8 @@
 //! The `symcosim-lint` command-line driver.
 //!
 //! ```text
-//! symcosim-lint [--all] [--decode] [--cross] [--ir] [--json]
+//! symcosim-lint [--all] [--decode] [--cross] [--ir]
+//!               [--coverage REPORT.json] [--json]
 //! ```
 //!
 //! Runs the selected static-analysis passes (default `--all`) and prints
@@ -9,25 +10,31 @@
 //! `--json`. Exits 0 when clean, 1 on any gating finding, 2 on usage
 //! errors.
 
-use symcosim_lint::{cross, decode_space, ir, LintReport};
+use symcosim_lint::{coverage, cross, decode_space, ir, LintReport};
 
 const USAGE: &str = "\
 symcosim-lint — static decode-space and symbolic-IR analysis
 
 USAGE:
-    symcosim-lint [--all] [--decode] [--cross] [--ir] [--json]
+    symcosim-lint [--all] [--decode] [--cross] [--ir]
+                  [--coverage REPORT.json] [--json]
 
-        --decode  decode-space theorems: completeness, disjointness and
-                  encoder consistency of the shared decode table, proved
-                  by ternary-cube subtraction (no enumeration)
-        --cross   cross-model sweeps: the corrected ISS and core must
-                  classify exactly the table's complement as illegal;
-                  as-shipped disagreements are reported as concrete
-                  counterexample words
-        --ir      symbolic-IR well-formedness over real path conditions,
-                  plus the executable x0 write-discard audit
-        --all     all of the above (the default)
-        --json    emit the versioned JSON report instead of text
+        --decode    decode-space theorems: completeness, disjointness and
+                    encoder consistency of the shared decode table, proved
+                    by ternary-cube subtraction (no enumeration)
+        --cross     cross-model sweeps: the corrected ISS and core must
+                    classify exactly the table's complement as illegal;
+                    as-shipped disagreements are reported as concrete
+                    counterexample words
+        --ir        symbolic-IR well-formedness over real path conditions,
+                    plus the executable x0 write-discard audit
+        --coverage  re-certify the exploration coverage of a dumped
+                    symcosim-report/1 document (from `symcosim-cli verify
+                    --report-json PATH`): prove the run's paths partition
+                    the legal decode space, offline, with no engine
+        --all       decode + cross + ir (the default when no pass is
+                    selected)
+        --json      emit the versioned JSON report instead of text
 
     Exits 0 when clean, 1 on any gating finding.
 ";
@@ -42,12 +49,23 @@ fn run(args: &[String]) -> i32 {
     let mut decode = false;
     let mut cross_model = false;
     let mut ir_pass = false;
-    for arg in args {
+    let mut coverage_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--decode" => decode = true,
             "--cross" => cross_model = true,
             "--ir" => ir_pass = true,
+            "--coverage" => match iter.next() {
+                Some(path) => coverage_path = Some(path.clone()),
+                None => {
+                    eprintln!("error: --coverage expects a report path");
+                    eprintln!();
+                    eprintln!("{USAGE}");
+                    return 2;
+                }
+            },
             "--all" => {
                 decode = true;
                 cross_model = true;
@@ -65,16 +83,28 @@ fn run(args: &[String]) -> i32 {
             }
         }
     }
-    if !decode && !cross_model && !ir_pass {
+    if !decode && !cross_model && !ir_pass && coverage_path.is_none() {
         decode = true;
         cross_model = true;
         ir_pass = true;
     }
 
+    let cert = match coverage_path {
+        None => None,
+        Some(path) => match coverage::certify_report_file(&path) {
+            Ok(cert) => Some(cert),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return 2;
+            }
+        },
+    };
+
     let report = LintReport {
         decode: decode.then(decode_space::analyze),
         cross: cross_model.then(cross::analyze),
         ir: ir_pass.then(ir::analyze),
+        coverage: cert,
     };
 
     if json {

@@ -1,246 +1,9 @@
-//! Ternary bit-pattern algebra over the 32-bit instruction word space.
+//! Ternary bit-pattern algebra — re-exported from `symcosim-isa`.
 //!
-//! A [`Pattern`] is a cube in `{0,1,X}^32`: `mask` selects the cared bits,
-//! `value` gives their required values, and the remaining bits are free.
-//! Decode rules, encoder ranges and the whole 2^32 universe are all cubes,
-//! so the decode-space theorems reduce to cube operations — overlap tests
-//! and cube subtraction — with no enumeration anywhere.
+//! The cube algebra originally lived here, serving only the static decode
+//! theorems. The coverage certifier made it load-bearing for `symex` and
+//! `core` as well, so the implementation moved down the dependency graph to
+//! [`symcosim_isa::pattern`]; this module keeps the historical
+//! `symcosim_lint::{Pattern, PatternSet}` paths working.
 
-use symcosim_isa::DecodeRule;
-
-/// A ternary cube over 32-bit words: `w` is covered iff `w & mask == value`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Pattern {
-    /// Cared-bit mask.
-    pub mask: u32,
-    /// Required value of the cared bits (zero outside `mask`).
-    pub value: u32,
-}
-
-impl Pattern {
-    /// Creates a cube, normalising `value` onto `mask`.
-    #[must_use]
-    pub const fn new(mask: u32, value: u32) -> Pattern {
-        Pattern {
-            mask,
-            value: value & mask,
-        }
-    }
-
-    /// The cube covering every 32-bit word.
-    #[must_use]
-    pub const fn universe() -> Pattern {
-        Pattern { mask: 0, value: 0 }
-    }
-
-    /// Whether `word` lies in the cube.
-    #[must_use]
-    pub const fn covers(&self, word: u32) -> bool {
-        word & self.mask == self.value
-    }
-
-    /// Number of words in the cube: `2^(32 - popcount(mask))`.
-    #[must_use]
-    pub const fn count(&self) -> u64 {
-        1u64 << (32 - self.mask.count_ones())
-    }
-
-    /// Whether the two cubes share at least one word: they do exactly when
-    /// their fixed bits agree wherever both care.
-    #[must_use]
-    pub const fn overlaps(&self, other: &Pattern) -> bool {
-        (self.value ^ other.value) & self.mask & other.mask == 0
-    }
-
-    /// The intersection cube, `None` when disjoint.
-    #[must_use]
-    pub fn intersect(&self, other: &Pattern) -> Option<Pattern> {
-        if !self.overlaps(other) {
-            return None;
-        }
-        Some(Pattern {
-            mask: self.mask | other.mask,
-            value: self.value | other.value,
-        })
-    }
-
-    /// A concrete member word (free bits zero).
-    #[must_use]
-    pub const fn sample(&self) -> u32 {
-        self.value
-    }
-
-    /// Corner samples of the cube: free bits all-zero, all-one, and the two
-    /// alternating fillings. Cheap concrete probes that ground the cube
-    /// algebra against the real decoder.
-    #[must_use]
-    pub fn corner_samples(&self) -> [u32; 4] {
-        let free = !self.mask;
-        [
-            self.value,
-            self.value | free,
-            self.value | (free & 0xaaaa_aaaa),
-            self.value | (free & 0x5555_5555),
-        ]
-    }
-
-    /// Cube subtraction: disjoint cubes covering `self \ other`.
-    ///
-    /// Splits `self` along each bit that `other` fixes but `self` leaves
-    /// free; the halves disagreeing with `other` survive, and what remains
-    /// afterwards lies inside `other` and is dropped. At most 32 cubes
-    /// result.
-    #[must_use]
-    pub fn subtract(&self, other: &Pattern) -> Vec<Pattern> {
-        if !self.overlaps(other) {
-            return vec![*self];
-        }
-        let mut survivors = Vec::new();
-        let mut current = *self;
-        let split_bits = other.mask & !self.mask;
-        for bit_index in 0..32 {
-            let bit = 1u32 << bit_index;
-            if split_bits & bit == 0 {
-                continue;
-            }
-            survivors.push(Pattern {
-                mask: current.mask | bit,
-                value: current.value | (bit & !other.value),
-            });
-            current = Pattern {
-                mask: current.mask | bit,
-                value: current.value | (bit & other.value),
-            };
-        }
-        // `current` now agrees with `other` on every cared bit, i.e. it is
-        // contained in `other`, so it is exactly the part removed.
-        survivors
-    }
-}
-
-impl From<&DecodeRule> for Pattern {
-    fn from(rule: &DecodeRule) -> Pattern {
-        Pattern::new(rule.mask, rule.value)
-    }
-}
-
-/// A set of pairwise-disjoint cubes, closed under cube subtraction.
-#[derive(Debug, Clone)]
-pub struct PatternSet {
-    cubes: Vec<Pattern>,
-}
-
-impl PatternSet {
-    /// The set covering every 32-bit word.
-    #[must_use]
-    pub fn universe() -> PatternSet {
-        PatternSet {
-            cubes: vec![Pattern::universe()],
-        }
-    }
-
-    /// Removes every word covered by `pattern` from the set.
-    pub fn subtract(&mut self, pattern: &Pattern) {
-        self.cubes = self
-            .cubes
-            .iter()
-            .flat_map(|cube| cube.subtract(pattern))
-            .collect();
-    }
-
-    /// The disjoint cubes of the set.
-    #[must_use]
-    pub fn cubes(&self) -> &[Pattern] {
-        &self.cubes
-    }
-
-    /// Total number of words covered (exact, since cubes are disjoint).
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.cubes.iter().map(Pattern::count).sum()
-    }
-
-    /// Whether `word` is covered by any cube.
-    #[must_use]
-    pub fn covers(&self, word: u32) -> bool {
-        self.cubes.iter().any(|cube| cube.covers(word))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use symcosim_testkit::check_cases;
-
-    #[test]
-    fn universe_counts_the_full_space() {
-        assert_eq!(Pattern::universe().count(), 1u64 << 32);
-        assert_eq!(PatternSet::universe().count(), 1u64 << 32);
-    }
-
-    #[test]
-    fn overlap_is_symmetric_and_exact() {
-        let a = Pattern::new(0x0000_00ff, 0x13);
-        let b = Pattern::new(0x0000_0f00, 0x100);
-        assert!(a.overlaps(&b) && b.overlaps(&a));
-        let c = Pattern::new(0x0000_00ff, 0x33);
-        assert!(!a.overlaps(&c));
-    }
-
-    #[test]
-    fn subtraction_partitions_counts() {
-        let a = Pattern::new(0x0000_007f, 0x13);
-        let b = Pattern::new(0x0000_707f, 0x13);
-        let diff = a.subtract(&b);
-        let diff_count: u64 = diff.iter().map(Pattern::count).sum();
-        assert_eq!(diff_count + b.count(), a.count());
-        for cube in &diff {
-            assert!(!cube.overlaps(&b));
-        }
-    }
-
-    #[test]
-    fn disjoint_subtraction_is_identity() {
-        let a = Pattern::new(0x0000_007f, 0x13);
-        let b = Pattern::new(0x0000_007f, 0x33);
-        assert_eq!(a.subtract(&b), vec![a]);
-    }
-
-    #[test]
-    fn subtracting_self_empties_the_cube() {
-        let a = Pattern::new(0x0000_707f, 0x13);
-        assert!(a.subtract(&a).is_empty());
-    }
-
-    #[test]
-    fn membership_matches_subtraction_semantics() {
-        // Randomised: after subtracting b from the universe, a word is
-        // covered exactly when b does not cover it.
-        check_cases(0x717e_0001, 128, |rng| {
-            let b = Pattern::new(rng.next_u32(), rng.next_u32());
-            let mut set = PatternSet::universe();
-            set.subtract(&b);
-            let word = rng.next_u32();
-            assert_eq!(set.covers(word), !b.covers(word));
-            assert_eq!(set.count(), (1u64 << 32) - b.count());
-        });
-    }
-
-    #[test]
-    fn corner_samples_stay_inside_the_cube() {
-        check_cases(0x717e_0002, 64, |rng| {
-            let p = Pattern::new(rng.next_u32(), rng.next_u32());
-            for word in p.corner_samples() {
-                assert!(p.covers(word));
-            }
-        });
-    }
-
-    #[test]
-    fn intersection_covers_common_words() {
-        let a = Pattern::new(0x0000_00ff, 0x13);
-        let b = Pattern::new(0x0000_0f0f, 0x103);
-        let i = a.intersect(&b).expect("overlapping");
-        assert!(a.covers(i.sample()) && b.covers(i.sample()));
-    }
-}
+pub use symcosim_isa::pattern::{Pattern, PatternSet};

@@ -1,12 +1,15 @@
 //! Report assembly: human-readable text and a stable JSON rendering.
 //!
-//! The JSON schema is versioned (the top-level `schema` key) and emitted
-//! with a fixed field order and fixed formatting, so the CI gate and the
-//! golden-file test can compare reports byte-for-byte. Counterexample
-//! *samples* are capped ([`crate::cross::SAMPLE_CAP`]); every count is
-//! exact.
+//! The JSON schema is versioned (the shared `schema`/`tool`/`version`
+//! header from [`symcosim_core::json`]) and emitted with a fixed field
+//! order and fixed formatting, so the CI gate and the golden-file test
+//! can compare reports byte-for-byte. Counterexample *samples* are
+//! capped ([`crate::cross::SAMPLE_CAP`]); every count is exact.
 
 use std::fmt;
+
+use symcosim_core::json::{self, JsonWriter};
+use symcosim_core::Certificate;
 
 use crate::cross::CrossModelReport;
 use crate::decode_space::DecodeSpaceReport;
@@ -26,6 +29,9 @@ pub struct LintReport {
     pub cross: Option<CrossModelReport>,
     /// Symbolic-IR well-formedness pass and `x0` audit.
     pub ir: Option<IrReport>,
+    /// Exploration-coverage certificate re-derived from a dumped session
+    /// report (`--coverage`).
+    pub coverage: Option<Certificate>,
 }
 
 impl LintReport {
@@ -35,6 +41,7 @@ impl LintReport {
         self.decode.as_ref().map_or(0, DecodeSpaceReport::findings)
             + self.cross.as_ref().map_or(0, CrossModelReport::findings)
             + self.ir.as_ref().map_or(0, IrReport::findings)
+            + self.coverage.as_ref().map_or(0, Certificate::findings)
     }
 
     /// Renders the report as stable, pretty-printed JSON.
@@ -42,7 +49,7 @@ impl LintReport {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.open_object();
-        w.string_field("schema", SCHEMA);
+        json::header(&mut w, SCHEMA);
         match &self.decode {
             None => w.null_field("decode_space"),
             Some(decode) => {
@@ -135,6 +142,36 @@ impl LintReport {
                 w.close_object();
             }
         }
+        match &self.coverage {
+            None => w.null_field("coverage"),
+            Some(cert) => {
+                w.object_field("coverage");
+                w.string_field("verdict", cert.verdict.as_str());
+                w.bool_field("truncated", cert.truncated);
+                w.number_field("paths_certified", cert.paths_certified as u64);
+                w.number_field("paths_bounded", cert.paths_bounded as u64);
+                w.number_field("paths_excluded", cert.paths_excluded as u64);
+                w.bool_field("domain_exact", cert.domain_exact);
+                w.array_field("slots", cert.slots.len(), |w, i| {
+                    let slot = &cert.slots[i];
+                    w.open_object();
+                    w.string_field("slot", &slot.slot);
+                    w.number_field("domain_words", slot.domain_words);
+                    w.number_field("certified_words", slot.certified_words);
+                    w.number_field("bounded_words", slot.bounded_words);
+                    w.number_field("residual_words", slot.residual_words);
+                    w.bool_field("exact", slot.exact);
+                    w.array_field("counterexamples", slot.counterexamples.len(), |w, k| {
+                        w.string_value(&hex(slot.counterexamples[k]));
+                    });
+                    w.array_field("overlaps", slot.overlaps.len(), |w, k| {
+                        w.string_value(&hex(slot.overlaps[k]));
+                    });
+                    w.close_object();
+                });
+                w.close_object();
+            }
+        }
         w.number_field("findings", self.findings() as u64);
         w.string_field(
             "status",
@@ -221,6 +258,9 @@ impl fmt::Display for LintReport {
                 writeln!(f, "  all path conditions well-formed, x0 writes discarded")?;
             }
         }
+        if let Some(cert) = &self.coverage {
+            write!(f, "{cert}")?;
+        }
         let findings = self.findings();
         if findings == 0 {
             writeln!(f, "lint: clean")
@@ -234,145 +274,6 @@ fn hex(word: u32) -> String {
     format!("0x{word:08x}")
 }
 
-/// Minimal pretty-printing JSON emitter with a fixed layout: two-space
-/// indentation, one field per line, no trailing spaces — deliberately
-/// boring so reports diff cleanly.
-struct JsonWriter {
-    out: String,
-    indent: usize,
-    /// Whether the current container already has an entry (comma control).
-    has_entry: Vec<bool>,
-}
-
-impl JsonWriter {
-    fn new() -> JsonWriter {
-        JsonWriter {
-            out: String::new(),
-            indent: 0,
-            has_entry: Vec::new(),
-        }
-    }
-
-    fn finish(mut self) -> String {
-        self.out.push('\n');
-        self.out
-    }
-
-    fn newline_indent(&mut self) {
-        self.out.push('\n');
-        for _ in 0..self.indent {
-            self.out.push_str("  ");
-        }
-    }
-
-    fn begin_entry(&mut self) {
-        if let Some(has_entry) = self.has_entry.last_mut() {
-            if *has_entry {
-                self.out.push(',');
-            }
-            *has_entry = true;
-        }
-        if !self.has_entry.is_empty() {
-            self.newline_indent();
-        }
-    }
-
-    fn key(&mut self, name: &str) {
-        self.begin_entry();
-        self.out.push('"');
-        self.out.push_str(name);
-        self.out.push_str("\": ");
-    }
-
-    fn open_object(&mut self) {
-        self.out.push('{');
-        self.indent += 1;
-        self.has_entry.push(false);
-    }
-
-    fn close_object(&mut self) {
-        let had_entries = self.has_entry.pop().unwrap_or(false);
-        self.indent -= 1;
-        if had_entries {
-            self.newline_indent();
-        }
-        self.out.push('}');
-    }
-
-    fn object_field(&mut self, name: &str) {
-        self.key(name);
-        self.open_object();
-    }
-
-    fn null_field(&mut self, name: &str) {
-        self.key(name);
-        self.out.push_str("null");
-    }
-
-    fn string_field(&mut self, name: &str, value: &str) {
-        self.key(name);
-        self.push_json_string(value);
-    }
-
-    fn number_field(&mut self, name: &str, value: u64) {
-        self.key(name);
-        self.out.push_str(&value.to_string());
-    }
-
-    /// Emits `"name": [...]` with `len` elements produced by `emit`
-    /// (which writes one value per call via the `*_value` helpers).
-    fn array_field(
-        &mut self,
-        name: &str,
-        len: usize,
-        mut emit: impl FnMut(&mut JsonWriter, usize),
-    ) {
-        self.key(name);
-        if len == 0 {
-            self.out.push_str("[]");
-            return;
-        }
-        self.out.push('[');
-        self.indent += 1;
-        self.has_entry.push(false);
-        for index in 0..len {
-            self.begin_entry();
-            // The element itself must not re-trigger comma handling.
-            let depth = self.has_entry.len();
-            self.has_entry.push(false);
-            emit(self, index);
-            self.has_entry.truncate(depth);
-        }
-        self.has_entry.pop();
-        self.indent -= 1;
-        self.newline_indent();
-        self.out.push(']');
-    }
-
-    /// Writes a bare string value (array element).
-    fn string_value(&mut self, value: &str) {
-        self.push_json_string(value);
-    }
-
-    fn push_json_string(&mut self, value: &str) {
-        self.out.push('"');
-        for ch in value.chars() {
-            match ch {
-                '"' => self.out.push_str("\\\""),
-                '\\' => self.out.push_str("\\\\"),
-                '\n' => self.out.push_str("\\n"),
-                '\t' => self.out.push_str("\\t"),
-                '\r' => self.out.push_str("\\r"),
-                c if (c as u32) < 0x20 => {
-                    self.out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => self.out.push(c),
-            }
-        }
-        self.out.push('"');
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,17 +284,13 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"schema\": \"symcosim-lint/1\""));
+        assert!(json.contains("\"tool\": \"symcosim\""));
+        assert!(json.contains("\"version\": "));
         assert!(json.contains("\"decode_space\": null"));
         assert!(json.contains("\"cross_model\": null"));
         assert!(json.contains("\"ir\": null"));
+        assert!(json.contains("\"coverage\": null"));
         assert!(json.contains("\"status\": \"clean\""));
-    }
-
-    #[test]
-    fn string_escaping_is_json_safe() {
-        let mut w = JsonWriter::new();
-        w.push_json_string("a\"b\\c\nd\u{1}");
-        assert_eq!(w.out, "\"a\\\"b\\\\c\\nd\\u0001\"");
     }
 
     #[test]

@@ -15,6 +15,7 @@ fn json_report_matches_the_golden_file() {
         decode: Some(decode_space::analyze()),
         cross: Some(cross::analyze()),
         ir: Some(ir::analyze()),
+        coverage: None,
     };
     let rendered = report.to_json();
     let golden = include_str!("golden/report.json");

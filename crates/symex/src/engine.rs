@@ -148,6 +148,7 @@ pub struct Engine {
     backend: SolverBackend,
     config: EngineConfig,
     rng_state: u64,
+    projector: crate::project::Projector,
 }
 
 impl Engine {
@@ -158,6 +159,7 @@ impl Engine {
             backend: SolverBackend::new(),
             config: config.clone(),
             rng_state: config.seed | 1,
+            projector: crate::project::Projector::new(),
         }
     }
 
@@ -261,10 +263,12 @@ impl Engine {
             prefix,
             taken: Vec::new(),
             constraints: Vec::new(),
+            origins: Vec::new(),
             forks: Vec::new(),
             path_symbols: Vec::new(),
             status: PathStatus::Complete,
             max_decisions: self.config.max_decisions_per_path,
+            projector: &mut self.projector,
         };
         let value = f(&mut exec);
         // Debug builds re-validate the path condition after every path
@@ -337,10 +341,12 @@ pub struct SymExec<'e> {
     prefix: Vec<bool>,
     taken: Vec<bool>,
     constraints: Vec<TermId>,
+    origins: Vec<crate::project::ConstraintOrigin>,
     forks: Vec<Vec<bool>>,
     path_symbols: Vec<TermId>,
     status: PathStatus,
     max_decisions: usize,
+    projector: &'e mut crate::project::Projector,
 }
 
 impl SymExec<'_> {
@@ -423,6 +429,18 @@ impl SymExec<'_> {
     /// to hold, e.g. after a mismatch witness has been found).
     pub fn add_constraint(&mut self, cond: TermId) {
         self.constraints.push(cond);
+        self.origins
+            .push(crate::project::ConstraintOrigin::Committed);
+    }
+
+    /// Projects this path's condition onto every symbolic fetch slot whose
+    /// symbol name starts with `slot_prefix` (see
+    /// [`Projector::project_path`](crate::Projector::project_path)).
+    /// Constraints committed after the fact are excluded.
+    #[must_use]
+    pub fn project_coverage(&mut self, slot_prefix: &str) -> Vec<crate::project::SlotCoverage> {
+        self.projector
+            .project_path(self.ctx, slot_prefix, &self.constraints, &self.origins)
     }
 
     /// Runs the full [well-formedness pass](crate::wf::validate_path) over
@@ -553,6 +571,8 @@ impl Domain for SymExec<'_> {
             let choice = self.prefix[index];
             let constraint = if choice { cond } else { self.ctx.not(cond) };
             self.constraints.push(constraint);
+            self.origins
+                .push(crate::project::ConstraintOrigin::Decision(index as u32));
             self.taken.push(choice);
             return choice;
         }
@@ -579,6 +599,8 @@ impl Domain for SymExec<'_> {
             (false, negated)
         };
         self.constraints.push(constraint);
+        self.origins
+            .push(crate::project::ConstraintOrigin::Decision(index as u32));
         self.taken.push(choice);
         choice
     }
@@ -596,6 +618,7 @@ impl Domain for SymExec<'_> {
             None => {}
         }
         self.constraints.push(cond);
+        self.origins.push(crate::project::ConstraintOrigin::Assumed);
         if !self
             .backend
             .check_cached(self.ctx, &self.constraints)

@@ -115,6 +115,7 @@ pub trait ForkTask {
 struct Snapshot<S> {
     state: S,
     constraints: Vec<TermId>,
+    origins: Vec<crate::project::ConstraintOrigin>,
     taken: Vec<bool>,
     path_symbols: Vec<TermId>,
 }
@@ -181,10 +182,12 @@ pub struct ForkExec {
     replay: VecDeque<bool>,
     taken: Vec<bool>,
     constraints: Vec<TermId>,
+    origins: Vec<crate::project::ConstraintOrigin>,
     forks: Vec<Vec<bool>>,
     path_symbols: Vec<TermId>,
     status: PathStatus,
     max_decisions: usize,
+    projector: crate::project::Projector,
 }
 
 impl ForkExec {
@@ -195,10 +198,12 @@ impl ForkExec {
             replay: VecDeque::new(),
             taken: Vec::new(),
             constraints: Vec::new(),
+            origins: Vec::new(),
             forks: Vec::new(),
             path_symbols: Vec::new(),
             status: PathStatus::Complete,
             max_decisions,
+            projector: crate::project::Projector::new(),
         }
     }
 
@@ -229,6 +234,17 @@ impl ForkExec {
     /// Permanently adds `cond` to the path condition.
     pub fn add_constraint(&mut self, cond: TermId) {
         self.constraints.push(cond);
+        self.origins
+            .push(crate::project::ConstraintOrigin::Committed);
+    }
+
+    /// Projects this path's condition onto every symbolic fetch slot whose
+    /// symbol name starts with `slot_prefix`, matching
+    /// [`SymExec::project_coverage`](crate::SymExec::project_coverage).
+    #[must_use]
+    pub fn project_coverage(&mut self, slot_prefix: &str) -> Vec<crate::project::SlotCoverage> {
+        self.projector
+            .project_path(&self.ctx, slot_prefix, &self.constraints, &self.origins)
     }
 
     /// History-independent witness extraction (fresh solver), matching
@@ -268,12 +284,14 @@ impl ForkExec {
                 self.replay = prefix[snap.taken.len()..].iter().copied().collect();
                 self.taken = snap.taken.clone();
                 self.constraints = snap.constraints.clone();
+                self.origins = snap.origins.clone();
                 self.path_symbols = snap.path_symbols.clone();
             }
             None => {
                 self.replay = prefix.into_iter().collect();
                 self.taken = Vec::new();
                 self.constraints = Vec::new();
+                self.origins = Vec::new();
                 self.path_symbols = Vec::new();
             }
         }
@@ -395,6 +413,10 @@ impl Domain for ForkExec {
             // scheduled, no solver call needed.
             let constraint = if choice { cond } else { self.ctx.not(cond) };
             self.constraints.push(constraint);
+            self.origins
+                .push(crate::project::ConstraintOrigin::Decision(
+                    self.taken.len() as u32
+                ));
             self.taken.push(choice);
             return choice;
         }
@@ -421,6 +443,10 @@ impl Domain for ForkExec {
             (false, negated)
         };
         self.constraints.push(constraint);
+        self.origins
+            .push(crate::project::ConstraintOrigin::Decision(
+                self.taken.len() as u32
+            ));
         self.taken.push(choice);
         choice
     }
@@ -438,6 +464,7 @@ impl Domain for ForkExec {
             None => {}
         }
         self.constraints.push(cond);
+        self.origins.push(crate::project::ConstraintOrigin::Assumed);
         if !self.replay.is_empty() {
             // Inside the replayed window the identical constraint set was
             // checked satisfiable on the parent path (the parent stayed
@@ -483,6 +510,10 @@ impl PathProbe for ForkExec {
 
     fn lint_path(&self) -> Vec<WfIssue> {
         ForkExec::lint_path(self)
+    }
+
+    fn project_coverage(&mut self, slot_prefix: &str) -> Vec<crate::project::SlotCoverage> {
+        ForkExec::project_coverage(self, slot_prefix)
     }
 }
 
@@ -569,6 +600,7 @@ impl ForkEngine {
                         Some(Arc::new(Snapshot {
                             state: pre_state,
                             constraints: self.exec.constraints[..constraints_mark].to_vec(),
+                            origins: self.exec.origins[..constraints_mark].to_vec(),
                             taken: self.exec.taken[..taken_mark].to_vec(),
                             path_symbols: self.exec.path_symbols[..symbols_mark].to_vec(),
                         }))

@@ -61,6 +61,7 @@ mod engine;
 mod eval;
 mod fork;
 mod probe;
+mod project;
 mod solve;
 mod term;
 mod testvec;
@@ -76,6 +77,7 @@ pub use engine::{
 pub use eval::{eval, Env};
 pub use fork::{EngineKind, ForkEngine, ForkExec, ForkJob, ForkTask, StepResult};
 pub use probe::PathProbe;
+pub use project::{ConstraintOrigin, Projector, SlotCoverage};
 pub use solve::{CheckResult, QueryCacheStats, SolverBackend};
 pub use symcosim_sat::SolverStats;
 pub use term::{Node, TermId, Width};

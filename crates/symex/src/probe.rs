@@ -8,6 +8,7 @@
 //! engine ([`SymExec`](crate::SymExec)) and the snapshotting fork engine
 //! ([`ForkExec`](crate::ForkExec)).
 
+use crate::project::SlotCoverage;
 use crate::term::TermId;
 use crate::wf::WfIssue;
 use crate::{Domain, SymExec, TestVector};
@@ -39,6 +40,12 @@ pub trait PathProbe: Domain<Word = TermId, Bool = TermId> {
 
     /// Runs the full well-formedness pass over this path.
     fn lint_path(&self) -> Vec<WfIssue>;
+
+    /// Projects this path's condition onto every symbolic fetch slot whose
+    /// name starts with `slot_prefix` — the coverage certifier's input.
+    /// Constraints committed via [`PathProbe::add_constraint`] are excluded
+    /// (they narrow the path *after* its behaviour class is fixed).
+    fn project_coverage(&mut self, slot_prefix: &str) -> Vec<SlotCoverage>;
 }
 
 impl PathProbe for SymExec<'_> {
@@ -66,5 +73,9 @@ impl PathProbe for SymExec<'_> {
 
     fn lint_path(&self) -> Vec<WfIssue> {
         SymExec::lint_path(self)
+    }
+
+    fn project_coverage(&mut self, slot_prefix: &str) -> Vec<SlotCoverage> {
+        SymExec::project_coverage(self, slot_prefix)
     }
 }

@@ -13,6 +13,16 @@ cargo test -q --workspace
 echo "==> symcosim-lint --all --json"
 cargo run --release -p symcosim-lint -- --all --json > /dev/null
 
+echo "==> coverage certificate (BRANCH slice, both surfaces)"
+# The run certifies itself in-process (--certify exits 1 on any
+# uncovered word or double-claimed path), dumps the symcosim-report/1
+# document, and symcosim-lint re-derives the same certificate offline.
+report_json="$(mktemp)"
+trap 'rm -f "$report_json"' EXIT
+cargo run --release -p symcosim-core --bin symcosim-cli -- \
+    verify --rv32i-only --opcode 0x63 --certify --report-json "$report_json" > /dev/null
+cargo run --release -p symcosim-lint -- --coverage "$report_json" > /dev/null
+
 echo "==> pathengine --smoke (informational, non-gating)"
 cargo run --release -p symcosim-bench --bin pathengine -- --smoke
 
