@@ -17,9 +17,10 @@
 //! than it would be uncached and keeps the ratio modest in shallow,
 //! solver-dominated regimes.
 //!
-//! Emits `BENCH_pathengine.json` into the working directory and prints
-//! the same numbers to stdout. The benchmark is informational
-//! (non-gating): it always exits 0, whatever the measured ratio.
+//! Emits `BENCH_pathengine.json` (a `symcosim-bench/1` document) into
+//! the working directory and prints the same numbers to stdout. The
+//! benchmark is informational (non-gating): it always exits 0, whatever
+//! the measured ratio.
 //!
 //! Run with: `cargo run --release -p symcosim-bench --bin pathengine`
 //! Optional: `--paths N` bounds the explored paths per engine (default
@@ -31,6 +32,8 @@
 
 use std::time::Instant;
 
+use symcosim_bench::BENCH_SCHEMA;
+use symcosim_core::json::{self, JsonWriter};
 use symcosim_core::{EngineKind, InstrConstraint, SessionConfig, VerifySession};
 use symcosim_isa::opcodes;
 
@@ -107,11 +110,13 @@ fn compare(max_paths: usize, instr_limit: u32) -> (Measurement, Measurement, f64
     (reexec, fork, speedup)
 }
 
-fn json_entry(m: &Measurement) -> String {
-    format!(
-        "{{\"paths\":{},\"findings\":{},\"wall_ms\":{},\"paths_per_sec\":{:.2}}}",
-        m.paths, m.findings, m.wall_ms, m.paths_per_sec
-    )
+fn write_measurement(w: &mut JsonWriter, name: &str, m: &Measurement) {
+    w.object_field(name);
+    w.number_field("paths", m.paths as u64);
+    w.number_field("findings", m.findings as u64);
+    w.number_field("wall_ms", m.wall_ms);
+    w.float_field("paths_per_sec", m.paths_per_sec);
+    w.close_object();
 }
 
 fn main() {
@@ -144,23 +149,28 @@ fn main() {
         Some((deep_limit, r, f, s))
     };
 
-    let deep_json = match &deep {
-        None => String::new(),
-        Some((limit, r, f, s)) => format!(
-            ",\"deep\":{{\"instr_limit\":{limit},\"reexec\":{},\"fork\":{},\
-             \"speedup\":{s:.2}}}",
-            json_entry(r),
-            json_entry(f)
-        ),
-    };
-    let json = format!(
-        "{{\"bench\":\"pathengine\",\"smoke\":{smoke},\
-         \"config\":{{\"constraint\":\"OnlyOpcode(OP)\",\"instr_limit\":{instr_limit},\
-         \"max_paths\":{max_paths}}},\
-         \"reexec\":{},\"fork\":{},\"speedup\":{speedup:.2}{deep_json}}}\n",
-        json_entry(&reexec),
-        json_entry(&fork)
-    );
-    std::fs::write("BENCH_pathengine.json", json).expect("write BENCH_pathengine.json");
+    let mut w = JsonWriter::new();
+    w.open_object();
+    json::header(&mut w, BENCH_SCHEMA);
+    w.string_field("bench", "pathengine");
+    w.bool_field("smoke", smoke);
+    w.object_field("config");
+    w.string_field("constraint", "OnlyOpcode(OP)");
+    w.number_field("instr_limit", u64::from(instr_limit));
+    w.number_field("max_paths", max_paths as u64);
+    w.close_object();
+    write_measurement(&mut w, "reexec", &reexec);
+    write_measurement(&mut w, "fork", &fork);
+    w.float_field("speedup", speedup);
+    if let Some((limit, r, f, s)) = &deep {
+        w.object_field("deep");
+        w.number_field("instr_limit", u64::from(*limit));
+        write_measurement(&mut w, "reexec", r);
+        write_measurement(&mut w, "fork", f);
+        w.float_field("speedup", *s);
+        w.close_object();
+    }
+    w.close_object();
+    std::fs::write("BENCH_pathengine.json", w.finish()).expect("write BENCH_pathengine.json");
     println!("wrote BENCH_pathengine.json");
 }

@@ -26,6 +26,12 @@ use std::thread;
 
 use symcosim_core::{EngineKind, ProgressEvent, SessionConfig, VerifyReport, VerifySession};
 
+/// Schema identifier of the `BENCH_*.json` documents the benchmark bins
+/// emit. Every document opens with the shared
+/// [`json::header`](symcosim_core::json::header) fields (`schema`,
+/// `tool`, `version`) followed by a `bench` name.
+pub const BENCH_SCHEMA: &str = "symcosim-bench/1";
+
 /// Parallelism options the table bins share: `--jobs N` selects the
 /// worker count (default 1, the sequential engine), `--engine
 /// fork|reexec` overrides the path engine, and `--progress-json` streams

@@ -24,6 +24,7 @@ USAGE:
     symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
                         [--jobs N] [--seed N] [--engine fork|reexec] [--lint]
                         [--opcode HEX] [--certify] [--report-json PATH]
+                        [--no-solver-chain]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
@@ -41,10 +42,13 @@ USAGE:
         not). --report-json dumps the machine-readable symcosim-report/1
         document (including the coverage section `symcosim-lint
         --coverage` re-certifies) to PATH; both flags imply coverage
-        collection.
+        collection. --no-solver-chain bypasses the KLEE-style solver
+        chain (independence slicing, counterexample and model caches) —
+        the report is identical, only slower; for benchmarking.
 
     symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
                         [--engine fork|reexec] [--fuzz] [--hybrid]
+                        [--no-solver-chain]
         Seed one of the paper's Table II faults into the core and hunt it
         symbolically (default), by fuzzing (--fuzz), or hybrid (--hybrid).
 
@@ -183,6 +187,9 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
             u32::from_str_radix(digits, 16).map_err(|e| format!("bad --opcode {opcode:?}: {e}"))?;
         config.constraint = InstrConstraint::OnlyOpcode(word);
     }
+    if args.iter().any(|a| a == "--no-solver-chain") {
+        config.solver_chain = false;
+    }
     let certify = args.iter().any(|a| a == "--certify");
     let report_json = flag_string(args, "--report-json")?;
     if certify || report_json.is_some() {
@@ -235,6 +242,9 @@ fn cmd_inject(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if let Some(engine) = flag_engine(args)? {
         session.engine = engine;
+    }
+    if args.iter().any(|a| a == "--no-solver-chain") {
+        session.solver_chain = false;
     }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
 

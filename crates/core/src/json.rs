@@ -122,6 +122,13 @@ impl JsonWriter {
         self.out.push_str(&value.to_string());
     }
 
+    /// Emits `"name": value` for a non-negative float, fixed at two
+    /// decimals (the precision the benchmark tables print).
+    pub fn float_field(&mut self, name: &str, value: f64) {
+        self.key(name);
+        self.out.push_str(&format!("{value:.2}"));
+    }
+
     /// Emits `"name": true|false`.
     pub fn bool_field(&mut self, name: &str, value: bool) {
         self.key(name);

@@ -9,7 +9,7 @@ use std::fmt;
 use std::time::Duration;
 
 use symcosim_isa::{decode, Csr, CsrClass, Instr, Trap};
-use symcosim_symex::{QueryCacheStats, SolverStats, TestVector};
+use symcosim_symex::{QueryCacheStats, SolverChainStats, SolverStats, TestVector};
 
 use crate::certify::CoverageData;
 use crate::json::{self, JsonWriter};
@@ -332,6 +332,10 @@ pub struct VerifyReport {
     pub solver_stats: SolverStats,
     /// Feasibility-query memoisation counters, summed over all workers.
     pub query_cache: QueryCacheStats,
+    /// Solver-chain slicing and caching counters, summed over all
+    /// workers. All zeros when the chain is disabled
+    /// ([`SessionConfig::solver_chain`](crate::SessionConfig::solver_chain)).
+    pub chain_stats: SolverChainStats,
     /// Per-path decode-space coverage projections plus the projected
     /// legal domain — the coverage certifier's input. `None` unless
     /// [`SessionConfig::collect_coverage`](crate::SessionConfig::collect_coverage)
@@ -355,9 +359,10 @@ impl VerifyReport {
 
     /// Serialises the report as the `symcosim-report/1` document —
     /// the machine-readable surface `symcosim-lint --coverage`
-    /// re-certifies. Wall-clock duration and solver statistics are
-    /// deliberately excluded so the dump is identical across engines,
-    /// worker counts and machines.
+    /// re-certifies. Wall-clock duration and solver statistics
+    /// (including the solver-chain counters) are deliberately excluded
+    /// so the dump is identical across engines, worker counts and
+    /// machines.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
@@ -418,6 +423,7 @@ impl fmt::Display for VerifyReport {
             self.query_cache.hits,
             self.query_cache.misses,
         )?;
+        writeln!(f, "solver chain: {}", self.chain_stats)?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }

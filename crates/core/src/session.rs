@@ -12,8 +12,8 @@ use symcosim_iss::IssConfig;
 use symcosim_microrv32::{CoreConfig, InjectedError};
 use symcosim_symex::{
     Domain, Engine, EngineConfig, EngineKind, ForkEngine, ForkExec, ForkTask, PathProbe,
-    PathResult, PathStatus, QueryCacheStats, SearchStrategy, SlotCoverage, SolverStats, StepResult,
-    SymExec, TestVector,
+    PathResult, PathStatus, QueryCacheStats, SearchStrategy, SlotCoverage, SolverChainStats,
+    SolverStats, StepResult, SymExec, TestVector,
 };
 
 use crate::certify::{self, BoundCause, CoverageData, PathCoverage};
@@ -98,6 +98,11 @@ pub struct SessionConfig {
     /// certifier ([`Certificate`](crate::Certificate)). Off by default:
     /// projection adds a small per-path cost.
     pub collect_coverage: bool,
+    /// Route feasibility queries through the KLEE-style solver chain
+    /// (independence slicing plus counterexample/model caching). Answers
+    /// are identical either way — the CLI's `--no-solver-chain` flag
+    /// disables it for benchmarking and debugging.
+    pub solver_chain: bool,
 }
 
 impl SessionConfig {
@@ -123,6 +128,7 @@ impl SessionConfig {
             lint_ir: false,
             engine: EngineKind::Fork,
             collect_coverage: false,
+            solver_chain: true,
         }
     }
 
@@ -149,6 +155,7 @@ impl SessionConfig {
             lint_ir: false,
             engine: EngineKind::Fork,
             collect_coverage: false,
+            solver_chain: true,
         }
     }
 }
@@ -262,12 +269,14 @@ impl VerifySession {
                 );
                 let solver = engine.backend().stats();
                 let cache = engine.backend().query_cache_stats();
+                let chain = engine.backend().solver_chain_stats();
                 merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
                     start,
                     solver,
                     cache,
+                    chain,
                     domain,
                 )
             }
@@ -281,12 +290,14 @@ impl VerifySession {
                 });
                 let solver = engine.backend().stats();
                 let cache = engine.backend().query_cache_stats();
+                let chain = engine.backend().solver_chain_stats();
                 merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
                     start,
                     solver,
                     cache,
+                    chain,
                     domain,
                 )
             }
@@ -334,13 +345,14 @@ impl VerifySession {
                     move |path: &PathResult<PathRun>| stop_early && path.value.mismatch.is_some(),
                     progress,
                 );
-                let (solver, cache) = sum_worker_stats(&outcome.workers);
+                let (solver, cache, chain) = sum_worker_stats(&outcome.workers);
                 merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
                     start,
                     solver,
                     cache,
+                    chain,
                     domain,
                 )
             }
@@ -354,13 +366,14 @@ impl VerifySession {
                     move |path: &PathResult<PathRun>| stop_early && path.value.mismatch.is_some(),
                     progress,
                 );
-                let (solver, cache) = sum_worker_stats(&outcome.workers);
+                let (solver, cache, chain) = sum_worker_stats(&outcome.workers);
                 merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
                     start,
                     solver,
                     cache,
+                    chain,
                     domain,
                 )
             }
@@ -368,10 +381,14 @@ impl VerifySession {
     }
 }
 
-/// Sums the per-worker solver and query-cache counters for the report.
-fn sum_worker_stats(workers: &[symcosim_exec::WorkerReport]) -> (SolverStats, QueryCacheStats) {
+/// Sums the per-worker solver, query-cache and solver-chain counters for
+/// the report.
+fn sum_worker_stats(
+    workers: &[symcosim_exec::WorkerReport],
+) -> (SolverStats, QueryCacheStats, SolverChainStats) {
     let mut solver = SolverStats::default();
     let mut cache = QueryCacheStats::default();
+    let mut chain = SolverChainStats::default();
     for worker in workers {
         solver.solves += worker.stats.solves;
         solver.decisions += worker.stats.decisions;
@@ -380,8 +397,9 @@ fn sum_worker_stats(workers: &[symcosim_exec::WorkerReport]) -> (SolverStats, Qu
         solver.restarts += worker.stats.restarts;
         solver.learnt_clauses += worker.stats.learnt_clauses;
         cache = cache.merge(worker.cache);
+        chain = chain.merge(worker.chain);
     }
-    (solver, cache)
+    (solver, cache, chain)
 }
 
 /// The engine configuration a session config induces.
@@ -393,6 +411,7 @@ fn engine_config(config: &SessionConfig) -> EngineConfig {
         emit_test_vectors: config.emit_test_vectors,
         seed: config.seed,
         max_resident_snapshots: EngineConfig::DEFAULT_MAX_RESIDENT_SNAPSHOTS,
+        solver_chain: config.solver_chain,
     }
 }
 
@@ -409,6 +428,7 @@ fn merge_report(
     start: Instant,
     solver_stats: SolverStats,
     query_cache: QueryCacheStats,
+    chain_stats: SolverChainStats,
     domain: Option<(Vec<Pattern>, bool)>,
 ) -> VerifyReport {
     paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
@@ -483,6 +503,7 @@ fn merge_report(
         lint_issues,
         solver_stats,
         query_cache,
+        chain_stats,
         coverage,
     }
 }

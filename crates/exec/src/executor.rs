@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use symcosim_symex::{
     Engine, EngineConfig, ForkEngine, ForkJob, ForkTask, PathResult, PathStatus, QueryCacheStats,
-    SolverStats, SymExec,
+    SolverChainStats, SolverStats, SymExec,
 };
 
 use crate::budget::Budget;
@@ -51,6 +51,8 @@ pub struct WorkerReport {
     pub stats: SolverStats,
     /// Its feasibility-query cache's hit/miss counters.
     pub cache: QueryCacheStats,
+    /// Its solver chain's slicing and caching counters.
+    pub chain: SolverChainStats,
 }
 
 /// Aggregate result of an [`explore_parallel`] call.
@@ -156,6 +158,7 @@ where
                     }
                     let stats = engine.backend().stats();
                     let cache = engine.backend().query_cache_stats();
+                    let chain = engine.backend().solver_chain_stats();
                     if let Some(tx) = &tx {
                         let _ = tx.send(ProgressEvent::WorkerDone {
                             worker,
@@ -163,6 +166,7 @@ where
                             busy_ms: busy.as_millis() as u64,
                             solver: stats,
                             cache,
+                            chain,
                         });
                     }
                     let report = WorkerReport {
@@ -171,6 +175,7 @@ where
                         busy,
                         stats,
                         cache,
+                        chain,
                     };
                     (local, report)
                 })
@@ -329,6 +334,7 @@ where
                     }
                     let stats = engine.backend().stats();
                     let cache = engine.backend().query_cache_stats();
+                    let chain = engine.backend().solver_chain_stats();
                     if let Some(tx) = &tx {
                         let _ = tx.send(ProgressEvent::WorkerDone {
                             worker,
@@ -336,6 +342,7 @@ where
                             busy_ms: busy.as_millis() as u64,
                             solver: stats,
                             cache,
+                            chain,
                         });
                     }
                     let report = WorkerReport {
@@ -344,6 +351,7 @@ where
                         busy,
                         stats,
                         cache,
+                        chain,
                     };
                     (local, report)
                 })

@@ -1,6 +1,6 @@
 //! Structured progress events for live status lines and JSON logs.
 
-use symcosim_symex::{QueryCacheStats, SolverStats};
+use symcosim_symex::{QueryCacheStats, SolverChainStats, SolverStats};
 
 /// One observability event from a parallel exploration.
 ///
@@ -42,6 +42,8 @@ pub enum ProgressEvent {
         solver: SolverStats,
         /// Its feasibility-query cache's hit/miss counters.
         cache: QueryCacheStats,
+        /// Its solver chain's slicing and caching counters.
+        chain: SolverChainStats,
     },
     /// The exploration finished and the merge is complete.
     Finished {
@@ -79,17 +81,28 @@ impl ProgressEvent {
                 busy_ms,
                 solver,
                 cache,
+                chain,
             } => format!(
                 "{{\"event\":\"worker_done\",\"worker\":{worker},\"paths\":{paths},\
                  \"busy_ms\":{busy_ms},\"solves\":{},\"decisions\":{},\"propagations\":{},\
-                 \"conflicts\":{},\"restarts\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+                 \"conflicts\":{},\"restarts\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                 \"chain_queries\":{},\"chain_slices\":{},\"chain_slice_hits\":{},\
+                 \"chain_core_hits\":{},\"chain_model_hits\":{},\"chain_solves\":{},\
+                 \"chain_max_slice\":{}}}",
                 solver.solves,
                 solver.decisions,
                 solver.propagations,
                 solver.conflicts,
                 solver.restarts,
                 cache.hits,
-                cache.misses
+                cache.misses,
+                chain.queries,
+                chain.slices,
+                chain.slice_hits,
+                chain.core_hits,
+                chain.model_hits,
+                chain.solves,
+                chain.max_slice
             ),
             ProgressEvent::Finished {
                 paths,
@@ -124,6 +137,7 @@ mod tests {
                 busy_ms: 200,
                 solver: SolverStats::default(),
                 cache: QueryCacheStats::default(),
+                chain: SolverChainStats::default(),
             },
             ProgressEvent::Finished {
                 paths: 24,

@@ -86,6 +86,7 @@ pub struct Solver {
     heap_index: Vec<usize>,
     seen: Vec<bool>,
     model: Vec<u8>,
+    core: Vec<Lit>,
     ok: bool,
     stats: SolverStats,
 }
@@ -118,6 +119,7 @@ impl Solver {
             heap_index: Vec::new(),
             seen: Vec::new(),
             model: Vec::new(),
+            core: Vec::new(),
             ok: true,
             stats: SolverStats::default(),
         }
@@ -236,6 +238,7 @@ impl Solver {
     /// [`Solver::model_value`] until mutated again.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
+        self.core.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -299,6 +302,7 @@ impl Solver {
                         }
                         Some(false) => {
                             // The formula (plus earlier assumptions) implies ¬p.
+                            self.analyze_final(p);
                             self.cancel_until(0);
                             return SolveResult::Unsat;
                         }
@@ -342,6 +346,20 @@ impl Solver {
     /// The value of `lit` in the most recent satisfying assignment.
     pub fn model_lit_value(&self, lit: Lit) -> Option<bool> {
         self.model_value(lit.var()).map(|v| v == lit.is_positive())
+    }
+
+    /// The subset of the last [`Solver::solve`] call's assumptions proven
+    /// jointly unsatisfiable with the formula — the *assumption core*,
+    /// recovered by final conflict analysis over the assumption trail
+    /// (MiniSat's `analyzeFinal`).
+    ///
+    /// Empty after a [`SolveResult::Sat`] answer, and also when the
+    /// unsatisfiability does not depend on the assumptions at all (the
+    /// formula itself is inconsistent). A non-empty core is a genuine
+    /// certificate: any superset of its literals is again unsatisfiable,
+    /// which is what makes cores usable as counterexample-cache keys.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.core
     }
 
     // ------------------------------------------------------------------
@@ -536,6 +554,44 @@ impl Solver {
             backjump = self.level[clause[1].var().index()] as usize;
         }
         (clause, backjump)
+    }
+
+    /// Final conflict analysis: `p` is an assumption found already false
+    /// while establishing the assumption prefix. Walks the implication
+    /// trail backwards from ¬p, collecting the assumption decisions that
+    /// participated in forcing it; the resulting [`Solver::unsat_core`]
+    /// is `{p} ∪ {those assumptions}`. At this point every decision on the
+    /// trail *is* an assumption (search decisions only start once the whole
+    /// prefix is established), so `reason == None` identifies them.
+    fn analyze_final(&mut self, p: Lit) {
+        self.core.clear();
+        self.core.push(p);
+        if self.level[p.var().index()] == 0 {
+            // ¬p is a top-level fact: p alone contradicts the formula.
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        let bottom = self.trail_lim[0];
+        for i in (bottom..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let var = lit.var();
+            if !self.seen[var.index()] {
+                continue;
+            }
+            match self.reason[var.index()] {
+                None => self.core.push(lit),
+                Some(cref) => {
+                    let antecedents: Vec<Lit> = self.clauses[cref].lits[1..].to_vec();
+                    for q in antecedents {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[var.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
     }
 
     fn cancel_until(&mut self, target_level: usize) {
@@ -811,6 +867,77 @@ mod tests {
         let a = pos(&solver, 0);
         assert_eq!(solver.solve(&[a, !a]), SolveResult::Unsat);
         assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unsat_core_of_contradictory_assumptions() {
+        let mut solver = solver_with_vars(1);
+        let a = pos(&solver, 0);
+        assert_eq!(solver.solve(&[a, !a]), SolveResult::Unsat);
+        let mut core = solver.unsat_core().to_vec();
+        core.sort_unstable();
+        assert_eq!(core, vec![a, !a]);
+    }
+
+    #[test]
+    fn unsat_core_excludes_irrelevant_assumptions() {
+        // (¬a ∨ ¬b) with assumptions [z, a, b, w]: only a and b conflict.
+        let mut solver = solver_with_vars(4);
+        let (a, b, z, w) = (
+            pos(&solver, 0),
+            pos(&solver, 1),
+            pos(&solver, 2),
+            pos(&solver, 3),
+        );
+        solver.add_clause([!a, !b]);
+        assert_eq!(solver.solve(&[z, a, b, w]), SolveResult::Unsat);
+        let mut core = solver.unsat_core().to_vec();
+        core.sort_unstable();
+        assert_eq!(core, vec![a, b], "core must not mention z or w");
+    }
+
+    #[test]
+    fn unsat_core_follows_propagation_chains() {
+        // a → x, x → y, y → ¬b: assuming [a, b] is unsat through a chain.
+        let mut solver = solver_with_vars(4);
+        let (a, b, x, y) = (
+            pos(&solver, 0),
+            pos(&solver, 1),
+            pos(&solver, 2),
+            pos(&solver, 3),
+        );
+        solver.add_clause([!a, x]);
+        solver.add_clause([!x, y]);
+        solver.add_clause([!y, !b]);
+        assert_eq!(solver.solve(&[a, b]), SolveResult::Unsat);
+        let mut core = solver.unsat_core().to_vec();
+        core.sort_unstable();
+        assert_eq!(core, vec![a, b]);
+        // The core is a certificate: re-asking just the core is unsat,
+        // and a strict subset is sat.
+        assert_eq!(solver.solve(&core), SolveResult::Unsat);
+        assert_eq!(solver.solve(&[a]), SolveResult::Sat);
+        assert!(solver.unsat_core().is_empty(), "sat answers clear the core");
+    }
+
+    #[test]
+    fn unsat_core_is_empty_for_formula_level_unsat() {
+        let mut solver = solver_with_vars(2);
+        let a = pos(&solver, 0);
+        solver.add_clause([a]);
+        solver.add_clause([!a]);
+        assert_eq!(solver.solve(&[pos(&solver, 1)]), SolveResult::Unsat);
+        assert!(solver.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn unsat_core_with_top_level_fact() {
+        // ¬a is a unit (level-0) fact, so assuming a conflicts alone.
+        let mut solver = solver_with_vars(2);
+        let (a, b) = (pos(&solver, 0), pos(&solver, 1));
+        solver.add_clause([!a]);
+        assert_eq!(solver.solve(&[b, a]), SolveResult::Unsat);
+        assert_eq!(solver.unsat_core(), &[a]);
     }
 
     /// Pigeonhole principle PHP(n+1, n) is unsatisfiable — a classic

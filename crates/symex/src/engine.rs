@@ -44,6 +44,10 @@ pub struct EngineConfig {
     /// [`ForkEngine`](crate::ForkEngine) frontier; beyond it new forks
     /// spill back to prefix replay. Ignored by the re-execution engine.
     pub max_resident_snapshots: usize,
+    /// Route feasibility queries through the KLEE-style solver chain
+    /// (independence slicing + counterexample/model caching). Answers are
+    /// identical either way; disabling is for benchmarking and debugging.
+    pub solver_chain: bool,
 }
 
 impl EngineConfig {
@@ -62,6 +66,7 @@ impl Default for EngineConfig {
             emit_test_vectors: true,
             seed: 0x5eed_cafe,
             max_resident_snapshots: EngineConfig::DEFAULT_MAX_RESIDENT_SNAPSHOTS,
+            solver_chain: true,
         }
     }
 }
@@ -156,7 +161,7 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
             ctx: Context::new(),
-            backend: SolverBackend::new(),
+            backend: SolverBackend::with_chain(config.solver_chain),
             config: config.clone(),
             rng_state: config.seed | 1,
             projector: crate::project::Projector::new(),

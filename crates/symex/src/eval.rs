@@ -39,6 +39,22 @@ pub type Env = HashMap<String, u64>;
 /// assert_eq!(eval(&ctx, doubled, &env), 42);
 /// ```
 pub fn eval(ctx: &Context, term: TermId, env: &Env) -> u64 {
+    let mut memo = HashMap::new();
+    eval_memo(ctx, term, env, &mut memo)
+}
+
+/// Evaluates `term` under `env`, memoising per-term results in `memo`.
+///
+/// Hash-consing makes subterm sharing pervasive, so naive tree recursion
+/// is exponential in the worst case; with the memo table evaluation is
+/// linear in the term *graph*. Callers evaluating several terms under the
+/// same environment (e.g. the solver chain testing a cached model against
+/// a whole condition set) should reuse one `memo` across the calls; the
+/// memo is only valid for a single `(ctx, env)` pair.
+pub fn eval_memo(ctx: &Context, term: TermId, env: &Env, memo: &mut HashMap<TermId, u64>) -> u64 {
+    if let Some(&cached) = memo.get(&term) {
+        return cached;
+    }
     let width = ctx.width(term);
     let value = match ctx.node(term) {
         Node::Const { value, .. } => value,
@@ -46,69 +62,76 @@ pub fn eval(ctx: &Context, term: TermId, env: &Env) -> u64 {
             let name = ctx.symbol_name(term).expect("symbol node has a name");
             env.get(name).copied().unwrap_or(0)
         }
-        Node::Not(a) => !eval(ctx, a, env),
-        Node::And(a, b) => eval(ctx, a, env) & eval(ctx, b, env),
-        Node::Or(a, b) => eval(ctx, a, env) | eval(ctx, b, env),
-        Node::Xor(a, b) => eval(ctx, a, env) ^ eval(ctx, b, env),
-        Node::Add(a, b) => eval(ctx, a, env).wrapping_add(eval(ctx, b, env)),
-        Node::Sub(a, b) => eval(ctx, a, env).wrapping_sub(eval(ctx, b, env)),
-        Node::Mul(a, b) => eval(ctx, a, env).wrapping_mul(eval(ctx, b, env)),
+        Node::Not(a) => !eval_memo(ctx, a, env, memo),
+        Node::And(a, b) => eval_memo(ctx, a, env, memo) & eval_memo(ctx, b, env, memo),
+        Node::Or(a, b) => eval_memo(ctx, a, env, memo) | eval_memo(ctx, b, env, memo),
+        Node::Xor(a, b) => eval_memo(ctx, a, env, memo) ^ eval_memo(ctx, b, env, memo),
+        Node::Add(a, b) => eval_memo(ctx, a, env, memo).wrapping_add(eval_memo(ctx, b, env, memo)),
+        Node::Sub(a, b) => eval_memo(ctx, a, env, memo).wrapping_sub(eval_memo(ctx, b, env, memo)),
+        Node::Mul(a, b) => eval_memo(ctx, a, env, memo).wrapping_mul(eval_memo(ctx, b, env, memo)),
         Node::Shl(a, s) => {
-            let shift = eval(ctx, s, env);
+            let shift = eval_memo(ctx, s, env, memo);
             if shift >= width as u64 {
                 0
             } else {
-                eval(ctx, a, env) << shift
+                eval_memo(ctx, a, env, memo) << shift
             }
         }
         Node::Lshr(a, s) => {
-            let shift = eval(ctx, s, env);
+            let shift = eval_memo(ctx, s, env, memo);
             if shift >= width as u64 {
                 0
             } else {
-                mask(width, eval(ctx, a, env)) >> shift
+                mask(width, eval_memo(ctx, a, env, memo)) >> shift
             }
         }
         Node::Ashr(a, s) => {
-            let shift = eval(ctx, s, env).min(width as u64 - 1) as u32;
-            let signed = to_signed(width, mask(width, eval(ctx, a, env)));
+            let shift = eval_memo(ctx, s, env, memo).min(width as u64 - 1) as u32;
+            let signed = to_signed(width, mask(width, eval_memo(ctx, a, env, memo)));
             (signed >> shift) as u64
         }
         Node::Eq(a, b) => {
             let wa = ctx.width(a);
-            (mask(wa, eval(ctx, a, env)) == mask(wa, eval(ctx, b, env))) as u64
+            (mask(wa, eval_memo(ctx, a, env, memo)) == mask(wa, eval_memo(ctx, b, env, memo)))
+                as u64
         }
         Node::Ult(a, b) => {
             let wa = ctx.width(a);
-            (mask(wa, eval(ctx, a, env)) < mask(wa, eval(ctx, b, env))) as u64
+            (mask(wa, eval_memo(ctx, a, env, memo)) < mask(wa, eval_memo(ctx, b, env, memo))) as u64
         }
         Node::Slt(a, b) => {
             let wa = ctx.width(a);
-            (to_signed(wa, mask(wa, eval(ctx, a, env)))
-                < to_signed(wa, mask(wa, eval(ctx, b, env)))) as u64
+            (to_signed(wa, mask(wa, eval_memo(ctx, a, env, memo)))
+                < to_signed(wa, mask(wa, eval_memo(ctx, b, env, memo)))) as u64
         }
         Node::Ite(c, t, e) => {
-            if eval(ctx, c, env) & 1 == 1 {
-                eval(ctx, t, env)
+            if eval_memo(ctx, c, env, memo) & 1 == 1 {
+                eval_memo(ctx, t, env, memo)
             } else {
-                eval(ctx, e, env)
+                eval_memo(ctx, e, env, memo)
             }
         }
-        Node::Extract { term, lo, .. } => eval(ctx, term, env) >> lo,
+        Node::Extract { term, lo, .. } => eval_memo(ctx, term, env, memo) >> lo,
         Node::Concat { hi, lo } => {
             let lo_width = ctx.width(lo);
-            (eval(ctx, hi, env) << lo_width) | mask(lo_width, eval(ctx, lo, env))
+            (eval_memo(ctx, hi, env, memo) << lo_width)
+                | mask(lo_width, eval_memo(ctx, lo, env, memo))
         }
         Node::ZeroExt { term, .. } => {
             let source_width = ctx.width(term);
-            mask(source_width, eval(ctx, term, env))
+            mask(source_width, eval_memo(ctx, term, env, memo))
         }
         Node::SignExt { term, .. } => {
             let source_width = ctx.width(term);
-            to_signed(source_width, mask(source_width, eval(ctx, term, env))) as u64
+            to_signed(
+                source_width,
+                mask(source_width, eval_memo(ctx, term, env, memo)),
+            ) as u64
         }
     };
-    mask(width, value)
+    let result = mask(width, value);
+    memo.insert(term, result);
+    result
 }
 
 #[cfg(test)]
@@ -145,6 +168,24 @@ mod tests {
         let mut env = Env::new();
         env.insert("x".into(), 0xff);
         assert_eq!(eval(&ctx, sum, &env), 0);
+    }
+
+    #[test]
+    fn memoised_eval_handles_deep_sharing() {
+        // A 64-level doubling chain has 2^64 tree nodes but only 64 graph
+        // nodes; this only terminates because eval is memoised.
+        let mut ctx = Context::new();
+        let mut t = ctx.symbol(32, "x");
+        for _ in 0..64 {
+            t = ctx.add(t, t);
+        }
+        let mut env = Env::new();
+        env.insert("x".into(), 1);
+        assert_eq!(eval(&ctx, t, &env), 0, "1 << 64 wraps to 0 at width 32");
+        env.insert("x".into(), 3);
+        let mut memo = HashMap::new();
+        assert_eq!(eval_memo(&ctx, t, &env, &mut memo), 0);
+        assert!(memo.len() >= 64);
     }
 
     #[test]

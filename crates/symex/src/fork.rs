@@ -191,10 +191,10 @@ pub struct ForkExec {
 }
 
 impl ForkExec {
-    fn new(max_decisions: usize) -> ForkExec {
+    fn new(max_decisions: usize, solver_chain: bool) -> ForkExec {
         ForkExec {
             ctx: Context::new(),
-            backend: SolverBackend::new(),
+            backend: SolverBackend::with_chain(solver_chain),
             replay: VecDeque::new(),
             taken: Vec::new(),
             constraints: Vec::new(),
@@ -535,7 +535,7 @@ impl ForkEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> ForkEngine {
         ForkEngine {
-            exec: ForkExec::new(config.max_decisions_per_path),
+            exec: ForkExec::new(config.max_decisions_per_path, config.solver_chain),
             config: config.clone(),
             rng_state: config.seed | 1,
         }

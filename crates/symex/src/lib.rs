@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod blast;
+mod chain;
 mod context;
 mod display;
 mod domain;
@@ -67,6 +68,7 @@ mod term;
 mod testvec;
 pub mod wf;
 
+pub use chain::SolverChainStats;
 pub use context::Context;
 pub use display::ContextStats;
 pub use domain::{ConcreteDomain, Domain};
@@ -74,7 +76,7 @@ pub use engine::{
     Engine, EngineConfig, ExploreOutcome, PathResult, PathStatus, PrefixOutcome, SearchStrategy,
     SymExec,
 };
-pub use eval::{eval, Env};
+pub use eval::{eval, eval_memo, Env};
 pub use fork::{EngineKind, ForkEngine, ForkExec, ForkJob, ForkTask, StepResult};
 pub use probe::PathProbe;
 pub use project::{ConstraintOrigin, Projector, SlotCoverage};

@@ -302,6 +302,25 @@ impl Projector {
                     (both, false)
                 }
             }
+            Node::Eq(a, b) => {
+                // Wide equalities (e.g. `slot & 0xfe00707f == funct`) have
+                // too many dependent bits for Shannon enumeration, but when
+                // every bit of both sides is a constant or a single slot
+                // bit, the equality is exactly one cube: each pair of bits
+                // contributes a required slot-bit value or no constraint
+                // at all.
+                let va = self.abs_bits(ctx, slot, a);
+                let vb = self.abs_bits(ctx, slot, b);
+                match affine_eq_cube(&va, &vb) {
+                    Some(Some(cube)) => {
+                        let mut set = PatternSet::empty();
+                        set.insert(&cube);
+                        (set, true)
+                    }
+                    Some(None) => (PatternSet::empty(), true),
+                    None => (PatternSet::universe(), false),
+                }
+            }
             _ => (PatternSet::universe(), false),
         }
     }
@@ -516,6 +535,49 @@ impl Projector {
             width
         ]
     }
+}
+
+/// Cube form of a bitwise equality over abstract bit vectors.
+///
+/// Returns `None` when some bit pair is not cube-expressible (a `Mix`
+/// bit, or two *different* slot bits, whose correlation a single cube
+/// cannot state); `Some(None)` when the equality is contradictory (two
+/// unequal constants, or conflicting requirements on one slot bit); and
+/// `Some(Some(cube))` otherwise — the possibly-universal cube of slot
+/// words satisfying the equality.
+fn affine_eq_cube(lhs: &[AbsBit], rhs: &[AbsBit]) -> Option<Option<Pattern>> {
+    let mut mask = 0u32;
+    let mut value = 0u32;
+    // Requires slot bit `i` to equal `bit`; false on conflict.
+    fn require(mask: &mut u32, value: &mut u32, i: u8, bit: bool) -> bool {
+        let m = 1u32 << i;
+        if *mask & m != 0 {
+            return (*value & m != 0) == bit;
+        }
+        *mask |= m;
+        if bit {
+            *value |= m;
+        }
+        true
+    }
+    for (&x, &y) in lhs.iter().zip(rhs) {
+        let feasible = match (x, y) {
+            (AbsBit::Zero, AbsBit::Zero) | (AbsBit::One, AbsBit::One) => true,
+            (AbsBit::Zero, AbsBit::One) | (AbsBit::One, AbsBit::Zero) => false,
+            (AbsBit::Slot(i), AbsBit::Slot(j)) if i == j => true,
+            (AbsBit::Slot(i), AbsBit::One) | (AbsBit::One, AbsBit::Slot(i)) => {
+                require(&mut mask, &mut value, i, true)
+            }
+            (AbsBit::Slot(i), AbsBit::Zero) | (AbsBit::Zero, AbsBit::Slot(i)) => {
+                require(&mut mask, &mut value, i, false)
+            }
+            _ => return None,
+        };
+        if !feasible {
+            return Some(None);
+        }
+    }
+    Some(Some(Pattern::new(mask, value)))
 }
 
 /// Recursive Shannon split over `positions[depth..]`; leaves evaluate the
@@ -733,6 +795,77 @@ mod tests {
         assert!(set.covers(0x340_01000));
         assert!(!set.covers(0x340_00000));
         assert!(!set.covers(0x341_01000));
+    }
+
+    #[test]
+    fn wide_masked_equality_projects_to_one_exact_cube() {
+        // `slot & 0xfe00707f == SRAI-pattern` depends on 17 slot bits —
+        // beyond ENUM_LIMIT — but is exactly one cube. This used to widen
+        // to `(universe, inexact)`.
+        let (mut ctx, slot) = setup();
+        let mask = ctx.constant(32, 0xfe00_707f);
+        let masked = ctx.and(slot, mask);
+        let pattern = ctx.constant(32, 0x4000_5013);
+        let c = ctx.eq(masked, pattern);
+        let cover = project_one(&ctx, slot, c, ConstraintOrigin::Decision(1));
+        assert!(cover.exact);
+        assert_eq!(cover.cubes, vec![Pattern::new(0xfe00_707f, 0x4000_5013)]);
+        assert_eq!(cover.instr_decisions, vec![1]);
+    }
+
+    #[test]
+    fn full_word_equality_projects_to_a_point() {
+        let (mut ctx, slot) = setup();
+        let word = ctx.constant(32, 0x0000_0073);
+        let c = ctx.eq(slot, word);
+        let cover = project_one(&ctx, slot, c, ConstraintOrigin::Assumed);
+        assert!(cover.exact);
+        assert_eq!(cover.cubes, vec![Pattern::new(0xffff_ffff, 0x0000_0073)]);
+    }
+
+    #[test]
+    fn contradictory_wide_equality_projects_to_the_empty_set() {
+        // `slot & 0xfe00707f == 0x0100_0000` requires bit 24 to be 1, but
+        // bit 24 is masked off — no word satisfies it.
+        let (mut ctx, slot) = setup();
+        let mask = ctx.constant(32, 0xfe00_707f);
+        let masked = ctx.and(slot, mask);
+        let unreachable = ctx.constant(32, 0x0100_0000);
+        let c = ctx.eq(masked, unreachable);
+        let cover = project_one(&ctx, slot, c, ConstraintOrigin::Assumed);
+        assert!(cover.exact);
+        assert!(cover.cubes.is_empty());
+    }
+
+    #[test]
+    fn negated_wide_equality_is_the_exact_complement() {
+        // decompose(Not) relies on the operand's exactness, so the new Eq
+        // cube also sharpens negated wide equalities.
+        let (mut ctx, slot) = setup();
+        let word = ctx.constant(32, 0x0000_1234);
+        let eq = ctx.eq(slot, word);
+        let c = ctx.not_bool(eq);
+        let cover = project_one(&ctx, slot, c, ConstraintOrigin::Assumed);
+        assert!(cover.exact);
+        let mut set = PatternSet::empty();
+        for cube in &cover.cubes {
+            set.insert(cube);
+        }
+        assert_eq!(set.count(), (1u64 << 32) - 1);
+        assert!(!set.covers(0x0000_1234));
+    }
+
+    #[test]
+    fn correlated_bit_equality_still_widens() {
+        // `slot[7:0] == slot[15:8]` correlates different slot bits; no
+        // single cube expresses it, so widening is still the answer.
+        let (mut ctx, slot) = setup();
+        let lo = field(&mut ctx, slot, 7, 0);
+        let hi = field(&mut ctx, slot, 15, 8);
+        let c = ctx.eq(lo, hi);
+        let cover = project_one(&ctx, slot, c, ConstraintOrigin::Assumed);
+        assert!(!cover.exact);
+        assert_eq!(cover.cubes, vec![Pattern::universe()]);
     }
 
     #[test]

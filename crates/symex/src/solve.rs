@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use symcosim_sat::{Lit, SolveResult, Solver, SolverStats};
 
 use crate::blast::Blaster;
+use crate::chain::{SolverChain, SolverChainStats};
 use crate::term::TermId;
 use crate::{Context, TestVector};
 
@@ -73,12 +74,35 @@ pub struct SolverBackend {
     blaster: Blaster,
     cache: HashMap<Box<[TermId]>, CheckResult>,
     cache_stats: QueryCacheStats,
+    /// The KLEE-style solver chain (see [`crate::chain`]); `None` when
+    /// disabled, in which case cache misses solve the full condition set
+    /// directly.
+    chain: Option<SolverChain>,
+    /// Bumped on every query; a model is readable only while
+    /// `model_generation == Some(generation)`, i.e. the most recent query
+    /// was a plain [`check`](Self::check) that answered Sat. This is what
+    /// prevents [`value_of`](Self::value_of) from reading a *previous*
+    /// query's stale model after a cached or chain-routed answer.
+    generation: u64,
+    model_generation: Option<u64>,
 }
 
 impl SolverBackend {
-    /// Creates a fresh backend.
+    /// Creates a fresh backend with the solver chain enabled.
     pub fn new() -> SolverBackend {
-        SolverBackend::default()
+        SolverBackend::with_chain(true)
+    }
+
+    /// Creates a fresh backend, with the KLEE-style solver chain
+    /// (independence slicing + counterexample/model caching, see
+    /// [`crate::chain`]) enabled or disabled. The chain changes how
+    /// [`check_cached`](Self::check_cached) answers are computed, never
+    /// what they are.
+    pub fn with_chain(enabled: bool) -> SolverBackend {
+        SolverBackend {
+            chain: enabled.then(SolverChain::new),
+            ..SolverBackend::default()
+        }
     }
 
     /// Checks the conjunction of width-1 `conditions` for satisfiability.
@@ -91,13 +115,20 @@ impl SolverBackend {
     ///
     /// Panics if any condition does not have width 1.
     pub fn check(&mut self, ctx: &Context, conditions: &[TermId]) -> CheckResult {
+        self.generation += 1;
         let assumptions: Vec<Lit> = conditions
             .iter()
             .map(|&c| self.blaster.bool_lit(ctx, &mut self.solver, c))
             .collect();
         match self.solver.solve(&assumptions) {
-            SolveResult::Sat => CheckResult::Sat,
-            SolveResult::Unsat => CheckResult::Unsat,
+            SolveResult::Sat => {
+                self.model_generation = Some(self.generation);
+                CheckResult::Sat
+            }
+            SolveResult::Unsat => {
+                self.model_generation = None;
+                CheckResult::Unsat
+            }
         }
     }
 
@@ -108,13 +139,21 @@ impl SolverBackend {
     /// so the same conjunction asked in any order (as happens when sibling
     /// paths replay a shared prefix) is answered without re-running the
     /// solver. Because hash-consing makes term identity structural,
-    /// equal keys mean equal formulas.
+    /// equal keys mean equal formulas. Cache misses are answered by the
+    /// solver chain when it is enabled (see
+    /// [`with_chain`](Self::with_chain)), and by a direct full-set solve
+    /// otherwise.
     ///
-    /// A cache hit does **not** refresh the solver model: use the plain
-    /// [`check`](SolverBackend::check) before [`value_of`](Self::value_of)
-    /// or [`test_vector`](Self::test_vector). This method is meant for
-    /// feasibility-only call sites (branch decisions, assumptions).
+    /// `check_cached` never leaves a readable model behind — after it,
+    /// [`value_of`](Self::value_of) and [`test_vector`](Self::test_vector)
+    /// report no model until the next plain [`check`](Self::check). This
+    /// method is meant for feasibility-only call sites (branch decisions,
+    /// assumptions).
     pub fn check_cached(&mut self, ctx: &Context, conditions: &[TermId]) -> CheckResult {
+        // Any answer given here bypasses (parts of) the solver, so
+        // whatever model the solver still holds no longer matches the
+        // most recent query: invalidate it.
+        self.generation += 1;
         let mut key: Vec<TermId> = conditions.to_vec();
         key.sort_unstable();
         key.dedup();
@@ -124,19 +163,36 @@ impl SolverBackend {
             return cached;
         }
         self.cache_stats.misses += 1;
-        let result = self.check(ctx, conditions);
+        let result = match self.chain.as_mut() {
+            Some(chain) => chain.check(ctx, &mut self.solver, &mut self.blaster, &key),
+            None => {
+                let assumptions: Vec<Lit> = key
+                    .iter()
+                    .map(|&c| self.blaster.bool_lit(ctx, &mut self.solver, c))
+                    .collect();
+                match self.solver.solve(&assumptions) {
+                    SolveResult::Sat => CheckResult::Sat,
+                    SolveResult::Unsat => CheckResult::Unsat,
+                }
+            }
+        };
         self.cache.insert(key, result);
         result
     }
 
     /// The value of `term` in the most recent model.
     ///
-    /// Returns `None` if no successful [`check`](SolverBackend::check) has
-    /// happened yet, **or** if no bit of `term` was constrained by that
-    /// check — i.e. the term never reached the solver, so the model is
+    /// Returns `None` if the most recent query was not a satisfiable
+    /// plain [`check`](SolverBackend::check) — in particular after any
+    /// [`check_cached`](Self::check_cached), whose answers don't refresh
+    /// the model — **or** if no bit of `term` was constrained by that
+    /// check, i.e. the term never reached the solver, so the model is
     /// silent about it and any value would do. When at least one bit is
     /// constrained, the remaining unconstrained bits read as zero.
     pub fn value_of(&mut self, ctx: &Context, term: TermId) -> Option<u64> {
+        if self.model_generation != Some(self.generation) {
+            return None;
+        }
         let bits = self.blaster.bits(ctx, &mut self.solver, term);
         let mut any = false;
         let mut value = 0u64;
@@ -158,7 +214,10 @@ impl SolverBackend {
     }
 
     /// Exports the most recent model as a [`TestVector`] covering every
-    /// symbol registered in `ctx`.
+    /// symbol registered in `ctx`. Symbols without a readable model value
+    /// (see [`value_of`](Self::value_of)) export as zero, so this is only
+    /// meaningful right after a satisfiable plain
+    /// [`check`](Self::check).
     pub fn test_vector(&mut self, ctx: &Context) -> TestVector {
         let mut vector = TestVector::new();
         for &sym in ctx.symbols() {
@@ -179,6 +238,15 @@ impl SolverBackend {
     /// memoisation cache.
     pub fn query_cache_stats(&self) -> QueryCacheStats {
         self.cache_stats
+    }
+
+    /// Counters of the solver chain. All zero when the chain is disabled
+    /// (every cache miss then solves directly).
+    pub fn solver_chain_stats(&self) -> SolverChainStats {
+        self.chain
+            .as_ref()
+            .map(SolverChain::stats)
+            .unwrap_or_default()
     }
 }
 
@@ -305,6 +373,89 @@ mod tests {
         assert!(!backend.check_cached(&ctx, &[is1, is2, is1]).is_sat());
         assert_eq!(backend.query_cache_stats().misses, 2);
         assert_eq!(backend.query_cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn cached_answers_do_not_expose_stale_models() {
+        // Regression: a `check_cached` hit used to leave the *previous*
+        // query's model readable, so asking about x == 1 and then reading
+        // the model silently returned the stale x == 2.
+        for chain in [false, true] {
+            let mut ctx = Context::new();
+            let x = ctx.symbol(8, "x");
+            let c1 = ctx.constant(8, 1);
+            let c2 = ctx.constant(8, 2);
+            let is1 = ctx.eq(x, c1);
+            let is2 = ctx.eq(x, c2);
+
+            let mut backend = SolverBackend::with_chain(chain);
+            assert!(backend.check_cached(&ctx, &[is1]).is_sat());
+            assert!(backend.check_cached(&ctx, &[is2]).is_sat());
+            // Cache hit: internally the solver still holds the x == 2
+            // model, which must not leak out (chain={chain}).
+            assert!(backend.check_cached(&ctx, &[is1]).is_sat());
+            assert_eq!(
+                backend.value_of(&ctx, x),
+                None,
+                "cached answer exposed a stale model (chain={chain})"
+            );
+            assert_eq!(backend.test_vector(&ctx).to_env().get("x"), Some(&0));
+            // A plain check refreshes the model.
+            assert!(backend.check(&ctx, &[is1]).is_sat());
+            assert_eq!(backend.value_of(&ctx, x), Some(1));
+        }
+    }
+
+    #[test]
+    fn unsat_check_invalidates_model() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let is1 = ctx.eq(x, c1);
+        let is2 = ctx.eq(x, c2);
+        let mut backend = SolverBackend::new();
+        assert!(backend.check(&ctx, &[is1]).is_sat());
+        assert_eq!(backend.value_of(&ctx, x), Some(1));
+        assert!(!backend.check(&ctx, &[is1, is2]).is_sat());
+        assert_eq!(backend.value_of(&ctx, x), None, "no model after Unsat");
+    }
+
+    #[test]
+    fn chain_and_direct_backends_agree() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let y = ctx.symbol(8, "y");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let x1 = ctx.eq(x, c1);
+        let x2 = ctx.eq(x, c2);
+        let y1 = ctx.eq(y, c1);
+        let sets: Vec<Vec<TermId>> = vec![
+            vec![x1],
+            vec![x1, y1],
+            vec![x1, x2],
+            vec![x1, x2, y1],
+            vec![y1],
+            vec![x1, y1],
+        ];
+
+        let mut chained = SolverBackend::new();
+        let mut direct = SolverBackend::with_chain(false);
+        for set in &sets {
+            assert_eq!(
+                chained.check_cached(&ctx, set),
+                direct.check_cached(&ctx, set),
+                "chain flipped the answer for {set:?}"
+            );
+        }
+        let stats = chained.solver_chain_stats();
+        assert!(stats.queries > 0, "misses must route through the chain");
+        assert!(
+            stats.solves < direct.stats().solves,
+            "slicing should save solver calls even on this tiny workload"
+        );
+        assert_eq!(direct.solver_chain_stats(), Default::default());
     }
 
     #[test]

@@ -23,8 +23,14 @@ cargo run --release -p symcosim-core --bin symcosim-cli -- \
     verify --rv32i-only --opcode 0x63 --certify --report-json "$report_json" > /dev/null
 cargo run --release -p symcosim-lint -- --coverage "$report_json" > /dev/null
 
+echo "==> solver-chain equivalence (chain on == chain off, all engines)"
+cargo test -q --test chain_equivalence
+
 echo "==> pathengine --smoke (informational, non-gating)"
 cargo run --release -p symcosim-bench --bin pathengine -- --smoke
+
+echo "==> solver --smoke (gates chain-on == chain-off reports)"
+cargo run --release -p symcosim-bench --bin solver -- --smoke
 
 echo "==> cargo fmt --check"
 cargo fmt --check

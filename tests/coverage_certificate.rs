@@ -84,6 +84,43 @@ fn clean_branch_space_certifies_identically_across_engines() {
 }
 
 #[test]
+fn system_space_certifies_exactly_with_full_word_encodings() {
+    // The privileged SYSTEM instructions are full-word encodings: both
+    // models decide `instr == 0x0000_0073` (ECALL) and friends, a 32-bit
+    // equality over the fetch slot. The projector used to widen any
+    // equality whose support exceeded its enumeration limit to the
+    // universe cube, so every funct3=0 path claimed the *whole* SYSTEM
+    // slice inexactly: the certificate flagged the region as a widened
+    // over-approximation ("no provable gap") instead of proving the
+    // partition, and the ECALL/EBREAK/MRET splits were never checked
+    // for disjointness. Affine equalities now project exactly, so the
+    // sweep certifies complete with every slot cover exact.
+    let mut config = SessionConfig::rv32i_only();
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::SYSTEM);
+    let (report, cert_json) = certificates_agree(config);
+
+    let cert = Certificate::certify(report.coverage.as_ref().expect("coverage"));
+    assert_eq!(
+        cert.verdict,
+        Verdict::Complete,
+        "a drained SYSTEM sweep must certify complete:\n{cert}"
+    );
+    assert!(cert.domain_exact);
+    for slot in &cert.slots {
+        assert!(
+            slot.exact,
+            "full-word SYSTEM encodings must project exactly, not widen:\n{cert}"
+        );
+        assert_eq!(slot.domain_words, 1 << 25);
+        assert_eq!(slot.certified_words, 1 << 25);
+        assert_eq!(slot.residual_words, 0);
+        assert!(slot.overlaps.is_empty());
+    }
+    assert!(cert_json.contains("\"exact\": true"));
+}
+
+#[test]
 fn table1_store_slice_certifies_identically_across_engines() {
     // Catalogue mode against the shipped models: mismatch paths are
     // certified too — the mismatch *is* the path's behaviour class.
