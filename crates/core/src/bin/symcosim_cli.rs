@@ -12,9 +12,10 @@ use std::io::{IsTerminal, Read};
 
 use symcosim_core::fuzz::{self, FuzzConfig};
 use symcosim_core::{
-    Certificate, EngineKind, InstrConstraint, ProgressEvent, SessionConfig, VerifyReport,
-    VerifySession,
+    merge_slice_coverage, project_domain, Certificate, CoverageSlice, EngineKind, InstrConstraint,
+    ProgressEvent, SessionConfig, VerifyReport, VerifySession,
 };
+use symcosim_isa::pattern::partition_universe;
 use symcosim_microrv32::InjectedError;
 
 const USAGE: &str = "\
@@ -23,8 +24,8 @@ symcosim — symbolic co-simulation for RISC-V processor verification
 USAGE:
     symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
                         [--jobs N] [--seed N] [--engine fork|reexec] [--lint]
-                        [--opcode HEX] [--certify] [--report-json PATH]
-                        [--no-solver-chain]
+                        [--opcode HEX] [--certify] [--slices N]
+                        [--report-json PATH] [--no-solver-chain]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
@@ -42,7 +43,12 @@ USAGE:
         not). --report-json dumps the machine-readable symcosim-report/1
         document (including the coverage section `symcosim-lint
         --coverage` re-certifies) to PATH; both flags imply coverage
-        collection. --no-solver-chain bypasses the KLEE-style solver
+        collection. --slices N (requires --certify) shards the decode
+        space into N cube-disjoint slices, verifies each in its own
+        session and certifies the merged coverage — the printed
+        certificate is byte-identical to the unsliced run's (the
+        symcosim-serve daemon distributes the same shards across
+        processes). --no-solver-chain bypasses the KLEE-style solver
         chain (independence slicing, counterexample and model caches) —
         the report is identical, only slower; for benchmarking.
 
@@ -196,6 +202,18 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
         config.collect_coverage = true;
     }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
+    let slices = flag_value(args, "--slices")?.unwrap_or(1) as usize;
+    if slices > 1 {
+        if !certify {
+            return Err("--slices shards the coverage proof; it requires --certify".into());
+        }
+        if report_json.is_some() {
+            return Err(
+                "--slices produces per-slice reports; --report-json only fits a single run".into(),
+            );
+        }
+        return cmd_verify_sliced(config, slices, jobs);
+    }
     let report = run_session(VerifySession::new(config)?, jobs);
     print!("{report}");
     if let Some(path) = report_json {
@@ -214,6 +232,46 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
             // coverage argument does not hold.
             std::process::exit(1);
         }
+    }
+    Ok(())
+}
+
+/// `verify --certify --slices N`: verify each cube-disjoint decode-space
+/// slice in its own session, prove the slices partition the legal domain
+/// and certify the merged coverage. The certificate is byte-identical to
+/// the unsliced run's.
+fn cmd_verify_sliced(
+    config: SessionConfig,
+    slices: usize,
+    jobs: usize,
+) -> Result<(), Box<dyn Error>> {
+    let cubes = partition_universe(slices);
+    let mut parts = Vec::with_capacity(cubes.len());
+    for (index, cube) in cubes.iter().enumerate() {
+        let mut slice_config = config.clone();
+        slice_config.slice = Some(*cube);
+        let report = run_session(VerifySession::new(slice_config)?, jobs);
+        println!(
+            "slice {}/{} (mask={:08x} value={:08x}): {} paths, {} findings",
+            index + 1,
+            cubes.len(),
+            cube.mask,
+            cube.value,
+            report.paths_complete + report.paths_partial,
+            report.findings.len(),
+        );
+        parts.push(CoverageSlice {
+            cube: *cube,
+            data: report.coverage.expect("--certify collects coverage"),
+        });
+    }
+    let (domain, domain_exact) = project_domain(config.constraint, None);
+    let merged = merge_slice_coverage(domain, domain_exact, &parts)
+        .map_err(|error| format!("slice merge rejected: {error}"))?;
+    let certificate = Certificate::certify(&merged);
+    print!("{certificate}");
+    if certificate.findings() > 0 {
+        std::process::exit(1);
     }
     Ok(())
 }

@@ -31,7 +31,7 @@
 //! gaps, and inexact covers are flagged per slot via
 //! [`SlotCertificate::exact`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use symcosim_isa::{Pattern, PatternSet};
@@ -687,6 +687,275 @@ fn subtree_cover(
     let mut union = cover_zeros;
     union.union_with(&cover_ones);
     union
+}
+
+// --- distributed certificate merging -----------------------------------
+
+/// One shard of a sliced verification run: the slice cube the shard was
+/// scoped to ([`SessionConfig::slice`](crate::SessionConfig)) and the
+/// coverage it collected.
+#[derive(Debug, Clone)]
+pub struct CoverageSlice {
+    /// The first-fetch decode-space cube the shard ran under.
+    pub cube: Pattern,
+    /// The shard's collected coverage
+    /// ([`VerifyReport::coverage`](crate::VerifyReport)).
+    pub data: CoverageData,
+}
+
+/// Why a family of coverage slices cannot be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No slices were supplied.
+    NoSlices,
+    /// Two slice cubes share at least one instruction word, so a path
+    /// could be claimed twice.
+    OverlappingSlices {
+        /// First offending cube.
+        a: Pattern,
+        /// Second offending cube.
+        b: Pattern,
+        /// A concrete word both cubes cover.
+        witness: u32,
+    },
+    /// The slice cubes leave part of the legal decode domain uncovered.
+    ResidualCube {
+        /// A maximal uncovered cube.
+        cube: Pattern,
+        /// A concrete uncovered word inside it.
+        witness: u32,
+    },
+    /// The slices were collected against different slot prefixes.
+    SlotPrefixMismatch {
+        /// Prefix of the first slice.
+        expected: String,
+        /// The diverging prefix.
+        found: String,
+    },
+    /// Two slices disagree on the status of the same canonical path —
+    /// impossible for shards of one deterministic run, so the inputs do
+    /// not belong to the same job.
+    InconsistentPath {
+        /// The canonical decision vector of the conflicting path.
+        decisions: Vec<bool>,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoSlices => write!(f, "no coverage slices to merge"),
+            MergeError::OverlappingSlices { a, b, witness } => write!(
+                f,
+                "slice cubes mask={:08x} value={:08x} and mask={:08x} value={:08x} overlap \
+                 (witness word {witness:#010x})",
+                a.mask, a.value, b.mask, b.value
+            ),
+            MergeError::ResidualCube { cube, witness } => write!(
+                f,
+                "slice union misses domain cube mask={:08x} value={:08x} \
+                 (witness word {witness:#010x})",
+                cube.mask, cube.value
+            ),
+            MergeError::SlotPrefixMismatch { expected, found } => {
+                write!(f, "slot prefix mismatch: `{expected}` vs `{found}`")
+            }
+            MergeError::InconsistentPath { decisions } => {
+                write!(
+                    f,
+                    "slices disagree on the status of path {}",
+                    decisions
+                        .iter()
+                        .map(|&d| if d { '1' } else { '0' })
+                        .collect::<String>()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Path record accumulated across slices during a merge.
+struct MergedPath {
+    certified: bool,
+    bound: Option<BoundCause>,
+    excluded_only: bool,
+    /// Union-in-progress per slot: cover, exactness, instruction-relevant
+    /// decision positions.
+    slots: Vec<(String, PatternSet, bool, Vec<u32>)>,
+}
+
+/// Merges per-slice coverage into the coverage of the whole run, after
+/// statically proving — by cube algebra alone, no enumeration — that the
+/// slice cubes are pairwise disjoint and their union covers every word of
+/// the legal decode `domain`. Certifying the result yields a certificate
+/// **byte-identical** to the single-process run's whenever the slot
+/// projections are exact (they are for every RV32I opcode space; widened
+/// covers may decompose differently per slice).
+///
+/// `domain`/`domain_exact` must be the *full* run's legal decode domain —
+/// obtain it from [`project_domain`](crate::project_domain) with no slice,
+/// the same code path a single-process run derives its domain from.
+///
+/// Shards of one deterministic run explore decision vectors that are
+/// exactly the feasible subsets of the full run's vectors (forced
+/// decisions are still recorded, so per-path identity is slice-invariant):
+/// merging groups records by vector, unions their slot covers, and keeps
+/// the strongest status. An infeasible record whose vector strictly
+/// prefixes another group is a slice-root artefact — the slice cube
+/// killing a shard's path early — and is dropped; the single run never saw
+/// it.
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] when the slices are empty, overlap, leave a
+/// residual domain cube, mix slot prefixes, or disagree on a path.
+pub fn merge_slice_coverage(
+    domain: Vec<Pattern>,
+    domain_exact: bool,
+    slices: &[CoverageSlice],
+) -> Result<CoverageData, MergeError> {
+    let first = slices.first().ok_or(MergeError::NoSlices)?;
+    let slot_prefix = first.data.slot_prefix.clone();
+    for slice in &slices[1..] {
+        if slice.data.slot_prefix != slot_prefix {
+            return Err(MergeError::SlotPrefixMismatch {
+                expected: slot_prefix,
+                found: slice.data.slot_prefix.clone(),
+            });
+        }
+    }
+
+    // Proof obligation 1: pairwise disjointness. Every word is claimed by
+    // at most one slice.
+    for (i, a) in slices.iter().enumerate() {
+        for b in &slices[i + 1..] {
+            if let Some(shared) = a.cube.intersect(&b.cube) {
+                return Err(MergeError::OverlappingSlices {
+                    a: a.cube,
+                    b: b.cube,
+                    witness: shared.sample(),
+                });
+            }
+        }
+    }
+
+    // Proof obligation 2: the union covers the domain. Every legal word is
+    // claimed by at least one slice.
+    let mut residual = PatternSet::empty();
+    for cube in &domain {
+        residual.insert(cube);
+    }
+    for slice in slices {
+        residual.subtract(&slice.cube);
+    }
+    if let Some(cube) = residual.cubes().first() {
+        return Err(MergeError::ResidualCube {
+            cube: *cube,
+            witness: cube.sample(),
+        });
+    }
+
+    // Group path records by canonical decision vector.
+    let mut groups: BTreeMap<Vec<bool>, MergedPath> = BTreeMap::new();
+    for slice in slices {
+        for path in &slice.data.paths {
+            let entry = groups
+                .entry(path.decisions.clone())
+                .or_insert_with(|| MergedPath {
+                    certified: false,
+                    bound: None,
+                    excluded_only: true,
+                    slots: Vec::new(),
+                });
+            if path.excluded() {
+                continue;
+            }
+            if entry.excluded_only {
+                entry.certified = path.certified;
+                entry.bound = path.bound;
+                entry.excluded_only = false;
+            } else if entry.certified != path.certified || entry.bound != path.bound {
+                return Err(MergeError::InconsistentPath {
+                    decisions: path.decisions.clone(),
+                });
+            }
+            for slot in &path.slots {
+                let merged = match entry.slots.iter_mut().find(|(name, ..)| *name == slot.slot) {
+                    Some(merged) => merged,
+                    None => {
+                        entry.slots.push((
+                            slot.slot.clone(),
+                            PatternSet::empty(),
+                            true,
+                            Vec::new(),
+                        ));
+                        entry.slots.last_mut().expect("just pushed")
+                    }
+                };
+                for cube in &slot.cubes {
+                    merged.1.insert(cube);
+                }
+                merged.2 &= slot.exact;
+                for &d in &slot.instr_decisions {
+                    if !merged.3.contains(&d) {
+                        merged.3.push(d);
+                    }
+                }
+            }
+        }
+    }
+
+    // Drop slice-root artefacts: infeasible records whose vector strictly
+    // prefixes a surviving group only exist because a slice cube emptied a
+    // whole shard — the unsliced run never recorded them.
+    let vectors: Vec<Vec<bool>> = groups.keys().cloned().collect();
+    let artefact = |v: &Vec<bool>| {
+        vectors
+            .iter()
+            .any(|other| other.len() > v.len() && other[..v.len()] == v[..])
+    };
+    groups.retain(|vector, merged| !(merged.excluded_only && artefact(vector)));
+
+    let paths = groups
+        .into_iter()
+        .map(|(decisions, merged)| {
+            let slots = merged
+                .slots
+                .into_iter()
+                .filter(|(_, cover, _, instr_decisions)| {
+                    // A cover grown back to the full universe constrains
+                    // nothing; the single run leaves such slots unlisted.
+                    cover.count() != 1u64 << 32 || !instr_decisions.is_empty()
+                })
+                .map(|(slot, mut cover, exact, mut instr_decisions)| {
+                    cover.sort_cubes();
+                    instr_decisions.sort_unstable();
+                    SlotCoverage {
+                        slot,
+                        cubes: cover.cubes().to_vec(),
+                        exact,
+                        instr_decisions,
+                    }
+                })
+                .collect();
+            PathCoverage {
+                decisions,
+                certified: merged.certified,
+                bound: merged.bound,
+                slots,
+            }
+        })
+        .collect();
+
+    Ok(CoverageData {
+        slot_prefix,
+        domain,
+        domain_exact,
+        truncated: slices.iter().any(|s| s.data.truncated),
+        paths,
+    })
 }
 
 #[cfg(test)]

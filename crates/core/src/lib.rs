@@ -53,6 +53,7 @@
 pub mod certify;
 mod cosim;
 pub mod fuzz;
+pub mod job;
 pub mod json;
 mod memory;
 mod replay;
@@ -60,12 +61,16 @@ mod report;
 mod session;
 mod voter;
 
-pub use certify::{BoundCause, Certificate, CoverageData, PathCoverage, SlotCertificate, Verdict};
+pub use certify::{
+    merge_slice_coverage, BoundCause, Certificate, CoverageData, CoverageSlice, MergeError,
+    PathCoverage, SlotCertificate, Verdict,
+};
 pub use cosim::{CoSim, CosimOutcome, CosimResult, StopReason};
+pub use job::{JobSpec, JOB_SCHEMA};
 pub use memory::{IssDataBus, SymbolicDataMemory, SymbolicInstrMemory};
 pub use replay::replay;
 pub use report::{Finding, FindingClass, VerifyReport, REPORT_SCHEMA};
-pub use session::{InstrConstraint, SessionConfig, SessionError, VerifySession};
+pub use session::{project_domain, InstrConstraint, SessionConfig, SessionError, VerifySession};
 pub use symcosim_exec::ProgressEvent;
-pub use symcosim_symex::{EngineKind, QueryCacheStats};
+pub use symcosim_symex::{ChainSeed, EngineKind, QueryCacheStats};
 pub use voter::{ConcreteJudge, Judge, Mismatch, MismatchKind, SymbolicJudge, Voter};

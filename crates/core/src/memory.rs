@@ -20,6 +20,11 @@ pub struct SymbolicInstrMemory<D: Domain> {
     entries: Vec<(D::Word, D::Word)>,
     generated: u32,
     constraint: Option<ConstraintFn<D>>,
+    /// Applied only to the *first* generated instruction, after
+    /// `constraint`. Job slicing hangs its decode-space cube here: slicing
+    /// every fetch would shrink the later slots too, so the slice unions
+    /// would no longer cover the multi-instruction space.
+    first_constraint: Option<ConstraintFn<D>>,
     generator: Option<GeneratorFn<D>>,
     program: Option<Vec<u32>>,
 }
@@ -38,6 +43,7 @@ impl<D: Domain> std::fmt::Debug for SymbolicInstrMemory<D> {
             .field("cached", &self.entries.len())
             .field("generated", &self.generated)
             .field("constrained", &self.constraint.is_some())
+            .field("first_constrained", &self.first_constraint.is_some())
             .finish()
     }
 }
@@ -50,6 +56,7 @@ impl<D: Domain> Clone for SymbolicInstrMemory<D> {
             entries: self.entries.clone(),
             generated: self.generated,
             constraint: self.constraint.clone(),
+            first_constraint: self.first_constraint.clone(),
             generator: self.generator.clone(),
             program: self.program.clone(),
         }
@@ -63,6 +70,7 @@ impl<D: Domain> SymbolicInstrMemory<D> {
             entries: Vec::new(),
             generated: 0,
             constraint: None,
+            first_constraint: None,
             generator: None,
             program: None,
         }
@@ -77,6 +85,19 @@ impl<D: Domain> SymbolicInstrMemory<D> {
             constraint: Some(Arc::new(constraint)),
             ..SymbolicInstrMemory::new()
         }
+    }
+
+    /// Installs a constraint applied (after the per-instruction one) only
+    /// to the first generated instruction. Verification-job slicing scopes
+    /// its decode-space cube to the first fetch through this hook; see the
+    /// field docs for why later fetches must stay unsliced.
+    #[must_use]
+    pub fn constrain_first(
+        mut self,
+        constraint: impl Fn(&mut D, D::Word) + Send + Sync + 'static,
+    ) -> SymbolicInstrMemory<D> {
+        self.first_constraint = Some(Arc::new(constraint));
+        self
     }
 
     /// Replaces the symbolic generator with a custom one (the fuzzing
@@ -143,6 +164,11 @@ impl<D: Domain> SymbolicInstrMemory<D> {
         };
         if let Some(constraint) = &self.constraint {
             constraint(dom, instr);
+        }
+        if self.generated == 0 {
+            if let Some(constraint) = &self.first_constraint {
+                constraint(dom, instr);
+            }
         }
         self.entries.push((addr, instr));
         self.generated += 1;

@@ -415,13 +415,13 @@ impl fmt::Display for VerifyReport {
             self.test_vectors,
             self.duration,
         )?;
+        // The stats structs' `Display` impls carry every counter the
+        // `--progress-json` worker_done events emit (round-trip gated in
+        // `exec::progress`), so the report never under-reports a field.
         writeln!(
             f,
-            "solver: {} solves, {} conflicts; query cache: {} hits, {} misses",
-            self.solver_stats.solves,
-            self.solver_stats.conflicts,
-            self.query_cache.hits,
-            self.query_cache.misses,
+            "solver: {}; query cache: {}",
+            self.solver_stats, self.query_cache,
         )?;
         writeln!(f, "solver chain: {}", self.chain_stats)?;
         for finding in &self.findings {

@@ -11,7 +11,7 @@ use symcosim_isa::{opcodes, Pattern};
 use symcosim_iss::IssConfig;
 use symcosim_microrv32::{CoreConfig, InjectedError};
 use symcosim_symex::{
-    Domain, Engine, EngineConfig, EngineKind, ForkEngine, ForkExec, ForkTask, PathProbe,
+    ChainSeed, Domain, Engine, EngineConfig, EngineKind, ForkEngine, ForkExec, ForkTask, PathProbe,
     PathResult, PathStatus, QueryCacheStats, SearchStrategy, SlotCoverage, SolverChainStats,
     SolverStats, StepResult, SymExec, TestVector,
 };
@@ -103,6 +103,15 @@ pub struct SessionConfig {
     /// are identical either way — the CLI's `--no-solver-chain` flag
     /// disables it for benchmarking and debugging.
     pub solver_chain: bool,
+    /// Restrict the *first* fetched instruction word to a decode-space
+    /// cube, on top of [`SessionConfig::constraint`]. This is how a sliced
+    /// verification job scopes one shard: a family of pairwise-disjoint
+    /// slice cubes covering the domain partitions the run, and
+    /// [`merge_slice_coverage`](crate::merge_slice_coverage) reassembles
+    /// the per-slice coverage into the single-run certificate. Only the
+    /// first fetch is sliced — later fetch slots must stay unsliced or the
+    /// shard union would no longer cover the multi-instruction space.
+    pub slice: Option<Pattern>,
 }
 
 impl SessionConfig {
@@ -129,6 +138,7 @@ impl SessionConfig {
             engine: EngineKind::Fork,
             collect_coverage: false,
             solver_chain: true,
+            slice: None,
         }
     }
 
@@ -156,6 +166,7 @@ impl SessionConfig {
             engine: EngineKind::Fork,
             collect_coverage: false,
             solver_chain: true,
+            slice: None,
         }
     }
 }
@@ -253,24 +264,38 @@ impl VerifySession {
     /// engines drain the same canonical path set and yield bit-identical
     /// reports (enforced by the `engine_equivalence` integration tests).
     pub fn run(self) -> VerifyReport {
+        self.run_seeded(None).0
+    }
+
+    /// [`VerifySession::run`] with solver-chain cache handoff: imports
+    /// `warm` (a seed exported by an *identical* earlier run — same
+    /// config, constraint, slice, engine and seed, see
+    /// [`ChainSeed`]) before exploring, and exports this run's caches
+    /// afterwards. The report is bit-identical warm or cold; only the
+    /// solver work changes, which the report's chain statistics expose.
+    pub fn run_seeded(self, warm: Option<&ChainSeed>) -> (VerifyReport, ChainSeed) {
         let start = Instant::now();
         let config = self.config;
         let stop_early = config.stop_at_first_mismatch;
         let domain = config
             .collect_coverage
-            .then(|| project_domain(config.constraint));
+            .then(|| project_domain(config.constraint, config.slice));
         match config.engine {
             EngineKind::Reexec => {
                 let mut engine = Engine::new(engine_config(&config));
+                if let Some(seed) = warm {
+                    engine.import_chain_seed(seed);
+                }
                 let closure_config = config.clone();
                 let outcome = engine.explore_until(
                     move |exec| run_one_path(exec, &closure_config),
                     move |path| stop_early && path.value.mismatch.is_some(),
                 );
+                let harvest = engine.export_chain_seed();
                 let solver = engine.backend().stats();
                 let cache = engine.backend().query_cache_stats();
                 let chain = engine.backend().solver_chain_stats();
-                merge_report(
+                let report = merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
                     start,
@@ -278,20 +303,25 @@ impl VerifySession {
                     cache,
                     chain,
                     domain,
-                )
+                );
+                (report, harvest)
             }
             EngineKind::Fork => {
                 let mut engine = ForkEngine::new(engine_config(&config));
+                if let Some(seed) = warm {
+                    engine.import_chain_seed(seed);
+                }
                 let task = SessionTask {
                     config: config.clone(),
                 };
                 let outcome = engine.explore_until(&task, move |path| {
                     stop_early && path.value.mismatch.is_some()
                 });
+                let harvest = engine.export_chain_seed();
                 let solver = engine.backend().stats();
                 let cache = engine.backend().query_cache_stats();
                 let chain = engine.backend().solver_chain_stats();
-                merge_report(
+                let report = merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
                     start,
@@ -299,7 +329,8 @@ impl VerifySession {
                     cache,
                     chain,
                     domain,
-                )
+                );
+                (report, harvest)
             }
         }
     }
@@ -335,7 +366,7 @@ impl VerifySession {
         let stop_early = config.stop_at_first_mismatch;
         let domain = config
             .collect_coverage
-            .then(|| project_domain(config.constraint));
+            .then(|| project_domain(config.constraint, config.slice));
         match config.engine {
             EngineKind::Reexec => {
                 let closure_config = config.clone();
@@ -525,15 +556,19 @@ fn classify_path_coverage(path: &PathResult<PathRun>) -> (bool, Option<BoundCaus
     }
 }
 
-/// Projects the session's instruction-generation constraint onto a fresh
-/// fetch slot: the *legal decode domain* the certifier checks coverage
-/// against. Runs the real [`build_imem`] constraint closure on a scratch
-/// engine — the domain is derived from the same code path every explored
-/// path went through, never a hard-coded table.
-fn project_domain(constraint: InstrConstraint) -> (Vec<Pattern>, bool) {
+/// Projects an instruction-generation constraint (optionally intersected
+/// with a first-fetch slice cube) onto a fresh fetch slot: the *legal
+/// decode domain* the certifier checks coverage against. Runs the real
+/// [`build_imem`] constraint closure on a scratch engine — the domain is
+/// derived from the same code path every explored path went through,
+/// never a hard-coded table. The certificate merge entry point
+/// ([`merge_slice_coverage`](crate::merge_slice_coverage)) recomputes the
+/// *full* domain through this same function, which is what makes merged
+/// certificates byte-identical to single-process ones.
+pub fn project_domain(constraint: InstrConstraint, slice: Option<Pattern>) -> (Vec<Pattern>, bool) {
     let mut engine = Engine::new(EngineConfig::default());
     let outcome = engine.run_prefix(Vec::new(), |exec: &mut SymExec<'_>| {
-        let mut imem = build_imem(constraint);
+        let mut imem = build_imem(constraint, slice);
         let addr = exec.const_word(0);
         let _ = imem.fetch(exec, addr);
         exec.project_coverage(certify::SLOT_PREFIX)
@@ -548,7 +583,7 @@ fn project_domain(constraint: InstrConstraint) -> (Vec<Pattern>, bool) {
 
 /// Builds the co-simulation one path runs on.
 fn build_cosim<D: Domain>(dom: &mut D, config: &SessionConfig) -> CoSim<D> {
-    let imem = build_imem(config.constraint);
+    let imem = build_imem(config.constraint, config.slice);
     CoSim::new(
         dom,
         config.core_config.clone(),
@@ -643,8 +678,35 @@ impl ForkTask for SessionTask {
     }
 }
 
-/// Builds the instruction memory for the configured constraint.
-fn build_imem<D: Domain>(constraint: InstrConstraint) -> SymbolicInstrMemory<D> {
+/// Builds the instruction memory for the configured constraint, with the
+/// optional job-slice cube scoped to the first fetched instruction.
+///
+/// The slice is encoded bit by bit (`field(instr, i, i) == v`): single-bit
+/// equalities are trivially enumerable, so the coverage projector keeps
+/// slot covers exact instead of widening.
+fn build_imem<D: Domain>(
+    constraint: InstrConstraint,
+    slice: Option<Pattern>,
+) -> SymbolicInstrMemory<D> {
+    let imem = build_constrained_imem(constraint);
+    match slice {
+        None => imem,
+        Some(cube) => imem.constrain_first(move |dom: &mut D, instr| {
+            for bit_index in 0..32u32 {
+                let bit = 1u32 << bit_index;
+                if cube.mask & bit == 0 {
+                    continue;
+                }
+                let lane = dom.field(instr, bit_index, bit_index);
+                let want = dom.eq_const(lane, u32::from(cube.value & bit != 0));
+                dom.assume(want);
+            }
+        }),
+    }
+}
+
+/// [`build_imem`] without the slice hook.
+fn build_constrained_imem<D: Domain>(constraint: InstrConstraint) -> SymbolicInstrMemory<D> {
     match constraint {
         InstrConstraint::None => SymbolicInstrMemory::new(),
         InstrConstraint::BlockSystem => {

@@ -84,3 +84,50 @@ fn asm_reports_errors_on_stderr() {
     let text = String::from_utf8_lossy(&output.stderr);
     assert!(text.contains("line 1"), "{text}");
 }
+
+#[test]
+fn verify_slices_matches_the_unsliced_certificate() {
+    let single = Command::new(BIN)
+        .args(["verify", "--opcode", "0x63", "--certify"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        single.status.success(),
+        "{}",
+        String::from_utf8_lossy(&single.stderr)
+    );
+    let single = String::from_utf8_lossy(&single.stdout);
+    let certificate = single
+        .split("coverage certificate")
+        .nth(1)
+        .expect("unsliced run prints a certificate");
+
+    let sliced = Command::new(BIN)
+        .args(["verify", "--opcode", "0x63", "--certify", "--slices", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        sliced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sliced.stderr)
+    );
+    let sliced = String::from_utf8_lossy(&sliced.stdout);
+    assert!(sliced.contains("slice 1/2"), "{sliced}");
+    assert!(sliced.contains("slice 2/2"), "{sliced}");
+    assert_eq!(
+        sliced.split("coverage certificate").nth(1),
+        Some(certificate),
+        "sliced certificate diverged from the unsliced run"
+    );
+}
+
+#[test]
+fn verify_slices_requires_certify() {
+    let output = Command::new(BIN)
+        .args(["verify", "--opcode", "0x63", "--slices", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let text = String::from_utf8_lossy(&output.stderr);
+    assert!(text.contains("--certify"), "{text}");
+}

@@ -85,7 +85,8 @@ impl ProgressEvent {
             } => format!(
                 "{{\"event\":\"worker_done\",\"worker\":{worker},\"paths\":{paths},\
                  \"busy_ms\":{busy_ms},\"solves\":{},\"decisions\":{},\"propagations\":{},\
-                 \"conflicts\":{},\"restarts\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                 \"conflicts\":{},\"restarts\":{},\"learnt_clauses\":{},\
+                 \"cache_hits\":{},\"cache_misses\":{},\
                  \"chain_queries\":{},\"chain_slices\":{},\"chain_slice_hits\":{},\
                  \"chain_core_hits\":{},\"chain_model_hits\":{},\"chain_solves\":{},\
                  \"chain_max_slice\":{}}}",
@@ -94,6 +95,7 @@ impl ProgressEvent {
                 solver.propagations,
                 solver.conflicts,
                 solver.restarts,
+                solver.learnt_clauses,
                 cache.hits,
                 cache.misses,
                 chain.queries,
@@ -155,5 +157,59 @@ mod tests {
             );
             assert!(json.contains("\"event\":\""), "{json}");
         }
+    }
+
+    #[test]
+    fn worker_done_json_carries_every_reported_stat_field() {
+        // Every statistic the report layer *prints* (the `Display` impls
+        // of the three stats structs) must also appear in the
+        // `worker_done` progress event — this test is the drift guard.
+        // Distinct sentinel values make a dropped or duplicated field
+        // observable.
+        let solver = SolverStats {
+            solves: 101,
+            decisions: 102,
+            propagations: 103,
+            conflicts: 104,
+            restarts: 105,
+            learnt_clauses: 106,
+        };
+        let cache = QueryCacheStats {
+            hits: 201,
+            misses: 202,
+        };
+        let chain = SolverChainStats {
+            queries: 301,
+            slices: 302,
+            slice_hits: 303,
+            core_hits: 304,
+            model_hits: 305,
+            solves: 306,
+            max_slice: 307,
+        };
+        let json = ProgressEvent::WorkerDone {
+            worker: 0,
+            paths: 1,
+            busy_ms: 2,
+            solver,
+            cache,
+            chain,
+        }
+        .to_json();
+
+        let printed = format!("{solver} {cache} {chain}");
+        for pair in printed.split_whitespace() {
+            let (field, value) = pair.split_once('=').expect("Display emits key=value");
+            assert!(
+                json.contains(&format!(":{value}")),
+                "stat `{field}` (value {value}) is printed in reports but \
+                 missing from the worker_done event:\n{json}"
+            );
+        }
+        // And the round-trip parsers pin the Display forms themselves to
+        // the full field sets.
+        assert_eq!(printed.matches('=').count(), 6 + 2 + 7);
+        assert_eq!(cache.to_string().parse::<QueryCacheStats>(), Ok(cache));
+        assert_eq!(chain.to_string().parse::<SolverChainStats>(), Ok(chain));
     }
 }

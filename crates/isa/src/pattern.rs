@@ -146,6 +146,75 @@ impl Pattern {
     pub fn complement(&self) -> Vec<Pattern> {
         Pattern::universe().subtract(self)
     }
+
+    /// Splits the cube into its two halves fixing free bit `bit_index` to
+    /// 0 and 1; `None` when the cube already cares about that bit.
+    #[must_use]
+    pub fn split_at(&self, bit_index: u32) -> Option<(Pattern, Pattern)> {
+        let bit = 1u32 << bit_index;
+        if self.mask & bit != 0 {
+            return None;
+        }
+        let zero = Pattern {
+            mask: self.mask | bit,
+            value: self.value,
+        };
+        let one = Pattern {
+            mask: self.mask | bit,
+            value: self.value | bit,
+        };
+        Some((zero, one))
+    }
+}
+
+/// Preferred split order for sharding the decode space into job slices:
+/// funct3 (bits 14..12) first — the primary minor-opcode selector, so small
+/// slice counts separate whole behaviour classes — then funct7/imm-high and
+/// the register fields, with the major opcode bits (6..0) last so slices
+/// stay opcode-agnostic and every slice of a single-opcode job is non-empty
+/// for as long as possible.
+pub const SLICE_SPLIT_BITS: [u32; 32] = [
+    14, 13, 12, // funct3
+    30, 25, 26, 27, 28, 29, 31, // funct7 / imm high
+    24, 23, 22, 21, 20, // rs2
+    19, 18, 17, 16, 15, // rs1
+    11, 10, 9, 8, 7, // rd
+    6, 5, 4, 3, 2, 1, 0, // major opcode, last
+];
+
+/// Deterministically partitions the full 32-bit word universe into exactly
+/// `n` pairwise-disjoint cubes whose union is the universe.
+///
+/// Repeatedly splits the currently largest cube on the first
+/// [`SLICE_SPLIT_BITS`] bit it leaves free, so e.g. `n = 2` splits on
+/// instruction bit 14 and `n = 8` yields the eight funct3 octants. The
+/// result is sorted into canonical cube order. `n = 0` yields the empty
+/// partition (of the empty space, vacuously disjoint but not covering).
+#[must_use]
+pub fn partition_universe(n: usize) -> Vec<Pattern> {
+    assert!(n <= 1 << 16, "partition fan-out capped at 65536 slices");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut cubes = vec![Pattern::universe()];
+    while cubes.len() < n {
+        let (index, _) = cubes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, cube)| (cube.count(), usize::MAX - i))
+            .expect("partition is non-empty");
+        let widest = cubes[index];
+        let bit = SLICE_SPLIT_BITS
+            .iter()
+            .copied()
+            .find(|&b| widest.mask & (1 << b) == 0)
+            .expect("a cube wider than a point has a free bit");
+        let (zero, one) = widest.split_at(bit).expect("bit is free");
+        cubes[index] = zero;
+        cubes.insert(index + 1, one);
+    }
+    cubes.sort();
+    cubes
 }
 
 impl From<&DecodeRule> for Pattern {
@@ -444,6 +513,54 @@ mod tests {
             let word = rng.next_u32();
             assert_eq!(set.covers(word), members.iter().any(|m| m.covers(word)));
         });
+    }
+
+    #[test]
+    fn partition_universe_is_a_disjoint_cover() {
+        for n in [1usize, 2, 3, 5, 7, 8, 16, 33] {
+            let cubes = partition_universe(n);
+            assert_eq!(cubes.len(), n);
+            let total: u64 = cubes.iter().map(Pattern::count).sum();
+            assert_eq!(total, 1u64 << 32, "n={n} must cover the universe");
+            for (i, a) in cubes.iter().enumerate() {
+                for b in &cubes[i + 1..] {
+                    assert!(!a.overlaps(b), "n={n}: slices must be disjoint");
+                }
+            }
+            // Every probe word lands in exactly one slice.
+            check_cases(0x717e_0007 ^ n as u64, 32, |rng| {
+                let w = rng.next_u32();
+                assert_eq!(cubes.iter().filter(|c| c.covers(w)).count(), 1);
+            });
+        }
+    }
+
+    #[test]
+    fn partition_universe_is_deterministic_and_funct3_first() {
+        assert_eq!(partition_universe(0), vec![]);
+        assert_eq!(partition_universe(1), vec![Pattern::universe()]);
+        // n = 2 halves the space on instruction bit 14 (funct3 MSB).
+        assert_eq!(
+            partition_universe(2),
+            vec![Pattern::new(1 << 14, 0), Pattern::new(1 << 14, 1 << 14)]
+        );
+        // n = 8 is exactly the eight funct3 octants.
+        let octants = partition_universe(8);
+        for f3 in 0u32..8 {
+            assert!(octants.contains(&Pattern::new(0x7000, f3 << 12)));
+        }
+        // Stable across calls.
+        assert_eq!(partition_universe(5), partition_universe(5));
+    }
+
+    #[test]
+    fn split_at_respects_cared_bits() {
+        let p = Pattern::new(0x7000, 0x2000);
+        assert!(p.split_at(12).is_none());
+        let (zero, one) = p.split_at(30).expect("bit 30 is free");
+        assert!(!zero.overlaps(&one));
+        assert_eq!(zero.count() + one.count(), p.count());
+        assert!(zero.subset_of(&p) && one.subset_of(&p));
     }
 
     #[test]

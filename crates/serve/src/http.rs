@@ -1,0 +1,323 @@
+//! Minimal HTTP/1.1 plumbing for the verification service.
+//!
+//! The build environment is registry-free, so the daemon speaks a small,
+//! hand-rolled subset of HTTP/1.1 directly over [`TcpStream`]: one request
+//! per connection (`Connection: close` semantics), `Content-Length` bodies
+//! on the way in, and either fixed-length or `chunked` bodies on the way
+//! out. The same module carries the equally small blocking client the
+//! `symcosim-serve client` subcommand and the integration tests use, so
+//! both ends are exercised against each other.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body the server accepts (a job document is < 1 KiB;
+/// this is purely a safety bound against malformed peers).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Largest request line / header line accepted.
+const MAX_LINE: usize = 8 << 10;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, without query string.
+    pub path: String,
+    /// Body bytes (empty when the request has no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, or an error message suitable for a 400.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "body is not valid UTF-8".to_string())
+    }
+}
+
+/// Reads one size-bounded line (terminated by `\n`, `\r` trimmed).
+fn read_line(reader: &mut BufReader<&TcpStream>) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && line.is_empty() => {
+                return Ok(String::new())
+            }
+            Err(e) => return Err(e),
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        if line.len() >= MAX_LINE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header line too long",
+            ));
+        }
+        line.push(byte[0]);
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header"))
+}
+
+/// Parses one request from `stream`. Returns `None` on an immediately
+/// closed connection (the shutdown self-wake does this on purpose).
+pub fn read_request(stream: &TcpStream) -> io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    if request_line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing request target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Spells out the reason phrase for the handful of statuses the service
+/// uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// [`respond`] with `application/json`.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    respond(stream, status, "application/json", body)
+}
+
+/// A plain-text error response built from a message.
+pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    respond(stream, status, "text/plain", &format!("{message}\n"))
+}
+
+/// An in-flight `Transfer-Encoding: chunked` response body. Each
+/// [`ChunkedWriter::write_chunk`] flushes, so the peer observes event
+/// lines as they happen.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the body writer.
+    pub fn start(stream: &'a mut TcpStream, content_type: &str) -> io::Result<ChunkedWriter<'a>> {
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        )?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk (skipping empty payloads, which would terminate
+    /// the stream early) and flushes.
+    pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked body.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// A parsed client-side response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body, chunked bodies already de-chunked.
+    pub body: String,
+}
+
+/// Reads the status line and headers; returns `(status, chunked,
+/// content_length)`.
+fn read_response_head(
+    reader: &mut BufReader<&TcpStream>,
+) -> io::Result<(u16, bool, Option<usize>)> {
+    let status_line = read_line(reader)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut chunked = false;
+    let mut content_length = None;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+        }
+    }
+    Ok((status, chunked, content_length))
+}
+
+/// Reads one chunked body to completion.
+fn read_chunked(reader: &mut BufReader<&TcpStream>) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(reader)?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+        if size == 0 {
+            let _ = read_line(reader); // trailing CRLF
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let _ = read_line(reader)?; // chunk CRLF
+    }
+}
+
+/// Performs one blocking request against `addr` and returns the parsed
+/// response (chunked bodies are drained to completion — use
+/// [`stream_lines`] to observe a stream incrementally).
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(&stream);
+    let (status, chunked, content_length) = read_response_head(&mut reader)?;
+    let bytes = if chunked {
+        read_chunked(&mut reader)?
+    } else if let Some(length) = content_length {
+        let mut bytes = vec![0u8; length];
+        reader.read_exact(&mut bytes)?;
+        bytes
+    } else {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        bytes
+    };
+    let body = String::from_utf8(bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(Response { status, body })
+}
+
+/// GETs `path` and feeds every newline-terminated line of the (chunked)
+/// body to `visit` as it arrives. Returns the final status code.
+pub fn stream_lines(addr: &str, path: &str, mut visit: impl FnMut(&str)) -> io::Result<u16> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(&stream);
+    let (status, chunked, _) = read_response_head(&mut reader)?;
+    if !chunked {
+        // Error responses are fixed-length; surface them line by line too.
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest)?;
+        for line in rest.lines() {
+            visit(line);
+        }
+        return Ok(status);
+    }
+    let mut pending = String::new();
+    loop {
+        let size_line = read_line(&mut reader)?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+        if size == 0 {
+            break;
+        }
+        let mut chunk = vec![0u8; size];
+        reader.read_exact(&mut chunk)?;
+        let _ = read_line(&mut reader)?;
+        pending.push_str(
+            std::str::from_utf8(&chunk)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 chunk"))?,
+        );
+        while let Some(newline) = pending.find('\n') {
+            let line: String = pending.drain(..=newline).collect();
+            visit(line.trim_end());
+        }
+    }
+    if !pending.is_empty() {
+        visit(&pending);
+    }
+    Ok(status)
+}

@@ -1,0 +1,224 @@
+//! `symcosim-serve`: a persistent verification service.
+//!
+//! The batch CLI pays the full exploration cost on every invocation. The
+//! daemon in this crate keeps the expensive state — warm solver-chain
+//! seeds per `(config hash, decode-space slice)` — alive across requests,
+//! and turns one verification run into a shardable job:
+//!
+//! 1. `POST /jobs` accepts a [`JobSpec`](symcosim_core::JobSpec)
+//!    (`symcosim-job/1` JSON) naming a session preset, knobs and a slice
+//!    count.
+//! 2. The scheduler splits the 32-bit decode space into that many
+//!    cube-disjoint slices
+//!    ([`partition_universe`](symcosim_isa::pattern::partition_universe))
+//!    and fans them out over a verify-worker pool; each slice runs a full
+//!    [`VerifySession`](symcosim_core::VerifySession) scoped to its cube,
+//!    warmed from the seed store when an identical `(config, cube)` ran
+//!    before.
+//! 3. `GET /jobs/{id}/events` streams the per-slice progress events
+//!    (`--progress-json` format) as newline-delimited JSON over a chunked
+//!    response while the job runs.
+//! 4. When the last slice lands, the merged coverage is proven to
+//!    partition the legal decode space exactly once
+//!    ([`merge_slice_coverage`](symcosim_core::merge_slice_coverage)) and
+//!    certified; `GET /jobs/{id}/certificate` returns a certificate
+//!    byte-identical to a single-process run's.
+//!
+//! Everything is `std`-only: a hand-rolled HTTP/1.1 subset over
+//! [`std::net::TcpListener`] (module [`http`]) and a
+//! `Mutex`/`Condvar` work queue (module [`jobs`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod jobs;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use symcosim_core::json::JsonValue;
+use symcosim_core::JobSpec;
+
+use crate::http::{read_request, respond, respond_error, respond_json, ChunkedWriter, Request};
+use crate::jobs::JobManager;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Verify-worker threads draining the slice queue.
+    pub verify_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            verify_workers: 2,
+        }
+    }
+}
+
+/// A bound (but not yet serving) daemon.
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<JobManager>,
+    stop: Arc<AtomicBool>,
+    verify_workers: usize,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(&config.addr)?,
+            manager: Arc::new(JobManager::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            verify_workers: config.verify_workers.max(1),
+        })
+    }
+
+    /// The actually bound address (resolves port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `POST /shutdown`: spawns the verify workers, then
+    /// accepts one connection per request, each handled on its own
+    /// thread. Returns after the workers have drained and joined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures.
+    pub fn run(self) -> io::Result<()> {
+        let workers: Vec<_> = (0..self.verify_workers)
+            .map(|_| {
+                let manager = Arc::clone(&self.manager);
+                thread::spawn(move || manager.worker_loop())
+            })
+            .collect();
+
+        let local = self.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let manager = Arc::clone(&self.manager);
+            let stop = Arc::clone(&self.stop);
+            thread::spawn(move || {
+                let mut stream = stream;
+                if let Ok(Some(request)) = read_request(&stream) {
+                    let _ = route(&mut stream, &request, &manager, &stop, local);
+                }
+            });
+        }
+
+        self.manager.shutdown();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Dispatches one parsed request.
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    manager: &Arc<JobManager>,
+    stop: &Arc<AtomicBool>,
+    local: SocketAddr,
+) -> io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => respond(stream, 200, "text/plain", "ok\n"),
+        ("POST", "/jobs") => submit(stream, request, manager),
+        ("POST", "/shutdown") => {
+            stop.store(true, Ordering::SeqCst);
+            manager.shutdown();
+            let result = respond(stream, 200, "text/plain", "shutting down\n");
+            // The accept loop only observes the flag on its next
+            // connection; wake it with a throwaway one.
+            let _ = TcpStream::connect(local);
+            result
+        }
+        ("GET", path) if path.starts_with("/jobs/") => job_resource(stream, path, manager),
+        (_, "/jobs" | "/healthz" | "/shutdown") => respond_error(stream, 405, "method not allowed"),
+        _ => respond_error(stream, 404, "no such resource"),
+    }
+}
+
+/// `POST /jobs`: parse, validate, enqueue.
+fn submit(stream: &mut TcpStream, request: &Request, manager: &Arc<JobManager>) -> io::Result<()> {
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(message) => return respond_error(stream, 400, &message),
+    };
+    let value = match JsonValue::parse(body) {
+        Ok(value) => value,
+        Err(error) => return respond_error(stream, 400, &format!("bad JSON: {error}")),
+    };
+    let spec = match JobSpec::from_json(&value) {
+        Ok(spec) => spec,
+        Err(message) => return respond_error(stream, 400, &format!("bad job: {message}")),
+    };
+    match manager.submit(&spec) {
+        Ok(id) => {
+            let status = manager
+                .status_json(id)
+                .expect("a just-submitted job has a status");
+            respond_json(stream, 201, &status)
+        }
+        Err(message) => respond_error(stream, 400, &format!("bad job: {message}")),
+    }
+}
+
+/// `GET /jobs/{id}[/events|/certificate]`.
+fn job_resource(stream: &mut TcpStream, path: &str, manager: &Arc<JobManager>) -> io::Result<()> {
+    let rest = path.strip_prefix("/jobs/").unwrap_or_default();
+    let (id, resource) = match rest.split_once('/') {
+        Some((id, resource)) => (id, Some(resource)),
+        None => (rest, None),
+    };
+    let Ok(id) = id.parse::<usize>() else {
+        return respond_error(stream, 404, "job ids are integers");
+    };
+    match resource {
+        None => match manager.status_json(id) {
+            Some(status) => respond_json(stream, 200, &status),
+            None => respond_error(stream, 404, &format!("no such job {id}")),
+        },
+        Some("certificate") => match manager.certificate(id) {
+            Ok(certificate) => respond_json(stream, 200, &certificate),
+            Err((status, message)) => respond_error(stream, status, &message),
+        },
+        Some("events") => match manager.events(id) {
+            Some(log) => {
+                let mut writer = ChunkedWriter::start(stream, "application/x-ndjson")?;
+                log.stream(|line| {
+                    writer.write_chunk(line.as_bytes()).is_ok() && writer.write_chunk(b"\n").is_ok()
+                });
+                writer.finish()
+            }
+            None => respond_error(stream, 404, &format!("no such job {id}")),
+        },
+        Some(other) => respond_error(stream, 404, &format!("no such resource `{other}`")),
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end service tests: a real daemon on an ephemeral localhost
+//! port, exercised through the same HTTP client the CLI uses. The
+//! acceptance property is the paper-grade one: the certificate served
+//! for a sharded job is **byte-identical** to the certificate a single
+//! in-process run produces, and resubmitting an identical job hits the
+//! warm solver-chain caches.
+
+use std::io;
+use std::thread;
+
+use symcosim_core::json::JsonValue;
+use symcosim_core::{Certificate, JobSpec, VerifySession};
+use symcosim_isa::opcodes;
+use symcosim_serve::http::{request, stream_lines};
+use symcosim_serve::{Server, ServerConfig};
+
+/// Boots a daemon with two verify workers on an ephemeral port.
+fn start_server() -> (String, thread::JoinHandle<io::Result<()>>) {
+    let server = Server::bind(&ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// A small BRANCH-space job.
+fn branch_job(slices: usize) -> JobSpec {
+    JobSpec {
+        opcode: Some(opcodes::BRANCH & 0x7f),
+        slices,
+        ..JobSpec::default()
+    }
+}
+
+/// Submits `spec`, returning the new job id.
+fn submit(addr: &str, spec: &JobSpec) -> usize {
+    let response = request(addr, "POST", "/jobs", Some(&spec.to_json())).expect("submit");
+    assert_eq!(response.status, 201, "submit rejected: {}", response.body);
+    parse(&response.body)
+        .get("id")
+        .and_then(JsonValue::as_u64)
+        .expect("status carries the id") as usize
+}
+
+/// Polls `GET /jobs/{id}` until the job settles; returns the final
+/// status document.
+fn wait_done(addr: &str, id: usize) -> JsonValue {
+    for _ in 0..600 {
+        let response = request(addr, "GET", &format!("/jobs/{id}"), None).expect("status");
+        assert_eq!(response.status, 200);
+        let status = parse(&response.body);
+        match status.get("state").and_then(JsonValue::as_str) {
+            Some("done") => return status,
+            Some("failed") => panic!("job {id} failed: {}", response.body),
+            _ => thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
+    panic!("job {id} did not settle in 30s");
+}
+
+fn parse(body: &str) -> JsonValue {
+    JsonValue::parse(body).unwrap_or_else(|e| panic!("unparseable body ({e}): {body}"))
+}
+
+fn number(status: &JsonValue, field: &str) -> u64 {
+    status
+        .get(field)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("status field `{field}` missing"))
+}
+
+#[test]
+fn served_jobs_match_the_single_process_certificate() {
+    let (addr, server) = start_server();
+
+    let health = request(&addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+
+    // The ground truth: one in-process, unsliced run.
+    let expected = {
+        let config = branch_job(1).session_config().expect("valid spec");
+        let report = VerifySession::new(config).expect("valid config").run();
+        Certificate::certify(report.coverage.as_ref().expect("coverage")).to_json()
+    };
+    assert!(expected.contains("\"verdict\": \"complete\""));
+
+    // Two concurrent sharded jobs with different slice counts.
+    let two = submit(&addr, &branch_job(2));
+    let three = submit(&addr, &branch_job(3));
+    let status_two = wait_done(&addr, two);
+    let status_three = wait_done(&addr, three);
+
+    for (id, status, slices) in [(two, &status_two, 2), (three, &status_three, 3)] {
+        assert_eq!(number(status, "slices"), slices);
+        assert_eq!(number(status, "slices_done"), slices);
+        assert_eq!(
+            status.get("verdict").and_then(JsonValue::as_str),
+            Some("complete")
+        );
+        let certificate =
+            request(&addr, "GET", &format!("/jobs/{id}/certificate"), None).expect("certificate");
+        assert_eq!(certificate.status, 200);
+        assert_eq!(
+            certificate.body, expected,
+            "job {id}: served merged certificate diverged from the single-run certificate"
+        );
+    }
+
+    // The event stream replays the whole job: started, one worker_done
+    // per slice, finished.
+    let mut events = Vec::new();
+    let status = stream_lines(&addr, &format!("/jobs/{two}/events"), |line| {
+        events.push(line.to_string());
+    })
+    .expect("event stream");
+    assert_eq!(status, 200);
+    assert!(events[0].contains("\"event\":\"started\""));
+    assert_eq!(
+        events
+            .iter()
+            .filter(|line| line.contains("\"event\":\"worker_done\""))
+            .count(),
+        2
+    );
+    assert!(events
+        .last()
+        .expect("events")
+        .contains("\"event\":\"finished\""));
+
+    // Resubmitting the identical job hits the warm per-(config, cube)
+    // seed store: every slice is warm, the chain re-solves less, and the
+    // certificate is still byte-identical.
+    let warm = submit(&addr, &branch_job(2));
+    let status_warm = wait_done(&addr, warm);
+    assert_eq!(number(&status_warm, "warm_slices"), 2);
+    assert_eq!(number(&status_two, "warm_slices"), 0);
+    assert!(
+        number(&status_warm, "chain_solves") < number(&status_two, "chain_solves"),
+        "warm job must re-solve less: cold {} vs warm {}",
+        number(&status_two, "chain_solves"),
+        number(&status_warm, "chain_solves"),
+    );
+    assert!(
+        number(&status_warm, "chain_hits") > number(&status_two, "chain_hits"),
+        "warm job must hit the imported caches"
+    );
+    let certificate =
+        request(&addr, "GET", &format!("/jobs/{warm}/certificate"), None).expect("certificate");
+    assert_eq!(certificate.body, expected);
+
+    // Error surface.
+    let bad = request(&addr, "POST", "/jobs", Some("not json")).expect("bad submit");
+    assert_eq!(bad.status, 400);
+    let wrong_schema = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(r#"{"schema": "symcosim-job/9"}"#),
+    )
+    .expect("bad schema");
+    assert_eq!(wrong_schema.status, 400);
+    let missing = request(&addr, "GET", "/jobs/999", None).expect("missing job");
+    assert_eq!(missing.status, 404);
+    let early = request(&addr, "GET", "/jobs/999/certificate", None).expect("missing cert");
+    assert_eq!(early.status, 404);
+    let wrong_method = request(&addr, "GET", "/shutdown", None).expect("wrong method");
+    assert_eq!(wrong_method.status, 405);
+
+    // A certificate request against an unfinished job is a 409.
+    let pending = submit(&addr, &branch_job(2));
+    let conflict_or_ok =
+        request(&addr, "GET", &format!("/jobs/{pending}/certificate"), None).expect("pending");
+    assert!(
+        conflict_or_ok.status == 409 || conflict_or_ok.status == 200,
+        "pending certificate must be 409 (or 200 if the job already finished)"
+    );
+    wait_done(&addr, pending);
+
+    // Clean shutdown: the daemon acknowledges, drains and joins.
+    let bye = request(&addr, "POST", "/shutdown", None).expect("shutdown");
+    assert_eq!(bye.status, 200);
+    server
+        .join()
+        .expect("server thread")
+        .expect("server run result");
+}

@@ -98,6 +98,73 @@ impl fmt::Display for SolverChainStats {
     }
 }
 
+impl std::str::FromStr for SolverChainStats {
+    type Err = String;
+
+    /// Parses the `Display` form back; the round trip pins the printed
+    /// field set to the struct (and, transitively, to the
+    /// `--progress-json` event fields gated in `exec`).
+    fn from_str(s: &str) -> Result<SolverChainStats, String> {
+        let mut stats = SolverChainStats::default();
+        let mut seen = 0u32;
+        for pair in s.split_whitespace() {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed chain stat `{pair}`"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("non-numeric chain stat `{pair}`"))?;
+            let field = match key {
+                "queries" => &mut stats.queries,
+                "slices" => &mut stats.slices,
+                "slice_hits" => &mut stats.slice_hits,
+                "core_hits" => &mut stats.core_hits,
+                "model_hits" => &mut stats.model_hits,
+                "solves" => &mut stats.solves,
+                "max_slice" => &mut stats.max_slice,
+                other => return Err(format!("unknown chain stat `{other}`")),
+            };
+            *field = value;
+            seen += 1;
+        }
+        if seen != 7 {
+            return Err(format!("expected 7 chain stats, found {seen}"));
+        }
+        Ok(stats)
+    }
+}
+
+/// A portable snapshot of a [`SolverChain`]'s caches, for warming a later
+/// run's chain (e.g. the serve daemon re-running the same job slice).
+///
+/// Model environments are keyed by symbol *name*, so they transfer to any
+/// context and are re-validated by concrete evaluation before answering —
+/// importing them is always sound. The component memo and unsat cores are
+/// keyed by [`TermId`], which only lines up when the importing run builds
+/// the identical term graph; deterministic exploration guarantees that
+/// exactly when the seed is keyed on the full job configuration (config
+/// hash, slice cube, engine, seed), which is the importer's obligation.
+#[derive(Debug, Clone, Default)]
+pub struct ChainSeed {
+    components: Vec<(Box<[TermId]>, CheckResult)>,
+    cores: Vec<Box<[TermId]>>,
+    models: Vec<Env>,
+}
+
+impl ChainSeed {
+    /// Whether the seed carries no cached facts at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty() && self.cores.is_empty() && self.models.is_empty()
+    }
+
+    /// Total cached entries (components + cores + models), for reporting.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.components.len() + self.cores.len() + self.models.len()
+    }
+}
+
 /// The chain's caches. Owned by
 /// [`SolverBackend`](crate::SolverBackend); the solver and blaster are
 /// passed in per call so the chain shares the backend's incremental
@@ -124,6 +191,40 @@ impl SolverChain {
 
     pub(crate) fn stats(&self) -> SolverChainStats {
         self.stats
+    }
+
+    /// Exports the chain's caches as an owned, `Send`-able seed.
+    pub(crate) fn export_seed(&self) -> ChainSeed {
+        ChainSeed {
+            components: self
+                .components
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            cores: self.cores.clone(),
+            models: self.models.iter().map(|env| (**env).clone()).collect(),
+        }
+    }
+
+    /// Pre-loads the caches from a seed exported by an identical run (see
+    /// [`ChainSeed`] for the keying obligation). Existing entries win on
+    /// conflict; model capacity still applies.
+    pub(crate) fn import_seed(&mut self, seed: &ChainSeed) {
+        for (component, result) in &seed.components {
+            self.components.entry(component.clone()).or_insert(*result);
+        }
+        for core in &seed.cores {
+            if !self.subsumed_by_core(core) {
+                self.cores.retain(|stored| !is_subset(core, stored));
+                self.cores.push(core.clone());
+            }
+        }
+        for env in &seed.models {
+            if self.models.len() == MODEL_LIMIT {
+                break;
+            }
+            self.models.push_back(Rc::new(env.clone()));
+        }
     }
 
     /// Chain entry point: checks the conjunction of `conditions`
@@ -527,6 +628,82 @@ mod tests {
             .is_sat());
         let stats = chain.stats();
         assert_eq!(stats.solves, 0, "no constant query may reach the solver");
+    }
+
+    #[test]
+    fn exported_seed_warms_a_fresh_chain() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let x1 = ctx.eq(x, c1);
+        let x2 = ctx.eq(x, c2);
+
+        // First run: one sat solve, one unsat solve (with a stored core
+        // and a stored model).
+        let (mut chain, mut solver, mut blaster) = chain_parts();
+        assert!(chain.check(&ctx, &mut solver, &mut blaster, &[x1]).is_sat());
+        assert!(!chain
+            .check(&ctx, &mut solver, &mut blaster, &[x1, x2])
+            .is_sat());
+        let seed = chain.export_seed();
+        assert!(!seed.is_empty());
+        assert!(seed.entries() >= 3, "components + core + model");
+
+        // Second run over the same term graph, warmed: identical answers
+        // with zero solves.
+        let (mut warmed, mut solver2, mut blaster2) = chain_parts();
+        warmed.import_seed(&seed);
+        assert!(warmed
+            .check(&ctx, &mut solver2, &mut blaster2, &[x1])
+            .is_sat());
+        assert!(!warmed
+            .check(&ctx, &mut solver2, &mut blaster2, &[x1, x2])
+            .is_sat());
+        let stats = warmed.stats();
+        assert_eq!(stats.solves, 0, "warm chain must not re-solve: {stats}");
+        assert_eq!(stats.slice_hits, 2);
+
+        // The seeded model also answers *new* weaker queries.
+        let c100 = ctx.constant(8, 100);
+        let small = ctx.ult(x, c100);
+        assert!(warmed
+            .check(&ctx, &mut solver2, &mut blaster2, &[small])
+            .is_sat());
+        assert_eq!(warmed.stats().model_hits, 1);
+        assert_eq!(warmed.stats().solves, 0);
+    }
+
+    #[test]
+    fn empty_seed_is_a_no_op() {
+        let seed = ChainSeed::default();
+        assert!(seed.is_empty());
+        assert_eq!(seed.entries(), 0);
+        let mut chain = SolverChain::new();
+        chain.import_seed(&seed);
+        assert_eq!(chain.export_seed().entries(), 0);
+    }
+
+    #[test]
+    fn chain_stats_display_round_trips() {
+        let stats = SolverChainStats {
+            queries: 11,
+            slices: 22,
+            slice_hits: 33,
+            core_hits: 44,
+            model_hits: 55,
+            solves: 66,
+            max_slice: 7,
+        };
+        let printed = stats.to_string();
+        let parsed: SolverChainStats = printed.parse().expect("display form parses");
+        assert_eq!(parsed, stats, "Display must carry every field");
+        assert!("queries=1".parse::<SolverChainStats>().is_err());
+        assert!(
+            "queries=1 slices=x slice_hits=0 core_hits=0 model_hits=0 solves=0 max_slice=0"
+                .parse::<SolverChainStats>()
+                .is_err()
+        );
     }
 
     #[test]

@@ -183,6 +183,18 @@ impl Engine {
         &self.backend
     }
 
+    /// Exports the solver chain's caches for warming a later identical
+    /// run (see [`crate::ChainSeed`]). Empty when the chain is disabled.
+    pub fn export_chain_seed(&self) -> crate::ChainSeed {
+        self.backend.export_chain_seed()
+    }
+
+    /// Pre-warms the solver chain from a seed exported by an identical
+    /// run; answers are unchanged, only cheaper.
+    pub fn import_chain_seed(&mut self, seed: &crate::ChainSeed) {
+        self.backend.import_chain_seed(seed);
+    }
+
     /// Explores every feasible path through `f`.
     ///
     /// `f` must be deterministic: given the same decisions it must perform

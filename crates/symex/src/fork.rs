@@ -551,6 +551,18 @@ impl ForkEngine {
         &self.exec.backend
     }
 
+    /// Exports the solver chain's caches for warming a later identical
+    /// run (see [`crate::ChainSeed`]). Empty when the chain is disabled.
+    pub fn export_chain_seed(&self) -> crate::ChainSeed {
+        self.exec.backend.export_chain_seed()
+    }
+
+    /// Pre-warms the solver chain from a seed exported by an identical
+    /// run; answers are unchanged, only cheaper.
+    pub fn import_chain_seed(&mut self, seed: &crate::ChainSeed) {
+        self.exec.backend.import_chain_seed(seed);
+    }
+
     /// Runs the single path selected by `job` and returns its result plus
     /// the sibling jobs scheduled at fresh forks.
     ///

@@ -68,7 +68,7 @@ mod term;
 mod testvec;
 pub mod wf;
 
-pub use chain::SolverChainStats;
+pub use chain::{ChainSeed, SolverChainStats};
 pub use context::Context;
 pub use display::ContextStats;
 pub use domain::{ConcreteDomain, Domain};

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use symcosim_sat::{Lit, SolveResult, Solver, SolverStats};
 
 use crate::blast::Blaster;
-use crate::chain::{SolverChain, SolverChainStats};
+use crate::chain::{ChainSeed, SolverChain, SolverChainStats};
 use crate::term::TermId;
 use crate::{Context, TestVector};
 
@@ -42,6 +42,41 @@ impl QueryCacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
         }
+    }
+}
+
+impl std::fmt::Display for QueryCacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hits={} misses={}", self.hits, self.misses)
+    }
+}
+
+impl std::str::FromStr for QueryCacheStats {
+    type Err = String;
+
+    /// Parses the `Display` form back; the round trip pins the printed
+    /// field set to the struct.
+    fn from_str(s: &str) -> Result<QueryCacheStats, String> {
+        let mut stats = QueryCacheStats::default();
+        let mut seen = 0u32;
+        for pair in s.split_whitespace() {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed cache stat `{pair}`"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("non-numeric cache stat `{pair}`"))?;
+            match key {
+                "hits" => stats.hits = value,
+                "misses" => stats.misses = value,
+                other => return Err(format!("unknown cache stat `{other}`")),
+            }
+            seen += 1;
+        }
+        if seen != 2 {
+            return Err(format!("expected 2 cache stats, found {seen}"));
+        }
+        Ok(stats)
     }
 }
 
@@ -248,6 +283,26 @@ impl SolverBackend {
             .map(SolverChain::stats)
             .unwrap_or_default()
     }
+
+    /// Exports the solver chain's caches as a portable [`ChainSeed`]
+    /// (empty when the chain is disabled). See [`ChainSeed`] for when
+    /// re-importing it is sound.
+    pub fn export_chain_seed(&self) -> ChainSeed {
+        self.chain
+            .as_ref()
+            .map(SolverChain::export_seed)
+            .unwrap_or_default()
+    }
+
+    /// Pre-warms the solver chain from a seed exported by an identical
+    /// run; a no-op when the chain is disabled. The chain re-validates
+    /// models and only short-circuits identically-keyed components, so
+    /// answers are unchanged — only cheaper.
+    pub fn import_chain_seed(&mut self, seed: &ChainSeed) {
+        if let Some(chain) = self.chain.as_mut() {
+            chain.import_seed(seed);
+        }
+    }
 }
 
 /// Solves `conditions` on a *fresh* backend and extracts a test vector for
@@ -290,6 +345,52 @@ pub(crate) fn fresh_model_value(ctx: &Context, conditions: &[TermId], term: Term
 mod tests {
     use super::*;
     use crate::eval::{eval, Env};
+
+    #[test]
+    fn query_cache_stats_display_round_trips() {
+        let stats = QueryCacheStats {
+            hits: 123,
+            misses: 45,
+        };
+        let printed = stats.to_string();
+        assert_eq!(printed, "hits=123 misses=45");
+        let parsed: QueryCacheStats = printed.parse().expect("display form parses");
+        assert_eq!(parsed, stats, "Display must carry every field");
+        assert!("hits=1".parse::<QueryCacheStats>().is_err());
+        assert!("hits=1 misses=nope".parse::<QueryCacheStats>().is_err());
+        assert!("hits=1 bogus=2".parse::<QueryCacheStats>().is_err());
+    }
+
+    #[test]
+    fn backend_chain_seed_round_trips_across_backends() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let x1 = ctx.eq(x, c1);
+        let x2 = ctx.eq(x, c2);
+
+        let mut cold = SolverBackend::new();
+        assert!(cold.check_cached(&ctx, &[x1]).is_sat());
+        assert!(!cold.check_cached(&ctx, &[x1, x2]).is_sat());
+        let seed = cold.export_chain_seed();
+        assert!(!seed.is_empty());
+
+        // Same term graph, fresh backend: the warm chain answers without
+        // a single SAT solve.
+        let mut warm = SolverBackend::new();
+        warm.import_chain_seed(&seed);
+        assert!(warm.check_cached(&ctx, &[x1]).is_sat());
+        assert!(!warm.check_cached(&ctx, &[x1, x2]).is_sat());
+        assert_eq!(warm.solver_chain_stats().solves, 0);
+
+        // A chain-disabled backend exports an empty seed and ignores
+        // imports.
+        let mut direct = SolverBackend::with_chain(false);
+        direct.import_chain_seed(&seed);
+        assert!(direct.export_chain_seed().is_empty());
+        assert!(direct.check_cached(&ctx, &[x1]).is_sat());
+    }
 
     #[test]
     fn model_satisfies_condition() {

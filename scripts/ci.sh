@@ -23,6 +23,35 @@ cargo run --release -p symcosim-core --bin symcosim-cli -- \
     verify --rv32i-only --opcode 0x63 --certify --report-json "$report_json" > /dev/null
 cargo run --release -p symcosim-lint -- --coverage "$report_json" > /dev/null
 
+echo "==> serve smoke (daemon round-trip: submit, merge, certify, shutdown)"
+# Boot the daemon on an ephemeral port, submit a sharded BRANCH job over
+# localhost, verify the merged certificate the service hands back, and
+# shut down cleanly. Everything is bounded by `timeout` so a wedged
+# daemon fails the gate instead of hanging it.
+serve_dir="$(mktemp -d)"
+serve_bin=target/release/symcosim-serve
+cargo build --release -p symcosim-serve --bin symcosim-serve
+timeout 300 "$serve_bin" --addr 127.0.0.1:0 --workers 2 \
+    --port-file "$serve_dir/addr" &
+serve_pid=$!
+trap 'rm -f "$report_json"; rm -rf "$serve_dir"; kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 100); do
+    [ -s "$serve_dir/addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "serve: daemon died before binding"; exit 1; }
+    sleep 0.1
+done
+serve_addr="$(cat "$serve_dir/addr")"
+serve_client() { timeout 120 "$serve_bin" client --addr "$serve_addr" "$@"; }
+job="$(serve_client submit --opcode 99 --slices 2)"
+serve_client wait "$job" --timeout-secs 120 > "$serve_dir/status"
+grep -q '"state": "done"' "$serve_dir/status"
+grep -q '"verdict": "complete"' "$serve_dir/status"
+serve_client cert "$job" > "$serve_dir/cert"
+grep -q '"schema": "symcosim-cert/1"' "$serve_dir/cert"
+grep -q '"verdict": "complete"' "$serve_dir/cert"
+serve_client shutdown > /dev/null
+wait "$serve_pid"
+
 echo "==> solver-chain equivalence (chain on == chain off, all engines)"
 cargo test -q --test chain_equivalence
 

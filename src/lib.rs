@@ -41,4 +41,5 @@ pub use symcosim_iss as iss;
 pub use symcosim_microrv32 as microrv32;
 pub use symcosim_rtl as rtl;
 pub use symcosim_sat as sat;
+pub use symcosim_serve as serve;
 pub use symcosim_symex as symex;

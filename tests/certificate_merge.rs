@@ -1,0 +1,170 @@
+//! Distributed certification: shard a decode space into cube-disjoint
+//! slices, verify each slice in its own session, merge the per-slice
+//! coverage — the merged certificate is **byte-identical** to the
+//! single-process run's. The merge first proves (cube algebra, zero
+//! enumeration) that the slices partition the legal decode space exactly
+//! once; families that overlap or leave a residual cube are rejected with
+//! concrete witnesses.
+
+use symcosim::core::{
+    merge_slice_coverage, project_domain, Certificate, CoverageSlice, InstrConstraint, MergeError,
+    SessionConfig, Verdict, VerifySession,
+};
+use symcosim::isa::opcodes;
+use symcosim::isa::pattern::{partition_universe, Pattern};
+
+fn branch_config() -> SessionConfig {
+    let mut config = SessionConfig::rv32i_only();
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::BRANCH);
+    config.collect_coverage = true;
+    config
+}
+
+/// Runs `config` scoped to `slice` and returns its coverage.
+fn run_slice(config: &SessionConfig, cube: Pattern) -> CoverageSlice {
+    let mut config = config.clone();
+    config.slice = Some(cube);
+    let report = VerifySession::new(config).expect("valid config").run();
+    CoverageSlice {
+        cube,
+        data: report.coverage.expect("coverage was collected"),
+    }
+}
+
+/// Shards `config` into `n` slices, merges, and returns the merged
+/// certificate JSON.
+fn sharded_certificate(config: &SessionConfig, n: usize) -> String {
+    let slices: Vec<CoverageSlice> = partition_universe(n)
+        .into_iter()
+        .map(|cube| run_slice(config, cube))
+        .collect();
+    let (domain, domain_exact) = project_domain(config.constraint, None);
+    let merged = merge_slice_coverage(domain, domain_exact, &slices)
+        .expect("disjoint covering slices merge");
+    Certificate::certify(&merged).to_json()
+}
+
+#[test]
+fn sliced_branch_certificates_merge_byte_identically() {
+    let config = branch_config();
+    let single = VerifySession::new(config.clone())
+        .expect("valid config")
+        .run();
+    let expected = Certificate::certify(single.coverage.as_ref().expect("coverage")).to_json();
+    assert!(expected.contains("\"verdict\": \"complete\""));
+
+    for n in [2usize, 3, 5] {
+        let merged = sharded_certificate(&config, n);
+        assert_eq!(
+            merged, expected,
+            "{n}-slice merged certificate diverged from the single-run certificate"
+        );
+    }
+}
+
+#[test]
+fn each_slice_certifies_complete_over_its_narrowed_domain() {
+    let config = branch_config();
+    for cube in partition_universe(2) {
+        let slice = run_slice(&config, cube);
+        let cert = Certificate::certify(&slice.data);
+        assert_eq!(
+            cert.verdict,
+            Verdict::Complete,
+            "a drained slice must certify complete on its own:\n{cert}"
+        );
+        // The slice's own domain is the constraint ∧ cube projection:
+        // exactly half the BRANCH space.
+        assert!(cert.domain_exact);
+        for slot in &cert.slots {
+            assert_eq!(slot.domain_words, 1 << 24);
+            assert_eq!(slot.residual_words, 0);
+        }
+    }
+}
+
+#[test]
+fn overlapping_slices_are_rejected_with_a_witness() {
+    let config = branch_config();
+    // Both "slices" cover the whole space: every word is claimed twice.
+    let a = run_slice(&config, Pattern::universe());
+    let b = CoverageSlice {
+        cube: Pattern::universe(),
+        data: a.data.clone(),
+    };
+    let (domain, domain_exact) = project_domain(config.constraint, None);
+    match merge_slice_coverage(domain, domain_exact, &[a, b]) {
+        Err(MergeError::OverlappingSlices { a, b, witness }) => {
+            assert!(a.covers(witness) && b.covers(witness));
+        }
+        other => panic!("overlap must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_residual_domain_cube_is_rejected_with_a_witness() {
+    let config = branch_config();
+    // Only the funct3-MSB=0 half: BNE/BEQ-side words are covered, the
+    // BLT/BGE side is not.
+    let half = partition_universe(2)[0];
+    let slice = run_slice(&config, half);
+    let (domain, domain_exact) = project_domain(config.constraint, None);
+    match merge_slice_coverage(domain, domain_exact, &[slice]) {
+        Err(MergeError::ResidualCube { cube, witness }) => {
+            assert!(cube.covers(witness));
+            assert_eq!(
+                witness & 0x7f,
+                opcodes::BRANCH & 0x7f,
+                "the witness lies in the legal decode domain"
+            );
+            assert_ne!(witness & (1 << 14), 0, "the uncovered half is funct3 MSB=1");
+        }
+        other => panic!("residual must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_warm_chain_seed_reproduces_the_report_with_fewer_solves() {
+    // The serve daemon's cross-request cache handoff: run a slice, export
+    // the solver-chain seed, re-run the identical slice warm. The report
+    // (and hence the certificate) is bit-identical; only the solver work
+    // changes.
+    let mut config = branch_config();
+    config.slice = Some(partition_universe(2)[0]);
+
+    let (cold, seed) = VerifySession::new(config.clone())
+        .expect("valid config")
+        .run_seeded(None);
+    assert!(!seed.is_empty(), "a real run populates the chain caches");
+
+    let (warm, _) = VerifySession::new(config)
+        .expect("valid config")
+        .run_seeded(Some(&seed));
+    assert_eq!(
+        warm.to_json(),
+        cold.to_json(),
+        "warming the chain must not change the report"
+    );
+    assert!(
+        warm.chain_stats.solves < cold.chain_stats.solves,
+        "warm run must re-solve less: cold {} vs warm {}",
+        cold.chain_stats,
+        warm.chain_stats
+    );
+    assert!(
+        warm.chain_stats.slice_hits + warm.chain_stats.model_hits
+            > cold.chain_stats.slice_hits + cold.chain_stats.model_hits,
+        "warm run must hit the imported caches: cold {} vs warm {}",
+        cold.chain_stats,
+        warm.chain_stats
+    );
+}
+
+#[test]
+fn merging_no_slices_is_an_error() {
+    assert_eq!(
+        merge_slice_coverage(vec![Pattern::universe()], true, &[]),
+        Err(MergeError::NoSlices)
+    );
+}
