@@ -1,0 +1,224 @@
+//! The offline proof-audit artifact (`symcosim-audit/1`).
+//!
+//! `symcosim-cli verify --audit --audit-json PATH` dumps the in-process
+//! auditor's counters and every retained UNSAT [`CoreReplayUnit`] — a
+//! self-contained conflict cone in DIMACS integers — as one document.
+//! `symcosim-lint --audit PATH` re-verifies each unit by naive unit
+//! propagation alone (no solver, no engine), mirroring the `--coverage`
+//! offline re-certification path: the CI gate can check after the fact
+//! that every cached UNSAT answer really is refuted by its cone.
+
+use symcosim_symex::{CoreReplayUnit, ProofAuditStats};
+
+use crate::json::{self, JsonValue, JsonWriter};
+
+/// Schema identifier of the audit artifact.
+pub const AUDIT_SCHEMA: &str = "symcosim-audit/1";
+
+/// The dumped artifact: audit counters plus the retained replay units.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditDump {
+    /// The in-process auditor's counters at the end of the run.
+    pub stats: ProofAuditStats,
+    /// Cores replayed past the in-memory retention cap — audited
+    /// in-process but absent from [`AuditDump::units`].
+    pub units_dropped: u64,
+    /// Self-contained UNSAT conflict cones, offline-verifiable via
+    /// [`CoreReplayUnit::verify`].
+    pub units: Vec<CoreReplayUnit>,
+}
+
+impl AuditDump {
+    /// Packages a finished run's audit state. The dropped count is the
+    /// difference between cores replayed and units retained: every
+    /// successful replay either kept its unit or fell past the cap.
+    #[must_use]
+    pub fn new(stats: ProofAuditStats, units: Vec<CoreReplayUnit>) -> AuditDump {
+        AuditDump {
+            stats,
+            units_dropped: stats.cores.saturating_sub(units.len() as u64),
+            units,
+        }
+    }
+
+    /// Serialises the artifact as the `symcosim-audit/1` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        json::header(&mut w, AUDIT_SCHEMA);
+        w.number_field("steps", self.stats.steps);
+        w.number_field("models", self.stats.models);
+        w.number_field("cores", self.stats.cores);
+        w.number_field("bytes", self.stats.bytes);
+        w.number_field("failures", self.stats.failures);
+        w.number_field("units_dropped", self.units_dropped);
+        w.array_field("units", self.units.len(), |w, i| {
+            let unit = &self.units[i];
+            w.open_object();
+            w.array_field("core", unit.core.len(), |w, k| {
+                w.int_value(unit.core[k]);
+            });
+            w.array_field("clauses", unit.clauses.len(), |w, k| {
+                let clause = &unit.clauses[k];
+                w.array_value(clause.len(), |w, pos| w.int_value(clause[pos]));
+            });
+            w.close_object();
+        });
+        w.close_object();
+        w.finish()
+    }
+
+    /// Parses a dumped `symcosim-audit/1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a wrong `schema` tag or a
+    /// missing/ill-typed field.
+    pub fn from_json(text: &str) -> Result<AuditDump, String> {
+        let value = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        match value.get("schema").and_then(JsonValue::as_str) {
+            Some(schema) if schema == AUDIT_SCHEMA => {}
+            Some(schema) => return Err(format!("schema is {schema:?}, expected {AUDIT_SCHEMA:?}")),
+            None => return Err(format!("missing schema tag (expected {AUDIT_SCHEMA:?})")),
+        }
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("{name} missing or not a number"))
+        };
+        let stats = ProofAuditStats {
+            steps: field("steps")?,
+            models: field("models")?,
+            cores: field("cores")?,
+            bytes: field("bytes")?,
+            failures: field("failures")?,
+        };
+        let units_dropped = field("units_dropped")?;
+        let mut units = Vec::new();
+        for (index, entry) in value
+            .get("units")
+            .and_then(JsonValue::as_array)
+            .ok_or("units missing or not an array")?
+            .iter()
+            .enumerate()
+        {
+            units.push(parse_unit(entry).map_err(|e| format!("unit {index}: {e}"))?);
+        }
+        Ok(AuditDump {
+            stats,
+            units_dropped,
+            units,
+        })
+    }
+
+    /// Re-verifies every retained unit offline. Returns the list of
+    /// `(unit index, reason)` rejections — empty means every retained
+    /// UNSAT answer is independently refuted by its conflict cone.
+    #[must_use]
+    pub fn verify_units(&self) -> Vec<(usize, String)> {
+        self.units
+            .iter()
+            .enumerate()
+            .filter_map(|(index, unit)| unit.verify().err().map(|reason| (index, reason)))
+            .collect()
+    }
+}
+
+fn parse_unit(value: &JsonValue) -> Result<CoreReplayUnit, String> {
+    let lits = |value: &JsonValue, what: &str| -> Result<Vec<i64>, String> {
+        value
+            .as_array()
+            .ok_or_else(|| format!("{what} is not an array"))?
+            .iter()
+            .map(|lit| {
+                lit.as_i64()
+                    .filter(|&l| l != 0)
+                    .ok_or_else(|| format!("{what} holds a non-literal entry"))
+            })
+            .collect()
+    };
+    let core = lits(value.get("core").ok_or("core missing")?, "core")?;
+    let mut clauses = Vec::new();
+    for (index, entry) in value
+        .get("clauses")
+        .and_then(JsonValue::as_array)
+        .ok_or("clauses missing or not an array")?
+        .iter()
+        .enumerate()
+    {
+        clauses.push(lits(entry, &format!("clause {index}"))?);
+    }
+    Ok(CoreReplayUnit { core, clauses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditDump {
+        AuditDump::new(
+            ProofAuditStats {
+                steps: 7,
+                models: 3,
+                cores: 2,
+                bytes: 451,
+                failures: 0,
+            },
+            vec![
+                CoreReplayUnit {
+                    core: vec![1, -2],
+                    clauses: vec![vec![-1, 2], vec![2, 3], vec![-3]],
+                },
+                CoreReplayUnit {
+                    core: vec![],
+                    clauses: vec![vec![4], vec![-4]],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn the_artifact_round_trips_through_json() {
+        let dump = sample();
+        let text = dump.to_json();
+        let parsed = AuditDump::from_json(&text).expect("own output parses");
+        assert_eq!(parsed, dump);
+    }
+
+    #[test]
+    fn the_dropped_count_is_cores_minus_retained() {
+        let stats = ProofAuditStats {
+            cores: 5,
+            ..ProofAuditStats::default()
+        };
+        let dump = AuditDump::new(stats, vec![CoreReplayUnit::default()]);
+        assert_eq!(dump.units_dropped, 4);
+    }
+
+    #[test]
+    fn a_wrong_schema_is_rejected() {
+        let text = sample().to_json().replace(AUDIT_SCHEMA, "symcosim-cert/1");
+        let err = AuditDump::from_json(&text).expect_err("wrong schema");
+        assert!(err.contains(AUDIT_SCHEMA), "{err}");
+    }
+
+    #[test]
+    fn a_zero_literal_is_rejected_not_misread() {
+        let text = sample().to_json().replacen("-2", "0", 1);
+        let err = AuditDump::from_json(&text).expect_err("zero literal");
+        assert!(err.contains("non-literal"), "{err}");
+    }
+
+    #[test]
+    fn verify_units_reports_a_tampered_cone_by_index() {
+        let mut dump = sample();
+        assert!(dump.verify_units().is_empty());
+        // Drop the clause that closes the second unit's conflict.
+        dump.units[1].clauses.pop();
+        let rejected = dump.verify_units();
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].0, 1);
+    }
+}

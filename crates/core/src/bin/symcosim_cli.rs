@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! symcosim-cli verify [--full] [--limit N] [--paths N] [--window N]
+//!                     [--audit] [--audit-json PATH]
 //! symcosim-cli inject <E0..E9> [--limit N] [--fuzz | --hybrid]
 //! symcosim-cli fuzz [--runs N] [--coverage] [--inject Ek]
 //! symcosim asm  (assembles stdin to hex words)
@@ -12,8 +13,8 @@ use std::io::{IsTerminal, Read};
 
 use symcosim_core::fuzz::{self, FuzzConfig};
 use symcosim_core::{
-    merge_slice_coverage, project_domain, Certificate, CoverageSlice, EngineKind, InstrConstraint,
-    ProgressEvent, SessionConfig, VerifyReport, VerifySession,
+    merge_slice_coverage, project_domain, AuditDump, Certificate, CoverageSlice, EngineKind,
+    InstrConstraint, ProgressEvent, SessionConfig, VerifyReport, VerifySession,
 };
 use symcosim_isa::pattern::partition_universe;
 use symcosim_microrv32::InjectedError;
@@ -26,6 +27,7 @@ USAGE:
                         [--jobs N] [--seed N] [--engine fork|reexec] [--lint]
                         [--opcode HEX] [--certify] [--slices N]
                         [--report-json PATH] [--no-solver-chain]
+                        [--audit] [--audit-json PATH]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
@@ -51,6 +53,13 @@ USAGE:
         processes). --no-solver-chain bypasses the KLEE-style solver
         chain (independence slicing, counterexample and model caches) —
         the report is identical, only slower; for benchmarking.
+        --audit turns on proof-carrying solving: the SAT solver logs
+        clausal (RUP) proofs and an independent checker certifies every
+        answer — models by evaluation, UNSAT cores by conflict-cone
+        replay. The report and certificate are byte-identical with and
+        without it; a rejected answer exits 1. --audit-json dumps the
+        retained replay units as a symcosim-audit/1 document that
+        `symcosim-lint --audit` re-verifies offline (implies --audit).
 
     symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
                         [--engine fork|reexec] [--fuzz] [--hybrid]
@@ -201,6 +210,10 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     if certify || report_json.is_some() {
         config.collect_coverage = true;
     }
+    let audit_json = flag_string(args, "--audit-json")?;
+    if args.iter().any(|a| a == "--audit") || audit_json.is_some() {
+        config.audit = true;
+    }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
     let slices = flag_value(args, "--slices")?.unwrap_or(1) as usize;
     if slices > 1 {
@@ -212,26 +225,40 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
                 "--slices produces per-slice reports; --report-json only fits a single run".into(),
             );
         }
-        return cmd_verify_sliced(config, slices, jobs);
+        return cmd_verify_sliced(config, slices, jobs, audit_json);
     }
+    let audit = config.audit;
     let report = run_session(VerifySession::new(config)?, jobs);
     print!("{report}");
     if let Some(path) = report_json {
         std::fs::write(&path, report.to_json())?;
         println!("report dumped to {path}");
     }
+    if let Some(path) = audit_json {
+        let dump = AuditDump::new(report.proof_audit, report.proof_audit_units.clone());
+        std::fs::write(&path, dump.to_json())?;
+        println!("audit artifact dumped to {path}");
+    }
     if certify {
         let coverage = report
             .coverage
             .as_ref()
             .expect("--certify collects coverage");
-        let certificate = Certificate::certify(coverage);
+        let mut certificate = Certificate::certify(coverage);
+        if audit {
+            certificate = certificate.with_proof_audit(report.proof_audit);
+        }
         print!("{certificate}");
         if certificate.findings() > 0 {
             // Uncovered decode words or double-claimed paths: the run's
             // coverage argument does not hold.
             std::process::exit(1);
         }
+    }
+    if report.proof_audit_failure.is_some() {
+        // An answer the solver gave could not be independently certified
+        // (the report's Display already named the first rejection).
+        std::process::exit(1);
     }
     Ok(())
 }
@@ -244,13 +271,17 @@ fn cmd_verify_sliced(
     config: SessionConfig,
     slices: usize,
     jobs: usize,
+    audit_json: Option<String>,
 ) -> Result<(), Box<dyn Error>> {
     let cubes = partition_universe(slices);
     let mut parts = Vec::with_capacity(cubes.len());
+    let mut audit_stats = symcosim_core::ProofAuditStats::default();
+    let mut audit_units = Vec::new();
+    let mut audit_failure = None;
     for (index, cube) in cubes.iter().enumerate() {
         let mut slice_config = config.clone();
         slice_config.slice = Some(*cube);
-        let report = run_session(VerifySession::new(slice_config)?, jobs);
+        let mut report = run_session(VerifySession::new(slice_config)?, jobs);
         println!(
             "slice {}/{} (mask={:08x} value={:08x}): {} paths, {} findings",
             index + 1,
@@ -260,16 +291,33 @@ fn cmd_verify_sliced(
             report.paths_complete + report.paths_partial,
             report.findings.len(),
         );
+        audit_stats = audit_stats.merge(report.proof_audit);
+        audit_units.append(&mut report.proof_audit_units);
+        if audit_failure.is_none() {
+            audit_failure = report.proof_audit_failure.clone();
+        }
         parts.push(CoverageSlice {
             cube: *cube,
             data: report.coverage.expect("--certify collects coverage"),
         });
     }
+    if let Some(path) = audit_json {
+        let dump = AuditDump::new(audit_stats, audit_units);
+        std::fs::write(&path, dump.to_json())?;
+        println!("audit artifact dumped to {path}");
+    }
     let (domain, domain_exact) = project_domain(config.constraint, None);
     let merged = merge_slice_coverage(domain, domain_exact, &parts)
         .map_err(|error| format!("slice merge rejected: {error}"))?;
-    let certificate = Certificate::certify(&merged);
+    let mut certificate = Certificate::certify(&merged);
+    if config.audit {
+        certificate = certificate.with_proof_audit(audit_stats);
+    }
     print!("{certificate}");
+    if let Some(failure) = audit_failure {
+        println!("proof audit FAILURE: {failure}");
+        std::process::exit(1);
+    }
     if certificate.findings() > 0 {
         std::process::exit(1);
     }

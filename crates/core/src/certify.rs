@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use symcosim_isa::{Pattern, PatternSet};
-use symcosim_symex::SlotCoverage;
+use symcosim_symex::{ProofAuditStats, SlotCoverage};
 
 use crate::json::{self, JsonValue, JsonWriter};
 
@@ -415,6 +415,13 @@ pub struct Certificate {
     pub domain_exact: bool,
     /// Per-slot theorem instances, in slot-name order.
     pub slots: Vec<SlotCertificate>,
+    /// Proof-audit counters of the run that produced the coverage, when
+    /// independent answer checking was on ([`SessionConfig::audit`]).
+    /// Deliberately excluded from [`Certificate::to_json`] — like solver
+    /// statistics — so certificates stay byte-identical audit on/off.
+    ///
+    /// [`SessionConfig::audit`]: crate::SessionConfig::audit
+    pub proof_audit: Option<ProofAuditStats>,
 }
 
 impl Certificate {
@@ -528,7 +535,16 @@ impl Certificate {
             domain: data.domain.clone(),
             domain_exact: data.domain_exact,
             slots,
+            proof_audit: None,
         }
+    }
+
+    /// Attaches the run's proof-audit counters (in-memory section only;
+    /// see [`Certificate::proof_audit`]).
+    #[must_use]
+    pub fn with_proof_audit(mut self, stats: ProofAuditStats) -> Certificate {
+        self.proof_audit = Some(stats);
+        self
     }
 
     /// Number of reportable findings — overlap witnesses plus, on a
@@ -622,6 +638,9 @@ impl fmt::Display for Certificate {
             for word in &slot.overlaps {
                 writeln!(f, "    double-claimed: {}", hex(*word))?;
             }
+        }
+        if let Some(audit) = &self.proof_audit {
+            writeln!(f, "  proof audit: {audit}")?;
         }
         Ok(())
     }

@@ -40,6 +40,9 @@ pub struct JobSpec {
     pub seed: u64,
     /// Route queries through the solver chain.
     pub solver_chain: bool,
+    /// Independently audit every certificate-bearing solver answer
+    /// ([`SessionConfig::audit`]).
+    pub audit: bool,
     /// Number of cube-disjoint decode-space slices to shard the job into.
     pub slices: usize,
 }
@@ -54,6 +57,7 @@ impl Default for JobSpec {
             engine: EngineKind::Fork,
             seed: 0x5eed_cafe,
             solver_chain: true,
+            audit: false,
             slices: 1,
         }
     }
@@ -83,6 +87,7 @@ impl JobSpec {
         );
         w.number_field("seed", self.seed);
         w.bool_field("solver_chain", self.solver_chain);
+        w.bool_field("audit", self.audit);
         w.number_field("slices", self.slices as u64);
         w.close_object();
         w.finish()
@@ -142,6 +147,9 @@ impl JobSpec {
         if let Some(chain) = value.get("solver_chain") {
             spec.solver_chain = chain.as_bool().ok_or("solver_chain must be a boolean")?;
         }
+        if let Some(audit) = value.get("audit") {
+            spec.audit = audit.as_bool().ok_or("audit must be a boolean")?;
+        }
         if let Some(slices) = value.get("slices") {
             spec.slices = slices.as_u64().ok_or("slices must be a number")? as usize;
         }
@@ -173,6 +181,7 @@ impl JobSpec {
         config.engine = self.engine;
         config.seed = self.seed;
         config.solver_chain = self.solver_chain;
+        config.audit = self.audit;
         config.collect_coverage = true;
         config.stop_at_first_mismatch = false;
         Ok(config)
@@ -182,7 +191,12 @@ impl JobSpec {
     /// normalised out: a slice run depends only on the session
     /// configuration and its own cube, never on how many sibling slices
     /// exist, so seeds transfer between e.g. a 2-slice and a 4-slice
-    /// submission of the same job wherever the cubes coincide.
+    /// submission of the same job wherever the cubes coincide. The audit
+    /// flag is deliberately *not* normalised: a warm slice replays cached
+    /// answers instead of solving, and an audited job must re-derive its
+    /// answers so the auditor can certify each one — inheriting an
+    /// unaudited job's caches would put unchecked answers behind an
+    /// audited certificate.
     #[must_use]
     pub fn config_hash(&self) -> u64 {
         let canonical = JobSpec {
@@ -213,6 +227,7 @@ mod tests {
             engine: EngineKind::Reexec,
             seed: 42,
             solver_chain: false,
+            audit: true,
             slices: 3,
         };
         let json = spec.to_json();
@@ -256,6 +271,12 @@ mod tests {
         let mut resliced = base.clone();
         resliced.slices = 8;
         assert_eq!(base.config_hash(), resliced.config_hash());
+
+        // Audited jobs must not inherit an unaudited job's warm caches:
+        // replayed answers would reach the certificate unaudited.
+        let mut audited = base.clone();
+        audited.audit = true;
+        assert_ne!(base.config_hash(), audited.config_hash());
 
         let mut reseeded = base.clone();
         reseeded.seed = 7;

@@ -141,9 +141,16 @@ impl JsonWriter {
         &mut self,
         name: &str,
         len: usize,
-        mut emit: impl FnMut(&mut JsonWriter, usize),
+        emit: impl FnMut(&mut JsonWriter, usize),
     ) {
         self.key(name);
+        self.array_value(len, emit);
+    }
+
+    /// Writes a bare `[...]` value (array element) with `len` elements
+    /// produced by `emit` — the nested-array counterpart of
+    /// [`JsonWriter::array_field`].
+    pub fn array_value(&mut self, len: usize, mut emit: impl FnMut(&mut JsonWriter, usize)) {
         if len == 0 {
             self.out.push_str("[]");
             return;
@@ -172,6 +179,12 @@ impl JsonWriter {
 
     /// Writes a bare unsigned integer value (array element).
     pub fn number_value(&mut self, value: u64) {
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Writes a bare signed integer value (array element) — used for
+    /// DIMACS literals in the audit artifact.
+    pub fn int_value(&mut self, value: i64) {
         self.out.push_str(&value.to_string());
     }
 
@@ -283,6 +296,16 @@ impl JsonValue {
     /// The numeric payload as `u64`, if this is an unsigned integer.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as a signed 64-bit integer, if it is one (DIMACS
+    /// literals in the audit artifact are negative for negated atoms).
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
         match self {
             JsonValue::Number(raw) => raw.parse().ok(),
             _ => None,

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod certify;
 mod cosim;
 pub mod fuzz;
@@ -61,6 +62,7 @@ mod report;
 mod session;
 mod voter;
 
+pub use audit::{AuditDump, AUDIT_SCHEMA};
 pub use certify::{
     merge_slice_coverage, BoundCause, Certificate, CoverageData, CoverageSlice, MergeError,
     PathCoverage, SlotCertificate, Verdict,
@@ -72,5 +74,5 @@ pub use replay::replay;
 pub use report::{Finding, FindingClass, VerifyReport, REPORT_SCHEMA};
 pub use session::{project_domain, InstrConstraint, SessionConfig, SessionError, VerifySession};
 pub use symcosim_exec::ProgressEvent;
-pub use symcosim_symex::{ChainSeed, EngineKind, QueryCacheStats};
+pub use symcosim_symex::{ChainSeed, CoreReplayUnit, EngineKind, ProofAuditStats, QueryCacheStats};
 pub use voter::{ConcreteJudge, Judge, Mismatch, MismatchKind, SymbolicJudge, Voter};

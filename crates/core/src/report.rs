@@ -9,7 +9,9 @@ use std::fmt;
 use std::time::Duration;
 
 use symcosim_isa::{decode, Csr, CsrClass, Instr, Trap};
-use symcosim_symex::{QueryCacheStats, SolverChainStats, SolverStats, TestVector};
+use symcosim_symex::{
+    CoreReplayUnit, ProofAuditStats, QueryCacheStats, SolverChainStats, SolverStats, TestVector,
+};
 
 use crate::certify::CoverageData;
 use crate::json::{self, JsonWriter};
@@ -336,6 +338,21 @@ pub struct VerifyReport {
     /// workers. All zeros when the chain is disabled
     /// ([`SessionConfig::solver_chain`](crate::SessionConfig::solver_chain)).
     pub chain_stats: SolverChainStats,
+    /// Proof-audit certification counters, summed over all workers. All
+    /// zeros unless
+    /// [`SessionConfig::audit`](crate::SessionConfig::audit) is set.
+    /// Like the duration and solver statistics, excluded from
+    /// [`to_json`](VerifyReport::to_json) so report dumps are
+    /// byte-identical audit on or off.
+    pub proof_audit: ProofAuditStats,
+    /// The first answer the proof auditor refused to certify, if any
+    /// (`proof_audit.failures` counts them all).
+    pub proof_audit_failure: Option<String>,
+    /// Self-contained conflict cones certified during the run, ready to
+    /// be dumped as a `symcosim-audit/1` artifact and re-verified offline
+    /// (`symcosim-lint --audit`). Excluded from
+    /// [`to_json`](VerifyReport::to_json).
+    pub proof_audit_units: Vec<CoreReplayUnit>,
     /// Per-path decode-space coverage projections plus the projected
     /// legal domain — the coverage certifier's input. `None` unless
     /// [`SessionConfig::collect_coverage`](crate::SessionConfig::collect_coverage)
@@ -424,6 +441,12 @@ impl fmt::Display for VerifyReport {
             self.solver_stats, self.query_cache,
         )?;
         writeln!(f, "solver chain: {}", self.chain_stats)?;
+        if self.proof_audit != ProofAuditStats::default() {
+            writeln!(f, "proof audit: {}", self.proof_audit)?;
+        }
+        if let Some(failure) = &self.proof_audit_failure {
+            writeln!(f, "proof audit FAILURE: {failure}")?;
+        }
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }

@@ -11,9 +11,9 @@ use symcosim_isa::{opcodes, Pattern};
 use symcosim_iss::IssConfig;
 use symcosim_microrv32::{CoreConfig, InjectedError};
 use symcosim_symex::{
-    ChainSeed, Domain, Engine, EngineConfig, EngineKind, ForkEngine, ForkExec, ForkTask, PathProbe,
-    PathResult, PathStatus, QueryCacheStats, SearchStrategy, SlotCoverage, SolverChainStats,
-    SolverStats, StepResult, SymExec, TestVector,
+    ChainSeed, CoreReplayUnit, Domain, Engine, EngineConfig, EngineKind, ForkEngine, ForkExec,
+    ForkTask, PathProbe, PathResult, PathStatus, ProofAuditStats, QueryCacheStats, SearchStrategy,
+    SlotCoverage, SolverChainStats, SolverStats, StepResult, SymExec, TestVector,
 };
 
 use crate::certify::{self, BoundCause, CoverageData, PathCoverage};
@@ -112,6 +112,13 @@ pub struct SessionConfig {
     /// first fetch is sliced — later fetch slots must stay unsliced or the
     /// shard union would no longer cover the multi-instruction space.
     pub slice: Option<Pattern>,
+    /// Log clausal proofs in every worker's solver and replay each answer
+    /// through the independent checker (the CLI's `--audit` flag). The
+    /// explored paths, report JSON and certificates are byte-identical
+    /// audit on or off; auditing adds the certification counters in
+    /// [`VerifyReport::proof_audit`] and the offline-verifiable conflict
+    /// cones in [`VerifyReport::proof_audit_units`].
+    pub audit: bool,
 }
 
 impl SessionConfig {
@@ -139,6 +146,7 @@ impl SessionConfig {
             collect_coverage: false,
             solver_chain: true,
             slice: None,
+            audit: false,
         }
     }
 
@@ -167,6 +175,7 @@ impl SessionConfig {
             collect_coverage: false,
             solver_chain: true,
             slice: None,
+            audit: false,
         }
     }
 }
@@ -295,6 +304,9 @@ impl VerifySession {
                 let solver = engine.backend().stats();
                 let cache = engine.backend().query_cache_stats();
                 let chain = engine.backend().solver_chain_stats();
+                let audit = engine.backend().proof_audit_stats();
+                let audit_failure = engine.backend().proof_audit_failure().map(String::from);
+                let audit_units = engine.take_audit_units();
                 let report = merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
@@ -302,6 +314,9 @@ impl VerifySession {
                     solver,
                     cache,
                     chain,
+                    audit,
+                    audit_failure,
+                    audit_units,
                     domain,
                 );
                 (report, harvest)
@@ -321,6 +336,9 @@ impl VerifySession {
                 let solver = engine.backend().stats();
                 let cache = engine.backend().query_cache_stats();
                 let chain = engine.backend().solver_chain_stats();
+                let audit = engine.backend().proof_audit_stats();
+                let audit_failure = engine.backend().proof_audit_failure().map(String::from);
+                let audit_units = engine.take_audit_units();
                 let report = merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
@@ -328,6 +346,9 @@ impl VerifySession {
                     solver,
                     cache,
                     chain,
+                    audit,
+                    audit_failure,
+                    audit_units,
                     domain,
                 );
                 (report, harvest)
@@ -376,7 +397,8 @@ impl VerifySession {
                     move |path: &PathResult<PathRun>| stop_early && path.value.mismatch.is_some(),
                     progress,
                 );
-                let (solver, cache, chain) = sum_worker_stats(&outcome.workers);
+                let (solver, cache, chain, audit, audit_failure, audit_units) =
+                    sum_worker_stats(&outcome.workers);
                 merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
@@ -384,6 +406,9 @@ impl VerifySession {
                     solver,
                     cache,
                     chain,
+                    audit,
+                    audit_failure,
+                    audit_units,
                     domain,
                 )
             }
@@ -397,7 +422,8 @@ impl VerifySession {
                     move |path: &PathResult<PathRun>| stop_early && path.value.mismatch.is_some(),
                     progress,
                 );
-                let (solver, cache, chain) = sum_worker_stats(&outcome.workers);
+                let (solver, cache, chain, audit, audit_failure, audit_units) =
+                    sum_worker_stats(&outcome.workers);
                 merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
@@ -405,6 +431,9 @@ impl VerifySession {
                     solver,
                     cache,
                     chain,
+                    audit,
+                    audit_failure,
+                    audit_units,
                     domain,
                 )
             }
@@ -412,14 +441,25 @@ impl VerifySession {
     }
 }
 
-/// Sums the per-worker solver, query-cache and solver-chain counters for
-/// the report.
+/// Sums the per-worker solver, query-cache, solver-chain and proof-audit
+/// counters for the report, and gathers the audited conflict cones.
+#[allow(clippy::type_complexity)]
 fn sum_worker_stats(
     workers: &[symcosim_exec::WorkerReport],
-) -> (SolverStats, QueryCacheStats, SolverChainStats) {
+) -> (
+    SolverStats,
+    QueryCacheStats,
+    SolverChainStats,
+    ProofAuditStats,
+    Option<String>,
+    Vec<CoreReplayUnit>,
+) {
     let mut solver = SolverStats::default();
     let mut cache = QueryCacheStats::default();
     let mut chain = SolverChainStats::default();
+    let mut audit = ProofAuditStats::default();
+    let mut audit_failure: Option<String> = None;
+    let mut audit_units: Vec<CoreReplayUnit> = Vec::new();
     for worker in workers {
         solver.solves += worker.stats.solves;
         solver.decisions += worker.stats.decisions;
@@ -429,8 +469,13 @@ fn sum_worker_stats(
         solver.learnt_clauses += worker.stats.learnt_clauses;
         cache = cache.merge(worker.cache);
         chain = chain.merge(worker.chain);
+        audit = audit.merge(worker.audit);
+        if audit_failure.is_none() {
+            audit_failure.clone_from(&worker.audit_failure);
+        }
+        audit_units.extend(worker.audit_units.iter().cloned());
     }
-    (solver, cache, chain)
+    (solver, cache, chain, audit, audit_failure, audit_units)
 }
 
 /// The engine configuration a session config induces.
@@ -443,6 +488,7 @@ fn engine_config(config: &SessionConfig) -> EngineConfig {
         seed: config.seed,
         max_resident_snapshots: EngineConfig::DEFAULT_MAX_RESIDENT_SNAPSHOTS,
         solver_chain: config.solver_chain,
+        audit: config.audit,
     }
 }
 
@@ -453,6 +499,7 @@ fn engine_config(config: &SessionConfig) -> EngineConfig {
 /// vectors are pairwise prefix-free, so the order is total and independent
 /// of exploration scheduling); findings then deduplicate to one Table I
 /// row per (subject, description) through a hash set.
+#[allow(clippy::too_many_arguments)]
 fn merge_report(
     mut paths: Vec<PathResult<PathRun>>,
     truncated: bool,
@@ -460,6 +507,9 @@ fn merge_report(
     solver_stats: SolverStats,
     query_cache: QueryCacheStats,
     chain_stats: SolverChainStats,
+    proof_audit: ProofAuditStats,
+    proof_audit_failure: Option<String>,
+    proof_audit_units: Vec<CoreReplayUnit>,
     domain: Option<(Vec<Pattern>, bool)>,
 ) -> VerifyReport {
     paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
@@ -535,6 +585,9 @@ fn merge_report(
         solver_stats,
         query_cache,
         chain_stats,
+        proof_audit,
+        proof_audit_failure,
+        proof_audit_units,
         coverage,
     }
 }

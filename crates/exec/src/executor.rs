@@ -6,8 +6,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use symcosim_symex::{
-    Engine, EngineConfig, ForkEngine, ForkJob, ForkTask, PathResult, PathStatus, QueryCacheStats,
-    SolverChainStats, SolverStats, SymExec,
+    CoreReplayUnit, Engine, EngineConfig, ForkEngine, ForkJob, ForkTask, PathResult, PathStatus,
+    ProofAuditStats, QueryCacheStats, SolverChainStats, SolverStats, SymExec,
 };
 
 use crate::budget::Budget;
@@ -53,6 +53,14 @@ pub struct WorkerReport {
     pub cache: QueryCacheStats,
     /// Its solver chain's slicing and caching counters.
     pub chain: SolverChainStats,
+    /// Its proof auditor's certification counters (all zero when
+    /// auditing is off).
+    pub audit: ProofAuditStats,
+    /// The first answer its auditor refused to certify, if any.
+    pub audit_failure: Option<String>,
+    /// Conflict cones its auditor certified, for the offline audit
+    /// artifact. Empty when auditing is off.
+    pub audit_units: Vec<CoreReplayUnit>,
 }
 
 /// Aggregate result of an [`explore_parallel`] call.
@@ -159,6 +167,9 @@ where
                     let stats = engine.backend().stats();
                     let cache = engine.backend().query_cache_stats();
                     let chain = engine.backend().solver_chain_stats();
+                    let audit = engine.backend().proof_audit_stats();
+                    let audit_failure = engine.backend().proof_audit_failure().map(String::from);
+                    let audit_units = engine.take_audit_units();
                     if let Some(tx) = &tx {
                         let _ = tx.send(ProgressEvent::WorkerDone {
                             worker,
@@ -167,6 +178,7 @@ where
                             solver: stats,
                             cache,
                             chain,
+                            audit,
                         });
                     }
                     let report = WorkerReport {
@@ -176,6 +188,9 @@ where
                         stats,
                         cache,
                         chain,
+                        audit,
+                        audit_failure,
+                        audit_units,
                     };
                     (local, report)
                 })
@@ -335,6 +350,9 @@ where
                     let stats = engine.backend().stats();
                     let cache = engine.backend().query_cache_stats();
                     let chain = engine.backend().solver_chain_stats();
+                    let audit = engine.backend().proof_audit_stats();
+                    let audit_failure = engine.backend().proof_audit_failure().map(String::from);
+                    let audit_units = engine.take_audit_units();
                     if let Some(tx) = &tx {
                         let _ = tx.send(ProgressEvent::WorkerDone {
                             worker,
@@ -343,6 +361,7 @@ where
                             solver: stats,
                             cache,
                             chain,
+                            audit,
                         });
                     }
                     let report = WorkerReport {
@@ -352,6 +371,9 @@ where
                         stats,
                         cache,
                         chain,
+                        audit,
+                        audit_failure,
+                        audit_units,
                     };
                     (local, report)
                 })

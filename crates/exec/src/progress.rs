@@ -1,6 +1,6 @@
 //! Structured progress events for live status lines and JSON logs.
 
-use symcosim_symex::{QueryCacheStats, SolverChainStats, SolverStats};
+use symcosim_symex::{ProofAuditStats, QueryCacheStats, SolverChainStats, SolverStats};
 
 /// One observability event from a parallel exploration.
 ///
@@ -44,6 +44,9 @@ pub enum ProgressEvent {
         cache: QueryCacheStats,
         /// Its solver chain's slicing and caching counters.
         chain: SolverChainStats,
+        /// Its proof auditor's certification counters (all zero when
+        /// auditing is off).
+        audit: ProofAuditStats,
     },
     /// The exploration finished and the merge is complete.
     Finished {
@@ -82,6 +85,7 @@ impl ProgressEvent {
                 solver,
                 cache,
                 chain,
+                audit,
             } => format!(
                 "{{\"event\":\"worker_done\",\"worker\":{worker},\"paths\":{paths},\
                  \"busy_ms\":{busy_ms},\"solves\":{},\"decisions\":{},\"propagations\":{},\
@@ -89,7 +93,9 @@ impl ProgressEvent {
                  \"cache_hits\":{},\"cache_misses\":{},\
                  \"chain_queries\":{},\"chain_slices\":{},\"chain_slice_hits\":{},\
                  \"chain_core_hits\":{},\"chain_model_hits\":{},\"chain_solves\":{},\
-                 \"chain_max_slice\":{}}}",
+                 \"chain_max_slice\":{},\
+                 \"audit_steps\":{},\"audit_models\":{},\"audit_cores\":{},\
+                 \"audit_bytes\":{},\"audit_failures\":{}}}",
                 solver.solves,
                 solver.decisions,
                 solver.propagations,
@@ -104,7 +110,12 @@ impl ProgressEvent {
                 chain.core_hits,
                 chain.model_hits,
                 chain.solves,
-                chain.max_slice
+                chain.max_slice,
+                audit.steps,
+                audit.models,
+                audit.cores,
+                audit.bytes,
+                audit.failures
             ),
             ProgressEvent::Finished {
                 paths,
@@ -140,6 +151,7 @@ mod tests {
                 solver: SolverStats::default(),
                 cache: QueryCacheStats::default(),
                 chain: SolverChainStats::default(),
+                audit: ProofAuditStats::default(),
             },
             ProgressEvent::Finished {
                 paths: 24,
@@ -187,6 +199,13 @@ mod tests {
             solves: 306,
             max_slice: 307,
         };
+        let audit = ProofAuditStats {
+            steps: 401,
+            models: 402,
+            cores: 403,
+            bytes: 404,
+            failures: 405,
+        };
         let json = ProgressEvent::WorkerDone {
             worker: 0,
             paths: 1,
@@ -194,10 +213,11 @@ mod tests {
             solver,
             cache,
             chain,
+            audit,
         }
         .to_json();
 
-        let printed = format!("{solver} {cache} {chain}");
+        let printed = format!("{solver} {cache} {chain} {audit}");
         for pair in printed.split_whitespace() {
             let (field, value) = pair.split_once('=').expect("Display emits key=value");
             assert!(
@@ -208,8 +228,9 @@ mod tests {
         }
         // And the round-trip parsers pin the Display forms themselves to
         // the full field sets.
-        assert_eq!(printed.matches('=').count(), 6 + 2 + 7);
+        assert_eq!(printed.matches('=').count(), 6 + 2 + 7 + 5);
         assert_eq!(cache.to_string().parse::<QueryCacheStats>(), Ok(cache));
         assert_eq!(chain.to_string().parse::<SolverChainStats>(), Ok(chain));
+        assert_eq!(audit.to_string().parse::<ProofAuditStats>(), Ok(audit));
     }
 }

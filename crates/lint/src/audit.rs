@@ -1,0 +1,136 @@
+//! Offline re-verification of a dumped proof-audit artifact.
+//!
+//! `symcosim-cli verify --audit --audit-json PATH` dumps a
+//! `symcosim-audit/1` document: the in-process auditor's counters plus
+//! every retained UNSAT core-replay unit — a self-contained conflict cone
+//! in DIMACS integers. This pass re-verifies each unit by naive unit
+//! propagation alone ([`CoreReplayUnit::verify`]), with no solver and no
+//! engine in the loop, mirroring the `--coverage` offline
+//! re-certification path: the CI gate checks after the fact that every
+//! cached UNSAT answer really is refuted by its cone.
+//!
+//! [`CoreReplayUnit::verify`]: symcosim_core::CoreReplayUnit::verify
+
+use symcosim_core::AuditDump;
+
+/// Result of the offline audit recheck.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Units present in the artifact and re-verified here.
+    pub units_checked: usize,
+    /// Cores the in-process auditor replayed past its retention cap —
+    /// audited online, absent from the artifact.
+    pub units_dropped: u64,
+    /// Proof steps the in-process checker applied.
+    pub steps: u64,
+    /// SAT models the in-process checker evaluated.
+    pub models: u64,
+    /// UNSAT cores the in-process checker replayed.
+    pub cores: u64,
+    /// Failures the in-process auditor recorded (gating — a dump with a
+    /// recorded failure documents an uncertified answer).
+    pub recorded_failures: u64,
+    /// Units rejected by the offline recheck, as `unit N: reason`
+    /// (gating — must be empty).
+    pub rejected: Vec<String>,
+}
+
+impl AuditReport {
+    /// Number of gating findings.
+    #[must_use]
+    pub fn findings(&self) -> usize {
+        self.rejected.len() + usize::from(self.recorded_failures > 0)
+    }
+}
+
+/// Reads a dumped `symcosim-audit/1` document and re-verifies every
+/// retained unit.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read or is not a
+/// well-formed artifact (the per-unit refutation verdicts are report
+/// content, not errors).
+pub fn check_audit_file(path: &str) -> Result<AuditReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    check_audit_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Re-verifies a `symcosim-audit/1` document given as a JSON string.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON, a wrong `schema` tag or an
+/// ill-formed unit.
+pub fn check_audit_json(text: &str) -> Result<AuditReport, String> {
+    let dump = AuditDump::from_json(text)?;
+    let rejected = dump
+        .verify_units()
+        .into_iter()
+        .map(|(index, reason)| format!("unit {index}: {reason}"))
+        .collect();
+    Ok(AuditReport {
+        units_checked: dump.units.len(),
+        units_dropped: dump.units_dropped,
+        steps: dump.stats.steps,
+        models: dump.stats.models,
+        cores: dump.stats.cores,
+        recorded_failures: dump.stats.failures,
+        rejected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symcosim_core::{CoreReplayUnit, ProofAuditStats};
+
+    fn dump() -> AuditDump {
+        AuditDump::new(
+            ProofAuditStats {
+                steps: 4,
+                models: 1,
+                cores: 1,
+                bytes: 120,
+                failures: 0,
+            },
+            vec![CoreReplayUnit {
+                core: vec![1],
+                clauses: vec![vec![-1, 2], vec![-2]],
+            }],
+        )
+    }
+
+    #[test]
+    fn a_sound_artifact_rechecks_clean() {
+        let report = check_audit_json(&dump().to_json()).expect("parses");
+        assert_eq!(report.units_checked, 1);
+        assert_eq!(report.findings(), 0);
+    }
+
+    #[test]
+    fn a_tampered_cone_is_a_gating_finding() {
+        let mut tampered = dump();
+        // Drop the clause that closes the conflict: the core no longer
+        // propagates to a contradiction.
+        tampered.units[0].clauses.pop();
+        let report = check_audit_json(&tampered.to_json()).expect("parses");
+        assert_eq!(report.rejected.len(), 1, "{:?}", report.rejected);
+        assert!(report.findings() > 0);
+    }
+
+    #[test]
+    fn a_recorded_in_process_failure_gates() {
+        let mut failed = dump();
+        failed.stats.failures = 1;
+        let report = check_audit_json(&failed.to_json()).expect("parses");
+        assert!(report.rejected.is_empty());
+        assert!(report.findings() > 0);
+    }
+
+    #[test]
+    fn a_malformed_artifact_is_an_error_not_a_pass() {
+        assert!(check_audit_json("{}").is_err());
+        assert!(check_audit_file("/nonexistent/audit.json").is_err());
+    }
+}

@@ -20,6 +20,7 @@ use symcosim_isa::{encode, opcodes, CsrOp, Instr, LoadKind, OpKind, Reg};
 use symcosim_iss::{ArrayBus, Iss, IssConfig};
 use symcosim_microrv32::{Core, CoreConfig};
 use symcosim_rtl::{DBusResponse, IBusResponse, RvfiRecord};
+use symcosim_symex::wf::WfIssueKind;
 use symcosim_symex::{ConcreteDomain, Domain, Engine, EngineConfig, SearchStrategy, SymExec};
 
 /// Result of the IR pass.
@@ -32,6 +33,11 @@ pub struct IrReport {
     /// Advisory issues across all paths (dead/disconnected constraints,
     /// unbounded symbols). Informational.
     pub advisories: u64,
+    /// Symbols that appear in no path condition *and* no output term
+    /// (architectural registers and PCs of both models) on some path —
+    /// the `dead-symbol` finding kind. Names, deduplicated and sorted.
+    /// Informational.
+    pub dead_symbols: Vec<String>,
     /// Number of `rd = x0` corpus instructions executed per model.
     pub x0_cases: usize,
     /// `x0`-discard violations (gating — must be empty).
@@ -87,13 +93,25 @@ pub fn analyze() -> IrReport {
             64,
         );
         let _ = cosim.run(exec, &mut SymbolicJudge);
-        exec.lint_path()
+        // The output frontier: everything the voter observes — both
+        // models' PCs and full architectural register files. A symbol
+        // reaching neither a constraint nor this frontier is dead.
+        let mut outputs = vec![cosim.core.pc(), cosim.iss.pc()];
+        outputs.extend(cosim.core.registers().iter().copied());
+        outputs.extend(cosim.iss.registers().iter().copied());
+        exec.lint_path_with_outputs(&outputs)
     });
 
     let mut violations = Vec::new();
     let mut advisories = 0u64;
+    let mut dead_symbols = Vec::new();
     for (index, path) in outcome.paths.iter().enumerate() {
         for issue in &path.value {
+            if issue.kind == WfIssueKind::DeadSymbol {
+                if let Some(name) = engine.ctx().symbol_name(issue.term) {
+                    dead_symbols.push(name.to_string());
+                }
+            }
             if issue.kind.advisory() {
                 advisories += 1;
             } else {
@@ -101,12 +119,15 @@ pub fn analyze() -> IrReport {
             }
         }
     }
+    dead_symbols.sort_unstable();
+    dead_symbols.dedup();
 
     let (x0_cases, x0_violations) = x0_audit();
     IrReport {
         paths_checked: outcome.paths.len(),
         violations,
         advisories,
+        dead_symbols,
         x0_cases,
         x0_violations,
     }

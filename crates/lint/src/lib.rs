@@ -29,6 +29,9 @@
 //!   `symcosim-report/1` document: re-derives the exploration-coverage
 //!   certificate (the run's paths partition the legal decode space) from
 //!   the report's ternary-cube projections, with no engine in the loop.
+//! * [`audit`] — offline re-verification of a dumped `symcosim-audit/1`
+//!   proof artifact: replays every retained UNSAT conflict cone by naive
+//!   unit propagation, with no solver in the loop.
 //! * [`report`] — human-readable and versioned-JSON report assembly
 //!   ([`report::SCHEMA`]).
 //!
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod coverage;
 pub mod cross;
 pub mod decode_space;
@@ -46,6 +50,7 @@ pub mod ir;
 pub mod pattern;
 pub mod report;
 
+pub use audit::AuditReport;
 pub use cross::CrossModelReport;
 pub use decode_space::DecodeSpaceReport;
 pub use ir::IrReport;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! symcosim-lint [--all] [--decode] [--cross] [--ir]
-//!               [--coverage REPORT.json] [--json]
+//!               [--coverage REPORT.json] [--audit AUDIT.json] [--json]
 //! ```
 //!
 //! Runs the selected static-analysis passes (default `--all`) and prints
@@ -10,14 +10,14 @@
 //! `--json`. Exits 0 when clean, 1 on any gating finding, 2 on usage
 //! errors.
 
-use symcosim_lint::{coverage, cross, decode_space, ir, LintReport};
+use symcosim_lint::{audit, coverage, cross, decode_space, ir, LintReport};
 
 const USAGE: &str = "\
 symcosim-lint — static decode-space and symbolic-IR analysis
 
 USAGE:
     symcosim-lint [--all] [--decode] [--cross] [--ir]
-                  [--coverage REPORT.json] [--json]
+                  [--coverage REPORT.json] [--audit AUDIT.json] [--json]
 
         --decode    decode-space theorems: completeness, disjointness and
                     encoder consistency of the shared decode table, proved
@@ -26,12 +26,18 @@ USAGE:
                     classify exactly the table's complement as illegal;
                     as-shipped disagreements are reported as concrete
                     counterexample words
-        --ir        symbolic-IR well-formedness over real path conditions,
-                    plus the executable x0 write-discard audit
+        --ir        symbolic-IR well-formedness over real path conditions
+                    (including dead symbols in no path condition and no
+                    output term), plus the executable x0 write-discard
+                    audit
         --coverage  re-certify the exploration coverage of a dumped
                     symcosim-report/1 document (from `symcosim-cli verify
                     --report-json PATH`): prove the run's paths partition
                     the legal decode space, offline, with no engine
+        --audit     re-verify a dumped symcosim-audit/1 proof artifact
+                    (from `symcosim-cli verify --audit-json PATH`): replay
+                    every retained UNSAT conflict cone by naive unit
+                    propagation, offline, with no solver
         --all       decode + cross + ir (the default when no pass is
                     selected)
         --json      emit the versioned JSON report instead of text
@@ -50,6 +56,7 @@ fn run(args: &[String]) -> i32 {
     let mut cross_model = false;
     let mut ir_pass = false;
     let mut coverage_path: Option<String> = None;
+    let mut audit_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -61,6 +68,15 @@ fn run(args: &[String]) -> i32 {
                 Some(path) => coverage_path = Some(path.clone()),
                 None => {
                     eprintln!("error: --coverage expects a report path");
+                    eprintln!();
+                    eprintln!("{USAGE}");
+                    return 2;
+                }
+            },
+            "--audit" => match iter.next() {
+                Some(path) => audit_path = Some(path.clone()),
+                None => {
+                    eprintln!("error: --audit expects an artifact path");
                     eprintln!();
                     eprintln!("{USAGE}");
                     return 2;
@@ -83,7 +99,7 @@ fn run(args: &[String]) -> i32 {
             }
         }
     }
-    if !decode && !cross_model && !ir_pass && coverage_path.is_none() {
+    if !decode && !cross_model && !ir_pass && coverage_path.is_none() && audit_path.is_none() {
         decode = true;
         cross_model = true;
         ir_pass = true;
@@ -100,11 +116,23 @@ fn run(args: &[String]) -> i32 {
         },
     };
 
+    let audit_report = match audit_path {
+        None => None,
+        Some(path) => match audit::check_audit_file(&path) {
+            Ok(report) => Some(report),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return 2;
+            }
+        },
+    };
+
     let report = LintReport {
         decode: decode.then(decode_space::analyze),
         cross: cross_model.then(cross::analyze),
         ir: ir_pass.then(ir::analyze),
         coverage: cert,
+        audit: audit_report,
     };
 
     if json {

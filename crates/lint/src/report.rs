@@ -11,6 +11,7 @@ use std::fmt;
 use symcosim_core::json::{self, JsonWriter};
 use symcosim_core::Certificate;
 
+use crate::audit::AuditReport;
 use crate::cross::CrossModelReport;
 use crate::decode_space::DecodeSpaceReport;
 use crate::ir::IrReport;
@@ -32,6 +33,9 @@ pub struct LintReport {
     /// Exploration-coverage certificate re-derived from a dumped session
     /// report (`--coverage`).
     pub coverage: Option<Certificate>,
+    /// Proof-audit artifact recheck (`--audit`): every retained UNSAT
+    /// conflict cone re-verified offline.
+    pub audit: Option<AuditReport>,
 }
 
 impl LintReport {
@@ -42,6 +46,7 @@ impl LintReport {
             + self.cross.as_ref().map_or(0, CrossModelReport::findings)
             + self.ir.as_ref().map_or(0, IrReport::findings)
             + self.coverage.as_ref().map_or(0, Certificate::findings)
+            + self.audit.as_ref().map_or(0, AuditReport::findings)
     }
 
     /// Renders the report as stable, pretty-printed JSON.
@@ -135,6 +140,9 @@ impl LintReport {
                     w.string_value(&ir.violations[i]);
                 });
                 w.number_field("advisories", ir.advisories);
+                w.array_field("dead_symbols", ir.dead_symbols.len(), |w, i| {
+                    w.string_value(&ir.dead_symbols[i]);
+                });
                 w.number_field("x0_cases", ir.x0_cases as u64);
                 w.array_field("x0_violations", ir.x0_violations.len(), |w, i| {
                     w.string_value(&ir.x0_violations[i]);
@@ -168,6 +176,22 @@ impl LintReport {
                         w.string_value(&hex(slot.overlaps[k]));
                     });
                     w.close_object();
+                });
+                w.close_object();
+            }
+        }
+        match &self.audit {
+            None => w.null_field("audit"),
+            Some(audit) => {
+                w.object_field("audit");
+                w.number_field("units_checked", audit.units_checked as u64);
+                w.number_field("units_dropped", audit.units_dropped);
+                w.number_field("steps", audit.steps);
+                w.number_field("models", audit.models);
+                w.number_field("cores", audit.cores);
+                w.number_field("recorded_failures", audit.recorded_failures);
+                w.array_field("rejected", audit.rejected.len(), |w, i| {
+                    w.string_value(&audit.rejected[i]);
                 });
                 w.close_object();
             }
@@ -251,6 +275,16 @@ impl fmt::Display for LintReport {
             for v in &ir.violations {
                 writeln!(f, "  IR-VIOLATION {v}")?;
             }
+            if !ir.dead_symbols.is_empty() {
+                writeln!(
+                    f,
+                    "  {} dead symbols (in no path condition and no output term):",
+                    ir.dead_symbols.len()
+                )?;
+                for name in &ir.dead_symbols {
+                    writeln!(f, "    DEAD-SYMBOL {name}")?;
+                }
+            }
             for v in &ir.x0_violations {
                 writeln!(f, "  X0-VIOLATION {v}")?;
             }
@@ -260,6 +294,28 @@ impl fmt::Display for LintReport {
         }
         if let Some(cert) = &self.coverage {
             write!(f, "{cert}")?;
+        }
+        if let Some(audit) = &self.audit {
+            writeln!(
+                f,
+                "proof audit: {} units re-verified ({} dropped past the cap); \
+                 in-process: {} steps, {} models, {} cores, {} failures",
+                audit.units_checked,
+                audit.units_dropped,
+                audit.steps,
+                audit.models,
+                audit.cores,
+                audit.recorded_failures
+            )?;
+            for rejection in &audit.rejected {
+                writeln!(f, "  AUDIT-REJECTED {rejection}")?;
+            }
+            if audit.findings() == 0 {
+                writeln!(
+                    f,
+                    "  every retained UNSAT answer is refuted by its conflict cone"
+                )?;
+            }
         }
         let findings = self.findings();
         if findings == 0 {
@@ -290,6 +346,7 @@ mod tests {
         assert!(json.contains("\"cross_model\": null"));
         assert!(json.contains("\"ir\": null"));
         assert!(json.contains("\"coverage\": null"));
+        assert!(json.contains("\"audit\": null"));
         assert!(json.contains("\"status\": \"clean\""));
     }
 
@@ -300,6 +357,7 @@ mod tests {
                 paths_checked: 1,
                 violations: vec!["v".into()],
                 advisories: 0,
+                dead_symbols: Vec::new(),
                 x0_cases: 0,
                 x0_violations: vec!["w".into()],
             }),
@@ -307,5 +365,27 @@ mod tests {
         };
         assert_eq!(report.findings(), 2);
         assert!(report.to_json().contains("\"status\": \"findings\""));
+    }
+
+    #[test]
+    fn audit_rejections_gate_and_render() {
+        let report = LintReport {
+            audit: Some(AuditReport {
+                units_checked: 3,
+                units_dropped: 1,
+                steps: 10,
+                models: 2,
+                cores: 4,
+                recorded_failures: 0,
+                rejected: vec!["unit 2: no conflict".into()],
+            }),
+            ..LintReport::default()
+        };
+        assert_eq!(report.findings(), 1);
+        let json = report.to_json();
+        assert!(json.contains("\"units_checked\": 3"), "{json}");
+        assert!(json.contains("unit 2: no conflict"), "{json}");
+        let text = report.to_string();
+        assert!(text.contains("AUDIT-REJECTED"), "{text}");
     }
 }

@@ -16,6 +16,7 @@ fn json_report_matches_the_golden_file() {
         cross: Some(cross::analyze()),
         ir: Some(ir::analyze()),
         coverage: None,
+        audit: None,
     };
     let rendered = report.to_json();
     let golden = include_str!("golden/report.json");

@@ -1,0 +1,872 @@
+//! Independent proof checking.
+//!
+//! [`Checker`] re-verifies everything the solver claims, using nothing
+//! from the solver's search machinery: where the solver propagates with
+//! two-watched-literal lists, the checker uses plain occurrence lists
+//! and full clause scans; where the solver tracks decision levels, the
+//! checker keeps a monotone top-level closure plus a generation-tagged
+//! scratch assignment per query. The two implementations share only the
+//! [`Lit`] representation, so a bug in the solver's propagation,
+//! conflict analysis or clause management cannot silently re-certify
+//! itself.
+//!
+//! The checker consumes the solver's proof stream
+//! ([`crate::Solver::take_proof`]) incrementally:
+//!
+//! * [`Checker::apply`] verifies each `Derive` step by *reverse unit
+//!   propagation* (RUP) over the active clause set and mirrors clause
+//!   deletions, rejecting any step that does not check.
+//! * [`Checker::check_model`] verifies a SAT answer: every original
+//!   (axiom) clause must be satisfied by the model.
+//! * [`Checker::replay_core`] verifies an UNSAT answer's assumption
+//!   core: propagating the core literals alone must reproduce a
+//!   conflict — through the checker, not the solver — and returns a
+//!   self-contained [`CoreReplayUnit`] (the conflict cone) that can be
+//!   re-verified offline with no solver state at all.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::proof::{Proof, ProofStep};
+use crate::{Lit, Var};
+
+const UNDEF: u8 = 2;
+/// Overlay reason marker for query seeds (assumptions / negated RUP
+/// clause literals), which have no antecedent clause.
+const SEED: usize = usize::MAX;
+
+/// A proof step or answer the checker refused to certify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Index of the offending step within the applied segment, when the
+    /// failure is tied to one.
+    pub step: Option<usize>,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.step {
+            Some(step) => write!(f, "proof step {step}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// A self-contained conflict cone extracted by [`Checker::replay_core`]:
+/// the clause subset through which unit-propagating `core` reaches a
+/// conflict. Literals use the DIMACS convention (`±(var_index + 1)`), so
+/// the unit can be serialized, shipped, and re-verified offline by
+/// [`CoreReplayUnit::verify`] with no solver or checker state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreReplayUnit {
+    /// The assumption core being certified (possibly empty: the formula
+    /// slice itself is unsatisfiable).
+    pub core: Vec<i64>,
+    /// The clauses of the conflict cone.
+    pub clauses: Vec<Vec<i64>>,
+}
+
+impl CoreReplayUnit {
+    /// Re-derives the conflict by naive unit propagation over the
+    /// embedded clauses only.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when propagation reaches a fixpoint without a
+    /// conflict — the unit does not certify its core — or when a
+    /// literal is malformed (zero).
+    pub fn verify(&self) -> Result<(), String> {
+        let mut values: HashMap<i64, bool> = HashMap::new();
+        let assign = |values: &mut HashMap<i64, bool>, lit: i64| -> Result<bool, String> {
+            if lit == 0 {
+                return Err("malformed literal 0 in replay unit".to_string());
+            }
+            match values.get(&lit.abs()) {
+                Some(&v) if v == (lit > 0) => Ok(false),
+                Some(_) => Ok(true), // contradiction
+                None => {
+                    values.insert(lit.abs(), lit > 0);
+                    Ok(false)
+                }
+            }
+        };
+        for &lit in &self.core {
+            if assign(&mut values, lit)? {
+                return Ok(()); // contradictory core literals conflict directly
+            }
+        }
+        loop {
+            let mut progressed = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<i64> = None;
+                let mut open = 0usize;
+                let mut satisfied = false;
+                for &lit in clause {
+                    if lit == 0 {
+                        return Err("malformed literal 0 in replay unit".to_string());
+                    }
+                    match values.get(&lit.abs()) {
+                        Some(&v) if v == (lit > 0) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            open += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match (open, unassigned) {
+                    (0, _) => return Ok(()), // falsified clause: conflict re-derived
+                    (1, Some(lit)) => {
+                        if assign(&mut values, lit)? {
+                            return Ok(());
+                        }
+                        progressed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !progressed {
+                return Err(format!(
+                    "core replay reached a fixpoint without a conflict \
+                     ({} clauses, {} core literals)",
+                    self.clauses.len(),
+                    self.core.len()
+                ));
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CClause {
+    lits: Box<[Lit]>,
+    active: bool,
+    axiom: bool,
+}
+
+/// The independent checker. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Checker {
+    clauses: Vec<CClause>,
+    /// Occurrence lists: for each literal code, the clauses containing
+    /// that literal.
+    occ: Vec<Vec<usize>>,
+    /// Sorted-literal key → clause indices, for `Delete` matching.
+    index: HashMap<Box<[Lit]>, Vec<usize>>,
+    /// Monotone top-level closure (mirrors the solver's level-0 trail).
+    base_val: Vec<u8>,
+    base_reason: Vec<usize>,
+    base_trail: Vec<Lit>,
+    base_qhead: usize,
+    /// Set to the falsified clause once the closure itself conflicts —
+    /// from then on the formula is unsatisfiable outright.
+    base_conflict: Option<usize>,
+    /// Generation-tagged scratch assignment for per-query propagation.
+    generation: u64,
+    ovl_gen: Vec<u64>,
+    ovl_val: Vec<u8>,
+    ovl_reason: Vec<usize>,
+    steps_applied: u64,
+}
+
+impl Checker {
+    /// Creates an empty checker.
+    #[must_use]
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Total proof steps applied so far (axioms, derivations, deletions).
+    #[must_use]
+    pub fn steps_applied(&self) -> u64 {
+        self.steps_applied
+    }
+
+    /// Whether the accumulated closure already refutes the formula.
+    #[must_use]
+    pub fn formula_refuted(&self) -> bool {
+        self.base_conflict.is_some()
+    }
+
+    /// Applies a drained proof segment, verifying every `Derive` step by
+    /// RUP and mirroring deletions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first step that fails to check: a
+    /// `Derive` that is not RUP over the active clause set, or a
+    /// `Delete` naming a clause that is not active.
+    pub fn apply(&mut self, proof: &Proof) -> Result<(), CheckError> {
+        for (i, step) in proof.steps.iter().enumerate() {
+            self.steps_applied += 1;
+            match step {
+                ProofStep::Axiom(lits) => {
+                    self.add_clause(lits, true);
+                }
+                ProofStep::Derive { clause, .. } => {
+                    // Hints are advisory; the check is always the full
+                    // RUP propagation.
+                    if !self.rup(clause) {
+                        return Err(CheckError {
+                            step: Some(i),
+                            message: format!(
+                                "derived clause {} is not RUP over the active clause set",
+                                render(clause)
+                            ),
+                        });
+                    }
+                    self.add_clause(clause, false);
+                }
+                ProofStep::Delete(lits) => {
+                    self.delete_clause(lits).map_err(|message| CheckError {
+                        step: Some(i),
+                        message,
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies a SAT answer: every axiom clause must contain a literal
+    /// the model makes true. Returns the number of clauses evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first axiom clause the model fails to satisfy
+    /// (including clauses with unassigned variables).
+    pub fn check_model<F>(&self, model: F) -> Result<u64, CheckError>
+    where
+        F: Fn(Var) -> Option<bool>,
+    {
+        let mut checked = 0u64;
+        for clause in self.clauses.iter().filter(|c| c.axiom) {
+            checked += 1;
+            let satisfied = clause
+                .lits
+                .iter()
+                .any(|&l| model(l.var()) == Some(l.is_positive()));
+            if !satisfied {
+                return Err(CheckError {
+                    step: None,
+                    message: format!(
+                        "model does not satisfy original clause {}",
+                        render(&clause.lits)
+                    ),
+                });
+            }
+        }
+        Ok(checked)
+    }
+
+    /// Verifies an UNSAT answer's assumption core: unit propagation from
+    /// the core literals alone (over the active clause set and the
+    /// top-level closure) must reach a conflict. On success, returns the
+    /// conflict cone as an offline-verifiable [`CoreReplayUnit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when propagation reaches a fixpoint without a
+    /// conflict — the claimed core does not refute the formula.
+    pub fn replay_core(&mut self, core: &[Lit]) -> Result<CoreReplayUnit, CheckError> {
+        for &lit in core {
+            self.ensure_var(lit.var());
+        }
+        if let Some(conflict) = self.base_conflict {
+            return Ok(self.extract_cone(core, conflict, 0));
+        }
+        self.generation += 1;
+        let mut trail: Vec<Lit> = Vec::new();
+        for &lit in core {
+            match self.value(lit) {
+                Some(true) => {}
+                Some(false) => {
+                    let conflict = self.reason_of(lit.var());
+                    if conflict == SEED {
+                        // Two core literals contradict each other
+                        // directly; no clauses are needed for the cone.
+                        return Ok(CoreReplayUnit {
+                            core: core.iter().map(|&l| dimacs(l)).collect(),
+                            clauses: Vec::new(),
+                        });
+                    }
+                    // The closure already forces ¬lit: the cone is the
+                    // derivation of ¬lit plus the seed itself.
+                    return Ok(self.extract_cone(core, conflict, self.generation));
+                }
+                None => {
+                    self.ovl_assign(lit, SEED);
+                    trail.push(lit);
+                }
+            }
+        }
+        match self.propagate_overlay(&mut trail) {
+            Some(conflict) => Ok(self.extract_cone(core, conflict, self.generation)),
+            None => Err(CheckError {
+                step: None,
+                message: format!(
+                    "assumption core {} does not propagate to a conflict",
+                    render(core)
+                ),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn ensure_var(&mut self, var: Var) {
+        let need = var.index() + 1;
+        if self.base_val.len() < need {
+            self.base_val.resize(need, UNDEF);
+            self.base_reason.resize(need, SEED);
+            self.ovl_gen.resize(need, 0);
+            self.ovl_val.resize(need, UNDEF);
+            self.ovl_reason.resize(need, SEED);
+            self.occ.resize(2 * need, Vec::new());
+        }
+    }
+
+    /// Current value of `lit` — scratch overlay first, closure second.
+    fn value(&self, lit: Lit) -> Option<bool> {
+        let v = lit.var().index();
+        let assigned = if self.ovl_gen[v] == self.generation && self.ovl_val[v] != UNDEF {
+            self.ovl_val[v]
+        } else {
+            self.base_val[v]
+        };
+        match assigned {
+            UNDEF => None,
+            value => Some((value == 1) == lit.is_positive()),
+        }
+    }
+
+    /// The clause that forced the current value of `var` (overlay first,
+    /// closure second). `SEED` for query seeds.
+    fn reason_of(&self, var: Var) -> usize {
+        let v = var.index();
+        if self.ovl_gen[v] == self.generation && self.ovl_val[v] != UNDEF {
+            self.ovl_reason[v]
+        } else {
+            self.base_reason[v]
+        }
+    }
+
+    fn ovl_assign(&mut self, lit: Lit, reason: usize) {
+        let v = lit.var().index();
+        self.ovl_gen[v] = self.generation;
+        self.ovl_val[v] = u8::from(lit.is_positive());
+        self.ovl_reason[v] = reason;
+    }
+
+    fn add_clause(&mut self, lits: &[Lit], axiom: bool) {
+        let mut sorted: Vec<Lit> = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &lit in &sorted {
+            self.ensure_var(lit.var());
+        }
+        let cref = self.clauses.len();
+        for &lit in &sorted {
+            self.occ[lit.code()].push(cref);
+        }
+        let key: Box<[Lit]> = sorted.clone().into_boxed_slice();
+        self.index.entry(key).or_default().push(cref);
+        self.clauses.push(CClause {
+            lits: sorted.into_boxed_slice(),
+            active: true,
+            axiom,
+        });
+        if self.base_conflict.is_none() {
+            self.scan_into_base(cref);
+            self.propagate_base();
+        }
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) -> Result<(), String> {
+        let mut key: Vec<Lit> = lits.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        let candidates = self
+            .index
+            .get_mut(key.as_slice())
+            .ok_or_else(|| format!("deletion of unknown clause {}", render(lits)))?;
+        // Prefer deleting a non-axiom copy so the model check keeps
+        // covering every original clause.
+        let pick = candidates
+            .iter()
+            .rposition(|&c| self.clauses[c].active && !self.clauses[c].axiom)
+            .or_else(|| candidates.iter().rposition(|&c| self.clauses[c].active))
+            .ok_or_else(|| format!("deletion of already-deleted clause {}", render(lits)))?;
+        let cref = candidates.remove(pick);
+        self.clauses[cref].active = false;
+        Ok(())
+    }
+
+    /// Seeds the top-level closure from clause `cref`: records a
+    /// conflict if the clause is falsified, enqueues its unit if it has
+    /// exactly one open literal.
+    fn scan_into_base(&mut self, cref: usize) {
+        if !self.clauses[cref].active {
+            return;
+        }
+        let mut open: Option<Lit> = None;
+        let mut open_count = 0usize;
+        for i in 0..self.clauses[cref].lits.len() {
+            let lit = self.clauses[cref].lits[i];
+            match self.base_value(lit) {
+                Some(true) => return,
+                Some(false) => {}
+                None => {
+                    open_count += 1;
+                    open = Some(lit);
+                }
+            }
+        }
+        match (open_count, open) {
+            (0, _) => self.base_conflict = Some(cref),
+            (1, Some(lit)) => self.base_enqueue(lit, cref),
+            _ => {}
+        }
+    }
+
+    fn base_value(&self, lit: Lit) -> Option<bool> {
+        match self.base_val[lit.var().index()] {
+            UNDEF => None,
+            value => Some((value == 1) == lit.is_positive()),
+        }
+    }
+
+    fn base_enqueue(&mut self, lit: Lit, reason: usize) {
+        debug_assert!(self.base_value(lit).is_none());
+        let v = lit.var().index();
+        self.base_val[v] = u8::from(lit.is_positive());
+        self.base_reason[v] = reason;
+        self.base_trail.push(lit);
+    }
+
+    fn propagate_base(&mut self) {
+        while self.base_qhead < self.base_trail.len() {
+            if self.base_conflict.is_some() {
+                return;
+            }
+            let p = self.base_trail[self.base_qhead];
+            self.base_qhead += 1;
+            let code = (!p).code();
+            for k in 0..self.occ[code].len() {
+                let cref = self.occ[code][k];
+                self.scan_into_base(cref);
+                if self.base_conflict.is_some() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Unit propagation over the scratch overlay; returns the falsified
+    /// clause on conflict.
+    fn propagate_overlay(&mut self, trail: &mut Vec<Lit>) -> Option<usize> {
+        let mut qhead = 0usize;
+        while qhead < trail.len() {
+            let p = trail[qhead];
+            qhead += 1;
+            let code = (!p).code();
+            for k in 0..self.occ[code].len() {
+                let cref = self.occ[code][k];
+                if !self.clauses[cref].active {
+                    continue;
+                }
+                let mut open: Option<Lit> = None;
+                let mut open_count = 0usize;
+                let mut satisfied = false;
+                for i in 0..self.clauses[cref].lits.len() {
+                    let lit = self.clauses[cref].lits[i];
+                    match self.value(lit) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            open_count += 1;
+                            open = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match (open_count, open) {
+                    (0, _) => return Some(cref),
+                    (1, Some(lit)) => {
+                        self.ovl_assign(lit, cref);
+                        trail.push(lit);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Reverse-unit-propagation check: asserting the negation of every
+    /// literal in `clause` must conflict under unit propagation.
+    fn rup(&mut self, clause: &[Lit]) -> bool {
+        for &lit in clause {
+            self.ensure_var(lit.var());
+        }
+        if self.base_conflict.is_some() {
+            return true;
+        }
+        self.generation += 1;
+        let mut trail: Vec<Lit> = Vec::new();
+        for &lit in clause {
+            match self.value(lit) {
+                // A top-level-true literal makes the clause implied
+                // outright (and a tautology hits this via its own
+                // negated first literal).
+                Some(true) => return true,
+                Some(false) => {}
+                None => {
+                    self.ovl_assign(!lit, SEED);
+                    trail.push(!lit);
+                }
+            }
+        }
+        self.propagate_overlay(&mut trail).is_some()
+    }
+
+    /// Walks backwards from `conflict` through reason clauses, collecting
+    /// the self-contained clause cone that re-derives the conflict from
+    /// the core literals alone.
+    fn extract_cone(&self, core: &[Lit], conflict: usize, generation: u64) -> CoreReplayUnit {
+        let mut cone: Vec<usize> = Vec::new();
+        let mut in_cone = vec![false; self.clauses.len()];
+        let mut seen_var = vec![false; self.base_val.len()];
+        let mut stack: Vec<usize> = vec![conflict];
+        in_cone[conflict] = true;
+        while let Some(cref) = stack.pop() {
+            cone.push(cref);
+            for &lit in self.clauses[cref].lits.iter() {
+                let v = lit.var().index();
+                if seen_var[v] {
+                    continue;
+                }
+                seen_var[v] = true;
+                let assigned_now = self.base_val[v] != UNDEF
+                    || (generation > 0
+                        && self.ovl_gen[v] == generation
+                        && self.ovl_val[v] != UNDEF);
+                if !assigned_now {
+                    continue;
+                }
+                let reason = if generation > 0
+                    && self.ovl_gen[v] == generation
+                    && self.ovl_val[v] != UNDEF
+                {
+                    self.ovl_reason[v]
+                } else {
+                    self.base_reason[v]
+                };
+                if reason != SEED && !in_cone[reason] {
+                    in_cone[reason] = true;
+                    stack.push(reason);
+                }
+            }
+        }
+        cone.sort_unstable();
+        CoreReplayUnit {
+            core: core.iter().map(|&l| dimacs(l)).collect(),
+            clauses: cone
+                .into_iter()
+                .map(|c| self.clauses[c].lits.iter().map(|&l| dimacs(l)).collect())
+                .collect(),
+        }
+    }
+}
+
+fn dimacs(lit: Lit) -> i64 {
+    let n = lit.var().index() as i64 + 1;
+    if lit.is_positive() {
+        n
+    } else {
+        -n
+    }
+}
+
+fn render(lits: &[Lit]) -> String {
+    let mut out = String::from("(");
+    for (i, &lit) in lits.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&dimacs(lit).to_string());
+    }
+    out.push(')');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveResult, Solver};
+
+    fn lit(i: usize, positive: bool) -> Lit {
+        Lit::new(Var::from_index(i), positive)
+    }
+
+    fn axiom(lits: &[Lit]) -> ProofStep {
+        ProofStep::Axiom(lits.into())
+    }
+
+    fn derive(lits: &[Lit]) -> ProofStep {
+        ProofStep::Derive {
+            clause: lits.into(),
+            hints: Box::default(),
+        }
+    }
+
+    fn audited_solver(n: usize) -> Solver {
+        let mut solver = Solver::new();
+        solver.enable_proof();
+        for _ in 0..n {
+            solver.new_var();
+        }
+        solver
+    }
+
+    #[test]
+    fn sat_answer_model_checks() {
+        let mut solver = audited_solver(3);
+        let (a, b, c) = (lit(0, true), lit(1, true), lit(2, true));
+        solver.add_clause([a, b]);
+        solver.add_clause([!a, c]);
+        solver.add_clause([!b, !c]);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        let mut checker = Checker::new();
+        checker.apply(&solver.take_proof()).expect("proof checks");
+        let checked = checker
+            .check_model(|v| solver.model_value(v))
+            .expect("model satisfies all axioms");
+        assert_eq!(checked, 3);
+    }
+
+    #[test]
+    fn a_wrong_model_is_rejected() {
+        let mut checker = Checker::new();
+        checker
+            .apply(&Proof {
+                steps: vec![axiom(&[lit(0, true), lit(1, true)])],
+            })
+            .expect("axioms check");
+        let err = checker
+            .check_model(|_| Some(false))
+            .expect_err("all-false model violates (1 2)");
+        assert!(err.message.contains("(1 2)"), "{err}");
+        // Unassigned variables do not count as satisfying either.
+        let err = checker.check_model(|_| None).expect_err("unassigned model");
+        assert!(err.message.contains("model does not satisfy"), "{err}");
+    }
+
+    #[test]
+    fn assumption_core_replays_through_the_checker() {
+        // a → x, x → y, y → ¬b: assuming [a, b] is unsat via a chain.
+        let mut solver = audited_solver(4);
+        let (a, b, x, y) = (lit(0, true), lit(1, true), lit(2, true), lit(3, true));
+        solver.add_clause([!a, x]);
+        solver.add_clause([!x, y]);
+        solver.add_clause([!y, !b]);
+        assert_eq!(solver.solve(&[a, b]), SolveResult::Unsat);
+        let core: Vec<Lit> = solver.unsat_core().to_vec();
+        let mut checker = Checker::new();
+        checker.apply(&solver.take_proof()).expect("proof checks");
+        let unit = checker.replay_core(&core).expect("core replays");
+        unit.verify().expect("cone re-derives the conflict offline");
+        assert!(!unit.clauses.is_empty());
+        // Every cone literal references a clause shipped in the unit.
+        assert!(unit.core.iter().all(|&l| l != 0));
+    }
+
+    #[test]
+    fn a_tampered_core_is_rejected() {
+        let mut solver = audited_solver(4);
+        let (a, b, x, y) = (lit(0, true), lit(1, true), lit(2, true), lit(3, true));
+        solver.add_clause([!a, x]);
+        solver.add_clause([!x, y]);
+        solver.add_clause([!y, !b]);
+        assert_eq!(solver.solve(&[a, b]), SolveResult::Unsat);
+        let mut checker = Checker::new();
+        checker.apply(&solver.take_proof()).expect("proof checks");
+        // Dropping a literal from the core must break the replay.
+        let err = checker.replay_core(&[a]).expect_err("a alone is sat");
+        assert!(err.message.contains("does not propagate"), "{err}");
+        // And a unit whose core was stripped offline must fail verify.
+        let mut unit = checker.replay_core(&[a, b]).expect("full core replays");
+        unit.core.retain(|&l| l != 2);
+        unit.verify().expect_err("stripped core cannot conflict");
+    }
+
+    #[test]
+    fn formula_level_unsat_replays_with_an_empty_core() {
+        let mut solver = audited_solver(2);
+        let a = lit(0, true);
+        solver.add_clause([a]);
+        solver.add_clause([!a]);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+        let mut checker = Checker::new();
+        checker.apply(&solver.take_proof()).expect("proof checks");
+        assert!(checker.formula_refuted());
+        let unit = checker.replay_core(&[]).expect("empty core replays");
+        unit.verify().expect("cone conflicts with no seeds");
+    }
+
+    #[test]
+    fn learnt_clauses_verify_by_rup_on_pigeonhole() {
+        // PHP(5, 4): forces real conflict analysis, so the proof carries
+        // genuinely learnt clauses with antecedent hints.
+        let mut solver = Solver::new();
+        solver.enable_proof();
+        let mut grid = Vec::new();
+        for _ in 0..5 {
+            let row: Vec<Lit> = (0..4).map(|_| Lit::positive(solver.new_var())).collect();
+            grid.push(row);
+        }
+        for row in &grid {
+            solver.add_clause(row.iter().copied());
+        }
+        for (p1, row1) in grid.iter().enumerate() {
+            for row2 in grid.iter().skip(p1 + 1) {
+                for (&l1, &l2) in row1.iter().zip(row2) {
+                    solver.add_clause([!l1, !l2]);
+                }
+            }
+        }
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+        let proof = solver.take_proof();
+        let derives = proof
+            .steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Derive { .. }))
+            .count();
+        assert!(
+            derives > 1,
+            "expected learnt clauses, got {derives} derives"
+        );
+        assert!(proof.bytes() > 0);
+        let mut checker = Checker::new();
+        checker.apply(&proof).expect("every learnt clause is RUP");
+        assert!(checker.formula_refuted());
+        assert_eq!(checker.steps_applied(), proof.len() as u64);
+    }
+
+    #[test]
+    fn a_non_rup_derivation_is_rejected() {
+        let (a, b) = (lit(0, true), lit(1, true));
+        let mut checker = Checker::new();
+        let good = Proof {
+            steps: vec![axiom(&[a, b]), axiom(&[!a, b]), derive(&[b])],
+        };
+        checker.apply(&good).expect("(2) is RUP");
+        let mut checker = Checker::new();
+        let bad = Proof {
+            steps: vec![axiom(&[a, b]), axiom(&[!a, b]), derive(&[!b])],
+        };
+        let err = checker.apply(&bad).expect_err("(-2) is not RUP");
+        assert_eq!(err.step, Some(2));
+        assert!(err.message.contains("not RUP"), "{err}");
+    }
+
+    #[test]
+    fn deleted_clauses_stop_supporting_derivations() {
+        let (a, b) = (lit(0, true), lit(1, true));
+        // With both axioms, (2) is RUP; after deleting (1 2) it is not.
+        let mut checker = Checker::new();
+        let proof = Proof {
+            steps: vec![
+                axiom(&[a, b]),
+                axiom(&[!a, b]),
+                ProofStep::Delete(vec![a, b].into()),
+                derive(&[b]),
+            ],
+        };
+        let err = checker.apply(&proof).expect_err("support was deleted");
+        assert_eq!(err.step, Some(3));
+        // Deleting a clause that was never added is itself a finding.
+        let mut checker = Checker::new();
+        let err = checker
+            .apply(&Proof {
+                steps: vec![ProofStep::Delete(vec![a].into())],
+            })
+            .expect_err("unknown deletion");
+        assert!(err.message.contains("unknown clause"), "{err}");
+    }
+
+    #[test]
+    fn incremental_audit_across_solves() {
+        let mut solver = audited_solver(3);
+        let (a, b, c) = (lit(0, true), lit(1, true), lit(2, true));
+        let mut checker = Checker::new();
+
+        solver.add_clause([a, b]);
+        assert_eq!(solver.solve(&[!a]), SolveResult::Sat);
+        checker.apply(&solver.take_proof()).expect("segment 1");
+        checker
+            .check_model(|v| solver.model_value(v))
+            .expect("model 1");
+
+        solver.add_clause([!b, c]);
+        assert_eq!(solver.solve(&[!a, !c]), SolveResult::Unsat);
+        let core = solver.unsat_core().to_vec();
+        checker.apply(&solver.take_proof()).expect("segment 2");
+        let unit = checker.replay_core(&core).expect("core replays");
+        unit.verify().expect("offline verify");
+
+        // The failed assumptions must not poison later audited answers.
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        checker.apply(&solver.take_proof()).expect("segment 3");
+        checker
+            .check_model(|v| solver.model_value(v))
+            .expect("model 3");
+    }
+
+    #[test]
+    fn enabling_mid_stream_snapshots_existing_state() {
+        let mut solver = Solver::new();
+        let v0 = solver.new_var();
+        let v1 = solver.new_var();
+        let (a, b) = (Lit::positive(v0), Lit::positive(v1));
+        solver.add_clause([a, b]);
+        solver.add_clause([!a]); // simplified to the unit fact ¬a
+        solver.enable_proof();
+        assert!(solver.proof_enabled());
+        assert_eq!(solver.solve(&[!b]), SolveResult::Unsat);
+        let core = solver.unsat_core().to_vec();
+        let mut checker = Checker::new();
+        checker
+            .apply(&solver.take_proof())
+            .expect("snapshot + proof");
+        let unit = checker.replay_core(&core).expect("core replays");
+        unit.verify().expect("offline verify");
+    }
+
+    #[test]
+    fn proof_is_empty_when_logging_is_off() {
+        let mut solver = Solver::new();
+        let v = solver.new_var();
+        solver.add_clause([Lit::positive(v)]);
+        assert!(!solver.proof_enabled());
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        assert!(solver.take_proof().is_empty());
+    }
+}

@@ -25,15 +25,25 @@ impl fmt::Display for ParseDimacsError {
 
 impl Error for ParseDimacsError {}
 
+/// The largest variable index [`parse_dimacs`] will allocate on demand
+/// when the input carries no `p cnf` header. Bounds the damage of a
+/// typo like `10000000000` before the solver tries to allocate it.
+const MAX_UNDECLARED_VAR: u64 = 1 << 24;
+
 /// Parses DIMACS CNF text into a fresh [`Solver`].
 ///
-/// Comment lines (`c …`) and the problem line (`p cnf V C`) are accepted;
-/// variables beyond the declared count are allocated on demand.
+/// Comment lines (`c …`) are skipped. A problem line (`p cnf V C`) is
+/// validated when present: it must carry exactly the two numeric fields,
+/// and every literal is then range-checked against the declared variable
+/// count `V`. Without a header, variables are allocated on demand (up to
+/// an allocation-safety cap). The declared clause count is informative
+/// only, matching common solver practice.
 ///
 /// # Errors
 ///
-/// Returns [`ParseDimacsError`] on malformed tokens or a clause without a
-/// terminating `0`.
+/// Returns [`ParseDimacsError`] on a truncated or malformed problem
+/// line, a malformed literal token, a literal out of the declared (or
+/// safe) range, or a clause without a terminating `0`.
 ///
 /// # Example
 ///
@@ -49,9 +59,30 @@ impl Error for ParseDimacsError {}
 pub fn parse_dimacs(text: &str) -> Result<Solver, ParseDimacsError> {
     let mut solver = Solver::new();
     let mut clause: Vec<Lit> = Vec::new();
+    let mut declared_vars: Option<u64> = None;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
-        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let fields: Vec<&str> = rest.split_ascii_whitespace().collect();
+            let parsed = match fields.as_slice() {
+                ["cnf", vars, clauses] => vars.parse::<u64>().ok().zip(clauses.parse::<u64>().ok()),
+                _ => None,
+            };
+            let (vars, _clauses) = parsed.ok_or_else(|| ParseDimacsError {
+                line: lineno + 1,
+                message: format!(
+                    "malformed problem line {line:?} (expected \"p cnf VARS CLAUSES\")"
+                ),
+            })?;
+            if declared_vars.replace(vars).is_some() {
+                return Err(ParseDimacsError {
+                    line: lineno + 1,
+                    message: "duplicate problem line".to_string(),
+                });
+            }
             continue;
         }
         for token in line.split_ascii_whitespace() {
@@ -63,7 +94,22 @@ pub fn parse_dimacs(text: &str) -> Result<Solver, ParseDimacsError> {
                 solver.add_clause(clause.drain(..));
                 continue;
             }
-            let var_index = (value.unsigned_abs() - 1) as usize;
+            let magnitude = value.unsigned_abs();
+            let limit = declared_vars.unwrap_or(MAX_UNDECLARED_VAR);
+            if magnitude > limit {
+                return Err(ParseDimacsError {
+                    line: lineno + 1,
+                    message: match declared_vars {
+                        Some(vars) => format!(
+                            "literal {value} out of range (problem line declares {vars} variables)"
+                        ),
+                        None => {
+                            format!("literal {value} out of range (no problem line; cap {limit})")
+                        }
+                    },
+                });
+            }
+            let var_index = (magnitude - 1) as usize;
             while solver.num_vars() <= var_index {
                 solver.new_var();
             }
@@ -156,5 +202,106 @@ mod tests {
     fn empty_input_is_sat() {
         let mut solver = parse_dimacs("").expect("empty ok");
         assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn rejects_truncated_problem_line() {
+        for header in [
+            "p cnf 3\n1 0\n",
+            "p cnf\n",
+            "p\n",
+            "p dnf 3 2\n",
+            "p cnf 3 2 9\n",
+        ] {
+            let err = parse_dimacs(header).expect_err("truncated/malformed header");
+            assert_eq!(err.line, 1, "{header:?}");
+            assert!(err.message.contains("problem line"), "{header:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric_header_counts() {
+        let err = parse_dimacs("p cnf three 2\n").expect_err("non-numeric count");
+        assert!(err.message.contains("problem line"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_problem_line() {
+        let err = parse_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n").expect_err("two headers");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_literal_out_of_declared_range() {
+        let err = parse_dimacs("p cnf 3 1\n1 4 0\n").expect_err("4 > 3 declared vars");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("out of range"), "{err}");
+        assert!(err.message.contains("declares 3"), "{err}");
+        let err = parse_dimacs("p cnf 3 1\n-4 0\n").expect_err("negative out of range");
+        assert!(err.message.contains("out of range"), "{err}");
+        // In range parses fine.
+        parse_dimacs("p cnf 3 1\n1 -3 0\n").expect("in range");
+    }
+
+    #[test]
+    fn caps_undeclared_variable_allocation() {
+        let err = parse_dimacs("99999999999 0\n").expect_err("absurd literal");
+        assert!(err.message.contains("out of range"), "{err}");
+        assert!(err.message.contains("no problem line"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_terminating_zero_before_eof() {
+        // A final clause left open across several lines is still caught.
+        let err = parse_dimacs("p cnf 2 2\n1 2 0\n-1 -2\n").expect_err("open clause");
+        assert!(err.message.contains("not terminated"), "{err}");
+    }
+
+    /// Property test: `to_dimacs` → `parse_dimacs` preserves the formula
+    /// (same verdict, and the round-tripped solver's model satisfies the
+    /// original clauses).
+    #[test]
+    fn round_trip_preserves_the_formula() {
+        use symcosim_testkit::check_cases;
+
+        check_cases(0xd1ac_0001, 200, |rng| {
+            let num_vars = 1 + rng.index(10);
+            let clauses: Vec<Vec<Lit>> = (0..rng.index(30))
+                .map(|_| {
+                    (0..1 + rng.index(4))
+                        .map(|_| Lit::new(Var::from_index(rng.index(num_vars)), rng.chance(1, 2)))
+                        .collect()
+                })
+                .collect();
+            let text = to_dimacs(num_vars, clauses.iter().map(|c| c.as_slice()));
+            let mut parsed = parse_dimacs(&text).expect("serializer output parses");
+            // Re-serializing the parse input is textually stable.
+            assert_eq!(
+                to_dimacs(num_vars, clauses.iter().map(|c| c.as_slice())),
+                text
+            );
+
+            let mut direct = Solver::new();
+            for _ in 0..num_vars {
+                direct.new_var();
+            }
+            for clause in &clauses {
+                direct.add_clause(clause.iter().copied());
+            }
+            let expected = direct.solve(&[]);
+            let got = parsed.solve(&[]);
+            assert_eq!(got, expected, "verdict drifted through DIMACS text");
+            if got == SolveResult::Sat {
+                for clause in &clauses {
+                    assert!(
+                        clause
+                            .iter()
+                            .any(|&l| parsed.model_lit_value(l) == Some(true)),
+                        "round-tripped model violates {clause:?}"
+                    );
+                }
+            }
+        });
     }
 }

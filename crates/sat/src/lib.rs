@@ -10,8 +10,11 @@
 //! * VSIDS variable activities with phase saving,
 //! * Luby-sequence restarts,
 //! * solving under assumptions (the incremental interface the symbolic
-//!   engine uses for path-feasibility queries), and
-//! * DIMACS import/export for debugging against external solvers.
+//!   engine uses for path-feasibility queries),
+//! * DIMACS import/export for debugging against external solvers, and
+//! * clausal proof logging ([`Solver::enable_proof`]) with an
+//!   independent RUP checker ([`check::Checker`]) so every answer the
+//!   solver gives can be re-verified without trusting the search.
 //!
 //! # Example
 //!
@@ -32,10 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod dimacs;
 mod lit;
+pub mod proof;
 mod solver;
 
+pub use check::{CheckError, Checker, CoreReplayUnit};
 pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
 pub use lit::{Lit, Var};
+pub use proof::{Proof, ProofStep};
 pub use solver::{SolveResult, Solver, SolverStats};

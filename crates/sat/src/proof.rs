@@ -1,0 +1,208 @@
+//! Clausal proof logging (DRAT-style, with antecedent hints).
+//!
+//! When enabled ([`crate::Solver::enable_proof`]), the solver records a
+//! stream of [`ProofStep`]s mirroring every change to its clause
+//! database:
+//!
+//! * [`ProofStep::Axiom`] — a clause handed to
+//!   [`crate::Solver::add_clause`], logged verbatim (sorted, deduped)
+//!   *before* top-level simplification. The axioms are the trust root:
+//!   a checker takes them on faith and verifies everything else against
+//!   them.
+//! * [`ProofStep::Derive`] — a clause the solver claims follows from
+//!   the clauses logged so far: learnt clauses from conflict analysis,
+//!   learnt units, and the empty clause when the formula itself becomes
+//!   unsatisfiable. Every `Derive` must pass *reverse unit propagation*
+//!   (RUP): asserting the negation of the clause and unit-propagating
+//!   over the active clause set must yield a conflict. The `hints`
+//!   carry the antecedent clauses visited by conflict analysis; they
+//!   are advisory — [`crate::check::Checker`] performs the full RUP
+//!   check regardless, so a wrong or missing hint can never make an
+//!   invalid step pass.
+//! * [`ProofStep::Delete`] — a learnt clause dropped by clause-database
+//!   reduction. Checkers must stop using it for propagation so that
+//!   their notion of "active clause set" tracks the solver's exactly.
+//!
+//! The stream is drained with [`crate::Solver::take_proof`]; repeated
+//! `solve`/`take_proof` rounds produce consecutive segments of one
+//! logical proof, which is how the incremental audit in the symbolic
+//! engine applies them.
+
+use std::fmt;
+
+use crate::Lit;
+
+/// One step of a clausal proof. See the [module docs](self) for the
+/// obligations attached to each variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// An original clause, taken on faith.
+    Axiom(Box<[Lit]>),
+    /// A clause claimed derivable by reverse unit propagation.
+    Derive {
+        /// The derived clause (empty = the formula is unsatisfiable).
+        clause: Box<[Lit]>,
+        /// Advisory antecedent hints (the clauses conflict analysis
+        /// resolved over). Never trusted by the checker.
+        hints: Box<[Box<[Lit]>]>,
+    },
+    /// A clause removed from the active set by DB reduction.
+    Delete(Box<[Lit]>),
+}
+
+impl ProofStep {
+    /// Approximate in-memory size of the step, for audit accounting.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        let lits = |c: &[Lit]| 4 * c.len() as u64;
+        match self {
+            ProofStep::Axiom(c) | ProofStep::Delete(c) => 8 + lits(c),
+            ProofStep::Derive { clause, hints } => {
+                8 + lits(clause) + hints.iter().map(|h| 8 + lits(h)).sum::<u64>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProofStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let write_clause = |f: &mut fmt::Formatter<'_>, c: &[Lit]| {
+            for (i, lit) in c.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                let n = lit.var().index() as i64 + 1;
+                write!(f, "{}", if lit.is_positive() { n } else { -n })?;
+            }
+            if !c.is_empty() {
+                write!(f, " ")?;
+            }
+            write!(f, "0")
+        };
+        match self {
+            ProofStep::Axiom(c) => {
+                write!(f, "a ")?;
+                write_clause(f, c)
+            }
+            ProofStep::Derive { clause, .. } => write_clause(f, clause),
+            ProofStep::Delete(c) => {
+                write!(f, "d ")?;
+                write_clause(f, c)
+            }
+        }
+    }
+}
+
+/// A drained segment of the solver's proof stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Proof {
+    /// The steps, in the order the solver produced them.
+    pub steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// Number of steps in this segment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the segment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Approximate in-memory size of the segment, for audit accounting.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.steps.iter().map(ProofStep::bytes).sum()
+    }
+}
+
+/// The in-solver recorder. Only allocated when proof logging is on, so
+/// the disabled path costs one `Option` check per logging site.
+#[derive(Debug, Default)]
+pub(crate) struct ProofLog {
+    pub(crate) steps: Vec<ProofStep>,
+    /// Antecedent scratch for the conflict analysis currently running.
+    pub(crate) hints: Vec<Box<[Lit]>>,
+}
+
+impl ProofLog {
+    pub(crate) fn axiom(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Axiom(lits.into()));
+    }
+
+    /// Logs a derived clause, consuming the accumulated hints.
+    pub(crate) fn derive(&mut self, lits: &[Lit]) {
+        let hints = std::mem::take(&mut self.hints).into_boxed_slice();
+        self.steps.push(ProofStep::Derive {
+            clause: lits.into(),
+            hints,
+        });
+    }
+
+    /// Logs a derived clause that has no antecedent hints (top-level
+    /// conflicts, simplification facts). Discards any stale scratch.
+    pub(crate) fn derive_unhinted(&mut self, lits: &[Lit]) {
+        self.hints.clear();
+        self.steps.push(ProofStep::Derive {
+            clause: lits.into(),
+            hints: Box::default(),
+        });
+    }
+
+    pub(crate) fn delete(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Delete(lits.into()));
+    }
+
+    pub(crate) fn hint(&mut self, lits: &[Lit]) {
+        self.hints.push(lits.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lit(i: usize, positive: bool) -> Lit {
+        Lit::new(Var::from_index(i), positive)
+    }
+
+    #[test]
+    fn display_is_dimacs_flavoured() {
+        let step = ProofStep::Axiom(vec![lit(0, true), lit(1, false)].into());
+        assert_eq!(step.to_string(), "a 1 -2 0");
+        let step = ProofStep::Derive {
+            clause: vec![lit(2, true)].into(),
+            hints: Box::default(),
+        };
+        assert_eq!(step.to_string(), "3 0");
+        let step = ProofStep::Delete(vec![lit(0, false)].into());
+        assert_eq!(step.to_string(), "d -1 0");
+    }
+
+    #[test]
+    fn bytes_counts_hints() {
+        let bare = ProofStep::Derive {
+            clause: vec![lit(0, true)].into(),
+            hints: Box::default(),
+        };
+        let hinted = ProofStep::Derive {
+            clause: vec![lit(0, true)].into(),
+            hints: vec![vec![lit(1, true), lit(2, false)].into()].into(),
+        };
+        assert!(hinted.bytes() > bare.bytes());
+        let proof = Proof {
+            steps: vec![bare, hinted],
+        };
+        assert_eq!(proof.len(), 2);
+        assert!(!proof.is_empty());
+        assert_eq!(
+            proof.bytes(),
+            proof.steps.iter().map(ProofStep::bytes).sum::<u64>()
+        );
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::proof::{Proof, ProofLog, ProofStep};
 use crate::{Lit, Var};
 
 const UNDEF: u8 = 2;
@@ -89,6 +90,7 @@ pub struct Solver {
     core: Vec<Lit>,
     ok: bool,
     stats: SolverStats,
+    proof: Option<Box<ProofLog>>,
 }
 
 const HEAP_ABSENT: usize = usize::MAX;
@@ -122,6 +124,51 @@ impl Solver {
             core: Vec::new(),
             ok: true,
             stats: SolverStats::default(),
+            proof: None,
+        }
+    }
+
+    /// Turns on clausal proof logging (see [`crate::proof`]).
+    ///
+    /// Zero-cost when never called: every logging site is a single
+    /// `Option` check. Idempotent. Best enabled on a fresh solver; when
+    /// enabled mid-stream, the clauses and top-level facts already
+    /// present are snapshotted as axioms (taken on faith), so only
+    /// derivations from this point on are checkable.
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_some() {
+            return;
+        }
+        let mut log = Box::new(ProofLog::default());
+        for clause in self.clauses.iter().filter(|c| !c.deleted) {
+            log.axiom(&clause.lits);
+        }
+        let boundary = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for &lit in &self.trail[..boundary] {
+            log.axiom(&[lit]);
+        }
+        if !self.ok {
+            log.steps.push(ProofStep::Axiom(Box::default()));
+        }
+        self.proof = Some(log);
+    }
+
+    /// Whether proof logging is on.
+    pub fn proof_enabled(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Drains the proof steps accumulated since the last call.
+    ///
+    /// Returns an empty proof when logging is off. Consecutive drains
+    /// form consecutive segments of one logical proof, which is how the
+    /// incremental audit applies them between solves.
+    pub fn take_proof(&mut self) -> Proof {
+        match &mut self.proof {
+            Some(log) => Proof {
+                steps: std::mem::take(&mut log.steps),
+            },
+            None => Proof::default(),
         }
     }
 
@@ -195,6 +242,9 @@ impl Solver {
         self.cancel_until(0);
         lits.sort_unstable();
         lits.dedup();
+        if let Some(log) = self.proof.as_mut() {
+            log.axiom(&lits);
+        }
         let mut simplified = Vec::with_capacity(lits.len());
         let mut prev: Option<Lit> = None;
         for lit in lits {
@@ -215,12 +265,18 @@ impl Solver {
         match simplified.len() {
             0 => {
                 self.ok = false;
+                if let Some(log) = self.proof.as_mut() {
+                    log.derive_unhinted(&[]);
+                }
                 false
             }
             1 => {
                 self.unchecked_enqueue(simplified[0], None);
                 if self.propagate().is_some() {
                     self.ok = false;
+                    if let Some(log) = self.proof.as_mut() {
+                        log.derive_unhinted(&[]);
+                    }
                 }
                 self.ok
             }
@@ -245,6 +301,9 @@ impl Solver {
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.ok = false;
+            if let Some(log) = self.proof.as_mut() {
+                log.derive_unhinted(&[]);
+            }
             return SolveResult::Unsat;
         }
 
@@ -254,6 +313,9 @@ impl Solver {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    if let Some(log) = self.proof.as_mut() {
+                        log.derive_unhinted(&[]);
+                    }
                     return SolveResult::Unsat;
                 }
                 let (learnt, backjump) = self.analyze(confl);
@@ -261,6 +323,10 @@ impl Solver {
                 // the assumptions themselves are inconsistent with the
                 // formula once the asserting literal contradicts one.
                 self.cancel_until(backjump);
+                if let Some(log) = self.proof.as_mut() {
+                    // Consumes the antecedent hints `analyze` collected.
+                    log.derive(&learnt);
+                }
                 match learnt.len() {
                     0 => {
                         self.ok = false;
@@ -269,6 +335,9 @@ impl Solver {
                     1 => {
                         if self.lit_value(learnt[0]) == Some(false) {
                             self.ok = false;
+                            if let Some(log) = self.proof.as_mut() {
+                                log.derive_unhinted(&[]);
+                            }
                             return SolveResult::Unsat;
                         }
                         if self.lit_value(learnt[0]).is_none() {
@@ -304,6 +373,7 @@ impl Solver {
                             // The formula (plus earlier assumptions) implies ¬p.
                             self.analyze_final(p);
                             self.cancel_until(0);
+                            self.minimize_core();
                             return SolveResult::Unsat;
                         }
                         None => {
@@ -499,6 +569,9 @@ impl Solver {
 
         loop {
             self.bump_clause(cref);
+            if let Some(log) = self.proof.as_mut() {
+                log.hint(&self.clauses[cref].lits);
+            }
             let start = usize::from(p.is_some());
             let clause_lits: Vec<Lit> = self.clauses[cref].lits[start..].to_vec();
             for q in clause_lits {
@@ -594,6 +667,59 @@ impl Solver {
         self.seen[p.var().index()] = false;
     }
 
+    /// Greedy minimization of [`Solver::core`], in canonical (sorted)
+    /// literal order: a literal is dropped when unit propagation refutes
+    /// the remaining core without it. Sorting first makes the result —
+    /// content *and* order — independent of the assumption ordering that
+    /// produced the raw `analyze_final` core, so cores are usable as
+    /// deterministic cache keys.
+    fn minimize_core(&mut self) {
+        self.core.sort_unstable();
+        self.core.dedup();
+        if self.core.len() <= 1 {
+            return;
+        }
+        let mut i = 0;
+        while i < self.core.len() {
+            let mut candidate = std::mem::take(&mut self.core);
+            let removed = candidate.remove(i);
+            if self.propagation_refutes(&candidate) {
+                self.core = candidate;
+            } else {
+                candidate.insert(i, removed);
+                self.core = candidate;
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether asserting `lits` leads to a conflict by unit propagation
+    /// alone. Leaves the solver back at decision level zero; never
+    /// learns clauses.
+    fn propagation_refutes(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut refuted = false;
+        for &lit in lits {
+            match self.lit_value(lit) {
+                Some(false) => {
+                    refuted = true;
+                    break;
+                }
+                Some(true) => {}
+                None => {
+                    self.trail_lim.push(self.trail.len());
+                    self.unchecked_enqueue(lit, None);
+                    if self.propagate().is_some() {
+                        refuted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.cancel_until(0);
+        refuted
+    }
+
     fn cancel_until(&mut self, target_level: usize) {
         if self.decision_level() <= target_level {
             return;
@@ -676,6 +802,7 @@ impl Solver {
         activities.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
         let median = activities[activities.len() / 2];
         let locked: Vec<Option<usize>> = self.reason.clone();
+        let mut dropped: Vec<usize> = Vec::new();
         for (cref, clause) in self.clauses.iter_mut().enumerate() {
             if clause.learnt
                 && !clause.deleted
@@ -684,6 +811,12 @@ impl Solver {
                 && !locked.contains(&Some(cref))
             {
                 clause.deleted = true;
+                dropped.push(cref);
+            }
+        }
+        if let Some(log) = self.proof.as_mut() {
+            for &cref in &dropped {
+                log.delete(&self.clauses[cref].lits);
             }
         }
         // Rebuild watches from scratch, dropping deleted clauses.

@@ -1,0 +1,141 @@
+//! Regression tests for `Solver::unsat_core` determinism.
+//!
+//! Cores feed the solver chain's subsumption cache and (audited) core
+//! replays, so they must be usable as cache keys: canonically ordered,
+//! duplicate-free, stable across repeated solves of the same query, and
+//! — when the minimal core is unique — independent of the order the
+//! assumptions were passed in.
+
+use symcosim_sat::{Lit, SolveResult, Solver, Var};
+use symcosim_testkit::{check_cases, Rng};
+
+type TestClause = Vec<(usize, bool)>;
+
+fn build_solver(num_vars: usize, clauses: &[TestClause]) -> Solver {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        solver.add_clause(clause.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
+    }
+    solver
+}
+
+fn random_clauses(rng: &mut Rng, num_vars: usize, max_clauses: usize) -> Vec<TestClause> {
+    let count = rng.index(max_clauses + 1);
+    (0..count)
+        .map(|_| {
+            let len = 1 + rng.index(4);
+            (0..len)
+                .map(|_| (rng.index(num_vars), rng.chance(1, 2)))
+                .collect()
+        })
+        .collect()
+}
+
+fn shuffle<T>(rng: &mut Rng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.index(i + 1));
+    }
+}
+
+/// Cores come back sorted, duplicate-free, restricted to the
+/// assumptions, and re-solving exactly the core is again unsatisfiable.
+#[test]
+fn cores_are_canonical_certificates() {
+    check_cases(0xc07e_0001, 300, |rng| {
+        let clauses = random_clauses(rng, 8, 40);
+        let assumptions: Vec<Lit> = (0..1 + rng.index(6))
+            .map(|_| Lit::new(Var::from_index(rng.index(8)), rng.chance(1, 2)))
+            .collect();
+        let mut solver = build_solver(8, &clauses);
+        if solver.solve(&assumptions) != SolveResult::Unsat {
+            return;
+        }
+        let core = solver.unsat_core().to_vec();
+        let mut sorted = core.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(core, sorted, "core is sorted and duplicate-free");
+        assert!(
+            core.iter().all(|l| assumptions.contains(l)),
+            "core {core:?} ⊆ assumptions {assumptions:?}"
+        );
+        if !core.is_empty() {
+            // A genuine certificate: the core alone is again unsat, on
+            // this solver and on a fresh one with the same clauses.
+            assert_eq!(solver.solve(&core), SolveResult::Unsat);
+            let mut fresh = build_solver(8, &clauses);
+            assert_eq!(fresh.solve(&core), SolveResult::Unsat);
+        }
+    });
+}
+
+/// Re-running the same query on the same solver yields the same core,
+/// even though the clause database has grown learnt clauses in between.
+#[test]
+fn repeated_solves_yield_identical_cores() {
+    check_cases(0xc07e_0002, 300, |rng| {
+        let clauses = random_clauses(rng, 8, 40);
+        let assumptions: Vec<Lit> = (0..1 + rng.index(6))
+            .map(|_| Lit::new(Var::from_index(rng.index(8)), rng.chance(1, 2)))
+            .collect();
+        let mut solver = build_solver(8, &clauses);
+        if solver.solve(&assumptions) != SolveResult::Unsat {
+            return;
+        }
+        let first = solver.unsat_core().to_vec();
+        for round in 0..3 {
+            assert_eq!(solver.solve(&assumptions), SolveResult::Unsat);
+            assert_eq!(
+                solver.unsat_core(),
+                first.as_slice(),
+                "core drifted on repeat solve {round}"
+            );
+        }
+    });
+}
+
+/// When the minimal core is unique — an implication chain forcing two
+/// designated assumptions into conflict, padded with free assumptions —
+/// every assumption ordering recovers exactly that core.
+#[test]
+fn assumption_order_does_not_change_a_unique_core() {
+    check_cases(0xc07e_0003, 200, |rng| {
+        // Variables: 0 = a, 1 = b, 2.. = chain links and padding.
+        let chain_len = 1 + rng.index(4);
+        let pad = rng.index(4);
+        let num_vars = 2 + chain_len + pad;
+        let mut solver_clauses: Vec<TestClause> = Vec::new();
+        // a → x1 → … → xk → ¬b
+        let mut prev = 0usize; // a
+        for link in 0..chain_len {
+            let x = 2 + link;
+            solver_clauses.push(vec![(prev, false), (x, true)]);
+            prev = x;
+        }
+        solver_clauses.push(vec![(prev, false), (1, false)]);
+
+        let a = Lit::positive(Var::from_index(0));
+        let b = Lit::positive(Var::from_index(1));
+        let mut assumptions = vec![a, b];
+        for p in 0..pad {
+            assumptions.push(Lit::new(
+                Var::from_index(2 + chain_len + p),
+                rng.chance(1, 2),
+            ));
+        }
+
+        let mut expected: Option<Vec<Lit>> = None;
+        for _ in 0..4 {
+            shuffle(rng, &mut assumptions);
+            let mut solver = build_solver(num_vars, &solver_clauses);
+            assert_eq!(solver.solve(&assumptions), SolveResult::Unsat);
+            let core = solver.unsat_core().to_vec();
+            assert_eq!(core, vec![a, b], "unique core is {{a, b}}");
+            match &expected {
+                None => expected = Some(core),
+                Some(previous) => assert_eq!(&core, previous, "core depends on ordering"),
+            }
+        }
+    });
+}

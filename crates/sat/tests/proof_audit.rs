@@ -1,0 +1,157 @@
+//! Differential fuzz of the proof-carrying pipeline: on seeded random
+//! instances, enabling proof logging never flips the solver's verdict,
+//! the independent checker certifies every honest answer, and
+//! guaranteed-invalid mutations (a non-RUP derivation injected into the
+//! proof, a conflict cone with its derivation dropped) are rejected.
+
+use symcosim_sat::{Checker, CoreReplayUnit, Lit, Proof, ProofStep, SolveResult, Solver, Var};
+use symcosim_testkit::{check_cases, Rng};
+
+/// A clause as (variable index, polarity) pairs.
+type TestClause = Vec<(usize, bool)>;
+
+const NUM_VARS: usize = 6;
+
+fn random_clauses(rng: &mut Rng, max_clauses: usize) -> Vec<TestClause> {
+    let count = rng.index(max_clauses + 1);
+    (0..count)
+        .map(|_| {
+            let len = 1 + rng.index(4);
+            (0..len)
+                .map(|_| (rng.index(NUM_VARS), rng.chance(1, 2)))
+                .collect()
+        })
+        .collect()
+}
+
+fn build_solver(clauses: &[TestClause], audited: bool) -> Solver {
+    let mut solver = Solver::new();
+    if audited {
+        solver.enable_proof();
+    }
+    let vars: Vec<Var> = (0..NUM_VARS).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        solver.add_clause(clause.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
+    }
+    solver
+}
+
+fn lit(index: usize, positive: bool) -> Lit {
+    Lit::new(Var::from_index(index), positive)
+}
+
+/// Proof logging is observational and the checker certifies every honest
+/// answer; a tampered proof or a cone stripped of its derivation is
+/// rejected.
+#[test]
+fn proof_audit_never_flips() {
+    check_cases(0xa0d_17ed, 300, |rng| {
+        let clauses = random_clauses(rng, 30);
+        let assumptions: Vec<Lit> = (0..rng.index(4))
+            .map(|_| lit(rng.index(NUM_VARS), rng.chance(1, 2)))
+            .collect();
+
+        // The differential property: the audited solver answers exactly
+        // what the unaudited solver answers.
+        let mut plain = build_solver(&clauses, false);
+        let expected = plain.solve(&assumptions);
+        let mut audited = build_solver(&clauses, true);
+        let got = audited.solve(&assumptions);
+        assert_eq!(got, expected, "proof logging flipped the verdict");
+
+        // The independent checker certifies the honest answer.
+        let mut checker = Checker::new();
+        checker
+            .apply(&audited.take_proof())
+            .expect("honest proof must check");
+        match got {
+            SolveResult::Sat => {
+                checker
+                    .check_model(|v| audited.model_value(v))
+                    .expect("honest SAT model must satisfy every axiom");
+            }
+            SolveResult::Unsat => {
+                let core = audited.unsat_core().to_vec();
+                let unit = checker.replay_core(&core).expect("honest core replays");
+                unit.verify().expect("honest cone re-verifies offline");
+
+                // Dropped-step mutation: a cone stripped of every clause
+                // cannot re-derive the conflict unless the core literals
+                // contradict each other outright.
+                let self_contradictory = unit.core.iter().any(|&l| unit.core.contains(&-l));
+                if !unit.clauses.is_empty() && !self_contradictory {
+                    let stripped = CoreReplayUnit {
+                        core: unit.core.clone(),
+                        clauses: Vec::new(),
+                    };
+                    stripped
+                        .verify()
+                        .expect_err("coreless cone must not certify");
+                }
+            }
+        }
+
+        // Mutated-proof rejection: a unit clause over a variable the
+        // formula never mentions cannot be RUP (nothing propagates from
+        // its negation) — unless the clause set is already refuted, in
+        // which case everything is derivable.
+        if !checker.formula_refuted() {
+            let rogue = Proof {
+                steps: vec![ProofStep::Derive {
+                    clause: vec![lit(NUM_VARS, true)].into(),
+                    hints: Box::default(),
+                }],
+            };
+            let err = checker
+                .apply(&rogue)
+                .expect_err("a fabricated derivation must be rejected");
+            assert!(err.message.contains("not RUP"), "{err}");
+        }
+    });
+}
+
+/// Deleting the derivation a later step leans on must surface at exactly
+/// that later step: the checker's notion of "active clause set" tracks
+/// the proof, so a dropped step cannot be papered over by re-propagating
+/// from the axioms.
+#[test]
+fn a_dropped_derivation_breaks_the_chain() {
+    let (a, b, c) = (lit(0, true), lit(1, true), lit(2, true));
+    let axiom = |lits: &[Lit]| ProofStep::Axiom(lits.into());
+    let derive = |lits: &[Lit]| ProofStep::Derive {
+        clause: lits.into(),
+        hints: Box::default(),
+    };
+    let delete = |lits: &[Lit]| ProofStep::Delete(lits.to_vec().into());
+
+    // (a ∨ b), (¬a ∨ b) ⊢ (b); with both axioms deleted, (c) is RUP only
+    // through the derived (b) and the axiom (¬b ∨ c).
+    let full = Proof {
+        steps: vec![
+            axiom(&[a, b]),
+            axiom(&[!a, b]),
+            derive(&[b]),
+            delete(&[a, b]),
+            delete(&[!a, b]),
+            axiom(&[!b, c]),
+            derive(&[c]),
+        ],
+    };
+    Checker::new().apply(&full).expect("the full chain checks");
+
+    // The same proof with the (b) derivation dropped: (c) loses its
+    // support and must be rejected at its own index.
+    let dropped = Proof {
+        steps: full
+            .steps
+            .iter()
+            .filter(|s| !matches!(s, ProofStep::Derive { clause, .. } if **clause == [b]))
+            .cloned()
+            .collect(),
+    };
+    let err = Checker::new()
+        .apply(&dropped)
+        .expect_err("the dropped step must break the chain");
+    assert_eq!(err.step, Some(5), "{err}");
+    assert!(err.message.contains("not RUP"), "{err}");
+}

@@ -15,7 +15,7 @@
 //! ```text
 //! symcosim-serve client --addr A submit [--preset P] [--opcode N]
 //!     [--slices N] [--instr-limit N] [--max-paths N]
-//!     [--engine fork|reexec] [--seed N] [--no-chain]
+//!     [--engine fork|reexec] [--seed N] [--no-chain] [--audit]
 //! symcosim-serve client --addr A status JOB
 //! symcosim-serve client --addr A wait JOB [--timeout-secs N]
 //! symcosim-serve client --addr A events JOB
@@ -209,6 +209,9 @@ fn submit(addr: &str, mut args: Vec<String>) -> Result<ExitCode, String> {
     }
     if flag_present(&mut args, "--no-chain") {
         spec.solver_chain = false;
+    }
+    if flag_present(&mut args, "--audit") {
+        spec.audit = true;
     }
     if let Some(stray) = args.first() {
         return Err(format!("unknown argument `{stray}`"));

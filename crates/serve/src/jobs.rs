@@ -19,7 +19,7 @@ use std::time::Instant;
 use symcosim_core::json::JsonWriter;
 use symcosim_core::{
     merge_slice_coverage, project_domain, Certificate, ChainSeed, CoverageSlice, JobSpec,
-    ProgressEvent, SessionConfig, VerifySession,
+    ProgressEvent, ProofAuditStats, SessionConfig, VerifySession,
 };
 use symcosim_isa::pattern::{partition_universe, Pattern};
 
@@ -138,6 +138,7 @@ struct JobRecord {
     chain_queries: u64,
     chain_hits: u64,
     chain_solves: u64,
+    audit: ProofAuditStats,
     warm_slices: usize,
     certificate: Option<String>,
     verdict: Option<&'static str>,
@@ -212,6 +213,7 @@ impl JobManager {
             chain_queries: 0,
             chain_hits: 0,
             chain_solves: 0,
+            audit: ProofAuditStats::default(),
             warm_slices: 0,
             certificate: None,
             verdict: None,
@@ -302,9 +304,15 @@ impl JobManager {
                 solver: report.solver_stats,
                 cache: report.query_cache,
                 chain: report.chain_stats,
+                audit: report.proof_audit,
             }
             .to_json(),
         );
+
+        if let Some(failure) = &report.proof_audit_failure {
+            self.fail(id, format!("slice {slice}: proof audit: {failure}"));
+            return;
+        }
 
         let finalise = {
             let mut jobs = self.jobs.lock().expect("job table poisoned");
@@ -320,6 +328,7 @@ impl JobManager {
                 + report.chain_stats.core_hits
                 + report.chain_stats.model_hits;
             job.chain_solves += report.chain_stats.solves;
+            job.audit = job.audit.merge(report.proof_audit);
             job.warm_slices += usize::from(seed.is_some());
             job.results[slice] = Some(CoverageSlice {
                 cube,
@@ -412,6 +421,10 @@ impl JobManager {
         w.number_field("chain_hits", job.chain_hits);
         w.number_field("chain_solves", job.chain_solves);
         w.float_field("chain_hit_rate", rate(job.chain_hits, job.chain_queries));
+        w.number_field("audit_steps", job.audit.steps);
+        w.number_field("audit_models", job.audit.models);
+        w.number_field("audit_cores", job.audit.cores);
+        w.number_field("audit_failures", job.audit.failures);
         match job.verdict {
             Some(verdict) => w.string_field("verdict", verdict),
             None => w.null_field("verdict"),

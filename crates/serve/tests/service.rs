@@ -147,6 +147,35 @@ fn served_jobs_match_the_single_process_certificate() {
         request(&addr, "GET", &format!("/jobs/{warm}/certificate"), None).expect("certificate");
     assert_eq!(certificate.body, expected);
 
+    // An audited resubmission: every certificate-bearing solver answer is
+    // independently re-checked in-process, the status document carries the
+    // auditor's counters, and the served certificate is still byte-for-byte
+    // the unaudited one (auditing is observational).
+    let audited = submit(
+        &addr,
+        &JobSpec {
+            audit: true,
+            ..branch_job(2)
+        },
+    );
+    let status_audited = wait_done(&addr, audited);
+    assert!(
+        number(&status_audited, "audit_steps") > 0,
+        "audited job must re-check proof steps"
+    );
+    assert!(
+        number(&status_audited, "audit_models") + number(&status_audited, "audit_cores") > 0,
+        "audited job must re-check at least one model or core"
+    );
+    assert_eq!(number(&status_audited, "audit_failures"), 0);
+    assert_eq!(number(&status_two, "audit_steps"), 0, "unaudited job");
+    let certificate = request(&addr, "GET", &format!("/jobs/{audited}/certificate"), None)
+        .expect("audited certificate");
+    assert_eq!(
+        certificate.body, expected,
+        "auditing must not perturb the certificate bytes"
+    );
+
     // Error surface.
     let bad = request(&addr, "POST", "/jobs", Some("not json")).expect("bad submit");
     assert_eq!(bad.status, 400);

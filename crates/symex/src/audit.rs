@@ -1,0 +1,308 @@
+//! Proof auditing: independent re-verification of solver answers.
+//!
+//! When auditing is on (see [`crate::SolverBackend::with_options`]), the
+//! backend's SAT solver logs a clausal proof and every answer is replayed
+//! through `symcosim-sat`'s independent [`Checker`] — RUP verification
+//! for the proof stream, full model evaluation for SAT answers, and
+//! assumption-core replay for UNSAT answers. Failures are recorded, not
+//! panicked on, so a run can finish and report *every* answer the
+//! checker refused to certify; callers (the CLI, CI) turn a non-zero
+//! failure count into a hard error.
+//!
+//! Each certified UNSAT answer also yields a self-contained
+//! [`CoreReplayUnit`] — the conflict cone in DIMACS literals — which can
+//! be dumped to a `symcosim-audit/1` artifact and re-verified offline by
+//! `symcosim-lint --audit` with no solver state at all.
+
+use std::fmt;
+
+use symcosim_sat::{Checker, CoreReplayUnit, Lit, Solver};
+
+/// Counters of the proof auditor, aggregated per worker and across a
+/// session exactly like [`crate::QueryCacheStats`]. Excluded from report
+/// and certificate JSON so audited and unaudited runs stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProofAuditStats {
+    /// Proof steps (axioms, derivations, deletions) applied to the
+    /// checker.
+    pub steps: u64,
+    /// SAT answers whose model satisfied every original clause.
+    pub models: u64,
+    /// UNSAT answers whose assumption core replayed to a conflict.
+    pub cores: u64,
+    /// Total size of the audited proof stream, in bytes.
+    pub bytes: u64,
+    /// Answers or proof segments the checker refused to certify.
+    pub failures: u64,
+}
+
+impl ProofAuditStats {
+    /// Component-wise sum, for aggregating per-worker statistics.
+    pub fn merge(self, other: ProofAuditStats) -> ProofAuditStats {
+        ProofAuditStats {
+            steps: self.steps + other.steps,
+            models: self.models + other.models,
+            cores: self.cores + other.cores,
+            bytes: self.bytes + other.bytes,
+            failures: self.failures + other.failures,
+        }
+    }
+}
+
+impl fmt::Display for ProofAuditStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "steps={} models={} cores={} bytes={} failures={}",
+            self.steps, self.models, self.cores, self.bytes, self.failures
+        )
+    }
+}
+
+impl std::str::FromStr for ProofAuditStats {
+    type Err = String;
+
+    /// Parses the `Display` form back; the round trip pins the printed
+    /// field set to the struct.
+    fn from_str(s: &str) -> Result<ProofAuditStats, String> {
+        let mut stats = ProofAuditStats::default();
+        let mut seen = 0u32;
+        for pair in s.split_whitespace() {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed audit stat `{pair}`"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("non-numeric audit stat `{pair}`"))?;
+            match key {
+                "steps" => stats.steps = value,
+                "models" => stats.models = value,
+                "cores" => stats.cores = value,
+                "bytes" => stats.bytes = value,
+                "failures" => stats.failures = value,
+                other => return Err(format!("unknown audit stat `{other}`")),
+            }
+            seen += 1;
+        }
+        if seen != 5 {
+            return Err(format!("expected 5 audit stats, found {seen}"));
+        }
+        Ok(stats)
+    }
+}
+
+/// Retain at most this many [`CoreReplayUnit`]s for the offline audit
+/// artifact; replays beyond the cap still run and count, only the cone
+/// is dropped (and counted in [`ProofAuditor::units_dropped`]).
+const UNIT_LIMIT: usize = 4096;
+
+/// Replays solver answers through the independent proof checker.
+///
+/// One auditor lives inside each audited [`crate::SolverBackend`] and
+/// tracks the solver's whole clause stream across incremental solves.
+#[derive(Debug, Default)]
+pub struct ProofAuditor {
+    checker: Checker,
+    stats: ProofAuditStats,
+    units: Vec<CoreReplayUnit>,
+    units_dropped: u64,
+    first_failure: Option<String>,
+}
+
+impl ProofAuditor {
+    /// Creates an auditor with an empty checker.
+    pub fn new() -> ProofAuditor {
+        ProofAuditor::default()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ProofAuditStats {
+        self.stats
+    }
+
+    /// The first failure message, when any answer failed to certify.
+    pub fn first_failure(&self) -> Option<&str> {
+        self.first_failure.as_deref()
+    }
+
+    /// Conflict cones certified so far (bounded; see
+    /// [`units_dropped`](Self::units_dropped)).
+    pub fn units(&self) -> &[CoreReplayUnit] {
+        &self.units
+    }
+
+    /// Drains the retained conflict cones, e.g. to merge them into a
+    /// session-level audit artifact.
+    pub fn take_units(&mut self) -> Vec<CoreReplayUnit> {
+        std::mem::take(&mut self.units)
+    }
+
+    /// Cones dropped because the retention cap was reached. They were
+    /// still replayed and counted in [`ProofAuditStats::cores`].
+    pub fn units_dropped(&self) -> u64 {
+        self.units_dropped
+    }
+
+    /// Audits a SAT answer: drains and RUP-checks the solver's pending
+    /// proof segment, then evaluates the model against every original
+    /// clause. Must be called right after the solve, while the model is
+    /// readable.
+    pub fn audit_sat(&mut self, solver: &mut Solver) {
+        self.sync(solver);
+        match self.checker.check_model(|v| solver.model_value(v)) {
+            Ok(_) => self.stats.models += 1,
+            Err(e) => self.fail(format!("SAT answer rejected: {e}")),
+        }
+    }
+
+    /// Audits an UNSAT answer: drains and RUP-checks the pending proof
+    /// segment, then replays `solver.unsat_core()` through the checker.
+    /// Must be called right after the solve, while the core is readable.
+    pub fn audit_unsat(&mut self, solver: &mut Solver) {
+        self.sync(solver);
+        let core: Vec<Lit> = solver.unsat_core().to_vec();
+        match self.checker.replay_core(&core) {
+            Ok(unit) => {
+                self.stats.cores += 1;
+                if self.units.len() < UNIT_LIMIT {
+                    self.units.push(unit);
+                } else {
+                    self.units_dropped += 1;
+                }
+            }
+            Err(e) => self.fail(format!("UNSAT core rejected: {e}")),
+        }
+    }
+
+    /// Drains the solver's pending proof segment into the checker.
+    fn sync(&mut self, solver: &mut Solver) {
+        let proof = solver.take_proof();
+        if proof.is_empty() {
+            return;
+        }
+        self.stats.steps += proof.len() as u64;
+        self.stats.bytes += proof.bytes();
+        if let Err(e) = self.checker.apply(&proof) {
+            self.fail(format!("proof segment rejected: {e}"));
+        }
+    }
+
+    fn fail(&mut self, message: String) {
+        self.stats.failures += 1;
+        if self.first_failure.is_none() {
+            self.first_failure = Some(message);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symcosim_sat::{SolveResult, Var};
+
+    #[test]
+    fn proof_audit_stats_display_round_trips() {
+        let stats = ProofAuditStats {
+            steps: 10,
+            models: 3,
+            cores: 2,
+            bytes: 456,
+            failures: 0,
+        };
+        let printed = stats.to_string();
+        assert_eq!(printed, "steps=10 models=3 cores=2 bytes=456 failures=0");
+        let parsed: ProofAuditStats = printed.parse().expect("display form parses");
+        assert_eq!(parsed, stats, "Display must carry every field");
+        assert!("steps=1".parse::<ProofAuditStats>().is_err());
+        assert!("steps=1 models=2 cores=3 bytes=4 failures=x"
+            .parse::<ProofAuditStats>()
+            .is_err());
+        assert!("steps=1 models=2 cores=3 bytes=4 bogus=5"
+            .parse::<ProofAuditStats>()
+            .is_err());
+    }
+
+    #[test]
+    fn stats_merge_is_component_wise() {
+        let a = ProofAuditStats {
+            steps: 1,
+            models: 2,
+            cores: 3,
+            bytes: 4,
+            failures: 5,
+        };
+        let b = ProofAuditStats {
+            steps: 10,
+            models: 20,
+            cores: 30,
+            bytes: 40,
+            failures: 50,
+        };
+        assert_eq!(
+            a.merge(b),
+            ProofAuditStats {
+                steps: 11,
+                models: 22,
+                cores: 33,
+                bytes: 44,
+                failures: 55,
+            }
+        );
+    }
+
+    #[test]
+    fn auditor_certifies_sat_and_unsat_answers() {
+        let mut solver = Solver::new();
+        solver.enable_proof();
+        let vars: Vec<Var> = (0..3).map(|_| solver.new_var()).collect();
+        let (a, b, c) = (
+            Lit::positive(vars[0]),
+            Lit::positive(vars[1]),
+            Lit::positive(vars[2]),
+        );
+        solver.add_clause([!a, b]);
+        solver.add_clause([!b, c]);
+
+        let mut auditor = ProofAuditor::new();
+        assert_eq!(solver.solve(&[a]), SolveResult::Sat);
+        auditor.audit_sat(&mut solver);
+        assert_eq!(solver.solve(&[a, !c]), SolveResult::Unsat);
+        auditor.audit_unsat(&mut solver);
+
+        let stats = auditor.stats();
+        assert_eq!(stats.failures, 0, "{:?}", auditor.first_failure());
+        assert_eq!(stats.models, 1);
+        assert_eq!(stats.cores, 1);
+        assert!(stats.steps > 0);
+        assert!(stats.bytes > 0);
+        assert_eq!(auditor.units().len(), 1);
+        auditor.units()[0].verify().expect("cone verifies offline");
+        assert_eq!(auditor.take_units().len(), 1);
+        assert!(auditor.units().is_empty());
+        assert_eq!(auditor.units_dropped(), 0);
+    }
+
+    #[test]
+    fn a_bogus_core_is_a_recorded_failure_not_a_panic() {
+        let mut solver = Solver::new();
+        solver.enable_proof();
+        let v = solver.new_var();
+        solver.add_clause([Lit::positive(v)]);
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+
+        let mut auditor = ProofAuditor::new();
+        auditor.sync(&mut solver);
+        // Hand the checker a core the solver never certified: `v` is
+        // forced true, so the "core" [v] cannot conflict.
+        match auditor.checker.replay_core(&[Lit::positive(v)]) {
+            Ok(_) => panic!("a satisfiable core must not replay"),
+            Err(e) => auditor.fail(format!("UNSAT core rejected: {e}")),
+        }
+        assert_eq!(auditor.stats().failures, 1);
+        assert!(auditor
+            .first_failure()
+            .expect("failure recorded")
+            .contains("rejected"));
+    }
+}

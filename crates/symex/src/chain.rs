@@ -34,6 +34,7 @@ use std::rc::Rc;
 
 use symcosim_sat::{Lit, SolveResult, Solver};
 
+use crate::audit::ProofAuditor;
 use crate::blast::Blaster;
 use crate::eval::{eval_memo, Env};
 use crate::solve::CheckResult;
@@ -228,13 +229,17 @@ impl SolverChain {
     }
 
     /// Chain entry point: checks the conjunction of `conditions`
-    /// (already sorted and deduplicated by the caller).
+    /// (already sorted and deduplicated by the caller). With `audit`
+    /// present, every cache-producing solve — the answers that seed the
+    /// core and model caches — is replayed through the independent proof
+    /// checker before it is stored.
     pub(crate) fn check(
         &mut self,
         ctx: &Context,
         solver: &mut Solver,
         blaster: &mut Blaster,
         conditions: &[TermId],
+        mut audit: Option<&mut ProofAuditor>,
     ) -> CheckResult {
         self.stats.queries += 1;
 
@@ -255,7 +260,9 @@ impl SolverChain {
         for component in self.partition(ctx, &pending) {
             self.stats.slices += 1;
             self.stats.max_slice = self.stats.max_slice.max(component.len() as u64);
-            if self.check_component(ctx, solver, blaster, &component) == CheckResult::Unsat {
+            if self.check_component(ctx, solver, blaster, &component, audit.as_deref_mut())
+                == CheckResult::Unsat
+            {
                 return CheckResult::Unsat;
             }
         }
@@ -364,6 +371,7 @@ impl SolverChain {
         solver: &mut Solver,
         blaster: &mut Blaster,
         component: &[TermId],
+        audit: Option<&mut ProofAuditor>,
     ) -> CheckResult {
         if let Some(&cached) = self.components.get(component) {
             self.stats.slice_hits += 1;
@@ -387,10 +395,16 @@ impl SolverChain {
             .collect();
         let result = match solver.solve(&assumptions) {
             SolveResult::Sat => {
+                if let Some(auditor) = audit {
+                    auditor.audit_sat(solver);
+                }
                 self.store_model(ctx, solver, blaster, component);
                 CheckResult::Sat
             }
             SolveResult::Unsat => {
+                if let Some(auditor) = audit {
+                    auditor.audit_unsat(solver);
+                }
                 self.store_core(solver.unsat_core(), &assumptions, component);
                 CheckResult::Unsat
             }
@@ -544,10 +558,12 @@ mod tests {
         let y2 = ctx.eq(y, c2);
 
         let (mut chain, mut solver, mut blaster) = chain_parts();
-        assert!(chain.check(&ctx, &mut solver, &mut blaster, &[x1]).is_sat());
+        assert!(chain
+            .check(&ctx, &mut solver, &mut blaster, &[x1], None)
+            .is_sat());
         // Adding the independent y-condition re-solves only its slice.
         assert!(chain
-            .check(&ctx, &mut solver, &mut blaster, &[x1, y1])
+            .check(&ctx, &mut solver, &mut blaster, &[x1, y1], None)
             .is_sat());
         let stats = chain.stats();
         assert_eq!(stats.queries, 2);
@@ -557,7 +573,7 @@ mod tests {
         // y = 1 ∧ y = 2 is unsat; the x-slice is never re-examined by
         // the solver, and the whole-set answer is still Unsat.
         assert!(!chain
-            .check(&ctx, &mut solver, &mut blaster, &[x1, y1, y2])
+            .check(&ctx, &mut solver, &mut blaster, &[x1, y1, y2], None)
             .is_sat());
         assert_eq!(chain.stats().slice_hits, 2);
     }
@@ -575,14 +591,14 @@ mod tests {
 
         let (mut chain, mut solver, mut blaster) = chain_parts();
         assert!(!chain
-            .check(&ctx, &mut solver, &mut blaster, &[x1, x2])
+            .check(&ctx, &mut solver, &mut blaster, &[x1, x2], None)
             .is_sat());
         let solves = chain.stats().solves;
         // {x1, x2, x3} ⊇ the stored core: answered without solving. The
         // superset is a different component key, so this is subsumption,
         // not the exact component cache.
         assert!(!chain
-            .check(&ctx, &mut solver, &mut blaster, &[x1, x2, x3])
+            .check(&ctx, &mut solver, &mut blaster, &[x1, x2, x3], None)
             .is_sat());
         assert_eq!(chain.stats().solves, solves);
         assert_eq!(chain.stats().core_hits, 1);
@@ -599,11 +615,11 @@ mod tests {
 
         let (mut chain, mut solver, mut blaster) = chain_parts();
         assert!(chain
-            .check(&ctx, &mut solver, &mut blaster, &[is5])
+            .check(&ctx, &mut solver, &mut blaster, &[is5], None)
             .is_sat());
         // The x = 5 model also witnesses x < 100.
         assert!(chain
-            .check(&ctx, &mut solver, &mut blaster, &[small])
+            .check(&ctx, &mut solver, &mut blaster, &[small], None)
             .is_sat());
         let stats = chain.stats();
         assert_eq!(stats.model_hits, 1);
@@ -621,10 +637,10 @@ mod tests {
 
         let (mut chain, mut solver, mut blaster) = chain_parts();
         assert!(chain
-            .check(&ctx, &mut solver, &mut blaster, &[truth])
+            .check(&ctx, &mut solver, &mut blaster, &[truth], None)
             .is_sat());
         assert!(!chain
-            .check(&ctx, &mut solver, &mut blaster, &[falsum, x1])
+            .check(&ctx, &mut solver, &mut blaster, &[falsum, x1], None)
             .is_sat());
         let stats = chain.stats();
         assert_eq!(stats.solves, 0, "no constant query may reach the solver");
@@ -642,9 +658,11 @@ mod tests {
         // First run: one sat solve, one unsat solve (with a stored core
         // and a stored model).
         let (mut chain, mut solver, mut blaster) = chain_parts();
-        assert!(chain.check(&ctx, &mut solver, &mut blaster, &[x1]).is_sat());
+        assert!(chain
+            .check(&ctx, &mut solver, &mut blaster, &[x1], None)
+            .is_sat());
         assert!(!chain
-            .check(&ctx, &mut solver, &mut blaster, &[x1, x2])
+            .check(&ctx, &mut solver, &mut blaster, &[x1, x2], None)
             .is_sat());
         let seed = chain.export_seed();
         assert!(!seed.is_empty());
@@ -655,10 +673,10 @@ mod tests {
         let (mut warmed, mut solver2, mut blaster2) = chain_parts();
         warmed.import_seed(&seed);
         assert!(warmed
-            .check(&ctx, &mut solver2, &mut blaster2, &[x1])
+            .check(&ctx, &mut solver2, &mut blaster2, &[x1], None)
             .is_sat());
         assert!(!warmed
-            .check(&ctx, &mut solver2, &mut blaster2, &[x1, x2])
+            .check(&ctx, &mut solver2, &mut blaster2, &[x1, x2], None)
             .is_sat());
         let stats = warmed.stats();
         assert_eq!(stats.solves, 0, "warm chain must not re-solve: {stats}");
@@ -668,7 +686,7 @@ mod tests {
         let c100 = ctx.constant(8, 100);
         let small = ctx.ult(x, c100);
         assert!(warmed
-            .check(&ctx, &mut solver2, &mut blaster2, &[small])
+            .check(&ctx, &mut solver2, &mut blaster2, &[small], None)
             .is_sat());
         assert_eq!(warmed.stats().model_hits, 1);
         assert_eq!(warmed.stats().solves, 0);

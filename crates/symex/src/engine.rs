@@ -48,6 +48,11 @@ pub struct EngineConfig {
     /// (independence slicing + counterexample/model caching). Answers are
     /// identical either way; disabling is for benchmarking and debugging.
     pub solver_chain: bool,
+    /// Log clausal proofs and replay every solver answer through the
+    /// independent checker (see [`crate::audit`]). Answers and explored
+    /// paths are identical either way; auditing only accumulates
+    /// certification statistics (and their failures).
+    pub audit: bool,
 }
 
 impl EngineConfig {
@@ -67,6 +72,7 @@ impl Default for EngineConfig {
             seed: 0x5eed_cafe,
             max_resident_snapshots: EngineConfig::DEFAULT_MAX_RESIDENT_SNAPSHOTS,
             solver_chain: true,
+            audit: false,
         }
     }
 }
@@ -161,7 +167,7 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
             ctx: Context::new(),
-            backend: SolverBackend::with_chain(config.solver_chain),
+            backend: SolverBackend::with_options(config.solver_chain, config.audit),
             config: config.clone(),
             rng_state: config.seed | 1,
             projector: crate::project::Projector::new(),
@@ -181,6 +187,12 @@ impl Engine {
     /// The solver backend, e.g. for statistics.
     pub fn backend(&self) -> &SolverBackend {
         &self.backend
+    }
+
+    /// Drains the proof auditor's certified conflict cones (see
+    /// [`SolverBackend::take_audit_units`]). Empty when auditing is off.
+    pub fn take_audit_units(&mut self) -> Vec<symcosim_sat::CoreReplayUnit> {
+        self.backend.take_audit_units()
     }
 
     /// Exports the solver chain's caches for warming a later identical
@@ -465,6 +477,19 @@ impl SymExec<'_> {
     #[must_use]
     pub fn lint_path(&self) -> Vec<crate::wf::WfIssue> {
         crate::wf::validate_path(self.ctx, &self.constraints, &self.path_symbols)
+    }
+
+    /// [`SymExec::lint_path`] with the path's output frontier, so symbols
+    /// in no constraint and no output term are reported as dead (see
+    /// [`validate_path_with_outputs`](crate::wf::validate_path_with_outputs)).
+    #[must_use]
+    pub fn lint_path_with_outputs(&self, outputs: &[TermId]) -> Vec<crate::wf::WfIssue> {
+        crate::wf::validate_path_with_outputs(
+            self.ctx,
+            &self.constraints,
+            &self.path_symbols,
+            outputs,
+        )
     }
 
     fn kill(&mut self, status: PathStatus) {

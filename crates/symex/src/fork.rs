@@ -191,10 +191,10 @@ pub struct ForkExec {
 }
 
 impl ForkExec {
-    fn new(max_decisions: usize, solver_chain: bool) -> ForkExec {
+    fn new(max_decisions: usize, solver_chain: bool, audit: bool) -> ForkExec {
         ForkExec {
             ctx: Context::new(),
-            backend: SolverBackend::with_chain(solver_chain),
+            backend: SolverBackend::with_options(solver_chain, audit),
             replay: VecDeque::new(),
             taken: Vec::new(),
             constraints: Vec::new(),
@@ -268,6 +268,19 @@ impl ForkExec {
     #[must_use]
     pub fn lint_path(&self) -> Vec<WfIssue> {
         crate::wf::validate_path(&self.ctx, &self.constraints, &self.path_symbols)
+    }
+
+    /// [`ForkExec::lint_path`] with the path's output frontier, so symbols
+    /// in no constraint and no output term are reported as dead (see
+    /// [`validate_path_with_outputs`](crate::wf::validate_path_with_outputs)).
+    #[must_use]
+    pub fn lint_path_with_outputs(&self, outputs: &[TermId]) -> Vec<WfIssue> {
+        crate::wf::validate_path_with_outputs(
+            &self.ctx,
+            &self.constraints,
+            &self.path_symbols,
+            outputs,
+        )
     }
 
     fn kill(&mut self, status: PathStatus) {
@@ -512,6 +525,10 @@ impl PathProbe for ForkExec {
         ForkExec::lint_path(self)
     }
 
+    fn lint_path_with_outputs(&self, outputs: &[TermId]) -> Vec<WfIssue> {
+        ForkExec::lint_path_with_outputs(self, outputs)
+    }
+
     fn project_coverage(&mut self, slot_prefix: &str) -> Vec<crate::project::SlotCoverage> {
         ForkExec::project_coverage(self, slot_prefix)
     }
@@ -535,7 +552,11 @@ impl ForkEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> ForkEngine {
         ForkEngine {
-            exec: ForkExec::new(config.max_decisions_per_path, config.solver_chain),
+            exec: ForkExec::new(
+                config.max_decisions_per_path,
+                config.solver_chain,
+                config.audit,
+            ),
             config: config.clone(),
             rng_state: config.seed | 1,
         }
@@ -549,6 +570,12 @@ impl ForkEngine {
     /// The solver backend, e.g. for statistics.
     pub fn backend(&self) -> &SolverBackend {
         &self.exec.backend
+    }
+
+    /// Drains the proof auditor's certified conflict cones (see
+    /// [`SolverBackend::take_audit_units`]). Empty when auditing is off.
+    pub fn take_audit_units(&mut self) -> Vec<symcosim_sat::CoreReplayUnit> {
+        self.exec.backend.take_audit_units()
     }
 
     /// Exports the solver chain's caches for warming a later identical

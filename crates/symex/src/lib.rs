@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod blast;
 mod chain;
 mod context;
@@ -68,6 +69,7 @@ mod term;
 mod testvec;
 pub mod wf;
 
+pub use audit::{ProofAuditStats, ProofAuditor};
 pub use chain::{ChainSeed, SolverChainStats};
 pub use context::Context;
 pub use display::ContextStats;
@@ -81,6 +83,6 @@ pub use fork::{EngineKind, ForkEngine, ForkExec, ForkJob, ForkTask, StepResult};
 pub use probe::PathProbe;
 pub use project::{ConstraintOrigin, Projector, SlotCoverage};
 pub use solve::{CheckResult, QueryCacheStats, SolverBackend};
-pub use symcosim_sat::SolverStats;
+pub use symcosim_sat::{CoreReplayUnit, SolverStats};
 pub use term::{Node, TermId, Width};
 pub use testvec::TestVector;

@@ -41,6 +41,13 @@ pub trait PathProbe: Domain<Word = TermId, Bool = TermId> {
     /// Runs the full well-formedness pass over this path.
     fn lint_path(&self) -> Vec<WfIssue>;
 
+    /// [`PathProbe::lint_path`] with the path's output frontier — the
+    /// terms the harness observes — so never-bounded symbols that also
+    /// reach no output are reported as dead rather than merely
+    /// unconstrained (see
+    /// [`validate_path_with_outputs`](crate::wf::validate_path_with_outputs)).
+    fn lint_path_with_outputs(&self, outputs: &[TermId]) -> Vec<WfIssue>;
+
     /// Projects this path's condition onto every symbolic fetch slot whose
     /// name starts with `slot_prefix` — the coverage certifier's input.
     /// Constraints committed via [`PathProbe::add_constraint`] are excluded
@@ -73,6 +80,10 @@ impl PathProbe for SymExec<'_> {
 
     fn lint_path(&self) -> Vec<WfIssue> {
         SymExec::lint_path(self)
+    }
+
+    fn lint_path_with_outputs(&self, outputs: &[TermId]) -> Vec<WfIssue> {
+        SymExec::lint_path_with_outputs(self, outputs)
     }
 
     fn project_coverage(&mut self, slot_prefix: &str) -> Vec<SlotCoverage> {

@@ -2,8 +2,9 @@
 
 use std::collections::HashMap;
 
-use symcosim_sat::{Lit, SolveResult, Solver, SolverStats};
+use symcosim_sat::{CoreReplayUnit, Lit, SolveResult, Solver, SolverStats};
 
+use crate::audit::{ProofAuditStats, ProofAuditor};
 use crate::blast::Blaster;
 use crate::chain::{ChainSeed, SolverChain, SolverChainStats};
 use crate::term::TermId;
@@ -113,6 +114,10 @@ pub struct SolverBackend {
     /// disabled, in which case cache misses solve the full condition set
     /// directly.
     chain: Option<SolverChain>,
+    /// The proof auditor (see [`crate::audit`]); `None` unless auditing
+    /// was requested, in which case the solver logs proofs and every
+    /// answer is replayed through the independent checker.
+    auditor: Option<Box<ProofAuditor>>,
     /// Bumped on every query; a model is readable only while
     /// `model_generation == Some(generation)`, i.e. the most recent query
     /// was a plain [`check`](Self::check) that answered Sat. This is what
@@ -134,10 +139,26 @@ impl SolverBackend {
     /// [`check_cached`](Self::check_cached) answers are computed, never
     /// what they are.
     pub fn with_chain(enabled: bool) -> SolverBackend {
-        SolverBackend {
-            chain: enabled.then(SolverChain::new),
+        SolverBackend::with_options(enabled, false)
+    }
+
+    /// Creates a fresh backend with the solver chain and proof auditing
+    /// each enabled or disabled. With `audit` on, the SAT solver logs a
+    /// clausal proof and every answer — including every chain
+    /// cache-producing solve — is re-verified by the independent checker
+    /// (see [`crate::audit`]). Auditing never changes an answer; it only
+    /// counts certifications and failures
+    /// ([`proof_audit_stats`](Self::proof_audit_stats)).
+    pub fn with_options(chain: bool, audit: bool) -> SolverBackend {
+        let mut backend = SolverBackend {
+            chain: chain.then(SolverChain::new),
             ..SolverBackend::default()
+        };
+        if audit {
+            backend.solver.enable_proof();
+            backend.auditor = Some(Box::default());
         }
+        backend
     }
 
     /// Checks the conjunction of width-1 `conditions` for satisfiability.
@@ -157,10 +178,16 @@ impl SolverBackend {
             .collect();
         match self.solver.solve(&assumptions) {
             SolveResult::Sat => {
+                if let Some(auditor) = self.auditor.as_mut() {
+                    auditor.audit_sat(&mut self.solver);
+                }
                 self.model_generation = Some(self.generation);
                 CheckResult::Sat
             }
             SolveResult::Unsat => {
+                if let Some(auditor) = self.auditor.as_mut() {
+                    auditor.audit_unsat(&mut self.solver);
+                }
                 self.model_generation = None;
                 CheckResult::Unsat
             }
@@ -199,15 +226,31 @@ impl SolverBackend {
         }
         self.cache_stats.misses += 1;
         let result = match self.chain.as_mut() {
-            Some(chain) => chain.check(ctx, &mut self.solver, &mut self.blaster, &key),
+            Some(chain) => chain.check(
+                ctx,
+                &mut self.solver,
+                &mut self.blaster,
+                &key,
+                self.auditor.as_deref_mut(),
+            ),
             None => {
                 let assumptions: Vec<Lit> = key
                     .iter()
                     .map(|&c| self.blaster.bool_lit(ctx, &mut self.solver, c))
                     .collect();
                 match self.solver.solve(&assumptions) {
-                    SolveResult::Sat => CheckResult::Sat,
-                    SolveResult::Unsat => CheckResult::Unsat,
+                    SolveResult::Sat => {
+                        if let Some(auditor) = self.auditor.as_mut() {
+                            auditor.audit_sat(&mut self.solver);
+                        }
+                        CheckResult::Sat
+                    }
+                    SolveResult::Unsat => {
+                        if let Some(auditor) = self.auditor.as_mut() {
+                            auditor.audit_unsat(&mut self.solver);
+                        }
+                        CheckResult::Unsat
+                    }
                 }
             }
         };
@@ -281,6 +324,25 @@ impl SolverBackend {
         self.chain
             .as_ref()
             .map(SolverChain::stats)
+            .unwrap_or_default()
+    }
+
+    /// Counters of the proof auditor. All zero when auditing is off.
+    pub fn proof_audit_stats(&self) -> ProofAuditStats {
+        self.auditor.as_ref().map(|a| a.stats()).unwrap_or_default()
+    }
+
+    /// The first audit failure message, if any answer failed to certify.
+    pub fn proof_audit_failure(&self) -> Option<&str> {
+        self.auditor.as_ref().and_then(|a| a.first_failure())
+    }
+
+    /// Drains the conflict cones certified so far, for dumping into an
+    /// offline-verifiable audit artifact. Empty when auditing is off.
+    pub fn take_audit_units(&mut self) -> Vec<CoreReplayUnit> {
+        self.auditor
+            .as_mut()
+            .map(|a| a.take_units())
             .unwrap_or_default()
     }
 
@@ -557,6 +619,63 @@ mod tests {
             "slicing should save solver calls even on this tiny workload"
         );
         assert_eq!(direct.solver_chain_stats(), Default::default());
+    }
+
+    #[test]
+    fn audited_backends_certify_every_answer_without_changing_it() {
+        // Same query stream, audit on and off, chain on and off: answers
+        // are identical, and the audited runs certify every answer.
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let y = ctx.symbol(8, "y");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let x1 = ctx.eq(x, c1);
+        let x2 = ctx.eq(x, c2);
+        let y1 = ctx.eq(y, c1);
+        let sets: Vec<Vec<TermId>> = vec![
+            vec![x1],
+            vec![x1, y1],
+            vec![x1, x2],
+            vec![x1, x2, y1],
+            vec![y1],
+        ];
+
+        for chain in [false, true] {
+            let mut plain = SolverBackend::with_options(chain, false);
+            let mut audited = SolverBackend::with_options(chain, true);
+            for set in &sets {
+                assert_eq!(
+                    audited.check_cached(&ctx, set),
+                    plain.check_cached(&ctx, set),
+                    "audit flipped the answer for {set:?} (chain={chain})"
+                );
+            }
+            // Plain checks (model-producing) are audited too.
+            assert!(audited.check(&ctx, &[x1]).is_sat());
+            assert!(!audited.check(&ctx, &[x1, x2]).is_sat());
+
+            let stats = audited.proof_audit_stats();
+            assert_eq!(
+                stats.failures,
+                0,
+                "checker rejected an answer (chain={chain}): {:?}",
+                audited.proof_audit_failure()
+            );
+            assert!(stats.models > 0, "SAT answers were audited");
+            assert!(stats.cores > 0, "UNSAT answers were audited");
+            assert!(stats.steps > 0 && stats.bytes > 0);
+            let units = audited.take_audit_units();
+            assert_eq!(units.len() as u64, stats.cores);
+            for unit in &units {
+                unit.verify().expect("every cone verifies offline");
+            }
+            assert!(audited.take_audit_units().is_empty(), "units drain once");
+
+            // The unaudited backend never pays for any of this.
+            assert_eq!(plain.proof_audit_stats(), ProofAuditStats::default());
+            assert!(plain.take_audit_units().is_empty());
+        }
     }
 
     #[test]

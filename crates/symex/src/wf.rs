@@ -42,6 +42,11 @@ pub enum WfIssueKind {
     /// A symbolic read (free symbol) that appears in no constraint: the
     /// explored path never bounded it (advisory).
     UnconstrainedSymbol,
+    /// A symbolic read that appears in no constraint *and* in no output
+    /// term: the path neither bounded nor observed it, so the symbol is
+    /// dead weight in the exploration (advisory). Only reported by
+    /// [`validate_path_with_outputs`], which knows the output frontier.
+    DeadSymbol,
 }
 
 impl WfIssueKind {
@@ -55,6 +60,7 @@ impl WfIssueKind {
             WfIssueKind::TautologicalConstraint => "tautological-constraint",
             WfIssueKind::DisconnectedConstraint => "disconnected-constraint",
             WfIssueKind::UnconstrainedSymbol => "unconstrained-symbol",
+            WfIssueKind::DeadSymbol => "dead-symbol",
         }
     }
 
@@ -67,6 +73,7 @@ impl WfIssueKind {
             WfIssueKind::TautologicalConstraint
                 | WfIssueKind::DisconnectedConstraint
                 | WfIssueKind::UnconstrainedSymbol
+                | WfIssueKind::DeadSymbol
         )
     }
 }
@@ -236,6 +243,32 @@ fn reachable_symbols(ctx: &Context, root: TermId) -> Vec<u32> {
 ///    no constraint at all.
 #[must_use]
 pub fn validate_path(ctx: &Context, constraints: &[TermId], symbols: &[TermId]) -> Vec<WfIssue> {
+    validate_path_impl(ctx, constraints, symbols, None)
+}
+
+/// [`validate_path`] with the path's *output frontier* — the terms the
+/// harness actually observes (e.g. both models' architectural registers
+/// and PCs). With the frontier known, an unbounded symbol splits into two
+/// kinds: one still reaching an output is [`WfIssueKind::UnconstrainedSymbol`]
+/// (it flows out unbounded); one reaching neither a constraint nor an
+/// output is [`WfIssueKind::DeadSymbol`] (the path neither bounds nor
+/// observes it).
+#[must_use]
+pub fn validate_path_with_outputs(
+    ctx: &Context,
+    constraints: &[TermId],
+    symbols: &[TermId],
+    outputs: &[TermId],
+) -> Vec<WfIssue> {
+    validate_path_impl(ctx, constraints, symbols, Some(outputs))
+}
+
+fn validate_path_impl(
+    ctx: &Context,
+    constraints: &[TermId],
+    symbols: &[TermId],
+    outputs: Option<&[TermId]>,
+) -> Vec<WfIssue> {
     let mut issues = validate_terms(ctx, constraints);
 
     for (index, &c) in constraints.iter().enumerate() {
@@ -290,16 +323,44 @@ pub fn validate_path(ctx: &Context, constraints: &[TermId], symbols: &[TermId]) 
 
     let mut constrained: Vec<u32> = per_constraint.into_iter().flatten().collect();
     constrained.sort_unstable();
+    // Symbols reachable from the output frontier, when the caller knows it.
+    let observed: Option<Vec<u32>> = outputs.map(|outputs| {
+        let mut observed = Vec::new();
+        let mut visited = vec![false; ctx.num_nodes()];
+        for &root in outputs {
+            visit_dag(ctx, root, &mut visited, |id| {
+                if let Node::Symbol { name, .. } = ctx.node(id) {
+                    observed.push(name);
+                }
+            });
+        }
+        observed.sort_unstable();
+        observed
+    });
     for &sym in symbols {
         if let Node::Symbol { name, .. } = ctx.node(sym) {
             if constrained.binary_search(&name).is_err() {
-                issues.push(WfIssue {
-                    kind: WfIssueKind::UnconstrainedSymbol,
-                    term: sym,
-                    detail: format!(
-                        "symbolic read {:?} is bounded by no constraint",
-                        ctx.symbol_name(sym).unwrap_or("?")
-                    ),
+                let dead = observed
+                    .as_ref()
+                    .is_some_and(|observed| observed.binary_search(&name).is_err());
+                issues.push(if dead {
+                    WfIssue {
+                        kind: WfIssueKind::DeadSymbol,
+                        term: sym,
+                        detail: format!(
+                            "symbolic read {:?} appears in no path constraint and no output term",
+                            ctx.symbol_name(sym).unwrap_or("?")
+                        ),
+                    }
+                } else {
+                    WfIssue {
+                        kind: WfIssueKind::UnconstrainedSymbol,
+                        term: sym,
+                        detail: format!(
+                            "symbolic read {:?} is bounded by no constraint",
+                            ctx.symbol_name(sym).unwrap_or("?")
+                        ),
+                    }
                 });
             }
         }
@@ -427,5 +488,34 @@ mod tests {
         assert!(!WfIssueKind::ConstantFalseConstraint.advisory());
         assert!(WfIssueKind::UnconstrainedSymbol.advisory());
         assert!(WfIssueKind::DisconnectedConstraint.advisory());
+        assert!(WfIssueKind::DeadSymbol.advisory());
+    }
+
+    #[test]
+    fn the_output_frontier_splits_unbounded_symbols_into_two_kinds() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(32, "x");
+        let flows_out = ctx.symbol(32, "flows_out");
+        let dead = ctx.symbol(32, "dead");
+        let one = ctx.constant(32, 1);
+        let cond = ctx.eq(x, one);
+        let output = ctx.add(x, flows_out);
+        let issues = validate_path_with_outputs(&ctx, &[cond], &[x, flows_out, dead], &[output]);
+        assert_eq!(issues.len(), 2, "{issues:#?}");
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == WfIssueKind::UnconstrainedSymbol && i.term == flows_out));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == WfIssueKind::DeadSymbol && i.term == dead));
+    }
+
+    #[test]
+    fn without_an_output_frontier_no_symbol_is_called_dead() {
+        let mut ctx = Context::new();
+        let dead = ctx.symbol(32, "dead");
+        let issues = validate_path(&ctx, &[], &[dead]);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].kind, WfIssueKind::UnconstrainedSymbol);
     }
 }

@@ -223,6 +223,49 @@ fn solver_chain_never_flips_answers() {
     });
 }
 
+/// Proof auditing never flips an answer on term-tree queries: over the
+/// same cache-heavy random query sequences as the chain test, an audited
+/// chained backend and an unaudited one agree on every Sat/Unsat
+/// verdict, the independent checker certifies every answer along the
+/// way (models evaluated, cores replayed, no recorded failure), and the
+/// unaudited backend accumulates no audit state at all.
+#[test]
+fn proof_audit_never_flips_term_queries() {
+    check_cases(0xd1f_0004, 32, |rng| {
+        let mut ctx = Context::new();
+        let mut audited = SolverBackend::with_options(true, true);
+        let mut plain = SolverBackend::with_options(true, false);
+
+        let mut pool: Vec<TermId> = Vec::new();
+        for _ in 0..6 {
+            while pool.len() < 3 {
+                pool.push(condition(rng, &mut ctx));
+            }
+            let mut set: Vec<TermId> = (0..1 + rng.index(3))
+                .map(|_| pool[rng.index(pool.len())])
+                .collect();
+            if rng.chance(1, 2) {
+                let fresh = condition(rng, &mut ctx);
+                pool.push(fresh);
+                set.push(fresh);
+            }
+
+            let on = audited.check_cached(&ctx, &set);
+            let off = plain.check_cached(&ctx, &set);
+            assert_eq!(on, off, "proof audit flipped the answer on {set:?}");
+        }
+
+        let stats = audited.proof_audit_stats();
+        assert!(stats.steps > 0, "auditor applied no proof steps");
+        assert!(
+            stats.models + stats.cores > 0,
+            "auditor certified no answers"
+        );
+        assert_eq!(stats.failures, 0, "{:?}", audited.proof_audit_failure());
+        assert_eq!(plain.proof_audit_stats().steps, 0, "audit state leaked");
+    });
+}
+
 /// Models returned for an unconstrained term always satisfy the
 /// condition they were asked for (soundness of model extraction).
 #[test]

@@ -13,21 +13,36 @@ cargo test -q --workspace
 echo "==> symcosim-lint --all --json"
 cargo run --release -p symcosim-lint -- --all --json > /dev/null
 
-echo "==> coverage certificate (BRANCH slice, both surfaces)"
+echo "==> coverage certificate + proof audit (BRANCH slice, both surfaces)"
 # The run certifies itself in-process (--certify exits 1 on any
-# uncovered word or double-claimed path), dumps the symcosim-report/1
-# document, and symcosim-lint re-derives the same certificate offline.
+# uncovered word or double-claimed path; --audit exits 1 if the
+# independent checker rejects any solver answer), dumps the
+# symcosim-report/1 and symcosim-audit/1 documents, and symcosim-lint
+# re-derives the certificate and re-verifies the proof artifact offline.
 report_json="$(mktemp)"
-trap 'rm -f "$report_json"' EXIT
+audit_json="$(mktemp)"
+trap 'rm -f "$report_json" "$audit_json"' EXIT
 cargo run --release -p symcosim-core --bin symcosim-cli -- \
-    verify --rv32i-only --opcode 0x63 --certify --report-json "$report_json" > /dev/null
+    verify --rv32i-only --opcode 0x63 --certify --audit \
+    --report-json "$report_json" --audit-json "$audit_json" > /dev/null
 cargo run --release -p symcosim-lint -- --coverage "$report_json" > /dev/null
+cargo run --release -p symcosim-lint -- --audit "$audit_json" > /dev/null
+# A tampered artifact must be rejected (exit 1, structured findings):
+# stripping the assumption cores leaves every conflict cone unable to
+# re-derive its conflict.
+tampered_json="$(mktemp)"
+sed -z 's/"core": \[[^]]*\]/"core": []/g' "$audit_json" > "$tampered_json"
+if cargo run --release -p symcosim-lint -- --audit "$tampered_json" > /dev/null 2>&1; then
+    echo "symcosim-lint --audit accepted a tampered artifact"; rm -f "$tampered_json"; exit 1
+fi
+rm -f "$tampered_json"
 
-echo "==> serve smoke (daemon round-trip: submit, merge, certify, shutdown)"
-# Boot the daemon on an ephemeral port, submit a sharded BRANCH job over
-# localhost, verify the merged certificate the service hands back, and
-# shut down cleanly. Everything is bounded by `timeout` so a wedged
-# daemon fails the gate instead of hanging it.
+echo "==> serve smoke (daemon round-trip: audited submit, merge, certify, shutdown)"
+# Boot the daemon on an ephemeral port, submit a sharded audited BRANCH
+# job over localhost, verify the merged certificate the service hands
+# back plus the auditor's counters in the status, and shut down cleanly.
+# Everything is bounded by `timeout` so a wedged daemon fails the gate
+# instead of hanging it.
 serve_dir="$(mktemp -d)"
 serve_bin=target/release/symcosim-serve
 cargo build --release -p symcosim-serve --bin symcosim-serve
@@ -42,10 +57,14 @@ for _ in $(seq 100); do
 done
 serve_addr="$(cat "$serve_dir/addr")"
 serve_client() { timeout 120 "$serve_bin" client --addr "$serve_addr" "$@"; }
-job="$(serve_client submit --opcode 99 --slices 2)"
+job="$(serve_client submit --opcode 99 --slices 2 --audit)"
 serve_client wait "$job" --timeout-secs 120 > "$serve_dir/status"
 grep -q '"state": "done"' "$serve_dir/status"
 grep -q '"verdict": "complete"' "$serve_dir/status"
+grep -q '"audit_failures": 0' "$serve_dir/status"
+if grep -q '"audit_steps": 0' "$serve_dir/status"; then
+    echo "serve: audited job re-checked no proof steps"; exit 1
+fi
 serve_client cert "$job" > "$serve_dir/cert"
 grep -q '"schema": "symcosim-cert/1"' "$serve_dir/cert"
 grep -q '"verdict": "complete"' "$serve_dir/cert"
@@ -54,6 +73,9 @@ wait "$serve_pid"
 
 echo "==> solver-chain equivalence (chain on == chain off, all engines)"
 cargo test -q --test chain_equivalence
+
+echo "==> proof-audit equivalence (audit on == audit off, all engines)"
+cargo test -q --test audit_equivalence
 
 echo "==> pathengine --smoke (informational, non-gating)"
 cargo run --release -p symcosim-bench --bin pathengine -- --smoke
