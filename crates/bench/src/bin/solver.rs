@@ -1,14 +1,16 @@
 //! Solver-chain benchmark: feasibility solving with the KLEE-style chain
-//! on versus off.
+//! on versus off, and with incremental solving on versus off.
 //!
 //! Runs the same frontier-drained explorations — corrected models, fork
 //! engine, generation restricted to the OP and then the BRANCH major
-//! opcode at instruction limit 2 — twice each: once through the solver
+//! opcode at instruction limit 2 — three times each: through the solver
 //! chain (independence slicing, counterexample-core subsumption, cached
-//! model evaluation) and once solving every query set directly. The
-//! chain never changes an answer, so the two reports of each sweep are
-//! asserted identical; the interesting numbers are the SAT `solve()`
-//! call count and the wall time.
+//! model evaluation) with incremental solving (`chain_on`), through the
+//! chain with incremental solving disabled (`incremental_off`), and
+//! solving every query set directly (`chain_off`). Neither the chain nor
+//! incrementality changes an answer, so all three reports of each sweep
+//! are asserted identical; the interesting numbers are the SAT `solve()`
+//! call count, the assumption-prefix reuse rate, and the wall time.
 //!
 //! Emits `BENCH_solver.json` (a `symcosim-bench/1` document) into the
 //! working directory and prints the same numbers to stdout. The
@@ -37,13 +39,15 @@ struct Sweep {
     opcode: u32,
     chain_on: Measurement,
     chain_off: Measurement,
+    incremental_off: Measurement,
     solves_saved_pct: f64,
     wall_speedup: f64,
+    incremental_speedup: f64,
 }
 
 const INSTR_LIMIT: u32 = 2;
 
-fn sweep_config(opcode: u32, chain: bool, max_paths: usize) -> SessionConfig {
+fn sweep_config(opcode: u32, chain: bool, incremental: bool, max_paths: usize) -> SessionConfig {
     let mut config = SessionConfig::rv32i_only();
     config.stop_at_first_mismatch = false;
     config.constraint = InstrConstraint::OnlyOpcode(opcode);
@@ -53,14 +57,15 @@ fn sweep_config(opcode: u32, chain: bool, max_paths: usize) -> SessionConfig {
     config.engine = EngineKind::Fork;
     // Isolate feasibility solving: per-path test-vector emission re-solves
     // the full path condition on a fresh solver outside the chain, a cost
-    // identical in both modes.
+    // identical in all modes.
     config.emit_test_vectors = false;
     config.solver_chain = chain;
+    config.incremental = incremental;
     config
 }
 
-fn run_once(opcode: u32, chain: bool, max_paths: usize) -> Measurement {
-    let config = sweep_config(opcode, chain, max_paths);
+fn run_once(opcode: u32, chain: bool, incremental: bool, max_paths: usize) -> Measurement {
+    let config = sweep_config(opcode, chain, incremental, max_paths);
     let start = Instant::now();
     let report = VerifySession::new(config)
         .expect("valid configuration")
@@ -72,16 +77,22 @@ fn run_once(opcode: u32, chain: bool, max_paths: usize) -> Measurement {
 }
 
 fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
-    let chain_off = run_once(opcode, false, max_paths);
-    let chain_on = run_once(opcode, true, max_paths);
+    let chain_off = run_once(opcode, false, true, max_paths);
+    let incremental_off = run_once(opcode, true, false, max_paths);
+    let chain_on = run_once(opcode, true, true, max_paths);
 
-    // The chain only changes how answers are computed, never what they
-    // are: the serialised reports (findings, paths, coverage) must match
-    // bit for bit.
+    // The chain and incremental solving only change how answers are
+    // computed, never what they are: the serialised reports (findings,
+    // paths, coverage) must match bit for bit across all three modes.
     assert_eq!(
         chain_on.report.to_json(),
         chain_off.report.to_json(),
         "chain-on report diverged from chain-off on the {name} sweep"
+    );
+    assert_eq!(
+        chain_on.report.to_json(),
+        incremental_off.report.to_json(),
+        "incremental solving changed the report on the {name} sweep"
     );
 
     let off_solves = chain_off.report.solver_stats.solves;
@@ -92,6 +103,7 @@ fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
         100.0 * (off_solves.saturating_sub(on_solves)) as f64 / off_solves as f64
     };
     let wall_speedup = chain_off.wall_ms as f64 / (chain_on.wall_ms as f64).max(1.0);
+    let incremental_speedup = incremental_off.wall_ms as f64 / (chain_on.wall_ms as f64).max(1.0);
 
     println!(
         "{name:<8} {} paths  chain off: {:>6} solves {:>7} ms   \
@@ -102,6 +114,11 @@ fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
         on_solves,
         chain_on.wall_ms,
     );
+    println!(
+        "         incremental off: {:>7} ms   incremental on: {:>7} ms   \
+         ({incremental_speedup:.2}x, {} prefix reuse hits)",
+        incremental_off.wall_ms, chain_on.wall_ms, chain_on.report.chain_stats.prefix_reuse_hits,
+    );
     println!("         chain: {}", chain_on.report.chain_stats);
 
     Sweep {
@@ -109,8 +126,10 @@ fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
         opcode,
         chain_on,
         chain_off,
+        incremental_off,
         solves_saved_pct,
         wall_speedup,
+        incremental_speedup,
     }
 }
 
@@ -121,6 +140,9 @@ fn write_mode(w: &mut JsonWriter, name: &str, m: &Measurement) {
     w.number_field("findings", m.report.findings.len() as u64);
     w.number_field("solves", m.report.solver_stats.solves);
     w.number_field("conflicts", m.report.solver_stats.conflicts);
+    w.number_field("restarts", m.report.solver_stats.restarts);
+    w.number_field("db_reductions", m.report.solver_stats.db_reductions);
+    w.number_field("learned_kept", m.report.solver_stats.learned_kept);
     w.number_field("cache_hits", m.report.query_cache.hits);
     w.number_field("cache_misses", m.report.query_cache.misses);
     let chain = &m.report.chain_stats;
@@ -131,6 +153,7 @@ fn write_mode(w: &mut JsonWriter, name: &str, m: &Measurement) {
     w.number_field("core_hits", chain.core_hits);
     w.number_field("model_hits", chain.model_hits);
     w.number_field("solves", chain.solves);
+    w.number_field("prefix_reuse_hits", chain.prefix_reuse_hits);
     w.number_field("max_slice", chain.max_slice);
     w.close_object();
     w.close_object();
@@ -171,8 +194,10 @@ fn main() {
         w.string_field("opcode", &format!("{:#04x}", s.opcode));
         write_mode(w, "chain_on", &s.chain_on);
         write_mode(w, "chain_off", &s.chain_off);
+        write_mode(w, "incremental_off", &s.incremental_off);
         w.float_field("solves_saved_pct", s.solves_saved_pct);
         w.float_field("wall_speedup", s.wall_speedup);
+        w.float_field("incremental_speedup", s.incremental_speedup);
         w.bool_field("identical_reports", true);
         w.close_object();
     });

@@ -27,7 +27,7 @@ USAGE:
                         [--jobs N] [--seed N] [--engine fork|reexec] [--lint]
                         [--opcode HEX] [--certify] [--slices N]
                         [--report-json PATH] [--no-solver-chain]
-                        [--audit] [--audit-json PATH]
+                        [--no-incremental] [--audit] [--audit-json PATH]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
@@ -53,6 +53,9 @@ USAGE:
         processes). --no-solver-chain bypasses the KLEE-style solver
         chain (independence slicing, counterexample and model caches) —
         the report is identical, only slower; for benchmarking.
+        --no-incremental makes every SAT query restart from an empty
+        trail instead of reusing the established assumption prefix —
+        again identical, only slower; for benchmarking.
         --audit turns on proof-carrying solving: the SAT solver logs
         clausal (RUP) proofs and an independent checker certifies every
         answer — models by evaluation, UNSAT cores by conflict-cone
@@ -63,7 +66,7 @@ USAGE:
 
     symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
                         [--engine fork|reexec] [--fuzz] [--hybrid]
-                        [--no-solver-chain]
+                        [--no-solver-chain] [--no-incremental]
         Seed one of the paper's Table II faults into the core and hunt it
         symbolically (default), by fuzzing (--fuzz), or hybrid (--hybrid).
 
@@ -204,6 +207,9 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if args.iter().any(|a| a == "--no-solver-chain") {
         config.solver_chain = false;
+    }
+    if args.iter().any(|a| a == "--no-incremental") {
+        config.incremental = false;
     }
     let certify = args.iter().any(|a| a == "--certify");
     let report_json = flag_string(args, "--report-json")?;
@@ -351,6 +357,9 @@ fn cmd_inject(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if args.iter().any(|a| a == "--no-solver-chain") {
         session.solver_chain = false;
+    }
+    if args.iter().any(|a| a == "--no-incremental") {
+        session.incremental = false;
     }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
 

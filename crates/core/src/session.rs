@@ -119,6 +119,11 @@ pub struct SessionConfig {
     /// [`VerifyReport::proof_audit`] and the offline-verifiable conflict
     /// cones in [`VerifyReport::proof_audit_units`].
     pub audit: bool,
+    /// Incremental solving: let the solver retain the propagation trail
+    /// of the assumption prefix consecutive feasibility queries share.
+    /// Answers, reports and certificates are byte-identical either way —
+    /// the CLI's `--no-incremental` flag disables it for benchmarking.
+    pub incremental: bool,
 }
 
 impl SessionConfig {
@@ -147,6 +152,7 @@ impl SessionConfig {
             solver_chain: true,
             slice: None,
             audit: false,
+            incremental: true,
         }
     }
 
@@ -176,6 +182,7 @@ impl SessionConfig {
             solver_chain: true,
             slice: None,
             audit: false,
+            incremental: true,
         }
     }
 }
@@ -467,6 +474,8 @@ fn sum_worker_stats(
         solver.conflicts += worker.stats.conflicts;
         solver.restarts += worker.stats.restarts;
         solver.learnt_clauses += worker.stats.learnt_clauses;
+        solver.db_reductions += worker.stats.db_reductions;
+        solver.learned_kept += worker.stats.learned_kept;
         cache = cache.merge(worker.cache);
         chain = chain.merge(worker.chain);
         audit = audit.merge(worker.audit);
@@ -489,6 +498,7 @@ fn engine_config(config: &SessionConfig) -> EngineConfig {
         max_resident_snapshots: EngineConfig::DEFAULT_MAX_RESIDENT_SNAPSHOTS,
         solver_chain: config.solver_chain,
         audit: config.audit,
+        incremental: config.incremental,
     }
 }
 

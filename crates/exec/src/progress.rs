@@ -90,10 +90,11 @@ impl ProgressEvent {
                 "{{\"event\":\"worker_done\",\"worker\":{worker},\"paths\":{paths},\
                  \"busy_ms\":{busy_ms},\"solves\":{},\"decisions\":{},\"propagations\":{},\
                  \"conflicts\":{},\"restarts\":{},\"learnt_clauses\":{},\
+                 \"db_reductions\":{},\"learned_kept\":{},\
                  \"cache_hits\":{},\"cache_misses\":{},\
                  \"chain_queries\":{},\"chain_slices\":{},\"chain_slice_hits\":{},\
                  \"chain_core_hits\":{},\"chain_model_hits\":{},\"chain_solves\":{},\
-                 \"chain_max_slice\":{},\
+                 \"chain_prefix_reuse_hits\":{},\"chain_max_slice\":{},\
                  \"audit_steps\":{},\"audit_models\":{},\"audit_cores\":{},\
                  \"audit_bytes\":{},\"audit_failures\":{}}}",
                 solver.solves,
@@ -102,6 +103,8 @@ impl ProgressEvent {
                 solver.conflicts,
                 solver.restarts,
                 solver.learnt_clauses,
+                solver.db_reductions,
+                solver.learned_kept,
                 cache.hits,
                 cache.misses,
                 chain.queries,
@@ -110,6 +113,7 @@ impl ProgressEvent {
                 chain.core_hits,
                 chain.model_hits,
                 chain.solves,
+                chain.prefix_reuse_hits,
                 chain.max_slice,
                 audit.steps,
                 audit.models,
@@ -185,6 +189,8 @@ mod tests {
             conflicts: 104,
             restarts: 105,
             learnt_clauses: 106,
+            db_reductions: 107,
+            learned_kept: 108,
         };
         let cache = QueryCacheStats {
             hits: 201,
@@ -197,6 +203,7 @@ mod tests {
             core_hits: 304,
             model_hits: 305,
             solves: 306,
+            prefix_reuse_hits: 308,
             max_slice: 307,
         };
         let audit = ProofAuditStats {
@@ -228,7 +235,7 @@ mod tests {
         }
         // And the round-trip parsers pin the Display forms themselves to
         // the full field sets.
-        assert_eq!(printed.matches('=').count(), 6 + 2 + 7 + 5);
+        assert_eq!(printed.matches('=').count(), 8 + 2 + 8 + 5);
         assert_eq!(cache.to_string().parse::<QueryCacheStats>(), Ok(cache));
         assert_eq!(chain.to_string().parse::<SolverChainStats>(), Ok(chain));
         assert_eq!(audit.to_string().parse::<ProofAuditStats>(), Ok(audit));

@@ -1,4 +1,15 @@
-//! The CDCL search engine.
+//! The CDCL search engine: a Glucose-class incremental solver.
+//!
+//! Beyond the classic MiniSat loop (two-watched literals, first-UIP
+//! learning, VSIDS, phase saving), the solver keeps per-learnt-clause
+//! LBD scores, reduces the clause database by LBD + activity (logging
+//! `Delete` proof events so audited runs stay checkable), restarts
+//! dynamically on fast/slow exponential moving averages of conflict
+//! LBDs (with the Luby sequence as a forced backstop), minimizes learnt
+//! clauses recursively, and — the incremental part — retains the
+//! propagation trail of a shared assumption *prefix* across consecutive
+//! [`Solver::solve`] calls, so a stream of queries that grow one path
+//! condition at a time re-propagates only the new suffix.
 
 use std::fmt;
 
@@ -18,6 +29,16 @@ pub enum SolveResult {
 }
 
 /// Cumulative search statistics, exposed for the benchmark harness.
+///
+/// # Reset semantics
+///
+/// Every counter except `learnt_clauses` is cumulative over the
+/// solver's lifetime: it only grows, across [`Solver::solve`] calls,
+/// clause additions, and restarts, and is never reset by any API. Two
+/// snapshots therefore always satisfy `later.field >= earlier.field`
+/// field by field. `learnt_clauses` is the exception: it is a *gauge*
+/// of the learnt clauses currently live, computed at [`Solver::stats`]
+/// time, and goes down when clause-database reduction deletes clauses.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Number of `solve` calls.
@@ -30,21 +51,30 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Restarts performed.
     pub restarts: u64,
-    /// Learnt clauses currently in the database.
+    /// Learnt clauses currently in the database (a gauge, not a
+    /// counter — see the struct docs).
     pub learnt_clauses: u64,
+    /// Clause-database reductions performed.
+    pub db_reductions: u64,
+    /// Learnt clauses that survived database reductions, summed over
+    /// all reductions.
+    pub learned_kept: u64,
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "solves={} decisions={} propagations={} conflicts={} restarts={} learnt={}",
+            "solves={} decisions={} propagations={} conflicts={} restarts={} learnt={} \
+             db_reductions={} learned_kept={}",
             self.solves,
             self.decisions,
             self.propagations,
             self.conflicts,
             self.restarts,
-            self.learnt_clauses
+            self.learnt_clauses,
+            self.db_reductions,
+            self.learned_kept
         )
     }
 }
@@ -55,6 +85,10 @@ struct Clause {
     learnt: bool,
     deleted: bool,
     activity: f64,
+    /// Literal block distance: the number of distinct decision levels in
+    /// the clause when it was learnt. Low-LBD ("glue") clauses are the
+    /// ones worth keeping (Audemard & Simon).
+    lbd: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -63,12 +97,40 @@ struct Watch {
     blocker: Lit,
 }
 
+/// Smoothing factor of the fast conflict-LBD average (≈ last 32
+/// conflicts).
+const EMA_FAST_ALPHA: f64 = 1.0 / 32.0;
+/// Smoothing factor of the slow conflict-LBD average (≈ the whole run).
+const EMA_SLOW_ALPHA: f64 = 1.0 / 4096.0;
+/// Restart when the fast average exceeds the slow one by this margin:
+/// recent conflicts are producing markedly worse (higher-LBD) clauses
+/// than the run as a whole, so the current search region is poor.
+const RESTART_MARGIN: f64 = 1.25;
+/// Minimum conflicts between dynamic restarts, which also rides out the
+/// EMA warm-up.
+const MIN_RESTART_CONFLICTS: u64 = 50;
+
+/// Conflicts a single `solve` call tolerates in cursor-walk decision
+/// mode (see `solve_under`) before falling back to the activity heap:
+/// a query whose candidate model keeps conflicting is not a small
+/// perturbation of the last one, and VSIDS should guide it.
+const WALK_CONFLICT_BUDGET: u64 = 8;
+
+/// `lit_redundant` DFS verdicts, memoised per conflict analysis.
+const RED_REMOVABLE: u8 = 1;
+const RED_POISON: u8 = 2;
+
 /// A conflict-driven clause-learning SAT solver.
 ///
 /// See the [crate documentation](crate) for an end-to-end example. Clauses
 /// may be added at any time between `solve` calls; learnt clauses persist,
 /// making repeated [`Solver::solve`] calls under different assumptions cheap
 /// (this is how the symbolic engine checks path feasibility incrementally).
+///
+/// On top of learnt-clause persistence, consecutive `solve` calls that
+/// share a leading run of assumptions reuse the propagation trail of
+/// that shared prefix (see [`Solver::solve_under`]), so only the suffix
+/// is re-propagated.
 #[derive(Debug)]
 pub struct Solver {
     clauses: Vec<Clause>,
@@ -83,6 +145,8 @@ pub struct Solver {
     activity: Vec<f64>,
     var_inc: f64,
     cla_inc: f64,
+    var_decay: f64,
+    cla_decay: f64,
     heap: Vec<Var>,
     heap_index: Vec<usize>,
     seen: Vec<bool>,
@@ -91,6 +155,55 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     proof: Option<Box<ProofLog>>,
+    /// Generation counter shared by the stamped scratch arrays below.
+    stamp: u64,
+    /// Per-decision-level stamps (LBD computation, minimization level
+    /// set). Grown on demand: levels can exceed the variable count when
+    /// duplicate assumptions open empty levels.
+    level_stamp: Vec<u64>,
+    /// Per-variable memo of `lit_redundant` verdicts, valid while
+    /// `red_gen[v] == stamp`.
+    red_gen: Vec<u64>,
+    red_val: Vec<u8>,
+    /// Fast/slow exponential moving averages of learnt-clause LBD, for
+    /// dynamic restarts. Seeded from the first conflict.
+    ema_fast: f64,
+    ema_slow: f64,
+    ema_seeded: bool,
+    /// The assumption list of the previous `solve` call, and how many of
+    /// its leading decision levels are still established on the trail
+    /// (non-zero only after a Sat answer). Together they let the next
+    /// call keep the longest common assumption prefix instead of
+    /// re-propagating from scratch.
+    prev_assumptions: Vec<Lit>,
+    assumption_levels: usize,
+    /// Assumption levels the most recent `solve` call reused.
+    reused_levels: usize,
+    /// Whether `solve` may retain assumption prefixes at all (the
+    /// benchmark off-switch; `solve_under` ignores it).
+    reuse_enabled: bool,
+    /// Learnt-DB size slack before a reduction triggers (on top of the
+    /// problem-clause count). Tunable so tests can force reductions.
+    reduce_base: usize,
+    /// Per-variable occurrence lists over the *problem* clauses, for
+    /// [model completion](Solver::try_model_completion): `occurs[v]`
+    /// holds the indices of the non-learnt clauses containing variable
+    /// `v` in either polarity.
+    occurs: Vec<Vec<u32>>,
+    /// How many leading entries of `clauses` are known satisfied by
+    /// `model` — the completion watermark. Clauses past it were added
+    /// after the model was last verified and must be (re)checked.
+    verified_clauses: usize,
+    /// Generation counter of the completion overlay below.
+    mgen: u64,
+    /// Candidate-model overlay: `mval[v]` overrides `model[v]` while
+    /// `mval_stamp[v] == mgen`, so a failed completion attempt discards
+    /// its tentative values for free.
+    mval: Vec<u8>,
+    mval_stamp: Vec<u64>,
+    /// Scratch worklist of overlay variables (doubles as the commit
+    /// list on success).
+    mtouched: Vec<u32>,
 }
 
 const HEAP_ABSENT: usize = usize::MAX;
@@ -117,6 +230,8 @@ impl Solver {
             activity: Vec::new(),
             var_inc: 1.0,
             cla_inc: 1.0,
+            var_decay: 0.95,
+            cla_decay: 0.999,
             heap: Vec::new(),
             heap_index: Vec::new(),
             seen: Vec::new(),
@@ -125,6 +240,24 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             proof: None,
+            stamp: 0,
+            level_stamp: Vec::new(),
+            red_gen: Vec::new(),
+            red_val: Vec::new(),
+            ema_fast: 0.0,
+            ema_slow: 0.0,
+            ema_seeded: false,
+            prev_assumptions: Vec::new(),
+            assumption_levels: 0,
+            reused_levels: 0,
+            reuse_enabled: true,
+            reduce_base: 2000,
+            occurs: Vec::new(),
+            verified_clauses: 0,
+            mgen: 0,
+            mval: Vec::new(),
+            mval_stamp: Vec::new(),
+            mtouched: Vec::new(),
         }
     }
 
@@ -183,7 +316,12 @@ impl Solver {
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.seen.push(false);
+        self.red_gen.push(0);
+        self.red_val.push(0);
         self.heap_index.push(HEAP_ABSENT);
+        self.occurs.push(Vec::new());
+        self.mval.push(UNDEF);
+        self.mval_stamp.push(0);
         self.heap_insert(var);
         var
     }
@@ -191,6 +329,39 @@ impl Solver {
     /// Number of variables allocated so far.
     pub fn num_vars(&self) -> usize {
         self.assign.len()
+    }
+
+    /// Seeds the saved phase of `var` — the polarity it will be decided
+    /// with, and the value [model completion](Solver::solve_under) uses
+    /// for it while it is unassigned and not yet covered by a model.
+    ///
+    /// Clients that know a variable's intended semantics (e.g. a Tseitin
+    /// gate output whose input values are already known) can seed it so
+    /// a freshly encoded cone is consistent with the current candidate
+    /// values, keeping the cheap completion path alive across encoding
+    /// growth.
+    /// Purely a heuristic hint: it never affects soundness or verdicts,
+    /// only which model a satisfiable query settles on and how fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not created by [`Solver::new_var`].
+    pub fn set_phase(&mut self, var: Var, value: bool) {
+        self.phase[var.index()] = value;
+    }
+
+    /// The value `lit` currently takes under the partial assignment,
+    /// falling back to its variable's saved phase when unassigned.
+    ///
+    /// This is the candidate value [model
+    /// completion](Solver::solve_under) would use for a variable no
+    /// model covers yet; gate-output seeding via [`Solver::set_phase`]
+    /// computes from these.
+    pub fn phase_value(&self, lit: Lit) -> bool {
+        match self.lit_value(lit) {
+            Some(value) => value,
+            None => self.phase[lit.var().index()] == lit.is_positive(),
+        }
     }
 
     /// Number of problem (non-learnt) clauses added.
@@ -201,7 +372,8 @@ impl Solver {
             .count()
     }
 
-    /// Search statistics accumulated so far.
+    /// Search statistics accumulated so far (see [`SolverStats`] for
+    /// which fields are cumulative counters and which are gauges).
     pub fn stats(&self) -> SolverStats {
         let mut stats = self.stats;
         stats.learnt_clauses = self
@@ -210,6 +382,56 @@ impl Solver {
             .filter(|c| c.learnt && !c.deleted)
             .count() as u64;
         stats
+    }
+
+    /// Sets the VSIDS variable- and clause-activity decay factors, each
+    /// in the open interval (0, 1). Smaller values focus the search
+    /// harder on recent conflicts. Activity rescaling (against overflow)
+    /// is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either factor is outside (0, 1).
+    pub fn set_decay(&mut self, var_decay: f64, cla_decay: f64) {
+        assert!(
+            var_decay > 0.0 && var_decay < 1.0,
+            "variable decay must be in (0, 1), got {var_decay}"
+        );
+        assert!(
+            cla_decay > 0.0 && cla_decay < 1.0,
+            "clause decay must be in (0, 1), got {cla_decay}"
+        );
+        self.var_decay = var_decay;
+        self.cla_decay = cla_decay;
+    }
+
+    /// Sets the learnt-database slack before a reduction triggers: a
+    /// reduction runs (at a restart) once the live learnt-clause count
+    /// exceeds `base` plus the problem-clause count. The default is
+    /// 2000; tests lower it to exercise reductions on small instances.
+    pub fn set_reduce_db_base(&mut self, base: usize) {
+        self.reduce_base = base;
+    }
+
+    /// Enables or disables assumption-prefix retention in
+    /// [`Solver::solve`] (on by default). Disabling makes every solve
+    /// start from decision level zero, the historical behaviour —
+    /// answers are identical either way, which is what the differential
+    /// fuzz suites pin down.
+    pub fn set_assumption_reuse(&mut self, enabled: bool) {
+        self.reuse_enabled = enabled;
+    }
+
+    /// Whether assumption-prefix retention is enabled.
+    pub fn assumption_reuse(&self) -> bool {
+        self.reuse_enabled
+    }
+
+    /// How many leading assumption decision levels the most recent
+    /// [`Solver::solve`] call retained from its predecessor instead of
+    /// re-propagating them.
+    pub fn reused_assumption_levels(&self) -> usize {
+        self.reused_levels
     }
 
     /// Adds a clause (a disjunction of literals).
@@ -238,28 +460,29 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        // Clause insertion happens at the top level only.
-        self.cancel_until(0);
         lits.sort_unstable();
         lits.dedup();
         if let Some(log) = self.proof.as_mut() {
             log.axiom(&lits);
         }
+        // Tautology: contains l and ¬l (adjacent after sorting).
+        if lits.windows(2).any(|pair| pair[0] == !pair[1]) {
+            return true;
+        }
+        // Simplify against *level-zero* assignments only: those are the
+        // permanent facts. Assignments on a retained assumption trail
+        // (see `solve_under`) hold merely until the next backtrack, so
+        // they must not leak into clause contents.
         let mut simplified = Vec::with_capacity(lits.len());
-        let mut prev: Option<Lit> = None;
         for lit in lits {
-            if let Some(p) = prev {
-                if p == !lit {
-                    return true; // tautology: contains l and ¬l (adjacent after sort)
-                }
-            }
             match self.lit_value(lit) {
-                Some(true) => return true, // already satisfied at top level
-                Some(false) => {}          // drop falsified literal
-                None => {
-                    simplified.push(lit);
-                    prev = Some(lit);
+                Some(value) if self.level[lit.var().index()] == 0 => {
+                    if value {
+                        return true; // already satisfied at top level
+                    }
+                    // drop falsified literal
                 }
+                _ => simplified.push(lit),
             }
         }
         match simplified.len() {
@@ -271,6 +494,11 @@ impl Solver {
                 false
             }
             1 => {
+                // A new top-level fact: assert it at level zero, giving
+                // up any retained assumption trail.
+                self.cancel_until(0);
+                self.assumption_levels = 0;
+                debug_assert!(self.lit_value(simplified[0]).is_none());
                 self.unchecked_enqueue(simplified[0], None);
                 if self.propagate().is_some() {
                     self.ok = false;
@@ -281,6 +509,30 @@ impl Solver {
                 self.ok
             }
             _ => {
+                // Attach without disturbing a retained assumption trail
+                // when possible: the watch invariant needs two non-false
+                // literals in the watch slots, and a clause that is unit
+                // or conflicting under the current partial assignment
+                // must not be attached silently (its due propagation
+                // would be missed). Both conditions hold exactly when
+                // two non-false literals exist.
+                let mut nonfalse = 0;
+                for i in 0..simplified.len() {
+                    if self.lit_value(simplified[i]) != Some(false) {
+                        simplified.swap(nonfalse, i);
+                        nonfalse += 1;
+                        if nonfalse == 2 {
+                            break;
+                        }
+                    }
+                }
+                if nonfalse < 2 {
+                    // Unit or conflicting under the retained trail:
+                    // retreat to the top level, where (after the level-0
+                    // simplification above) every literal is unassigned.
+                    self.cancel_until(0);
+                    self.assumption_levels = 0;
+                }
                 self.attach_clause(simplified, false);
                 true
             }
@@ -292,25 +544,72 @@ impl Solver {
     /// Assumptions are literals forced true for this call only. After
     /// [`SolveResult::Sat`], the model is available via
     /// [`Solver::model_value`] until mutated again.
+    ///
+    /// When assumption reuse is on (the default, see
+    /// [`Solver::set_assumption_reuse`]), the call retains the
+    /// propagation trail of the longest assumption prefix shared with
+    /// the previous call — see [`Solver::solve_under`], to which this
+    /// delegates.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let max_prefix = if self.reuse_enabled { usize::MAX } else { 0 };
+        self.solve_under(assumptions, max_prefix)
+    }
+
+    /// Solves under `assumptions`, retaining at most `max_prefix`
+    /// leading assumption decision levels from the previous call.
+    ///
+    /// This is the incremental entry point: consecutive calls whose
+    /// assumption lists share a leading run (as feasibility queries
+    /// along one symbolic path do — each query appends the new branch
+    /// condition) skip re-propagating the shared prefix entirely. The
+    /// retained trail levels were established from literally equal
+    /// assumption literals, so everything on them is still implied;
+    /// clause additions between calls invalidate retention themselves
+    /// (see [`Solver::add_clause`]). Retention never changes an answer
+    /// — only which model a Sat answer happens to find — because
+    /// conflicts are detected by the watch lists, which backtracking
+    /// does not touch.
+    ///
+    /// `max_prefix = 0` forces the historical from-scratch behaviour;
+    /// [`Solver::solve`] passes `usize::MAX` (or 0 when reuse is
+    /// disabled). The number of levels actually reused is reported by
+    /// [`Solver::reused_assumption_levels`].
+    pub fn solve_under(&mut self, assumptions: &[Lit], max_prefix: usize) -> SolveResult {
         self.stats.solves += 1;
         self.core.clear();
+        self.reused_levels = 0;
         if !self.ok {
             return SolveResult::Unsat;
         }
-        self.cancel_until(0);
-        if self.propagate().is_some() {
-            self.ok = false;
-            if let Some(log) = self.proof.as_mut() {
-                log.derive_unhinted(&[]);
-            }
-            return SolveResult::Unsat;
-        }
 
-        let mut conflicts_until_restart = self.restart_budget();
+        // Longest still-established assumption prefix shared with the
+        // previous call.
+        let bound = max_prefix
+            .min(self.assumption_levels)
+            .min(assumptions.len())
+            .min(self.decision_level());
+        let mut reuse = 0;
+        while reuse < bound && self.prev_assumptions[reuse] == assumptions[reuse] {
+            reuse += 1;
+        }
+        self.cancel_until(reuse);
+        self.reused_levels = reuse;
+        // Invalidated until this call ends with the prefix re-established.
+        self.assumption_levels = 0;
+        self.prev_assumptions.clear();
+        self.prev_assumptions.extend_from_slice(assumptions);
+
+        let mut restart_budget = self.restart_budget();
+        let mut conflicts_since_restart = 0u64;
+        let mut completion_tried = false;
+        let mut walk_cursor = 0usize;
+        let mut solve_conflicts = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                solve_conflicts += 1;
+                walk_cursor = 0;
                 if self.decision_level() == 0 {
                     self.ok = false;
                     if let Some(log) = self.proof.as_mut() {
@@ -318,7 +617,8 @@ impl Solver {
                     }
                     return SolveResult::Unsat;
                 }
-                let (learnt, backjump) = self.analyze(confl);
+                let (learnt, backjump, lbd) = self.analyze(confl);
+                self.note_learnt_lbd(lbd);
                 // A conflict forcing us below the assumption prefix means
                 // the assumptions themselves are inconsistent with the
                 // formula once the asserting literal contradicts one.
@@ -347,16 +647,31 @@ impl Solver {
                     _ => {
                         let asserting = learnt[0];
                         let cref = self.attach_clause(learnt, true);
+                        self.clauses[cref].lbd = lbd;
                         self.bump_clause(cref);
                         self.unchecked_enqueue(asserting, Some(cref));
                     }
                 }
                 self.decay_activities();
-                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                // The conflict taught the search something the failed
+                // completion attempt did not know; once it is propagated
+                // to a fixpoint, completion deserves another try.
+                completion_tried = false;
             } else {
-                if conflicts_until_restart == 0 {
+                // Restart when the Luby budget runs out (forced backstop)
+                // or when recent conflicts yield markedly worse clauses
+                // than the run average (Glucose's dynamic policy).
+                let forced = conflicts_since_restart >= restart_budget;
+                let drifting = conflicts_since_restart >= MIN_RESTART_CONFLICTS
+                    && self.ema_fast > RESTART_MARGIN * self.ema_slow;
+                if forced || drifting {
                     self.stats.restarts += 1;
-                    conflicts_until_restart = self.restart_budget();
+                    restart_budget = self.restart_budget();
+                    conflicts_since_restart = 0;
+                    walk_cursor = 0;
+                    // Re-anchor the fast average so one bad stretch does
+                    // not cause a burst of back-to-back restarts.
+                    self.ema_fast = self.ema_slow;
                     self.cancel_until(0);
                     self.maybe_reduce_db();
                     continue;
@@ -374,6 +689,7 @@ impl Solver {
                             self.analyze_final(p);
                             self.cancel_until(0);
                             self.minimize_core();
+                            self.restore_model_phases();
                             return SolveResult::Unsat;
                         }
                         None => {
@@ -383,11 +699,66 @@ impl Solver {
                         }
                     }
                 }
-                match self.pick_branch_var() {
+                // All assumptions are established and propagation is at a
+                // fixpoint: before paying for a search that assigns every
+                // variable in the (shared, ever-growing) clause database,
+                // try to patch the last verified model with the trail
+                // values. For the query streams symbolic execution
+                // produces — each query a small perturbation of an
+                // earlier one — re-checking just the clauses around the
+                // changed variables usually certifies a model outright,
+                // at a cost proportional to the change, not the database.
+                // The attempt is re-armed after every conflict: a few
+                // decisions and learnt clauses repair the region the
+                // completion wedged on, and the next attempt snaps the
+                // rest of the model into place without the search ever
+                // assigning the full variable set.
+                if !completion_tried && self.decision_level() >= assumptions.len() {
+                    completion_tried = true;
+                    if self.try_model_completion() {
+                        self.cancel_until(assumptions.len());
+                        self.assumption_levels = self.decision_level();
+                        return SolveResult::Sat;
+                    }
+                }
+                // After a failed completion attempt the saved phases point
+                // at the candidate model, so decision *order* carries no
+                // information — any conflict-free extension lands on the
+                // same total assignment. Walk the variables by index with
+                // a cursor instead of popping the activity heap: the
+                // variables stay in the heap (so a later backtrack has
+                // nothing to reinsert), and a conflict falls back into
+                // regular conflict analysis, re-arms completion, and
+                // resets the walk. A query that keeps conflicting is not
+                // the near-model perturbation this mode bets on, so past
+                // a small conflict budget decisions revert to VSIDS.
+                let walking = completion_tried
+                    && solve_conflicts < WALK_CONFLICT_BUDGET
+                    && self.decision_level() >= assumptions.len();
+                let next_var = if walking {
+                    loop {
+                        if walk_cursor >= self.num_vars() {
+                            break None;
+                        }
+                        let var = Var(walk_cursor as u32);
+                        if self.var_value(var).is_none() {
+                            break Some(var);
+                        }
+                        walk_cursor += 1;
+                    }
+                } else {
+                    self.pick_branch_var()
+                };
+                match next_var {
                     None => {
-                        // All variables assigned: model found.
+                        // All variables assigned: model found. Keep the
+                        // assumption levels established for the next call
+                        // (levels 1..=n correspond 1:1 to the assumption
+                        // list); drop only the search decisions above.
                         self.model = self.assign.clone();
-                        self.cancel_until(0);
+                        self.verified_clauses = self.clauses.len();
+                        self.cancel_until(assumptions.len());
+                        self.assumption_levels = self.decision_level();
                         return SolveResult::Sat;
                     }
                     Some(var) => {
@@ -459,6 +830,210 @@ impl Solver {
         self.var_value(lit.var()).map(|v| v == lit.is_positive())
     }
 
+    /// Re-seeds the saved phases of every variable covered by the last
+    /// model with its model value.
+    ///
+    /// Called on assumption-refuted Unsat exits: the conflict-driven
+    /// establishment loop scrambles saved phases with values from failed
+    /// search branches, which would otherwise steer the next (typically
+    /// satisfiable, typically near the last model) query's search
+    /// decisions away from the model it is perturbing. Variables created
+    /// after the last model keep their current phases — for blasted gate
+    /// variables those are the semantically seeded values (see
+    /// [`Solver::set_phase`]).
+    fn restore_model_phases(&mut self) {
+        for (var, &value) in self.model.iter().enumerate() {
+            match value {
+                0 => self.phase[var] = false,
+                1 => self.phase[var] = true,
+                _ => {}
+            }
+        }
+    }
+
+    /// Tries to extend the current (assumption-complete, propagated)
+    /// partial assignment to a full model by *incremental maintenance*
+    /// of the last verified model, without touching the trail.
+    ///
+    /// The candidate assignment is the last model with the trail values
+    /// overlaid (plus saved phases for variables created since). Every
+    /// clause the last model satisfied and the overlay does not touch
+    /// is still satisfied, so only two clause sets need checking: the
+    /// clauses added since the model was verified (the
+    /// `verified_clauses` watermark), and — via the per-variable
+    /// occurrence lists — the clauses containing a *changed* variable.
+    ///
+    /// Repair is forced-first, mirroring unit propagation: an
+    /// unsatisfied clause with exactly one repair candidate (an
+    /// unassigned variable not yet fixed this attempt) flips it
+    /// immediately, while a clause with several candidates is deferred.
+    /// Only when no forced repair remains is a deferred clause decided —
+    /// by flipping its newest candidate, which for Tseitin clauses is
+    /// the gate output, so the decision recomputes a stale gate from its
+    /// inputs. Every flipped variable joins the worklist so its own
+    /// occurrences are re-checked in turn. Each variable is fixed at
+    /// most once per attempt, so the repair terminates and its cost is
+    /// proportional to the *change cone* of the query, not the clause
+    /// database.
+    ///
+    /// On success the overlay is committed to [`Solver::model`] — the
+    /// answer is a directly verified model no matter how the candidate
+    /// values got there. On failure the overlay is discarded (it lives
+    /// behind a generation stamp) and the regular CDCL search runs.
+    /// Learnt clauses are never checked: each is a RUP consequence of
+    /// the problem clauses, so a total assignment satisfying the latter
+    /// satisfies them too.
+    fn try_model_completion(&mut self) -> bool {
+        if !self.complete_model() {
+            // Leave the search a map of where this attempt got to: point
+            // the saved phases at the candidate model (last model plus
+            // the partial repairs), so the fallback's decisions walk
+            // straight toward it and conflict only where the candidate
+            // is genuinely inconsistent — which is exactly what the
+            // post-conflict completion retry needs repaired.
+            self.restore_model_phases();
+            for i in 0..self.mtouched.len() {
+                let v = self.mtouched[i] as usize;
+                self.phase[v] = self.mval[v] == 1;
+            }
+            return false;
+        }
+        true
+    }
+
+    fn complete_model(&mut self) -> bool {
+        self.mgen += 1;
+        let mgen = self.mgen;
+        let num_vars = self.num_vars();
+        {
+            let clauses = &self.clauses;
+            let occurs = &self.occurs;
+            let model = &self.model;
+            let phase = &self.phase;
+            let assign = &self.assign;
+            let mval = &mut self.mval;
+            let mstamp = &mut self.mval_stamp;
+            let touched = &mut self.mtouched;
+            touched.clear();
+            let mut deferred: Vec<u32> = Vec::new();
+
+            // Seed the overlay with the trail values that differ from
+            // the last model (including everything the model predates).
+            for &lit in &self.trail {
+                let v = lit.var().index();
+                let value = lit.is_positive() as u8;
+                if model.get(v).copied() != Some(value) {
+                    mval[v] = value;
+                    mstamp[v] = mgen;
+                    touched.push(v as u32);
+                }
+            }
+
+            // Checks one clause under the candidate assignment. `None`
+            // means satisfied; `Some(candidates)` returns the repair
+            // candidates found (capped at two — the caller only
+            // distinguishes zero, one, or several).
+            let inspect = |cref: usize,
+                           mval: &[u8],
+                           mstamp: &[u64],
+                           candidates: &mut [Lit; 2]|
+             -> Option<usize> {
+                let clause = &clauses[cref];
+                if clause.learnt || clause.deleted {
+                    return None;
+                }
+                let mut found = 0usize;
+                for &lit in &clause.lits {
+                    let v = lit.var().index();
+                    let value = if mstamp[v] == mgen {
+                        mval[v] == 1
+                    } else if assign[v] != UNDEF {
+                        assign[v] == 1
+                    } else if let Some(&m) = model.get(v) {
+                        m == 1
+                    } else {
+                        phase[v]
+                    };
+                    if value == lit.is_positive() {
+                        return None;
+                    }
+                    if assign[v] == UNDEF && mstamp[v] != mgen {
+                        // Keep the newest candidate first: for Tseitin
+                        // clauses the newest variable is the gate output.
+                        if found == 0 || v > candidates[0].var().index() {
+                            candidates[1] = candidates[0];
+                            candidates[0] = lit;
+                        } else {
+                            candidates[1] = lit;
+                        }
+                        found = (found + 1).min(2);
+                    }
+                }
+                Some(found)
+            };
+
+            let flip = |lit: Lit, mval: &mut [u8], mstamp: &mut [u64], touched: &mut Vec<u32>| {
+                let v = lit.var().index();
+                mval[v] = lit.is_positive() as u8;
+                mstamp[v] = mgen;
+                touched.push(v as u32);
+            };
+
+            // Clauses added since the model was last verified.
+            let mut candidates = [Lit::positive(Var(0)); 2];
+            for cref in self.verified_clauses..clauses.len() {
+                match inspect(cref, mval, mstamp, &mut candidates) {
+                    None => {}
+                    Some(0) => return false,
+                    Some(1) => flip(candidates[0], mval, mstamp, touched),
+                    Some(_) => deferred.push(cref as u32),
+                }
+            }
+            // Drain forced repairs first (the worklist: every flipped
+            // variable gets its occurrence list re-checked); only at a
+            // fixpoint decide one deferred clause, then re-drain. By
+            // decision time most deferred clauses have become satisfied
+            // or forced, so few decisions — the error-prone part — are
+            // ever taken.
+            let mut next = 0;
+            loop {
+                while next < touched.len() {
+                    let v = touched[next] as usize;
+                    next += 1;
+                    for &cref in &occurs[v] {
+                        match inspect(cref as usize, mval, mstamp, &mut candidates) {
+                            None => {}
+                            Some(0) => return false,
+                            Some(1) => flip(candidates[0], mval, mstamp, touched),
+                            Some(_) => deferred.push(cref),
+                        }
+                    }
+                }
+                match deferred.pop() {
+                    None => break,
+                    Some(cref) => match inspect(cref as usize, mval, mstamp, &mut candidates) {
+                        None => {}
+                        Some(0) => return false,
+                        Some(_) => flip(candidates[0], mval, mstamp, touched),
+                    },
+                }
+            }
+        }
+
+        // Verified: commit the overlay as the new model.
+        for v in self.model.len()..num_vars {
+            self.model.push(match self.assign[v] {
+                UNDEF => self.phase[v] as u8,
+                value => value,
+            });
+        }
+        for &v in &self.mtouched {
+            self.model[v as usize] = self.mval[v as usize];
+        }
+        self.verified_clauses = self.clauses.len();
+        true
+    }
+
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len();
@@ -470,11 +1045,21 @@ impl Solver {
             cref,
             blocker: lits[0],
         });
+        if !learnt {
+            // Model completion only ever re-checks problem clauses;
+            // learnt clauses are RUP consequences of them, so any total
+            // assignment satisfying the problem clauses satisfies the
+            // learnt ones too.
+            for &lit in &lits {
+                self.occurs[lit.var().index()].push(cref as u32);
+            }
+        }
         self.clauses.push(Clause {
             lits,
             learnt,
             deleted: false,
             activity: 0.0,
+            lbd: 0,
         });
         cref
     }
@@ -557,9 +1142,10 @@ impl Solver {
         None
     }
 
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, usize) {
+    /// First-UIP conflict analysis with recursive clause minimization.
+    /// Returns the learnt clause (asserting literal first), the backjump
+    /// level, and the clause's LBD.
+    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = Vec::new();
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
@@ -609,10 +1195,9 @@ impl Solver {
         clause.push(asserting);
         clause.extend(learnt.iter().copied());
 
-        // Clear remaining seen flags.
-        for lit in &clause {
-            self.seen[lit.var().index()] = false;
-        }
+        // Recursive minimization; also clears the remaining seen flags.
+        self.minimize_learnt(&mut clause);
+        let lbd = self.compute_lbd(&clause);
 
         // Backjump level: highest level among the non-asserting literals.
         let mut backjump = 0usize;
@@ -626,7 +1211,151 @@ impl Solver {
             clause.swap(1, max_i);
             backjump = self.level[clause[1].var().index()] as usize;
         }
-        (clause, backjump)
+        (clause, backjump, lbd)
+    }
+
+    /// Drops every literal of the learnt clause (except the asserting
+    /// one at index 0) whose negation is implied by the *rest* of the
+    /// clause through reason chains — MiniSat's recursive `ccmin`. The
+    /// shrunk clause is still a consequence by reverse unit propagation,
+    /// so proof checking is unaffected (the checker re-propagates in
+    /// full; antecedent hints are advisory).
+    ///
+    /// Expects `seen` to be set for exactly the clause's literals and
+    /// clears all of them before returning.
+    fn minimize_learnt(&mut self, clause: &mut Vec<Lit>) {
+        if clause.len() <= 1 {
+            for &lit in clause.iter() {
+                self.seen[lit.var().index()] = false;
+            }
+            return;
+        }
+        // Stamp the decision levels present in the clause: a reason
+        // chain that leaves this level set can never ground out in
+        // clause literals, which prunes the DFS early.
+        self.stamp += 1;
+        for &lit in clause.iter() {
+            let lvl = self.level[lit.var().index()] as usize;
+            self.stamp_level(lvl);
+        }
+        let mut kept = Vec::with_capacity(clause.len());
+        kept.push(clause[0]);
+        for &lit in clause.iter().skip(1) {
+            if self.reason[lit.var().index()].is_none() || !self.lit_redundant(lit) {
+                kept.push(lit);
+            }
+        }
+        for &lit in clause.iter() {
+            self.seen[lit.var().index()] = false;
+        }
+        *clause = kept;
+    }
+
+    /// Whether the (falsified) clause literal `lit` is redundant: the
+    /// reason chain of its variable grounds out entirely in other clause
+    /// literals (`seen`) and level-0 facts. Iterative DFS with a
+    /// per-analysis memo (`red_gen`/`red_val`), the explicit-stack form
+    /// of MiniSat's `litRedundant`.
+    fn lit_redundant(&mut self, lit: Lit) -> bool {
+        match self.red_mark(lit.var().index()) {
+            RED_REMOVABLE => return true,
+            RED_POISON => return false,
+            _ => {}
+        }
+        // Each frame: (variable under test, next antecedent index in its
+        // reason clause — index 0 is the implied literal itself).
+        let mut stack: Vec<(usize, usize)> = vec![(lit.var().index(), 1)];
+        while let Some((var, idx)) = stack.pop() {
+            let cref = self.reason[var].expect("stacked variables have reasons");
+            let len = self.clauses[cref].lits.len();
+            let mut i = idx;
+            let mut descended = false;
+            while i < len {
+                let q = self.clauses[cref].lits[i];
+                let qvar = q.var().index();
+                let qlvl = self.level[qvar] as usize;
+                i += 1;
+                if qlvl == 0 || self.seen[qvar] || self.red_mark(qvar) == RED_REMOVABLE {
+                    continue; // grounded
+                }
+                if self.reason[qvar].is_none()
+                    || !self.level_stamped(qlvl)
+                    || self.red_mark(qvar) == RED_POISON
+                {
+                    // `q` can never ground out; everything on the DFS
+                    // path depends on it, so poison the lot.
+                    self.set_red_mark(var, RED_POISON);
+                    for &(pvar, _) in &stack {
+                        self.set_red_mark(pvar, RED_POISON);
+                    }
+                    return false;
+                }
+                stack.push((var, i));
+                stack.push((qvar, 1));
+                descended = true;
+                break;
+            }
+            if !descended {
+                self.set_red_mark(var, RED_REMOVABLE);
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn red_mark(&self, var: usize) -> u8 {
+        if self.red_gen[var] == self.stamp {
+            self.red_val[var]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn set_red_mark(&mut self, var: usize, mark: u8) {
+        self.red_gen[var] = self.stamp;
+        self.red_val[var] = mark;
+    }
+
+    #[inline]
+    fn stamp_level(&mut self, lvl: usize) {
+        if lvl >= self.level_stamp.len() {
+            self.level_stamp.resize(lvl + 1, 0);
+        }
+        self.level_stamp[lvl] = self.stamp;
+    }
+
+    #[inline]
+    fn level_stamped(&self, lvl: usize) -> bool {
+        self.level_stamp.get(lvl) == Some(&self.stamp)
+    }
+
+    /// Literal block distance: the number of distinct non-zero decision
+    /// levels among the clause's literals.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.stamp += 1;
+        let mut lbd = 0;
+        for &lit in lits {
+            let lvl = self.level[lit.var().index()] as usize;
+            if lvl > 0 && !self.level_stamped(lvl) {
+                self.stamp_level(lvl);
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// Feeds a learnt clause's LBD into the fast/slow restart averages.
+    fn note_learnt_lbd(&mut self, lbd: u32) {
+        let x = f64::from(lbd);
+        if self.ema_seeded {
+            self.ema_fast += EMA_FAST_ALPHA * (x - self.ema_fast);
+            self.ema_slow += EMA_SLOW_ALPHA * (x - self.ema_slow);
+        } else {
+            self.ema_seeded = true;
+            self.ema_fast = x;
+            self.ema_slow = x;
+        }
     }
 
     /// Final conflict analysis: `p` is an assumption found already false
@@ -776,49 +1505,60 @@ impl Solver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= 0.95;
-        self.cla_inc /= 0.999;
+        self.var_inc /= self.var_decay;
+        self.cla_inc /= self.cla_decay;
     }
 
-    /// Deletes low-activity learnt clauses when the database grows past a
-    /// threshold. Runs only at decision level zero.
+    /// Deletes the worst half of the learnt database when it grows past
+    /// the threshold, ranking by LBD first and activity second. Glue
+    /// clauses (LBD ≤ 2), binary clauses, and clauses currently acting
+    /// as a reason are kept unconditionally. Runs only at decision level
+    /// zero; every deletion is mirrored into the proof log so audited
+    /// runs remain checkable.
     fn maybe_reduce_db(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
-        let learnt_count = self
-            .clauses
-            .iter()
-            .filter(|c| c.learnt && !c.deleted)
-            .count();
-        let threshold = 2000 + self.num_clauses();
-        if learnt_count <= threshold {
+        let live: Vec<usize> = (0..self.clauses.len())
+            .filter(|&c| self.clauses[c].learnt && !self.clauses[c].deleted)
+            .collect();
+        if live.len() <= self.reduce_base + self.num_clauses() {
             return;
         }
-        let mut activities: Vec<f64> = self
-            .clauses
+        let mut locked = vec![false; self.clauses.len()];
+        for cref in self.reason.iter().flatten() {
+            locked[*cref] = true;
+        }
+        let mut candidates: Vec<usize> = live
             .iter()
-            .filter(|c| c.learnt && !c.deleted)
-            .map(|c| c.activity)
+            .copied()
+            .filter(|&c| self.clauses[c].lbd > 2 && self.clauses[c].lits.len() > 2 && !locked[c])
             .collect();
-        activities.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
-        let median = activities[activities.len() / 2];
-        let locked: Vec<Option<usize>> = self.reason.clone();
-        let mut dropped: Vec<usize> = Vec::new();
-        for (cref, clause) in self.clauses.iter_mut().enumerate() {
-            if clause.learnt
-                && !clause.deleted
-                && clause.activity < median
-                && clause.lits.len() > 2
-                && !locked.contains(&Some(cref))
-            {
-                clause.deleted = true;
-                dropped.push(cref);
-            }
+        // Worst first: highest LBD, then lowest activity, then oldest.
+        candidates.sort_by(|&a, &b| {
+            self.clauses[b]
+                .lbd
+                .cmp(&self.clauses[a].lbd)
+                .then(
+                    self.clauses[a]
+                        .activity
+                        .partial_cmp(&self.clauses[b].activity)
+                        .expect("activities are finite"),
+                )
+                .then(a.cmp(&b))
+        });
+        let drop_count = (live.len() / 2).min(candidates.len());
+        if drop_count == 0 {
+            return;
+        }
+        for &cref in &candidates[..drop_count] {
+            self.clauses[cref].deleted = true;
         }
         if let Some(log) = self.proof.as_mut() {
-            for &cref in &dropped {
+            for &cref in &candidates[..drop_count] {
                 log.delete(&self.clauses[cref].lits);
             }
         }
+        self.stats.db_reductions += 1;
+        self.stats.learned_kept += (live.len() - drop_count) as u64;
         // Rebuild watches from scratch, dropping deleted clauses.
         for list in &mut self.watches {
             list.clear();
@@ -1088,7 +1828,6 @@ mod tests {
             solver.add_clause(row.iter().copied());
         }
         #[allow(clippy::needless_range_loop)] // 2-D pigeonhole indexing
-        #[allow(clippy::needless_range_loop)] // 2-D pigeonhole indexing
         for hole in 0..holes {
             for p1 in 0..pigeons {
                 for p2 in p1 + 1..pigeons {
@@ -1209,5 +1948,252 @@ mod tests {
         solver.add_clause([!lits[2], lits[3]]);
         assert_eq!(solver.solve(&[!lits[3]]), SolveResult::Unsat);
         assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumption_prefix_is_retained_across_solves() {
+        // Two solves sharing the first two assumptions: the second call
+        // must reuse exactly those two levels and still answer correctly.
+        let mut solver = solver_with_vars(5);
+        let lits: Vec<Lit> = (0..5).map(|i| pos(&solver, i)).collect();
+        solver.add_clause([!lits[0], !lits[4]]);
+        assert_eq!(solver.solve(&[lits[0], lits[1], lits[2]]), SolveResult::Sat);
+        assert_eq!(solver.reused_assumption_levels(), 0);
+        assert_eq!(solver.solve(&[lits[0], lits[1], lits[3]]), SolveResult::Sat);
+        assert_eq!(solver.reused_assumption_levels(), 2);
+        // Identical assumptions: the whole prefix is reused.
+        assert_eq!(solver.solve(&[lits[0], lits[1], lits[3]]), SolveResult::Sat);
+        assert_eq!(solver.reused_assumption_levels(), 3);
+        // The retained prefix must not leak into unrelated queries.
+        assert_eq!(solver.solve(&[lits[4]]), SolveResult::Sat);
+        assert_eq!(solver.reused_assumption_levels(), 0);
+        assert_eq!(solver.model_lit_value(lits[0]), Some(false));
+    }
+
+    #[test]
+    fn retention_is_invalidated_by_clause_additions() {
+        let mut solver = solver_with_vars(5);
+        let lits: Vec<Lit> = (0..5).map(|i| pos(&solver, i)).collect();
+        assert_eq!(solver.solve(&[lits[0], lits[1]]), SolveResult::Sat);
+        // A unit clause retreats to the top level: nothing left to reuse.
+        solver.add_clause([lits[4]]);
+        assert_eq!(solver.solve(&[lits[0], lits[1]]), SolveResult::Sat);
+        assert_eq!(solver.reused_assumption_levels(), 0);
+        // A clause with two literals unassigned under the retained trail
+        // attaches without disturbing it.
+        assert_eq!(solver.solve(&[lits[0], lits[1]]), SolveResult::Sat);
+        solver.add_clause([!lits[2], !lits[3]]);
+        assert_eq!(solver.solve(&[lits[0], lits[1]]), SolveResult::Sat);
+        assert_eq!(solver.reused_assumption_levels(), 2);
+        // The new clause must still bite even though the trail was kept.
+        assert_eq!(
+            solver.solve(&[lits[0], lits[1], lits[2], lits[3]]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn solve_under_caps_the_reused_prefix() {
+        let mut solver = solver_with_vars(4);
+        let lits: Vec<Lit> = (0..4).map(|i| pos(&solver, i)).collect();
+        assert_eq!(solver.solve(&[lits[0], lits[1], lits[2]]), SolveResult::Sat);
+        assert_eq!(
+            solver.solve_under(&[lits[0], lits[1], lits[2]], 1),
+            SolveResult::Sat
+        );
+        assert_eq!(solver.reused_assumption_levels(), 1);
+        assert_eq!(
+            solver.solve_under(&[lits[0], lits[1], lits[2]], 0),
+            SolveResult::Sat
+        );
+        assert_eq!(solver.reused_assumption_levels(), 0);
+        solver.set_assumption_reuse(false);
+        assert_eq!(solver.solve(&[lits[0], lits[1], lits[2]]), SolveResult::Sat);
+        assert_eq!(solver.reused_assumption_levels(), 0);
+        assert!(!solver.assumption_reuse());
+    }
+
+    #[test]
+    fn retained_and_fresh_solvers_agree_on_random_prefix_streams() {
+        // Random 3-SAT instances queried with prefix-growing assumption
+        // streams (the path-exploration shape): an incremental solver, a
+        // reuse-disabled twin, and a fresh solver per query must agree
+        // on every verdict, and Sat models must satisfy the clauses.
+        let mut state = 0x5eed_cafe_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..30 {
+            let nvars = 6 + (next() % 6) as usize;
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..2 * nvars {
+                let clause: Vec<Lit> = (0..3)
+                    .map(|_| Lit::new(Var::from_index((next() as usize) % nvars), next() % 2 == 0))
+                    .collect();
+                clauses.push(clause);
+            }
+            let build = |clauses: &[Vec<Lit>]| {
+                let mut solver = solver_with_vars(nvars);
+                for clause in clauses {
+                    solver.add_clause(clause.iter().copied());
+                }
+                solver
+            };
+            let mut retained = build(&clauses);
+            let mut scratch = build(&clauses);
+            scratch.set_assumption_reuse(false);
+
+            let mut prefix: Vec<Lit> = Vec::new();
+            for step in 0..8 {
+                // Grow the assumption prefix, occasionally rewinding as
+                // sibling paths do.
+                if next() % 4 == 0 {
+                    prefix.truncate((next() as usize) % (prefix.len() + 1));
+                }
+                prefix.push(Lit::new(
+                    Var::from_index((next() as usize) % nvars),
+                    next() % 2 == 0,
+                ));
+                let incremental = retained.solve(&prefix);
+                let fresh = build(&clauses).solve(&prefix);
+                assert_eq!(
+                    incremental, fresh,
+                    "round {round} step {step}: retention flipped the verdict \
+                     for {prefix:?}"
+                );
+                assert_eq!(scratch.solve(&prefix), fresh, "reuse-off twin diverged");
+                if incremental == SolveResult::Sat {
+                    for clause in &clauses {
+                        assert!(
+                            clause
+                                .iter()
+                                .any(|&l| retained.model_lit_value(l) == Some(true)),
+                            "retained model violates a clause"
+                        );
+                    }
+                } else {
+                    // The core must be a subset of the assumptions and a
+                    // genuine certificate on a fresh solver.
+                    let core = retained.unsat_core().to_vec();
+                    assert!(core.iter().all(|l| prefix.contains(l)));
+                    assert_eq!(build(&clauses).solve(&core), SolveResult::Unsat);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_counters_are_monotone_across_incremental_solves() {
+        // Regression for counter drift: every cumulative field only
+        // grows across incremental solve calls and clause additions
+        // (`learnt_clauses` is exempt — it is a gauge; see SolverStats).
+        let (mut solver, grid) = pigeonhole(6, 5);
+        let probes: Vec<Vec<Lit>> = vec![
+            vec![],
+            vec![grid[0][0]],
+            vec![grid[0][0], grid[1][1]],
+            vec![grid[0][0], grid[1][1], grid[2][2]],
+            vec![grid[0][0], grid[1][0]],
+            vec![],
+        ];
+        let mut previous = solver.stats();
+        for probe in &probes {
+            solver.solve(probe);
+            let current = solver.stats();
+            assert!(current.solves > previous.solves, "solves must advance");
+            assert!(current.decisions >= previous.decisions);
+            assert!(current.propagations >= previous.propagations);
+            assert!(current.conflicts >= previous.conflicts);
+            assert!(current.restarts >= previous.restarts);
+            assert!(current.db_reductions >= previous.db_reductions);
+            assert!(current.learned_kept >= previous.learned_kept);
+            previous = current;
+        }
+    }
+
+    #[test]
+    fn clause_db_reduction_deletes_and_counts() {
+        // Force reductions on a small instance: with zero slack, any
+        // learnt DB bigger than the problem triggers a reduction at the
+        // next restart. Glue (LBD ≤ 2) and binary clauses survive.
+        let (mut solver, _) = pigeonhole(7, 6);
+        solver.set_reduce_db_base(0);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+        let stats = solver.stats();
+        assert!(stats.restarts > 0, "expected restarts, got {stats}");
+        assert!(stats.db_reductions > 0, "expected reductions, got {stats}");
+        assert!(stats.learned_kept > 0, "kept clauses are counted");
+    }
+
+    #[test]
+    fn db_reduction_logs_delete_steps() {
+        let (mut solver, _) = pigeonhole(7, 6);
+        solver.enable_proof();
+        solver.set_reduce_db_base(0);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+        assert!(solver.stats().db_reductions > 0);
+        let proof = solver.take_proof();
+        let deletes = proof
+            .steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Delete(_)))
+            .count();
+        assert!(deletes > 0, "reductions must mirror into the proof log");
+    }
+
+    #[test]
+    fn dynamic_restarts_trigger_on_lbd_drift() {
+        // PHP produces enough conflicts that either the EMA condition or
+        // the Luby backstop fires; the combined policy must restart well
+        // before the old fixed budget would on a hard instance.
+        let (mut solver, _) = pigeonhole(7, 6);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+        let stats = solver.stats();
+        assert!(stats.restarts > 0, "no restarts on PHP(7,6): {stats}");
+        assert!(stats.conflicts > stats.restarts);
+    }
+
+    #[test]
+    fn decay_is_tunable() {
+        let (mut solver, _) = pigeonhole(6, 5);
+        solver.set_decay(0.8, 0.99);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable decay must be in (0, 1)")]
+    fn rejects_out_of_range_decay() {
+        Solver::new().set_decay(1.0, 0.99);
+    }
+
+    #[test]
+    fn stats_display_carries_every_field() {
+        let stats = SolverStats {
+            solves: 1,
+            decisions: 2,
+            propagations: 3,
+            conflicts: 4,
+            restarts: 5,
+            learnt_clauses: 6,
+            db_reductions: 7,
+            learned_kept: 8,
+        };
+        let printed = stats.to_string();
+        for field in [
+            "solves=1",
+            "decisions=2",
+            "propagations=3",
+            "conflicts=4",
+            "restarts=5",
+            "learnt=6",
+            "db_reductions=7",
+            "learned_kept=8",
+        ] {
+            assert!(printed.contains(field), "missing `{field}` in `{printed}`");
+        }
+        assert_eq!(printed.matches('=').count(), 8);
     }
 }

@@ -110,6 +110,141 @@ fn proof_audit_never_flips() {
     });
 }
 
+/// Unsatisfiable pigeonhole instance PHP(7, 6), hard enough to restart
+/// and — with the reduction threshold floored — shrink the learnt
+/// database mid-search.
+fn audited_pigeonhole() -> Solver {
+    const PIGEONS: usize = 7;
+    const HOLES: usize = 6;
+    let mut solver = Solver::new();
+    solver.enable_proof();
+    solver.set_reduce_db_base(0);
+    let grid: Vec<Vec<Lit>> = (0..PIGEONS)
+        .map(|_| {
+            (0..HOLES)
+                .map(|_| Lit::positive(solver.new_var()))
+                .collect()
+        })
+        .collect();
+    for row in &grid {
+        solver.add_clause(row.iter().copied());
+    }
+    #[allow(clippy::needless_range_loop)] // 2-D pigeonhole indexing
+    for hole in 0..HOLES {
+        for p1 in 0..PIGEONS {
+            for p2 in p1 + 1..PIGEONS {
+                solver.add_clause([!grid[p1][hole], !grid[p2][hole]]);
+            }
+        }
+    }
+    solver
+}
+
+/// Clause-database reduction under audit: the reduction emits a `Delete`
+/// event per dropped learnt clause, keeping the checker's active set in
+/// lockstep with the solver's, so a refutation that shrank its database
+/// mid-search still certifies end to end — proof, core replay, and
+/// offline cone re-verification.
+#[test]
+fn db_reduction_deletions_certify_end_to_end() {
+    let mut solver = audited_pigeonhole();
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    assert!(
+        solver.stats().db_reductions > 0,
+        "PHP(7, 6) at reduction base 0 must reduce the database"
+    );
+    let proof = solver.take_proof();
+    let deletes = proof
+        .steps
+        .iter()
+        .filter(|s| matches!(s, ProofStep::Delete(_)))
+        .count();
+    assert!(deletes > 0, "reductions must log their deletions");
+
+    let mut checker = Checker::new();
+    checker.apply(&proof).expect("honest reduced proof checks");
+    assert!(checker.formula_refuted());
+    let unit = checker
+        .replay_core(solver.unsat_core())
+        .expect("core replays after reductions");
+    unit.verify().expect("cone re-verifies offline");
+}
+
+/// A fabricated deletion — naming a clause the proof never put in the
+/// active set — is rejected at exactly the step it is spliced in; the
+/// honest prefix before it still checks.
+#[test]
+fn a_fabricated_deletion_is_rejected_in_place() {
+    let mut solver = audited_pigeonhole();
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    let honest = solver.take_proof();
+
+    // Splice the rogue step right before the first genuine deletion, so
+    // the tampered prefix is a non-trivial honest proof segment.
+    let splice_at = honest
+        .steps
+        .iter()
+        .position(|s| matches!(s, ProofStep::Delete(_)))
+        .expect("reduced proof has deletions");
+    let rogue = ProofStep::Delete(vec![lit(0, true), lit(7, true), lit(14, true)].into());
+    let mut steps = honest.steps.clone();
+    steps.insert(splice_at, rogue);
+
+    let err = Checker::new()
+        .apply(&Proof { steps })
+        .expect_err("deleting a never-derived clause must be rejected");
+    assert_eq!(err.step, Some(splice_at), "{err}");
+    assert!(err.message.contains("unknown clause"), "{err}");
+}
+
+/// Replaying an honest deletion twice is as dishonest as inventing one:
+/// the second copy finds no active clause left to delete.
+#[test]
+fn a_doubled_deletion_is_rejected() {
+    let mut solver = audited_pigeonhole();
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    let honest = solver.take_proof();
+
+    // Duplicate a deletion whose clause exists exactly once in the whole
+    // proof (one derivation, no identical axiom, one deletion): for that
+    // clause the checker cannot shrug the second copy onto a twin.
+    let key = |lits: &[Lit]| {
+        let mut k = lits.to_vec();
+        k.sort_unstable();
+        k.dedup();
+        k
+    };
+    let count = |steps: &[ProofStep], want: &[Lit], deletes: bool| {
+        steps
+            .iter()
+            .filter(|s| match s {
+                ProofStep::Axiom(c) => !deletes && key(c) == want,
+                ProofStep::Derive { clause, .. } => !deletes && key(clause) == want,
+                ProofStep::Delete(c) => deletes && key(c) == want,
+            })
+            .count()
+    };
+    let unique_delete = honest
+        .steps
+        .iter()
+        .position(|s| match s {
+            ProofStep::Delete(c) => {
+                let k = key(c);
+                count(&honest.steps, &k, false) == 1 && count(&honest.steps, &k, true) == 1
+            }
+            _ => false,
+        })
+        .expect("some reduced clause is unique in the proof");
+    let mut steps = honest.steps.clone();
+    steps.insert(unique_delete, steps[unique_delete].clone());
+    let first_delete = unique_delete;
+
+    let err = Checker::new()
+        .apply(&Proof { steps })
+        .expect_err("deleting the same learnt clause twice must be rejected");
+    assert_eq!(err.step, Some(first_delete + 1), "{err}");
+}
+
 /// Deleting the derivation a later step leans on must surface at exactly
 /// that later step: the checker's notion of "active clause set" tracks
 /// the proof, so a dropped step cannot be papered over by re-propagating

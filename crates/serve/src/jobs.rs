@@ -138,6 +138,10 @@ struct JobRecord {
     chain_queries: u64,
     chain_hits: u64,
     chain_solves: u64,
+    chain_prefix_reuse_hits: u64,
+    solver_restarts: u64,
+    solver_db_reductions: u64,
+    solver_learned_kept: u64,
     audit: ProofAuditStats,
     warm_slices: usize,
     certificate: Option<String>,
@@ -213,6 +217,10 @@ impl JobManager {
             chain_queries: 0,
             chain_hits: 0,
             chain_solves: 0,
+            chain_prefix_reuse_hits: 0,
+            solver_restarts: 0,
+            solver_db_reductions: 0,
+            solver_learned_kept: 0,
             audit: ProofAuditStats::default(),
             warm_slices: 0,
             certificate: None,
@@ -328,6 +336,10 @@ impl JobManager {
                 + report.chain_stats.core_hits
                 + report.chain_stats.model_hits;
             job.chain_solves += report.chain_stats.solves;
+            job.chain_prefix_reuse_hits += report.chain_stats.prefix_reuse_hits;
+            job.solver_restarts += report.solver_stats.restarts;
+            job.solver_db_reductions += report.solver_stats.db_reductions;
+            job.solver_learned_kept += report.solver_stats.learned_kept;
             job.audit = job.audit.merge(report.proof_audit);
             job.warm_slices += usize::from(seed.is_some());
             job.results[slice] = Some(CoverageSlice {
@@ -420,7 +432,11 @@ impl JobManager {
         w.number_field("chain_queries", job.chain_queries);
         w.number_field("chain_hits", job.chain_hits);
         w.number_field("chain_solves", job.chain_solves);
+        w.number_field("chain_prefix_reuse_hits", job.chain_prefix_reuse_hits);
         w.float_field("chain_hit_rate", rate(job.chain_hits, job.chain_queries));
+        w.number_field("solver_restarts", job.solver_restarts);
+        w.number_field("solver_db_reductions", job.solver_db_reductions);
+        w.number_field("solver_learned_kept", job.solver_learned_kept);
         w.number_field("audit_steps", job.audit.steps);
         w.number_field("audit_models", job.audit.models);
         w.number_field("audit_cores", job.audit.cores);

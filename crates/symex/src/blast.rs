@@ -209,7 +209,9 @@ impl Blaster {
         if a == !b {
             return !t;
         }
+        let value = solver.phase_value(a) && solver.phase_value(b);
         let out = Lit::positive(solver.new_var());
+        solver.set_phase(out.var(), value);
         solver.add_clause([!out, a]);
         solver.add_clause([!out, b]);
         solver.add_clause([out, !a, !b]);
@@ -242,7 +244,9 @@ impl Blaster {
         if a == !b {
             return t;
         }
+        let value = solver.phase_value(a) != solver.phase_value(b);
         let out = Lit::positive(solver.new_var());
+        solver.set_phase(out.var(), value);
         solver.add_clause([!out, a, b]);
         solver.add_clause([!out, !a, !b]);
         solver.add_clause([out, !a, b]);

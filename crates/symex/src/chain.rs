@@ -63,6 +63,9 @@ pub struct SolverChainStats {
     pub model_hits: u64,
     /// Components that fell through to the SAT solver.
     pub solves: u64,
+    /// Solver-level solves that reused a retained assumption prefix from
+    /// the previous query (see `Solver::reused_assumption_levels`).
+    pub prefix_reuse_hits: u64,
     /// Largest component examined, in conditions.
     pub max_slice: u64,
 }
@@ -78,6 +81,7 @@ impl SolverChainStats {
             core_hits: self.core_hits + other.core_hits,
             model_hits: self.model_hits + other.model_hits,
             solves: self.solves + other.solves,
+            prefix_reuse_hits: self.prefix_reuse_hits + other.prefix_reuse_hits,
             max_slice: self.max_slice.max(other.max_slice),
         }
     }
@@ -87,13 +91,15 @@ impl fmt::Display for SolverChainStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "queries={} slices={} slice_hits={} core_hits={} model_hits={} solves={} max_slice={}",
+            "queries={} slices={} slice_hits={} core_hits={} model_hits={} solves={} \
+             prefix_reuse_hits={} max_slice={}",
             self.queries,
             self.slices,
             self.slice_hits,
             self.core_hits,
             self.model_hits,
             self.solves,
+            self.prefix_reuse_hits,
             self.max_slice
         )
     }
@@ -122,14 +128,15 @@ impl std::str::FromStr for SolverChainStats {
                 "core_hits" => &mut stats.core_hits,
                 "model_hits" => &mut stats.model_hits,
                 "solves" => &mut stats.solves,
+                "prefix_reuse_hits" => &mut stats.prefix_reuse_hits,
                 "max_slice" => &mut stats.max_slice,
                 other => return Err(format!("unknown chain stat `{other}`")),
             };
             *field = value;
             seen += 1;
         }
-        if seen != 7 {
-            return Err(format!("expected 7 chain stats, found {seen}"));
+        if seen != 8 {
+            return Err(format!("expected 8 chain stats, found {seen}"));
         }
         Ok(stats)
     }
@@ -393,7 +400,11 @@ impl SolverChain {
             .iter()
             .map(|&c| blaster.bool_lit(ctx, solver, c))
             .collect();
-        let result = match solver.solve(&assumptions) {
+        let result = solver.solve(&assumptions);
+        if solver.reused_assumption_levels() > 0 {
+            self.stats.prefix_reuse_hits += 1;
+        }
+        let result = match result {
             SolveResult::Sat => {
                 if let Some(auditor) = audit {
                     auditor.audit_sat(solver);
@@ -711,6 +722,7 @@ mod tests {
             core_hits: 44,
             model_hits: 55,
             solves: 66,
+            prefix_reuse_hits: 77,
             max_slice: 7,
         };
         let printed = stats.to_string();
@@ -718,7 +730,8 @@ mod tests {
         assert_eq!(parsed, stats, "Display must carry every field");
         assert!("queries=1".parse::<SolverChainStats>().is_err());
         assert!(
-            "queries=1 slices=x slice_hits=0 core_hits=0 model_hits=0 solves=0 max_slice=0"
+            "queries=1 slices=x slice_hits=0 core_hits=0 model_hits=0 solves=0 \
+             prefix_reuse_hits=0 max_slice=0"
                 .parse::<SolverChainStats>()
                 .is_err()
         );
@@ -733,6 +746,7 @@ mod tests {
             core_hits: 4,
             model_hits: 5,
             solves: 6,
+            prefix_reuse_hits: 7,
             max_slice: 7,
         };
         let b = SolverChainStats {
@@ -742,6 +756,7 @@ mod tests {
             core_hits: 40,
             model_hits: 50,
             solves: 60,
+            prefix_reuse_hits: 70,
             max_slice: 3,
         };
         let merged = a.merge(b);
@@ -751,6 +766,7 @@ mod tests {
         assert_eq!(merged.core_hits, 44);
         assert_eq!(merged.model_hits, 55);
         assert_eq!(merged.solves, 66);
+        assert_eq!(merged.prefix_reuse_hits, 77);
         assert_eq!(merged.max_slice, 7);
         assert!(!merged.to_string().is_empty());
     }

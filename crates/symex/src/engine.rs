@@ -53,6 +53,11 @@ pub struct EngineConfig {
     /// paths are identical either way; auditing only accumulates
     /// certification statistics (and their failures).
     pub audit: bool,
+    /// Let the solver retain the propagation trail of the assumption
+    /// prefix consecutive feasibility queries share (see
+    /// [`SolverBackend::set_incremental`]). Answers are identical either
+    /// way; disabling is for benchmarking and differential testing.
+    pub incremental: bool,
 }
 
 impl EngineConfig {
@@ -73,6 +78,7 @@ impl Default for EngineConfig {
             max_resident_snapshots: EngineConfig::DEFAULT_MAX_RESIDENT_SNAPSHOTS,
             solver_chain: true,
             audit: false,
+            incremental: true,
         }
     }
 }
@@ -167,7 +173,11 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
             ctx: Context::new(),
-            backend: SolverBackend::with_options(config.solver_chain, config.audit),
+            backend: SolverBackend::with_config(
+                config.solver_chain,
+                config.audit,
+                config.incremental,
+            ),
             config: config.clone(),
             rng_state: config.seed | 1,
             projector: crate::project::Projector::new(),
@@ -397,12 +407,11 @@ impl SymExec<'_> {
         if let Some(value) = self.ctx.const_value(cond) {
             return value == 1;
         }
-        let mut conditions = self.constraints.clone();
-        conditions.push(cond);
         // Feasibility only (no model is read afterwards), so the memoised
         // query cache applies: sibling paths sharing a prefix ask the same
         // condition sets over and over.
-        self.backend.check_cached(self.ctx, &conditions).is_sat()
+        self.backend.prefix_sync(&self.constraints);
+        self.backend.check_suffix(self.ctx, &[cond]).is_sat()
     }
 
     /// A concrete witness for `term` under the path condition plus `extra`.
@@ -623,13 +632,13 @@ impl Domain for SymExec<'_> {
             return false;
         }
         let negated = self.ctx.not(cond);
-        let mut with_true = self.constraints.clone();
-        with_true.push(cond);
-        let true_feasible = self.backend.check_cached(self.ctx, &with_true).is_sat();
+        // Both polarity probes share the whole path condition as their
+        // prefix; phrasing them as suffix queries lets the incremental
+        // solver retain the prefix's propagation trail between them.
+        self.backend.prefix_sync(&self.constraints);
+        let true_feasible = self.backend.check_suffix(self.ctx, &[cond]).is_sat();
         let (choice, constraint) = if true_feasible {
-            let mut with_false = self.constraints.clone();
-            with_false.push(negated);
-            if self.backend.check_cached(self.ctx, &with_false).is_sat() {
+            if self.backend.check_suffix(self.ctx, &[negated]).is_sat() {
                 // Both sides feasible: fork, continue on `true`.
                 let mut sibling = self.taken.clone();
                 sibling.push(false);
@@ -641,6 +650,7 @@ impl Domain for SymExec<'_> {
             (false, negated)
         };
         self.constraints.push(constraint);
+        self.backend.prefix_push(constraint);
         self.origins
             .push(crate::project::ConstraintOrigin::Decision(index as u32));
         self.taken.push(choice);
@@ -659,13 +669,12 @@ impl Domain for SymExec<'_> {
             }
             None => {}
         }
+        self.backend.prefix_sync(&self.constraints);
+        let feasible = self.backend.check_suffix(self.ctx, &[cond]).is_sat();
         self.constraints.push(cond);
+        self.backend.prefix_push(cond);
         self.origins.push(crate::project::ConstraintOrigin::Assumed);
-        if !self
-            .backend
-            .check_cached(self.ctx, &self.constraints)
-            .is_sat()
-        {
+        if !feasible {
             self.kill(PathStatus::Infeasible);
         }
     }

@@ -191,10 +191,10 @@ pub struct ForkExec {
 }
 
 impl ForkExec {
-    fn new(max_decisions: usize, solver_chain: bool, audit: bool) -> ForkExec {
+    fn new(max_decisions: usize, solver_chain: bool, audit: bool, incremental: bool) -> ForkExec {
         ForkExec {
             ctx: Context::new(),
-            backend: SolverBackend::with_options(solver_chain, audit),
+            backend: SolverBackend::with_config(solver_chain, audit, incremental),
             replay: VecDeque::new(),
             taken: Vec::new(),
             constraints: Vec::new(),
@@ -224,11 +224,10 @@ impl ForkExec {
         if let Some(value) = self.ctx.const_value(cond) {
             return value == 1;
         }
-        let mut conditions = self.constraints.clone();
-        conditions.push(cond);
         // During replay this is usually a cache hit: the parent path asked
         // the identical condition set.
-        self.backend.check_cached(&self.ctx, &conditions).is_sat()
+        self.backend.prefix_sync(&self.constraints);
+        self.backend.check_suffix(&self.ctx, &[cond]).is_sat()
     }
 
     /// Permanently adds `cond` to the path condition.
@@ -438,13 +437,13 @@ impl Domain for ForkExec {
             return false;
         }
         let negated = self.ctx.not(cond);
-        let mut with_true = self.constraints.clone();
-        with_true.push(cond);
-        let true_feasible = self.backend.check_cached(&self.ctx, &with_true).is_sat();
+        // Both polarity probes share the whole path condition as their
+        // prefix; suffix queries let the incremental solver retain the
+        // prefix's propagation trail between them.
+        self.backend.prefix_sync(&self.constraints);
+        let true_feasible = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
         let (choice, constraint) = if true_feasible {
-            let mut with_false = self.constraints.clone();
-            with_false.push(negated);
-            if self.backend.check_cached(&self.ctx, &with_false).is_sat() {
+            if self.backend.check_suffix(&self.ctx, &[negated]).is_sat() {
                 // Both sides feasible: fork, continue on `true`.
                 let mut sibling = self.taken.clone();
                 sibling.push(false);
@@ -456,6 +455,7 @@ impl Domain for ForkExec {
             (false, negated)
         };
         self.constraints.push(constraint);
+        self.backend.prefix_push(constraint);
         self.origins
             .push(crate::project::ConstraintOrigin::Decision(
                 self.taken.len() as u32
@@ -476,21 +476,22 @@ impl Domain for ForkExec {
             }
             None => {}
         }
-        self.constraints.push(cond);
-        self.origins.push(crate::project::ConstraintOrigin::Assumed);
         if !self.replay.is_empty() {
             // Inside the replayed window the identical constraint set was
             // checked satisfiable on the parent path (the parent stayed
             // alive past this point, and the flipped branch itself was
             // checked at fork time), so the re-execution engine's check
             // here is guaranteed Sat — skip it.
+            self.constraints.push(cond);
+            self.origins.push(crate::project::ConstraintOrigin::Assumed);
             return;
         }
-        if !self
-            .backend
-            .check_cached(&self.ctx, &self.constraints)
-            .is_sat()
-        {
+        self.backend.prefix_sync(&self.constraints);
+        let feasible = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
+        self.constraints.push(cond);
+        self.backend.prefix_push(cond);
+        self.origins.push(crate::project::ConstraintOrigin::Assumed);
+        if !feasible {
             self.kill(PathStatus::Infeasible);
         }
     }
@@ -556,6 +557,7 @@ impl ForkEngine {
                 config.max_decisions_per_path,
                 config.solver_chain,
                 config.audit,
+                config.incremental,
             ),
             config: config.clone(),
             rng_state: config.seed | 1,

@@ -125,6 +125,15 @@ pub struct SolverBackend {
     /// query's stale model after a cached or chain-routed answer.
     generation: u64,
     model_generation: Option<u64>,
+    /// The shared path-condition prefix maintained by the engines (see
+    /// [`prefix_sync`](Self::prefix_sync)): queries via
+    /// [`check_suffix`](Self::check_suffix) check `prefix ∪ suffix`.
+    /// Purely a bookkeeping convenience — the prefix and suffix are
+    /// recombined into the same sorted condition-set key `check_cached`
+    /// would build, so verdicts and caching are unchanged; the speed
+    /// comes from the solver retaining the prefix's propagation trail
+    /// across consecutive queries.
+    path_prefix: Vec<TermId>,
 }
 
 impl SolverBackend {
@@ -159,6 +168,75 @@ impl SolverBackend {
             backend.auditor = Some(Box::default());
         }
         backend
+    }
+
+    /// Creates a fresh backend with the solver chain, proof auditing, and
+    /// incremental solving (assumption-prefix retention, see
+    /// [`set_incremental`](Self::set_incremental)) each enabled or
+    /// disabled.
+    pub fn with_config(chain: bool, audit: bool, incremental: bool) -> SolverBackend {
+        let mut backend = SolverBackend::with_options(chain, audit);
+        backend.set_incremental(incremental);
+        backend
+    }
+
+    /// Enables or disables incremental solving: with it on (the default),
+    /// the underlying solver retains the propagation trail of the
+    /// assumption prefix consecutive queries share, so prefix-growing
+    /// query streams — the shape path exploration produces — skip
+    /// re-establishing the shared conditions. Answers are identical
+    /// either way; disabling exists for benchmarking and differential
+    /// testing.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.solver.set_assumption_reuse(enabled);
+    }
+
+    /// Whether incremental solving is enabled.
+    pub fn incremental(&self) -> bool {
+        self.solver.assumption_reuse()
+    }
+
+    /// Replaces the tracked path prefix with `constraints` (the engine's
+    /// current path-condition set). Cheap when nothing changed.
+    pub fn prefix_sync(&mut self, constraints: &[TermId]) {
+        if self.path_prefix != constraints {
+            self.path_prefix.clear();
+            self.path_prefix.extend_from_slice(constraints);
+        }
+    }
+
+    /// Appends one condition to the tracked path prefix (the engine took
+    /// a branch).
+    pub fn prefix_push(&mut self, condition: TermId) {
+        self.path_prefix.push(condition);
+    }
+
+    /// Retracts the tracked path prefix to `len` conditions (the engine
+    /// backtracked to a shallower fork point).
+    pub fn prefix_truncate(&mut self, len: usize) {
+        self.path_prefix.truncate(len);
+    }
+
+    /// Current length of the tracked path prefix, in conditions.
+    pub fn prefix_len(&self) -> usize {
+        self.path_prefix.len()
+    }
+
+    /// Checks the conjunction of the tracked path prefix and `suffix`.
+    ///
+    /// Exactly equivalent to [`check_cached`](Self::check_cached) on
+    /// `prefix ∪ suffix` — same cache key, same verdict — but lets
+    /// engines phrase per-path query streams as "prefix + one new
+    /// condition", which is the access pattern the incremental solver
+    /// core rewards.
+    pub fn check_suffix(&mut self, ctx: &Context, suffix: &[TermId]) -> CheckResult {
+        let mut conditions = std::mem::take(&mut self.path_prefix);
+        let prefix_len = conditions.len();
+        conditions.extend_from_slice(suffix);
+        let result = self.check_cached(ctx, &conditions);
+        conditions.truncate(prefix_len);
+        self.path_prefix = conditions;
+        result
     }
 
     /// Checks the conjunction of width-1 `conditions` for satisfiability.

@@ -266,6 +266,79 @@ fn proof_audit_never_flips_term_queries() {
     });
 }
 
+/// Incremental solving never flips an answer on prefix-growing query
+/// streams — the access pattern symbolic execution produces. Over
+/// random sequences that grow a path prefix one condition at a time,
+/// with occasional backtracks to a shallower fork point, three backends
+/// agree on every verdict: an audited incremental backend driven
+/// through the prefix API ([`SolverBackend::prefix_push`] /
+/// [`SolverBackend::prefix_truncate`] / [`SolverBackend::check_suffix`],
+/// so learnt clauses and trail prefixes are retained across queries),
+/// the same configuration with incremental solving disabled, and a
+/// fresh backend solving each query from scratch. Every satisfiable
+/// prefix is witnessed by a model that replays through the reference
+/// evaluator, and the auditor certifies every retained-prefix answer
+/// (models evaluated, cores replayed) with no failures.
+#[test]
+fn incremental_prefix_streams_never_flip_answers() {
+    check_cases(0xd1f_0005, 24, |rng| {
+        let mut ctx = Context::new();
+        let mut incremental = SolverBackend::with_options(true, true);
+        let mut non_incremental = SolverBackend::with_options(true, true);
+        non_incremental.set_incremental(false);
+        assert!(incremental.incremental() && !non_incremental.incremental());
+
+        let mut prefix: Vec<TermId> = Vec::new();
+        for _ in 0..8 {
+            if !prefix.is_empty() && rng.chance(1, 4) {
+                // The engine backtracked: retract to a shallower fork.
+                let keep = rng.index(prefix.len());
+                prefix.truncate(keep);
+                incremental.prefix_truncate(keep);
+            }
+            let cond = condition(rng, &mut ctx);
+            prefix.push(cond);
+
+            // The engine's query shape: tracked prefix + the one new
+            // branch condition, committed only after the check.
+            let inc = incremental.check_suffix(&ctx, &[cond]);
+            incremental.prefix_push(cond);
+            assert_eq!(incremental.prefix_len(), prefix.len());
+
+            let non_inc = non_incremental.check_cached(&ctx, &prefix);
+            assert_eq!(inc, non_inc, "incremental flipped the answer on {prefix:?}");
+            let mut fresh = SolverBackend::new();
+            let scratch = fresh.check(&ctx, &prefix);
+            assert_eq!(
+                inc, scratch,
+                "retained state flipped the answer on {prefix:?}"
+            );
+
+            if scratch.is_sat() {
+                let env = fresh.test_vector(&ctx).to_env();
+                for c in &prefix {
+                    assert_eq!(
+                        eval(&ctx, *c, &env),
+                        1,
+                        "model does not replay condition {c:?} of {prefix:?}"
+                    );
+                }
+            } else {
+                // An infeasible path is dead: the engine drops it. Keep
+                // the stream on feasible prefixes like the engine does.
+                prefix.pop();
+                incremental.prefix_truncate(prefix.len());
+            }
+        }
+
+        for backend in [&incremental, &non_incremental] {
+            let stats = backend.proof_audit_stats();
+            assert!(stats.steps > 0, "auditor applied no proof steps");
+            assert_eq!(stats.failures, 0, "{:?}", backend.proof_audit_failure());
+        }
+    });
+}
+
 /// Models returned for an unconstrained term always satisfy the
 /// condition they were asked for (soundness of model extraction).
 #[test]

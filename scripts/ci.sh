@@ -77,6 +77,12 @@ cargo test -q --test chain_equivalence
 echo "==> proof-audit equivalence (audit on == audit off, all engines)"
 cargo test -q --test audit_equivalence
 
+echo "==> frozen goldens (audited BRANCH sweep bytes == pre-incremental core)"
+# The incremental core may only change how answers are computed, never
+# what is explored or certified: report and certificate bytes must match
+# the goldens frozen before the solver surgery (see tests/core_goldens.rs).
+cargo test -q --test core_goldens
+
 echo "==> pathengine --smoke (informational, non-gating)"
 cargo run --release -p symcosim-bench --bin pathengine -- --smoke
 

@@ -1,0 +1,116 @@
+//! Frozen-golden gate for solver-core surgery: the audited clean BRANCH
+//! sweep must keep producing byte-identical `symcosim-report/1` and
+//! `symcosim-cert/1` documents as the solver core evolves.
+//!
+//! The goldens under `tests/golden/` were captured from the pre-Glucose
+//! (PR 7) core. They are model-independent by construction — the clean
+//! configuration has no findings (so no solver-chosen witness words reach
+//! the report) and coverage cubes are projected from path constraints,
+//! not models — so any byte drift here means the solver rebuild changed
+//! *what* was explored or certified, not merely *how*.
+//!
+//! Regenerate (only when the explored space legitimately changes, e.g. a
+//! decoder fix) with:
+//!     SYMCOSIM_REGEN_GOLDENS=1 cargo test --test core_goldens
+
+use symcosim::core::{
+    Certificate, EngineKind, InstrConstraint, SessionConfig, VerifyReport, VerifySession,
+};
+use symcosim::isa::opcodes;
+
+const REPORT_GOLDEN: &str = "tests/golden/branch_report.json";
+const CERT_GOLDEN: &str = "tests/golden/branch_cert.json";
+
+fn audited_branch_config() -> SessionConfig {
+    let mut config = SessionConfig::rv32i_only();
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::BRANCH);
+    config.collect_coverage = true;
+    config.audit = true;
+    config.engine = EngineKind::Fork;
+    config
+}
+
+fn run(config: SessionConfig) -> VerifyReport {
+    VerifySession::new(config).expect("valid config").run()
+}
+
+fn golden_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn audited_branch_sweep_matches_frozen_goldens() {
+    let report = run(audited_branch_config());
+
+    // The audited run must certify every answer it gave.
+    assert!(
+        report.proof_audit.models + report.proof_audit.cores > 0,
+        "audited sweep certified no answers"
+    );
+    assert_eq!(
+        report.proof_audit.failures, 0,
+        "checker rejected an answer: {:?}",
+        report.proof_audit_failure
+    );
+
+    let report_json = report.to_json();
+    let cert_json =
+        Certificate::certify(report.coverage.as_ref().expect("coverage collected")).to_json();
+
+    if std::env::var_os("SYMCOSIM_REGEN_GOLDENS").is_some() {
+        std::fs::write(golden_path(REPORT_GOLDEN), &report_json).expect("write report golden");
+        std::fs::write(golden_path(CERT_GOLDEN), &cert_json).expect("write cert golden");
+    }
+
+    let expected_report =
+        std::fs::read_to_string(golden_path(REPORT_GOLDEN)).expect("report golden present");
+    let expected_cert =
+        std::fs::read_to_string(golden_path(CERT_GOLDEN)).expect("cert golden present");
+    assert_eq!(
+        report_json, expected_report,
+        "audited BRANCH report drifted from the frozen golden \
+         (SYMCOSIM_REGEN_GOLDENS=1 regenerates after an intentional change)"
+    );
+    assert_eq!(
+        cert_json, expected_cert,
+        "audited BRANCH certificate drifted from the frozen golden"
+    );
+}
+
+/// The goldens pin the *unaudited* run too: auditing is observational, so
+/// the same bytes must come back with `audit` off, across engines and
+/// worker counts — the chain_equivalence-style leg of the gate.
+#[test]
+fn golden_bytes_are_audit_and_engine_independent() {
+    let expected_report =
+        std::fs::read_to_string(golden_path(REPORT_GOLDEN)).expect("report golden present");
+    let expected_cert =
+        std::fs::read_to_string(golden_path(CERT_GOLDEN)).expect("cert golden present");
+
+    for (label, audit, engine, jobs) in [
+        ("plain reexec", false, EngineKind::Reexec, 1),
+        ("plain fork x2", false, EngineKind::Fork, 2),
+        ("audited fork x2", true, EngineKind::Fork, 2),
+    ] {
+        let mut config = audited_branch_config();
+        config.audit = audit;
+        config.engine = engine;
+        let session = VerifySession::new(config).expect("valid config");
+        let report = if jobs <= 1 {
+            session.run()
+        } else {
+            session.run_parallel(jobs)
+        };
+        assert_eq!(
+            report.to_json(),
+            expected_report,
+            "{label}: report diverged"
+        );
+        assert_eq!(
+            Certificate::certify(report.coverage.as_ref().expect("coverage")).to_json(),
+            expected_cert,
+            "{label}: certificate diverged"
+        );
+    }
+}
