@@ -1,16 +1,21 @@
 //! Solver-chain benchmark: feasibility solving with the KLEE-style chain
-//! on versus off, and with incremental solving on versus off.
+//! on versus off, with incremental solving on versus off, and with the
+//! abstract-interpretation preflight on versus off.
 //!
 //! Runs the same frontier-drained explorations — corrected models, fork
 //! engine, generation restricted to the OP and then the BRANCH major
-//! opcode at instruction limit 2 — three times each: through the solver
-//! chain (independence slicing, counterexample-core subsumption, cached
-//! model evaluation) with incremental solving (`chain_on`), through the
-//! chain with incremental solving disabled (`incremental_off`), and
-//! solving every query set directly (`chain_off`). Neither the chain nor
-//! incrementality changes an answer, so all three reports of each sweep
-//! are asserted identical; the interesting numbers are the SAT `solve()`
-//! call count, the assumption-prefix reuse rate, and the wall time.
+//! opcode at instruction limit 2 — four times each: through the solver
+//! chain (absint preflight, independence slicing, counterexample-core
+//! subsumption, cached model evaluation) with incremental solving
+//! (`chain_on`), through the chain with incremental solving disabled
+//! (`incremental_off`), through the chain with the preflight disabled
+//! (`preflight_off`), and solving every query set directly
+//! (`chain_off`). None of the chain, incrementality or the preflight
+//! changes an answer, so all four reports of each sweep are asserted
+//! identical; the interesting numbers are the SAT `solve()` call count,
+//! the assumption-prefix reuse rate, the preflight kill fraction (share
+//! of chain queries the lattice answers before any cache or solver
+//! work), and the wall time.
 //!
 //! Emits `BENCH_solver.json` (a `symcosim-bench/1` document) into the
 //! working directory and prints the same numbers to stdout. The
@@ -40,14 +45,23 @@ struct Sweep {
     chain_on: Measurement,
     chain_off: Measurement,
     incremental_off: Measurement,
+    preflight_off: Measurement,
     solves_saved_pct: f64,
     wall_speedup: f64,
     incremental_speedup: f64,
+    preflight_kill_pct: f64,
+    preflight_speedup: f64,
 }
 
 const INSTR_LIMIT: u32 = 2;
 
-fn sweep_config(opcode: u32, chain: bool, incremental: bool, max_paths: usize) -> SessionConfig {
+fn sweep_config(
+    opcode: u32,
+    chain: bool,
+    incremental: bool,
+    preflight: bool,
+    max_paths: usize,
+) -> SessionConfig {
     let mut config = SessionConfig::rv32i_only();
     config.stop_at_first_mismatch = false;
     config.constraint = InstrConstraint::OnlyOpcode(opcode);
@@ -61,11 +75,18 @@ fn sweep_config(opcode: u32, chain: bool, incremental: bool, max_paths: usize) -
     config.emit_test_vectors = false;
     config.solver_chain = chain;
     config.incremental = incremental;
+    config.preflight = preflight;
     config
 }
 
-fn run_once(opcode: u32, chain: bool, incremental: bool, max_paths: usize) -> Measurement {
-    let config = sweep_config(opcode, chain, incremental, max_paths);
+fn run_once(
+    opcode: u32,
+    chain: bool,
+    incremental: bool,
+    preflight: bool,
+    max_paths: usize,
+) -> Measurement {
+    let config = sweep_config(opcode, chain, incremental, preflight, max_paths);
     let start = Instant::now();
     let report = VerifySession::new(config)
         .expect("valid configuration")
@@ -77,9 +98,10 @@ fn run_once(opcode: u32, chain: bool, incremental: bool, max_paths: usize) -> Me
 }
 
 fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
-    let chain_off = run_once(opcode, false, true, max_paths);
-    let incremental_off = run_once(opcode, true, false, max_paths);
-    let chain_on = run_once(opcode, true, true, max_paths);
+    let chain_off = run_once(opcode, false, true, true, max_paths);
+    let incremental_off = run_once(opcode, true, false, true, max_paths);
+    let preflight_off = run_once(opcode, true, true, false, max_paths);
+    let chain_on = run_once(opcode, true, true, true, max_paths);
 
     // The chain and incremental solving only change how answers are
     // computed, never what they are: the serialised reports (findings,
@@ -94,6 +116,11 @@ fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
         incremental_off.report.to_json(),
         "incremental solving changed the report on the {name} sweep"
     );
+    assert_eq!(
+        chain_on.report.to_json(),
+        preflight_off.report.to_json(),
+        "the absint preflight changed the report on the {name} sweep"
+    );
 
     let off_solves = chain_off.report.solver_stats.solves;
     let on_solves = chain_on.report.solver_stats.solves;
@@ -104,6 +131,13 @@ fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
     };
     let wall_speedup = chain_off.wall_ms as f64 / (chain_on.wall_ms as f64).max(1.0);
     let incremental_speedup = incremental_off.wall_ms as f64 / (chain_on.wall_ms as f64).max(1.0);
+    let on_chain = &chain_on.report.chain_stats;
+    let preflight_kill_pct = if on_chain.queries == 0 {
+        0.0
+    } else {
+        100.0 * on_chain.preflight_hits as f64 / on_chain.queries as f64
+    };
+    let preflight_speedup = preflight_off.wall_ms as f64 / (chain_on.wall_ms as f64).max(1.0);
 
     println!(
         "{name:<8} {} paths  chain off: {:>6} solves {:>7} ms   \
@@ -119,6 +153,11 @@ fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
          ({incremental_speedup:.2}x, {} prefix reuse hits)",
         incremental_off.wall_ms, chain_on.wall_ms, chain_on.report.chain_stats.prefix_reuse_hits,
     );
+    println!(
+        "         preflight off: {:>7} ms   preflight on: {:>7} ms   \
+         ({preflight_kill_pct:.1}% of chain queries killed statically)",
+        preflight_off.wall_ms, chain_on.wall_ms,
+    );
     println!("         chain: {}", chain_on.report.chain_stats);
 
     Sweep {
@@ -127,9 +166,12 @@ fn sweep(name: &'static str, opcode: u32, max_paths: usize) -> Sweep {
         chain_on,
         chain_off,
         incremental_off,
+        preflight_off,
         solves_saved_pct,
         wall_speedup,
         incremental_speedup,
+        preflight_kill_pct,
+        preflight_speedup,
     }
 }
 
@@ -148,6 +190,7 @@ fn write_mode(w: &mut JsonWriter, name: &str, m: &Measurement) {
     let chain = &m.report.chain_stats;
     w.object_field("chain");
     w.number_field("queries", chain.queries);
+    w.number_field("preflight_hits", chain.preflight_hits);
     w.number_field("slices", chain.slices);
     w.number_field("slice_hits", chain.slice_hits);
     w.number_field("core_hits", chain.core_hits);
@@ -195,9 +238,12 @@ fn main() {
         write_mode(w, "chain_on", &s.chain_on);
         write_mode(w, "chain_off", &s.chain_off);
         write_mode(w, "incremental_off", &s.incremental_off);
+        write_mode(w, "preflight_off", &s.preflight_off);
         w.float_field("solves_saved_pct", s.solves_saved_pct);
         w.float_field("wall_speedup", s.wall_speedup);
         w.float_field("incremental_speedup", s.incremental_speedup);
+        w.float_field("preflight_kill_pct", s.preflight_kill_pct);
+        w.float_field("preflight_speedup", s.preflight_speedup);
         w.bool_field("identical_reports", true);
         w.close_object();
     });

@@ -27,7 +27,8 @@ USAGE:
                         [--jobs N] [--seed N] [--engine fork|reexec] [--lint]
                         [--opcode HEX] [--certify] [--slices N]
                         [--report-json PATH] [--no-solver-chain]
-                        [--no-incremental] [--audit] [--audit-json PATH]
+                        [--no-incremental] [--no-preflight]
+                        [--audit] [--audit-json PATH]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
         pass --rv32i-only to block them. --window sets the number of
@@ -56,6 +57,9 @@ USAGE:
         --no-incremental makes every SAT query restart from an empty
         trail instead of reusing the established assumption prefix —
         again identical, only slower; for benchmarking.
+        --no-preflight disables the chain's abstract-interpretation
+        preflight, so statically-forced queries reach the caches and
+        solver again — identical report, only slower; for benchmarking.
         --audit turns on proof-carrying solving: the SAT solver logs
         clausal (RUP) proofs and an independent checker certifies every
         answer — models by evaluation, UNSAT cores by conflict-cone
@@ -67,6 +71,7 @@ USAGE:
     symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
                         [--engine fork|reexec] [--fuzz] [--hybrid]
                         [--no-solver-chain] [--no-incremental]
+                        [--no-preflight]
         Seed one of the paper's Table II faults into the core and hunt it
         symbolically (default), by fuzzing (--fuzz), or hybrid (--hybrid).
 
@@ -210,6 +215,9 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if args.iter().any(|a| a == "--no-incremental") {
         config.incremental = false;
+    }
+    if args.iter().any(|a| a == "--no-preflight") {
+        config.preflight = false;
     }
     let certify = args.iter().any(|a| a == "--certify");
     let report_json = flag_string(args, "--report-json")?;
@@ -360,6 +368,9 @@ fn cmd_inject(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if args.iter().any(|a| a == "--no-incremental") {
         session.incremental = false;
+    }
+    if args.iter().any(|a| a == "--no-preflight") {
+        session.preflight = false;
     }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
 

@@ -124,6 +124,13 @@ pub struct SessionConfig {
     /// Answers, reports and certificates are byte-identical either way —
     /// the CLI's `--no-incremental` flag disables it for benchmarking.
     pub incremental: bool,
+    /// Abstract-interpretation preflight in the solver chain: statically
+    /// answer feasibility queries whose path-condition conjunction is
+    /// forced, before any slicing or solver work. Answers, reports and
+    /// certificates are byte-identical either way — the CLI's
+    /// `--no-preflight` flag disables it for benchmarking. Ignored when
+    /// [`SessionConfig::solver_chain`] is off.
+    pub preflight: bool,
 }
 
 impl SessionConfig {
@@ -153,6 +160,7 @@ impl SessionConfig {
             slice: None,
             audit: false,
             incremental: true,
+            preflight: true,
         }
     }
 
@@ -183,6 +191,7 @@ impl SessionConfig {
             slice: None,
             audit: false,
             incremental: true,
+            preflight: true,
         }
     }
 }
@@ -499,6 +508,7 @@ fn engine_config(config: &SessionConfig) -> EngineConfig {
         solver_chain: config.solver_chain,
         audit: config.audit,
         incremental: config.incremental,
+        preflight: config.preflight,
     }
 }
 

@@ -92,9 +92,9 @@ impl ProgressEvent {
                  \"conflicts\":{},\"restarts\":{},\"learnt_clauses\":{},\
                  \"db_reductions\":{},\"learned_kept\":{},\
                  \"cache_hits\":{},\"cache_misses\":{},\
-                 \"chain_queries\":{},\"chain_slices\":{},\"chain_slice_hits\":{},\
-                 \"chain_core_hits\":{},\"chain_model_hits\":{},\"chain_solves\":{},\
-                 \"chain_prefix_reuse_hits\":{},\"chain_max_slice\":{},\
+                 \"chain_queries\":{},\"chain_preflight_hits\":{},\"chain_slices\":{},\
+                 \"chain_slice_hits\":{},\"chain_core_hits\":{},\"chain_model_hits\":{},\
+                 \"chain_solves\":{},\"chain_prefix_reuse_hits\":{},\"chain_max_slice\":{},\
                  \"audit_steps\":{},\"audit_models\":{},\"audit_cores\":{},\
                  \"audit_bytes\":{},\"audit_failures\":{}}}",
                 solver.solves,
@@ -108,6 +108,7 @@ impl ProgressEvent {
                 cache.hits,
                 cache.misses,
                 chain.queries,
+                chain.preflight_hits,
                 chain.slices,
                 chain.slice_hits,
                 chain.core_hits,
@@ -198,6 +199,7 @@ mod tests {
         };
         let chain = SolverChainStats {
             queries: 301,
+            preflight_hits: 309,
             slices: 302,
             slice_hits: 303,
             core_hits: 304,
@@ -235,7 +237,7 @@ mod tests {
         }
         // And the round-trip parsers pin the Display forms themselves to
         // the full field sets.
-        assert_eq!(printed.matches('=').count(), 8 + 2 + 8 + 5);
+        assert_eq!(printed.matches('=').count(), 8 + 2 + 9 + 5);
         assert_eq!(cache.to_string().parse::<QueryCacheStats>(), Ok(cache));
         assert_eq!(chain.to_string().parse::<SolverChainStats>(), Ok(chain));
         assert_eq!(audit.to_string().parse::<ProofAuditStats>(), Ok(audit));

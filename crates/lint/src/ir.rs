@@ -30,6 +30,11 @@ pub struct IrReport {
     pub paths_checked: usize,
     /// Hard well-formedness violations (gating — must be empty).
     pub violations: Vec<String>,
+    /// Constraints refuted by the abstract-interpretation lattice — the
+    /// `statically-false-constraint` finding kind. A live path carrying
+    /// one is a tooling bug, so these are also counted in `violations`;
+    /// this field breaks them out for the report.
+    pub statically_false: u64,
     /// Advisory issues across all paths (dead/disconnected constraints,
     /// unbounded symbols). Informational.
     pub advisories: u64,
@@ -60,7 +65,7 @@ const IR_OPCODE: u32 = opcodes::OP;
 /// An instruction memory constrained to one major opcode (the session's
 /// `InstrConstraint::OnlyOpcode`, reconstructed here so the lint crate
 /// controls the exploration exactly).
-fn only_opcode_imem<D: Domain>(opcode: u32) -> SymbolicInstrMemory<D> {
+pub(crate) fn only_opcode_imem<D: Domain>(opcode: u32) -> SymbolicInstrMemory<D> {
     SymbolicInstrMemory::with_constraint(move |dom: &mut D, instr| {
         let field = dom.field(instr, 6, 0);
         let is_target = dom.eq_const(field, opcode & 0x7f);
@@ -103,6 +108,7 @@ pub fn analyze() -> IrReport {
     });
 
     let mut violations = Vec::new();
+    let mut statically_false = 0u64;
     let mut advisories = 0u64;
     let mut dead_symbols = Vec::new();
     for (index, path) in outcome.paths.iter().enumerate() {
@@ -111,6 +117,9 @@ pub fn analyze() -> IrReport {
                 if let Some(name) = engine.ctx().symbol_name(issue.term) {
                     dead_symbols.push(name.to_string());
                 }
+            }
+            if issue.kind == WfIssueKind::StaticallyFalseConstraint {
+                statically_false += 1;
             }
             if issue.kind.advisory() {
                 advisories += 1;
@@ -126,6 +135,7 @@ pub fn analyze() -> IrReport {
     IrReport {
         paths_checked: outcome.paths.len(),
         violations,
+        statically_false,
         advisories,
         dead_symbols,
         x0_cases,

@@ -25,6 +25,11 @@
 //!   ([`symcosim_symex::wf`]) run over the path conditions of a real
 //!   symbolic co-simulation, plus an executable audit of the `x0`
 //!   write-discard choke points in both models.
+//! * [`dataflow`] — abstract-interpretation findings over a real BRANCH
+//!   sweep via the [`symcosim_symex::absint`] lattice: dead branches,
+//!   constant outputs, width-truncation hazards, unconstrained
+//!   output-influencing symbols, and the sibling-path merge-opportunity
+//!   report.
 //! * [`coverage`] — offline re-certification of a dumped
 //!   `symcosim-report/1` document: re-derives the exploration-coverage
 //!   certificate (the run's paths partition the legal decode space) from
@@ -45,6 +50,7 @@
 pub mod audit;
 pub mod coverage;
 pub mod cross;
+pub mod dataflow;
 pub mod decode_space;
 pub mod ir;
 pub mod pattern;
@@ -52,6 +58,7 @@ pub mod report;
 
 pub use audit::AuditReport;
 pub use cross::CrossModelReport;
+pub use dataflow::DataflowReport;
 pub use decode_space::DecodeSpaceReport;
 pub use ir::IrReport;
 pub use pattern::{Pattern, PatternSet};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! symcosim-lint [--all] [--decode] [--cross] [--ir]
+//!               [--dataflow [--merge-report]]
 //!               [--coverage REPORT.json] [--audit AUDIT.json] [--json]
 //! ```
 //!
@@ -10,13 +11,14 @@
 //! `--json`. Exits 0 when clean, 1 on any gating finding, 2 on usage
 //! errors.
 
-use symcosim_lint::{audit, coverage, cross, decode_space, ir, LintReport};
+use symcosim_lint::{audit, coverage, cross, dataflow, decode_space, ir, LintReport};
 
 const USAGE: &str = "\
 symcosim-lint — static decode-space and symbolic-IR analysis
 
 USAGE:
     symcosim-lint [--all] [--decode] [--cross] [--ir]
+                  [--dataflow [--merge-report]]
                   [--coverage REPORT.json] [--audit AUDIT.json] [--json]
 
         --decode    decode-space theorems: completeness, disjointness and
@@ -28,8 +30,19 @@ USAGE:
                     counterexample words
         --ir        symbolic-IR well-formedness over real path conditions
                     (including dead symbols in no path condition and no
-                    output term), plus the executable x0 write-discard
-                    audit
+                    output term, and path conditions refuted by the
+                    known-bits/interval lattice), plus the executable x0
+                    write-discard audit
+        --dataflow  abstract-interpretation findings over a two-instruction
+                    BRANCH sweep: dead branches (gating), constant outputs,
+                    width-truncation hazards and unconstrained
+                    output-influencing symbols, derived offline from the
+                    known-bits + interval lattice with no solver queries
+        --merge-report
+                    with --dataflow: also group sibling paths (same
+                    decisions except the last) whose diverging constraints
+                    touch only fetch-slot bits disjoint from both output
+                    cones — provably mergeable path pairs
         --coverage  re-certify the exploration coverage of a dumped
                     symcosim-report/1 document (from `symcosim-cli verify
                     --report-json PATH`): prove the run's paths partition
@@ -55,6 +68,8 @@ fn run(args: &[String]) -> i32 {
     let mut decode = false;
     let mut cross_model = false;
     let mut ir_pass = false;
+    let mut dataflow_pass = false;
+    let mut merge_report = false;
     let mut coverage_path: Option<String> = None;
     let mut audit_path: Option<String> = None;
     let mut iter = args.iter();
@@ -64,6 +79,11 @@ fn run(args: &[String]) -> i32 {
             "--decode" => decode = true,
             "--cross" => cross_model = true,
             "--ir" => ir_pass = true,
+            "--dataflow" => dataflow_pass = true,
+            "--merge-report" => {
+                dataflow_pass = true;
+                merge_report = true;
+            }
             "--coverage" => match iter.next() {
                 Some(path) => coverage_path = Some(path.clone()),
                 None => {
@@ -99,7 +119,13 @@ fn run(args: &[String]) -> i32 {
             }
         }
     }
-    if !decode && !cross_model && !ir_pass && coverage_path.is_none() && audit_path.is_none() {
+    if !decode
+        && !cross_model
+        && !ir_pass
+        && !dataflow_pass
+        && coverage_path.is_none()
+        && audit_path.is_none()
+    {
         decode = true;
         cross_model = true;
         ir_pass = true;
@@ -131,6 +157,7 @@ fn run(args: &[String]) -> i32 {
         decode: decode.then(decode_space::analyze),
         cross: cross_model.then(cross::analyze),
         ir: ir_pass.then(ir::analyze),
+        dataflow: dataflow_pass.then(|| dataflow::analyze(merge_report)),
         coverage: cert,
         audit: audit_report,
     };

@@ -13,6 +13,7 @@ use symcosim_core::Certificate;
 
 use crate::audit::AuditReport;
 use crate::cross::CrossModelReport;
+use crate::dataflow::DataflowReport;
 use crate::decode_space::DecodeSpaceReport;
 use crate::ir::IrReport;
 
@@ -30,6 +31,10 @@ pub struct LintReport {
     pub cross: Option<CrossModelReport>,
     /// Symbolic-IR well-formedness pass and `x0` audit.
     pub ir: Option<IrReport>,
+    /// Abstract-interpretation dataflow pass over the BRANCH sweep
+    /// (`--dataflow`), optionally with the sibling merge-opportunity
+    /// analysis (`--merge-report`).
+    pub dataflow: Option<DataflowReport>,
     /// Exploration-coverage certificate re-derived from a dumped session
     /// report (`--coverage`).
     pub coverage: Option<Certificate>,
@@ -45,6 +50,7 @@ impl LintReport {
         self.decode.as_ref().map_or(0, DecodeSpaceReport::findings)
             + self.cross.as_ref().map_or(0, CrossModelReport::findings)
             + self.ir.as_ref().map_or(0, IrReport::findings)
+            + self.dataflow.as_ref().map_or(0, DataflowReport::findings)
             + self.coverage.as_ref().map_or(0, Certificate::findings)
             + self.audit.as_ref().map_or(0, AuditReport::findings)
     }
@@ -139,6 +145,7 @@ impl LintReport {
                 w.array_field("violations", ir.violations.len(), |w, i| {
                     w.string_value(&ir.violations[i]);
                 });
+                w.number_field("statically_false", ir.statically_false);
                 w.number_field("advisories", ir.advisories);
                 w.array_field("dead_symbols", ir.dead_symbols.len(), |w, i| {
                     w.string_value(&ir.dead_symbols[i]);
@@ -147,6 +154,62 @@ impl LintReport {
                 w.array_field("x0_violations", ir.x0_violations.len(), |w, i| {
                     w.string_value(&ir.x0_violations[i]);
                 });
+                w.close_object();
+            }
+        }
+        match &self.dataflow {
+            None => w.null_field("dataflow"),
+            Some(dataflow) => {
+                w.object_field("dataflow");
+                w.string_field("opcode", &hex(dataflow.opcode));
+                w.number_field("paths_checked", dataflow.paths_checked as u64);
+                w.array_field("dead_branches", dataflow.dead_branches.len(), |w, i| {
+                    w.string_value(&dataflow.dead_branches[i]);
+                });
+                w.array_field(
+                    "constant_outputs",
+                    dataflow.constant_outputs.len(),
+                    |w, i| {
+                        w.string_value(&dataflow.constant_outputs[i]);
+                    },
+                );
+                w.array_field(
+                    "truncation_hazards",
+                    dataflow.truncation_hazards.len(),
+                    |w, i| {
+                        w.string_value(&dataflow.truncation_hazards[i]);
+                    },
+                );
+                w.array_field(
+                    "unconstrained_influencers",
+                    dataflow.unconstrained_influencers.len(),
+                    |w, i| {
+                        w.string_value(&dataflow.unconstrained_influencers[i]);
+                    },
+                );
+                match &dataflow.merge {
+                    None => w.null_field("merge"),
+                    Some(merge) => {
+                        w.object_field("merge");
+                        w.number_field("sibling_groups", merge.sibling_groups as u64);
+                        w.number_field("fetch_slot_groups", merge.fetch_slot_groups as u64);
+                        w.number_field("mergeable_groups", merge.mergeable_groups as u64);
+                        w.array_field("samples", merge.samples.len(), |w, i| {
+                            let group = &merge.samples[i];
+                            w.open_object();
+                            w.number_field("depth", group.depth as u64);
+                            w.number_field("size", group.size as u64);
+                            w.array_field("paths", group.paths.len(), |w, k| {
+                                w.number_value(group.paths[k] as u64);
+                            });
+                            w.array_field("diverging_bits", group.diverging_bits.len(), |w, k| {
+                                w.string_value(&group.diverging_bits[k]);
+                            });
+                            w.close_object();
+                        });
+                        w.close_object();
+                    }
+                }
                 w.close_object();
             }
         }
@@ -292,6 +355,52 @@ impl fmt::Display for LintReport {
                 writeln!(f, "  all path conditions well-formed, x0 writes discarded")?;
             }
         }
+        if let Some(dataflow) = &self.dataflow {
+            writeln!(
+                f,
+                "dataflow (opcode 0x{:08x}): {} paths analysed",
+                dataflow.opcode, dataflow.paths_checked
+            )?;
+            for finding in &dataflow.dead_branches {
+                writeln!(f, "  DEAD-BRANCH {finding}")?;
+            }
+            for finding in &dataflow.constant_outputs {
+                writeln!(f, "  CONSTANT-OUTPUT {finding}")?;
+            }
+            for finding in &dataflow.truncation_hazards {
+                writeln!(f, "  TRUNCATION-HAZARD {finding}")?;
+            }
+            if !dataflow.unconstrained_influencers.is_empty() {
+                writeln!(
+                    f,
+                    "  {} unconstrained output-influencing symbols:",
+                    dataflow.unconstrained_influencers.len()
+                )?;
+                for name in &dataflow.unconstrained_influencers {
+                    writeln!(f, "    UNCONSTRAINED-INFLUENCER {name}")?;
+                }
+            }
+            if dataflow.findings() == 0 {
+                writeln!(f, "  no dead branches; every path condition is live")?;
+            }
+            if let Some(merge) = &dataflow.merge {
+                writeln!(
+                    f,
+                    "  merge opportunities: {} sibling groups, {} diverging on \
+                     fetch-slot bits, {} provably mergeable",
+                    merge.sibling_groups, merge.fetch_slot_groups, merge.mergeable_groups
+                )?;
+                for group in &merge.samples {
+                    writeln!(
+                        f,
+                        "    MERGEABLE {} paths forked at decision {} on {}",
+                        group.size,
+                        group.depth,
+                        group.diverging_bits.join(", ")
+                    )?;
+                }
+            }
+        }
         if let Some(cert) = &self.coverage {
             write!(f, "{cert}")?;
         }
@@ -345,6 +454,7 @@ mod tests {
         assert!(json.contains("\"decode_space\": null"));
         assert!(json.contains("\"cross_model\": null"));
         assert!(json.contains("\"ir\": null"));
+        assert!(json.contains("\"dataflow\": null"));
         assert!(json.contains("\"coverage\": null"));
         assert!(json.contains("\"audit\": null"));
         assert!(json.contains("\"status\": \"clean\""));
@@ -356,6 +466,7 @@ mod tests {
             ir: Some(crate::ir::IrReport {
                 paths_checked: 1,
                 violations: vec!["v".into()],
+                statically_false: 0,
                 advisories: 0,
                 dead_symbols: Vec::new(),
                 x0_cases: 0,

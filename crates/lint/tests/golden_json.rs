@@ -15,6 +15,7 @@ fn json_report_matches_the_golden_file() {
         decode: Some(decode_space::analyze()),
         cross: Some(cross::analyze()),
         ir: Some(ir::analyze()),
+        dataflow: None,
         coverage: None,
         audit: None,
     };

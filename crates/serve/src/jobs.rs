@@ -136,6 +136,7 @@ struct JobRecord {
     cache_hits: u64,
     cache_misses: u64,
     chain_queries: u64,
+    chain_preflight_hits: u64,
     chain_hits: u64,
     chain_solves: u64,
     chain_prefix_reuse_hits: u64,
@@ -215,6 +216,7 @@ impl JobManager {
             cache_hits: 0,
             cache_misses: 0,
             chain_queries: 0,
+            chain_preflight_hits: 0,
             chain_hits: 0,
             chain_solves: 0,
             chain_prefix_reuse_hits: 0,
@@ -332,6 +334,7 @@ impl JobManager {
             job.cache_hits += report.query_cache.hits;
             job.cache_misses += report.query_cache.misses;
             job.chain_queries += report.chain_stats.queries;
+            job.chain_preflight_hits += report.chain_stats.preflight_hits;
             job.chain_hits += report.chain_stats.slice_hits
                 + report.chain_stats.core_hits
                 + report.chain_stats.model_hits;
@@ -430,6 +433,7 @@ impl JobManager {
             rate(job.cache_hits, job.cache_hits + job.cache_misses),
         );
         w.number_field("chain_queries", job.chain_queries);
+        w.number_field("chain_preflight_hits", job.chain_preflight_hits);
         w.number_field("chain_hits", job.chain_hits);
         w.number_field("chain_solves", job.chain_solves);
         w.number_field("chain_prefix_reuse_hits", job.chain_prefix_reuse_hits);

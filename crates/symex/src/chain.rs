@@ -34,6 +34,7 @@ use std::rc::Rc;
 
 use symcosim_sat::{Lit, SolveResult, Solver};
 
+use crate::absint::{AbsInt, Preflight};
 use crate::audit::ProofAuditor;
 use crate::blast::Blaster;
 use crate::eval::{eval_memo, Env};
@@ -53,6 +54,9 @@ const MODEL_LIMIT: usize = 32;
 pub struct SolverChainStats {
     /// Condition sets routed through the chain.
     pub queries: u64,
+    /// Condition sets answered statically by the abstract-interpretation
+    /// preflight, before any slicing or solver work.
+    pub preflight_hits: u64,
     /// Independent components (slices) those sets were split into.
     pub slices: u64,
     /// Components answered by the exact per-component cache.
@@ -76,6 +80,7 @@ impl SolverChainStats {
     pub fn merge(self, other: SolverChainStats) -> SolverChainStats {
         SolverChainStats {
             queries: self.queries + other.queries,
+            preflight_hits: self.preflight_hits + other.preflight_hits,
             slices: self.slices + other.slices,
             slice_hits: self.slice_hits + other.slice_hits,
             core_hits: self.core_hits + other.core_hits,
@@ -91,9 +96,10 @@ impl fmt::Display for SolverChainStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "queries={} slices={} slice_hits={} core_hits={} model_hits={} solves={} \
-             prefix_reuse_hits={} max_slice={}",
+            "queries={} preflight_hits={} slices={} slice_hits={} core_hits={} model_hits={} \
+             solves={} prefix_reuse_hits={} max_slice={}",
             self.queries,
+            self.preflight_hits,
             self.slices,
             self.slice_hits,
             self.core_hits,
@@ -123,6 +129,7 @@ impl std::str::FromStr for SolverChainStats {
                 .map_err(|_| format!("non-numeric chain stat `{pair}`"))?;
             let field = match key {
                 "queries" => &mut stats.queries,
+                "preflight_hits" => &mut stats.preflight_hits,
                 "slices" => &mut stats.slices,
                 "slice_hits" => &mut stats.slice_hits,
                 "core_hits" => &mut stats.core_hits,
@@ -135,8 +142,8 @@ impl std::str::FromStr for SolverChainStats {
             *field = value;
             seen += 1;
         }
-        if seen != 8 {
-            return Err(format!("expected 8 chain stats, found {seen}"));
+        if seen != 9 {
+            return Err(format!("expected 9 chain stats, found {seen}"));
         }
         Ok(stats)
     }
@@ -177,7 +184,7 @@ impl ChainSeed {
 /// [`SolverBackend`](crate::SolverBackend); the solver and blaster are
 /// passed in per call so the chain shares the backend's incremental
 /// solver state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct SolverChain {
     /// Memoised symbol support per term (sorted, deduplicated).
     support: HashMap<TermId, Rc<Vec<TermId>>>,
@@ -189,7 +196,27 @@ pub(crate) struct SolverChain {
     cores: Vec<Box<[TermId]>>,
     /// Recent satisfying models, newest first.
     models: VecDeque<Rc<Env>>,
+    /// Abstract-interpretation facts backing the preflight stage, memoised
+    /// against the same arena as the symbol-support memo.
+    absint: AbsInt,
+    /// Whether the preflight stage runs (on by default; answers never
+    /// change, only how they are computed).
+    preflight: bool,
     stats: SolverChainStats,
+}
+
+impl Default for SolverChain {
+    fn default() -> SolverChain {
+        SolverChain {
+            support: HashMap::new(),
+            components: HashMap::new(),
+            cores: Vec::new(),
+            models: VecDeque::new(),
+            absint: AbsInt::new(),
+            preflight: true,
+            stats: SolverChainStats::default(),
+        }
+    }
 }
 
 impl SolverChain {
@@ -199,6 +226,15 @@ impl SolverChain {
 
     pub(crate) fn stats(&self) -> SolverChainStats {
         self.stats
+    }
+
+    /// Enables or disables the abstract-interpretation preflight stage.
+    pub(crate) fn set_preflight(&mut self, enabled: bool) {
+        self.preflight = enabled;
+    }
+
+    pub(crate) fn preflight_enabled(&self) -> bool {
+        self.preflight
     }
 
     /// Exports the chain's caches as an owned, `Send`-able seed.
@@ -262,6 +298,23 @@ impl SolverChain {
         }
         if pending.is_empty() {
             return CheckResult::Sat;
+        }
+
+        // Preflight: abstract interpretation statically answers condition
+        // sets whose conjunction is forced, before any slicing or solver
+        // work. Sound, so the answer is the one the solver would give.
+        if self.preflight {
+            match self.absint.preflight(ctx, &pending) {
+                Some(Preflight::Sat) => {
+                    self.stats.preflight_hits += 1;
+                    return CheckResult::Sat;
+                }
+                Some(Preflight::Unsat) => {
+                    self.stats.preflight_hits += 1;
+                    return CheckResult::Unsat;
+                }
+                None => {}
+            }
         }
 
         for component in self.partition(ctx, &pending) {
@@ -569,6 +622,9 @@ mod tests {
         let y2 = ctx.eq(y, c2);
 
         let (mut chain, mut solver, mut blaster) = chain_parts();
+        // Preflight would statically refute the third query; this test is
+        // about the per-slice cache, so bypass it.
+        chain.set_preflight(false);
         assert!(chain
             .check(&ctx, &mut solver, &mut blaster, &[x1], None)
             .is_sat());
@@ -601,6 +657,9 @@ mod tests {
         let x3 = ctx.eq(x, c3);
 
         let (mut chain, mut solver, mut blaster) = chain_parts();
+        // Both queries are preflight-decidable; bypass it to exercise the
+        // unsat-core level underneath.
+        chain.set_preflight(false);
         assert!(!chain
             .check(&ctx, &mut solver, &mut blaster, &[x1, x2], None)
             .is_sat());
@@ -667,8 +726,11 @@ mod tests {
         let x2 = ctx.eq(x, c2);
 
         // First run: one sat solve, one unsat solve (with a stored core
-        // and a stored model).
+        // and a stored model). Preflight would answer the unsat query
+        // before a core is ever stored; this test is about seeding all
+        // three caches, so bypass it.
         let (mut chain, mut solver, mut blaster) = chain_parts();
+        chain.set_preflight(false);
         assert!(chain
             .check(&ctx, &mut solver, &mut blaster, &[x1], None)
             .is_sat());
@@ -682,6 +744,7 @@ mod tests {
         // Second run over the same term graph, warmed: identical answers
         // with zero solves.
         let (mut warmed, mut solver2, mut blaster2) = chain_parts();
+        warmed.set_preflight(false);
         warmed.import_seed(&seed);
         assert!(warmed
             .check(&ctx, &mut solver2, &mut blaster2, &[x1], None)
@@ -717,6 +780,7 @@ mod tests {
     fn chain_stats_display_round_trips() {
         let stats = SolverChainStats {
             queries: 11,
+            preflight_hits: 9,
             slices: 22,
             slice_hits: 33,
             core_hits: 44,
@@ -730,8 +794,8 @@ mod tests {
         assert_eq!(parsed, stats, "Display must carry every field");
         assert!("queries=1".parse::<SolverChainStats>().is_err());
         assert!(
-            "queries=1 slices=x slice_hits=0 core_hits=0 model_hits=0 solves=0 \
-             prefix_reuse_hits=0 max_slice=0"
+            "queries=1 preflight_hits=0 slices=x slice_hits=0 core_hits=0 model_hits=0 \
+             solves=0 prefix_reuse_hits=0 max_slice=0"
                 .parse::<SolverChainStats>()
                 .is_err()
         );
@@ -741,6 +805,7 @@ mod tests {
     fn stats_merge_sums_and_maxes() {
         let a = SolverChainStats {
             queries: 1,
+            preflight_hits: 9,
             slices: 2,
             slice_hits: 3,
             core_hits: 4,
@@ -751,6 +816,7 @@ mod tests {
         };
         let b = SolverChainStats {
             queries: 10,
+            preflight_hits: 90,
             slices: 20,
             slice_hits: 30,
             core_hits: 40,
@@ -761,6 +827,7 @@ mod tests {
         };
         let merged = a.merge(b);
         assert_eq!(merged.queries, 11);
+        assert_eq!(merged.preflight_hits, 99);
         assert_eq!(merged.slices, 22);
         assert_eq!(merged.slice_hits, 33);
         assert_eq!(merged.core_hits, 44);
@@ -769,5 +836,61 @@ mod tests {
         assert_eq!(merged.prefix_reuse_hits, 77);
         assert_eq!(merged.max_slice, 7);
         assert!(!merged.to_string().is_empty());
+    }
+
+    #[test]
+    fn preflight_refutes_forced_conflicts_without_solving() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let x1 = ctx.eq(x, c1);
+        let x2 = ctx.eq(x, c2);
+
+        let (mut chain, mut solver, mut blaster) = chain_parts();
+        assert!(chain.preflight_enabled(), "preflight defaults on");
+        assert!(!chain
+            .check(&ctx, &mut solver, &mut blaster, &[x1, x2], None)
+            .is_sat());
+        let stats = chain.stats();
+        assert_eq!(stats.preflight_hits, 1);
+        assert_eq!(stats.solves, 0, "statically refuted before the solver");
+        assert_eq!(stats.slices, 0, "answered before slicing");
+    }
+
+    #[test]
+    fn preflight_accepts_static_tautologies_without_solving() {
+        let mut ctx = Context::new();
+        let b = ctx.symbol(1, "b");
+        let wide = ctx.zero_ext(b, 32);
+        let c2 = ctx.constant(32, 2);
+        let taut = ctx.ult(wide, c2);
+
+        let (mut chain, mut solver, mut blaster) = chain_parts();
+        assert!(chain
+            .check(&ctx, &mut solver, &mut blaster, &[taut], None)
+            .is_sat());
+        let stats = chain.stats();
+        assert_eq!(stats.preflight_hits, 1);
+        assert_eq!(stats.solves, 0);
+    }
+
+    #[test]
+    fn preflight_off_reaches_the_solver_with_identical_answers() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(8, "x");
+        let c1 = ctx.constant(8, 1);
+        let c2 = ctx.constant(8, 2);
+        let x1 = ctx.eq(x, c1);
+        let x2 = ctx.eq(x, c2);
+
+        let (mut chain, mut solver, mut blaster) = chain_parts();
+        chain.set_preflight(false);
+        assert!(!chain
+            .check(&ctx, &mut solver, &mut blaster, &[x1, x2], None)
+            .is_sat());
+        let stats = chain.stats();
+        assert_eq!(stats.preflight_hits, 0);
+        assert!(stats.solves > 0, "the slice falls through to the solver");
     }
 }

@@ -58,6 +58,12 @@ pub struct EngineConfig {
     /// [`SolverBackend::set_incremental`]). Answers are identical either
     /// way; disabling is for benchmarking and differential testing.
     pub incremental: bool,
+    /// Let the solver chain statically answer feasibility queries whose
+    /// path-condition conjunction is forced, via abstract interpretation
+    /// (see [`SolverBackend::set_preflight`]). Answers are identical
+    /// either way; disabling is for benchmarking and differential
+    /// testing. Ignored when the chain is off.
+    pub preflight: bool,
 }
 
 impl EngineConfig {
@@ -79,6 +85,7 @@ impl Default for EngineConfig {
             solver_chain: true,
             audit: false,
             incremental: true,
+            preflight: true,
         }
     }
 }
@@ -171,13 +178,12 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Engine {
+        let mut backend =
+            SolverBackend::with_config(config.solver_chain, config.audit, config.incremental);
+        backend.set_preflight(config.preflight);
         Engine {
             ctx: Context::new(),
-            backend: SolverBackend::with_config(
-                config.solver_chain,
-                config.audit,
-                config.incremental,
-            ),
+            backend,
             config: config.clone(),
             rng_state: config.seed | 1,
             projector: crate::project::Projector::new(),

@@ -552,13 +552,15 @@ pub struct ForkEngine {
 impl ForkEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> ForkEngine {
+        let mut exec = ForkExec::new(
+            config.max_decisions_per_path,
+            config.solver_chain,
+            config.audit,
+            config.incremental,
+        );
+        exec.backend.set_preflight(config.preflight);
         ForkEngine {
-            exec: ForkExec::new(
-                config.max_decisions_per_path,
-                config.solver_chain,
-                config.audit,
-                config.incremental,
-            ),
+            exec,
             config: config.clone(),
             rng_state: config.seed | 1,
         }

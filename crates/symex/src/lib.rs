@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod audit;
 pub mod blast;
 mod chain;
@@ -69,6 +70,7 @@ mod term;
 mod testvec;
 pub mod wf;
 
+pub use absint::{demanded_bits, AbsInt, Fact, KnownBits, Preflight};
 pub use audit::{ProofAuditStats, ProofAuditor};
 pub use chain::{ChainSeed, SolverChainStats};
 pub use context::Context;

@@ -196,6 +196,26 @@ impl SolverBackend {
         self.solver.assumption_reuse()
     }
 
+    /// Enables or disables the solver chain's abstract-interpretation
+    /// preflight stage (on by default): condition sets whose conjunction
+    /// is statically forced are answered before any slicing or solver
+    /// work. Preflight is sound, so answers are identical either way;
+    /// disabling exists for benchmarking and differential testing. A
+    /// no-op when the chain itself is disabled.
+    pub fn set_preflight(&mut self, enabled: bool) {
+        if let Some(chain) = &mut self.chain {
+            chain.set_preflight(enabled);
+        }
+    }
+
+    /// Whether the chain's preflight stage is enabled (`false` when the
+    /// chain itself is disabled).
+    pub fn preflight(&self) -> bool {
+        self.chain
+            .as_ref()
+            .is_some_and(SolverChain::preflight_enabled)
+    }
+
     /// Replaces the tracked path prefix with `constraints` (the engine's
     /// current path-condition set). Cheap when nothing changed.
     pub fn prefix_sync(&mut self, constraints: &[TermId]) {

@@ -35,6 +35,13 @@ pub enum WfIssueKind {
     /// A path constraint that is the constant `true`: it restricts
     /// nothing, so it is dead weight (advisory).
     TautologicalConstraint,
+    /// A path constraint that is not a literal constant but that the
+    /// abstract-interpretation lattice ([`crate::absint`]) refutes: no
+    /// assignment of its symbols can make it true. A live path carrying
+    /// such a condition should have been pruned as infeasible, so — like
+    /// [`WfIssueKind::ConstantFalseConstraint`] — this is a tooling bug
+    /// and gates.
+    StaticallyFalseConstraint,
     /// A constraint sharing no symbol with any other constraint on the
     /// path: it is unreachable from the rest of the path condition and
     /// can never interact with it (advisory).
@@ -58,6 +65,7 @@ impl WfIssueKind {
             WfIssueKind::NonBooleanConstraint => "non-boolean-constraint",
             WfIssueKind::ConstantFalseConstraint => "constant-false-constraint",
             WfIssueKind::TautologicalConstraint => "tautological-constraint",
+            WfIssueKind::StaticallyFalseConstraint => "statically-false-constraint",
             WfIssueKind::DisconnectedConstraint => "disconnected-constraint",
             WfIssueKind::UnconstrainedSymbol => "unconstrained-symbol",
             WfIssueKind::DeadSymbol => "dead-symbol",
@@ -271,6 +279,7 @@ fn validate_path_impl(
 ) -> Vec<WfIssue> {
     let mut issues = validate_terms(ctx, constraints);
 
+    let mut absint = crate::absint::AbsInt::new();
     for (index, &c) in constraints.iter().enumerate() {
         if ctx.width(c) != 1 {
             issues.push(WfIssue {
@@ -290,7 +299,18 @@ fn validate_path_impl(
                 term: c,
                 detail: format!("constraint #{index} is constant true"),
             }),
-            None => {}
+            None => {
+                if ctx.width(c) == 1 && absint.const_bool(ctx, c) == Some(false) {
+                    issues.push(WfIssue {
+                        kind: WfIssueKind::StaticallyFalseConstraint,
+                        term: c,
+                        detail: format!(
+                            "constraint #{index} is statically false \
+                             (refuted by known-bits/interval analysis)"
+                        ),
+                    });
+                }
+            }
         }
     }
 
@@ -431,6 +451,33 @@ mod tests {
     }
 
     #[test]
+    fn flags_statically_false_constraint() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol(32, "x");
+        let one = ctx.constant(32, 1);
+        let zero = ctx.constant(32, 0);
+        // `(x | 1) == 0` is not a literal constant, but bit 0 of the
+        // left side is known-one, so the dataflow lattice refutes it.
+        let odd = ctx.or(x, one);
+        let cond = ctx.eq(odd, zero);
+        assert!(ctx.const_value(cond).is_none(), "must not be ctx-folded");
+        let issues = validate_path(&ctx, &[cond], &[x]);
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.kind == WfIssueKind::StaticallyFalseConstraint && i.term == cond),
+            "{issues:#?}"
+        );
+        // A satisfiable constraint of the same shape stays clean.
+        let two = ctx.constant(32, 2);
+        let even_bound = ctx.ult(odd, two);
+        let issues = validate_path(&ctx, &[even_bound], &[x]);
+        assert!(!issues
+            .iter()
+            .any(|i| i.kind == WfIssueKind::StaticallyFalseConstraint));
+    }
+
+    #[test]
     fn flags_unconstrained_symbol() {
         let mut ctx = Context::new();
         let x = ctx.symbol(32, "x");
@@ -486,6 +533,7 @@ mod tests {
     fn advisory_issue_kinds_are_marked() {
         assert!(!WfIssueKind::WidthMismatch.advisory());
         assert!(!WfIssueKind::ConstantFalseConstraint.advisory());
+        assert!(!WfIssueKind::StaticallyFalseConstraint.advisory());
         assert!(WfIssueKind::UnconstrainedSymbol.advisory());
         assert!(WfIssueKind::DisconnectedConstraint.advisory());
         assert!(WfIssueKind::DeadSymbol.advisory());

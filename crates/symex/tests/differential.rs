@@ -1,7 +1,7 @@
 //! Differential property tests: the bit-blaster against the concrete
 //! evaluator, over randomly generated term DAGs.
 
-use symcosim_symex::{eval, Context, Env, SolverBackend, TermId};
+use symcosim_symex::{eval, AbsInt, Context, Env, Node, Preflight, SolverBackend, TermId};
 use symcosim_testkit::{check_cases, Rng};
 
 /// A recipe for building a random term over two 8-bit symbols.
@@ -337,6 +337,128 @@ fn incremental_prefix_streams_never_flip_answers() {
             assert_eq!(stats.failures, 0, "{:?}", backend.proof_audit_failure());
         }
     });
+}
+
+/// Every subterm reachable from `roots`, deduplicated.
+fn subterms(ctx: &Context, roots: &[TermId]) -> Vec<TermId> {
+    let mut seen: Vec<TermId> = Vec::new();
+    let mut work: Vec<TermId> = roots.to_vec();
+    while let Some(id) = work.pop() {
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        match ctx.node(id) {
+            Node::Const { .. } | Node::Symbol { .. } => {}
+            Node::Not(a)
+            | Node::Extract { term: a, .. }
+            | Node::ZeroExt { term: a, .. }
+            | Node::SignExt { term: a, .. } => work.push(a),
+            Node::And(a, b)
+            | Node::Or(a, b)
+            | Node::Xor(a, b)
+            | Node::Add(a, b)
+            | Node::Sub(a, b)
+            | Node::Mul(a, b)
+            | Node::Shl(a, b)
+            | Node::Lshr(a, b)
+            | Node::Ashr(a, b)
+            | Node::Eq(a, b)
+            | Node::Ult(a, b)
+            | Node::Slt(a, b)
+            | Node::Concat { hi: a, lo: b } => {
+                work.push(a);
+                work.push(b);
+            }
+            Node::Ite(c, t, e) => {
+                work.push(c);
+                work.push(t);
+                work.push(e);
+            }
+        }
+    }
+    seen
+}
+
+/// The abstract-interpretation preflight never contradicts the SAT
+/// core: over random condition sets — seasoned with conditions the
+/// lattice can actually decide, so all three verdicts (`Sat`, `Unsat`,
+/// undecided) occur — a `Preflight::Unsat` verdict implies the solver
+/// reports unsat, a `Preflight::Sat` verdict implies sat, and for every
+/// satisfiable set the solver's model lies inside the abstraction of
+/// *every* subterm of the conditions (known-bits cube and interval
+/// both).
+#[test]
+fn absint_never_contradicts_sat() {
+    let mut sat_verdicts = 0u32;
+    let mut unsat_verdicts = 0u32;
+    let mut undecided = 0u32;
+    check_cases(0xd1f_0006, 64, |rng| {
+        let mut ctx = Context::new();
+        let mut set: Vec<TermId> = (0..1 + rng.index(3))
+            .map(|_| condition(rng, &mut ctx))
+            .collect();
+        if rng.chance(1, 3) {
+            // A condition known-bits refutes: (x | 0x80) == c with bit 7
+            // of c clear.
+            let x = ctx.symbol(8, "x");
+            let high = ctx.constant(8, 0x80);
+            let tagged = ctx.or(x, high);
+            let c = ctx.constant(8, rng.below(0x80));
+            set.push(ctx.eq(tagged, c));
+        } else if rng.chance(1, 2) {
+            // A tautology the interval lattice proves: (x & 0xf) < 0x10.
+            let x = ctx.symbol(8, "x");
+            let low = ctx.constant(8, 0xf);
+            let masked = ctx.and(x, low);
+            let bound = ctx.constant(8, 0x10);
+            set = vec![ctx.ult(masked, bound)];
+        }
+
+        let mut absint = AbsInt::new();
+        let verdict = absint.preflight(&ctx, &set);
+        let mut backend = SolverBackend::new();
+        let result = backend.check(&ctx, &set);
+        match verdict {
+            Some(Preflight::Unsat) => {
+                unsat_verdicts += 1;
+                assert!(
+                    !result.is_sat(),
+                    "preflight claimed unsat but the solver found a model ({set:?})"
+                );
+            }
+            Some(Preflight::Sat) => {
+                sat_verdicts += 1;
+                assert!(
+                    result.is_sat(),
+                    "preflight claimed a tautology but the solver refuted it ({set:?})"
+                );
+            }
+            None => undecided += 1,
+        }
+
+        if result.is_sat() {
+            let env = backend.test_vector(&ctx).to_env();
+            for term in subterms(&ctx, &set) {
+                let value = eval(&ctx, term, &env);
+                let fact = absint.fact(&ctx, term);
+                assert!(
+                    fact.contains(value),
+                    "model value {value:#x} of {term} escapes its abstraction \
+                     {fact:?} ({set:?})"
+                );
+            }
+        }
+    });
+    assert!(
+        sat_verdicts > 0,
+        "no case exercised a Sat preflight verdict"
+    );
+    assert!(
+        unsat_verdicts > 0,
+        "no case exercised an Unsat preflight verdict"
+    );
+    assert!(undecided > 0, "no case left the preflight undecided");
 }
 
 /// Models returned for an unconstrained term always satisfy the

@@ -13,6 +13,19 @@ cargo test -q --workspace
 echo "==> symcosim-lint --all --json"
 cargo run --release -p symcosim-lint -- --all --json > /dev/null
 
+echo "==> symcosim-lint --dataflow --merge-report (absint findings + merge lint)"
+# The dataflow pass must come back clean (no statically-dead branches on
+# live paths) and the merge-opportunity analysis must keep proving at
+# least one sibling group disjoint from its diverging fetch-slot bits.
+dataflow_json="$(mktemp)"
+cargo run --release -p symcosim-lint -- --dataflow --merge-report --json > "$dataflow_json"
+grep -q '"schema": "symcosim-lint/1"' "$dataflow_json"
+grep -q '"dead_branches": \[\]' "$dataflow_json"
+if grep -q '"mergeable_groups": 0,' "$dataflow_json"; then
+    echo "merge report proved no sibling group mergeable"; rm -f "$dataflow_json"; exit 1
+fi
+rm -f "$dataflow_json"
+
 echo "==> coverage certificate + proof audit (BRANCH slice, both surfaces)"
 # The run certifies itself in-process (--certify exits 1 on any
 # uncovered word or double-claimed path; --audit exits 1 if the
@@ -22,8 +35,11 @@ echo "==> coverage certificate + proof audit (BRANCH slice, both surfaces)"
 report_json="$(mktemp)"
 audit_json="$(mktemp)"
 trap 'rm -f "$report_json" "$audit_json"' EXIT
+# --no-preflight keeps the UNSAT queries on the SAT core so the audit
+# artifact retains replayable conflict cones; with the preflight on the
+# lattice answers them statically and the artifact is (correctly) empty.
 cargo run --release -p symcosim-core --bin symcosim-cli -- \
-    verify --rv32i-only --opcode 0x63 --certify --audit \
+    verify --rv32i-only --opcode 0x63 --certify --audit --no-preflight \
     --report-json "$report_json" --audit-json "$audit_json" > /dev/null
 cargo run --release -p symcosim-lint -- --coverage "$report_json" > /dev/null
 cargo run --release -p symcosim-lint -- --audit "$audit_json" > /dev/null

@@ -78,9 +78,11 @@ fn audited_branch_sweep_matches_frozen_goldens() {
     );
 }
 
-/// The goldens pin the *unaudited* run too: auditing is observational, so
-/// the same bytes must come back with `audit` off, across engines and
-/// worker counts — the chain_equivalence-style leg of the gate.
+/// The goldens pin the *unaudited* and *preflight-less* runs too:
+/// auditing and the abstract-interpretation preflight are both
+/// observational, so the same bytes must come back with either toggled
+/// off, across engines and worker counts — the chain_equivalence-style
+/// leg of the gate.
 #[test]
 fn golden_bytes_are_audit_and_engine_independent() {
     let expected_report =
@@ -88,14 +90,23 @@ fn golden_bytes_are_audit_and_engine_independent() {
     let expected_cert =
         std::fs::read_to_string(golden_path(CERT_GOLDEN)).expect("cert golden present");
 
-    for (label, audit, engine, jobs) in [
-        ("plain reexec", false, EngineKind::Reexec, 1),
-        ("plain fork x2", false, EngineKind::Fork, 2),
-        ("audited fork x2", true, EngineKind::Fork, 2),
+    for (label, audit, engine, jobs, preflight) in [
+        ("plain reexec", false, EngineKind::Reexec, 1, true),
+        ("plain fork x2", false, EngineKind::Fork, 2, true),
+        ("audited fork x2", true, EngineKind::Fork, 2, true),
+        ("no-preflight reexec", false, EngineKind::Reexec, 1, false),
+        (
+            "audited no-preflight fork x2",
+            true,
+            EngineKind::Fork,
+            2,
+            false,
+        ),
     ] {
         let mut config = audited_branch_config();
         config.audit = audit;
         config.engine = engine;
+        config.preflight = preflight;
         let session = VerifySession::new(config).expect("valid config");
         let report = if jobs <= 1 {
             session.run()
