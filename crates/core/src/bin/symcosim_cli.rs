@@ -27,7 +27,7 @@ USAGE:
                         [--jobs N] [--seed N] [--engine fork|reexec] [--lint]
                         [--opcode HEX] [--certify] [--slices N]
                         [--report-json PATH] [--no-solver-chain]
-                        [--no-incremental] [--no-preflight]
+                        [--no-incremental] [--no-preflight] [--no-merge]
                         [--audit] [--audit-json PATH]
         Verify the shipped MicroRV32 against the shipped VP ISS and print
         the classified findings. --full allows CSR instructions (default);
@@ -60,6 +60,10 @@ USAGE:
         --no-preflight disables the chain's abstract-interpretation
         preflight, so statically-forced queries reach the caches and
         solver again — identical report, only slower; for benchmarking.
+        --no-merge disables veritesting-style state merging in the fork
+        engine, so decode siblings that rejoin at the post-instruction
+        state are explored as separate physical paths — the report and
+        certificate are byte-identical, only slower; for benchmarking.
         --audit turns on proof-carrying solving: the SAT solver logs
         clausal (RUP) proofs and an independent checker certifies every
         answer — models by evaluation, UNSAT cores by conflict-cone
@@ -71,7 +75,7 @@ USAGE:
     symcosim-cli inject <E0..E9> [--limit N] [--jobs N] [--seed N]
                         [--engine fork|reexec] [--fuzz] [--hybrid]
                         [--no-solver-chain] [--no-incremental]
-                        [--no-preflight]
+                        [--no-preflight] [--no-merge]
         Seed one of the paper's Table II faults into the core and hunt it
         symbolically (default), by fuzzing (--fuzz), or hybrid (--hybrid).
 
@@ -218,6 +222,9 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if args.iter().any(|a| a == "--no-preflight") {
         config.preflight = false;
+    }
+    if args.iter().any(|a| a == "--no-merge") {
+        config.merge = false;
     }
     let certify = args.iter().any(|a| a == "--certify");
     let report_json = flag_string(args, "--report-json")?;
@@ -371,6 +378,9 @@ fn cmd_inject(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if args.iter().any(|a| a == "--no-preflight") {
         session.preflight = false;
+    }
+    if args.iter().any(|a| a == "--no-merge") {
+        session.merge = false;
     }
     let jobs = flag_value(args, "--jobs")?.unwrap_or(1) as usize;
 

@@ -326,6 +326,20 @@ pub struct VerifyReport {
     /// `true` if the exploration stopped early (path budget or
     /// stop-at-first-mismatch) with work remaining.
     pub truncated: bool,
+    /// Path records recovered from veritesting-style merged physical
+    /// paths (zero when [`SessionConfig::merge`](crate::SessionConfig::merge)
+    /// is off or the engine is [`EngineKind::Reexec`](crate::EngineKind)).
+    /// Every merged record is expanded back to its unmerged byte-identical
+    /// form, so — like the duration and solver statistics — this counter
+    /// is excluded from [`to_json`](VerifyReport::to_json): report dumps
+    /// are byte-identical merge on or off.
+    pub merged_paths: usize,
+    /// Frontier jobs still queued when a truncated exploration stopped —
+    /// a lower bound on the paths the truncation dropped (an unexplored
+    /// job can fork further). Zero when the frontier drained. Scheduling-
+    /// dependent on truncated parallel runs, so — like the duration — it
+    /// is excluded from [`to_json`](VerifyReport::to_json).
+    pub paths_dropped: usize,
     /// Symbolic-IR well-formedness issues found by the per-path lint pass
     /// (deduplicated, canonical path order). Empty unless
     /// [`SessionConfig::lint_ir`](crate::SessionConfig::lint_ir) is set.

@@ -13,7 +13,7 @@ use symcosim_microrv32::{CoreConfig, InjectedError};
 use symcosim_symex::{
     ChainSeed, CoreReplayUnit, Domain, Engine, EngineConfig, EngineKind, ForkEngine, ForkExec,
     ForkTask, PathProbe, PathResult, PathStatus, ProofAuditStats, QueryCacheStats, SearchStrategy,
-    SlotCoverage, SolverChainStats, SolverStats, StepResult, SymExec, TestVector,
+    SlotCoverage, SolverChainStats, SolverStats, StepResult, SymExec, TermId, TestVector,
 };
 
 use crate::certify::{self, BoundCause, CoverageData, PathCoverage};
@@ -131,6 +131,20 @@ pub struct SessionConfig {
     /// `--no-preflight` flag disables it for benchmarking. Ignored when
     /// [`SessionConfig::solver_chain`] is off.
     pub preflight: bool,
+    /// Veritesting-style state merging in the fork engine: decode siblings
+    /// whose post-instruction states are term-identical — and whose
+    /// diverging fetch-slot decision bits the coverage projector proves
+    /// disjoint from every demanded output bit, with an exact cube union —
+    /// continue as one physical path and are expanded back into their
+    /// individual path records at the end. Reports, certificates and
+    /// findings are byte-identical merge on or off (the engine falls back
+    /// to plain forking whenever the proof fails) — the CLI's `--no-merge`
+    /// flag disables it for benchmarking and differential testing. Ignored
+    /// (forced off) when [`SessionConfig::stop_at_first_mismatch`] is set:
+    /// stop-early runs explore a scheduling-dependent subset, and merging
+    /// changes the schedule. Only the fork engine merges;
+    /// [`EngineKind::Reexec`] always explores one path at a time.
+    pub merge: bool,
 }
 
 impl SessionConfig {
@@ -161,6 +175,7 @@ impl SessionConfig {
             audit: false,
             incremental: true,
             preflight: true,
+            merge: true,
         }
     }
 
@@ -192,6 +207,7 @@ impl SessionConfig {
             audit: false,
             incremental: true,
             preflight: true,
+            merge: true,
         }
     }
 }
@@ -326,6 +342,8 @@ impl VerifySession {
                 let report = merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
+                    outcome.merged_paths,
+                    outcome.paths_dropped,
                     start,
                     solver,
                     cache,
@@ -358,6 +376,8 @@ impl VerifySession {
                 let report = merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
+                    outcome.merged_paths,
+                    outcome.paths_dropped,
                     start,
                     solver,
                     cache,
@@ -418,6 +438,8 @@ impl VerifySession {
                 merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
+                    outcome.merged_paths,
+                    outcome.paths_dropped,
                     start,
                     solver,
                     cache,
@@ -443,6 +465,8 @@ impl VerifySession {
                 merge_report(
                     outcome.paths,
                     outcome.frontier_exhausted,
+                    outcome.merged_paths,
+                    outcome.paths_dropped,
                     start,
                     solver,
                     cache,
@@ -509,6 +533,10 @@ fn engine_config(config: &SessionConfig) -> EngineConfig {
         audit: config.audit,
         incremental: config.incremental,
         preflight: config.preflight,
+        // Stop-early runs explore a scheduling-dependent subset; merging
+        // changes which paths are in flight when the stop lands, so it is
+        // forced off to keep Table II timing runs comparable.
+        merge: config.merge && !config.stop_at_first_mismatch,
     }
 }
 
@@ -523,6 +551,8 @@ fn engine_config(config: &SessionConfig) -> EngineConfig {
 fn merge_report(
     mut paths: Vec<PathResult<PathRun>>,
     truncated: bool,
+    merged_paths: usize,
+    paths_dropped: usize,
     start: Instant,
     solver_stats: SolverStats,
     query_cache: QueryCacheStats,
@@ -601,6 +631,8 @@ fn merge_report(
         test_vectors,
         duration: start.elapsed(),
         truncated,
+        merged_paths,
+        paths_dropped,
         lint_issues,
         solver_stats,
         query_cache,
@@ -731,6 +763,13 @@ struct SessionTask {
 #[derive(Clone)]
 struct SessionState {
     cosim: CoSim<ForkExec>,
+    /// The co-simulation outcome, stashed when the run finishes so
+    /// [`ForkTask::expand_arm`] can rebuild the per-arm [`PathRun`] from a
+    /// merged sibling's own constraint ledger. Merged arms reached `Done`
+    /// in lockstep with byte-identical domain operations, so the outcome
+    /// is shared; only the witness/coverage extraction in [`finish_run`]
+    /// is per-arm.
+    finished: Option<CosimResult>,
 }
 
 impl ForkTask for SessionTask {
@@ -740,14 +779,47 @@ impl ForkTask for SessionTask {
     fn start(&self, exec: &mut ForkExec) -> SessionState {
         SessionState {
             cosim: build_cosim(exec, &self.config),
+            finished: None,
         }
     }
 
     fn step(&self, state: &mut SessionState, exec: &mut ForkExec) -> StepResult<PathRun> {
         match state.cosim.step_instr(exec, &mut SymbolicJudge) {
             None => StepResult::Continue,
-            Some(result) => StepResult::Done(finish_run(exec, &self.config, &state.cosim, &result)),
+            Some(result) => {
+                let run = finish_run(exec, &self.config, &state.cosim, &result);
+                state.finished = Some(result);
+                StepResult::Done(run)
+            }
         }
+    }
+
+    fn merge_capable(&self) -> bool {
+        true
+    }
+
+    fn states_equal(&self, a: &SessionState, b: &SessionState) -> bool {
+        a.finished.is_none() && b.finished.is_none() && a.cosim.merge_eq(&b.cosim)
+    }
+
+    fn merge_outputs(&self, state: &SessionState) -> Vec<TermId> {
+        // The terms a finished path observes: the post-run PCs and
+        // architectural register files the voter compares (the same output
+        // frontier the merge-opportunity lint cones on), plus both data
+        // memories (compared at end of run). The merge gate refuses to
+        // merge siblings whose diverging fetch bits any of these demands.
+        let cosim = &state.cosim;
+        let mut outputs = vec![cosim.core.pc(), cosim.iss.pc()];
+        outputs.extend_from_slice(&cosim.core.registers()[1..]);
+        outputs.extend_from_slice(&cosim.iss.registers()[1..]);
+        outputs.extend_from_slice(cosim.core_dmem.words());
+        outputs.extend_from_slice(cosim.iss_dmem.words());
+        outputs
+    }
+
+    fn expand_arm(&self, state: &SessionState, exec: &mut ForkExec) -> Option<PathRun> {
+        let result = state.finished.as_ref()?;
+        Some(finish_run(exec, &self.config, &state.cosim, result))
     }
 }
 

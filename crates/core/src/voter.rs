@@ -126,7 +126,7 @@ impl<D: PathProbe> Judge<D> for SymbolicJudge {
 /// Modelled on the paper's RVFI-based voter: trap outcome, old/new PC and
 /// the destination register write are checked, plus (strictly stronger) the
 /// entire architectural register file.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Voter {
     /// Compare the post-instruction PC.
     pub compare_pc: bool,

@@ -43,8 +43,12 @@ impl ExecConfig {
 pub struct WorkerReport {
     /// Worker index.
     pub worker: usize,
-    /// Paths this worker ran.
+    /// Path records this worker produced.
     pub paths: usize,
+    /// Of those, records recovered from merged physical paths (a merged
+    /// path representing *k* arms contributes *k − 1*; always zero when
+    /// state merging is off).
+    pub merged_paths: usize,
     /// Time spent executing paths (excludes queue waits).
     pub busy: Duration,
     /// Its private SAT solver's cumulative statistics.
@@ -79,6 +83,13 @@ pub struct ParallelOutcome<R> {
     /// `true` if exploration stopped with work left (path budget,
     /// deadline, or stop predicate).
     pub frontier_exhausted: bool,
+    /// Path records recovered from merged physical paths across all
+    /// workers (see [`EngineConfig::merge`]); zero when merging is off.
+    pub merged_paths: usize,
+    /// Frontier jobs still queued when exploration stopped — a lower
+    /// bound on the paths the truncation dropped. Zero when the
+    /// frontier drained.
+    pub paths_dropped: usize,
     /// Per-worker accounting, indexed by worker.
     pub workers: Vec<WorkerReport>,
     /// Wall-clock duration of the whole exploration.
@@ -174,6 +185,7 @@ where
                         let _ = tx.send(ProgressEvent::WorkerDone {
                             worker,
                             paths: local.len(),
+                            merged: 0,
                             busy_ms: busy.as_millis() as u64,
                             solver: stats,
                             cache,
@@ -184,6 +196,7 @@ where
                     let report = WorkerReport {
                         worker,
                         paths: local.len(),
+                        merged_paths: 0,
                         busy,
                         stats,
                         cache,
@@ -217,6 +230,7 @@ where
     if let Some(tx) = &progress {
         let _ = tx.send(ProgressEvent::Finished {
             paths: paths.len(),
+            merged: 0,
             wall_ms: start.elapsed().as_millis() as u64,
             truncated,
         });
@@ -225,6 +239,8 @@ where
         complete_paths: complete,
         partial_paths: paths.len() - complete,
         frontier_exhausted: truncated,
+        merged_paths: 0,
+        paths_dropped: frontier.pending(),
         workers,
         wall: start.elapsed(),
         paths,
@@ -236,9 +252,10 @@ where
 ///
 /// A snapshot embeds `TermId`s and task state minted by the owner's
 /// private term context, so it is only meaningful inside that worker's
-/// engine. A stolen entry is degraded to its recorded decision prefix
-/// ([`ForkJob::spill`]) and replayed from the root — stealing trades the
-/// snapshot for load balance.
+/// engine. A stolen entry is degraded to its recorded decision prefixes
+/// ([`ForkJob::split_on_spill`] — a merged job re-splits into one replay
+/// per arm) and replayed from the root — stealing trades the snapshot
+/// for load balance.
 struct ForkEntry<S> {
     owner: usize,
     job: ForkJob<S>,
@@ -294,13 +311,21 @@ where
                     let mut rng = engine_config.seed | 1;
                     let mut engine = ForkEngine::new(engine_config);
                     let mut local: Vec<PathResult<T::Out>> = Vec::new();
+                    let mut merged = 0usize;
                     let mut busy = Duration::ZERO;
                     while let Some(entry) = frontier.acquire(worker, strategy, &mut rng, budget) {
                         let mut job = entry.job;
+                        let mut entries: Vec<ForkEntry<T::State>> = Vec::new();
                         if job.has_snapshot() {
                             resident.fetch_sub(1, Ordering::Relaxed);
                             if entry.owner != worker {
-                                job.spill();
+                                // Stolen: the snapshot is meaningless in
+                                // this worker's engine. A merged job
+                                // re-splits into per-arm prefix replays;
+                                // the extra arms rejoin the frontier.
+                                let mut split = job.split_on_spill().into_iter();
+                                job = split.next().expect("split yields the primary");
+                                entries.extend(split.map(|job| ForkEntry { owner: worker, job }));
                             }
                         }
                         if !budget.claim() {
@@ -311,41 +336,60 @@ where
                             break;
                         }
                         let t0 = Instant::now();
-                        let (result, forks) = engine.run_job(job, task);
+                        // Bound the merge lookahead by the slots the global
+                        // budget still admits beyond the queued jobs (the
+                        // claim above already covers this job). Advisory
+                        // under concurrency, but merge decisions never
+                        // change the record set — only physical-path
+                        // accounting.
+                        engine.set_merge_headroom(
+                            budget.remaining().saturating_sub(frontier.pending()),
+                        );
+                        let (results, forks) = engine.run_job(job, task);
                         busy += t0.elapsed();
-                        if stop(&result) {
+                        merged += results.len().saturating_sub(1);
+                        if results.iter().any(&stop) {
                             budget.cancel();
                         }
-                        let forks = forks
-                            .into_iter()
-                            .map(|mut fork| {
-                                if fork.has_snapshot() {
-                                    let admitted = resident
-                                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
-                                            (n < max_resident).then_some(n + 1)
-                                        })
-                                        .is_ok();
-                                    if !admitted {
-                                        fork.spill();
-                                    }
-                                }
-                                ForkEntry {
-                                    owner: worker,
-                                    job: fork,
-                                }
-                            })
-                            .collect();
-                        frontier.finish(worker, forks);
+                        entries.extend(
+                            forks
+                                .into_iter()
+                                .flat_map(|fork| {
+                                    let fork = if fork.has_snapshot() {
+                                        let admitted = resident
+                                            .fetch_update(
+                                                Ordering::Relaxed,
+                                                Ordering::Relaxed,
+                                                |n| (n < max_resident).then_some(n + 1),
+                                            )
+                                            .is_ok();
+                                        if admitted {
+                                            vec![fork]
+                                        } else {
+                                            // Over the resident bound: a merged
+                                            // job re-splits rather than spills.
+                                            fork.split_on_spill()
+                                        }
+                                    } else {
+                                        vec![fork]
+                                    };
+                                    fork.into_iter()
+                                })
+                                .map(|job| ForkEntry { owner: worker, job }),
+                        );
+                        frontier.finish(worker, entries);
                         if let Some(tx) = &tx {
-                            let _ = tx.send(ProgressEvent::PathDone {
-                                worker,
-                                depth: result.decisions.len(),
-                                paths_done: budget.claimed(),
-                                queued: frontier.pending(),
-                                elapsed_ms: start.elapsed().as_millis() as u64,
-                            });
+                            for result in &results {
+                                let _ = tx.send(ProgressEvent::PathDone {
+                                    worker,
+                                    depth: result.decisions.len(),
+                                    paths_done: budget.claimed(),
+                                    queued: frontier.pending(),
+                                    elapsed_ms: start.elapsed().as_millis() as u64,
+                                });
+                            }
                         }
-                        local.push(result);
+                        local.extend(results);
                     }
                     let stats = engine.backend().stats();
                     let cache = engine.backend().query_cache_stats();
@@ -357,6 +401,7 @@ where
                         let _ = tx.send(ProgressEvent::WorkerDone {
                             worker,
                             paths: local.len(),
+                            merged,
                             busy_ms: busy.as_millis() as u64,
                             solver: stats,
                             cache,
@@ -367,6 +412,7 @@ where
                     let report = WorkerReport {
                         worker,
                         paths: local.len(),
+                        merged_paths: merged,
                         busy,
                         stats,
                         cache,
@@ -395,10 +441,12 @@ where
         .iter()
         .filter(|p| p.status == PathStatus::Complete)
         .count();
+    let merged_paths: usize = workers.iter().map(|w| w.merged_paths).sum();
     let truncated = budget.cancelled() || frontier.pending() > 0;
     if let Some(tx) = &progress {
         let _ = tx.send(ProgressEvent::Finished {
             paths: paths.len(),
+            merged: merged_paths,
             wall_ms: start.elapsed().as_millis() as u64,
             truncated,
         });
@@ -407,6 +455,8 @@ where
         complete_paths: complete,
         partial_paths: paths.len() - complete,
         frontier_exhausted: truncated,
+        merged_paths,
+        paths_dropped: frontier.pending(),
         workers,
         wall: start.elapsed(),
         paths,

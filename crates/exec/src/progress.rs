@@ -33,8 +33,12 @@ pub enum ProgressEvent {
     WorkerDone {
         /// Worker index.
         worker: usize,
-        /// Paths this worker ran.
+        /// Path records this worker produced.
         paths: usize,
+        /// Of those, records recovered from merged physical paths (a
+        /// merged path representing *k* arms contributes *k − 1*; zero
+        /// when merging is off).
+        merged: usize,
         /// Milliseconds this worker spent executing paths (excludes
         /// queue waits).
         busy_ms: u64,
@@ -50,8 +54,11 @@ pub enum ProgressEvent {
     },
     /// The exploration finished and the merge is complete.
     Finished {
-        /// Total paths explored.
+        /// Total path records explored.
         paths: usize,
+        /// Records recovered from merged physical paths across all
+        /// workers (zero when state merging is off).
+        merged: usize,
         /// Wall-clock milliseconds for the whole exploration.
         wall_ms: u64,
         /// Whether work was left unexplored (budget, deadline or stop
@@ -81,6 +88,7 @@ impl ProgressEvent {
             ProgressEvent::WorkerDone {
                 worker,
                 paths,
+                merged,
                 busy_ms,
                 solver,
                 cache,
@@ -88,7 +96,7 @@ impl ProgressEvent {
                 audit,
             } => format!(
                 "{{\"event\":\"worker_done\",\"worker\":{worker},\"paths\":{paths},\
-                 \"busy_ms\":{busy_ms},\"solves\":{},\"decisions\":{},\"propagations\":{},\
+                 \"merged_paths\":{merged},\"busy_ms\":{busy_ms},\"solves\":{},\"decisions\":{},\"propagations\":{},\
                  \"conflicts\":{},\"restarts\":{},\"learnt_clauses\":{},\
                  \"db_reductions\":{},\"learned_kept\":{},\
                  \"cache_hits\":{},\"cache_misses\":{},\
@@ -124,11 +132,12 @@ impl ProgressEvent {
             ),
             ProgressEvent::Finished {
                 paths,
+                merged,
                 wall_ms,
                 truncated,
             } => format!(
-                "{{\"event\":\"finished\",\"paths\":{paths},\"wall_ms\":{wall_ms},\
-                 \"truncated\":{truncated}}}"
+                "{{\"event\":\"finished\",\"paths\":{paths},\"merged_paths\":{merged},\
+                 \"wall_ms\":{wall_ms},\"truncated\":{truncated}}}"
             ),
         }
     }
@@ -152,6 +161,7 @@ mod tests {
             ProgressEvent::WorkerDone {
                 worker: 1,
                 paths: 6,
+                merged: 1,
                 busy_ms: 200,
                 solver: SolverStats::default(),
                 cache: QueryCacheStats::default(),
@@ -160,6 +170,7 @@ mod tests {
             },
             ProgressEvent::Finished {
                 paths: 24,
+                merged: 2,
                 wall_ms: 300,
                 truncated: false,
             },
@@ -218,6 +229,7 @@ mod tests {
         let json = ProgressEvent::WorkerDone {
             worker: 0,
             paths: 1,
+            merged: 0,
             busy_ms: 2,
             solver,
             cache,

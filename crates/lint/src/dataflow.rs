@@ -35,8 +35,8 @@ use symcosim_isa::opcodes;
 use symcosim_iss::IssConfig;
 use symcosim_microrv32::CoreConfig;
 use symcosim_symex::{
-    demanded_bits, AbsInt, Context, Engine, EngineConfig, Node, PathResult, SearchStrategy,
-    SymExec, TermId,
+    bits_disjoint, fetch_slot_bits, AbsInt, Context, Engine, EngineConfig, Node, PathResult,
+    SearchStrategy, SymExec, TermId,
 };
 
 use crate::ir::only_opcode_imem;
@@ -50,10 +50,6 @@ pub const DATAFLOW_OPCODE: u32 = opcodes::BRANCH;
 /// Instructions retired per path. Two, so sibling pairs exist both at
 /// first-instruction decode depth and deeper in the second fetch slot.
 pub const DATAFLOW_INSTR_LIMIT: u32 = 2;
-
-/// Symbol-name prefix of fetch-slot (instruction-word) symbols, as
-/// minted by the symbolic instruction memory.
-const FETCH_SLOT_PREFIX: &str = "imem";
 
 /// Most mergeable groups listed in the report; the counts stay exact.
 pub const MERGE_SAMPLE_CAP: usize = 8;
@@ -86,6 +82,9 @@ pub struct MergeReport {
     pub mergeable_groups: usize,
     /// The first [`MERGE_SAMPLE_CAP`] mergeable groups.
     pub samples: Vec<MergeGroup>,
+    /// Whether [`MERGE_SAMPLE_CAP`] dropped mergeable groups from
+    /// `samples` (the counts above always stay exact).
+    pub samples_truncated: bool,
 }
 
 /// Result of the dataflow pass.
@@ -264,21 +263,6 @@ pub fn truncation_hazards(ctx: &Context, absint: &mut AbsInt, roots: &[TermId]) 
     hazards
 }
 
-/// Fetch-slot symbols (name starts with [`FETCH_SLOT_PREFIX`]) among the
-/// demanded bits of `roots`, as a `symbol -> bit mask` map in sorted
-/// term order.
-fn fetch_slot_bits(ctx: &Context, roots: &[TermId]) -> Vec<(TermId, u64)> {
-    let mut bits: Vec<(TermId, u64)> = demanded_bits(ctx, roots)
-        .into_iter()
-        .filter(|&(sym, _)| {
-            ctx.symbol_name(sym)
-                .is_some_and(|name| name.starts_with(FETCH_SLOT_PREFIX))
-        })
-        .collect();
-    bits.sort_unstable_by_key(|&(sym, _)| sym);
-    bits
-}
-
 /// Sibling-group merge analysis over the explored paths.
 ///
 /// Every *fork point* of the exploration tree — a decision prefix some
@@ -331,12 +315,7 @@ fn merge_report(ctx: &Context, paths: &[PathResult<PathCone>]) -> MergeReport {
             .flat_map(|&p| paths[p].value.outputs.iter().copied())
             .collect();
         let observed_bits = fetch_slot_bits(ctx, &outputs);
-        let disjoint = diverging_bits.iter().all(|&(sym, bits)| {
-            observed_bits
-                .binary_search_by_key(&sym, |&(s, _)| s)
-                .map_or(true, |at| observed_bits[at].1 & bits == 0)
-        });
-        if !disjoint {
+        if !bits_disjoint(&diverging_bits, &observed_bits) {
             continue;
         }
         mergeable_groups += 1;
@@ -357,11 +336,13 @@ fn merge_report(ctx: &Context, paths: &[PathResult<PathCone>]) -> MergeReport {
             });
         }
     }
+    let samples_truncated = mergeable_groups > samples.len();
     MergeReport {
         sibling_groups,
         fetch_slot_groups,
         mergeable_groups,
         samples,
+        samples_truncated,
     }
 }
 
@@ -446,6 +427,7 @@ fn for_each_operand(node: Node, mut each: impl FnMut(TermId)) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use symcosim_symex::FETCH_SLOT_PREFIX;
 
     #[test]
     fn truncation_detector_flags_known_one_drops() {

@@ -194,6 +194,7 @@ impl LintReport {
                         w.number_field("sibling_groups", merge.sibling_groups as u64);
                         w.number_field("fetch_slot_groups", merge.fetch_slot_groups as u64);
                         w.number_field("mergeable_groups", merge.mergeable_groups as u64);
+                        w.bool_field("samples_truncated", merge.samples_truncated);
                         w.array_field("samples", merge.samples.len(), |w, i| {
                             let group = &merge.samples[i];
                             w.open_object();
@@ -397,6 +398,13 @@ impl fmt::Display for LintReport {
                         group.size,
                         group.depth,
                         group.diverging_bits.join(", ")
+                    )?;
+                }
+                if merge.samples_truncated {
+                    writeln!(
+                        f,
+                        "    ({} more mergeable groups not sampled)",
+                        merge.mergeable_groups - merge.samples.len()
                     )?;
                 }
             }

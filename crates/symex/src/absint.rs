@@ -490,8 +490,11 @@ impl AbsInt {
                     }
                     None => {
                         // Shifting right never grows the value; the
-                        // smallest shift bounds it from above.
-                        let min_sh = s.lo.min(63) as u32;
+                        // smallest shift bounds it from above. Clamp to
+                        // width - 1 like the arithmetic path: for w < 64
+                        // a larger clamp could over-shift `hi` below
+                        // values the masked-amount semantics can reach.
+                        let min_sh = s.lo.min(u64::from(w) - 1) as u32;
                         Fact {
                             bits: KnownBits::top(w),
                             lo: 0,

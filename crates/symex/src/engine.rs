@@ -64,6 +64,17 @@ pub struct EngineConfig {
     /// either way; disabling is for benchmarking and differential
     /// testing. Ignored when the chain is off.
     pub preflight: bool,
+    /// Veritesting-style state merging in the [`ForkEngine`]
+    /// ([`crate::merge`]): siblings whose post-step states are
+    /// term-identical and whose divergence is provably decode-local are
+    /// re-joined into one physical path carrying per-arm ledgers. The
+    /// explored path *records* are byte-identical either way (each arm
+    /// is expanded back into its own [`PathResult`]); only the physical
+    /// path count and the solver work change. Ignored by the
+    /// re-execution [`Engine`].
+    ///
+    /// [`ForkEngine`]: crate::ForkEngine
+    pub merge: bool,
 }
 
 impl EngineConfig {
@@ -86,6 +97,7 @@ impl Default for EngineConfig {
             audit: false,
             incremental: true,
             preflight: true,
+            merge: false,
         }
     }
 }
@@ -130,6 +142,16 @@ pub struct ExploreOutcome<R> {
     /// `true` if exploration stopped because [`EngineConfig::max_paths`]
     /// was reached while the frontier was non-empty.
     pub frontier_exhausted: bool,
+    /// Path records recovered from merged physical paths: a merged path
+    /// representing *k* sibling arms contributes *k − 1* here (see
+    /// [`EngineConfig::merge`]). Always zero for the re-execution engine
+    /// and for merge-off runs.
+    pub merged_paths: usize,
+    /// Frontier jobs left unexplored when exploration stopped early
+    /// (path budget or stop predicate) — a lower bound on the paths the
+    /// truncation dropped, since an unexplored job can fork further.
+    /// Zero when the frontier drained.
+    pub paths_dropped: usize,
 }
 
 impl<R> ExploreOutcome<R> {
@@ -258,6 +280,8 @@ impl Engine {
                     complete_paths: complete,
                     partial_paths: partial,
                     frontier_exhausted: true,
+                    merged_paths: 0,
+                    paths_dropped: frontier.len() + 1,
                 };
             }
             let outcome = self.run_prefix(pending.prefix, &mut f);
@@ -272,9 +296,11 @@ impl Engine {
             if stop(paths.last().expect("just pushed")) {
                 return ExploreOutcome {
                     frontier_exhausted: !frontier.is_empty(),
+                    paths_dropped: frontier.len(),
                     paths,
                     complete_paths: complete,
                     partial_paths: partial,
+                    merged_paths: 0,
                 };
             }
         }
@@ -284,6 +310,8 @@ impl Engine {
             complete_paths: complete,
             partial_paths: partial,
             frontier_exhausted: false,
+            merged_paths: 0,
+            paths_dropped: 0,
         }
     }
 

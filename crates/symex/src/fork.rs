@@ -101,6 +101,58 @@ pub trait ForkTask {
 
     /// Advances the path by one snapshot interval.
     fn step(&self, state: &mut Self::State, exec: &mut ForkExec) -> StepResult<Self::Out>;
+
+    /// Whether the engine may attempt veritesting-style state merging on
+    /// this task's paths (see [`crate::merge`]). A merge-capable task
+    /// must also implement [`states_equal`](ForkTask::states_equal),
+    /// [`merge_outputs`](ForkTask::merge_outputs) and
+    /// [`expand_arm`](ForkTask::expand_arm) coherently. Off by default.
+    fn merge_capable(&self) -> bool {
+        false
+    }
+
+    /// Whether two post-step states are term-identical — every symbolic
+    /// component is the same hash-consed [`TermId`] and every concrete
+    /// component is equal. Only such states may merge: the continuation
+    /// then performs literally identical domain operations on every arm,
+    /// which is what makes the per-arm records byte-identical to their
+    /// unmerged runs. The conservative default never merges.
+    fn states_equal(&self, _a: &Self::State, _b: &Self::State) -> bool {
+        false
+    }
+
+    /// The observable output frontier of a state: the terms whose values
+    /// the task's result exposes. The merge gate
+    /// ([`crate::merge::proves_mergeable`]) refuses to merge arms whose
+    /// diverging fetch-slot bits any of these terms demands.
+    fn merge_outputs(&self, _state: &Self::State) -> Vec<TermId> {
+        Vec::new()
+    }
+
+    /// Rebuilds the per-arm result value after the engine swapped a
+    /// merged arm's ledger into `exec` (constraints, origins and decision
+    /// prefix are the arm's; the state is the shared final state). All
+    /// extraction must be history-independent so the value matches the
+    /// arm's own unmerged run byte-for-byte. Returning `None` (the
+    /// default) makes the engine re-schedule the arm as a whole-prefix
+    /// replay instead.
+    fn expand_arm(&self, _state: &Self::State, _exec: &mut ForkExec) -> Option<Self::Out> {
+        None
+    }
+}
+
+/// The path ledger of one merged sibling arm (see [`crate::merge`]).
+///
+/// A merged physical path carries the primary arm's ledger in the
+/// [`ForkExec`] fields and one `MergeArm` per absorbed sibling. The arms
+/// share the task state and the symbol list with the primary — merging
+/// requires both to be identical — and diverge only in their constraint
+/// and decision history.
+#[derive(Debug, Clone)]
+struct MergeArm {
+    constraints: Vec<TermId>,
+    origins: Vec<crate::project::ConstraintOrigin>,
+    taken: Vec<bool>,
 }
 
 /// A copy-on-write snapshot: the task state plus the engine-side path
@@ -118,7 +170,13 @@ struct Snapshot<S> {
     origins: Vec<crate::project::ConstraintOrigin>,
     taken: Vec<bool>,
     path_symbols: Vec<TermId>,
+    arms: Vec<MergeArm>,
 }
+
+/// What running one job produces: the path records of the physical path
+/// (one, or several when merged sibling arms rode along) plus the sibling
+/// jobs scheduled at fresh forks.
+pub type JobOutcome<S, O> = (Vec<PathResult<O>>, Vec<ForkJob<S>>);
 
 /// One schedulable unit of fork-engine work: a canonical decision prefix,
 /// optionally accelerated by a snapshot taken at the last step boundary
@@ -127,6 +185,12 @@ struct Snapshot<S> {
 pub struct ForkJob<S> {
     prefix: Vec<bool>,
     snapshot: Option<Arc<Snapshot<S>>>,
+    /// Decision prefixes of the merged sibling arms riding on this job
+    /// (empty for ordinary jobs). They are redundant with the snapshot's
+    /// arm ledgers while the snapshot is alive and become the re-split
+    /// replays when it is dropped — a bare prefix cannot reconstruct a
+    /// merge, so spilling a merged job must split it.
+    arm_prefixes: Vec<Vec<bool>>,
 }
 
 impl<S> ForkJob<S> {
@@ -135,6 +199,7 @@ impl<S> ForkJob<S> {
         ForkJob {
             prefix: Vec::new(),
             snapshot: None,
+            arm_prefixes: Vec::new(),
         }
     }
 
@@ -143,6 +208,7 @@ impl<S> ForkJob<S> {
         ForkJob {
             prefix,
             snapshot: None,
+            arm_prefixes: Vec::new(),
         }
     }
 
@@ -161,10 +227,27 @@ impl<S> ForkJob<S> {
         self.snapshot.is_some()
     }
 
-    /// Drops the snapshot, degrading the job to whole-prefix replay. This
-    /// is the memory-bound spill and the cross-worker migration path.
-    pub fn spill(&mut self) {
-        self.snapshot = None;
+    /// The number of path records this job will produce when run: one,
+    /// plus one per merged sibling arm.
+    pub fn represented_paths(&self) -> usize {
+        1 + self.arm_prefixes.len()
+    }
+
+    /// Drops the snapshot, degrading the job to whole-prefix replays.
+    /// This is the memory-bound spill and the cross-worker migration
+    /// path. An ordinary job spills to itself; a merged job re-splits
+    /// into one replay per arm, because a prefix alone cannot
+    /// reconstruct a merge.
+    pub fn split_on_spill(self) -> Vec<ForkJob<S>> {
+        let ForkJob {
+            prefix,
+            snapshot: _,
+            arm_prefixes,
+        } = self;
+        let mut out = Vec::with_capacity(1 + arm_prefixes.len());
+        out.push(ForkJob::from_prefix(prefix));
+        out.extend(arm_prefixes.into_iter().map(ForkJob::from_prefix));
+        out
     }
 }
 
@@ -183,11 +266,41 @@ pub struct ForkExec {
     taken: Vec<bool>,
     constraints: Vec<TermId>,
     origins: Vec<crate::project::ConstraintOrigin>,
-    forks: Vec<Vec<bool>>,
+    /// Pending forks of the current step: one entry per fork event, one
+    /// sibling prefix per arm (index 0 is the primary arm; unmerged
+    /// paths push single-element groups).
+    forks: Vec<Vec<Vec<bool>>>,
     path_symbols: Vec<TermId>,
     status: PathStatus,
+    /// Ledgers of the merged sibling arms riding on this path (empty
+    /// while unmerged). Every decision, assumption and committed
+    /// constraint is recorded to the primary fields *and* to each arm in
+    /// lockstep, so the arms' intra-step suffixes stay identical.
+    arms: Vec<MergeArm>,
+    /// A merged-mode event (non-uniform feasibility across arms, or an
+    /// arm hitting the decision limit) made lockstep execution
+    /// impossible; the engine discards this run and re-splits every arm
+    /// into a whole-prefix replay.
+    abandoned: bool,
     max_decisions: usize,
     projector: crate::project::Projector,
+}
+
+/// Saved per-path bookkeeping of a [`ForkExec`], so the engine can run a
+/// merge-lookahead path and then restore the interrupted one. The
+/// context, solver and projector are shared append-only services and
+/// deliberately not part of the checkpoint.
+#[derive(Debug)]
+struct PathCheckpoint {
+    replay: VecDeque<bool>,
+    taken: Vec<bool>,
+    constraints: Vec<TermId>,
+    origins: Vec<crate::project::ConstraintOrigin>,
+    forks: Vec<Vec<Vec<bool>>>,
+    path_symbols: Vec<TermId>,
+    status: PathStatus,
+    arms: Vec<MergeArm>,
+    abandoned: bool,
 }
 
 impl ForkExec {
@@ -202,8 +315,67 @@ impl ForkExec {
             forks: Vec::new(),
             path_symbols: Vec::new(),
             status: PathStatus::Complete,
+            arms: Vec::new(),
+            abandoned: false,
             max_decisions,
             projector: crate::project::Projector::new(),
+        }
+    }
+
+    fn save_path(&mut self) -> PathCheckpoint {
+        PathCheckpoint {
+            replay: std::mem::take(&mut self.replay),
+            taken: std::mem::take(&mut self.taken),
+            constraints: std::mem::take(&mut self.constraints),
+            origins: std::mem::take(&mut self.origins),
+            forks: std::mem::take(&mut self.forks),
+            path_symbols: std::mem::take(&mut self.path_symbols),
+            status: self.status,
+            arms: std::mem::take(&mut self.arms),
+            abandoned: self.abandoned,
+        }
+    }
+
+    fn restore_path(&mut self, saved: PathCheckpoint) {
+        self.replay = saved.replay;
+        self.taken = saved.taken;
+        self.constraints = saved.constraints;
+        self.origins = saved.origins;
+        self.forks = saved.forks;
+        self.path_symbols = saved.path_symbols;
+        self.status = saved.status;
+        self.arms = saved.arms;
+        self.abandoned = saved.abandoned;
+    }
+
+    /// Records a decision constraint to the primary ledger and to every
+    /// merged arm in lockstep. Per-arm decision indices differ because
+    /// the arms' prefixes have different lengths.
+    fn record_decision(&mut self, cond: TermId, choice: bool) {
+        let constraint = if choice { cond } else { self.ctx.not(cond) };
+        self.constraints.push(constraint);
+        self.origins
+            .push(crate::project::ConstraintOrigin::Decision(
+                self.taken.len() as u32
+            ));
+        self.taken.push(choice);
+        for arm in &mut self.arms {
+            arm.constraints.push(constraint);
+            arm.origins.push(crate::project::ConstraintOrigin::Decision(
+                arm.taken.len() as u32
+            ));
+            arm.taken.push(choice);
+        }
+    }
+
+    /// Records an assumed constraint to the primary ledger and to every
+    /// merged arm in lockstep.
+    fn record_assumed(&mut self, cond: TermId) {
+        self.constraints.push(cond);
+        self.origins.push(crate::project::ConstraintOrigin::Assumed);
+        for arm in &mut self.arms {
+            arm.constraints.push(cond);
+            arm.origins.push(crate::project::ConstraintOrigin::Assumed);
         }
     }
 
@@ -224,17 +396,48 @@ impl ForkExec {
         if let Some(value) = self.ctx.const_value(cond) {
             return value == 1;
         }
-        // During replay this is usually a cache hit: the parent path asked
-        // the identical condition set.
-        self.backend.prefix_sync(&self.constraints);
-        self.backend.check_suffix(&self.ctx, &[cond]).is_sat()
+        if self.arms.is_empty() {
+            // During replay this is usually a cache hit: the parent path
+            // asked the identical condition set.
+            self.backend.prefix_sync(&self.constraints);
+            return self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
+        }
+        // Merged: the answer must be uniform across the arms to stay in
+        // lockstep; a split vote abandons the merge and the caller's
+        // result is discarded with the rest of the run.
+        let mut answer = None;
+        for i in 0..=self.arms.len() {
+            let prefix = if i == 0 {
+                &self.constraints
+            } else {
+                &self.arms[i - 1].constraints
+            };
+            self.backend.prefix_sync(prefix);
+            let sat = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
+            match answer {
+                None => answer = Some(sat),
+                Some(first) if first == sat => {}
+                Some(first) => {
+                    self.abandoned = true;
+                    return first;
+                }
+            }
+        }
+        answer.expect("at least the primary arm")
     }
 
-    /// Permanently adds `cond` to the path condition.
+    /// Permanently adds `cond` to the path condition (of every arm, when
+    /// merged — committed constraints come from the task, which runs in
+    /// lockstep).
     pub fn add_constraint(&mut self, cond: TermId) {
         self.constraints.push(cond);
         self.origins
             .push(crate::project::ConstraintOrigin::Committed);
+        for arm in &mut self.arms {
+            arm.constraints.push(cond);
+            arm.origins
+                .push(crate::project::ConstraintOrigin::Committed);
+        }
     }
 
     /// Projects this path's condition onto every symbolic fetch slot whose
@@ -298,6 +501,7 @@ impl ForkExec {
                 self.constraints = snap.constraints.clone();
                 self.origins = snap.origins.clone();
                 self.path_symbols = snap.path_symbols.clone();
+                self.arms = snap.arms.clone();
             }
             None => {
                 self.replay = prefix.into_iter().collect();
@@ -305,10 +509,12 @@ impl ForkExec {
                 self.constraints = Vec::new();
                 self.origins = Vec::new();
                 self.path_symbols = Vec::new();
+                self.arms = Vec::new();
             }
         }
         self.forks = Vec::new();
         self.status = PathStatus::Complete;
+        self.abandoned = false;
     }
 }
 
@@ -422,9 +628,49 @@ impl Domain for ForkExec {
         if let Some(choice) = self.replay.pop_front() {
             // Replaying a forced window (snapshot resume or spilled
             // prefix): feasibility was established when the fork was
-            // scheduled, no solver call needed.
-            let constraint = if choice { cond } else { self.ctx.not(cond) };
+            // scheduled, no solver call needed. Merged arms replay the
+            // same window in lockstep — their intra-step suffixes are
+            // identical by construction.
+            self.record_decision(cond, choice);
+            return choice;
+        }
+        if self.taken.len() >= self.max_decisions
+            || self
+                .arms
+                .iter()
+                .any(|arm| arm.taken.len() >= self.max_decisions)
+        {
+            if self.arms.is_empty() {
+                self.kill(PathStatus::DecisionLimit);
+            } else {
+                // Killing a merged path at the limit would stamp
+                // DecisionLimit on arms whose own unmerged runs may not
+                // have reached it yet; re-split instead.
+                self.abandoned = true;
+            }
+            return false;
+        }
+        let negated = self.ctx.not(cond);
+        if self.arms.is_empty() {
+            // Both polarity probes share the whole path condition as their
+            // prefix; suffix queries let the incremental solver retain the
+            // prefix's propagation trail between them.
+            self.backend.prefix_sync(&self.constraints);
+            let true_feasible = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
+            let (choice, constraint) = if true_feasible {
+                if self.backend.check_suffix(&self.ctx, &[negated]).is_sat() {
+                    // Both sides feasible: fork, continue on `true`.
+                    let mut sibling = self.taken.clone();
+                    sibling.push(false);
+                    self.forks.push(vec![sibling]);
+                }
+                (true, cond)
+            } else {
+                // The path condition is feasible by induction, so `false` is.
+                (false, negated)
+            };
             self.constraints.push(constraint);
+            self.backend.prefix_push(constraint);
             self.origins
                 .push(crate::project::ConstraintOrigin::Decision(
                     self.taken.len() as u32
@@ -432,36 +678,47 @@ impl Domain for ForkExec {
             self.taken.push(choice);
             return choice;
         }
-        if self.taken.len() >= self.max_decisions {
-            self.kill(PathStatus::DecisionLimit);
-            return false;
-        }
-        let negated = self.ctx.not(cond);
-        // Both polarity probes share the whole path condition as their
-        // prefix; suffix queries let the incremental solver retain the
-        // prefix's propagation trail between them.
-        self.backend.prefix_sync(&self.constraints);
-        let true_feasible = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
-        let (choice, constraint) = if true_feasible {
-            if self.backend.check_suffix(&self.ctx, &[negated]).is_sat() {
-                // Both sides feasible: fork, continue on `true`.
-                let mut sibling = self.taken.clone();
-                sibling.push(false);
-                self.forks.push(sibling);
+        // Merged: classify each arm as fork (both polarities feasible),
+        // true-only, or false-only. Lockstep survives only a uniform
+        // classification; anything mixed abandons the merge.
+        let mut class: Option<(bool, bool)> = None;
+        for i in 0..=self.arms.len() {
+            let prefix = if i == 0 {
+                &self.constraints
+            } else {
+                &self.arms[i - 1].constraints
+            };
+            self.backend.prefix_sync(prefix);
+            let t = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
+            // Each arm's path condition is feasible by induction, so `!t`
+            // implies the false side is.
+            let f = !t || self.backend.check_suffix(&self.ctx, &[negated]).is_sat();
+            match class {
+                None => class = Some((t, f)),
+                Some(c) if c == (t, f) => {}
+                Some(_) => {
+                    self.abandoned = true;
+                    return false;
+                }
             }
-            (true, cond)
-        } else {
-            // The path condition is feasible by induction, so `false` is.
-            (false, negated)
-        };
-        self.constraints.push(constraint);
-        self.backend.prefix_push(constraint);
-        self.origins
-            .push(crate::project::ConstraintOrigin::Decision(
-                self.taken.len() as u32
-            ));
-        self.taken.push(choice);
-        choice
+        }
+        let (t, f) = class.expect("at least the primary arm");
+        if t && f {
+            // Uniform fork: one fork event carrying a sibling prefix per
+            // arm, so the sibling job stays merged too.
+            let mut group = Vec::with_capacity(1 + self.arms.len());
+            let mut sibling = self.taken.clone();
+            sibling.push(false);
+            group.push(sibling);
+            for arm in &self.arms {
+                let mut sibling = arm.taken.clone();
+                sibling.push(false);
+                group.push(sibling);
+            }
+            self.forks.push(group);
+        }
+        self.record_decision(cond, t);
+        t
     }
 
     fn assume(&mut self, cond: TermId) {
@@ -482,22 +739,49 @@ impl Domain for ForkExec {
             // alive past this point, and the flipped branch itself was
             // checked at fork time), so the re-execution engine's check
             // here is guaranteed Sat — skip it.
-            self.constraints.push(cond);
-            self.origins.push(crate::project::ConstraintOrigin::Assumed);
+            self.record_assumed(cond);
             return;
         }
-        self.backend.prefix_sync(&self.constraints);
-        let feasible = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
-        self.constraints.push(cond);
-        self.backend.prefix_push(cond);
-        self.origins.push(crate::project::ConstraintOrigin::Assumed);
-        if !feasible {
+        if self.arms.is_empty() {
+            self.backend.prefix_sync(&self.constraints);
+            let feasible = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
+            self.constraints.push(cond);
+            self.backend.prefix_push(cond);
+            self.origins.push(crate::project::ConstraintOrigin::Assumed);
+            if !feasible {
+                self.kill(PathStatus::Infeasible);
+            }
+            return;
+        }
+        // Merged: uniform feasibility keeps the lockstep (all feasible →
+        // record; all infeasible → record and die, exactly as each
+        // unmerged arm would); a mixed vote abandons the merge without
+        // recording anything.
+        let mut any = false;
+        let mut all = true;
+        for i in 0..=self.arms.len() {
+            let prefix = if i == 0 {
+                &self.constraints
+            } else {
+                &self.arms[i - 1].constraints
+            };
+            self.backend.prefix_sync(prefix);
+            let feasible = self.backend.check_suffix(&self.ctx, &[cond]).is_sat();
+            any |= feasible;
+            all &= feasible;
+        }
+        if all {
+            self.record_assumed(cond);
+        } else if !any {
+            self.record_assumed(cond);
             self.kill(PathStatus::Infeasible);
+        } else {
+            self.abandoned = true;
         }
     }
 
     fn is_dead(&self) -> bool {
-        self.status != PathStatus::Complete
+        self.status != PathStatus::Complete || self.abandoned
     }
 }
 
@@ -547,6 +831,11 @@ pub struct ForkEngine {
     exec: ForkExec,
     config: EngineConfig,
     rng_state: u64,
+    /// How many *additional* paths the driver still wants beyond the jobs
+    /// it already holds (see [`ForkEngine::set_merge_headroom`]). Bounds
+    /// the merge lookahead so a truncated run never pays for subtree
+    /// expansion its budget will discard.
+    merge_headroom: usize,
 }
 
 impl ForkEngine {
@@ -563,7 +852,27 @@ impl ForkEngine {
             exec,
             config: config.clone(),
             rng_state: config.seed | 1,
+            merge_headroom: usize::MAX,
         }
+    }
+
+    /// Sets the merge lookahead's path headroom for subsequent
+    /// [`ForkEngine::run_job`] calls: the number of paths the driver's
+    /// budget still admits beyond the jobs already queued.
+    ///
+    /// The lookahead fully expands each step's fork subtree before
+    /// merging. On a drained run every expanded leaf is work the engine
+    /// would do anyway (the post-step snapshot jobs carry it forward),
+    /// but on a *truncated* run leaves beyond the budget are pure waste —
+    /// on the full RV32I+Zicsr space that waste is orders of magnitude
+    /// (hard data-dependent solves for siblings the budget never visits).
+    /// Capping the expansion at the headroom keeps merged truncated runs
+    /// within a small factor of unmerged ones while leaving drained
+    /// sweeps (headroom ≫ fan-out) untouched. The headroom is an explicit
+    /// input, not solver state, so `run_job` stays a pure function of
+    /// (job, task, headroom). Defaults to `usize::MAX` (unbounded).
+    pub fn set_merge_headroom(&mut self, headroom: usize) {
+        self.merge_headroom = headroom;
     }
 
     /// Read access to the term context.
@@ -594,19 +903,31 @@ impl ForkEngine {
         self.exec.backend.import_chain_seed(seed);
     }
 
-    /// Runs the single path selected by `job` and returns its result plus
-    /// the sibling jobs scheduled at fresh forks.
+    /// Runs the single physical path selected by `job` and returns its
+    /// path records — one, or several when merged sibling arms rode along
+    /// (see [`crate::merge`]) — plus the sibling jobs scheduled at fresh
+    /// forks.
     ///
     /// The counterpart of [`Engine::run_prefix`](crate::Engine::run_prefix)
     /// — everything except the task's own value is a pure function of the
     /// job's prefix and the task, so a snapshotted job and its spilled
-    /// twin produce identical results.
+    /// twin produce identical results. An abandoned merge returns no
+    /// records and re-splits every arm into whole-prefix replay jobs.
     pub fn run_job<T: ForkTask>(
         &mut self,
         job: ForkJob<T::State>,
         task: &T,
-    ) -> (PathResult<T::Out>, Vec<ForkJob<T::State>>) {
-        let ForkJob { prefix, snapshot } = job;
+    ) -> JobOutcome<T::State, T::Out> {
+        let ForkJob {
+            prefix,
+            snapshot,
+            arm_prefixes,
+        } = job;
+        debug_assert_eq!(
+            arm_prefixes.len(),
+            snapshot.as_deref().map_or(0, |s| s.arms.len()),
+            "a job's spill prefixes must mirror its snapshot's arms"
+        );
         self.exec.begin_path(prefix, snapshot.as_deref());
         // Move out of the snapshot when this job holds the last reference;
         // clone only when siblings still share it.
@@ -632,12 +953,18 @@ impl ForkEngine {
                     let constraints_mark = self.exec.constraints.len();
                     let taken_mark = self.exec.taken.len();
                     let symbols_mark = self.exec.path_symbols.len();
+                    let arm_marks: Vec<(usize, usize)> = self
+                        .exec
+                        .arms
+                        .iter()
+                        .map(|arm| (arm.constraints.len(), arm.taken.len()))
+                        .collect();
                     let mut next = pre_state.clone();
                     let done = match task.step(&mut next, &mut self.exec) {
                         StepResult::Continue => None,
                         StepResult::Done(out) => Some(out),
                     };
-                    let snap = if self.exec.forks.is_empty() {
+                    let snap = if self.exec.forks.is_empty() || self.exec.abandoned {
                         None
                     } else {
                         Some(Arc::new(Snapshot {
@@ -646,20 +973,72 @@ impl ForkEngine {
                             origins: self.exec.origins[..constraints_mark].to_vec(),
                             taken: self.exec.taken[..taken_mark].to_vec(),
                             path_symbols: self.exec.path_symbols[..symbols_mark].to_vec(),
+                            arms: self
+                                .exec
+                                .arms
+                                .iter()
+                                .zip(&arm_marks)
+                                .map(|(arm, &(cmark, tmark))| MergeArm {
+                                    constraints: arm.constraints[..cmark].to_vec(),
+                                    origins: arm.origins[..cmark].to_vec(),
+                                    taken: arm.taken[..tmark].to_vec(),
+                                })
+                                .collect(),
                         }))
                     };
                     state = Some(next);
                     (done, snap)
                 }
             };
+            if self.exec.abandoned {
+                // Lockstep broke mid-step: nothing from this run can be
+                // trusted to match unmerged execution. Discard the run and
+                // re-split everything still pending — the interrupted
+                // decision recorded nothing, so each replay regenerates
+                // its own forks live. Earlier steps' sibling jobs (already
+                // in `jobs`) are unaffected.
+                for group in std::mem::take(&mut self.exec.forks) {
+                    for sibling in group {
+                        jobs.push(ForkJob::from_prefix(sibling));
+                    }
+                }
+                jobs.push(ForkJob::from_prefix(self.exec.taken.clone()));
+                for arm in std::mem::take(&mut self.exec.arms) {
+                    jobs.push(ForkJob::from_prefix(arm.taken));
+                }
+                return (Vec::new(), jobs);
+            }
+            let mut step_jobs: Vec<ForkJob<T::State>> = Vec::new();
             if !self.exec.forks.is_empty() {
-                let siblings = std::mem::take(&mut self.exec.forks);
-                for sibling in siblings {
-                    jobs.push(ForkJob {
+                for group in std::mem::take(&mut self.exec.forks) {
+                    let mut group = group.into_iter();
+                    let sibling = group.next().expect("fork event has a primary arm");
+                    step_jobs.push(ForkJob {
                         prefix: sibling,
                         snapshot: snap.clone(),
+                        arm_prefixes: group.collect(),
                     });
                 }
+            }
+            // Merging only when the remaining budget can absorb a
+            // worst-case lookahead expansion guarantees no expanded leaf
+            // is beyond-budget work: each emitted group job produces at
+            // least one record, so every leaf occupies a slot the driver
+            // still has. Below that line a truncated run would pay hard
+            // lookahead and lockstep-vote solves for paths it discards.
+            let merge_now = self.config.merge
+                && self.merge_headroom >= ForkEngine::MERGE_LOOKAHEAD_CAP
+                && task.merge_capable()
+                && done.is_none()
+                && !step_jobs.is_empty()
+                && snap.is_some()
+                && !self.exec.is_dead()
+                && self.exec.replay.is_empty();
+            if merge_now {
+                let primary_state = state.as_ref().expect("stepped state present");
+                self.try_merge(task, primary_state, step_jobs, &mut jobs);
+            } else {
+                jobs.append(&mut step_jobs);
             }
             if let Some(out) = done {
                 break out;
@@ -671,6 +1050,7 @@ impl ForkEngine {
         );
         #[cfg(debug_assertions)]
         crate::wf::debug_validate_path(&self.exec.ctx, &self.exec.constraints);
+        let mut results = Vec::with_capacity(1 + self.exec.arms.len());
         let test_vector =
             if self.config.emit_test_vectors && self.exec.status != PathStatus::Infeasible {
                 crate::solve::fresh_model_vector(
@@ -681,14 +1061,237 @@ impl ForkEngine {
             } else {
                 None
             };
-        let result = PathResult {
+        results.push(PathResult {
             value,
             status: self.exec.status,
             decisions: self.exec.taken.clone(),
             num_constraints: self.exec.constraints.len(),
             test_vector,
-        };
-        (result, jobs)
+        });
+        // Expand every merged arm into its own record by swapping the
+        // arm's ledger into the executor and re-deriving the value with
+        // history-independent extraction — byte-identical to the arm's
+        // unmerged run because the final state, the symbol list and the
+        // status are shared and the ledger is exactly what the unmerged
+        // run would have recorded.
+        let arms = std::mem::take(&mut self.exec.arms);
+        if !arms.is_empty() {
+            let final_state = state.as_ref().expect("finished state present");
+            for arm in arms {
+                let MergeArm {
+                    constraints,
+                    origins,
+                    taken,
+                } = arm;
+                self.exec.constraints = constraints;
+                self.exec.origins = origins;
+                self.exec.taken = taken;
+                match task.expand_arm(final_state, &mut self.exec) {
+                    Some(arm_value) => {
+                        let test_vector = if self.config.emit_test_vectors
+                            && self.exec.status != PathStatus::Infeasible
+                        {
+                            crate::solve::fresh_model_vector(
+                                &self.exec.ctx,
+                                &self.exec.constraints,
+                                &self.exec.path_symbols,
+                            )
+                        } else {
+                            None
+                        };
+                        results.push(PathResult {
+                            value: arm_value,
+                            status: self.exec.status,
+                            decisions: self.exec.taken.clone(),
+                            num_constraints: self.exec.constraints.len(),
+                            test_vector,
+                        });
+                    }
+                    None => {
+                        // The task cannot rebuild this arm's value;
+                        // degrade to a whole-prefix replay.
+                        jobs.push(ForkJob::from_prefix(self.exec.taken.clone()));
+                    }
+                }
+            }
+        }
+        (results, jobs)
+    }
+
+    /// Upper bound on the intra-step subtree a merge lookahead fully
+    /// expands. Decode fans out to a handful of siblings per step; a
+    /// run-away task must not turn the lookahead into the whole search.
+    const MERGE_LOOKAHEAD_CAP: usize = 64;
+
+    /// Attempts to merge this step's sibling jobs back into the running
+    /// path (and into each other). Runs each sibling one step ahead from
+    /// its snapshot; siblings whose post-step state is term-identical to
+    /// the primary's (or to each other's) and whose divergence passes the
+    /// [`crate::merge::proves_mergeable`] gate are absorbed as
+    /// [`MergeArm`] ledgers. Everything that does not merge is emitted as
+    /// a post-step snapshot job (no work is lost — the lookahead step is
+    /// the same step the job would have run first).
+    fn try_merge<T: ForkTask>(
+        &mut self,
+        task: &T,
+        primary_state: &T::State,
+        step_jobs: Vec<ForkJob<T::State>>,
+        jobs: &mut Vec<ForkJob<T::State>>,
+    ) {
+        struct Leaf<S> {
+            state: S,
+            symbols: Vec<TermId>,
+            arms: Vec<MergeArm>,
+        }
+        // A truncated run discards jobs beyond its budget, so looking
+        // ahead past the headroom is work nobody will reuse (see
+        // [`ForkEngine::set_merge_headroom`]).
+        let cap = ForkEngine::MERGE_LOOKAHEAD_CAP.min(self.merge_headroom);
+        if cap == 0 {
+            jobs.extend(step_jobs);
+            return;
+        }
+        let checkpoint = self.exec.save_path();
+        let mut queue: VecDeque<ForkJob<T::State>> = step_jobs.into();
+        let mut leaves: Vec<Leaf<T::State>> = Vec::new();
+        let mut expanded = 0usize;
+        while let Some(job) = queue.pop_front() {
+            if expanded >= cap {
+                jobs.push(job);
+                continue;
+            }
+            expanded += 1;
+            let ForkJob {
+                prefix,
+                snapshot,
+                arm_prefixes,
+            } = job;
+            let snap = match snapshot {
+                Some(snap) => snap,
+                None => {
+                    // No snapshot to look ahead from; pass through.
+                    jobs.push(ForkJob {
+                        prefix,
+                        snapshot: None,
+                        arm_prefixes,
+                    });
+                    continue;
+                }
+            };
+            self.exec.begin_path(prefix.clone(), Some(&*snap));
+            let mut sib_state = snap.state.clone();
+            let done = task.step(&mut sib_state, &mut self.exec);
+            let ok = matches!(done, StepResult::Continue)
+                && !self.exec.is_dead()
+                && self.exec.replay.is_empty();
+            if !ok {
+                // The sibling finished, died or abandoned inside the
+                // lookahead: revert. Its own run will redo the step (the
+                // solver answers are cached) and regenerate any forks.
+                self.exec.forks.clear();
+                jobs.push(ForkJob {
+                    prefix,
+                    snapshot: Some(snap),
+                    arm_prefixes,
+                });
+                continue;
+            }
+            // Nested forks join the lookahead, anchored to the same
+            // pre-step snapshot — the subtree is fully expanded, which is
+            // exactly the solver work the unmerged engine would do.
+            for group in std::mem::take(&mut self.exec.forks) {
+                let mut group = group.into_iter();
+                let nested = group.next().expect("fork event has a primary arm");
+                queue.push_back(ForkJob {
+                    prefix: nested,
+                    snapshot: Some(Arc::clone(&snap)),
+                    arm_prefixes: group.collect(),
+                });
+            }
+            let mut arms = vec![MergeArm {
+                constraints: self.exec.constraints.clone(),
+                origins: self.exec.origins.clone(),
+                taken: self.exec.taken.clone(),
+            }];
+            arms.extend(self.exec.arms.iter().cloned());
+            leaves.push(Leaf {
+                state: sib_state,
+                symbols: self.exec.path_symbols.clone(),
+                arms,
+            });
+        }
+        self.exec.restore_path(checkpoint);
+        // Absorb leaves into the running primary path where the gate
+        // allows; group the rest among themselves.
+        let outputs = task.merge_outputs(primary_state);
+        let mut groups: Vec<(Leaf<T::State>, Vec<MergeArm>)> = Vec::new();
+        for leaf in leaves {
+            if task.states_equal(primary_state, &leaf.state)
+                && self.exec.path_symbols == leaf.symbols
+                && crate::merge::proves_mergeable(
+                    &self.exec.ctx,
+                    &mut self.exec.projector,
+                    &self.exec.constraints,
+                    &leaf.arms[0].constraints,
+                    &outputs,
+                    crate::merge::FETCH_SLOT_PREFIX,
+                )
+                .is_some()
+            {
+                self.exec.arms.extend(leaf.arms);
+                continue;
+            }
+            let mut placed = false;
+            for (rep, extra) in &mut groups {
+                let rep_outputs = task.merge_outputs(&rep.state);
+                if task.states_equal(&rep.state, &leaf.state)
+                    && rep.symbols == leaf.symbols
+                    && crate::merge::proves_mergeable(
+                        &self.exec.ctx,
+                        &mut self.exec.projector,
+                        &rep.arms[0].constraints,
+                        &leaf.arms[0].constraints,
+                        &rep_outputs,
+                        crate::merge::FETCH_SLOT_PREFIX,
+                    )
+                    .is_some()
+                {
+                    extra.extend(leaf.arms.iter().cloned());
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                groups.push((leaf, Vec::new()));
+            }
+        }
+        // Emit each group as one post-step snapshot job: prefix equals
+        // the snapshot's decision record, so the job resumes with an
+        // empty replay window and zero re-execution.
+        for (rep, extra) in groups {
+            let Leaf {
+                state,
+                symbols,
+                arms,
+            } = rep;
+            let mut arms = arms;
+            arms.extend(extra);
+            let primary = arms.remove(0);
+            let prefix = primary.taken.clone();
+            let arm_prefixes: Vec<Vec<bool>> = arms.iter().map(|arm| arm.taken.clone()).collect();
+            jobs.push(ForkJob {
+                prefix,
+                snapshot: Some(Arc::new(Snapshot {
+                    state,
+                    constraints: primary.constraints,
+                    origins: primary.origins,
+                    taken: primary.taken,
+                    path_symbols: symbols,
+                    arms,
+                })),
+                arm_prefixes,
+            });
+        }
     }
 
     /// Explores every feasible path through `task` (the counterpart of
@@ -712,6 +1315,7 @@ impl ForkEngine {
         let mut paths = Vec::new();
         let mut complete = 0usize;
         let mut partial = 0usize;
+        let mut merged = 0usize;
 
         while let Some(job) = self.pop_frontier(&mut frontier) {
             if job.has_snapshot() {
@@ -723,30 +1327,51 @@ impl ForkEngine {
                     complete_paths: complete,
                     partial_paths: partial,
                     frontier_exhausted: true,
+                    merged_paths: merged,
+                    paths_dropped: frontier.len() + 1,
                 };
             }
-            let (result, forks) = self.run_job(job, task);
-            for mut fork in forks {
-                if fork.has_snapshot() {
-                    if resident >= self.config.max_resident_snapshots {
-                        fork.spill();
-                    } else {
+            // Paths already recorded, jobs already queued and the popped
+            // job itself all consume budget slots; only what is left may
+            // be spent looking ahead for merges.
+            self.merge_headroom = self
+                .config
+                .max_paths
+                .saturating_sub(paths.len() + frontier.len() + 1);
+            let (results, forks) = self.run_job(job, task);
+            for fork in forks {
+                if fork.has_snapshot() && resident >= self.config.max_resident_snapshots {
+                    // A merged job cannot survive losing its snapshot as
+                    // one prefix; it re-splits into per-arm replays.
+                    frontier.extend(fork.split_on_spill());
+                } else {
+                    if fork.has_snapshot() {
                         resident += 1;
                     }
+                    frontier.push(fork);
                 }
-                frontier.push(fork);
             }
-            match result.status {
-                PathStatus::Complete => complete += 1,
-                _ => partial += 1,
+            merged += results.len().saturating_sub(1);
+            let mut stopped = false;
+            for result in results {
+                match result.status {
+                    PathStatus::Complete => complete += 1,
+                    _ => partial += 1,
+                }
+                paths.push(result);
+                if stop(paths.last().expect("just pushed")) {
+                    stopped = true;
+                    break;
+                }
             }
-            paths.push(result);
-            if stop(paths.last().expect("just pushed")) {
+            if stopped {
                 return ExploreOutcome {
                     frontier_exhausted: !frontier.is_empty(),
+                    paths_dropped: frontier.len(),
                     paths,
                     complete_paths: complete,
                     partial_paths: partial,
+                    merged_paths: merged,
                 };
             }
         }
@@ -756,6 +1381,8 @@ impl ForkEngine {
             complete_paths: complete,
             partial_paths: partial,
             frontier_exhausted: false,
+            merged_paths: merged,
+            paths_dropped: 0,
         }
     }
 
@@ -901,12 +1528,15 @@ mod tests {
         let prefix = vec![true, false];
         let task = BitTask { bits: 3 };
         let mut fresh = ForkEngine::new(EngineConfig::default());
-        let (baseline, base_forks) = fresh.run_job(ForkJob::from_prefix(prefix.clone()), &task);
+        let (mut baselines, base_forks) =
+            fresh.run_job(ForkJob::from_prefix(prefix.clone()), &task);
+        let baseline = baselines.pop().expect("one record");
 
         let mut warmed = ForkEngine::new(EngineConfig::default());
         warmed.run_job(ForkJob::root(), &task);
         warmed.run_job(ForkJob::from_prefix(vec![false]), &task);
-        let (repeat, repeat_forks) = warmed.run_job(ForkJob::from_prefix(prefix), &task);
+        let (mut repeats, repeat_forks) = warmed.run_job(ForkJob::from_prefix(prefix), &task);
+        let repeat = repeats.pop().expect("one record");
 
         assert_eq!(repeat.value, baseline.value);
         assert_eq!(repeat.status, baseline.status);
@@ -990,6 +1620,159 @@ mod tests {
         let outcome = engine.explore(&BitTask { bits: 6 });
         assert_eq!(outcome.paths.len(), 3);
         assert!(outcome.frontier_exhausted);
+    }
+
+    const DECODE_SLOT: &str = "imem_00000000";
+
+    /// A decode-shaped task: step 0 forks on a fetch-slot bit without
+    /// touching the state (the fork-engine analogue of two BRANCH decode
+    /// siblings), step 1 forks on data (or splits the arms with a
+    /// one-sided assume), step 2 finishes.
+    struct DecodeTask {
+        split_assume: bool,
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct DecodeState {
+        step: u32,
+        slot: Option<TermId>,
+        value: u32,
+    }
+
+    impl ForkTask for DecodeTask {
+        type State = DecodeState;
+        type Out = u32;
+
+        fn start(&self, _exec: &mut ForkExec) -> DecodeState {
+            DecodeState {
+                step: 0,
+                slot: None,
+                value: 0,
+            }
+        }
+
+        fn step(&self, state: &mut DecodeState, exec: &mut ForkExec) -> StepResult<u32> {
+            if exec.is_dead() {
+                return StepResult::Done(state.value);
+            }
+            match state.step {
+                0 => {
+                    // Decode-shaped fork: the decision bit is a fetch-slot
+                    // bit and the state is identical on both sides.
+                    let slot = exec.fresh_word(DECODE_SLOT);
+                    let field = exec.field(slot, 12, 12);
+                    let one = exec.const_word(1);
+                    let set = exec.eq_w(field, one);
+                    let _ = exec.decide(set);
+                    state.slot = Some(slot);
+                }
+                1 => {
+                    if self.split_assume {
+                        // Feasible on exactly one decode arm: a merged
+                        // path must abandon and re-split here.
+                        let slot = state.slot.expect("minted in step 0");
+                        let field = exec.field(slot, 12, 12);
+                        let one = exec.const_word(1);
+                        let set = exec.eq_w(field, one);
+                        exec.assume(set);
+                        state.value = 7;
+                    } else {
+                        let data = exec.fresh_word("data_0");
+                        let zero = exec.const_word(0);
+                        let is_zero = exec.eq_w(data, zero);
+                        state.value = if exec.decide(is_zero) { 1 } else { 2 };
+                    }
+                }
+                _ => return StepResult::Done(state.value),
+            }
+            state.step += 1;
+            StepResult::Continue
+        }
+
+        fn merge_capable(&self) -> bool {
+            true
+        }
+
+        fn states_equal(&self, a: &DecodeState, b: &DecodeState) -> bool {
+            a == b
+        }
+
+        fn expand_arm(&self, state: &DecodeState, _exec: &mut ForkExec) -> Option<u32> {
+            Some(state.value)
+        }
+    }
+
+    /// Canonical (decision-sorted) fingerprint: merging changes the order
+    /// paths complete in, never their records.
+    fn sorted_fingerprint(paths: &[PathResult<u32>]) -> Vec<String> {
+        let mut paths = paths.to_vec();
+        paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
+        fingerprint(&paths)
+    }
+
+    #[test]
+    fn merging_preserves_path_records_byte_for_byte() {
+        let task = DecodeTask {
+            split_assume: false,
+        };
+        let mut off = ForkEngine::new(EngineConfig::default());
+        let baseline = off.explore(&task);
+        let mut on = ForkEngine::new(EngineConfig {
+            merge: true,
+            ..EngineConfig::default()
+        });
+        let merged = on.explore(&task);
+        assert_eq!(baseline.merged_paths, 0);
+        assert!(
+            merged.merged_paths > 0,
+            "decode siblings with identical states must merge"
+        );
+        assert_eq!(
+            sorted_fingerprint(&merged.paths),
+            sorted_fingerprint(&baseline.paths),
+        );
+        assert_eq!(merged.complete_paths, baseline.complete_paths);
+        assert_eq!(merged.partial_paths, baseline.partial_paths);
+    }
+
+    #[test]
+    fn non_uniform_feasibility_abandons_the_merge() {
+        let task = DecodeTask { split_assume: true };
+        let mut off = ForkEngine::new(EngineConfig::default());
+        let baseline = off.explore(&task);
+        let mut on = ForkEngine::new(EngineConfig {
+            merge: true,
+            ..EngineConfig::default()
+        });
+        let merged = on.explore(&task);
+        // The one-sided assume breaks lockstep before any record is
+        // produced; both arms re-run unmerged and match bit for bit.
+        assert_eq!(merged.merged_paths, 0);
+        assert_eq!(
+            sorted_fingerprint(&merged.paths),
+            sorted_fingerprint(&baseline.paths),
+        );
+    }
+
+    #[test]
+    fn spilled_merged_jobs_resplit_into_arm_replays() {
+        let task = DecodeTask {
+            split_assume: false,
+        };
+        let mut off = ForkEngine::new(EngineConfig::default());
+        let baseline = off.explore(&task);
+        // With no resident snapshots allowed, every merged sibling job is
+        // immediately split back into per-arm prefix replays.
+        let mut on = ForkEngine::new(EngineConfig {
+            merge: true,
+            max_resident_snapshots: 0,
+            ..EngineConfig::default()
+        });
+        let merged = on.explore(&task);
+        assert_eq!(
+            sorted_fingerprint(&merged.paths),
+            sorted_fingerprint(&baseline.paths),
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod domain;
 mod engine;
 mod eval;
 mod fork;
+pub mod merge;
 mod probe;
 mod project;
 mod solve;
@@ -82,8 +83,9 @@ pub use engine::{
 };
 pub use eval::{eval, eval_memo, Env};
 pub use fork::{EngineKind, ForkEngine, ForkExec, ForkJob, ForkTask, StepResult};
+pub use merge::{bits_disjoint, fetch_slot_bits, proves_mergeable, FETCH_SLOT_PREFIX};
 pub use probe::PathProbe;
-pub use project::{ConstraintOrigin, Projector, SlotCoverage};
+pub use project::{union_covers, ConstraintOrigin, Projector, SlotCoverage};
 pub use solve::{CheckResult, QueryCacheStats, SolverBackend};
 pub use symcosim_sat::{CoreReplayUnit, SolverStats};
 pub use term::{Node, TermId, Width};

@@ -1,0 +1,327 @@
+//! Merge proofs: the sibling-group analysis that decides when the fork
+//! engine may re-join diverged paths (veritesting-style state merging).
+//!
+//! PR 9's `--merge-report` lint proved that most BRANCH decode sibling
+//! groups diverge only on fetch-slot (instruction-word) bits that no
+//! output cone demands. This module promotes that diagnosis from
+//! lint-time reporting to engine-time decision: [`ForkEngine`] calls
+//! [`proves_mergeable`] at post-instruction join points, and the lint's
+//! dataflow pass now calls the same [`fetch_slot_bits`] /
+//! [`bits_disjoint`] helpers instead of duplicating them.
+//!
+//! The proof has three legs, all conservative (any failure falls back to
+//! unmerged forking):
+//!
+//! 1. **Divergence is decode-local** — the constraints present on one
+//!    arm and not the other demand *some* fetch-slot bits (the arms
+//!    differ in how the fetched word decodes, not merely in register
+//!    data), computed with the bit-granular
+//!    [`demanded_bits`](crate::absint::demanded_bits) pass.
+//! 2. **Outputs are blind to the divergence** — no output term demands
+//!    any of those diverging fetch-slot bits.
+//! 3. **Coverage stays exact** — the *slot-pure* diverging constraints
+//!    of each arm project to *exact* fetch-slot cube covers whose union
+//!    is exact ([`union_covers`](crate::project::union_covers) on the
+//!    projections), so the merged path's
+//!    [`SlotCoverage`](crate::SlotCoverage) is provably the exact union
+//!    of the siblings' cubes. *Mixed* diverging constraints — a branch
+//!    condition compares registers *selected by* fetch bits 19:15 and
+//!    24:20, so it demands slot bits and register symbols at once — are
+//!    exactly the constraints the coverage projector widens to the
+//!    universe on every path, merged or not; the gate admits them only
+//!    when both arms widen identically (equal fetch-slot support per
+//!    side), keeping the union claim exact over the cubes the arms'
+//!    own coverage records actually carry. Certificates therefore keep
+//!    byte-identical semantics: verdict `complete` on the same domains.
+//!
+//! The proof is a *gate*, not the soundness argument: the engine only
+//! merges siblings whose post-step task states are term-identical, so
+//! every per-arm record is reproduced byte-for-byte by construction and
+//! any hard event (a feasibility answer that differs between arms)
+//! abandons the merge and re-splits the arms into whole-prefix replays.
+//!
+//! [`ForkEngine`]: crate::ForkEngine
+
+use crate::absint::demanded_bits;
+use crate::context::Context;
+use crate::project::{union_covers, ConstraintOrigin, Projector, SlotCoverage};
+use crate::term::TermId;
+
+/// Symbol-name prefix of fetch-slot (instruction-word) symbols, as
+/// minted by the symbolic instruction memory.
+pub const FETCH_SLOT_PREFIX: &str = "imem";
+
+/// Fetch-slot symbols (name starts with [`FETCH_SLOT_PREFIX`]) among the
+/// demanded bits of `roots`, as a `symbol -> bit mask` map in sorted
+/// term order.
+#[must_use]
+pub fn fetch_slot_bits(ctx: &Context, roots: &[TermId]) -> Vec<(TermId, u64)> {
+    let mut bits: Vec<(TermId, u64)> = demanded_bits(ctx, roots)
+        .into_iter()
+        .filter(|&(sym, _)| {
+            ctx.symbol_name(sym)
+                .is_some_and(|name| name.starts_with(FETCH_SLOT_PREFIX))
+        })
+        .collect();
+    bits.sort_unstable_by_key(|&(sym, _)| sym);
+    bits
+}
+
+/// Whether no bit of `diverging` appears in `observed` (both sorted by
+/// symbol, as [`fetch_slot_bits`] returns them).
+#[must_use]
+pub fn bits_disjoint(diverging: &[(TermId, u64)], observed: &[(TermId, u64)]) -> bool {
+    diverging.iter().all(|&(sym, bits)| {
+        observed
+            .binary_search_by_key(&sym, |&(s, _)| s)
+            .map_or(true, |at| observed[at].1 & bits == 0)
+    })
+}
+
+/// The constraints present in exactly one of the two arms (symmetric
+/// set difference), split by side: `(only_a, only_b)`.
+#[must_use]
+pub fn diverging_constraints(a: &[TermId], b: &[TermId]) -> (Vec<TermId>, Vec<TermId>) {
+    let only = |from: &[TermId], other: &[TermId]| -> Vec<TermId> {
+        let mut out: Vec<TermId> = from
+            .iter()
+            .copied()
+            .filter(|c| !other.contains(c))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    (only(a, b), only(b, a))
+}
+
+/// The merge gate: whether the two arms' diverging constraints are
+/// provably decode-local (legs 1 and 2 of the [module](self) proof) and
+/// their slot-pure subsets project to exact fetch-slot cube covers
+/// whose union is exact, with any mixed divergence widening both arms
+/// symmetrically (leg 3).
+///
+/// `slot_prefix` scopes the coverage projection (the certifier's slot
+/// prefix, e.g. `"imem_"`); `outputs` is the merged state's observable
+/// frontier. Returns the exact union cover on success, `None` whenever
+/// any leg fails — the caller then falls back to unmerged forking.
+#[must_use]
+pub fn proves_mergeable(
+    ctx: &Context,
+    projector: &mut Projector,
+    arm_a: &[TermId],
+    arm_b: &[TermId],
+    outputs: &[TermId],
+    slot_prefix: &str,
+) -> Option<Vec<SlotCoverage>> {
+    let (only_a, only_b) = diverging_constraints(arm_a, arm_b);
+    let mut diverging = only_a.clone();
+    diverging.extend_from_slice(&only_b);
+    // Leg 1: the arms diverge on how the fetched word decodes. A fork on
+    // pure register data (e.g. taken vs. not-taken) demands no fetch
+    // bits and is not a decode sibling.
+    let diverging_bits = fetch_slot_bits(ctx, &diverging);
+    if diverging_bits.is_empty() {
+        return None;
+    }
+    // Leg 2: nothing the models expose demands those bits.
+    let observed_bits = fetch_slot_bits(ctx, outputs);
+    if !bits_disjoint(&diverging_bits, &observed_bits) {
+        return None;
+    }
+    // Leg 3: the slot-pure diverging constraints of each arm project to
+    // exact cube covers whose union is exact. Mixed diverging
+    // constraints (slot bits and foreign symbols in one term) widen any
+    // projection to the universe — on the merged path exactly as on each
+    // unmerged arm — so they are admissible only when the widening is
+    // symmetric: both arms' mixed subsets demand the same fetch-slot
+    // bits. Asymmetric mixing could let one arm's cover claim words the
+    // other side's cubes do not, so it falls back to unmerged forking.
+    let (pure_a, mixed_a) = split_by_slot_purity(ctx, slot_prefix, &only_a);
+    let (pure_b, mixed_b) = split_by_slot_purity(ctx, slot_prefix, &only_b);
+    if mixed_a != mixed_b {
+        return None;
+    }
+    let cover_of = |projector: &mut Projector, side: &[TermId]| -> Vec<SlotCoverage> {
+        let origins = vec![ConstraintOrigin::Assumed; side.len()];
+        projector.project_path(ctx, slot_prefix, side, &origins)
+    };
+    let cover_a = cover_of(projector, &pure_a);
+    let cover_b = cover_of(projector, &pure_b);
+    union_covers(&cover_a, &cover_b)
+}
+
+/// Splits one arm's diverging constraints into the slot-pure subset
+/// (every demanded symbol is a `slot_prefix` fetch slot — these carry
+/// the cube algebra of leg 3) and the accumulated fetch-slot support of
+/// the mixed subset (terms demanding slot bits *and* foreign symbols,
+/// which every projection widens). Slot-free constraints restrict no
+/// slot projection and are dropped, mirroring the projector.
+fn split_by_slot_purity(
+    ctx: &Context,
+    slot_prefix: &str,
+    side: &[TermId],
+) -> (Vec<TermId>, Vec<(TermId, u64)>) {
+    let mut pure = Vec::new();
+    let mut mixed: Vec<(TermId, u64)> = Vec::new();
+    for &c in side {
+        let demands = demanded_bits(ctx, &[c]);
+        let is_slot = |sym: TermId| {
+            ctx.symbol_name(sym)
+                .is_some_and(|name| name.starts_with(slot_prefix))
+        };
+        let slot_syms = demands.iter().filter(|&(&sym, _)| is_slot(sym)).count();
+        if slot_syms == 0 {
+            continue;
+        }
+        if slot_syms == demands.len() {
+            pure.push(c);
+            continue;
+        }
+        for (&sym, &bits) in demands.iter().filter(|&(&sym, _)| is_slot(sym)) {
+            match mixed.binary_search_by_key(&sym, |&(s, _)| s) {
+                Ok(at) => mixed[at].1 |= bits,
+                Err(at) => mixed.insert(at, (sym, bits)),
+            }
+        }
+    }
+    (pure, mixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_bit(ctx: &mut Context, slot: TermId, bit: u32, value: u64) -> TermId {
+        let lane = ctx.extract(slot, bit, bit);
+        let want = ctx.constant(1, value);
+        ctx.eq(lane, want)
+    }
+
+    #[test]
+    fn decode_local_divergence_is_mergeable() {
+        let mut ctx = Context::new();
+        let slot = ctx.symbol(32, "imem_00000000");
+        let reg = ctx.symbol(32, "reg_x1");
+        // Arms share a register constraint and diverge on decode bit 12.
+        let common = {
+            let zero = ctx.constant(32, 0);
+            ctx.eq(reg, zero)
+        };
+        let bit_set = decode_bit(&mut ctx, slot, 12, 1);
+        let bit_clear = decode_bit(&mut ctx, slot, 12, 0);
+        let arm_a = vec![common, bit_set];
+        let arm_b = vec![common, bit_clear];
+        // Outputs read the immediate field, not bit 12.
+        let imm = ctx.extract(slot, 31, 25);
+        let outputs = vec![imm, reg];
+        let mut projector = Projector::new();
+        let union = proves_mergeable(&ctx, &mut projector, &arm_a, &arm_b, &outputs, "imem")
+            .expect("disjoint decode divergence must be mergeable");
+        // The union covers both polarities of bit 12: the whole slot
+        // domain, exactly.
+        assert!(union.iter().all(|slot| slot.exact));
+    }
+
+    #[test]
+    fn symmetric_mixed_divergence_merges() {
+        // The branch-condition shape: each arm carries one slot-pure
+        // decode constraint plus a condition over registers *selected
+        // by* slot bits 19:15 (mixed). The mixed terms demand the same
+        // slot bits on both sides, so leg 3 admits the pair and the
+        // union comes from the decode cubes alone.
+        let mut ctx = Context::new();
+        let slot = ctx.symbol(32, "imem_00000000");
+        let reg = ctx.symbol(32, "reg_x1");
+        let bit_set = decode_bit(&mut ctx, slot, 12, 1);
+        let bit_clear = decode_bit(&mut ctx, slot, 12, 0);
+        let cond = {
+            let field = ctx.extract(slot, 19, 15);
+            let wide = ctx.zero_ext(field, 32);
+            ctx.eq(wide, reg)
+        };
+        let not_cond = ctx.not(cond);
+        let arm_a = vec![bit_set, cond];
+        let arm_b = vec![bit_clear, not_cond];
+        let imm = ctx.extract(slot, 31, 25);
+        let outputs = vec![imm, reg];
+        let mut projector = Projector::new();
+        let union = proves_mergeable(&ctx, &mut projector, &arm_a, &arm_b, &outputs, "imem")
+            .expect("symmetrically mixed divergence must be mergeable");
+        assert!(union.iter().all(|slot| slot.exact));
+    }
+
+    #[test]
+    fn asymmetric_mixed_divergence_blocks_merge() {
+        // One arm's mixed constraint reads slot bits 19:15, the other's
+        // reads 24:20: the widenings differ, so the union of the pure
+        // cubes is no longer provably the union of the arms' covers.
+        let mut ctx = Context::new();
+        let slot = ctx.symbol(32, "imem_00000000");
+        let reg = ctx.symbol(32, "reg_x1");
+        let bit_set = decode_bit(&mut ctx, slot, 12, 1);
+        let bit_clear = decode_bit(&mut ctx, slot, 12, 0);
+        let mixed = |ctx: &mut Context, hi: u32, lo: u32| {
+            let field = ctx.extract(slot, hi, lo);
+            let wide = ctx.zero_ext(field, 32);
+            ctx.eq(wide, reg)
+        };
+        let cond_a = mixed(&mut ctx, 19, 15);
+        let cond_b = mixed(&mut ctx, 24, 20);
+        let mut projector = Projector::new();
+        assert!(proves_mergeable(
+            &ctx,
+            &mut projector,
+            &[bit_set, cond_a],
+            &[bit_clear, cond_b],
+            &[],
+            "imem"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn output_demanding_diverging_bits_blocks_merge() {
+        let mut ctx = Context::new();
+        let slot = ctx.symbol(32, "imem_00000000");
+        let bit_set = decode_bit(&mut ctx, slot, 12, 1);
+        let bit_clear = decode_bit(&mut ctx, slot, 12, 0);
+        // An output that reads the diverging bit itself.
+        let leaked = ctx.extract(slot, 14, 12);
+        let mut projector = Projector::new();
+        assert!(proves_mergeable(
+            &ctx,
+            &mut projector,
+            &[bit_set],
+            &[bit_clear],
+            &[leaked],
+            "imem"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn register_divergence_blocks_merge() {
+        let mut ctx = Context::new();
+        let reg = ctx.symbol(32, "reg_x1");
+        let zero = ctx.constant(32, 0);
+        let taken = ctx.eq(reg, zero);
+        let not_taken = ctx.not(taken);
+        let mut projector = Projector::new();
+        // Taken vs. not-taken diverges on register data: no fetch-slot
+        // bits diverge, so leg 1 rejects the pair.
+        assert!(
+            proves_mergeable(&ctx, &mut projector, &[taken], &[not_taken], &[], "imem").is_none()
+        );
+    }
+
+    #[test]
+    fn disjointness_helper_matches_masks() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol(32, "imem_00000000");
+        let b = ctx.symbol(32, "imem_00000004");
+        assert!(bits_disjoint(&[(a, 0x7000)], &[(a, 0x00ff), (b, 0x7000)]));
+        assert!(!bits_disjoint(&[(a, 0x7000)], &[(a, 0x1000)]));
+        assert!(bits_disjoint(&[], &[(a, u64::MAX)]));
+    }
+}

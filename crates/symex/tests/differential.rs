@@ -414,6 +414,21 @@ fn absint_never_contradicts_sat() {
             let bound = ctx.constant(8, 0x10);
             set = vec![ctx.ult(masked, bound)];
         }
+        if rng.chance(1, 4) {
+            // Sub-64-width shift-clamp regression: a logical right shift
+            // whose symbolic amount has a known lower bound past
+            // width - 1 (here lo >= 8 on an 8-bit term). The interval
+            // path must clamp the bounding shift to w - 1 like the
+            // arithmetic-shift path; the subterm containment check below
+            // rejects any over-tight `hi` the clamp could produce.
+            let x = ctx.symbol(8, "x");
+            let y = ctx.symbol(8, "y");
+            let past_width = ctx.constant(8, 8 << rng.index(2));
+            let amount = ctx.or(y, past_width);
+            let shifted = ctx.lshr(x, amount);
+            let small = ctx.constant(8, 1 + rng.below(3));
+            set.push(ctx.ult(shifted, small));
+        }
 
         let mut absint = AbsInt::new();
         let verdict = absint.preflight(&ctx, &set);

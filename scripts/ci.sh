@@ -53,6 +53,30 @@ if cargo run --release -p symcosim-lint -- --audit "$tampered_json" > /dev/null 
 fi
 rm -f "$tampered_json"
 
+echo "==> state merging (merged limit-2 BRANCH certificate gate + limit-4 smoke)"
+# The merged limit-2 BRANCH sweep must certify complete and its report
+# must be byte-identical to the unmerged run — merging changes which
+# physical states execute, never what is recorded (DESIGN.md §16).
+merge_on_json="$(mktemp)"
+merge_off_json="$(mktemp)"
+trap 'rm -f "$report_json" "$audit_json" "$merge_on_json" "$merge_off_json"' EXIT
+cargo run --release -p symcosim-core --bin symcosim-cli -- \
+    verify --rv32i-only --opcode 0x63 --limit 2 --certify \
+    --report-json "$merge_on_json" > /dev/null
+cargo run --release -p symcosim-core --bin symcosim-cli -- \
+    verify --rv32i-only --opcode 0x63 --limit 2 --certify --no-merge \
+    --report-json "$merge_off_json" > /dev/null
+cmp "$merge_on_json" "$merge_off_json" || {
+    echo "merged limit-2 BRANCH report differs from the unmerged run"; exit 1; }
+rm -f "$merge_on_json" "$merge_off_json"
+# Limit-4 smoke: the merged deep sweep must run (paths-capped — the
+# full certified sweep lives in EXPERIMENTS.md, not the gate).
+cargo run --release -p symcosim-core --bin symcosim-cli -- \
+    verify --rv32i-only --opcode 0x63 --limit 4 --paths 300 > /dev/null
+
+echo "==> merge equivalence (merged == unmerged reports and certificates)"
+cargo test -q --test merge_equivalence
+
 echo "==> serve smoke (daemon round-trip: audited submit, merge, certify, shutdown)"
 # Boot the daemon on an ephemeral port, submit a sharded audited BRANCH
 # job over localhost, verify the merged certificate the service hands

@@ -1,0 +1,163 @@
+//! Veritesting-style state merging is invisible in every artifact: for a
+//! frontier-drained configuration, the fork engine with
+//! `SessionConfig::merge` on produces a `symcosim-report/1` dump and a
+//! `symcosim-cert/1` certificate **byte-identical** to the unmerged run
+//! (`--no-merge`) and to the parallel merged run — same findings, same
+//! witnesses, same coverage cubes. Merging only changes how many physical
+//! paths the engine drives; every merged sibling is expanded back into
+//! the path record its own unmerged run would have produced (DESIGN.md
+//! §16).
+//!
+//! The clean BRANCH sweep also pins down that merging actually *fires*
+//! there: branch flavours that agree on the post-instruction state (all
+//! not-taken arms share `pc+4`, all taken arms share `pc+imm` over the
+//! same fetch word) continue as one physical path each.
+
+use symcosim::core::{
+    Certificate, EngineKind, InstrConstraint, SessionConfig, Verdict, VerifyReport, VerifySession,
+};
+use symcosim::isa::opcodes;
+use symcosim::microrv32::InjectedError;
+
+/// Runs `config` with merging off (sequential), on (sequential), and on
+/// across two workers; asserts the report dumps and certificates are
+/// byte-identical, and returns the merged sequential report.
+fn merge_is_invisible(config: SessionConfig) -> VerifyReport {
+    let mut config = config;
+    config.engine = EngineKind::Fork;
+    config.collect_coverage = true;
+
+    let mut unmerged_config = config.clone();
+    unmerged_config.merge = false;
+    let unmerged = VerifySession::new(unmerged_config)
+        .expect("valid config")
+        .run();
+    assert_eq!(unmerged.merged_paths, 0, "--no-merge must not merge");
+    let expected_report = unmerged.to_json();
+    let expected_cert = certificate_of(&unmerged);
+
+    let mut merged_config = config.clone();
+    merged_config.merge = true;
+    let merged = VerifySession::new(merged_config.clone())
+        .expect("valid config")
+        .run();
+    assert_eq!(
+        merged.to_json(),
+        expected_report,
+        "merged run() report diverged from the unmerged dump"
+    );
+    assert_eq!(
+        certificate_of(&merged),
+        expected_cert,
+        "merged run() certificate diverged from the unmerged one"
+    );
+
+    let merged_parallel = VerifySession::new(merged_config)
+        .expect("valid config")
+        .run_parallel(2);
+    assert_eq!(
+        merged_parallel.to_json(),
+        expected_report,
+        "merged run_parallel(2) report diverged from the unmerged dump"
+    );
+    assert_eq!(
+        certificate_of(&merged_parallel),
+        expected_cert,
+        "merged run_parallel(2) certificate diverged from the unmerged one"
+    );
+
+    merged
+}
+
+fn certificate_of(report: &VerifyReport) -> String {
+    let coverage = report.coverage.as_ref().expect("coverage was collected");
+    Certificate::certify(coverage).to_json()
+}
+
+#[test]
+fn clean_branch_space_merges_invisibly_and_certifies_complete() {
+    let mut config = SessionConfig::rv32i_only();
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::BRANCH);
+    let report = merge_is_invisible(config);
+
+    assert!(report.findings.is_empty(), "clean models must not mismatch");
+    assert!(!report.truncated, "the frontier must drain");
+    assert!(
+        report.merged_paths > 0,
+        "state merging must fire on the BRANCH decode siblings \
+         (got {} merged path records)",
+        report.merged_paths
+    );
+    let cert = Certificate::certify(report.coverage.as_ref().expect("coverage"));
+    assert_eq!(
+        cert.verdict,
+        Verdict::Complete,
+        "a drained merged clean run must certify complete:\n{cert}"
+    );
+}
+
+#[test]
+fn table1_store_slice_merges_invisibly() {
+    // Catalogue mode against the shipped models: mismatch witnesses and
+    // examples ride through arm expansion byte-for-byte.
+    let mut config = SessionConfig::table1();
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::STORE);
+    let report = merge_is_invisible(config);
+    assert!(
+        !report.findings.is_empty(),
+        "the shipped models mismatch on STORE"
+    );
+}
+
+#[test]
+fn injected_e4_op_space_merges_invisibly() {
+    let mut config = SessionConfig::rv32i_only();
+    config.inject = Some(InjectedError::E4SubStuckAt0Msb);
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::OP);
+    let report = merge_is_invisible(config);
+    assert!(
+        report.findings.iter().any(|f| f.witness.is_some()),
+        "the injected fault must be found with a witness"
+    );
+}
+
+#[test]
+fn audited_merged_run_certifies_clean() {
+    // Proof logging composes with merging: every solver answer behind a
+    // merged run's decisions replays through the independent checker.
+    let mut config = SessionConfig::rv32i_only();
+    config.stop_at_first_mismatch = false;
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::BRANCH);
+    config.audit = true;
+    config.merge = true;
+    let report = VerifySession::new(config).expect("valid config").run();
+    assert!(report.findings.is_empty());
+    assert!(
+        report.proof_audit_failure.is_none(),
+        "audit failure: {:?}",
+        report.proof_audit_failure
+    );
+    assert!(
+        report.proof_audit.models + report.proof_audit.cores > 0,
+        "the auditor must certify answers during a merged run"
+    );
+    assert_eq!(report.proof_audit.failures, 0);
+}
+
+#[test]
+fn stop_at_first_mismatch_forces_merging_off() {
+    // Stop-early runs explore a scheduling-dependent subset; the session
+    // gates merging off so Table II timing stays comparable.
+    let mut config = SessionConfig::rv32i_only();
+    config.inject = Some(InjectedError::E4SubStuckAt0Msb);
+    config.constraint = InstrConstraint::OnlyOpcode(opcodes::OP);
+    assert!(config.stop_at_first_mismatch && config.merge);
+    let report = VerifySession::new(config).expect("valid config").run();
+    assert_eq!(
+        report.merged_paths, 0,
+        "stop-at-first-mismatch must not merge"
+    );
+    assert!(!report.findings.is_empty(), "E4 must still be found");
+}
